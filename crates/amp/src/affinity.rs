@@ -1,0 +1,178 @@
+//! Affinity masks: the mechanism the tuner uses to pin a process to a core
+//! (or set of cores), mirroring Linux's `sched_setaffinity` which the paper
+//! uses for its core switches ("core switches are done using the standard
+//! process affinity API available for Linux", Section III).
+
+use serde::{Deserialize, Serialize};
+
+use crate::spec::{CoreId, CoreKind, MachineSpec};
+
+/// A set of cores a process is allowed to run on.
+///
+/// # Examples
+///
+/// ```
+/// use phase_amp::{AffinityMask, CoreId};
+///
+/// let mask = AffinityMask::single(CoreId(2));
+/// assert!(mask.allows(CoreId(2)));
+/// assert!(!mask.allows(CoreId(0)));
+/// assert_eq!(mask.core_count(), 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct AffinityMask {
+    bits: u64,
+}
+
+impl AffinityMask {
+    /// Maximum number of cores representable in a mask.
+    pub const MAX_CORES: usize = 64;
+
+    /// A mask allowing every core of the given machine.
+    pub fn all_cores(spec: &MachineSpec) -> Self {
+        Self::from_cores(spec.core_ids())
+    }
+
+    /// A mask allowing a single core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the core index is 64 or larger.
+    pub fn single(core: CoreId) -> Self {
+        Self::from_cores(std::iter::once(core))
+    }
+
+    /// A mask allowing every core of the given kind on the given machine.
+    pub fn kind(spec: &MachineSpec, kind: CoreKind) -> Self {
+        Self::from_cores(spec.cores_of_kind(kind))
+    }
+
+    /// A mask from an explicit list of cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a core index is 64 or larger.
+    pub fn from_cores(cores: impl IntoIterator<Item = CoreId>) -> Self {
+        let mut bits = 0u64;
+        for core in cores {
+            assert!(
+                core.index() < Self::MAX_CORES,
+                "core index {core} exceeds the {} supported cores",
+                Self::MAX_CORES
+            );
+            bits |= 1 << core.index();
+        }
+        Self { bits }
+    }
+
+    /// Whether the mask allows the given core.
+    pub fn allows(&self, core: CoreId) -> bool {
+        core.index() < Self::MAX_CORES && self.bits & (1 << core.index()) != 0
+    }
+
+    /// Whether the mask allows no core at all.
+    pub fn is_empty(&self) -> bool {
+        self.bits == 0
+    }
+
+    /// Number of cores allowed by the mask.
+    pub fn core_count(&self) -> usize {
+        self.bits.count_ones() as usize
+    }
+
+    /// Iterator over the allowed cores, in increasing id order.
+    pub fn iter(&self) -> impl Iterator<Item = CoreId> + '_ {
+        (0..Self::MAX_CORES as u32)
+            .map(CoreId)
+            .filter(|c| self.allows(*c))
+    }
+
+    /// The intersection of two masks.
+    pub fn intersect(&self, other: &AffinityMask) -> AffinityMask {
+        AffinityMask {
+            bits: self.bits & other.bits,
+        }
+    }
+
+    /// The union of two masks.
+    pub fn union(&self, other: &AffinityMask) -> AffinityMask {
+        AffinityMask {
+            bits: self.bits | other.bits,
+        }
+    }
+}
+
+impl std::fmt::Display for AffinityMask {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{{")?;
+        let mut first = true;
+        for core in self.iter() {
+            if !first {
+                write!(f, ",")?;
+            }
+            write!(f, "{}", core.0)?;
+            first = false;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<CoreId> for AffinityMask {
+    fn from_iter<T: IntoIterator<Item = CoreId>>(iter: T) -> Self {
+        Self::from_cores(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_cores_allows_every_core_of_the_machine() {
+        let spec = MachineSpec::core2_quad_amp();
+        let mask = AffinityMask::all_cores(&spec);
+        assert_eq!(mask.core_count(), 4);
+        for core in spec.core_ids() {
+            assert!(mask.allows(core));
+        }
+        assert!(!mask.allows(CoreId(4)));
+    }
+
+    #[test]
+    fn kind_mask_selects_only_that_kind() {
+        let spec = MachineSpec::core2_quad_amp();
+        let slow = AffinityMask::kind(&spec, CoreKind(1));
+        assert_eq!(slow.iter().collect::<Vec<_>>(), vec![CoreId(2), CoreId(3)]);
+        assert!(!slow.allows(CoreId(0)));
+    }
+
+    #[test]
+    fn set_operations_behave_like_sets() {
+        let a = AffinityMask::from_cores([CoreId(0), CoreId(1)]);
+        let b = AffinityMask::from_cores([CoreId(1), CoreId(2)]);
+        assert_eq!(a.intersect(&b), AffinityMask::single(CoreId(1)));
+        assert_eq!(a.union(&b).core_count(), 3);
+        assert!(a.intersect(&AffinityMask::single(CoreId(3))).is_empty());
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let mask: AffinityMask = [CoreId(5), CoreId(7)].into_iter().collect();
+        assert!(mask.allows(CoreId(5)));
+        assert!(mask.allows(CoreId(7)));
+        assert_eq!(mask.core_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn oversized_core_index_is_rejected() {
+        let _ = AffinityMask::single(CoreId(64));
+    }
+
+    #[test]
+    fn display_lists_cores() {
+        let mask = AffinityMask::from_cores([CoreId(0), CoreId(3)]);
+        assert_eq!(format!("{mask}"), "{0,3}");
+        assert_eq!(format!("{}", AffinityMask::from_cores([])), "{}");
+    }
+}

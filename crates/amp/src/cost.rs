@@ -1,0 +1,411 @@
+//! The per-block cycle-cost model of the asymmetric machine.
+//!
+//! The model captures the single property phase-based tuning exploits: on a
+//! performance-asymmetric machine, "cores with a higher clock frequency can
+//! efficiently process arithmetic instructions whereas cores with a lower
+//! frequency will waste fewer cycles during stalls (e.g. cache miss)"
+//! (Section II-B). Arithmetic latencies are charged in core cycles (the same
+//! on every core, so a faster clock finishes them sooner in wall-clock time),
+//! while main-memory latency is charged in *nanoseconds* and converted to
+//! cycles at the core's frequency — a faster core therefore burns more cycles
+//! per miss, and memory-bound code sees little wall-clock benefit from it.
+
+use phase_ir::{AccessPattern, BasicBlock, InstrClass, MemRef};
+use serde::{Deserialize, Serialize};
+
+use crate::spec::{CoreId, MachineSpec};
+
+/// Base execution cost of an instruction class in core cycles (effective
+/// reciprocal throughput on a superscalar core), excluding any
+/// memory-hierarchy time for loads and stores.
+///
+/// The values are calibrated so that compute-bound code reaches an IPC in the
+/// 1.5–3 range and memory-bound code drops well below 1 — the same scale the
+/// paper's hardware counters report, which matters because Algorithm 2's
+/// threshold `δ` is an *absolute* IPC difference.
+pub fn base_latency_cycles(class: InstrClass) -> f64 {
+    match class {
+        InstrClass::IntAlu => 0.35,
+        InstrClass::IntMul => 1.0,
+        InstrClass::IntDiv => 8.0,
+        InstrClass::FpAdd => 0.5,
+        InstrClass::FpMul => 0.7,
+        InstrClass::FpDiv => 8.0,
+        InstrClass::Load => 0.35,
+        InstrClass::Store => 0.35,
+        InstrClass::Branch => 0.5,
+        InstrClass::Jump => 0.35,
+        InstrClass::Call => 1.0,
+        InstrClass::Return => 1.0,
+        InstrClass::Nop => 0.2,
+        InstrClass::Syscall => 100.0,
+    }
+}
+
+/// How many outstanding misses overlap for patterns with memory-level
+/// parallelism; pointer chasing gets almost no overlap.
+const MISS_OVERLAP_FACTOR: f64 = 4.0;
+const CHASE_OVERLAP_FACTOR: f64 = 1.5;
+
+/// Probability that an access with the given reuse distance misses a cache of
+/// the given capacity (smooth logistic transition around capacity).
+pub fn miss_probability(reuse_distance_bytes: f64, cache_capacity_bytes: f64) -> f64 {
+    if reuse_distance_bytes <= 0.0 {
+        return 0.0;
+    }
+    let ratio = reuse_distance_bytes / cache_capacity_bytes.max(1.0);
+    let x = ratio.ln() / std::f64::consts::LN_10;
+    1.0 / (1.0 + (-4.0 * x).exp())
+}
+
+/// The cycle/time cost of executing one basic block once on one core.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct BlockCost {
+    /// Instructions retired (terminator included).
+    pub instructions: u64,
+    /// Core cycles spent.
+    pub cycles: f64,
+    /// Wall-clock nanoseconds spent (`cycles / freq_ghz`).
+    pub nanos: f64,
+    /// Expected number of accesses served by the L1.
+    pub l1_hits: f64,
+    /// Expected number of accesses served by the shared L2.
+    pub l2_hits: f64,
+    /// Expected number of accesses served by main memory.
+    pub memory_accesses: f64,
+}
+
+impl BlockCost {
+    /// Instructions per cycle achieved for this block on this core — the
+    /// metric the paper's dynamic analysis monitors with hardware counters.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles <= 0.0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles
+        }
+    }
+
+    /// Accumulates another cost into this one.
+    pub fn accumulate(&mut self, other: &BlockCost) {
+        self.instructions += other.instructions;
+        self.cycles += other.cycles;
+        self.nanos += other.nanos;
+        self.l1_hits += other.l1_hits;
+        self.l2_hits += other.l2_hits;
+        self.memory_accesses += other.memory_accesses;
+    }
+}
+
+/// Context the cost model needs about the rest of the machine at the moment a
+/// block executes: how contended the core's shared L2 currently is.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SharingContext {
+    /// Number of processes actively using the core's L2 (at least 1: the
+    /// process itself).
+    pub l2_sharers: usize,
+}
+
+impl Default for SharingContext {
+    fn default() -> Self {
+        Self { l2_sharers: 1 }
+    }
+}
+
+impl SharingContext {
+    /// Context for a process running alone on its cache group.
+    pub fn exclusive() -> Self {
+        Self::default()
+    }
+
+    /// Context with the given number of sharers (clamped to at least one).
+    pub fn shared_by(sharers: usize) -> Self {
+        Self {
+            l2_sharers: sharers.max(1),
+        }
+    }
+}
+
+/// The machine cost model: computes per-block costs for any core of a
+/// [`MachineSpec`].
+///
+/// # Examples
+///
+/// ```
+/// use phase_amp::{CostModel, MachineSpec, SharingContext, CoreId};
+/// use phase_ir::{BasicBlock, BlockId, Instruction, Terminator};
+///
+/// let spec = MachineSpec::core2_quad_amp();
+/// let model = CostModel::new(spec);
+/// let block = BasicBlock::new(
+///     BlockId(0),
+///     vec![Instruction::fp_mul(); 64],
+///     Terminator::Return,
+/// );
+/// let fast = model.block_cost(CoreId(0), &block, SharingContext::exclusive());
+/// let slow = model.block_cost(CoreId(2), &block, SharingContext::exclusive());
+/// // CPU-bound code takes the same cycles everywhere but less wall-clock
+/// // time on the fast core.
+/// assert!((fast.cycles - slow.cycles).abs() < 1e-9);
+/// assert!(fast.nanos < slow.nanos);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostModel {
+    spec: MachineSpec,
+}
+
+impl CostModel {
+    /// Creates a cost model for the given machine.
+    pub fn new(spec: MachineSpec) -> Self {
+        Self { spec }
+    }
+
+    /// The underlying machine specification.
+    pub fn spec(&self) -> &MachineSpec {
+        &self.spec
+    }
+
+    /// Cost of one execution of `block` on `core` under the given sharing
+    /// conditions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` does not exist in the machine.
+    pub fn block_cost(&self, core: CoreId, block: &BasicBlock, ctx: SharingContext) -> BlockCost {
+        let core_spec = self.spec.core(core);
+        let freq = core_spec.freq_ghz;
+
+        let mut cycles = 0.0;
+        let mut l1_hits = 0.0;
+        let mut l2_hits = 0.0;
+        let mut memory_accesses = 0.0;
+
+        for instr in block.instructions() {
+            cycles += base_latency_cycles(instr.class());
+            if let Some(mem) = instr.mem_ref() {
+                let access = self.memory_access_cost(freq, mem, ctx);
+                cycles += access.cycles;
+                l1_hits += access.l1_hit_probability;
+                l2_hits += access.l2_hit_probability;
+                memory_accesses += access.memory_probability;
+            }
+        }
+        cycles += terminator_cycles(block);
+
+        let instructions = block.instruction_count() as u64;
+        BlockCost {
+            instructions,
+            cycles,
+            nanos: cycles / freq,
+            l1_hits,
+            l2_hits,
+            memory_accesses,
+        }
+    }
+
+    /// Cost in cycles of a core switch charged on the destination core, plus
+    /// the wall-clock time it takes there.
+    pub fn core_switch_cost(&self, destination: CoreId) -> (u64, f64) {
+        let cycles = self.spec.core_switch_cycles;
+        let freq = self.spec.core(destination).freq_ghz;
+        (cycles, cycles as f64 / freq)
+    }
+
+    fn memory_access_cost(&self, freq_ghz: f64, mem: &MemRef, ctx: SharingContext) -> MemAccessCost {
+        let reuse = mem.estimated_reuse_distance();
+        let spatial = mem.pattern.spatial_miss_factor();
+        let l1_miss = spatial * miss_probability(reuse, self.spec.l1.capacity_bytes as f64);
+        let effective_l2 = self.spec.l2.capacity_bytes as f64 / ctx.l2_sharers.max(1) as f64;
+        let l2_miss = miss_probability(reuse, effective_l2);
+
+        let l1_hit_probability = 1.0 - l1_miss;
+        let l2_hit_probability = l1_miss * (1.0 - l2_miss);
+        let memory_probability = l1_miss * l2_miss;
+
+        // Main-memory latency is fixed in nanoseconds, so it costs more
+        // cycles on a faster core.
+        let memory_cycles = self.spec.memory_latency_ns * freq_ghz;
+        let overlap = if mem.pattern.overlaps_misses() {
+            MISS_OVERLAP_FACTOR
+        } else {
+            CHASE_OVERLAP_FACTOR
+        };
+
+        let cycles = l1_hit_probability * self.spec.l1.latency_cycles
+            + l2_hit_probability * self.spec.l2.latency_cycles
+            + memory_probability * memory_cycles / overlap;
+        MemAccessCost {
+            cycles,
+            l1_hit_probability,
+            l2_hit_probability,
+            memory_probability,
+        }
+    }
+}
+
+struct MemAccessCost {
+    cycles: f64,
+    l1_hit_probability: f64,
+    l2_hit_probability: f64,
+    memory_probability: f64,
+}
+
+fn terminator_cycles(block: &BasicBlock) -> f64 {
+    use phase_ir::Terminator;
+    match block.terminator() {
+        Terminator::Jump(_) => base_latency_cycles(InstrClass::Jump),
+        Terminator::Branch { .. } => base_latency_cycles(InstrClass::Branch),
+        Terminator::Call { .. } => base_latency_cycles(InstrClass::Call),
+        Terminator::Return => base_latency_cycles(InstrClass::Return),
+        Terminator::Exit => base_latency_cycles(InstrClass::Syscall),
+    }
+}
+
+/// Convenience wrapper: the access pattern's effect on cost, exposed for
+/// tests and documentation of the model's assumptions.
+pub fn pattern_is_latency_bound(pattern: AccessPattern) -> bool {
+    !pattern.overlaps_misses()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phase_ir::{BlockId, Instruction, MemRef, Terminator};
+
+    fn cpu_block(n: usize) -> BasicBlock {
+        BasicBlock::new(BlockId(0), vec![Instruction::fp_mul(); n], Terminator::Return)
+    }
+
+    fn mem_block(n: usize, region: u64) -> BasicBlock {
+        let mem = MemRef::new(AccessPattern::Random, region);
+        BasicBlock::new(BlockId(0), vec![Instruction::load(mem); n], Terminator::Return)
+    }
+
+    fn model() -> CostModel {
+        CostModel::new(MachineSpec::core2_quad_amp())
+    }
+
+    const FAST: CoreId = CoreId(0);
+    const SLOW: CoreId = CoreId(2);
+
+    #[test]
+    fn cpu_bound_code_is_faster_on_fast_core_in_wall_clock() {
+        let model = model();
+        let block = cpu_block(100);
+        let fast = model.block_cost(FAST, &block, SharingContext::exclusive());
+        let slow = model.block_cost(SLOW, &block, SharingContext::exclusive());
+        assert!(fast.nanos < slow.nanos);
+        // Cycle counts (and hence IPC) are identical: no stalls.
+        assert!((fast.ipc() - slow.ipc()).abs() < 1e-9);
+        let speedup = slow.nanos / fast.nanos;
+        assert!((speedup - 2.4 / 1.6).abs() < 1e-6, "speedup {speedup}");
+    }
+
+    #[test]
+    fn memory_bound_code_has_higher_ipc_on_slow_core() {
+        let model = model();
+        let block = mem_block(100, 512 * 1024 * 1024);
+        let fast = model.block_cost(FAST, &block, SharingContext::exclusive());
+        let slow = model.block_cost(SLOW, &block, SharingContext::exclusive());
+        // The fast core wastes more cycles per miss, so its IPC is lower.
+        assert!(slow.ipc() > fast.ipc());
+        // And its wall-clock advantage largely evaporates (far less than the
+        // 1.5x frequency ratio).
+        let speedup = slow.nanos / fast.nanos;
+        assert!(speedup < 1.15, "memory-bound speedup {speedup}");
+    }
+
+    #[test]
+    fn fast_core_ipc_gain_is_larger_for_cpu_bound_code() {
+        // The property Algorithm 2 relies on: the IPC difference between core
+        // kinds separates CPU-bound from memory-bound phases.
+        let model = model();
+        let cpu = cpu_block(100);
+        let mem = mem_block(100, 512 * 1024 * 1024);
+        let cpu_gap = model.block_cost(FAST, &cpu, SharingContext::exclusive()).ipc()
+            - model.block_cost(SLOW, &cpu, SharingContext::exclusive()).ipc();
+        let mem_gap = model.block_cost(FAST, &mem, SharingContext::exclusive()).ipc()
+            - model.block_cost(SLOW, &mem, SharingContext::exclusive()).ipc();
+        assert!(cpu_gap >= 0.0);
+        assert!(mem_gap < cpu_gap);
+    }
+
+    #[test]
+    fn cache_sharing_increases_cost_of_memory_bound_code() {
+        let model = model();
+        // Working set that fits a private L2 but not half of one.
+        let block = mem_block(100, 3 * 1024 * 1024);
+        let alone = model.block_cost(FAST, &block, SharingContext::exclusive());
+        let shared = model.block_cost(FAST, &block, SharingContext::shared_by(2));
+        assert!(shared.cycles > alone.cycles);
+        assert!(shared.memory_accesses > alone.memory_accesses);
+    }
+
+    #[test]
+    fn small_working_sets_hit_in_l1() {
+        let model = model();
+        let block = mem_block(100, 4 * 1024);
+        let cost = model.block_cost(FAST, &block, SharingContext::exclusive());
+        assert!(cost.l1_hits > 95.0, "l1 hits {:?}", cost.l1_hits);
+        assert!(cost.memory_accesses < 1.0);
+    }
+
+    #[test]
+    fn hit_probabilities_sum_to_access_count() {
+        let model = model();
+        let block = mem_block(40, 8 * 1024 * 1024);
+        let cost = model.block_cost(FAST, &block, SharingContext::exclusive());
+        let total = cost.l1_hits + cost.l2_hits + cost.memory_accesses;
+        assert!((total - 40.0).abs() < 1e-6, "total {total}");
+    }
+
+    #[test]
+    fn core_switch_cost_uses_destination_frequency() {
+        let model = model();
+        let (cycles_fast, nanos_fast) = model.core_switch_cost(FAST);
+        let (cycles_slow, nanos_slow) = model.core_switch_cost(SLOW);
+        assert_eq!(cycles_fast, 1000);
+        assert_eq!(cycles_fast, cycles_slow);
+        assert!(nanos_fast < nanos_slow);
+    }
+
+    #[test]
+    fn ipc_of_empty_cost_is_zero() {
+        assert_eq!(BlockCost::default().ipc(), 0.0);
+    }
+
+    #[test]
+    fn accumulate_adds_all_fields() {
+        let model = model();
+        let block = cpu_block(10);
+        let single = model.block_cost(FAST, &block, SharingContext::exclusive());
+        let mut acc = BlockCost::default();
+        acc.accumulate(&single);
+        acc.accumulate(&single);
+        assert_eq!(acc.instructions, 2 * single.instructions);
+        assert!((acc.cycles - 2.0 * single.cycles).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pointer_chasing_is_latency_bound() {
+        assert!(pattern_is_latency_bound(AccessPattern::PointerChase));
+        assert!(!pattern_is_latency_bound(AccessPattern::Sequential));
+        let model = model();
+        let chase = BasicBlock::new(
+            BlockId(0),
+            vec![Instruction::load(MemRef::new(AccessPattern::PointerChase, 512 * 1024 * 1024)); 50],
+            Terminator::Return,
+        );
+        let rand = mem_block(50, 512 * 1024 * 1024);
+        let chase_cost = model.block_cost(FAST, &chase, SharingContext::exclusive());
+        let rand_cost = model.block_cost(FAST, &rand, SharingContext::exclusive());
+        assert!(chase_cost.cycles > rand_cost.cycles);
+    }
+
+    #[test]
+    fn base_latencies_are_positive() {
+        for class in InstrClass::ALL {
+            assert!(base_latency_cycles(class) > 0.0);
+        }
+    }
+}

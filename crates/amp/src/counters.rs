@@ -1,0 +1,219 @@
+//! Hardware-performance-counter emulation.
+//!
+//! The paper monitors instructions retired and cycles through PAPI and notes
+//! that "to deal with limitations that may be imposed by the number of
+//! counters or APIs, we require programs to wait for access to the counters"
+//! (Section III). [`CounterBank`] models a machine-wide pool of counter slots
+//! with that waiting behaviour, and [`PerfCounter`] accumulates the two events
+//! the tuner needs to compute IPC.
+
+use serde::{Deserialize, Serialize};
+
+/// An instructions-retired / cycles counter pair, enough to compute IPC.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct PerfCounter {
+    /// Instructions retired while the counter was armed.
+    pub instructions: u64,
+    /// Core cycles elapsed while the counter was armed.
+    pub cycles: f64,
+}
+
+impl PerfCounter {
+    /// A zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records the retirement of `instructions` over `cycles` core cycles.
+    pub fn record(&mut self, instructions: u64, cycles: f64) {
+        self.instructions += instructions;
+        self.cycles += cycles;
+    }
+
+    /// Instructions per cycle observed so far (zero before anything was
+    /// recorded).
+    pub fn ipc(&self) -> f64 {
+        if self.cycles <= 0.0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles
+        }
+    }
+
+    /// Resets the counter to zero.
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+
+    /// Whether anything was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.instructions == 0 && self.cycles == 0.0
+    }
+}
+
+/// Token proving a counter slot is held; release it with
+/// [`CounterBank::release`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CounterSlot(usize);
+
+/// A machine-wide pool of hardware counter slots.
+///
+/// Real hardware exposes a small number of programmable counters per core;
+/// the paper serialises monitoring requests when they exceed that number.
+/// `CounterBank` mirrors this: [`CounterBank::try_acquire`] either hands out a
+/// slot or records that a process had to wait.
+///
+/// # Examples
+///
+/// ```
+/// use phase_amp::CounterBank;
+///
+/// let mut bank = CounterBank::new(2);
+/// let a = bank.try_acquire().unwrap();
+/// let _b = bank.try_acquire().unwrap();
+/// assert!(bank.try_acquire().is_none());
+/// assert_eq!(bank.wait_events(), 1);
+/// bank.release(a);
+/// assert!(bank.try_acquire().is_some());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterBank {
+    slots: Vec<bool>,
+    wait_events: u64,
+    total_acquisitions: u64,
+}
+
+impl CounterBank {
+    /// Creates a bank with the given number of slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots` is zero.
+    pub fn new(slots: usize) -> Self {
+        assert!(slots > 0, "a counter bank needs at least one slot");
+        Self {
+            slots: vec![false; slots],
+            wait_events: 0,
+            total_acquisitions: 0,
+        }
+    }
+
+    /// Total number of slots.
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of slots currently held.
+    pub fn slots_in_use(&self) -> usize {
+        self.slots.iter().filter(|s| **s).count()
+    }
+
+    /// Attempts to acquire a slot; on failure the wait counter is bumped and
+    /// `None` is returned (the caller retries later, as the paper's programs
+    /// do).
+    pub fn try_acquire(&mut self) -> Option<CounterSlot> {
+        match self.slots.iter().position(|s| !*s) {
+            Some(idx) => {
+                self.slots[idx] = true;
+                self.total_acquisitions += 1;
+                Some(CounterSlot(idx))
+            }
+            None => {
+                self.wait_events += 1;
+                None
+            }
+        }
+    }
+
+    /// Releases a previously acquired slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is not currently held (a double release).
+    pub fn release(&mut self, slot: CounterSlot) {
+        assert!(self.slots[slot.0], "slot {} released twice", slot.0);
+        self.slots[slot.0] = false;
+    }
+
+    /// Number of times an acquisition had to wait because all slots were
+    /// busy.
+    pub fn wait_events(&self) -> u64 {
+        self.wait_events
+    }
+
+    /// Number of successful acquisitions.
+    pub fn total_acquisitions(&self) -> u64 {
+        self.total_acquisitions
+    }
+
+    /// Fraction of acquisition attempts that had to wait.
+    pub fn wait_ratio(&self) -> f64 {
+        let attempts = self.total_acquisitions + self.wait_events;
+        if attempts == 0 {
+            0.0
+        } else {
+            self.wait_events as f64 / attempts as f64
+        }
+    }
+}
+
+impl Default for CounterBank {
+    fn default() -> Self {
+        // Four programmable counters, a typical budget on the paper's era of
+        // hardware; monitoring one section needs one slot.
+        Self::new(4)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipc_is_instructions_over_cycles() {
+        let mut counter = PerfCounter::new();
+        assert!(counter.is_empty());
+        counter.record(300, 200.0);
+        assert!((counter.ipc() - 1.5).abs() < 1e-12);
+        counter.record(100, 200.0);
+        assert!((counter.ipc() - 1.0).abs() < 1e-12);
+        counter.reset();
+        assert_eq!(counter.ipc(), 0.0);
+        assert!(counter.is_empty());
+    }
+
+    #[test]
+    fn bank_exhaustion_counts_waits() {
+        let mut bank = CounterBank::new(1);
+        let slot = bank.try_acquire().unwrap();
+        assert_eq!(bank.slots_in_use(), 1);
+        assert!(bank.try_acquire().is_none());
+        assert!(bank.try_acquire().is_none());
+        assert_eq!(bank.wait_events(), 2);
+        bank.release(slot);
+        assert_eq!(bank.slots_in_use(), 0);
+        assert!(bank.try_acquire().is_some());
+        assert_eq!(bank.total_acquisitions(), 2);
+        assert!(bank.wait_ratio() > 0.0 && bank.wait_ratio() < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "released twice")]
+    fn double_release_panics() {
+        let mut bank = CounterBank::new(2);
+        let slot = bank.try_acquire().unwrap();
+        bank.release(slot);
+        bank.release(slot);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn zero_slot_bank_is_rejected() {
+        let _ = CounterBank::new(0);
+    }
+
+    #[test]
+    fn default_bank_has_four_slots() {
+        assert_eq!(CounterBank::default().slot_count(), 4);
+    }
+}

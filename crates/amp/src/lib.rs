@@ -1,0 +1,68 @@
+//! # phase-amp
+//!
+//! The performance-asymmetric multicore (AMP) substrate for phase-based
+//! tuning (Sondag & Rajan, CGO 2011). The paper evaluates on a real Intel
+//! Core 2 Quad with two cores under-clocked; this crate replaces that hardware
+//! with an analytical machine model that preserves the one property the
+//! technique depends on: CPU-bound code gains the full frequency ratio from a
+//! fast core, while memory-bound code wastes the extra cycles stalled on the
+//! memory hierarchy and therefore shows a smaller IPC gap between core kinds.
+//!
+//! Contents:
+//!
+//! * [`MachineSpec`] — cores, kinds, frequencies, cache hierarchy, presets for
+//!   the paper's 4-core and 3-core machines;
+//! * [`CostModel`] — per-block cycle/IPC cost on any core, including shared-L2
+//!   contention and the ~1000-cycle core-switch cost;
+//! * [`PerfCounter`] / [`CounterBank`] — PAPI-like instructions/cycles
+//!   counters with a bounded number of slots;
+//! * [`AffinityMask`] — the `sched_setaffinity`-style mechanism core switches
+//!   are expressed with.
+//!
+//! ## Example
+//!
+//! ```
+//! use phase_amp::{CostModel, CoreId, MachineSpec, SharingContext};
+//! use phase_ir::{AccessPattern, BasicBlock, BlockId, Instruction, MemRef, Terminator};
+//!
+//! let model = CostModel::new(MachineSpec::core2_quad_amp());
+//! let memory_bound = BasicBlock::new(
+//!     BlockId(0),
+//!     vec![Instruction::load(MemRef::new(AccessPattern::Random, 256 * 1024 * 1024)); 32],
+//!     Terminator::Return,
+//! );
+//! let on_fast = model.block_cost(CoreId(0), &memory_bound, SharingContext::exclusive());
+//! let on_slow = model.block_cost(CoreId(2), &memory_bound, SharingContext::exclusive());
+//! assert!(on_slow.ipc() > on_fast.ipc());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
+
+mod affinity;
+mod cost;
+mod counters;
+mod spec;
+
+pub use affinity::AffinityMask;
+pub use cost::{
+    base_latency_cycles, miss_probability, pattern_is_latency_bound, BlockCost, CostModel,
+    SharingContext,
+};
+pub use counters::{CounterBank, CounterSlot, PerfCounter};
+pub use spec::{CacheSpec, CoreId, CoreKind, CoreSpec, MachineSpec};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn public_types_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MachineSpec>();
+        assert_send_sync::<CostModel>();
+        assert_send_sync::<CounterBank>();
+        assert_send_sync::<AffinityMask>();
+    }
+}

@@ -1,0 +1,323 @@
+//! Machine specifications: cores, frequencies, and the cache hierarchy of a
+//! performance-asymmetric multicore processor (AMP).
+//!
+//! The paper's evaluation machine is "an Intel Core 2 Quad processor with a
+//! clock frequency of 2.4GHz and two cores under-clocked to 1.6GHz. There are
+//! two L2 caches shared by two cores each. The cores running at the same
+//! frequency share an L2 cache" (Section IV-A1). [`MachineSpec::core2_quad_amp`]
+//! reproduces that configuration; other presets cover the 3-core future-work
+//! setup and a symmetric control machine.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a core within a machine.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
+pub struct CoreId(pub u32);
+
+impl CoreId {
+    /// The core id as a `usize` index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for CoreId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cpu{}", self.0)
+    }
+}
+
+/// A *kind* of core: cores of the same kind are interchangeable for the
+/// tuner (same frequency, same cache sharing). The paper argues that grouping
+/// cores into types keeps the approach scalable for many-core machines
+/// (Section VI-C).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
+pub struct CoreKind(pub u32);
+
+impl CoreKind {
+    /// The kind as a `usize` index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for CoreKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "kind{}", self.0)
+    }
+}
+
+/// Static description of one core.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CoreSpec {
+    /// Clock frequency in GHz.
+    pub freq_ghz: f64,
+    /// The core's kind (cores of equal kind have identical specs).
+    pub kind: CoreKind,
+    /// Index of the L2 cache this core is attached to.
+    pub l2_group: usize,
+}
+
+/// Static description of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CacheSpec {
+    /// Capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Access latency in core cycles (on-die caches are clocked with the
+    /// core, so their latency in cycles is frequency independent).
+    pub latency_cycles: f64,
+}
+
+/// Full description of a machine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MachineSpec {
+    /// Human-readable name used in reports.
+    pub name: String,
+    /// Per-core specifications, indexed by [`CoreId`].
+    pub cores: Vec<CoreSpec>,
+    /// Private first-level cache, one per core.
+    pub l1: CacheSpec,
+    /// Shared second-level cache, one per `l2_group`.
+    pub l2: CacheSpec,
+    /// Main-memory latency in nanoseconds (frequency *dependent* in cycles:
+    /// a faster core wastes more cycles per miss).
+    pub memory_latency_ns: f64,
+    /// Cost of migrating a process between cores, in cycles of the target
+    /// core. The paper measures "approximately 1000 cycles" (Section IV-B3).
+    pub core_switch_cycles: u64,
+}
+
+impl MachineSpec {
+    /// The paper's evaluation machine: four cores, two at 2.4 GHz and two
+    /// under-clocked to 1.6 GHz, with one shared 4 MB L2 per frequency pair.
+    pub fn core2_quad_amp() -> Self {
+        Self {
+            name: "core2quad-2f2s".to_string(),
+            cores: vec![
+                CoreSpec { freq_ghz: 2.4, kind: CoreKind(0), l2_group: 0 },
+                CoreSpec { freq_ghz: 2.4, kind: CoreKind(0), l2_group: 0 },
+                CoreSpec { freq_ghz: 1.6, kind: CoreKind(1), l2_group: 1 },
+                CoreSpec { freq_ghz: 1.6, kind: CoreKind(1), l2_group: 1 },
+            ],
+            l1: CacheSpec { capacity_bytes: 32 * 1024, latency_cycles: 0.5 },
+            l2: CacheSpec { capacity_bytes: 4 * 1024 * 1024, latency_cycles: 8.0 },
+            memory_latency_ns: 60.0,
+            core_switch_cycles: 1000,
+        }
+    }
+
+    /// The 3-core configuration from the paper's future-work discussion
+    /// (2 fast, 1 slow; the paper reports a similar ~32% speedup on it).
+    pub fn three_core_amp() -> Self {
+        Self {
+            name: "threecore-2f1s".to_string(),
+            cores: vec![
+                CoreSpec { freq_ghz: 2.4, kind: CoreKind(0), l2_group: 0 },
+                CoreSpec { freq_ghz: 2.4, kind: CoreKind(0), l2_group: 0 },
+                CoreSpec { freq_ghz: 1.6, kind: CoreKind(1), l2_group: 1 },
+            ],
+            l1: CacheSpec { capacity_bytes: 32 * 1024, latency_cycles: 0.5 },
+            l2: CacheSpec { capacity_bytes: 4 * 1024 * 1024, latency_cycles: 8.0 },
+            memory_latency_ns: 60.0,
+            core_switch_cycles: 1000,
+        }
+    }
+
+    /// A symmetric machine with `cores` identical cores at `freq_ghz`,
+    /// pairs of cores sharing an L2. Useful as a control configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is zero or `freq_ghz` is not positive.
+    pub fn symmetric(cores: usize, freq_ghz: f64) -> Self {
+        assert!(cores > 0, "a machine needs at least one core");
+        assert!(freq_ghz > 0.0, "frequency must be positive");
+        Self {
+            name: format!("symmetric-{cores}x{freq_ghz}"),
+            cores: (0..cores)
+                .map(|i| CoreSpec {
+                    freq_ghz,
+                    kind: CoreKind(0),
+                    l2_group: i / 2,
+                })
+                .collect(),
+            l1: CacheSpec { capacity_bytes: 32 * 1024, latency_cycles: 0.5 },
+            l2: CacheSpec { capacity_bytes: 4 * 1024 * 1024, latency_cycles: 8.0 },
+            memory_latency_ns: 60.0,
+            core_switch_cycles: 1000,
+        }
+    }
+
+    /// Number of cores.
+    pub fn core_count(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// Iterator over all core ids.
+    pub fn core_ids(&self) -> impl Iterator<Item = CoreId> {
+        (0..self.cores.len() as u32).map(CoreId)
+    }
+
+    /// Specification of one core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the core does not exist.
+    pub fn core(&self, id: CoreId) -> &CoreSpec {
+        &self.cores[id.index()]
+    }
+
+    /// The kind of a core.
+    pub fn kind_of(&self, id: CoreId) -> CoreKind {
+        self.core(id).kind
+    }
+
+    /// All distinct core kinds, ordered by kind id.
+    pub fn kinds(&self) -> Vec<CoreKind> {
+        let mut kinds: Vec<CoreKind> = self.cores.iter().map(|c| c.kind).collect();
+        kinds.sort();
+        kinds.dedup();
+        kinds
+    }
+
+    /// Number of distinct core kinds.
+    pub fn kind_count(&self) -> usize {
+        self.kinds().len()
+    }
+
+    /// The cores of a given kind.
+    pub fn cores_of_kind(&self, kind: CoreKind) -> Vec<CoreId> {
+        self.core_ids()
+            .filter(|id| self.kind_of(*id) == kind)
+            .collect()
+    }
+
+    /// Cores attached to the given L2 group.
+    pub fn cores_in_l2_group(&self, group: usize) -> Vec<CoreId> {
+        self.core_ids()
+            .filter(|id| self.core(*id).l2_group == group)
+            .collect()
+    }
+
+    /// Number of distinct L2 groups.
+    pub fn l2_group_count(&self) -> usize {
+        self.cores
+            .iter()
+            .map(|c| c.l2_group)
+            .max()
+            .map_or(0, |m| m + 1)
+    }
+
+    /// Whether the machine has cores of more than one kind.
+    pub fn is_asymmetric(&self) -> bool {
+        self.kind_count() > 1
+    }
+
+    /// The fastest core kind (highest frequency).
+    pub fn fastest_kind(&self) -> CoreKind {
+        self.cores
+            .iter()
+            .max_by(|a, b| a.freq_ghz.partial_cmp(&b.freq_ghz).expect("finite"))
+            .map(|c| c.kind)
+            .expect("machine has cores")
+    }
+
+    /// The slowest core kind (lowest frequency).
+    pub fn slowest_kind(&self) -> CoreKind {
+        self.cores
+            .iter()
+            .min_by(|a, b| a.freq_ghz.partial_cmp(&b.freq_ghz).expect("finite"))
+            .map(|c| c.kind)
+            .expect("machine has cores")
+    }
+
+    /// Frequency of a representative core of the given kind.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no core has the given kind.
+    pub fn kind_frequency(&self, kind: CoreKind) -> f64 {
+        self.cores
+            .iter()
+            .find(|c| c.kind == kind)
+            .map(|c| c.freq_ghz)
+            .unwrap_or_else(|| panic!("no core of kind {kind}"))
+    }
+}
+
+impl std::fmt::Display for MachineSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} ({} cores, {} kinds)", self.name, self.core_count(), self.kind_count())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn core2_quad_matches_paper_configuration() {
+        let spec = MachineSpec::core2_quad_amp();
+        assert_eq!(spec.core_count(), 4);
+        assert_eq!(spec.kind_count(), 2);
+        assert!(spec.is_asymmetric());
+        assert_eq!(spec.cores_of_kind(CoreKind(0)), vec![CoreId(0), CoreId(1)]);
+        assert_eq!(spec.cores_of_kind(CoreKind(1)), vec![CoreId(2), CoreId(3)]);
+        // Same-frequency cores share an L2.
+        assert_eq!(spec.core(CoreId(0)).l2_group, spec.core(CoreId(1)).l2_group);
+        assert_ne!(spec.core(CoreId(1)).l2_group, spec.core(CoreId(2)).l2_group);
+        assert_eq!(spec.l2_group_count(), 2);
+        assert_eq!(spec.core_switch_cycles, 1000);
+    }
+
+    #[test]
+    fn fastest_and_slowest_kinds() {
+        let spec = MachineSpec::core2_quad_amp();
+        assert_eq!(spec.fastest_kind(), CoreKind(0));
+        assert_eq!(spec.slowest_kind(), CoreKind(1));
+        assert!(spec.kind_frequency(CoreKind(0)) > spec.kind_frequency(CoreKind(1)));
+    }
+
+    #[test]
+    fn three_core_preset_has_two_fast_one_slow() {
+        let spec = MachineSpec::three_core_amp();
+        assert_eq!(spec.core_count(), 3);
+        assert_eq!(spec.cores_of_kind(CoreKind(0)).len(), 2);
+        assert_eq!(spec.cores_of_kind(CoreKind(1)).len(), 1);
+    }
+
+    #[test]
+    fn symmetric_machine_is_not_asymmetric() {
+        let spec = MachineSpec::symmetric(4, 2.0);
+        assert!(!spec.is_asymmetric());
+        assert_eq!(spec.kind_count(), 1);
+        assert_eq!(spec.fastest_kind(), spec.slowest_kind());
+        assert_eq!(spec.l2_group_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn symmetric_rejects_zero_cores() {
+        let _ = MachineSpec::symmetric(0, 2.0);
+    }
+
+    #[test]
+    fn l2_group_membership() {
+        let spec = MachineSpec::core2_quad_amp();
+        assert_eq!(spec.cores_in_l2_group(0), vec![CoreId(0), CoreId(1)]);
+        assert_eq!(spec.cores_in_l2_group(1), vec![CoreId(2), CoreId(3)]);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let spec = MachineSpec::core2_quad_amp();
+        let s = format!("{spec}");
+        assert!(s.contains("4 cores"));
+        assert_eq!(format!("{}", CoreId(2)), "cpu2");
+        assert_eq!(format!("{}", CoreKind(1)), "kind1");
+    }
+}

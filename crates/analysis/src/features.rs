@@ -1,0 +1,244 @@
+//! Static block features: instruction mix and estimated cache behaviour.
+//!
+//! The paper's proof-of-concept block-typing analysis "involves looking at a
+//! combination of instruction types as well as a rough estimate of cache
+//! behavior (computation based on reuse distances). Information describing
+//! these two components are used to place blocks in a two dimensional space"
+//! (Section II-A3). [`BlockFeatures`] is that two-dimensional point, plus the
+//! raw ingredients it was computed from.
+
+use phase_ir::{BasicBlock, InstrMix};
+use serde::{Deserialize, Serialize};
+
+/// A point in the paper's two-dimensional feature space.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct FeaturePoint {
+    /// Compute intensity: fraction of the block's work that scales with core
+    /// frequency (integer + floating-point arithmetic, weighted by latency).
+    pub compute_intensity: f64,
+    /// Memory stall expectation: how much of the block's time is expected to
+    /// be spent waiting on the memory hierarchy (memory ratio scaled by the
+    /// estimated miss likelihood derived from reuse distances).
+    pub memory_intensity: f64,
+}
+
+impl FeaturePoint {
+    /// Euclidean distance to another point.
+    pub fn distance(&self, other: &FeaturePoint) -> f64 {
+        let dx = self.compute_intensity - other.compute_intensity;
+        let dy = self.memory_intensity - other.memory_intensity;
+        (dx * dx + dy * dy).sqrt()
+    }
+
+    /// The point as a fixed-size array (used by the clustering code).
+    pub fn as_array(&self) -> [f64; 2] {
+        [self.compute_intensity, self.memory_intensity]
+    }
+
+    /// Builds a point from a fixed-size array.
+    pub fn from_array(values: [f64; 2]) -> Self {
+        Self {
+            compute_intensity: values[0],
+            memory_intensity: values[1],
+        }
+    }
+}
+
+/// Static features of one basic block.
+///
+/// # Examples
+///
+/// ```
+/// use phase_analysis::BlockFeatures;
+/// use phase_ir::{AccessPattern, BasicBlock, BlockId, Instruction, MemRef, Terminator};
+///
+/// let block = BasicBlock::new(
+///     BlockId(0),
+///     vec![
+///         Instruction::int_alu(),
+///         Instruction::load(MemRef::new(AccessPattern::Random, 32 * 1024 * 1024)),
+///     ],
+///     Terminator::Return,
+/// );
+/// let features = BlockFeatures::of_block(&block);
+/// assert!(features.point.memory_intensity > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BlockFeatures {
+    /// The two-dimensional clustering point.
+    pub point: FeaturePoint,
+    /// Fraction of instructions that access memory.
+    pub memory_ratio: f64,
+    /// Fraction of instructions that are floating-point arithmetic.
+    pub fp_ratio: f64,
+    /// Mean estimated reuse distance in bytes over the block's memory
+    /// accesses (zero when the block makes no memory access).
+    pub mean_reuse_distance: f64,
+    /// Estimated probability that a memory access misses a cache of
+    /// [`BlockFeatures::REFERENCE_CACHE_BYTES`] bytes.
+    pub miss_likelihood: f64,
+    /// Number of instructions in the block (terminator included).
+    pub instruction_count: usize,
+}
+
+impl BlockFeatures {
+    /// Reference cache capacity used for the *static* miss-likelihood
+    /// estimate (the dynamic machine model uses the real cache sizes). This
+    /// is a typical L2 allocation per core on the paper's machine.
+    pub const REFERENCE_CACHE_BYTES: f64 = 2.0 * 1024.0 * 1024.0;
+
+    /// Computes the features of a basic block.
+    pub fn of_block(block: &BasicBlock) -> Self {
+        Self::from_parts(&block.mix(), block_reuse_distances(block), block.instruction_count())
+    }
+
+    /// Computes features from an instruction mix and the reuse distances of
+    /// the memory accesses performed per execution.
+    pub fn from_parts(mix: &InstrMix, reuse_distances: Vec<f64>, instruction_count: usize) -> Self {
+        let memory_ratio = mix.memory_ratio();
+        let fp_ratio = mix.floating_point_ratio();
+        let compute_ratio = mix.integer_ratio() + fp_ratio;
+
+        let mean_reuse_distance = if reuse_distances.is_empty() {
+            0.0
+        } else {
+            reuse_distances.iter().sum::<f64>() / reuse_distances.len() as f64
+        };
+        let miss_likelihood = if reuse_distances.is_empty() {
+            0.0
+        } else {
+            reuse_distances
+                .iter()
+                .map(|d| miss_probability(*d, Self::REFERENCE_CACHE_BYTES))
+                .sum::<f64>()
+                / reuse_distances.len() as f64
+        };
+
+        let point = FeaturePoint {
+            compute_intensity: compute_ratio,
+            memory_intensity: memory_ratio * miss_likelihood,
+        };
+        Self {
+            point,
+            memory_ratio,
+            fp_ratio,
+            mean_reuse_distance,
+            miss_likelihood,
+            instruction_count,
+        }
+    }
+}
+
+/// Reuse distances (bytes) of every memory access in a block.
+pub fn block_reuse_distances(block: &BasicBlock) -> Vec<f64> {
+    block
+        .mem_refs()
+        .map(|m| m.estimated_reuse_distance())
+        .collect()
+}
+
+/// Probability that an access with the given reuse distance misses a cache of
+/// the given capacity.
+///
+/// Uses a smooth logistic transition around the capacity, matching the usual
+/// reuse-distance/cache-capacity argument (Beyls & D'Hollander): accesses
+/// whose reuse distance fits comfortably in the cache hit, accesses far beyond
+/// it miss, with a gradual transition in between.
+pub fn miss_probability(reuse_distance_bytes: f64, cache_bytes: f64) -> f64 {
+    if reuse_distance_bytes <= 0.0 {
+        return 0.0;
+    }
+    let ratio = reuse_distance_bytes / cache_bytes.max(1.0);
+    // Logistic in log-space: 50% miss probability exactly at capacity,
+    // saturating roughly one decade either side.
+    let x = ratio.ln() / std::f64::consts::LN_10; // log10(ratio)
+    1.0 / (1.0 + (-4.0 * x).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phase_ir::{AccessPattern, BlockId, InstrClass, Instruction, MemRef, Terminator};
+
+    fn block_of(instrs: Vec<Instruction>) -> BasicBlock {
+        BasicBlock::new(BlockId(0), instrs, Terminator::Return)
+    }
+
+    #[test]
+    fn cpu_bound_block_has_high_compute_low_memory() {
+        let block = block_of(vec![Instruction::int_alu(); 20]);
+        let f = BlockFeatures::of_block(&block);
+        assert!(f.point.compute_intensity > 0.9);
+        assert_eq!(f.point.memory_intensity, 0.0);
+        assert_eq!(f.mean_reuse_distance, 0.0);
+    }
+
+    #[test]
+    fn memory_bound_block_has_high_memory_intensity() {
+        let mem = MemRef::new(AccessPattern::Random, 256 * 1024 * 1024);
+        let mut instrs = vec![Instruction::load(mem); 10];
+        instrs.push(Instruction::int_alu());
+        let block = block_of(instrs);
+        let f = BlockFeatures::of_block(&block);
+        assert!(f.point.memory_intensity > 0.5, "{f:?}");
+        assert!(f.miss_likelihood > 0.9);
+    }
+
+    #[test]
+    fn small_working_set_has_low_miss_likelihood() {
+        let mem = MemRef::new(AccessPattern::Sequential, 16 * 1024);
+        let block = block_of(vec![Instruction::load(mem); 10]);
+        let f = BlockFeatures::of_block(&block);
+        assert!(f.miss_likelihood < 0.1, "{f:?}");
+        assert!(f.point.memory_intensity < 0.1);
+    }
+
+    #[test]
+    fn miss_probability_is_monotone_in_reuse_distance() {
+        let cache = 1024.0 * 1024.0;
+        let mut last = 0.0;
+        for exp in 10..30 {
+            let d = (1u64 << exp) as f64;
+            let p = miss_probability(d, cache);
+            assert!(p >= last, "non-monotone at 2^{exp}");
+            assert!((0.0..=1.0).contains(&p));
+            last = p;
+        }
+    }
+
+    #[test]
+    fn miss_probability_is_half_at_capacity() {
+        let p = miss_probability(4.0 * 1024.0 * 1024.0, 4.0 * 1024.0 * 1024.0);
+        assert!((p - 0.5).abs() < 1e-9);
+        assert_eq!(miss_probability(0.0, 1024.0), 0.0);
+    }
+
+    #[test]
+    fn feature_point_distance_is_metric_like() {
+        let a = FeaturePoint {
+            compute_intensity: 0.9,
+            memory_intensity: 0.1,
+        };
+        let b = FeaturePoint {
+            compute_intensity: 0.1,
+            memory_intensity: 0.8,
+        };
+        assert_eq!(a.distance(&a), 0.0);
+        assert!((a.distance(&b) - b.distance(&a)).abs() < 1e-12);
+        assert!(a.distance(&b) > 0.0);
+        assert_eq!(FeaturePoint::from_array(a.as_array()), a);
+    }
+
+    #[test]
+    fn fp_ratio_counts_only_floating_point() {
+        let block = block_of(vec![
+            Instruction::fp_mul(),
+            Instruction::fp_add(),
+            Instruction::int_alu(),
+            Instruction::new(InstrClass::Nop),
+        ]);
+        let f = BlockFeatures::of_block(&block);
+        assert!((f.fp_ratio - 2.0 / 5.0).abs() < 1e-9);
+        assert_eq!(f.instruction_count, 5);
+    }
+}

@@ -1,0 +1,272 @@
+//! Seeded k-means clustering (MacQueen 1967), used to group basic blocks by
+//! their static features into phase types.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of a k-means run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KMeansConfig {
+    /// Number of clusters.
+    pub k: usize,
+    /// Maximum number of Lloyd iterations.
+    pub max_iterations: usize,
+    /// Seed for centroid initialisation (k-means++ style), making runs
+    /// reproducible.
+    pub seed: u64,
+}
+
+impl Default for KMeansConfig {
+    fn default() -> Self {
+        Self {
+            k: 2,
+            max_iterations: 100,
+            seed: 0xC60_2011,
+        }
+    }
+}
+
+/// Result of clustering: one centroid per cluster and one assignment per
+/// input point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Clustering {
+    /// Cluster centroids.
+    pub centroids: Vec<[f64; 2]>,
+    /// For each input point, the index of the centroid it belongs to.
+    pub assignments: Vec<usize>,
+    /// Number of Lloyd iterations actually performed.
+    pub iterations: usize,
+}
+
+impl Clustering {
+    /// Number of clusters.
+    pub fn cluster_count(&self) -> usize {
+        self.centroids.len()
+    }
+
+    /// Number of points assigned to the given cluster.
+    pub fn cluster_size(&self, cluster: usize) -> usize {
+        self.assignments.iter().filter(|a| **a == cluster).count()
+    }
+
+    /// Total within-cluster sum of squared distances for the given points.
+    pub fn inertia(&self, points: &[[f64; 2]]) -> f64 {
+        points
+            .iter()
+            .zip(&self.assignments)
+            .map(|(p, &a)| squared_distance(*p, self.centroids[a]))
+            .sum()
+    }
+}
+
+fn squared_distance(a: [f64; 2], b: [f64; 2]) -> f64 {
+    let dx = a[0] - b[0];
+    let dy = a[1] - b[1];
+    dx * dx + dy * dy
+}
+
+/// Runs k-means over two-dimensional points.
+///
+/// Initialisation follows k-means++: the first centroid is a uniformly random
+/// point, subsequent centroids are drawn with probability proportional to the
+/// squared distance from the nearest already-chosen centroid.
+///
+/// # Panics
+///
+/// Panics if `config.k` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use phase_analysis::{kmeans, KMeansConfig};
+///
+/// let points = vec![[0.0, 0.0], [0.1, 0.0], [1.0, 1.0], [0.9, 1.0]];
+/// let clustering = kmeans(&points, KMeansConfig { k: 2, ..Default::default() });
+/// assert_eq!(clustering.assignments[0], clustering.assignments[1]);
+/// assert_eq!(clustering.assignments[2], clustering.assignments[3]);
+/// assert_ne!(clustering.assignments[0], clustering.assignments[2]);
+/// ```
+pub fn kmeans(points: &[[f64; 2]], config: KMeansConfig) -> Clustering {
+    assert!(config.k > 0, "k-means needs at least one cluster");
+    if points.is_empty() {
+        return Clustering {
+            centroids: vec![[0.0, 0.0]; config.k],
+            assignments: Vec::new(),
+            iterations: 0,
+        };
+    }
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut centroids = initial_centroids(points, config.k, &mut rng);
+    let mut assignments = vec![0usize; points.len()];
+    let mut iterations = 0;
+
+    for _ in 0..config.max_iterations {
+        iterations += 1;
+        // Assignment step.
+        let mut changed = false;
+        for (i, p) in points.iter().enumerate() {
+            let nearest = centroids
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| {
+                    squared_distance(*p, **a)
+                        .partial_cmp(&squared_distance(*p, **b))
+                        .expect("distances are finite")
+                })
+                .map(|(idx, _)| idx)
+                .expect("at least one centroid");
+            if assignments[i] != nearest {
+                assignments[i] = nearest;
+                changed = true;
+            }
+        }
+        // Update step.
+        let mut sums = vec![[0.0f64; 2]; centroids.len()];
+        let mut counts = vec![0usize; centroids.len()];
+        for (p, &a) in points.iter().zip(&assignments) {
+            sums[a][0] += p[0];
+            sums[a][1] += p[1];
+            counts[a] += 1;
+        }
+        for (c, (sum, count)) in centroids.iter_mut().zip(sums.iter().zip(&counts)) {
+            if *count > 0 {
+                *c = [sum[0] / *count as f64, sum[1] / *count as f64];
+            } else {
+                // Re-seed an empty cluster on a random point to keep k
+                // clusters alive.
+                *c = *points.choose(&mut rng).expect("points is non-empty");
+            }
+        }
+        if !changed && iterations > 1 {
+            break;
+        }
+    }
+
+    Clustering {
+        centroids,
+        assignments,
+        iterations,
+    }
+}
+
+fn initial_centroids(points: &[[f64; 2]], k: usize, rng: &mut StdRng) -> Vec<[f64; 2]> {
+    let mut centroids = Vec::with_capacity(k);
+    centroids.push(*points.choose(rng).expect("points is non-empty"));
+    while centroids.len() < k {
+        let weights: Vec<f64> = points
+            .iter()
+            .map(|p| {
+                centroids
+                    .iter()
+                    .map(|c| squared_distance(*p, *c))
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .collect();
+        let total: f64 = weights.iter().sum();
+        if total <= f64::EPSILON {
+            // All points coincide with existing centroids; duplicate one.
+            centroids.push(centroids[0]);
+            continue;
+        }
+        let mut target = rng.gen::<f64>() * total;
+        let mut chosen = points.len() - 1;
+        for (i, w) in weights.iter().enumerate() {
+            if target < *w {
+                chosen = i;
+                break;
+            }
+            target -= w;
+        }
+        centroids.push(points[chosen]);
+    }
+    centroids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blobs() -> Vec<[f64; 2]> {
+        let mut points = Vec::new();
+        for i in 0..20 {
+            let jitter = i as f64 * 0.001;
+            points.push([0.05 + jitter, 0.1 - jitter]);
+            points.push([0.9 - jitter, 0.8 + jitter]);
+        }
+        points
+    }
+
+    #[test]
+    fn separates_two_well_separated_blobs() {
+        let points = two_blobs();
+        let clustering = kmeans(&points, KMeansConfig::default());
+        // All even indices together, all odd indices together, and apart.
+        let a = clustering.assignments[0];
+        let b = clustering.assignments[1];
+        assert_ne!(a, b);
+        for (i, &assignment) in clustering.assignments.iter().enumerate() {
+            if i % 2 == 0 {
+                assert_eq!(assignment, a);
+            } else {
+                assert_eq!(assignment, b);
+            }
+        }
+    }
+
+    #[test]
+    fn is_deterministic_for_a_fixed_seed() {
+        let points = two_blobs();
+        let c1 = kmeans(&points, KMeansConfig { seed: 7, ..Default::default() });
+        let c2 = kmeans(&points, KMeansConfig { seed: 7, ..Default::default() });
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn handles_fewer_points_than_clusters() {
+        let points = vec![[0.5, 0.5]];
+        let clustering = kmeans(&points, KMeansConfig { k: 3, ..Default::default() });
+        assert_eq!(clustering.cluster_count(), 3);
+        assert_eq!(clustering.assignments.len(), 1);
+    }
+
+    #[test]
+    fn handles_empty_input() {
+        let clustering = kmeans(&[], KMeansConfig::default());
+        assert!(clustering.assignments.is_empty());
+        assert_eq!(clustering.iterations, 0);
+    }
+
+    #[test]
+    fn inertia_decreases_with_more_clusters() {
+        let points = two_blobs();
+        let c1 = kmeans(&points, KMeansConfig { k: 1, ..Default::default() });
+        let c2 = kmeans(&points, KMeansConfig { k: 2, ..Default::default() });
+        assert!(c2.inertia(&points) < c1.inertia(&points));
+    }
+
+    #[test]
+    fn cluster_sizes_sum_to_point_count() {
+        let points = two_blobs();
+        let clustering = kmeans(&points, KMeansConfig::default());
+        let total: usize = (0..clustering.cluster_count())
+            .map(|c| clustering.cluster_size(c))
+            .sum();
+        assert_eq!(total, points.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cluster")]
+    fn zero_clusters_is_rejected() {
+        let _ = kmeans(&[[0.0, 0.0]], KMeansConfig { k: 0, ..Default::default() });
+    }
+
+    #[test]
+    fn identical_points_all_land_in_one_cluster() {
+        let points = vec![[0.3, 0.3]; 10];
+        let clustering = kmeans(&points, KMeansConfig { k: 2, ..Default::default() });
+        let first = clustering.assignments[0];
+        assert!(clustering.assignments.iter().all(|&a| a == first));
+    }
+}

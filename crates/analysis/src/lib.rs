@@ -1,0 +1,61 @@
+//! # phase-analysis
+//!
+//! The static block-typing half of phase-based tuning (Sondag & Rajan,
+//! CGO 2011, Section II-A3): every sufficiently-large basic block is placed in
+//! a two-dimensional feature space — instruction mix on one axis, an estimate
+//! of cache behaviour derived from reuse distances on the other — and grouped
+//! with k-means into *phase types*. Blocks sharing a phase type are expected
+//! to exhibit similar runtime characteristics, which is what lets the dynamic
+//! tuner monitor only a few representative sections per type.
+//!
+//! The crate also provides the clustering-error injection used by the paper's
+//! Figure 7 robustness experiment and a profile-guided typing helper matching
+//! the paper's evaluation setup.
+//!
+//! ## Example
+//!
+//! ```
+//! use phase_analysis::{assign_block_types, StaticTypingConfig};
+//! use phase_ir::{Instruction, ProgramBuilder, Terminator};
+//!
+//! let mut builder = ProgramBuilder::new("demo");
+//! let main = builder.declare_procedure("main");
+//! let mut body = builder.procedure_builder();
+//! let block = body.add_block();
+//! body.push_all(block, std::iter::repeat(Instruction::fp_mul()).take(20));
+//! body.terminate(block, Terminator::Exit);
+//! builder.define_procedure(main, body)?;
+//! let program = builder.build()?;
+//!
+//! let typing = assign_block_types(&program, &StaticTypingConfig::default());
+//! assert_eq!(typing.typed_block_count(), 1);
+//! # Ok::<(), phase_ir::IrError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
+
+mod features;
+mod kmeans;
+mod typing;
+
+pub use features::{block_reuse_distances, miss_probability, BlockFeatures, FeaturePoint};
+pub use kmeans::{kmeans, Clustering, KMeansConfig};
+pub use typing::{
+    assign_block_types, typing_from_ipc_profiles, BlockTyping, PhaseType, StaticTypingConfig,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn public_types_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<BlockTyping>();
+        assert_send_sync::<PhaseType>();
+        assert_send_sync::<BlockFeatures>();
+        assert_send_sync::<Clustering>();
+    }
+}

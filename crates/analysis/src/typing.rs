@@ -1,0 +1,412 @@
+//! Phase types and the static block-typing analysis.
+//!
+//! A *phase type* (`π ∈ Π` in the paper) suggests similarity between the
+//! expected behaviour of basic blocks given the same type — it is not a
+//! concrete behaviour. The static analysis computes one type per
+//! sufficiently-large basic block by clustering blocks in the feature space
+//! of [`crate::BlockFeatures`] with k-means, mirroring Section II-A3.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use phase_ir::{Location, Program};
+
+use crate::features::BlockFeatures;
+use crate::kmeans::{kmeans, KMeansConfig};
+
+/// A phase type: an opaque label meaning "blocks with this label are expected
+/// to behave similarly at run time".
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
+pub struct PhaseType(pub u32);
+
+impl PhaseType {
+    /// The phase type as a `usize` index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for PhaseType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "π{}", self.0)
+    }
+}
+
+/// The result of block typing: a partial map from block locations to phase
+/// types. Blocks below the size threshold stay untyped.
+///
+/// # Examples
+///
+/// ```
+/// use phase_analysis::{BlockTyping, PhaseType};
+/// use phase_ir::{BlockId, Location, ProcId};
+///
+/// let mut typing = BlockTyping::new(2);
+/// let loc = Location::new(ProcId(0), BlockId(3));
+/// typing.assign(loc, PhaseType(1));
+/// assert_eq!(typing.type_of(loc), Some(PhaseType(1)));
+/// assert_eq!(typing.typed_block_count(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct BlockTyping {
+    types: HashMap<Location, PhaseType>,
+    num_types: usize,
+}
+
+impl BlockTyping {
+    /// Creates an empty typing with the given number of phase types.
+    pub fn new(num_types: usize) -> Self {
+        Self {
+            types: HashMap::new(),
+            num_types,
+        }
+    }
+
+    /// Number of distinct phase types the typing draws from.
+    pub fn num_types(&self) -> usize {
+        self.num_types
+    }
+
+    /// Assigns a type to a block, returning the previous one if any.
+    pub fn assign(&mut self, loc: Location, ty: PhaseType) -> Option<PhaseType> {
+        self.types.insert(loc, ty)
+    }
+
+    /// The type of a block, if it was typed.
+    pub fn type_of(&self, loc: Location) -> Option<PhaseType> {
+        self.types.get(&loc).copied()
+    }
+
+    /// Number of typed blocks.
+    pub fn typed_block_count(&self) -> usize {
+        self.types.len()
+    }
+
+    /// Whether no block is typed.
+    pub fn is_empty(&self) -> bool {
+        self.types.is_empty()
+    }
+
+    /// Iterator over `(location, phase type)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (Location, PhaseType)> + '_ {
+        self.types.iter().map(|(l, t)| (*l, *t))
+    }
+
+    /// Locations assigned the given type.
+    pub fn blocks_of_type(&self, ty: PhaseType) -> Vec<Location> {
+        let mut blocks: Vec<Location> = self
+            .types
+            .iter()
+            .filter(|(_, t)| **t == ty)
+            .map(|(l, _)| *l)
+            .collect();
+        blocks.sort();
+        blocks
+    }
+
+    /// Returns a copy with a fraction of blocks deliberately moved to a
+    /// *different* type, reproducing the paper's clustering-error experiment
+    /// (Figure 7): "a percentage of blocks were randomly selected and placed
+    /// into the opposite cluster".
+    ///
+    /// # Panics
+    ///
+    /// Panics if `error_fraction` is not within `[0, 1]`.
+    pub fn with_injected_error(&self, error_fraction: f64, seed: u64) -> BlockTyping {
+        assert!(
+            (0.0..=1.0).contains(&error_fraction),
+            "error fraction {error_fraction} out of range"
+        );
+        let mut result = self.clone();
+        if self.num_types < 2 || self.types.is_empty() {
+            return result;
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut locations: Vec<Location> = self.types.keys().copied().collect();
+        locations.sort();
+        locations.shuffle(&mut rng);
+        let to_flip = ((locations.len() as f64) * error_fraction).round() as usize;
+        for loc in locations.into_iter().take(to_flip) {
+            let current = result.types[&loc];
+            let offset = rng.gen_range(1..self.num_types as u32);
+            let flipped = PhaseType((current.0 + offset) % self.num_types as u32);
+            result.types.insert(loc, flipped);
+        }
+        result
+    }
+
+    /// Fraction of blocks typed identically in both typings, considering only
+    /// blocks typed in `self`.
+    pub fn agreement_with(&self, other: &BlockTyping) -> f64 {
+        if self.types.is_empty() {
+            return 1.0;
+        }
+        let matching = self
+            .types
+            .iter()
+            .filter(|(loc, ty)| other.type_of(**loc) == Some(**ty))
+            .count();
+        matching as f64 / self.types.len() as f64
+    }
+}
+
+/// Configuration of the static typing analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StaticTypingConfig {
+    /// Blocks with fewer instructions than this are left untyped ("our first
+    /// technique is to skip basic blocks with size below a configurable
+    /// threshold").
+    pub min_block_size: usize,
+    /// Number of phase types (clusters). The paper uses one cluster per core
+    /// type — two on its evaluation machine.
+    pub num_types: usize,
+    /// Seed for the k-means initialisation.
+    pub seed: u64,
+    /// Maximum k-means iterations.
+    pub max_iterations: usize,
+}
+
+impl Default for StaticTypingConfig {
+    fn default() -> Self {
+        Self {
+            min_block_size: 15,
+            num_types: 2,
+            seed: 0xC60_2011,
+            max_iterations: 100,
+        }
+    }
+}
+
+/// Runs the static block-typing analysis over a whole program.
+///
+/// Blocks of at least `config.min_block_size` instructions are placed in the
+/// two-dimensional feature space of [`BlockFeatures`] and clustered with
+/// k-means into `config.num_types` phase types.
+///
+/// Cluster labels are canonicalised so that **lower-numbered phase types have
+/// higher compute intensity** (they are the "CPU-bound-looking" clusters);
+/// this makes typings comparable across programs and runs.
+pub fn assign_block_types(program: &Program, config: &StaticTypingConfig) -> BlockTyping {
+    let mut locations = Vec::new();
+    let mut points = Vec::new();
+    for (loc, block) in program.iter_blocks() {
+        if block.instruction_count() < config.min_block_size {
+            continue;
+        }
+        let features = BlockFeatures::of_block(block);
+        locations.push(loc);
+        points.push(features.point.as_array());
+    }
+
+    let mut typing = BlockTyping::new(config.num_types);
+    if locations.is_empty() {
+        return typing;
+    }
+
+    let clustering = kmeans(
+        &points,
+        KMeansConfig {
+            k: config.num_types,
+            max_iterations: config.max_iterations,
+            seed: config.seed,
+        },
+    );
+
+    // Canonical order: sort clusters by decreasing compute intensity of their
+    // centroid, so PhaseType(0) is always the most CPU-bound cluster.
+    let mut order: Vec<usize> = (0..clustering.cluster_count()).collect();
+    order.sort_by(|a, b| {
+        clustering.centroids[*b][0]
+            .partial_cmp(&clustering.centroids[*a][0])
+            .expect("centroids are finite")
+    });
+    let mut relabel = vec![0u32; clustering.cluster_count()];
+    for (new_label, original) in order.into_iter().enumerate() {
+        relabel[original] = new_label as u32;
+    }
+
+    for (loc, raw) in locations.into_iter().zip(clustering.assignments) {
+        typing.assign(loc, PhaseType(relabel[raw]));
+    }
+    typing
+}
+
+/// Builds a typing from per-block IPC observations on two core kinds, the way
+/// the paper's evaluation seeds its static analysis: "using the observed IPC,
+/// we assign types to basic blocks. The difference in IPC between the core
+/// types is compared to an IPC threshold to determine the typing".
+///
+/// Each profile entry is `(location, ipc_on_fast_cores, ipc_on_slow_cores)`.
+/// On an AMP the slower clock wastes fewer cycles per stall, so memory-bound
+/// code shows a markedly *higher* IPC on the slow cores; blocks whose
+/// slow-core IPC exceeds their fast-core IPC by more than `ipc_threshold`
+/// therefore get [`PhaseType`] 1 ("tolerates slow cores"), everything else
+/// gets [`PhaseType`] 0 ("prefers fast cores").
+pub fn typing_from_ipc_profiles(
+    profiles: impl IntoIterator<Item = (Location, f64, f64)>,
+    ipc_threshold: f64,
+) -> BlockTyping {
+    let mut typing = BlockTyping::new(2);
+    for (loc, ipc_fast, ipc_slow) in profiles {
+        let ty = if ipc_slow - ipc_fast > ipc_threshold {
+            PhaseType(1)
+        } else {
+            PhaseType(0)
+        };
+        typing.assign(loc, ty);
+    }
+    typing
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phase_ir::{
+        AccessPattern, BlockId, Instruction, MemRef, ProcId, ProgramBuilder, Terminator,
+    };
+
+    /// A program with clearly CPU-bound and clearly memory-bound large blocks,
+    /// plus one tiny block that must stay untyped.
+    fn polarized_program() -> Program {
+        let mut builder = ProgramBuilder::new("polarized");
+        let main = builder.declare_procedure("main");
+        let mut body = builder.procedure_builder();
+        let cpu1 = body.add_block();
+        let cpu2 = body.add_block();
+        let mem1 = body.add_block();
+        let mem2 = body.add_block();
+        let tiny = body.add_block();
+        for b in [cpu1, cpu2] {
+            body.push_all(b, std::iter::repeat(Instruction::fp_mul()).take(30));
+        }
+        for b in [mem1, mem2] {
+            let mem = MemRef::new(AccessPattern::Random, 128 * 1024 * 1024);
+            body.push_all(b, std::iter::repeat(Instruction::load(mem)).take(30));
+        }
+        body.push(tiny, Instruction::int_alu());
+        body.terminate(cpu1, Terminator::Jump(cpu2));
+        body.terminate(cpu2, Terminator::Jump(mem1));
+        body.terminate(mem1, Terminator::Jump(mem2));
+        body.terminate(mem2, Terminator::Jump(tiny));
+        body.terminate(tiny, Terminator::Exit);
+        builder.define_procedure(main, body).unwrap();
+        builder.build().unwrap()
+    }
+
+    fn loc(block: u32) -> Location {
+        Location::new(ProcId(0), BlockId(block))
+    }
+
+    #[test]
+    fn typing_separates_cpu_and_memory_blocks() {
+        let program = polarized_program();
+        let typing = assign_block_types(&program, &StaticTypingConfig::default());
+        assert_eq!(typing.typed_block_count(), 4);
+        assert_eq!(typing.type_of(loc(0)), typing.type_of(loc(1)));
+        assert_eq!(typing.type_of(loc(2)), typing.type_of(loc(3)));
+        assert_ne!(typing.type_of(loc(0)), typing.type_of(loc(2)));
+        // Canonicalisation: the CPU-bound cluster is PhaseType(0).
+        assert_eq!(typing.type_of(loc(0)), Some(PhaseType(0)));
+        assert_eq!(typing.type_of(loc(2)), Some(PhaseType(1)));
+    }
+
+    #[test]
+    fn small_blocks_stay_untyped() {
+        let program = polarized_program();
+        let typing = assign_block_types(&program, &StaticTypingConfig::default());
+        assert_eq!(typing.type_of(loc(4)), None);
+    }
+
+    #[test]
+    fn raising_min_size_types_fewer_blocks() {
+        let program = polarized_program();
+        let small = assign_block_types(
+            &program,
+            &StaticTypingConfig {
+                min_block_size: 1,
+                ..Default::default()
+            },
+        );
+        let large = assign_block_types(
+            &program,
+            &StaticTypingConfig {
+                min_block_size: 60,
+                ..Default::default()
+            },
+        );
+        assert!(small.typed_block_count() > large.typed_block_count());
+        assert_eq!(large.typed_block_count(), 0);
+    }
+
+    #[test]
+    fn error_injection_flips_requested_fraction() {
+        let program = polarized_program();
+        let typing = assign_block_types(&program, &StaticTypingConfig::default());
+        let with_error = typing.with_injected_error(0.5, 99);
+        let agreement = typing.agreement_with(&with_error);
+        assert!((agreement - 0.5).abs() < 1e-9, "agreement {agreement}");
+        // Zero error keeps everything.
+        assert_eq!(typing.agreement_with(&typing.with_injected_error(0.0, 1)), 1.0);
+        // Full error flips everything (with two types).
+        assert_eq!(typing.agreement_with(&typing.with_injected_error(1.0, 1)), 0.0);
+    }
+
+    #[test]
+    fn error_injection_is_deterministic_per_seed() {
+        let program = polarized_program();
+        let typing = assign_block_types(&program, &StaticTypingConfig::default());
+        assert_eq!(
+            typing.with_injected_error(0.25, 5),
+            typing.with_injected_error(0.25, 5)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn error_injection_rejects_bad_fraction() {
+        let typing = BlockTyping::new(2);
+        let _ = typing.with_injected_error(1.5, 0);
+    }
+
+    #[test]
+    fn profile_based_typing_uses_threshold() {
+        let profiles = vec![
+            // CPU-bound: nearly identical IPC on both kinds.
+            (loc(0), 0.95, 0.97),
+            // Memory-bound: much higher IPC on the slow cores.
+            (loc(1), 0.40, 0.80),
+        ];
+        let typing = typing_from_ipc_profiles(profiles, 0.2);
+        assert_eq!(typing.type_of(loc(0)), Some(PhaseType(0)));
+        assert_eq!(typing.type_of(loc(1)), Some(PhaseType(1)));
+    }
+
+    #[test]
+    fn blocks_of_type_lists_sorted_locations() {
+        let mut typing = BlockTyping::new(2);
+        typing.assign(loc(3), PhaseType(0));
+        typing.assign(loc(1), PhaseType(0));
+        typing.assign(loc(2), PhaseType(1));
+        assert_eq!(typing.blocks_of_type(PhaseType(0)), vec![loc(1), loc(3)]);
+        assert_eq!(typing.blocks_of_type(PhaseType(1)), vec![loc(2)]);
+    }
+
+    #[test]
+    fn empty_typing_has_full_agreement_with_anything() {
+        let a = BlockTyping::new(2);
+        let b = BlockTyping::new(2);
+        assert_eq!(a.agreement_with(&b), 1.0);
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn phase_type_display() {
+        assert_eq!(format!("{}", PhaseType(1)), "π1");
+    }
+}

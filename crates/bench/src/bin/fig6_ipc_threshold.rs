@@ -1,0 +1,43 @@
+//! Figure 6: workload throughput improvement as a function of the IPC
+//! threshold `δ` used by Algorithm 2 (basic-block strategy, minimum block
+//! size 15, no lookahead).
+
+use phase_bench::{experiment_config, print_header};
+use phase_core::{prepare_workload, run_comparison_prepared, TextTable};
+use phase_marking::MarkingConfig;
+
+fn main() {
+    print_header(
+        "Figure 6 — throughput vs. IPC threshold",
+        "Basic-block strategy, min block size 15, lookahead 0; the workload is re-run with\n\
+         the same queues for every threshold value.",
+    );
+
+    let thresholds = [0.0, 0.05, 0.1, 0.15, 0.2, 0.3, 0.5];
+    let base = experiment_config(MarkingConfig::basic_block(15, 0));
+    let prepared = prepare_workload(&base);
+
+    let mut table = TextTable::new(vec![
+        "IPC threshold",
+        "Throughput improvement %",
+        "Avg time reduction %",
+        "Core switches",
+    ]);
+    for threshold in thresholds {
+        let mut config = base.clone();
+        config.tuner.ipc_threshold = threshold;
+        let outcome = run_comparison_prepared(&config, &prepared);
+        table.add_row(vec![
+            format!("{threshold:.2}"),
+            format!("{:.2}", outcome.throughput.improvement_pct),
+            format!("{:.2}", outcome.fairness.avg_time_decrease_pct),
+            outcome.tuned.total_core_switches.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "paper shape: extreme thresholds degrade throughput (everything migrates away from\n\
+         one core type at δ≈0; nothing well-suited reaches the efficient cores at large δ);\n\
+         an interior value balances the assignment."
+    );
+}

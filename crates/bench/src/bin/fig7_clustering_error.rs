@@ -1,0 +1,40 @@
+//! Figure 7: robustness of the technique to static clustering error — a
+//! fraction of blocks is deliberately placed in the wrong cluster before
+//! marking.
+
+use phase_bench::{experiment_config, print_header};
+use phase_core::{prepare_workload, run_comparison_prepared, TextTable};
+use phase_marking::MarkingConfig;
+
+fn main() {
+    print_header(
+        "Figure 7 — throughput improvement vs. clustering error",
+        "Basic-block strategy, min block size 15, lookahead 0; 0%–30% of typed blocks are\n\
+         flipped to the opposite cluster before phase marking.",
+    );
+
+    let error_levels = [0.0, 0.10, 0.20, 0.30];
+    let mut table = TextTable::new(vec![
+        "Clustering error",
+        "Throughput improvement %",
+        "Avg time reduction %",
+        "Phase marks executed",
+    ]);
+    for error in error_levels {
+        let mut config = experiment_config(MarkingConfig::basic_block(15, 0));
+        config.pipeline.clustering_error = error;
+        let prepared = prepare_workload(&config);
+        let outcome = run_comparison_prepared(&config, &prepared);
+        table.add_row(vec![
+            format!("{:.0}%", error * 100.0),
+            format!("{:.2}", outcome.throughput.improvement_pct),
+            format!("{:.2}", outcome.fairness.avg_time_decrease_pct),
+            outcome.tuned.total_marks_executed.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "paper shape: almost no loss at 10% error, still a significant gain at 20%, and\n\
+         little improvement left at 30%."
+    );
+}

@@ -1,0 +1,46 @@
+//! Figure 8: the speedup-versus-fairness trade-off — average-process-time
+//! reduction (speedup) plotted against max-stretch for each technique
+//! variant.
+
+use phase_bench::{experiment_config, print_header};
+use phase_core::{prepare_workload, run_comparison_prepared, TextTable};
+use phase_marking::MarkingConfig;
+
+fn main() {
+    print_header(
+        "Figure 8 — speedup vs. fairness trade-off",
+        "Each row is one technique variant: its average-process-time reduction (speedup) and\n\
+         the max-stretch it achieves (lower is fairer). The paper's interval and loop variants\n\
+         balance the two; several basic-block variants trade fairness for speedup.",
+    );
+
+    let variants = if phase_bench::quick_mode() {
+        vec![
+            MarkingConfig::basic_block(15, 0),
+            MarkingConfig::basic_block(15, 2),
+            MarkingConfig::interval(45),
+            MarkingConfig::loop_level(45),
+        ]
+    } else {
+        MarkingConfig::table2_variants()
+    };
+
+    let mut table = TextTable::new(vec![
+        "Technique",
+        "Speedup (avg time reduction %)",
+        "Max-stretch (tuned)",
+        "Max-stretch (stock)",
+    ]);
+    for marking in variants {
+        let config = experiment_config(marking);
+        let prepared = prepare_workload(&config);
+        let outcome = run_comparison_prepared(&config, &prepared);
+        table.add_row(vec![
+            marking.to_string(),
+            format!("{:.2}", outcome.fairness.avg_time_decrease_pct),
+            format!("{:.2}", outcome.tuned_fairness.max_stretch),
+            format!("{:.2}", outcome.baseline_fairness.max_stretch),
+        ]);
+    }
+    println!("{}", table.render());
+}

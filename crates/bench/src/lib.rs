@@ -1,0 +1,121 @@
+//! # phase-bench
+//!
+//! The benchmark harness that regenerates every table and figure of the
+//! paper's evaluation (Sondag & Rajan, CGO 2011, Section IV). Each artifact
+//! has a dedicated binary (run with
+//! `cargo run -p phase-bench --release --bin <name>`):
+//!
+//! | paper artifact | binary |
+//! |---|---|
+//! | Figure 3 (space overhead) | `fig3_space_overhead` |
+//! | Figure 4 (time overhead, size-84 workload) | `fig4_time_overhead` |
+//! | Table 1 (switches per benchmark) | `table1_switches` |
+//! | Figure 5 (cycles per core switch) | `fig5_cycles_per_switch` |
+//! | Figure 6 (throughput vs. IPC threshold) | `fig6_ipc_threshold` |
+//! | Figure 7 (throughput vs. clustering error) | `fig7_clustering_error` |
+//! | Section IV-C2 (lookahead sweep) | `sweep_lookahead` |
+//! | Section IV-C4 (minimum-size sweep) | `sweep_min_size` |
+//! | Table 2 (fairness vs. stock Linux) | `table2_fairness` |
+//! | Figure 8 (speedup vs. fairness trade-off) | `fig8_speedup_fairness` |
+//! | Section III / IV-B (mark statistics) | `table_mark_stats` |
+//! | Section VII (3-core AMP) | `exp_three_core` |
+//!
+//! The Criterion benches (`cargo bench -p phase-bench`) measure the cost of
+//! the static analyses and of the simulator itself on reduced inputs.
+//!
+//! Every binary honours two environment variables so full and quick runs use
+//! the same code path:
+//!
+//! * `PHASE_BENCH_SLOTS` — workload size (default 18);
+//! * `PHASE_BENCH_QUICK` — when set, shrinks the catalogue and horizons so a
+//!   full regeneration finishes in seconds (used by CI-style smoke runs).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
+
+use phase_core::{ExperimentConfig, PipelineConfig};
+use phase_marking::MarkingConfig;
+use phase_sched::SimConfig;
+
+/// Reads an environment variable as a number, falling back to a default.
+pub fn env_or<T: std::str::FromStr>(name: &str, default: T) -> T {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Whether quick mode is enabled (`PHASE_BENCH_QUICK` set to anything but
+/// `0`).
+pub fn quick_mode() -> bool {
+    std::env::var("PHASE_BENCH_QUICK")
+        .map(|v| v != "0")
+        .unwrap_or(false)
+}
+
+/// The workload size used by the throughput/fairness experiments, honouring
+/// `PHASE_BENCH_SLOTS`.
+pub fn workload_slots() -> usize {
+    env_or("PHASE_BENCH_SLOTS", 18)
+}
+
+/// The experiment configuration shared by the dynamic experiments: the
+/// paper's machine, the given marking technique, and a continuously fed
+/// workload measured over a fixed horizon.
+pub fn experiment_config(marking: MarkingConfig) -> ExperimentConfig {
+    let quick = quick_mode();
+    ExperimentConfig {
+        pipeline: PipelineConfig::with_marking(marking),
+        workload_slots: workload_slots(),
+        jobs_per_slot: if quick { 2 } else { 6 },
+        catalog_scale: if quick { 0.2 } else { 1.0 },
+        sim: SimConfig {
+            horizon_ns: Some(if quick { 8_000_000.0 } else { 40_000_000.0 }),
+            ..SimConfig::default()
+        },
+        ..ExperimentConfig::default()
+    }
+}
+
+/// The marking variants shown in the paper's Figure 3 / Figure 4 overhead
+/// plots: every basic-block, interval, and loop variant of Table 2.
+pub fn overhead_variants() -> Vec<MarkingConfig> {
+    MarkingConfig::table2_variants()
+}
+
+/// Prints the standard header used by every regeneration binary.
+pub fn print_header(artifact: &str, description: &str) {
+    println!("== {artifact} ==");
+    println!("{description}");
+    if quick_mode() {
+        println!("(quick mode: reduced catalogue and horizon)");
+    }
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_or_falls_back_to_default() {
+        std::env::remove_var("PHASE_BENCH_TEST_VALUE");
+        assert_eq!(env_or("PHASE_BENCH_TEST_VALUE", 7usize), 7);
+        std::env::set_var("PHASE_BENCH_TEST_VALUE", "12");
+        assert_eq!(env_or("PHASE_BENCH_TEST_VALUE", 7usize), 12);
+        std::env::remove_var("PHASE_BENCH_TEST_VALUE");
+    }
+
+    #[test]
+    fn experiment_config_uses_requested_marking() {
+        let config = experiment_config(MarkingConfig::interval(45));
+        assert_eq!(config.pipeline.marking, MarkingConfig::interval(45));
+        assert!(config.sim.horizon_ns.is_some());
+    }
+
+    #[test]
+    fn overhead_variants_match_table2() {
+        assert_eq!(overhead_variants().len(), 18);
+    }
+}

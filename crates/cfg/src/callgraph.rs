@@ -1,0 +1,276 @@
+//! Call graphs and bottom-up traversal orders.
+//!
+//! The paper's loop technique is inter-procedural: "a bottom-up typing is
+//! performed with respect to the call graph. In the case of indirect
+//! recursion, we randomly choose one procedure to analyze first then analyze
+//! all procedures again until a fixpoint is reached" (Section II-A1c). This
+//! module provides the call graph, its strongly connected components, and a
+//! bottom-up order over them.
+
+use std::collections::BTreeSet;
+
+use phase_ir::{ProcId, Program};
+
+/// The call graph of a program.
+///
+/// # Examples
+///
+/// ```
+/// use phase_cfg::CallGraph;
+/// use phase_ir::{ProgramBuilder, Terminator};
+///
+/// let mut builder = ProgramBuilder::new("calls");
+/// let main = builder.declare_procedure("main");
+/// let helper = builder.declare_procedure("helper");
+/// let mut body = builder.procedure_builder();
+/// let b0 = body.add_block();
+/// let b1 = body.add_block();
+/// body.terminate(b0, Terminator::Call { callee: helper, return_to: b1 });
+/// body.terminate(b1, Terminator::Exit);
+/// builder.define_procedure(main, body)?;
+/// let mut leaf = builder.procedure_builder();
+/// let l0 = leaf.add_block();
+/// leaf.terminate(l0, Terminator::Return);
+/// builder.define_procedure(helper, leaf)?;
+/// let program = builder.build()?;
+///
+/// let cg = CallGraph::build(&program);
+/// assert_eq!(cg.callees(main), &[helper]);
+/// assert_eq!(cg.bottom_up_order()[0], helper);
+/// # Ok::<(), phase_ir::IrError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallGraph {
+    callees: Vec<Vec<ProcId>>,
+    callers: Vec<Vec<ProcId>>,
+}
+
+impl CallGraph {
+    /// Builds the call graph of a program.
+    ///
+    /// Duplicate call edges (several call sites to the same callee) are
+    /// collapsed; the analyses only need the relation.
+    pub fn build(program: &Program) -> Self {
+        let n = program.procedures().len();
+        let mut callees: Vec<BTreeSet<ProcId>> = vec![BTreeSet::new(); n];
+        let mut callers: Vec<BTreeSet<ProcId>> = vec![BTreeSet::new(); n];
+        for proc in program.procedures() {
+            for callee in proc.callees() {
+                callees[proc.id().index()].insert(callee);
+                callers[callee.index()].insert(proc.id());
+            }
+        }
+        Self {
+            callees: callees.into_iter().map(|s| s.into_iter().collect()).collect(),
+            callers: callers.into_iter().map(|s| s.into_iter().collect()).collect(),
+        }
+    }
+
+    /// Number of procedures in the graph.
+    pub fn procedure_count(&self) -> usize {
+        self.callees.len()
+    }
+
+    /// Procedures called by `proc` (deduplicated, ordered by id).
+    pub fn callees(&self, proc: ProcId) -> &[ProcId] {
+        &self.callees[proc.index()]
+    }
+
+    /// Procedures that call `proc` (deduplicated, ordered by id).
+    pub fn callers(&self, proc: ProcId) -> &[ProcId] {
+        &self.callers[proc.index()]
+    }
+
+    /// Whether `proc` participates in recursion (direct or indirect).
+    pub fn is_recursive(&self, proc: ProcId) -> bool {
+        self.sccs()
+            .into_iter()
+            .find(|scc| scc.contains(&proc))
+            .map(|scc| scc.len() > 1 || self.callees(proc).contains(&proc))
+            .unwrap_or(false)
+    }
+
+    /// Strongly connected components in *reverse topological order*: a
+    /// component appears after every component it calls into. Tarjan's
+    /// algorithm produces exactly this order.
+    pub fn sccs(&self) -> Vec<Vec<ProcId>> {
+        struct Tarjan<'a> {
+            graph: &'a CallGraph,
+            index: usize,
+            indices: Vec<Option<usize>>,
+            lowlink: Vec<usize>,
+            on_stack: Vec<bool>,
+            stack: Vec<ProcId>,
+            sccs: Vec<Vec<ProcId>>,
+        }
+        impl Tarjan<'_> {
+            fn strongconnect(&mut self, v: ProcId) {
+                self.indices[v.index()] = Some(self.index);
+                self.lowlink[v.index()] = self.index;
+                self.index += 1;
+                self.stack.push(v);
+                self.on_stack[v.index()] = true;
+                for &w in self.graph.callees(v) {
+                    if self.indices[w.index()].is_none() {
+                        self.strongconnect(w);
+                        self.lowlink[v.index()] =
+                            self.lowlink[v.index()].min(self.lowlink[w.index()]);
+                    } else if self.on_stack[w.index()] {
+                        self.lowlink[v.index()] =
+                            self.lowlink[v.index()].min(self.indices[w.index()].unwrap());
+                    }
+                }
+                if self.lowlink[v.index()] == self.indices[v.index()].unwrap() {
+                    let mut component = Vec::new();
+                    loop {
+                        let w = self.stack.pop().expect("stack holds the component");
+                        self.on_stack[w.index()] = false;
+                        component.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    component.sort();
+                    self.sccs.push(component);
+                }
+            }
+        }
+
+        let n = self.procedure_count();
+        let mut tarjan = Tarjan {
+            graph: self,
+            index: 0,
+            indices: vec![None; n],
+            lowlink: vec![0; n],
+            on_stack: vec![false; n],
+            stack: Vec::new(),
+            sccs: Vec::new(),
+        };
+        for p in 0..n as u32 {
+            if tarjan.indices[p as usize].is_none() {
+                tarjan.strongconnect(ProcId(p));
+            }
+        }
+        tarjan.sccs
+    }
+
+    /// Procedures in bottom-up order: callees before callers. Members of a
+    /// recursion cycle appear consecutively in an arbitrary internal order
+    /// (the analyses iterate such groups to a fixpoint).
+    pub fn bottom_up_order(&self) -> Vec<ProcId> {
+        self.sccs().into_iter().flatten().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phase_ir::{ProgramBuilder, Terminator};
+
+    /// main -> a -> b, main -> b, and c <-> d mutually recursive, main -> c.
+    fn sample_program() -> (Program, [ProcId; 5]) {
+        let mut builder = ProgramBuilder::new("callgraph");
+        let main = builder.declare_procedure("main");
+        let a = builder.declare_procedure("a");
+        let b = builder.declare_procedure("b");
+        let c = builder.declare_procedure("c");
+        let d = builder.declare_procedure("d");
+
+        // main calls a, then b, then c, then exits.
+        let mut body = builder.procedure_builder();
+        let m0 = body.add_block();
+        let m1 = body.add_block();
+        let m2 = body.add_block();
+        let m3 = body.add_block();
+        body.terminate(m0, Terminator::Call { callee: a, return_to: m1 });
+        body.terminate(m1, Terminator::Call { callee: b, return_to: m2 });
+        body.terminate(m2, Terminator::Call { callee: c, return_to: m3 });
+        body.terminate(m3, Terminator::Exit);
+        builder.define_procedure(main, body).unwrap();
+
+        // a calls b.
+        let mut abody = builder.procedure_builder();
+        let a0 = abody.add_block();
+        let a1 = abody.add_block();
+        abody.terminate(a0, Terminator::Call { callee: b, return_to: a1 });
+        abody.terminate(a1, Terminator::Return);
+        builder.define_procedure(a, abody).unwrap();
+
+        // b is a leaf.
+        let mut bbody = builder.procedure_builder();
+        let b0 = bbody.add_block();
+        bbody.terminate(b0, Terminator::Return);
+        builder.define_procedure(b, bbody).unwrap();
+
+        // c calls d, d calls c (indirect recursion).
+        for (this, other) in [(c, d), (d, c)] {
+            let mut pbody = builder.procedure_builder();
+            let p0 = pbody.add_block();
+            let p1 = pbody.add_block();
+            pbody.terminate(p0, Terminator::Call { callee: other, return_to: p1 });
+            pbody.terminate(p1, Terminator::Return);
+            builder.define_procedure(this, pbody).unwrap();
+        }
+
+        (builder.build().unwrap(), [main, a, b, c, d])
+    }
+
+    #[test]
+    fn callees_and_callers_are_inverse_relations() {
+        let (program, [main, a, b, c, d]) = sample_program();
+        let cg = CallGraph::build(&program);
+        assert_eq!(cg.callees(main), &[a, b, c]);
+        assert_eq!(cg.callers(b), &[main, a]);
+        assert_eq!(cg.callers(main), &[] as &[ProcId]);
+        assert_eq!(cg.callees(d), &[c]);
+    }
+
+    #[test]
+    fn sccs_group_mutual_recursion() {
+        let (program, [_, _, _, c, d]) = sample_program();
+        let cg = CallGraph::build(&program);
+        let sccs = cg.sccs();
+        let recursive_component = sccs
+            .iter()
+            .find(|scc| scc.contains(&c))
+            .expect("c is in some scc");
+        assert_eq!(recursive_component, &vec![c, d]);
+    }
+
+    #[test]
+    fn bottom_up_order_puts_callees_before_callers() {
+        let (program, [main, a, b, _, _]) = sample_program();
+        let cg = CallGraph::build(&program);
+        let order = cg.bottom_up_order();
+        let pos = |p: ProcId| order.iter().position(|&x| x == p).unwrap();
+        assert!(pos(b) < pos(a));
+        assert!(pos(a) < pos(main));
+        assert_eq!(order.len(), 5);
+    }
+
+    #[test]
+    fn recursion_detection() {
+        let (program, [main, a, b, c, d]) = sample_program();
+        let cg = CallGraph::build(&program);
+        assert!(!cg.is_recursive(main));
+        assert!(!cg.is_recursive(a));
+        assert!(!cg.is_recursive(b));
+        assert!(cg.is_recursive(c));
+        assert!(cg.is_recursive(d));
+    }
+
+    #[test]
+    fn direct_recursion_is_detected() {
+        let mut builder = ProgramBuilder::new("selfcall");
+        let f = builder.declare_procedure("f");
+        let mut body = builder.procedure_builder();
+        let b0 = body.add_block();
+        let b1 = body.add_block();
+        body.terminate(b0, Terminator::Call { callee: f, return_to: b1 });
+        body.terminate(b1, Terminator::Exit);
+        builder.define_procedure(f, body).unwrap();
+        let program = builder.build().unwrap();
+        let cg = CallGraph::build(&program);
+        assert!(cg.is_recursive(f));
+    }
+}

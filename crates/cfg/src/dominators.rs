@@ -1,0 +1,304 @@
+//! Dominator trees, used to classify back edges and find natural loops.
+//!
+//! Implements the Cooper–Harvey–Kennedy "A Simple, Fast Dominance Algorithm"
+//! iterative scheme over reverse postorder.
+
+use phase_ir::BlockId;
+
+use crate::graph::{Cfg, Edge, EdgeKind};
+
+/// Immediate-dominator tree of a [`Cfg`].
+///
+/// # Examples
+///
+/// ```
+/// use phase_cfg::{Cfg, DominatorTree};
+/// use phase_ir::{ProcedureBuilder, ProcId, Terminator};
+///
+/// let mut body = ProcedureBuilder::new();
+/// let a = body.add_block();
+/// let b = body.add_block();
+/// body.terminate(a, Terminator::Jump(b));
+/// body.terminate(b, Terminator::Return);
+/// let proc = body.finish(ProcId(0), "f")?;
+/// let cfg = Cfg::build(&proc);
+/// let dom = DominatorTree::build(&cfg);
+/// assert!(dom.dominates(a, b));
+/// assert_eq!(dom.immediate_dominator(b), Some(a));
+/// # Ok::<(), phase_ir::IrError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DominatorTree {
+    entry: BlockId,
+    /// `idom[b]` is the immediate dominator of `b`; `None` for the entry and
+    /// for unreachable blocks.
+    idom: Vec<Option<BlockId>>,
+    /// Position of each block in reverse postorder; `usize::MAX` when
+    /// unreachable.
+    rpo_index: Vec<usize>,
+}
+
+impl DominatorTree {
+    /// Computes the dominator tree of a control-flow graph.
+    pub fn build(cfg: &Cfg) -> Self {
+        let n = cfg.block_count();
+        let rpo = cfg.reverse_postorder();
+        let mut rpo_index = vec![usize::MAX; n];
+        for (i, &b) in rpo.iter().enumerate() {
+            rpo_index[b.index()] = i;
+        }
+
+        let entry = cfg.entry();
+        let mut idom: Vec<Option<BlockId>> = vec![None; n];
+        idom[entry.index()] = Some(entry);
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in rpo.iter().skip(1) {
+                // Pick the first processed predecessor as the starting point.
+                let mut new_idom: Option<BlockId> = None;
+                for &p in cfg.predecessors(b) {
+                    if rpo_index[p.index()] == usize::MAX {
+                        continue; // unreachable predecessor
+                    }
+                    if idom[p.index()].is_none() {
+                        continue; // not processed yet this round
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(current) => Self::intersect(&idom, &rpo_index, p, current),
+                    });
+                }
+                if let Some(candidate) = new_idom {
+                    if idom[b.index()] != Some(candidate) {
+                        idom[b.index()] = Some(candidate);
+                        changed = true;
+                    }
+                }
+            }
+        }
+
+        // The entry has no immediate dominator; the algorithm above uses the
+        // self-loop convention internally.
+        idom[entry.index()] = None;
+        Self {
+            entry,
+            idom,
+            rpo_index,
+        }
+    }
+
+    fn intersect(
+        idom: &[Option<BlockId>],
+        rpo_index: &[usize],
+        mut a: BlockId,
+        mut b: BlockId,
+    ) -> BlockId {
+        while a != b {
+            while rpo_index[a.index()] > rpo_index[b.index()] {
+                a = idom[a.index()].expect("processed block has an idom candidate");
+            }
+            while rpo_index[b.index()] > rpo_index[a.index()] {
+                b = idom[b.index()].expect("processed block has an idom candidate");
+            }
+        }
+        a
+    }
+
+    /// The entry block of the underlying graph.
+    pub fn entry(&self) -> BlockId {
+        self.entry
+    }
+
+    /// Immediate dominator of a block (`None` for the entry or unreachable
+    /// blocks).
+    pub fn immediate_dominator(&self, block: BlockId) -> Option<BlockId> {
+        self.idom[block.index()]
+    }
+
+    /// Whether `block` is reachable from the entry.
+    pub fn is_reachable(&self, block: BlockId) -> bool {
+        block == self.entry || self.idom[block.index()].is_some()
+    }
+
+    /// Whether `a` dominates `b` (reflexively).
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        if !self.is_reachable(b) {
+            return false;
+        }
+        let mut current = b;
+        loop {
+            if current == a {
+                return true;
+            }
+            match self.idom[current.index()] {
+                Some(next) => current = next,
+                None => return false,
+            }
+        }
+    }
+
+    /// Whether `a` strictly dominates `b`.
+    pub fn strictly_dominates(&self, a: BlockId, b: BlockId) -> bool {
+        a != b && self.dominates(a, b)
+    }
+
+    /// Classifies an edge as forward or backward.
+    ///
+    /// An edge is backward when its target dominates its source — the natural
+    /// back-edge definition used to identify loops. Self edges are backward.
+    pub fn classify_edge(&self, edge: Edge) -> EdgeKind {
+        if self.dominates(edge.to, edge.from) {
+            EdgeKind::Backward
+        } else {
+            EdgeKind::Forward
+        }
+    }
+
+    /// All back edges of the given graph.
+    pub fn back_edges(&self, cfg: &Cfg) -> Vec<Edge> {
+        cfg.edges()
+            .into_iter()
+            .filter(|e| self.classify_edge(*e) == EdgeKind::Backward)
+            .collect()
+    }
+
+    /// Dominator-tree path from the entry to a block (inclusive).
+    pub fn dominators_of(&self, block: BlockId) -> Vec<BlockId> {
+        let mut chain = Vec::new();
+        if !self.is_reachable(block) {
+            return chain;
+        }
+        let mut current = block;
+        loop {
+            chain.push(current);
+            match self.idom[current.index()] {
+                Some(next) => current = next,
+                None => break,
+            }
+        }
+        chain.reverse();
+        chain
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phase_ir::{BranchBehavior, ProcId, Procedure, ProcedureBuilder, Terminator};
+
+    fn loop_in_diamond() -> (Procedure, [BlockId; 6]) {
+        // a -> b, c ; b -> d ; c -> d ; d -> (loop to b) or e ; e -> exit f
+        let mut body = ProcedureBuilder::new();
+        let a = body.add_block();
+        let b = body.add_block();
+        let c = body.add_block();
+        let d = body.add_block();
+        let e = body.add_block();
+        let f = body.add_block();
+        body.terminate(
+            a,
+            Terminator::Branch {
+                taken: b,
+                fallthrough: c,
+                behavior: BranchBehavior::probabilistic(0.5),
+            },
+        );
+        body.terminate(b, Terminator::Jump(d));
+        body.terminate(c, Terminator::Jump(d));
+        body.loop_branch(d, b, e, 3);
+        body.terminate(e, Terminator::Jump(f));
+        body.terminate(f, Terminator::Return);
+        let proc = body.finish(ProcId(0), "loopy").unwrap();
+        (proc, [a, b, c, d, e, f])
+    }
+
+    #[test]
+    fn entry_has_no_idom_and_dominates_everything() {
+        let (proc, [a, b, c, d, e, f]) = loop_in_diamond();
+        let cfg = Cfg::build(&proc);
+        let dom = DominatorTree::build(&cfg);
+        assert_eq!(dom.immediate_dominator(a), None);
+        for block in [a, b, c, d, e, f] {
+            assert!(dom.dominates(a, block));
+        }
+    }
+
+    #[test]
+    fn join_block_is_dominated_by_branch_not_arms() {
+        let (proc, [a, b, c, d, ..]) = loop_in_diamond();
+        let cfg = Cfg::build(&proc);
+        let dom = DominatorTree::build(&cfg);
+        // d's predecessors are b, c, and the loop latch; its idom must be a...
+        // except the back edge from d to b makes b a predecessor of d via the
+        // loop; the structure still gives idom(d) == b? No: d is reached from
+        // both b and c, whose common dominator is a.
+        assert_eq!(dom.immediate_dominator(d), Some(a));
+        assert!(!dom.strictly_dominates(b, d));
+        assert!(!dom.strictly_dominates(c, d));
+    }
+
+    #[test]
+    fn back_edge_is_classified_backward() {
+        let (proc, [_, b, _, d, e, _]) = loop_in_diamond();
+        let cfg = Cfg::build(&proc);
+        let dom = DominatorTree::build(&cfg);
+        // The d -> b edge is NOT a natural back edge here because b does not
+        // dominate d (c also reaches d). Build the classification anyway and
+        // check the forward edges are forward.
+        assert_eq!(dom.classify_edge(Edge::new(d, e)), EdgeKind::Forward);
+        assert_eq!(dom.classify_edge(Edge::new(b, d)), EdgeKind::Forward);
+    }
+
+    #[test]
+    fn self_loop_is_a_back_edge() {
+        let mut body = ProcedureBuilder::new();
+        let a = body.add_block();
+        let b = body.add_block();
+        let c = body.add_block();
+        body.terminate(a, Terminator::Jump(b));
+        body.loop_branch(b, b, c, 5);
+        body.terminate(c, Terminator::Return);
+        let proc = body.finish(ProcId(0), "selfloop").unwrap();
+        let cfg = Cfg::build(&proc);
+        let dom = DominatorTree::build(&cfg);
+        let back = dom.back_edges(&cfg);
+        assert_eq!(back, vec![Edge::new(b, b)]);
+    }
+
+    #[test]
+    fn proper_loop_back_edge_detected() {
+        // header h dominates latch l; l -> h is a back edge.
+        let mut body = ProcedureBuilder::new();
+        let entry = body.add_block();
+        let h = body.add_block();
+        let l = body.add_block();
+        let exit = body.add_block();
+        body.terminate(entry, Terminator::Jump(h));
+        body.terminate(h, Terminator::Jump(l));
+        body.loop_branch(l, h, exit, 10);
+        body.terminate(exit, Terminator::Return);
+        let proc = body.finish(ProcId(0), "whileloop").unwrap();
+        let cfg = Cfg::build(&proc);
+        let dom = DominatorTree::build(&cfg);
+        assert_eq!(dom.back_edges(&cfg), vec![Edge::new(l, h)]);
+        assert_eq!(dom.immediate_dominator(l), Some(h));
+        assert_eq!(dom.dominators_of(l), vec![entry, h, l]);
+    }
+
+    #[test]
+    fn unreachable_blocks_are_not_dominated() {
+        let mut body = ProcedureBuilder::new();
+        let a = body.add_block();
+        let orphan = body.add_block();
+        body.terminate(a, Terminator::Return);
+        body.terminate(orphan, Terminator::Return);
+        let proc = body.finish(ProcId(0), "orphan").unwrap();
+        let cfg = Cfg::build(&proc);
+        let dom = DominatorTree::build(&cfg);
+        assert!(!dom.is_reachable(orphan));
+        assert!(!dom.dominates(a, orphan));
+        assert!(dom.dominators_of(orphan).is_empty());
+    }
+}

@@ -1,0 +1,317 @@
+//! Intra-procedural control-flow graphs.
+//!
+//! The paper's analyses all start from an *attributed control-flow graph*
+//! (Section II-A1): nodes are basic blocks and edges are classified as forward
+//! or backward. [`Cfg`] captures the graph shape (successors, predecessors,
+//! traversal orders); edge classification lives in [`crate::DominatorTree`]
+//! and [`crate::LoopForest`].
+
+use phase_ir::{BlockId, Procedure};
+
+/// Direction of a control-flow edge, following the paper's
+/// `E ⊆ N × N × {b, f}` formulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EdgeKind {
+    /// Forward (or cross) edge.
+    Forward,
+    /// Backward edge: the target dominates the source (a loop back edge).
+    Backward,
+}
+
+/// A control-flow edge between two blocks of the same procedure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Edge {
+    /// Source block.
+    pub from: BlockId,
+    /// Target block.
+    pub to: BlockId,
+}
+
+impl Edge {
+    /// Creates an edge.
+    pub fn new(from: BlockId, to: BlockId) -> Self {
+        Self { from, to }
+    }
+}
+
+impl std::fmt::Display for Edge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} -> {}", self.from, self.to)
+    }
+}
+
+/// The control-flow graph of one procedure.
+///
+/// The graph does not borrow the procedure; analyses that need instruction
+/// contents take both the [`Procedure`] and its `Cfg`.
+///
+/// # Examples
+///
+/// ```
+/// use phase_cfg::Cfg;
+/// use phase_ir::{Instruction, ProcedureBuilder, ProcId, Terminator};
+///
+/// let mut body = ProcedureBuilder::new();
+/// let a = body.add_block();
+/// let b = body.add_block();
+/// body.push(a, Instruction::int_alu());
+/// body.terminate(a, Terminator::Jump(b));
+/// body.terminate(b, Terminator::Return);
+/// let proc = body.finish(ProcId(0), "f")?;
+///
+/// let cfg = Cfg::build(&proc);
+/// assert_eq!(cfg.successors(a), &[b]);
+/// assert_eq!(cfg.predecessors(b), &[a]);
+/// # Ok::<(), phase_ir::IrError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cfg {
+    entry: BlockId,
+    succs: Vec<Vec<BlockId>>,
+    preds: Vec<Vec<BlockId>>,
+}
+
+impl Cfg {
+    /// Builds the control-flow graph of a procedure.
+    pub fn build(proc: &Procedure) -> Self {
+        let n = proc.block_count();
+        let mut succs = vec![Vec::new(); n];
+        let mut preds = vec![Vec::new(); n];
+        for block in proc.blocks() {
+            for succ in block.successors() {
+                succs[block.id().index()].push(succ);
+                preds[succ.index()].push(block.id());
+            }
+        }
+        Self {
+            entry: proc.entry(),
+            succs,
+            preds,
+        }
+    }
+
+    /// The entry block.
+    pub fn entry(&self) -> BlockId {
+        self.entry
+    }
+
+    /// Number of blocks (nodes) in the graph.
+    pub fn block_count(&self) -> usize {
+        self.succs.len()
+    }
+
+    /// Iterator over every block id in the graph.
+    pub fn block_ids(&self) -> impl Iterator<Item = BlockId> {
+        (0..self.succs.len() as u32).map(BlockId)
+    }
+
+    /// Successors of a block, in terminator order.
+    pub fn successors(&self, block: BlockId) -> &[BlockId] {
+        &self.succs[block.index()]
+    }
+
+    /// Predecessors of a block.
+    pub fn predecessors(&self, block: BlockId) -> &[BlockId] {
+        &self.preds[block.index()]
+    }
+
+    /// All edges of the graph.
+    pub fn edges(&self) -> Vec<Edge> {
+        let mut edges = Vec::new();
+        for from in self.block_ids() {
+            for &to in self.successors(from) {
+                edges.push(Edge::new(from, to));
+            }
+        }
+        edges
+    }
+
+    /// Blocks in depth-first preorder from the entry.
+    ///
+    /// Unreachable blocks are not visited.
+    pub fn preorder(&self) -> Vec<BlockId> {
+        let mut order = Vec::with_capacity(self.block_count());
+        let mut visited = vec![false; self.block_count()];
+        let mut stack = vec![self.entry];
+        while let Some(block) = stack.pop() {
+            if visited[block.index()] {
+                continue;
+            }
+            visited[block.index()] = true;
+            order.push(block);
+            // Push successors in reverse so the first successor is visited
+            // first, matching a recursive DFS.
+            for &succ in self.successors(block).iter().rev() {
+                if !visited[succ.index()] {
+                    stack.push(succ);
+                }
+            }
+        }
+        order
+    }
+
+    /// Blocks in reverse postorder from the entry (a topological order when
+    /// back edges are ignored). Unreachable blocks are not included.
+    pub fn reverse_postorder(&self) -> Vec<BlockId> {
+        let mut postorder = Vec::with_capacity(self.block_count());
+        let mut visited = vec![false; self.block_count()];
+        // Iterative postorder DFS: (block, next-successor-index) stack.
+        let mut stack: Vec<(BlockId, usize)> = vec![(self.entry, 0)];
+        visited[self.entry.index()] = true;
+        while let Some((block, idx)) = stack.pop() {
+            let succs = self.successors(block);
+            if idx < succs.len() {
+                stack.push((block, idx + 1));
+                let next = succs[idx];
+                if !visited[next.index()] {
+                    visited[next.index()] = true;
+                    stack.push((next, 0));
+                }
+            } else {
+                postorder.push(block);
+            }
+        }
+        postorder.reverse();
+        postorder
+    }
+
+    /// Blocks in breadth-first order from the entry, skipping the given edges
+    /// (used by the paper's loop summarization, which does a BFS "ignoring
+    /// back edges"). Unreachable blocks are not visited.
+    pub fn breadth_first_ignoring(&self, skip: &[Edge]) -> Vec<BlockId> {
+        use std::collections::VecDeque;
+        let mut order = Vec::new();
+        let mut visited = vec![false; self.block_count()];
+        let mut queue = VecDeque::new();
+        queue.push_back(self.entry);
+        visited[self.entry.index()] = true;
+        while let Some(block) = queue.pop_front() {
+            order.push(block);
+            for &succ in self.successors(block) {
+                let edge = Edge::new(block, succ);
+                if skip.contains(&edge) || visited[succ.index()] {
+                    continue;
+                }
+                visited[succ.index()] = true;
+                queue.push_back(succ);
+            }
+        }
+        order
+    }
+
+    /// Whether every block is reachable from the entry.
+    pub fn is_fully_reachable(&self) -> bool {
+        self.preorder().len() == self.block_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phase_ir::{BranchBehavior, Instruction, ProcId, ProcedureBuilder, Terminator};
+
+    /// A diamond with a loop on the join block:
+    ///
+    /// ```text
+    ///      a
+    ///     / \
+    ///    b   c
+    ///     \ /
+    ///      d <-+ (self loop)
+    ///      |___|
+    ///      e
+    /// ```
+    fn diamond_with_loop() -> (Procedure, [BlockId; 5]) {
+        let mut body = ProcedureBuilder::new();
+        let a = body.add_block();
+        let b = body.add_block();
+        let c = body.add_block();
+        let d = body.add_block();
+        let e = body.add_block();
+        body.push(a, Instruction::int_alu());
+        body.terminate(
+            a,
+            Terminator::Branch {
+                taken: b,
+                fallthrough: c,
+                behavior: BranchBehavior::probabilistic(0.5),
+            },
+        );
+        body.terminate(b, Terminator::Jump(d));
+        body.terminate(c, Terminator::Jump(d));
+        body.loop_branch(d, d, e, 4);
+        body.terminate(e, Terminator::Return);
+        let proc = body.finish(ProcId(0), "diamond").unwrap();
+        (proc, [a, b, c, d, e])
+    }
+
+    #[test]
+    fn successors_and_predecessors_match() {
+        let (proc, [a, b, c, d, e]) = diamond_with_loop();
+        let cfg = Cfg::build(&proc);
+        assert_eq!(cfg.successors(a), &[b, c]);
+        assert_eq!(cfg.predecessors(d), &[b, c, d]);
+        assert_eq!(cfg.successors(d), &[d, e]);
+        assert_eq!(cfg.predecessors(a), &[] as &[BlockId]);
+    }
+
+    #[test]
+    fn preorder_starts_at_entry_and_visits_all_reachable() {
+        let (proc, [a, ..]) = diamond_with_loop();
+        let cfg = Cfg::build(&proc);
+        let order = cfg.preorder();
+        assert_eq!(order[0], a);
+        assert_eq!(order.len(), 5);
+        assert!(cfg.is_fully_reachable());
+    }
+
+    #[test]
+    fn reverse_postorder_places_predecessors_before_successors() {
+        let (proc, [a, b, c, d, e]) = diamond_with_loop();
+        let cfg = Cfg::build(&proc);
+        let rpo = cfg.reverse_postorder();
+        let pos = |x: BlockId| rpo.iter().position(|&y| y == x).unwrap();
+        assert!(pos(a) < pos(b));
+        assert!(pos(a) < pos(c));
+        assert!(pos(b) < pos(d));
+        assert!(pos(c) < pos(d));
+        assert!(pos(d) < pos(e));
+    }
+
+    #[test]
+    fn bfs_ignoring_back_edges_visits_each_block_once() {
+        let (proc, [_, _, _, d, _]) = diamond_with_loop();
+        let cfg = Cfg::build(&proc);
+        let order = cfg.breadth_first_ignoring(&[Edge::new(d, d)]);
+        assert_eq!(order.len(), 5);
+        let unique: std::collections::HashSet<_> = order.iter().collect();
+        assert_eq!(unique.len(), 5);
+    }
+
+    #[test]
+    fn edges_enumerates_every_terminator_target() {
+        let (proc, [_, _, _, d, e]) = diamond_with_loop();
+        let cfg = Cfg::build(&proc);
+        let edges = cfg.edges();
+        assert_eq!(edges.len(), 6);
+        assert!(edges.contains(&Edge::new(d, d)));
+        assert!(edges.contains(&Edge::new(d, e)));
+    }
+
+    #[test]
+    fn unreachable_block_detected() {
+        let mut body = ProcedureBuilder::new();
+        let a = body.add_block();
+        let _orphan = body.add_block();
+        body.terminate(a, Terminator::Return);
+        let proc = body.finish(ProcId(0), "orphaned").unwrap();
+        let cfg = Cfg::build(&proc);
+        assert!(!cfg.is_fully_reachable());
+        assert_eq!(cfg.preorder().len(), 1);
+    }
+
+    #[test]
+    fn edge_display_is_readable() {
+        assert_eq!(format!("{}", Edge::new(BlockId(0), BlockId(3))), "bb0 -> bb3");
+    }
+}

@@ -1,0 +1,293 @@
+//! Allen-style interval partitioning.
+//!
+//! "An interval `i(η)` corresponding to a node `η` is the maximal, single
+//! entry subgraph for which `η` is the entry node and in which all closed
+//! paths contain `η`" (Allen 1970, quoted in Section II-A1b of the paper).
+//! The paper's second class of phase-marking techniques summarizes intervals
+//! into a single phase type; even first-order intervals frequently capture
+//! small loops, which keeps phase marks out of tight loops.
+
+use phase_ir::BlockId;
+
+use crate::graph::Cfg;
+
+/// One interval: its header plus member blocks in discovery order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Interval {
+    header: BlockId,
+    blocks: Vec<BlockId>,
+}
+
+impl Interval {
+    /// The interval's header (its single entry node).
+    pub fn header(&self) -> BlockId {
+        self.header
+    }
+
+    /// Blocks belonging to this interval, header first.
+    pub fn blocks(&self) -> &[BlockId] {
+        &self.blocks
+    }
+
+    /// Whether the interval contains the given block.
+    pub fn contains(&self, block: BlockId) -> bool {
+        self.blocks.contains(&block)
+    }
+
+    /// Number of blocks in the interval.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+}
+
+/// The interval partition of a control-flow graph.
+///
+/// Every reachable block belongs to exactly one interval.
+///
+/// # Examples
+///
+/// ```
+/// use phase_cfg::{Cfg, IntervalPartition};
+/// use phase_ir::{ProcedureBuilder, ProcId, Terminator};
+///
+/// let mut body = ProcedureBuilder::new();
+/// let entry = body.add_block();
+/// let header = body.add_block();
+/// let exit = body.add_block();
+/// body.terminate(entry, Terminator::Jump(header));
+/// body.loop_branch(header, header, exit, 8);
+/// body.terminate(exit, Terminator::Return);
+/// let proc = body.finish(ProcId(0), "f")?;
+///
+/// let cfg = Cfg::build(&proc);
+/// let partition = IntervalPartition::build(&cfg);
+/// // The self loop is absorbed into the interval headed by the entry.
+/// assert!(partition.interval_count() <= 2);
+/// # Ok::<(), phase_ir::IrError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IntervalPartition {
+    intervals: Vec<Interval>,
+    /// Index into `intervals` for each block; `None` for unreachable blocks.
+    membership: Vec<Option<usize>>,
+}
+
+impl IntervalPartition {
+    /// Computes the (first-order) interval partition of a graph using the
+    /// classic worklist algorithm.
+    pub fn build(cfg: &Cfg) -> Self {
+        let n = cfg.block_count();
+        let mut membership: Vec<Option<usize>> = vec![None; n];
+        let mut intervals: Vec<Interval> = Vec::new();
+
+        // Header worklist, seeded with the entry node.
+        let mut header_candidates: Vec<BlockId> = vec![cfg.entry()];
+        let mut is_header_or_member = vec![false; n];
+
+        while let Some(header) = header_candidates.pop() {
+            if is_header_or_member[header.index()] {
+                continue;
+            }
+            let interval_index = intervals.len();
+            let mut blocks = vec![header];
+            is_header_or_member[header.index()] = true;
+            membership[header.index()] = Some(interval_index);
+
+            // Grow the interval: repeatedly add nodes all of whose
+            // predecessors are already inside it.
+            let mut grew = true;
+            while grew {
+                grew = false;
+                for candidate in cfg.block_ids() {
+                    if is_header_or_member[candidate.index()] || candidate == cfg.entry() {
+                        continue;
+                    }
+                    let preds = cfg.predecessors(candidate);
+                    if preds.is_empty() {
+                        continue; // unreachable
+                    }
+                    let all_inside = preds
+                        .iter()
+                        .all(|p| membership[p.index()] == Some(interval_index));
+                    if all_inside {
+                        is_header_or_member[candidate.index()] = true;
+                        membership[candidate.index()] = Some(interval_index);
+                        blocks.push(candidate);
+                        grew = true;
+                    }
+                }
+            }
+
+            intervals.push(Interval { header, blocks });
+
+            // New headers: nodes not yet assigned that have a predecessor in
+            // some processed interval.
+            for candidate in cfg.block_ids() {
+                if is_header_or_member[candidate.index()] {
+                    continue;
+                }
+                let has_processed_pred = cfg
+                    .predecessors(candidate)
+                    .iter()
+                    .any(|p| membership[p.index()].is_some());
+                if has_processed_pred {
+                    header_candidates.push(candidate);
+                }
+            }
+        }
+
+        Self {
+            intervals,
+            membership,
+        }
+    }
+
+    /// All intervals of the partition.
+    pub fn intervals(&self) -> &[Interval] {
+        &self.intervals
+    }
+
+    /// Number of intervals.
+    pub fn interval_count(&self) -> usize {
+        self.intervals.len()
+    }
+
+    /// The interval containing a block, if the block is reachable.
+    pub fn interval_of(&self, block: BlockId) -> Option<&Interval> {
+        self.membership[block.index()].map(|i| &self.intervals[i])
+    }
+
+    /// Index (within [`IntervalPartition::intervals`]) of the interval
+    /// containing a block.
+    pub fn interval_index_of(&self, block: BlockId) -> Option<usize> {
+        self.membership[block.index()]
+    }
+
+    /// Whether two blocks fall in the same interval.
+    pub fn same_interval(&self, a: BlockId, b: BlockId) -> bool {
+        match (self.membership[a.index()], self.membership[b.index()]) {
+            (Some(x), Some(y)) => x == y,
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phase_ir::{BranchBehavior, ProcId, Procedure, ProcedureBuilder, Terminator};
+
+    fn build(proc: &Procedure) -> IntervalPartition {
+        IntervalPartition::build(&Cfg::build(proc))
+    }
+
+    /// Straight-line code collapses into a single interval.
+    #[test]
+    fn straight_line_is_one_interval() {
+        let mut body = ProcedureBuilder::new();
+        let a = body.add_block();
+        let b = body.add_block();
+        let c = body.add_block();
+        body.terminate(a, Terminator::Jump(b));
+        body.terminate(b, Terminator::Jump(c));
+        body.terminate(c, Terminator::Return);
+        let proc = body.finish(ProcId(0), "straight").unwrap();
+        let partition = build(&proc);
+        assert_eq!(partition.interval_count(), 1);
+        assert_eq!(partition.intervals()[0].block_count(), 3);
+        assert!(partition.same_interval(a, c));
+        assert_eq!(partition.interval_of(b).unwrap().header(), a);
+    }
+
+    /// A diamond also collapses into a single interval (the join's
+    /// predecessors are both inside).
+    #[test]
+    fn diamond_is_one_interval() {
+        let mut body = ProcedureBuilder::new();
+        let a = body.add_block();
+        let b = body.add_block();
+        let c = body.add_block();
+        let d = body.add_block();
+        body.terminate(
+            a,
+            Terminator::Branch {
+                taken: b,
+                fallthrough: c,
+                behavior: BranchBehavior::probabilistic(0.3),
+            },
+        );
+        body.terminate(b, Terminator::Jump(d));
+        body.terminate(c, Terminator::Jump(d));
+        body.terminate(d, Terminator::Return);
+        let proc = body.finish(ProcId(0), "diamond").unwrap();
+        let partition = build(&proc);
+        assert_eq!(partition.interval_count(), 1);
+    }
+
+    /// A while-loop whose header is not the procedure entry becomes its own
+    /// interval headed at the loop header.
+    #[test]
+    fn loop_header_becomes_interval_header() {
+        let mut body = ProcedureBuilder::new();
+        let entry = body.add_block();
+        let header = body.add_block();
+        let latch = body.add_block();
+        let exit = body.add_block();
+        body.terminate(entry, Terminator::Jump(header));
+        body.terminate(header, Terminator::Jump(latch));
+        body.loop_branch(latch, header, exit, 12);
+        body.terminate(exit, Terminator::Return);
+        let proc = body.finish(ProcId(0), "whileloop").unwrap();
+        let partition = build(&proc);
+        // entry | {header, latch, exit}
+        assert_eq!(partition.interval_count(), 2);
+        let loop_interval = partition.interval_of(header).unwrap();
+        assert_eq!(loop_interval.header(), header);
+        assert!(loop_interval.contains(latch));
+        assert!(partition.same_interval(header, latch));
+        assert!(!partition.same_interval(entry, header));
+    }
+
+    #[test]
+    fn every_reachable_block_is_in_exactly_one_interval() {
+        let mut body = ProcedureBuilder::new();
+        let blocks: Vec<_> = (0..6).map(|_| body.add_block()).collect();
+        body.terminate(
+            blocks[0],
+            Terminator::Branch {
+                taken: blocks[1],
+                fallthrough: blocks[2],
+                behavior: BranchBehavior::probabilistic(0.5),
+            },
+        );
+        body.terminate(blocks[1], Terminator::Jump(blocks[3]));
+        body.terminate(blocks[2], Terminator::Jump(blocks[3]));
+        body.loop_branch(blocks[3], blocks[1], blocks[4], 2);
+        body.terminate(blocks[4], Terminator::Jump(blocks[5]));
+        body.terminate(blocks[5], Terminator::Return);
+        let proc = body.finish(ProcId(0), "mixed").unwrap();
+        let partition = build(&proc);
+        for &b in &blocks {
+            let count = partition
+                .intervals()
+                .iter()
+                .filter(|i| i.contains(b))
+                .count();
+            assert_eq!(count, 1, "block {b} is in {count} intervals");
+        }
+    }
+
+    #[test]
+    fn unreachable_blocks_have_no_interval() {
+        let mut body = ProcedureBuilder::new();
+        let a = body.add_block();
+        let orphan = body.add_block();
+        body.terminate(a, Terminator::Return);
+        body.terminate(orphan, Terminator::Return);
+        let proc = body.finish(ProcId(0), "orphan").unwrap();
+        let partition = build(&proc);
+        assert!(partition.interval_of(orphan).is_none());
+        assert!(partition.interval_index_of(a).is_some());
+        assert!(!partition.same_interval(a, orphan));
+    }
+}

@@ -1,0 +1,69 @@
+//! # phase-cfg
+//!
+//! Control-flow analyses used by phase-based tuning (Sondag & Rajan, CGO 2011):
+//!
+//! * [`Cfg`] — intra-procedural control-flow graphs with traversal orders;
+//! * [`DominatorTree`] — dominators and back-edge classification;
+//! * [`LoopForest`] — natural loops and their nesting, used by the paper's
+//!   strongest (loop, inter-procedural) phase-marking technique;
+//! * [`IntervalPartition`] — Allen's intervals, used by the interval-level
+//!   technique;
+//! * [`CallGraph`] — call graph, strongly connected components, and bottom-up
+//!   order for the inter-procedural analysis.
+//!
+//! All analyses are purely structural: they consume `phase-ir` programs and
+//! know nothing about phase types, which keeps them reusable for the typing
+//! (`phase-analysis`) and marking (`phase-marking`) stages built on top.
+//!
+//! ## Example
+//!
+//! ```
+//! use phase_cfg::{Cfg, DominatorTree, LoopForest};
+//! use phase_ir::{ProcedureBuilder, ProcId, Terminator};
+//!
+//! let mut body = ProcedureBuilder::new();
+//! let entry = body.add_block();
+//! let header = body.add_block();
+//! let exit = body.add_block();
+//! body.terminate(entry, Terminator::Jump(header));
+//! body.loop_branch(header, header, exit, 100);
+//! body.terminate(exit, Terminator::Return);
+//! let proc = body.finish(ProcId(0), "hot")?;
+//!
+//! let cfg = Cfg::build(&proc);
+//! let dom = DominatorTree::build(&cfg);
+//! let loops = LoopForest::build(&cfg, &dom);
+//! assert_eq!(loops.loop_count(), 1);
+//! # Ok::<(), phase_ir::IrError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
+
+mod callgraph;
+mod dominators;
+mod graph;
+mod intervals;
+mod loops;
+
+pub use callgraph::CallGraph;
+pub use dominators::DominatorTree;
+pub use graph::{Cfg, Edge, EdgeKind};
+pub use intervals::{Interval, IntervalPartition};
+pub use loops::{LoopForest, LoopId, NaturalLoop};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn public_types_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Cfg>();
+        assert_send_sync::<DominatorTree>();
+        assert_send_sync::<LoopForest>();
+        assert_send_sync::<IntervalPartition>();
+        assert_send_sync::<CallGraph>();
+    }
+}

@@ -1,0 +1,409 @@
+//! Natural-loop detection and the loop-nesting forest.
+//!
+//! The paper's strongest technique summarizes *loops* into a single phase type
+//! (Section II-A1c) and gives nodes in nested loops a higher weight. Both need
+//! the set of natural loops, their bodies, and their nesting relation, which
+//! this module computes from back edges (edges whose target dominates their
+//! source, cf. Muchnick).
+
+use std::collections::BTreeSet;
+
+use phase_ir::BlockId;
+
+use crate::dominators::DominatorTree;
+use crate::graph::{Cfg, Edge};
+
+/// Identifier of a natural loop within one procedure's [`LoopForest`].
+#[derive(
+    Debug,
+    Clone,
+    Copy,
+    PartialEq,
+    Eq,
+    Hash,
+    PartialOrd,
+    Ord,
+    serde::Serialize,
+    serde::Deserialize,
+)]
+pub struct LoopId(pub u32);
+
+impl LoopId {
+    /// The loop id as a `usize` index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for LoopId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "loop{}", self.0)
+    }
+}
+
+/// A natural loop: a header plus the set of blocks that can reach a back edge
+/// into the header without passing through the header.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NaturalLoop {
+    id: LoopId,
+    header: BlockId,
+    back_edges: Vec<Edge>,
+    blocks: BTreeSet<BlockId>,
+    parent: Option<LoopId>,
+    children: Vec<LoopId>,
+    depth: u32,
+}
+
+impl NaturalLoop {
+    /// The loop's identifier within its forest.
+    pub fn id(&self) -> LoopId {
+        self.id
+    }
+
+    /// The loop header (entry block of the loop).
+    pub fn header(&self) -> BlockId {
+        self.header
+    }
+
+    /// The back edges that define the loop.
+    pub fn back_edges(&self) -> &[Edge] {
+        &self.back_edges
+    }
+
+    /// All blocks belonging to the loop (header included).
+    pub fn blocks(&self) -> &BTreeSet<BlockId> {
+        &self.blocks
+    }
+
+    /// Whether the loop contains the given block.
+    pub fn contains(&self, block: BlockId) -> bool {
+        self.blocks.contains(&block)
+    }
+
+    /// The immediately enclosing loop, if any.
+    pub fn parent(&self) -> Option<LoopId> {
+        self.parent
+    }
+
+    /// Loops immediately nested inside this one.
+    pub fn children(&self) -> &[LoopId] {
+        &self.children
+    }
+
+    /// Nesting depth: `1` for outermost loops, `2` for loops nested once, ...
+    pub fn depth(&self) -> u32 {
+        self.depth
+    }
+
+    /// Number of blocks in the loop body.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+}
+
+/// The loop-nesting forest of one procedure.
+///
+/// # Examples
+///
+/// ```
+/// use phase_cfg::{Cfg, DominatorTree, LoopForest};
+/// use phase_ir::{ProcedureBuilder, ProcId, Terminator};
+///
+/// let mut body = ProcedureBuilder::new();
+/// let entry = body.add_block();
+/// let header = body.add_block();
+/// let exit = body.add_block();
+/// body.terminate(entry, Terminator::Jump(header));
+/// body.loop_branch(header, header, exit, 16);
+/// body.terminate(exit, Terminator::Return);
+/// let proc = body.finish(ProcId(0), "f")?;
+///
+/// let cfg = Cfg::build(&proc);
+/// let dom = DominatorTree::build(&cfg);
+/// let loops = LoopForest::build(&cfg, &dom);
+/// assert_eq!(loops.loop_count(), 1);
+/// assert_eq!(loops.nesting_depth(header), 1);
+/// assert_eq!(loops.nesting_depth(exit), 0);
+/// # Ok::<(), phase_ir::IrError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoopForest {
+    loops: Vec<NaturalLoop>,
+    /// Innermost loop containing each block, if any.
+    innermost: Vec<Option<LoopId>>,
+}
+
+impl LoopForest {
+    /// Detects all natural loops of a graph and organises them into a forest.
+    ///
+    /// Loops that share a header (multiple back edges to the same block) are
+    /// merged into one loop, the usual convention.
+    pub fn build(cfg: &Cfg, dom: &DominatorTree) -> Self {
+        let n = cfg.block_count();
+
+        // Group back edges by header.
+        let mut by_header: Vec<(BlockId, Vec<Edge>)> = Vec::new();
+        for edge in dom.back_edges(cfg) {
+            match by_header.iter_mut().find(|(h, _)| *h == edge.to) {
+                Some((_, edges)) => edges.push(edge),
+                None => by_header.push((edge.to, vec![edge])),
+            }
+        }
+
+        // Compute the body of each loop: header plus everything that reaches a
+        // latch without going through the header (standard worklist walking
+        // predecessors).
+        let mut loops: Vec<NaturalLoop> = Vec::new();
+        for (idx, (header, edges)) in by_header.into_iter().enumerate() {
+            let mut blocks: BTreeSet<BlockId> = BTreeSet::new();
+            blocks.insert(header);
+            let mut worklist: Vec<BlockId> = Vec::new();
+            for edge in &edges {
+                if blocks.insert(edge.from) {
+                    worklist.push(edge.from);
+                }
+            }
+            while let Some(block) = worklist.pop() {
+                for &pred in cfg.predecessors(block) {
+                    if dom.is_reachable(pred) && blocks.insert(pred) {
+                        worklist.push(pred);
+                    }
+                }
+            }
+            loops.push(NaturalLoop {
+                id: LoopId(idx as u32),
+                header,
+                back_edges: edges,
+                blocks,
+                parent: None,
+                children: Vec::new(),
+                depth: 1,
+            });
+        }
+
+        // Nesting: loop A is nested in loop B when A's header is in B's body
+        // and A != B. The parent is the smallest such enclosing loop.
+        let containment: Vec<Vec<LoopId>> = loops
+            .iter()
+            .map(|inner| {
+                loops
+                    .iter()
+                    .filter(|outer| {
+                        outer.id != inner.id
+                            && outer.blocks.contains(&inner.header)
+                            && outer.blocks.is_superset(&inner.blocks)
+                    })
+                    .map(|outer| outer.id)
+                    .collect()
+            })
+            .collect();
+        for (idx, enclosing) in containment.iter().enumerate() {
+            let parent = enclosing
+                .iter()
+                .copied()
+                .min_by_key(|l| loops[l.index()].blocks.len());
+            loops[idx].parent = parent;
+            loops[idx].depth = enclosing.len() as u32 + 1;
+            if let Some(parent) = parent {
+                let child = loops[idx].id;
+                loops[parent.index()].children.push(child);
+            }
+        }
+
+        // Innermost loop per block: the containing loop with the fewest blocks.
+        let mut innermost: Vec<Option<LoopId>> = vec![None; n];
+        for (block_idx, slot) in innermost.iter_mut().enumerate() {
+            let block = BlockId(block_idx as u32);
+            *slot = loops
+                .iter()
+                .filter(|l| l.contains(block))
+                .min_by_key(|l| l.blocks.len())
+                .map(|l| l.id);
+        }
+
+        Self { loops, innermost }
+    }
+
+    /// All loops in the forest.
+    pub fn loops(&self) -> &[NaturalLoop] {
+        &self.loops
+    }
+
+    /// Number of loops detected.
+    pub fn loop_count(&self) -> usize {
+        self.loops.len()
+    }
+
+    /// Looks up a loop by id.
+    pub fn loop_by_id(&self, id: LoopId) -> &NaturalLoop {
+        &self.loops[id.index()]
+    }
+
+    /// The innermost loop containing a block, if any.
+    pub fn innermost(&self, block: BlockId) -> Option<&NaturalLoop> {
+        self.innermost[block.index()].map(|id| self.loop_by_id(id))
+    }
+
+    /// How deeply nested a block is: `0` outside any loop, `1` in an outermost
+    /// loop, and so on. This is the `λ` used by the paper's nesting-level
+    /// weight function `wn(λ)`.
+    pub fn nesting_depth(&self, block: BlockId) -> u32 {
+        self.innermost(block).map_or(0, NaturalLoop::depth)
+    }
+
+    /// Loops with no enclosing loop (the forest roots).
+    pub fn outermost_loops(&self) -> impl Iterator<Item = &NaturalLoop> {
+        self.loops.iter().filter(|l| l.parent.is_none())
+    }
+
+    /// Loops ordered from innermost to outermost (children before parents),
+    /// the order required by the paper's loop summarization.
+    pub fn inner_to_outer(&self) -> Vec<LoopId> {
+        let mut order: Vec<LoopId> = self.loops.iter().map(|l| l.id).collect();
+        order.sort_by_key(|l| std::cmp::Reverse(self.loop_by_id(*l).depth));
+        order
+    }
+
+    /// Whether `inner` is strictly nested inside `outer` (transitively).
+    pub fn is_nested_in(&self, inner: LoopId, outer: LoopId) -> bool {
+        let mut current = self.loop_by_id(inner).parent;
+        while let Some(p) = current {
+            if p == outer {
+                return true;
+            }
+            current = self.loop_by_id(p).parent;
+        }
+        false
+    }
+
+    /// Loops immediately nested inside `outer` (its direct children).
+    pub fn direct_children(&self, outer: LoopId) -> &[LoopId] {
+        self.loop_by_id(outer).children()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phase_ir::{ProcId, Procedure, ProcedureBuilder, Terminator};
+
+    /// entry -> outer_header -> inner_header -> inner_latch (-> inner_header)
+    ///   inner exit -> outer_latch (-> outer_header) -> exit
+    fn nested_loops() -> (Procedure, [BlockId; 6]) {
+        let mut body = ProcedureBuilder::new();
+        let entry = body.add_block();
+        let outer_h = body.add_block();
+        let inner_h = body.add_block();
+        let inner_l = body.add_block();
+        let outer_l = body.add_block();
+        let exit = body.add_block();
+        body.terminate(entry, Terminator::Jump(outer_h));
+        body.terminate(outer_h, Terminator::Jump(inner_h));
+        body.terminate(inner_h, Terminator::Jump(inner_l));
+        body.loop_branch(inner_l, inner_h, outer_l, 8);
+        body.loop_branch(outer_l, outer_h, exit, 4);
+        body.terminate(exit, Terminator::Return);
+        let proc = body.finish(ProcId(0), "nested").unwrap();
+        (proc, [entry, outer_h, inner_h, inner_l, outer_l, exit])
+    }
+
+    fn forest(proc: &Procedure) -> (Cfg, LoopForest) {
+        let cfg = Cfg::build(proc);
+        let dom = DominatorTree::build(&cfg);
+        let loops = LoopForest::build(&cfg, &dom);
+        (cfg, loops)
+    }
+
+    #[test]
+    fn nested_loops_are_detected_with_correct_depths() {
+        let (proc, [entry, outer_h, inner_h, inner_l, outer_l, exit]) = nested_loops();
+        let (_, loops) = forest(&proc);
+        assert_eq!(loops.loop_count(), 2);
+        assert_eq!(loops.nesting_depth(entry), 0);
+        assert_eq!(loops.nesting_depth(exit), 0);
+        assert_eq!(loops.nesting_depth(outer_h), 1);
+        assert_eq!(loops.nesting_depth(outer_l), 1);
+        assert_eq!(loops.nesting_depth(inner_h), 2);
+        assert_eq!(loops.nesting_depth(inner_l), 2);
+    }
+
+    #[test]
+    fn nesting_relations_are_consistent() {
+        let (proc, [_, outer_h, inner_h, ..]) = nested_loops();
+        let (_, loops) = forest(&proc);
+        let outer = loops.innermost(outer_h).unwrap().id();
+        let inner = loops.innermost(inner_h).unwrap().id();
+        assert!(loops.is_nested_in(inner, outer));
+        assert!(!loops.is_nested_in(outer, inner));
+        assert_eq!(loops.loop_by_id(inner).parent(), Some(outer));
+        assert_eq!(loops.direct_children(outer), &[inner]);
+        assert_eq!(loops.outermost_loops().count(), 1);
+    }
+
+    #[test]
+    fn loop_bodies_contain_headers_and_latches() {
+        let (proc, [_, outer_h, inner_h, inner_l, outer_l, _]) = nested_loops();
+        let (_, loops) = forest(&proc);
+        let outer = loops.innermost(outer_h).unwrap();
+        assert!(outer.contains(inner_h));
+        assert!(outer.contains(inner_l));
+        assert!(outer.contains(outer_l));
+        assert_eq!(outer.block_count(), 4);
+        let inner = loops.innermost(inner_h).unwrap();
+        assert_eq!(inner.block_count(), 2);
+        assert_eq!(inner.header(), inner_h);
+        assert_eq!(inner.back_edges().len(), 1);
+    }
+
+    #[test]
+    fn inner_to_outer_order_puts_children_first() {
+        let (proc, [_, outer_h, inner_h, ..]) = nested_loops();
+        let (_, loops) = forest(&proc);
+        let order = loops.inner_to_outer();
+        let inner = loops.innermost(inner_h).unwrap().id();
+        let outer = loops.innermost(outer_h).unwrap().id();
+        let pos = |x: LoopId| order.iter().position(|&y| y == x).unwrap();
+        assert!(pos(inner) < pos(outer));
+    }
+
+    #[test]
+    fn loop_free_procedure_has_empty_forest() {
+        let mut body = ProcedureBuilder::new();
+        let a = body.add_block();
+        let b = body.add_block();
+        body.terminate(a, Terminator::Jump(b));
+        body.terminate(b, Terminator::Return);
+        let proc = body.finish(ProcId(0), "straight").unwrap();
+        let (_, loops) = forest(&proc);
+        assert_eq!(loops.loop_count(), 0);
+        assert_eq!(loops.nesting_depth(a), 0);
+        assert!(loops.innermost(b).is_none());
+    }
+
+    #[test]
+    fn disjoint_sibling_loops_have_no_nesting() {
+        // entry -> l1 (self loop) -> l2 (self loop) -> exit
+        let mut body = ProcedureBuilder::new();
+        let entry = body.add_block();
+        let l1 = body.add_block();
+        let l2 = body.add_block();
+        let exit = body.add_block();
+        body.terminate(entry, Terminator::Jump(l1));
+        body.loop_branch(l1, l1, l2, 5);
+        body.loop_branch(l2, l2, exit, 5);
+        body.terminate(exit, Terminator::Return);
+        let proc = body.finish(ProcId(0), "siblings").unwrap();
+        let (_, loops) = forest(&proc);
+        assert_eq!(loops.loop_count(), 2);
+        let a = loops.innermost(l1).unwrap().id();
+        let b = loops.innermost(l2).unwrap().id();
+        assert!(!loops.is_nested_in(a, b));
+        assert!(!loops.is_nested_in(b, a));
+        assert_eq!(loops.outermost_loops().count(), 2);
+    }
+
+    #[test]
+    fn loop_id_display() {
+        assert_eq!(format!("{}", LoopId(2)), "loop2");
+    }
+}

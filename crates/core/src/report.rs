@@ -1,0 +1,142 @@
+//! Plain-text report tables for the benchmark harness.
+//!
+//! The bench binaries regenerate the paper's tables and figures as aligned
+//! text tables on stdout; this module holds the small formatter they share.
+
+/// A simple aligned text table.
+///
+/// # Examples
+///
+/// ```
+/// use phase_core::TextTable;
+///
+/// let mut table = TextTable::new(vec!["Technique", "Speedup"]);
+/// table.add_row(vec!["Loop[45]".to_string(), "35.95%".to_string()]);
+/// let rendered = table.render();
+/// assert!(rendered.contains("Loop[45]"));
+/// assert!(rendered.contains("Speedup"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: Vec<&str>) -> Self {
+        Self {
+            headers: headers.into_iter().map(str::to_string).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row has a different number of cells than the header.
+    pub fn add_row(&mut self, row: Vec<String>) {
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row has {} cells but the table has {} columns",
+            row.len(),
+            self.headers.len()
+        );
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (cell, width) in row.iter().zip(widths.iter_mut()) {
+                *width = (*width).max(cell.len());
+            }
+        }
+        let render_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .zip(&widths)
+                .map(|(cell, width)| format!("{cell:<width$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+                .trim_end()
+                .to_string()
+        };
+        let mut out = String::new();
+        out.push_str(&render_row(&self.headers));
+        out.push('\n');
+        let total_width: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        out.push_str(&"-".repeat(total_width));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&render_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a nanosecond duration with an adaptive unit.
+pub fn format_duration_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Formats a ratio as a signed percentage.
+pub fn format_pct(value: f64) -> String {
+    format!("{value:+.2}%")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_columns() {
+        let mut table = TextTable::new(vec!["a", "bbbb"]);
+        table.add_row(vec!["xxxxx".to_string(), "y".to_string()]);
+        table.add_row(vec!["z".to_string(), "w".to_string()]);
+        let rendered = table.render();
+        let lines: Vec<&str> = rendered.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("a      bbbb"));
+        assert!(lines[1].starts_with("---"));
+        assert_eq!(table.row_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "columns")]
+    fn mismatched_row_is_rejected() {
+        let mut table = TextTable::new(vec!["a", "b"]);
+        table.add_row(vec!["only one".to_string()]);
+    }
+
+    #[test]
+    fn duration_formatting_scales_units() {
+        assert_eq!(format_duration_ns(500.0), "500 ns");
+        assert_eq!(format_duration_ns(2_500.0), "2.500 µs");
+        assert_eq!(format_duration_ns(3_000_000.0), "3.000 ms");
+        assert_eq!(format_duration_ns(1.5e9), "1.500 s");
+    }
+
+    #[test]
+    fn percent_formatting_keeps_sign() {
+        assert_eq!(format_pct(35.95), "+35.95%");
+        assert_eq!(format_pct(-10.75), "-10.75%");
+    }
+}

@@ -1,0 +1,148 @@
+//! Error type for IR construction and validation.
+
+use crate::block::BlockId;
+use crate::proc::ProcId;
+
+/// Errors produced while constructing or validating programs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum IrError {
+    /// A procedure contains no basic blocks.
+    EmptyProcedure {
+        /// The offending procedure.
+        proc: ProcId,
+    },
+    /// A block's id does not match its position within the procedure.
+    MisnumberedBlock {
+        /// The offending procedure.
+        proc: ProcId,
+        /// The id implied by the block's position.
+        expected: BlockId,
+        /// The id the block actually carries.
+        found: BlockId,
+    },
+    /// A referenced block does not exist in the procedure.
+    MissingBlock {
+        /// The offending procedure.
+        proc: ProcId,
+        /// The missing block.
+        block: BlockId,
+    },
+    /// A terminator targets a block outside its procedure.
+    DanglingEdge {
+        /// The offending procedure.
+        proc: ProcId,
+        /// The source block of the edge.
+        from: BlockId,
+        /// The non-existent target block.
+        to: BlockId,
+    },
+    /// A program contains no procedures.
+    EmptyProgram,
+    /// A procedure's id does not match its position within the program.
+    MisnumberedProcedure {
+        /// The id implied by the procedure's position.
+        expected: ProcId,
+        /// The id the procedure actually carries.
+        found: ProcId,
+    },
+    /// The program's entry procedure does not exist.
+    MissingEntryProcedure {
+        /// The missing procedure.
+        proc: ProcId,
+    },
+    /// A call targets a procedure that does not exist.
+    DanglingCall {
+        /// The calling procedure.
+        caller: ProcId,
+        /// The block containing the call.
+        block: BlockId,
+        /// The non-existent callee.
+        callee: ProcId,
+    },
+    /// A builder-declared procedure was never defined.
+    UndefinedProcedure {
+        /// The declared-but-undefined procedure.
+        proc: ProcId,
+        /// Its declared name.
+        name: String,
+    },
+}
+
+impl std::fmt::Display for IrError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IrError::EmptyProcedure { proc } => write!(f, "procedure {proc} has no blocks"),
+            IrError::MisnumberedBlock {
+                proc,
+                expected,
+                found,
+            } => write!(
+                f,
+                "procedure {proc} has block {found} at position expecting {expected}"
+            ),
+            IrError::MissingBlock { proc, block } => {
+                write!(f, "procedure {proc} references missing block {block}")
+            }
+            IrError::DanglingEdge { proc, from, to } => write!(
+                f,
+                "procedure {proc} has an edge from {from} to non-existent block {to}"
+            ),
+            IrError::EmptyProgram => write!(f, "program has no procedures"),
+            IrError::MisnumberedProcedure { expected, found } => write!(
+                f,
+                "procedure {found} appears at position expecting {expected}"
+            ),
+            IrError::MissingEntryProcedure { proc } => {
+                write!(f, "entry procedure {proc} does not exist")
+            }
+            IrError::DanglingCall {
+                caller,
+                block,
+                callee,
+            } => write!(
+                f,
+                "procedure {caller} block {block} calls non-existent procedure {callee}"
+            ),
+            IrError::UndefinedProcedure { proc, name } => {
+                write!(f, "procedure {proc} (`{name}`) was declared but never defined")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IrError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_lowercase_and_informative() {
+        let errors = [
+            IrError::EmptyProcedure { proc: ProcId(1) },
+            IrError::EmptyProgram,
+            IrError::DanglingCall {
+                caller: ProcId(0),
+                block: BlockId(2),
+                callee: ProcId(9),
+            },
+            IrError::UndefinedProcedure {
+                proc: ProcId(4),
+                name: "helper".to_string(),
+            },
+        ];
+        for err in errors {
+            let msg = err.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+            assert!(!msg.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn assert_error<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_error::<IrError>();
+    }
+}

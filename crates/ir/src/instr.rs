@@ -1,0 +1,488 @@
+//! Instructions of the synthetic, binary-like program representation.
+//!
+//! The phase-based-tuning analyses never look at concrete operands; they only
+//! care about *what kind* of work an instruction performs (integer vs.
+//! floating point vs. memory vs. control) and, for memory operations, how the
+//! accessed region behaves with respect to caches. Instructions therefore
+//! carry an [`InstrClass`] and an optional [`MemRef`] describing the access
+//! pattern, which is exactly the information the paper's static block-typing
+//! analysis (instruction mix + reuse-distance estimate) consumes.
+
+use serde::{Deserialize, Serialize};
+
+/// The class of work performed by an instruction.
+///
+/// Classes are deliberately coarse: they match the feature dimensions used by
+/// the paper's proof-of-concept static analysis (Section II-A3), which looks
+/// at "a combination of instruction types as well as a rough estimate of
+/// cache behavior".
+///
+/// # Examples
+///
+/// ```
+/// use phase_ir::InstrClass;
+///
+/// assert!(InstrClass::Load.is_memory());
+/// assert!(InstrClass::FpMul.is_floating_point());
+/// assert!(!InstrClass::IntAlu.is_memory());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum InstrClass {
+    /// Integer add/sub/logical/compare.
+    IntAlu,
+    /// Integer multiply.
+    IntMul,
+    /// Integer divide / remainder.
+    IntDiv,
+    /// Floating-point add/sub/compare.
+    FpAdd,
+    /// Floating-point multiply.
+    FpMul,
+    /// Floating-point divide / sqrt.
+    FpDiv,
+    /// Memory read.
+    Load,
+    /// Memory write.
+    Store,
+    /// Conditional branch.
+    Branch,
+    /// Unconditional jump.
+    Jump,
+    /// Procedure call.
+    Call,
+    /// Procedure return.
+    Return,
+    /// No-operation / padding.
+    Nop,
+    /// Operating-system call (treated as a special CFG node by the paper).
+    Syscall,
+}
+
+impl InstrClass {
+    /// All instruction classes, in a fixed order usable for feature vectors.
+    pub const ALL: [InstrClass; 14] = [
+        InstrClass::IntAlu,
+        InstrClass::IntMul,
+        InstrClass::IntDiv,
+        InstrClass::FpAdd,
+        InstrClass::FpMul,
+        InstrClass::FpDiv,
+        InstrClass::Load,
+        InstrClass::Store,
+        InstrClass::Branch,
+        InstrClass::Jump,
+        InstrClass::Call,
+        InstrClass::Return,
+        InstrClass::Nop,
+        InstrClass::Syscall,
+    ];
+
+    /// Index of this class within [`InstrClass::ALL`].
+    pub fn index(self) -> usize {
+        InstrClass::ALL
+            .iter()
+            .position(|c| *c == self)
+            .expect("class present in ALL")
+    }
+
+    /// Returns `true` for loads and stores.
+    pub fn is_memory(self) -> bool {
+        matches!(self, InstrClass::Load | InstrClass::Store)
+    }
+
+    /// Returns `true` for floating-point arithmetic.
+    pub fn is_floating_point(self) -> bool {
+        matches!(
+            self,
+            InstrClass::FpAdd | InstrClass::FpMul | InstrClass::FpDiv
+        )
+    }
+
+    /// Returns `true` for integer arithmetic.
+    pub fn is_integer(self) -> bool {
+        matches!(
+            self,
+            InstrClass::IntAlu | InstrClass::IntMul | InstrClass::IntDiv
+        )
+    }
+
+    /// Returns `true` for control-flow instructions.
+    pub fn is_control(self) -> bool {
+        matches!(
+            self,
+            InstrClass::Branch | InstrClass::Jump | InstrClass::Call | InstrClass::Return
+        )
+    }
+
+    /// Encoded size in bytes of an instruction of this class.
+    ///
+    /// The synthetic ISA uses fixed per-class encodings; these sizes feed the
+    /// space-overhead model (Figure 3 of the paper), where phase marks are at
+    /// most 78 bytes and benchmark binaries are sums of their block sizes.
+    pub fn encoded_size(self) -> u32 {
+        match self {
+            InstrClass::IntAlu => 3,
+            InstrClass::IntMul => 4,
+            InstrClass::IntDiv => 4,
+            InstrClass::FpAdd => 4,
+            InstrClass::FpMul => 5,
+            InstrClass::FpDiv => 5,
+            InstrClass::Load => 4,
+            InstrClass::Store => 4,
+            InstrClass::Branch => 2,
+            InstrClass::Jump => 2,
+            InstrClass::Call => 5,
+            InstrClass::Return => 1,
+            InstrClass::Nop => 1,
+            InstrClass::Syscall => 2,
+        }
+    }
+
+    /// Short mnemonic used by the textual dump of a program.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            InstrClass::IntAlu => "ialu",
+            InstrClass::IntMul => "imul",
+            InstrClass::IntDiv => "idiv",
+            InstrClass::FpAdd => "fadd",
+            InstrClass::FpMul => "fmul",
+            InstrClass::FpDiv => "fdiv",
+            InstrClass::Load => "load",
+            InstrClass::Store => "store",
+            InstrClass::Branch => "br",
+            InstrClass::Jump => "jmp",
+            InstrClass::Call => "call",
+            InstrClass::Return => "ret",
+            InstrClass::Nop => "nop",
+            InstrClass::Syscall => "syscall",
+        }
+    }
+}
+
+impl std::fmt::Display for InstrClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// How a memory instruction walks through its data region.
+///
+/// The pattern determines the reuse-distance estimate used for static block
+/// typing and the cache hit probability used by the machine model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum AccessPattern {
+    /// Consecutive addresses (unit stride); excellent spatial locality.
+    Sequential,
+    /// Fixed stride in bytes; locality degrades as the stride grows past a
+    /// cache line.
+    Strided {
+        /// Distance between consecutive accesses in bytes.
+        stride_bytes: u32,
+    },
+    /// Uniformly random addresses within the region; locality depends only on
+    /// how much of the region fits in the cache.
+    Random,
+    /// Dependent (pointer-chasing) accesses within the region; like
+    /// [`AccessPattern::Random`] but with no memory-level parallelism, so
+    /// misses are maximally expensive.
+    PointerChase,
+}
+
+impl AccessPattern {
+    /// A multiplier in `[0, 1]` describing how much of the region is
+    /// effectively touched between reuses of the same line.
+    ///
+    /// Sequential code re-touches a line almost immediately (small reuse
+    /// distance); random and pointer-chasing code effectively cycles through
+    /// the whole region.
+    pub fn reuse_fraction(self) -> f64 {
+        match self {
+            AccessPattern::Sequential => 0.02,
+            AccessPattern::Strided { stride_bytes } => {
+                // A stride covering a whole 64-byte line behaves like random
+                // access over the region; smaller strides reuse lines.
+                let line = 64.0;
+                (f64::from(stride_bytes) / line).clamp(0.02, 1.0)
+            }
+            AccessPattern::Random => 1.0,
+            AccessPattern::PointerChase => 1.0,
+        }
+    }
+
+    /// Whether consecutive misses can overlap (memory-level parallelism).
+    pub fn overlaps_misses(self) -> bool {
+        !matches!(self, AccessPattern::PointerChase)
+    }
+
+    /// Fraction of accesses that touch a *new* cache line (64-byte lines).
+    ///
+    /// Unit-stride code touches a new line only every eighth 8-byte access,
+    /// so at most one in eight accesses can miss; random and pointer-chasing
+    /// accesses land on a fresh line essentially every time.
+    pub fn spatial_miss_factor(self) -> f64 {
+        match self {
+            AccessPattern::Sequential => 0.125,
+            AccessPattern::Strided { stride_bytes } => {
+                (f64::from(stride_bytes) / 64.0).clamp(1.0 / 64.0, 1.0)
+            }
+            AccessPattern::Random | AccessPattern::PointerChase => 1.0,
+        }
+    }
+}
+
+impl std::fmt::Display for AccessPattern {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AccessPattern::Sequential => write!(f, "seq"),
+            AccessPattern::Strided { stride_bytes } => write!(f, "stride[{stride_bytes}]"),
+            AccessPattern::Random => write!(f, "rand"),
+            AccessPattern::PointerChase => write!(f, "chase"),
+        }
+    }
+}
+
+/// A description of the memory behaviour of a load or store.
+///
+/// # Examples
+///
+/// ```
+/// use phase_ir::{AccessPattern, MemRef};
+///
+/// let hot = MemRef::new(AccessPattern::Sequential, 8 * 1024);
+/// let cold = MemRef::new(AccessPattern::Random, 64 * 1024 * 1024);
+/// assert!(hot.estimated_reuse_distance() < cold.estimated_reuse_distance());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MemRef {
+    /// The access pattern over the region.
+    pub pattern: AccessPattern,
+    /// Size in bytes of the region this instruction walks over.
+    pub region_bytes: u64,
+}
+
+impl MemRef {
+    /// Creates a new memory reference descriptor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `region_bytes` is zero; every memory instruction touches at
+    /// least one byte.
+    pub fn new(pattern: AccessPattern, region_bytes: u64) -> Self {
+        assert!(region_bytes > 0, "memory region must be non-empty");
+        Self {
+            pattern,
+            region_bytes,
+        }
+    }
+
+    /// Estimated reuse distance in bytes: the amount of distinct data touched
+    /// between two accesses to the same cache line (cf. Beyls & D'Hollander,
+    /// "Reuse distance as a metric for cache behavior").
+    pub fn estimated_reuse_distance(&self) -> f64 {
+        (self.region_bytes as f64 * self.pattern.reuse_fraction()).max(64.0)
+    }
+}
+
+/// A single instruction of the synthetic ISA.
+///
+/// # Examples
+///
+/// ```
+/// use phase_ir::{AccessPattern, Instruction, InstrClass, MemRef};
+///
+/// let add = Instruction::new(InstrClass::IntAlu);
+/// let ld = Instruction::memory(
+///     InstrClass::Load,
+///     MemRef::new(AccessPattern::Sequential, 4096),
+/// );
+/// assert_eq!(add.class(), InstrClass::IntAlu);
+/// assert!(ld.mem_ref().is_some());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Instruction {
+    class: InstrClass,
+    mem: Option<MemRef>,
+}
+
+impl Instruction {
+    /// Creates a non-memory instruction of the given class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class` is a memory class ([`InstrClass::Load`] or
+    /// [`InstrClass::Store`]); use [`Instruction::memory`] for those so the
+    /// access pattern is always described.
+    pub fn new(class: InstrClass) -> Self {
+        assert!(
+            !class.is_memory(),
+            "memory instructions must be built with Instruction::memory"
+        );
+        Self { class, mem: None }
+    }
+
+    /// Creates a memory instruction with the given access descriptor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class` is not a memory class.
+    pub fn memory(class: InstrClass, mem: MemRef) -> Self {
+        assert!(
+            class.is_memory(),
+            "only loads and stores carry memory references"
+        );
+        Self {
+            class,
+            mem: Some(mem),
+        }
+    }
+
+    /// The class of this instruction.
+    pub fn class(&self) -> InstrClass {
+        self.class
+    }
+
+    /// The memory reference, if this is a load or store.
+    pub fn mem_ref(&self) -> Option<&MemRef> {
+        self.mem.as_ref()
+    }
+
+    /// Encoded size in bytes.
+    pub fn encoded_size(&self) -> u32 {
+        self.class.encoded_size()
+    }
+
+    /// Convenience constructor: integer ALU operation.
+    pub fn int_alu() -> Self {
+        Self::new(InstrClass::IntAlu)
+    }
+
+    /// Convenience constructor: floating-point add.
+    pub fn fp_add() -> Self {
+        Self::new(InstrClass::FpAdd)
+    }
+
+    /// Convenience constructor: floating-point multiply.
+    pub fn fp_mul() -> Self {
+        Self::new(InstrClass::FpMul)
+    }
+
+    /// Convenience constructor: load with the given access descriptor.
+    pub fn load(mem: MemRef) -> Self {
+        Self::memory(InstrClass::Load, mem)
+    }
+
+    /// Convenience constructor: store with the given access descriptor.
+    pub fn store(mem: MemRef) -> Self {
+        Self::memory(InstrClass::Store, mem)
+    }
+
+    /// Convenience constructor: no-op.
+    pub fn nop() -> Self {
+        Self::new(InstrClass::Nop)
+    }
+}
+
+impl std::fmt::Display for Instruction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.mem {
+            Some(m) => write!(f, "{} {} {}B", self.class, m.pattern, m.region_bytes),
+            None => write!(f, "{}", self.class),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_predicates_are_disjoint_over_arithmetic_and_memory() {
+        for class in InstrClass::ALL {
+            let cats = [
+                class.is_memory(),
+                class.is_floating_point(),
+                class.is_integer(),
+                class.is_control(),
+            ];
+            let set = cats.iter().filter(|c| **c).count();
+            assert!(set <= 1, "{class:?} belongs to more than one category");
+        }
+    }
+
+    #[test]
+    fn class_index_round_trips() {
+        for (i, class) in InstrClass::ALL.iter().enumerate() {
+            assert_eq!(class.index(), i);
+        }
+    }
+
+    #[test]
+    fn encoded_sizes_are_small_and_nonzero() {
+        for class in InstrClass::ALL {
+            let size = class.encoded_size();
+            assert!(size >= 1 && size <= 8, "{class:?} has odd size {size}");
+        }
+    }
+
+    #[test]
+    fn sequential_reuse_distance_is_smaller_than_random() {
+        let region = 1 << 20;
+        let seq = MemRef::new(AccessPattern::Sequential, region);
+        let rnd = MemRef::new(AccessPattern::Random, region);
+        assert!(seq.estimated_reuse_distance() < rnd.estimated_reuse_distance());
+    }
+
+    #[test]
+    fn strided_reuse_grows_with_stride() {
+        let region = 1 << 20;
+        let narrow = MemRef::new(AccessPattern::Strided { stride_bytes: 8 }, region);
+        let wide = MemRef::new(AccessPattern::Strided { stride_bytes: 256 }, region);
+        assert!(narrow.estimated_reuse_distance() < wide.estimated_reuse_distance());
+    }
+
+    #[test]
+    fn pointer_chase_has_no_mlp() {
+        assert!(!AccessPattern::PointerChase.overlaps_misses());
+        assert!(AccessPattern::Sequential.overlaps_misses());
+    }
+
+    #[test]
+    fn spatial_miss_factor_reflects_line_reuse() {
+        assert!(AccessPattern::Sequential.spatial_miss_factor() < 0.2);
+        assert_eq!(AccessPattern::Random.spatial_miss_factor(), 1.0);
+        assert_eq!(AccessPattern::PointerChase.spatial_miss_factor(), 1.0);
+        assert!(
+            AccessPattern::Strided { stride_bytes: 8 }.spatial_miss_factor()
+                < AccessPattern::Strided { stride_bytes: 128 }.spatial_miss_factor()
+        );
+        assert_eq!(
+            AccessPattern::Strided { stride_bytes: 256 }.spatial_miss_factor(),
+            1.0
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "memory instructions")]
+    fn plain_constructor_rejects_loads() {
+        let _ = Instruction::new(InstrClass::Load);
+    }
+
+    #[test]
+    #[should_panic(expected = "only loads and stores")]
+    fn memory_constructor_rejects_alu() {
+        let _ = Instruction::memory(InstrClass::IntAlu, MemRef::new(AccessPattern::Random, 64));
+    }
+
+    #[test]
+    fn display_formats_mention_pattern() {
+        let ld = Instruction::load(MemRef::new(AccessPattern::Random, 1024));
+        assert!(format!("{ld}").contains("rand"));
+        assert_eq!(format!("{}", Instruction::int_alu()), "ialu");
+    }
+
+    #[test]
+    fn mem_region_must_be_nonempty() {
+        let result = std::panic::catch_unwind(|| MemRef::new(AccessPattern::Random, 0));
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,67 @@
+//! # phase-ir
+//!
+//! A synthetic, binary-like program representation for *phase-based tuning*
+//! (Sondag & Rajan, CGO 2011).
+//!
+//! The paper analyzes and instruments x86 binaries of SPEC CPU benchmarks. In
+//! this reproduction the same analyses run over a compact intermediate
+//! representation whose programs consist of procedures, basic blocks, typed
+//! instructions, and explicit control-flow terminators. Memory instructions
+//! carry an access-pattern descriptor so static reuse-distance estimation and
+//! the asymmetric-machine cost model can both reason about cache behaviour.
+//!
+//! The crate deliberately contains *no* analysis code: control-flow analysis
+//! lives in `phase-cfg`, block typing in `phase-analysis`, instrumentation in
+//! `phase-marking`, and execution in `phase-sched`.
+//!
+//! ## Example
+//!
+//! ```
+//! use phase_ir::{Instruction, ProgramBuilder, Terminator};
+//!
+//! let mut builder = ProgramBuilder::new("hello");
+//! let main = builder.declare_procedure("main");
+//! let mut body = builder.procedure_builder();
+//! let entry = body.add_block();
+//! body.push(entry, Instruction::int_alu());
+//! body.terminate(entry, Terminator::Exit);
+//! builder.define_procedure(main, body)?;
+//! let program = builder.build()?;
+//! assert_eq!(program.stats().blocks, 1);
+//! # Ok::<(), phase_ir::IrError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
+
+mod block;
+mod builder;
+mod error;
+mod instr;
+mod mix;
+mod proc;
+mod program;
+
+pub use block::{BasicBlock, BlockId, BranchBehavior, Location, Terminator};
+pub use builder::{ProcedureBuilder, ProgramBuilder};
+pub use error::IrError;
+pub use instr::{AccessPattern, InstrClass, Instruction, MemRef};
+pub use mix::InstrMix;
+pub use proc::{ProcId, Procedure};
+pub use program::{Program, ProgramStats};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn public_types_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Program>();
+        assert_send_sync::<Procedure>();
+        assert_send_sync::<BasicBlock>();
+        assert_send_sync::<Instruction>();
+        assert_send_sync::<IrError>();
+    }
+}

@@ -1,0 +1,211 @@
+//! Instruction-class mixes.
+//!
+//! A mix is a histogram of [`InstrClass`] counts. Both the static block-typing
+//! analysis (which needs ratios of instruction kinds) and the machine model
+//! (which charges per-class latencies) consume mixes.
+
+use serde::{Deserialize, Serialize};
+
+use crate::instr::InstrClass;
+
+/// Histogram of instruction counts per class.
+///
+/// # Examples
+///
+/// ```
+/// use phase_ir::{InstrClass, InstrMix};
+///
+/// let mut mix = InstrMix::default();
+/// mix.add(InstrClass::IntAlu, 6);
+/// mix.add(InstrClass::Load, 2);
+/// assert_eq!(mix.total(), 8);
+/// assert!((mix.ratio(InstrClass::Load) - 0.25).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct InstrMix {
+    counts: [u64; InstrClass::ALL.len()],
+}
+
+impl InstrMix {
+    /// An empty mix.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `count` instructions of class `class`.
+    pub fn add(&mut self, class: InstrClass, count: u64) {
+        self.counts[class.index()] += count;
+    }
+
+    /// Number of instructions of the given class.
+    pub fn count(&self, class: InstrClass) -> u64 {
+        self.counts[class.index()]
+    }
+
+    /// Total number of instructions in the mix.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Fraction of instructions of the given class; zero for an empty mix.
+    pub fn ratio(&self, class: InstrClass) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.count(class) as f64 / total as f64
+        }
+    }
+
+    /// Fraction of instructions that are memory operations.
+    pub fn memory_ratio(&self) -> f64 {
+        self.category_ratio(InstrClass::is_memory)
+    }
+
+    /// Fraction of instructions that are floating-point arithmetic.
+    pub fn floating_point_ratio(&self) -> f64 {
+        self.category_ratio(InstrClass::is_floating_point)
+    }
+
+    /// Fraction of instructions that are integer arithmetic.
+    pub fn integer_ratio(&self) -> f64 {
+        self.category_ratio(InstrClass::is_integer)
+    }
+
+    /// Fraction of instructions that are control transfers.
+    pub fn control_ratio(&self) -> f64 {
+        self.category_ratio(InstrClass::is_control)
+    }
+
+    fn category_ratio(&self, pred: impl Fn(InstrClass) -> bool) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let in_category: u64 = InstrClass::ALL
+            .iter()
+            .filter(|c| pred(**c))
+            .map(|c| self.count(*c))
+            .sum();
+        in_category as f64 / total as f64
+    }
+
+    /// Merges another mix into this one.
+    pub fn merge(&mut self, other: &InstrMix) {
+        for (dst, src) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *dst += src;
+        }
+    }
+
+    /// Iterates over `(class, count)` pairs with non-zero counts.
+    pub fn iter(&self) -> impl Iterator<Item = (InstrClass, u64)> + '_ {
+        InstrClass::ALL
+            .iter()
+            .copied()
+            .map(|c| (c, self.count(c)))
+            .filter(|(_, n)| *n > 0)
+    }
+
+    /// Scales every count by an integer factor (e.g. a loop trip count).
+    pub fn scaled(&self, factor: u64) -> InstrMix {
+        let mut counts = self.counts;
+        for c in &mut counts {
+            *c *= factor;
+        }
+        InstrMix { counts }
+    }
+}
+
+impl FromIterator<InstrClass> for InstrMix {
+    fn from_iter<T: IntoIterator<Item = InstrClass>>(iter: T) -> Self {
+        let mut mix = InstrMix::default();
+        for class in iter {
+            mix.add(class, 1);
+        }
+        mix
+    }
+}
+
+impl Extend<InstrClass> for InstrMix {
+    fn extend<T: IntoIterator<Item = InstrClass>>(&mut self, iter: T) {
+        for class in iter {
+            self.add(class, 1);
+        }
+    }
+}
+
+impl std::fmt::Display for InstrMix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut first = true;
+        for (class, count) in self.iter() {
+            if !first {
+                write!(f, " ")?;
+            }
+            write!(f, "{class}:{count}")?;
+            first = false;
+        }
+        if first {
+            write!(f, "(empty)")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_mix_has_zero_ratios() {
+        let mix = InstrMix::new();
+        assert_eq!(mix.total(), 0);
+        assert_eq!(mix.ratio(InstrClass::IntAlu), 0.0);
+        assert_eq!(mix.memory_ratio(), 0.0);
+        assert_eq!(format!("{mix}"), "(empty)");
+    }
+
+    #[test]
+    fn category_ratios_sum_to_one_for_categorised_classes() {
+        let mix: InstrMix = [
+            InstrClass::IntAlu,
+            InstrClass::FpMul,
+            InstrClass::Load,
+            InstrClass::Branch,
+        ]
+        .into_iter()
+        .collect();
+        let sum = mix.integer_ratio()
+            + mix.floating_point_ratio()
+            + mix.memory_ratio()
+            + mix.control_ratio();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a: InstrMix = [InstrClass::IntAlu, InstrClass::IntAlu].into_iter().collect();
+        let b: InstrMix = [InstrClass::IntAlu, InstrClass::Load].into_iter().collect();
+        a.merge(&b);
+        assert_eq!(a.count(InstrClass::IntAlu), 3);
+        assert_eq!(a.count(InstrClass::Load), 1);
+        assert_eq!(a.total(), 4);
+    }
+
+    #[test]
+    fn scaled_multiplies_every_count() {
+        let mix: InstrMix = [InstrClass::FpAdd, InstrClass::Load].into_iter().collect();
+        let scaled = mix.scaled(10);
+        assert_eq!(scaled.count(InstrClass::FpAdd), 10);
+        assert_eq!(scaled.total(), 20);
+    }
+
+    #[test]
+    fn extend_and_iter_round_trip() {
+        let mut mix = InstrMix::new();
+        mix.extend([InstrClass::Nop, InstrClass::Nop, InstrClass::Syscall]);
+        let pairs: Vec<_> = mix.iter().collect();
+        assert!(pairs.contains(&(InstrClass::Nop, 2)));
+        assert!(pairs.contains(&(InstrClass::Syscall, 1)));
+        assert_eq!(pairs.len(), 2);
+    }
+}

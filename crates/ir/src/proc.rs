@@ -1,0 +1,264 @@
+//! Procedures: named collections of basic blocks with a single entry.
+
+use serde::{Deserialize, Serialize};
+
+use crate::block::{BasicBlock, BlockId};
+use crate::error::IrError;
+use crate::mix::InstrMix;
+
+/// Identifier of a procedure, unique within its program.
+///
+/// Procedure ids double as indices into [`crate::Program::procedures`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
+pub struct ProcId(pub u32);
+
+impl ProcId {
+    /// The procedure id as a `usize` index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for ProcId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// A procedure: an entry block plus a set of basic blocks.
+///
+/// # Examples
+///
+/// ```
+/// use phase_ir::{BasicBlock, BlockId, Procedure, ProcId, Terminator};
+///
+/// let blocks = vec![BasicBlock::new(BlockId(0), vec![], Terminator::Return)];
+/// let proc = Procedure::new(ProcId(0), "main", BlockId(0), blocks)?;
+/// assert_eq!(proc.name(), "main");
+/// assert_eq!(proc.block_count(), 1);
+/// # Ok::<(), phase_ir::IrError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Procedure {
+    id: ProcId,
+    name: String,
+    entry: BlockId,
+    blocks: Vec<BasicBlock>,
+}
+
+impl Procedure {
+    /// Creates a procedure and checks its internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the procedure has no blocks, block ids do not match
+    /// their position, the entry block does not exist, or a terminator targets
+    /// a block outside the procedure.
+    pub fn new(
+        id: ProcId,
+        name: impl Into<String>,
+        entry: BlockId,
+        blocks: Vec<BasicBlock>,
+    ) -> Result<Self, IrError> {
+        let proc = Self {
+            id,
+            name: name.into(),
+            entry,
+            blocks,
+        };
+        proc.validate()?;
+        Ok(proc)
+    }
+
+    fn validate(&self) -> Result<(), IrError> {
+        if self.blocks.is_empty() {
+            return Err(IrError::EmptyProcedure { proc: self.id });
+        }
+        for (idx, block) in self.blocks.iter().enumerate() {
+            if block.id().index() != idx {
+                return Err(IrError::MisnumberedBlock {
+                    proc: self.id,
+                    expected: BlockId(idx as u32),
+                    found: block.id(),
+                });
+            }
+        }
+        if self.block(self.entry).is_none() {
+            return Err(IrError::MissingBlock {
+                proc: self.id,
+                block: self.entry,
+            });
+        }
+        for block in &self.blocks {
+            for succ in block.successors() {
+                if self.block(succ).is_none() {
+                    return Err(IrError::DanglingEdge {
+                        proc: self.id,
+                        from: block.id(),
+                        to: succ,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The procedure's identifier.
+    pub fn id(&self) -> ProcId {
+        self.id
+    }
+
+    /// The procedure's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The entry block.
+    pub fn entry(&self) -> BlockId {
+        self.entry
+    }
+
+    /// All blocks, indexed by their [`BlockId`].
+    pub fn blocks(&self) -> &[BasicBlock] {
+        &self.blocks
+    }
+
+    /// Looks up a block by id.
+    pub fn block(&self, id: BlockId) -> Option<&BasicBlock> {
+        self.blocks.get(id.index())
+    }
+
+    /// Looks up a block by id, panicking on a dangling id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block does not exist; validated procedures only contain
+    /// ids produced by their own builder, so this indicates a logic error.
+    pub fn block_expect(&self, id: BlockId) -> &BasicBlock {
+        self.block(id)
+            .unwrap_or_else(|| panic!("block {id} missing from procedure {}", self.id))
+    }
+
+    /// Mutable access to a block by id.
+    pub fn block_mut(&mut self, id: BlockId) -> Option<&mut BasicBlock> {
+        self.blocks.get_mut(id.index())
+    }
+
+    /// Number of blocks.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Total instruction count of the procedure (terminators included).
+    pub fn instruction_count(&self) -> usize {
+        self.blocks.iter().map(BasicBlock::instruction_count).sum()
+    }
+
+    /// Total encoded size in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        self.blocks
+            .iter()
+            .map(|b| u64::from(b.size_bytes()))
+            .sum()
+    }
+
+    /// Instruction mix of the whole procedure (each block counted once).
+    pub fn static_mix(&self) -> InstrMix {
+        let mut mix = InstrMix::default();
+        for block in &self.blocks {
+            mix.merge(&block.mix());
+        }
+        mix
+    }
+
+    /// Procedures this procedure calls (with repetition, in block order).
+    pub fn callees(&self) -> Vec<ProcId> {
+        self.blocks
+            .iter()
+            .filter_map(|b| b.terminator().callee())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::{BranchBehavior, Terminator};
+    use crate::instr::Instruction;
+
+    fn two_block_proc() -> Procedure {
+        let b0 = BasicBlock::new(
+            BlockId(0),
+            vec![Instruction::int_alu()],
+            Terminator::Branch {
+                taken: BlockId(1),
+                fallthrough: BlockId(1),
+                behavior: BranchBehavior::probabilistic(0.5),
+            },
+        );
+        let b1 = BasicBlock::new(BlockId(1), vec![Instruction::fp_add()], Terminator::Return);
+        Procedure::new(ProcId(0), "f", BlockId(0), vec![b0, b1]).unwrap()
+    }
+
+    #[test]
+    fn valid_procedure_reports_sizes() {
+        let proc = two_block_proc();
+        assert_eq!(proc.block_count(), 2);
+        assert_eq!(proc.instruction_count(), 4);
+        assert!(proc.size_bytes() > 0);
+        assert_eq!(proc.static_mix().total(), 4);
+        assert!(proc.callees().is_empty());
+    }
+
+    #[test]
+    fn empty_procedure_is_rejected() {
+        let err = Procedure::new(ProcId(0), "f", BlockId(0), vec![]).unwrap_err();
+        assert!(matches!(err, IrError::EmptyProcedure { .. }));
+    }
+
+    #[test]
+    fn misnumbered_blocks_are_rejected() {
+        let b = BasicBlock::new(BlockId(5), vec![], Terminator::Return);
+        let err = Procedure::new(ProcId(0), "f", BlockId(0), vec![b]).unwrap_err();
+        assert!(matches!(err, IrError::MisnumberedBlock { .. }));
+    }
+
+    #[test]
+    fn dangling_entry_is_rejected() {
+        let b = BasicBlock::new(BlockId(0), vec![], Terminator::Return);
+        let err = Procedure::new(ProcId(0), "f", BlockId(7), vec![b]).unwrap_err();
+        assert!(matches!(err, IrError::MissingBlock { .. }));
+    }
+
+    #[test]
+    fn dangling_edge_is_rejected() {
+        let b = BasicBlock::new(BlockId(0), vec![], Terminator::Jump(BlockId(9)));
+        let err = Procedure::new(ProcId(0), "f", BlockId(0), vec![b]).unwrap_err();
+        assert!(matches!(err, IrError::DanglingEdge { .. }));
+    }
+
+    #[test]
+    fn block_lookup_by_id() {
+        let proc = two_block_proc();
+        assert_eq!(proc.block(BlockId(1)).unwrap().id(), BlockId(1));
+        assert!(proc.block(BlockId(2)).is_none());
+        assert_eq!(proc.block_expect(BlockId(0)).id(), BlockId(0));
+    }
+
+    #[test]
+    fn callees_reports_call_targets() {
+        let b0 = BasicBlock::new(
+            BlockId(0),
+            vec![],
+            Terminator::Call {
+                callee: ProcId(3),
+                return_to: BlockId(1),
+            },
+        );
+        let b1 = BasicBlock::new(BlockId(1), vec![], Terminator::Return);
+        let proc = Procedure::new(ProcId(0), "caller", BlockId(0), vec![b0, b1]).unwrap();
+        assert_eq!(proc.callees(), vec![ProcId(3)]);
+    }
+}

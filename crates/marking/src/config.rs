@@ -1,0 +1,156 @@
+//! Marking configurations: the technique variants evaluated by the paper.
+//!
+//! The paper names its variants `BB[min,lookahead]`, `Int[min]`, and
+//! `Loop[min]` (Table 2). [`MarkingConfig`] carries the same three knobs:
+//! granularity, minimum section size, and lookahead depth.
+
+use serde::{Deserialize, Serialize};
+
+/// Which program structure a "section" is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Granularity {
+    /// Sections are individual basic blocks (Section II-A2a).
+    BasicBlock,
+    /// Sections are Allen intervals summarized to a dominant type
+    /// (Section II-A2b).
+    Interval,
+    /// Sections are natural loops summarized inter-procedurally with
+    /// Algorithm 1 (Section II-A2c).
+    Loop,
+}
+
+impl std::fmt::Display for Granularity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Granularity::BasicBlock => write!(f, "BB"),
+            Granularity::Interval => write!(f, "Int"),
+            Granularity::Loop => write!(f, "Loop"),
+        }
+    }
+}
+
+/// Configuration of the phase-transition marking stage.
+///
+/// # Examples
+///
+/// ```
+/// use phase_marking::MarkingConfig;
+///
+/// let best = MarkingConfig::loop_level(45);
+/// assert_eq!(best.to_string(), "Loop[45]");
+/// let bb = MarkingConfig::basic_block(15, 2);
+/// assert_eq!(bb.to_string(), "BB[15,2]");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MarkingConfig {
+    /// What a section is.
+    pub granularity: Granularity,
+    /// Minimum section size in instructions; smaller sections are not typed
+    /// and never get phase marks.
+    pub min_section_size: usize,
+    /// Lookahead depth for the basic-block technique: a mark is inserted only
+    /// if the majority of the target's successors up to this depth share its
+    /// type. `0` disables the filter. Ignored by the other granularities.
+    pub lookahead_depth: usize,
+}
+
+impl MarkingConfig {
+    /// Basic-block marking `BB[min,lookahead]`.
+    pub fn basic_block(min_section_size: usize, lookahead_depth: usize) -> Self {
+        Self {
+            granularity: Granularity::BasicBlock,
+            min_section_size,
+            lookahead_depth,
+        }
+    }
+
+    /// Interval marking `Int[min]`.
+    pub fn interval(min_section_size: usize) -> Self {
+        Self {
+            granularity: Granularity::Interval,
+            min_section_size,
+            lookahead_depth: 0,
+        }
+    }
+
+    /// Loop marking `Loop[min]` — the paper's best technique at `Loop[45]`.
+    pub fn loop_level(min_section_size: usize) -> Self {
+        Self {
+            granularity: Granularity::Loop,
+            min_section_size,
+            lookahead_depth: 0,
+        }
+    }
+
+    /// The paper's best-performing variant: `Loop[45]`.
+    pub fn paper_best() -> Self {
+        Self::loop_level(45)
+    }
+
+    /// All 18 variants of Table 2: `BB[{10,15,20},{0..3}]`, `Int[{30,45,60}]`,
+    /// `Loop[{30,45,60}]`.
+    pub fn table2_variants() -> Vec<Self> {
+        let mut variants = Vec::new();
+        for min in [10, 15, 20] {
+            for lookahead in 0..=3 {
+                variants.push(Self::basic_block(min, lookahead));
+            }
+        }
+        for min in [30, 45, 60] {
+            variants.push(Self::interval(min));
+        }
+        for min in [30, 45, 60] {
+            variants.push(Self::loop_level(min));
+        }
+        variants
+    }
+}
+
+impl Default for MarkingConfig {
+    fn default() -> Self {
+        Self::paper_best()
+    }
+}
+
+impl std::fmt::Display for MarkingConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.granularity {
+            Granularity::BasicBlock => write!(
+                f,
+                "BB[{},{}]",
+                self.min_section_size, self.lookahead_depth
+            ),
+            Granularity::Interval => write!(f, "Int[{}]", self.min_section_size),
+            Granularity::Loop => write!(f, "Loop[{}]", self.min_section_size),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(MarkingConfig::basic_block(10, 3).to_string(), "BB[10,3]");
+        assert_eq!(MarkingConfig::interval(60).to_string(), "Int[60]");
+        assert_eq!(MarkingConfig::loop_level(30).to_string(), "Loop[30]");
+        assert_eq!(MarkingConfig::default().to_string(), "Loop[45]");
+    }
+
+    #[test]
+    fn table2_has_eighteen_variants() {
+        let variants = MarkingConfig::table2_variants();
+        assert_eq!(variants.len(), 18);
+        let unique: std::collections::HashSet<_> = variants.iter().collect();
+        assert_eq!(unique.len(), 18);
+        assert!(variants.contains(&MarkingConfig::paper_best()));
+    }
+
+    #[test]
+    fn granularity_display() {
+        assert_eq!(Granularity::BasicBlock.to_string(), "BB");
+        assert_eq!(Granularity::Interval.to_string(), "Int");
+        assert_eq!(Granularity::Loop.to_string(), "Loop");
+    }
+}

@@ -1,0 +1,77 @@
+//! # phase-marking
+//!
+//! The static phase-transition analysis and instrumentation of phase-based
+//! tuning (Sondag & Rajan, CGO 2011, Section II-A): divide a program into
+//! *sections* (basic blocks, Allen intervals, or natural loops), give every
+//! section a dominant phase type, find the control-flow edges where the type
+//! changes, and insert a *phase mark* at each such edge.
+//!
+//! The three granularities correspond to the paper's technique families
+//! `BB[min,lookahead]`, `Int[min]`, and `Loop[min]`, with `Loop[45]` being the
+//! variant the paper recommends. Loop summarization follows the paper's
+//! Algorithm 1, including nesting-level weights, type strengths, and the
+//! merging rules that hoist phase marks out of nested loops; the loop
+//! technique is also inter-procedural (call and return edges are marked).
+//!
+//! ## Example
+//!
+//! ```
+//! use phase_analysis::{assign_block_types, StaticTypingConfig};
+//! use phase_ir::{AccessPattern, Instruction, MemRef, ProgramBuilder, Terminator};
+//! use phase_marking::{instrument, MarkingConfig};
+//!
+//! // A program that alternates between a CPU-heavy and a memory-heavy block.
+//! let mut builder = ProgramBuilder::new("two-phase");
+//! let main = builder.declare_procedure("main");
+//! let mut body = builder.procedure_builder();
+//! let cpu = body.add_block();
+//! let mem = body.add_block();
+//! body.push_all(cpu, std::iter::repeat(Instruction::fp_mul()).take(40));
+//! body.push_all(
+//!     mem,
+//!     std::iter::repeat(Instruction::load(MemRef::new(AccessPattern::Random, 64 * 1024 * 1024)))
+//!         .take(40),
+//! );
+//! body.terminate(cpu, Terminator::Jump(mem));
+//! body.terminate(mem, Terminator::Exit);
+//! builder.define_procedure(main, body)?;
+//! let program = builder.build()?;
+//!
+//! let typing = assign_block_types(&program, &StaticTypingConfig::default());
+//! let instrumented = instrument(&program, &typing, &MarkingConfig::basic_block(15, 0));
+//! assert_eq!(instrumented.mark_count(), 1);
+//! # Ok::<(), phase_ir::IrError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
+
+mod config;
+mod marks;
+mod regions;
+mod summarize;
+mod transitions;
+
+pub use config::{Granularity, MarkingConfig};
+pub use marks::{
+    instrument, instrument_with_regions, InstrumentedProgram, MarkId, MarkStats, PhaseMark,
+    MARK_DECISION_INSTRUCTIONS, MARK_MONITOR_INSTRUCTIONS, MARK_SIZE_BYTES,
+};
+pub use regions::{nesting_weight, ProgramRegions, Region, RegionId, RegionKind, RegionMap};
+pub use summarize::{dominant_type, loop_type_map, Dominant, LoopTypeEntry, LoopTypeMap, SectionWeight};
+pub use transitions::{entry_phase_type, find_transitions, Transition};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn public_types_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<InstrumentedProgram>();
+        assert_send_sync::<MarkingConfig>();
+        assert_send_sync::<PhaseMark>();
+        assert_send_sync::<RegionMap>();
+    }
+}

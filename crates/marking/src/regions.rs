@@ -1,0 +1,401 @@
+//! Sections ("regions") of a program at the three marking granularities.
+//!
+//! A *section* is the unit that gets a single phase type: an individual basic
+//! block, an Allen interval, or a natural loop. [`RegionMap`] records, for one
+//! procedure, which section every block belongs to and the section's dominant
+//! phase type. Phase-transition points are then simply edges between sections
+//! of different types.
+
+use std::collections::HashMap;
+
+use phase_analysis::{BlockTyping, PhaseType};
+use phase_cfg::{Cfg, DominatorTree, IntervalPartition, LoopForest};
+use phase_ir::{BlockId, Location, ProcId, Procedure};
+use serde::{Deserialize, Serialize};
+
+use crate::config::{Granularity, MarkingConfig};
+use crate::summarize::{dominant_type, loop_type_map, SectionWeight};
+
+/// Identifier of a section within one procedure's [`RegionMap`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct RegionId(pub u32);
+
+impl RegionId {
+    /// The region id as a `usize` index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// What program structure a region corresponds to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RegionKind {
+    /// A single basic block.
+    Block,
+    /// An Allen interval.
+    Interval,
+    /// A natural loop retained by the loop summarization.
+    Loop,
+}
+
+/// One section of a procedure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Region {
+    id: RegionId,
+    kind: RegionKind,
+    phase_type: Option<PhaseType>,
+    blocks: Vec<BlockId>,
+    instructions: usize,
+}
+
+impl Region {
+    /// The region's identifier.
+    pub fn id(&self) -> RegionId {
+        self.id
+    }
+
+    /// What structure the region corresponds to.
+    pub fn kind(&self) -> RegionKind {
+        self.kind
+    }
+
+    /// The region's dominant phase type, if it is typed.
+    pub fn phase_type(&self) -> Option<PhaseType> {
+        self.phase_type
+    }
+
+    /// The blocks making up the region.
+    pub fn blocks(&self) -> &[BlockId] {
+        &self.blocks
+    }
+
+    /// Total instruction count of the region.
+    pub fn instruction_count(&self) -> usize {
+        self.instructions
+    }
+}
+
+/// The sections of one procedure at a particular granularity.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegionMap {
+    proc: ProcId,
+    regions: Vec<Region>,
+    /// Region of each block (by block index).
+    membership: Vec<Option<RegionId>>,
+}
+
+impl RegionMap {
+    /// The procedure this map describes.
+    pub fn proc(&self) -> ProcId {
+        self.proc
+    }
+
+    /// All regions.
+    pub fn regions(&self) -> &[Region] {
+        &self.regions
+    }
+
+    /// The region containing a block, if the block is reachable.
+    pub fn region_of(&self, block: BlockId) -> Option<&Region> {
+        self.membership
+            .get(block.index())
+            .copied()
+            .flatten()
+            .map(|id| &self.regions[id.index()])
+    }
+
+    /// The phase type of the section containing a block.
+    pub fn type_of_block(&self, block: BlockId) -> Option<PhaseType> {
+        self.region_of(block).and_then(Region::phase_type)
+    }
+
+    /// The phase type of the procedure's entry section.
+    pub fn entry_type(&self, entry: BlockId) -> Option<PhaseType> {
+        self.type_of_block(entry)
+    }
+
+    /// Number of regions.
+    pub fn region_count(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// Builds the region map of one procedure at the configured granularity.
+    pub fn build(
+        proc: &Procedure,
+        typing: &BlockTyping,
+        config: &MarkingConfig,
+    ) -> Self {
+        let cfg = Cfg::build(proc);
+        match config.granularity {
+            Granularity::BasicBlock => Self::block_regions(proc, typing, config),
+            Granularity::Interval => Self::interval_regions(proc, &cfg, typing, config),
+            Granularity::Loop => {
+                let dom = DominatorTree::build(&cfg);
+                let loops = LoopForest::build(&cfg, &dom);
+                Self::loop_regions(proc, &cfg, &loops, typing, config)
+            }
+        }
+    }
+
+    /// Basic-block granularity: every block is its own region; blocks smaller
+    /// than the threshold (or untyped) get no type.
+    fn block_regions(proc: &Procedure, typing: &BlockTyping, config: &MarkingConfig) -> Self {
+        let mut regions = Vec::new();
+        let mut membership = vec![None; proc.block_count()];
+        for block in proc.blocks() {
+            let id = RegionId(regions.len() as u32);
+            let loc = Location::new(proc.id(), block.id());
+            let instructions = block.instruction_count();
+            let phase_type = if instructions >= config.min_section_size {
+                typing.type_of(loc)
+            } else {
+                None
+            };
+            regions.push(Region {
+                id,
+                kind: RegionKind::Block,
+                phase_type,
+                blocks: vec![block.id()],
+                instructions,
+            });
+            membership[block.id().index()] = Some(id);
+        }
+        Self {
+            proc: proc.id(),
+            regions,
+            membership,
+        }
+    }
+
+    /// Interval granularity: one region per Allen interval, typed by the
+    /// weighted dominant type of its member blocks (blocks inside loops weigh
+    /// more, approximating the paper's cycle-aware traversal).
+    fn interval_regions(
+        proc: &Procedure,
+        cfg: &Cfg,
+        typing: &BlockTyping,
+        config: &MarkingConfig,
+    ) -> Self {
+        let partition = IntervalPartition::build(cfg);
+        let dom = DominatorTree::build(cfg);
+        let loops = LoopForest::build(cfg, &dom);
+
+        let mut regions = Vec::new();
+        let mut membership = vec![None; proc.block_count()];
+        for interval in partition.intervals() {
+            let id = RegionId(regions.len() as u32);
+            let weights: Vec<SectionWeight> = interval
+                .blocks()
+                .iter()
+                .map(|&b| SectionWeight {
+                    block: b,
+                    phase_type: typing.type_of(Location::new(proc.id(), b)),
+                    weight: proc.block_expect(b).instruction_count() as f64
+                        * nesting_weight(loops.nesting_depth(b)),
+                })
+                .collect();
+            let instructions: usize = interval
+                .blocks()
+                .iter()
+                .map(|&b| proc.block_expect(b).instruction_count())
+                .sum();
+            let phase_type = if instructions >= config.min_section_size {
+                dominant_type(&weights).map(|d| d.phase_type)
+            } else {
+                None
+            };
+            regions.push(Region {
+                id,
+                kind: RegionKind::Interval,
+                phase_type,
+                blocks: interval.blocks().to_vec(),
+                instructions,
+            });
+            for &b in interval.blocks() {
+                membership[b.index()] = Some(id);
+            }
+        }
+        Self {
+            proc: proc.id(),
+            regions,
+            membership,
+        }
+    }
+
+    /// Loop granularity: regions are the loops *retained* by Algorithm 1's
+    /// type map `T` (nested loops of the same type are merged into their
+    /// parent); blocks outside every retained loop fall back to per-block
+    /// regions.
+    fn loop_regions(
+        proc: &Procedure,
+        cfg: &Cfg,
+        loops: &LoopForest,
+        typing: &BlockTyping,
+        config: &MarkingConfig,
+    ) -> Self {
+        let retained = loop_type_map(proc, cfg, loops, typing);
+
+        let mut regions = Vec::new();
+        let mut membership: Vec<Option<RegionId>> = vec![None; proc.block_count()];
+
+        // Retained loops become regions, innermost first so that a block in a
+        // retained inner loop maps to the inner region even when an outer
+        // retained loop also contains it.
+        let mut entries: Vec<_> = retained.iter().collect();
+        entries.sort_by_key(|entry| loops.loop_by_id(entry.loop_id).block_count());
+        for entry in entries {
+            let natural = loops.loop_by_id(entry.loop_id);
+            let id = RegionId(regions.len() as u32);
+            let blocks: Vec<BlockId> = natural.blocks().iter().copied().collect();
+            let instructions: usize = blocks
+                .iter()
+                .map(|&b| proc.block_expect(b).instruction_count())
+                .sum();
+            let phase_type = if instructions >= config.min_section_size {
+                Some(entry.phase_type)
+            } else {
+                None
+            };
+            regions.push(Region {
+                id,
+                kind: RegionKind::Loop,
+                phase_type,
+                blocks: blocks.clone(),
+                instructions,
+            });
+            for b in blocks {
+                if membership[b.index()].is_none() {
+                    membership[b.index()] = Some(id);
+                }
+            }
+        }
+
+        // Remaining blocks: the loop technique "considers a section to be
+        // loops in the attributed loop graph", so code outside every retained
+        // loop is not a section at all — it stays untyped and never attracts
+        // phase marks of its own.
+        for block in proc.blocks() {
+            if membership[block.id().index()].is_some() {
+                continue;
+            }
+            let id = RegionId(regions.len() as u32);
+            regions.push(Region {
+                id,
+                kind: RegionKind::Block,
+                phase_type: None,
+                blocks: vec![block.id()],
+                instructions: block.instruction_count(),
+            });
+            membership[block.id().index()] = Some(id);
+        }
+
+        Self {
+            proc: proc.id(),
+            regions,
+            membership,
+        }
+    }
+}
+
+/// Weight multiplier for a block at the given loop-nesting depth, the paper's
+/// `wn(λ)`: "nodes which belong to inner loops are given a higher weight".
+pub fn nesting_weight(depth: u32) -> f64 {
+    10f64.powi(depth.min(6) as i32)
+}
+
+/// Region maps for every procedure of a program.
+pub type ProgramRegions = HashMap<ProcId, RegionMap>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phase_analysis::PhaseType;
+    use phase_ir::{Instruction, ProcedureBuilder, Terminator};
+
+    /// entry (typed 0) -> loop {header, latch} (typed 1) -> exit (typed 0)
+    fn loopy_proc() -> (Procedure, [BlockId; 4], BlockTyping) {
+        let mut body = ProcedureBuilder::new();
+        let entry = body.add_block();
+        let header = body.add_block();
+        let latch = body.add_block();
+        let exit = body.add_block();
+        for b in [entry, header, latch, exit] {
+            body.push_all(b, std::iter::repeat(Instruction::int_alu()).take(20));
+        }
+        body.terminate(entry, Terminator::Jump(header));
+        body.terminate(header, Terminator::Jump(latch));
+        body.loop_branch(latch, header, exit, 50);
+        body.terminate(exit, Terminator::Return);
+        let proc = body.finish(ProcId(0), "loopy").unwrap();
+
+        let mut typing = BlockTyping::new(2);
+        typing.assign(Location::new(ProcId(0), entry), PhaseType(0));
+        typing.assign(Location::new(ProcId(0), header), PhaseType(1));
+        typing.assign(Location::new(ProcId(0), latch), PhaseType(1));
+        typing.assign(Location::new(ProcId(0), exit), PhaseType(0));
+        (proc, [entry, header, latch, exit], typing)
+    }
+
+    #[test]
+    fn block_regions_respect_min_size() {
+        let (proc, [entry, ..], typing) = loopy_proc();
+        let small = RegionMap::build(&proc, &typing, &MarkingConfig::basic_block(10, 0));
+        let large = RegionMap::build(&proc, &typing, &MarkingConfig::basic_block(50, 0));
+        assert_eq!(small.type_of_block(entry), Some(PhaseType(0)));
+        assert_eq!(large.type_of_block(entry), None);
+        assert_eq!(small.region_count(), 4);
+    }
+
+    #[test]
+    fn loop_regions_group_the_loop_into_one_region() {
+        let (proc, [entry, header, latch, exit], typing) = loopy_proc();
+        let map = RegionMap::build(&proc, &typing, &MarkingConfig::loop_level(10));
+        let header_region = map.region_of(header).unwrap();
+        let latch_region = map.region_of(latch).unwrap();
+        assert_eq!(header_region.id(), latch_region.id());
+        assert_eq!(header_region.kind(), RegionKind::Loop);
+        assert_eq!(header_region.phase_type(), Some(PhaseType(1)));
+        assert_ne!(map.region_of(entry).unwrap().id(), header_region.id());
+        // Blocks outside every loop are not sections for the loop technique.
+        assert_eq!(map.type_of_block(exit), None);
+    }
+
+    #[test]
+    fn interval_regions_absorb_loop_blocks() {
+        let (proc, [_, header, latch, _], typing) = loopy_proc();
+        let map = RegionMap::build(&proc, &typing, &MarkingConfig::interval(10));
+        // The loop header and latch fall in the same interval region.
+        assert_eq!(
+            map.region_of(header).unwrap().id(),
+            map.region_of(latch).unwrap().id()
+        );
+        assert_eq!(
+            map.region_of(header).unwrap().phase_type(),
+            Some(PhaseType(1))
+        );
+    }
+
+    #[test]
+    fn min_size_untypes_small_loops() {
+        let (proc, [_, header, ..], typing) = loopy_proc();
+        // The loop has ~42 instructions; a 100-instruction floor untypes it.
+        let map = RegionMap::build(&proc, &typing, &MarkingConfig::loop_level(100));
+        assert_eq!(map.type_of_block(header), None);
+    }
+
+    #[test]
+    fn nesting_weight_grows_with_depth() {
+        assert!(nesting_weight(0) < nesting_weight(1));
+        assert!(nesting_weight(1) < nesting_weight(2));
+        assert_eq!(nesting_weight(0), 1.0);
+    }
+
+    #[test]
+    fn untyped_blocks_produce_untyped_regions() {
+        let (proc, [entry, ..], _) = loopy_proc();
+        let empty_typing = BlockTyping::new(2);
+        let map = RegionMap::build(&proc, &empty_typing, &MarkingConfig::basic_block(10, 0));
+        assert_eq!(map.type_of_block(entry), None);
+        assert!(map.regions().iter().all(|r| r.phase_type().is_none()));
+    }
+}

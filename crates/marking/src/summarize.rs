@@ -1,0 +1,351 @@
+//! Dominant-type summarization for intervals and loops.
+//!
+//! This module implements the paper's Algorithm 1 ("Loop Summarization to
+//! Find Dominant Type"): walk a loop breadth-first ignoring back edges,
+//! accumulate a weight per phase type (`M ⊕ {π ↦ M(π) + wn(λ) · φ(η)}` with
+//! nested blocks weighted more), take the heaviest type as the loop's type
+//! and its share of the total weight as the *type strength* `σ`, then merge
+//! same-typed nested loops so phase marks are hoisted out of loop bodies.
+
+use std::collections::BTreeMap;
+
+use phase_analysis::{BlockTyping, PhaseType};
+use phase_cfg::{Cfg, LoopForest, LoopId};
+use phase_ir::{BlockId, Location, Procedure};
+use serde::{Deserialize, Serialize};
+
+/// A block's contribution to a section's dominant type.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SectionWeight {
+    /// The block contributing.
+    pub block: BlockId,
+    /// The block's phase type, if it has one.
+    pub phase_type: Option<PhaseType>,
+    /// The block's weight (`wn(λ) · φ(η)` in the paper: instruction count
+    /// scaled by nesting).
+    pub weight: f64,
+}
+
+/// The dominant type of a section together with its strength `σ`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Dominant {
+    /// The heaviest phase type.
+    pub phase_type: PhaseType,
+    /// The fraction of the total weight carried by that type, in `(0, 1]`.
+    pub strength: f64,
+}
+
+/// Computes the dominant type of a section from per-block weights.
+///
+/// Returns `None` when no contributing block is typed. Ties are broken toward
+/// the lower-numbered phase type (the paper uses "a simple heuristic").
+pub fn dominant_type(weights: &[SectionWeight]) -> Option<Dominant> {
+    let mut by_type: BTreeMap<PhaseType, f64> = BTreeMap::new();
+    for w in weights {
+        if let Some(ty) = w.phase_type {
+            *by_type.entry(ty).or_insert(0.0) += w.weight;
+        }
+    }
+    if by_type.is_empty() {
+        return None;
+    }
+    let total: f64 = by_type.values().sum();
+    if total <= 0.0 {
+        return None;
+    }
+    // BTreeMap iteration is ordered by type, so `>` keeps the first (lowest
+    // numbered) type on ties.
+    let (phase_type, weight) = by_type
+        .iter()
+        .fold((None, 0.0), |(best, best_w), (ty, w)| {
+            if best.is_none() || *w > best_w {
+                (Some(*ty), *w)
+            } else {
+                (best, best_w)
+            }
+        });
+    phase_type.map(|phase_type| Dominant {
+        phase_type,
+        strength: weight / total,
+    })
+}
+
+/// One entry of the loop type map `T`: a retained loop, its dominant type,
+/// and the type's strength.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LoopTypeEntry {
+    /// The retained loop.
+    pub loop_id: LoopId,
+    /// Its dominant phase type.
+    pub phase_type: PhaseType,
+    /// The type strength `σ` of the dominant type.
+    pub strength: f64,
+}
+
+/// The loop type map `T` of one procedure after Algorithm 1.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct LoopTypeMap {
+    entries: Vec<LoopTypeEntry>,
+}
+
+impl LoopTypeMap {
+    /// The retained loops with their types.
+    pub fn iter(&self) -> impl Iterator<Item = &LoopTypeEntry> {
+        self.entries.iter()
+    }
+
+    /// Number of retained loops.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no loop was retained.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up the entry for a loop, if it was retained.
+    pub fn get(&self, id: LoopId) -> Option<&LoopTypeEntry> {
+        self.entries.iter().find(|e| e.loop_id == id)
+    }
+
+    /// Whether a loop was retained.
+    pub fn contains(&self, id: LoopId) -> bool {
+        self.get(id).is_some()
+    }
+
+    fn insert(&mut self, entry: LoopTypeEntry) {
+        self.entries.retain(|e| e.loop_id != entry.loop_id);
+        self.entries.push(entry);
+    }
+
+    fn remove(&mut self, id: LoopId) {
+        self.entries.retain(|e| e.loop_id != id);
+    }
+}
+
+/// Runs Algorithm 1 over every loop of a procedure, innermost loops first,
+/// and returns the resulting type map `T`.
+///
+/// The weight of a block is its instruction count `φ(η)` scaled by
+/// `wn(λ) = 10^λ`, where `λ` counts how many loops nested inside the current
+/// loop contain the block — exactly the paper's "nodes which belong to inner
+/// loops are given a higher weight".
+pub fn loop_type_map(
+    proc: &Procedure,
+    _cfg: &Cfg,
+    loops: &LoopForest,
+    typing: &BlockTyping,
+) -> LoopTypeMap {
+    let mut map = LoopTypeMap::default();
+
+    for loop_id in loops.inner_to_outer() {
+        let natural = loops.loop_by_id(loop_id);
+
+        // Accumulate M over the loop's blocks.
+        let weights: Vec<SectionWeight> = natural
+            .blocks()
+            .iter()
+            .map(|&block| {
+                let lambda = loops
+                    .nesting_depth(block)
+                    .saturating_sub(natural.depth());
+                SectionWeight {
+                    block,
+                    phase_type: typing.type_of(Location::new(proc.id(), block)),
+                    weight: proc.block_expect(block).instruction_count() as f64
+                        * crate::regions::nesting_weight(lambda),
+                }
+            })
+            .collect();
+
+        let Some(dominant) = dominant_type(&weights) else {
+            // An untyped loop is never retained; any retained children stay.
+            continue;
+        };
+        let candidate = LoopTypeEntry {
+            loop_id,
+            phase_type: dominant.phase_type,
+            strength: dominant.strength,
+        };
+
+        // Direct children already retained in T.
+        let retained_children: Vec<LoopTypeEntry> = loops
+            .direct_children(loop_id)
+            .iter()
+            .filter_map(|child| map.get(*child).copied())
+            .collect();
+
+        match retained_children.len() {
+            // No retained nested loop: retain this one.
+            0 => map.insert(candidate),
+            // Exactly one nested loop: merge if same type, or if this loop's
+            // typing is stronger; otherwise keep the child only.
+            1 => {
+                let child = retained_children[0];
+                if child.phase_type == candidate.phase_type || child.strength < candidate.strength
+                {
+                    map.remove(child.loop_id);
+                    map.insert(candidate);
+                }
+            }
+            // Two or more disjoint nested loops: merge only when they all
+            // agree with the outer loop's type.
+            _ => {
+                let all_same = retained_children
+                    .iter()
+                    .all(|c| c.phase_type == candidate.phase_type);
+                if all_same {
+                    for child in &retained_children {
+                        map.remove(child.loop_id);
+                    }
+                    map.insert(candidate);
+                }
+            }
+        }
+    }
+
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phase_cfg::DominatorTree;
+    use phase_ir::{Instruction, ProcId, ProcedureBuilder, Terminator};
+
+    fn weight(ty: Option<u32>, w: f64) -> SectionWeight {
+        SectionWeight {
+            block: BlockId(0),
+            phase_type: ty.map(PhaseType),
+            weight: w,
+        }
+    }
+
+    #[test]
+    fn dominant_type_picks_heaviest() {
+        let d = dominant_type(&[weight(Some(0), 10.0), weight(Some(1), 30.0)]).unwrap();
+        assert_eq!(d.phase_type, PhaseType(1));
+        assert!((d.strength - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dominant_type_ignores_untyped_blocks() {
+        let d = dominant_type(&[weight(None, 100.0), weight(Some(0), 1.0)]).unwrap();
+        assert_eq!(d.phase_type, PhaseType(0));
+        assert_eq!(d.strength, 1.0);
+    }
+
+    #[test]
+    fn dominant_type_of_untyped_section_is_none() {
+        assert!(dominant_type(&[weight(None, 5.0)]).is_none());
+        assert!(dominant_type(&[]).is_none());
+    }
+
+    #[test]
+    fn dominant_type_tie_breaks_to_lower_type() {
+        let d = dominant_type(&[weight(Some(1), 10.0), weight(Some(0), 10.0)]).unwrap();
+        assert_eq!(d.phase_type, PhaseType(0));
+    }
+
+    /// Builds nested loops: outer loop contains an inner loop; block types and
+    /// sizes are configurable per block.
+    fn nested_loop_proc_sized(
+        types: &[(u32, u32)],
+        sizes: [usize; 6],
+    ) -> (Procedure, LoopForest, BlockTyping, Cfg) {
+        // blocks: 0 entry, 1 outer header, 2 inner header, 3 inner latch,
+        //         4 outer latch, 5 exit
+        let mut body = ProcedureBuilder::new();
+        let blocks: Vec<BlockId> = (0..6).map(|_| body.add_block()).collect();
+        for (&b, &size) in blocks.iter().zip(sizes.iter()) {
+            body.push_all(b, std::iter::repeat(Instruction::int_alu()).take(size));
+        }
+        body.terminate(blocks[0], Terminator::Jump(blocks[1]));
+        body.terminate(blocks[1], Terminator::Jump(blocks[2]));
+        body.terminate(blocks[2], Terminator::Jump(blocks[3]));
+        body.loop_branch(blocks[3], blocks[2], blocks[4], 10);
+        body.loop_branch(blocks[4], blocks[1], blocks[5], 10);
+        body.terminate(blocks[5], Terminator::Return);
+        let proc = body.finish(ProcId(0), "nested").unwrap();
+        let cfg = Cfg::build(&proc);
+        let dom = DominatorTree::build(&cfg);
+        let loops = LoopForest::build(&cfg, &dom);
+        let mut typing = BlockTyping::new(2);
+        for &(block, ty) in types {
+            typing.assign(Location::new(ProcId(0), BlockId(block)), PhaseType(ty));
+        }
+        (proc, loops, typing, cfg)
+    }
+
+    fn nested_loop_proc(types: &[(u32, u32)]) -> (Procedure, LoopForest, BlockTyping, Cfg) {
+        nested_loop_proc_sized(types, [10; 6])
+    }
+
+    #[test]
+    fn same_typed_nested_loops_merge_into_outer() {
+        // Everything type 0 -> only the outer loop is retained.
+        let (proc, loops, typing, cfg) =
+            nested_loop_proc(&[(1, 0), (2, 0), (3, 0), (4, 0)]);
+        let map = loop_type_map(&proc, &cfg, &loops, &typing);
+        assert_eq!(map.len(), 1);
+        let entry = map.iter().next().unwrap();
+        assert_eq!(entry.phase_type, PhaseType(0));
+        let retained = loops.loop_by_id(entry.loop_id);
+        assert_eq!(retained.depth(), 1, "outer loop retained");
+    }
+
+    #[test]
+    fn dominant_inner_loop_absorbs_outer_loop_of_same_dominant_type() {
+        // The heavily-weighted inner loop makes type 1 dominant for the outer
+        // loop as well, so both collapse into one retained outer region.
+        let (proc, loops, typing, cfg) =
+            nested_loop_proc(&[(1, 0), (2, 1), (3, 1), (4, 0)]);
+        let map = loop_type_map(&proc, &cfg, &loops, &typing);
+        assert_eq!(map.len(), 1);
+        let entry = map.iter().next().unwrap();
+        assert_eq!(entry.phase_type, PhaseType(1));
+        assert_eq!(loops.loop_by_id(entry.loop_id).depth(), 1, "outer loop retained");
+    }
+
+    #[test]
+    fn differently_typed_inner_loop_survives_when_stronger() {
+        // A tiny, purely type-1 inner loop (σ = 1) inside a large type-0
+        // outer loop: the outer loop's dominant type differs from the inner
+        // loop's and its strength is lower, so the inner loop is kept and the
+        // outer loop is not retained.
+        let (proc, loops, typing, cfg) = nested_loop_proc_sized(
+            &[(1, 0), (2, 1), (3, 1), (4, 0)],
+            [10, 50, 2, 2, 50, 10],
+        );
+        let map = loop_type_map(&proc, &cfg, &loops, &typing);
+        assert_eq!(map.len(), 1);
+        let entry = map.iter().next().unwrap();
+        assert_eq!(entry.phase_type, PhaseType(1));
+        assert_eq!(loops.loop_by_id(entry.loop_id).depth(), 2, "inner loop retained");
+        assert!((entry.strength - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn untyped_loops_are_not_retained() {
+        let (proc, loops, typing, cfg) = nested_loop_proc(&[]);
+        let map = loop_type_map(&proc, &cfg, &loops, &typing);
+        assert!(map.is_empty());
+    }
+
+    #[test]
+    fn loop_map_lookup_api() {
+        let (proc, loops, typing, cfg) = nested_loop_proc(&[(1, 0), (2, 0), (3, 0), (4, 0)]);
+        let map = loop_type_map(&proc, &cfg, &loops, &typing);
+        let retained_id = map.iter().next().unwrap().loop_id;
+        assert!(map.contains(retained_id));
+        assert!(map.get(retained_id).is_some());
+        let other = loops
+            .loops()
+            .iter()
+            .map(|l| l.id())
+            .find(|id| *id != retained_id)
+            .unwrap();
+        assert!(!map.contains(other));
+    }
+}

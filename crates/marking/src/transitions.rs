@@ -1,0 +1,395 @@
+//! Phase-transition detection.
+//!
+//! "A phase-transition point is a point in the program where runtime
+//! characteristics are likely to change. Since sections of code with the same
+//! type should have approximately similar behavior, we assume that program
+//! behavior is likely to change when control flows from one type to another"
+//! (Section II-A1d). This module finds those control-flow (and, for the
+//! inter-procedural loop technique, call/return) edges.
+
+use std::collections::{HashMap, VecDeque};
+
+use phase_analysis::PhaseType;
+use phase_cfg::Cfg;
+use phase_ir::{BlockId, Location, ProcId, Program, Terminator};
+use serde::{Deserialize, Serialize};
+
+use crate::config::{Granularity, MarkingConfig};
+use crate::regions::{ProgramRegions, RegionMap};
+
+/// A phase-transition point: control flowing along this edge is expected to
+/// change runtime behaviour to the `to_type` phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Transition {
+    /// Source location (last block of the previous section, or the calling
+    /// block for a call transition).
+    pub from: Location,
+    /// Target location (first block of the next section).
+    pub to: Location,
+    /// Phase type of the section being entered.
+    pub to_type: PhaseType,
+    /// Phase type of the section being left, when it is typed.
+    pub from_type: Option<PhaseType>,
+}
+
+/// Finds all phase-transition points of a program given its per-procedure
+/// region maps.
+///
+/// * Intra-procedural CFG edges are considered at every granularity.
+/// * Call and return edges are considered only for the loop technique, which
+///   is the paper's inter-procedural variant.
+/// * For the basic-block technique the lookahead filter is applied: a mark is
+///   only kept "if majority of the successors of a code section up to a fixed
+///   depth have the same type" as the target.
+pub fn find_transitions(
+    program: &Program,
+    regions: &ProgramRegions,
+    config: &MarkingConfig,
+) -> Vec<Transition> {
+    let mut transitions = Vec::new();
+
+    // A program whose sections all share one phase type has no phase
+    // transitions at all — it "will simply execute on any core the OS deems
+    // appropriate" (Table 1's zero-switch benchmarks), so no marks are
+    // inserted.
+    let mut distinct_types: Vec<PhaseType> = regions
+        .values()
+        .flat_map(|map| map.regions().iter().filter_map(|r| r.phase_type()))
+        .collect();
+    distinct_types.sort();
+    distinct_types.dedup();
+    if distinct_types.len() < 2 {
+        return transitions;
+    }
+
+    for proc in program.procedures() {
+        let map = &regions[&proc.id()];
+        let cfg = Cfg::build(proc);
+
+        for block in proc.blocks() {
+            let from_loc = Location::new(proc.id(), block.id());
+            let from_region = map.region_of(block.id());
+            let from_type = from_region.and_then(|r| r.phase_type());
+
+            // Intra-procedural edges.
+            for succ in block.successors() {
+                let to_region = map.region_of(succ);
+                let (Some(fr), Some(tr)) = (from_region, to_region) else {
+                    continue;
+                };
+                if fr.id() == tr.id() {
+                    continue;
+                }
+                let Some(to_type) = tr.phase_type() else {
+                    continue;
+                };
+                if from_type == Some(to_type) {
+                    continue;
+                }
+                if from_type.is_none() {
+                    // Entering a typed section from untyped glue code is a
+                    // transition too (the runtime must learn the new type),
+                    // but only when the previous *known* type differs; we keep
+                    // it, matching the paper's conservative marking.
+                }
+                if config.granularity == Granularity::BasicBlock
+                    && !lookahead_agrees(&cfg, map, succ, to_type, config.lookahead_depth)
+                {
+                    continue;
+                }
+                transitions.push(Transition {
+                    from: from_loc,
+                    to: Location::new(proc.id(), succ),
+                    to_type,
+                    from_type,
+                });
+            }
+
+            // Inter-procedural edges for the loop technique.
+            if config.granularity == Granularity::Loop {
+                if let Terminator::Call { callee, return_to } = *block.terminator() {
+                    let callee_proc = program.procedure_expect(callee);
+                    let callee_map = &regions[&callee];
+                    let callee_entry = callee_proc.entry();
+                    // Call edge: caller block -> callee entry.
+                    if let Some(entry_type) = callee_map.type_of_block(callee_entry) {
+                        if from_type != Some(entry_type) {
+                            transitions.push(Transition {
+                                from: from_loc,
+                                to: Location::new(callee, callee_entry),
+                                to_type: entry_type,
+                                from_type,
+                            });
+                        }
+                    }
+                    // Return edges: each returning block of the callee ->
+                    // continuation block. The mark must live on the edge the
+                    // interpreter actually takes, i.e. from the block whose
+                    // terminator is the `Return`.
+                    if let Some(cont_type) = map.type_of_block(return_to) {
+                        for ret_block in returning_blocks(callee_proc) {
+                            let ret_type = callee_map.type_of_block(ret_block);
+                            if ret_type != Some(cont_type) {
+                                transitions.push(Transition {
+                                    from: Location::new(callee, ret_block),
+                                    to: Location::new(proc.id(), return_to),
+                                    to_type: cont_type,
+                                    from_type: ret_type,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    transitions.sort_by_key(|t| (t.from, t.to));
+    transitions.dedup();
+    transitions
+}
+
+/// Blocks of a procedure whose terminator returns to the caller.
+fn returning_blocks(proc: &phase_ir::Procedure) -> Vec<BlockId> {
+    proc.blocks()
+        .iter()
+        .filter(|b| matches!(b.terminator(), Terminator::Return))
+        .map(|b| b.id())
+        .collect()
+}
+
+/// Lookahead filter for the basic-block technique: walk successors of
+/// `target` up to `depth` levels; keep the mark only when a strict majority
+/// of the visited successors share `target`'s type. Depth 0 keeps every mark.
+fn lookahead_agrees(
+    cfg: &Cfg,
+    map: &RegionMap,
+    target: BlockId,
+    target_type: PhaseType,
+    depth: usize,
+) -> bool {
+    if depth == 0 {
+        return true;
+    }
+    let mut same = 0usize;
+    let mut different = 0usize;
+    let mut queue = VecDeque::new();
+    let mut seen: HashMap<BlockId, ()> = HashMap::new();
+    queue.push_back((target, 0usize));
+    seen.insert(target, ());
+    while let Some((block, level)) = queue.pop_front() {
+        if level >= depth {
+            continue;
+        }
+        for &succ in cfg.successors(block) {
+            if seen.insert(succ, ()).is_some() {
+                continue;
+            }
+            match map.type_of_block(succ) {
+                Some(t) if t == target_type => same += 1,
+                Some(_) => different += 1,
+                None => {}
+            }
+            queue.push_back((succ, level + 1));
+        }
+    }
+    if same + different == 0 {
+        // No typed successors to consult: keep the mark.
+        return true;
+    }
+    same > different
+}
+
+/// Identifier of a procedure-entry transition used by callers that need to
+/// know a program's starting phase type (the entry section of the entry
+/// procedure).
+pub fn entry_phase_type(program: &Program, regions: &ProgramRegions) -> Option<PhaseType> {
+    let entry_proc: ProcId = program.entry();
+    let proc = program.procedure_expect(entry_proc);
+    regions[&entry_proc].type_of_block(proc.entry())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phase_analysis::BlockTyping;
+    use phase_ir::{Instruction, ProgramBuilder, Terminator};
+
+    /// Builds a single-procedure program whose blocks alternate between two
+    /// phase types: t0 t0 t1 t1 t0.
+    fn alternating_program() -> (Program, BlockTyping) {
+        let mut builder = ProgramBuilder::new("alt");
+        let main = builder.declare_procedure("main");
+        let mut body = builder.procedure_builder();
+        let blocks: Vec<BlockId> = (0..5).map(|_| body.add_block()).collect();
+        for &b in &blocks {
+            body.push_all(b, std::iter::repeat(Instruction::int_alu()).take(20));
+        }
+        for window in blocks.windows(2) {
+            body.terminate(window[0], Terminator::Jump(window[1]));
+        }
+        body.terminate(blocks[4], Terminator::Exit);
+        builder.define_procedure(main, body).unwrap();
+        let program = builder.build().unwrap();
+
+        let mut typing = BlockTyping::new(2);
+        let types = [0u32, 0, 1, 1, 0];
+        for (i, ty) in types.iter().enumerate() {
+            typing.assign(
+                Location::new(ProcId(0), BlockId(i as u32)),
+                PhaseType(*ty),
+            );
+        }
+        (program, typing)
+    }
+
+    fn regions_for(program: &Program, typing: &BlockTyping, config: &MarkingConfig) -> ProgramRegions {
+        program
+            .procedures()
+            .iter()
+            .map(|p| (p.id(), RegionMap::build(p, typing, config)))
+            .collect()
+    }
+
+    #[test]
+    fn transitions_appear_exactly_at_type_changes() {
+        let (program, typing) = alternating_program();
+        let config = MarkingConfig::basic_block(10, 0);
+        let regions = regions_for(&program, &typing, &config);
+        let transitions = find_transitions(&program, &regions, &config);
+        // Type changes at edges 1->2 and 3->4.
+        assert_eq!(transitions.len(), 2);
+        assert_eq!(transitions[0].from, Location::new(ProcId(0), BlockId(1)));
+        assert_eq!(transitions[0].to_type, PhaseType(1));
+        assert_eq!(transitions[1].from, Location::new(ProcId(0), BlockId(3)));
+        assert_eq!(transitions[1].to_type, PhaseType(0));
+        assert_eq!(entry_phase_type(&program, &regions), Some(PhaseType(0)));
+    }
+
+    #[test]
+    fn no_transitions_for_uniformly_typed_program() {
+        let (program, _) = alternating_program();
+        let mut typing = BlockTyping::new(2);
+        for i in 0..5u32 {
+            typing.assign(Location::new(ProcId(0), BlockId(i)), PhaseType(0));
+        }
+        let config = MarkingConfig::basic_block(10, 0);
+        let regions = regions_for(&program, &typing, &config);
+        assert!(find_transitions(&program, &regions, &config).is_empty());
+    }
+
+    #[test]
+    fn lookahead_removes_marks_into_short_lived_sections() {
+        // Block 2 is the only type-1 block; with lookahead 1 its successor
+        // (type 0) disagrees, so the mark into block 2 is dropped.
+        let (program, _) = alternating_program();
+        let mut typing = BlockTyping::new(2);
+        let types = [0u32, 0, 1, 0, 0];
+        for (i, ty) in types.iter().enumerate() {
+            typing.assign(Location::new(ProcId(0), BlockId(i as u32)), PhaseType(*ty));
+        }
+        let no_lookahead = MarkingConfig::basic_block(10, 0);
+        let with_lookahead = MarkingConfig::basic_block(10, 1);
+        let r0 = regions_for(&program, &typing, &no_lookahead);
+        let r1 = regions_for(&program, &typing, &with_lookahead);
+        let t0 = find_transitions(&program, &r0, &no_lookahead);
+        let t1 = find_transitions(&program, &r1, &with_lookahead);
+        assert_eq!(t0.len(), 2);
+        // The mark into block 2 is gone; the mark back into the long type-0
+        // run survives.
+        assert_eq!(t1.len(), 1);
+        assert_eq!(t1[0].to, Location::new(ProcId(0), BlockId(3)));
+    }
+
+    #[test]
+    fn small_blocks_never_produce_transitions() {
+        let (program, typing) = alternating_program();
+        let config = MarkingConfig::basic_block(50, 0);
+        let regions = regions_for(&program, &typing, &config);
+        assert!(find_transitions(&program, &regions, &config).is_empty());
+    }
+
+    #[test]
+    fn loop_granularity_marks_call_transitions() {
+        // main spins in a type-0 loop, then calls helper whose body is a
+        // type-1 loop.
+        let mut builder = ProgramBuilder::new("calls");
+        let main = builder.declare_procedure("main");
+        let helper = builder.declare_procedure("helper");
+
+        let mut mbody = builder.procedure_builder();
+        let ml = mbody.add_block();
+        let m0 = mbody.add_block();
+        let m1 = mbody.add_block();
+        mbody.push_all(ml, std::iter::repeat(Instruction::int_alu()).take(30));
+        mbody.loop_branch(ml, ml, m0, 50);
+        mbody.push_all(m0, std::iter::repeat(Instruction::int_alu()).take(30));
+        mbody.push_all(m1, std::iter::repeat(Instruction::int_alu()).take(30));
+        mbody.terminate(m0, Terminator::Call { callee: helper, return_to: m1 });
+        mbody.terminate(m1, Terminator::Exit);
+        builder.define_procedure(main, mbody).unwrap();
+
+        let mut hbody = builder.procedure_builder();
+        let h0 = hbody.add_block();
+        let h1 = hbody.add_block();
+        hbody.push_all(h0, std::iter::repeat(Instruction::fp_mul()).take(30));
+        hbody.push_all(h1, std::iter::repeat(Instruction::fp_mul()).take(30));
+        hbody.loop_branch(h0, h0, h1, 100);
+        hbody.terminate(h1, Terminator::Return);
+        builder.define_procedure(helper, hbody).unwrap();
+        let program = builder.build().unwrap();
+
+        let mut typing = BlockTyping::new(2);
+        typing.assign(Location::new(main, ml), PhaseType(0));
+        typing.assign(Location::new(main, m0), PhaseType(0));
+        typing.assign(Location::new(main, m1), PhaseType(0));
+        typing.assign(Location::new(helper, h0), PhaseType(1));
+        typing.assign(Location::new(helper, h1), PhaseType(1));
+
+        let config = MarkingConfig::loop_level(10);
+        let regions = regions_for(&program, &typing, &config);
+        let transitions = find_transitions(&program, &regions, &config);
+
+        // One transition into the callee's loop (type 1). The return goes
+        // back to straight-line code, which the loop technique does not treat
+        // as a section, so no return mark is inserted.
+        assert!(transitions
+            .iter()
+            .any(|t| t.to == Location::new(helper, h0) && t.to_type == PhaseType(1)));
+        assert_eq!(transitions.len(), 1);
+        let _ = m1;
+    }
+
+    #[test]
+    fn same_typed_call_produces_no_marks() {
+        // Callee has the same type as the caller: the inter-procedural
+        // technique "eliminates phase marks in functions that are called
+        // inside of loops" of the same type.
+        let mut builder = ProgramBuilder::new("samecall");
+        let main = builder.declare_procedure("main");
+        let helper = builder.declare_procedure("helper");
+        let mut mbody = builder.procedure_builder();
+        let m0 = mbody.add_block();
+        let m1 = mbody.add_block();
+        mbody.push_all(m0, std::iter::repeat(Instruction::int_alu()).take(30));
+        mbody.push_all(m1, std::iter::repeat(Instruction::int_alu()).take(30));
+        mbody.terminate(m0, Terminator::Call { callee: helper, return_to: m1 });
+        mbody.terminate(m1, Terminator::Exit);
+        builder.define_procedure(main, mbody).unwrap();
+        let mut hbody = builder.procedure_builder();
+        let h0 = hbody.add_block();
+        hbody.push_all(h0, std::iter::repeat(Instruction::int_alu()).take(30));
+        hbody.terminate(h0, Terminator::Return);
+        builder.define_procedure(helper, hbody).unwrap();
+        let program = builder.build().unwrap();
+
+        let mut typing = BlockTyping::new(2);
+        typing.assign(Location::new(main, m0), PhaseType(0));
+        typing.assign(Location::new(main, m1), PhaseType(0));
+        typing.assign(Location::new(helper, h0), PhaseType(0));
+
+        let config = MarkingConfig::loop_level(10);
+        let regions = regions_for(&program, &typing, &config);
+        assert!(find_transitions(&program, &regions, &config).is_empty());
+    }
+}

@@ -1,0 +1,226 @@
+//! Fairness metrics for continuous job streams.
+//!
+//! The paper uses the flow and stretch metrics of Bender, Chakrabarti &
+//! Muthukrishnan ("Flow and stretch metrics for scheduling continuous job
+//! streams") plus the average process completion time (Section IV-D):
+//!
+//! * **flow** `F_j = C_j − a_j`: time from arrival to completion;
+//! * **max-flow** `max_j F_j`: "if even one process is starving, this number
+//!   will increase significantly";
+//! * **stretch** `F_j / t_j` with `t_j` the processing time *in isolation*:
+//!   "the largest slowdown of a job";
+//! * **average process time**: mean flow over completed processes.
+
+use serde::{Deserialize, Serialize};
+
+use crate::stats::percent_decrease;
+
+/// Timing of one completed process.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProcessTiming {
+    /// Arrival time (`a_j`) in nanoseconds.
+    pub arrival_ns: f64,
+    /// Completion time (`C_j`) in nanoseconds.
+    pub completion_ns: f64,
+    /// Processing time in isolation (`t_j`) in nanoseconds.
+    pub isolated_ns: f64,
+}
+
+impl ProcessTiming {
+    /// Flow time `F_j = C_j − a_j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if completion precedes arrival or the isolated time is not
+    /// positive — both indicate corrupted measurements.
+    pub fn flow_ns(&self) -> f64 {
+        assert!(
+            self.completion_ns >= self.arrival_ns,
+            "completion {} precedes arrival {}",
+            self.completion_ns,
+            self.arrival_ns
+        );
+        self.completion_ns - self.arrival_ns
+    }
+
+    /// Stretch `F_j / t_j`.
+    pub fn stretch(&self) -> f64 {
+        assert!(self.isolated_ns > 0.0, "isolated time must be positive");
+        self.flow_ns() / self.isolated_ns
+    }
+}
+
+/// Fairness summary of one run.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct FairnessReport {
+    /// Number of completed processes measured.
+    pub completed: usize,
+    /// `max_j F_j` in nanoseconds.
+    pub max_flow_ns: f64,
+    /// `max_j F_j / t_j`.
+    pub max_stretch: f64,
+    /// Mean flow (average process time) in nanoseconds.
+    pub avg_process_time_ns: f64,
+    /// Mean stretch.
+    pub avg_stretch: f64,
+}
+
+impl FairnessReport {
+    /// Computes the report from per-process timings. Returns the zero report
+    /// when no process completed.
+    pub fn from_timings(timings: &[ProcessTiming]) -> Self {
+        if timings.is_empty() {
+            return Self::default();
+        }
+        let flows: Vec<f64> = timings.iter().map(ProcessTiming::flow_ns).collect();
+        let stretches: Vec<f64> = timings.iter().map(ProcessTiming::stretch).collect();
+        Self {
+            completed: timings.len(),
+            max_flow_ns: flows.iter().copied().fold(f64::MIN, f64::max),
+            max_stretch: stretches.iter().copied().fold(f64::MIN, f64::max),
+            avg_process_time_ns: flows.iter().sum::<f64>() / flows.len() as f64,
+            avg_stretch: stretches.iter().sum::<f64>() / stretches.len() as f64,
+        }
+    }
+}
+
+/// Comparison of a technique against a baseline, in the orientation of the
+/// paper's Table 2: positive numbers are improvements (decreases).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct FairnessComparison {
+    /// Percent decrease in max-flow relative to the baseline.
+    pub max_flow_decrease_pct: f64,
+    /// Percent decrease in max-stretch relative to the baseline.
+    pub max_stretch_decrease_pct: f64,
+    /// Percent decrease in average process time relative to the baseline.
+    pub avg_time_decrease_pct: f64,
+}
+
+impl FairnessComparison {
+    /// Compares a technique's fairness report against a baseline report.
+    pub fn against_baseline(baseline: &FairnessReport, technique: &FairnessReport) -> Self {
+        Self {
+            max_flow_decrease_pct: percent_decrease(baseline.max_flow_ns, technique.max_flow_ns),
+            max_stretch_decrease_pct: percent_decrease(
+                baseline.max_stretch,
+                technique.max_stretch,
+            ),
+            avg_time_decrease_pct: percent_decrease(
+                baseline.avg_process_time_ns,
+                technique.avg_process_time_ns,
+            ),
+        }
+    }
+
+    /// Whether every metric improved (all decreases positive).
+    pub fn improves_everywhere(&self) -> bool {
+        self.max_flow_decrease_pct > 0.0
+            && self.max_stretch_decrease_pct > 0.0
+            && self.avg_time_decrease_pct > 0.0
+    }
+}
+
+impl std::fmt::Display for FairnessComparison {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "max-flow {:+.2}% max-stretch {:+.2}% avg-time {:+.2}%",
+            self.max_flow_decrease_pct, self.max_stretch_decrease_pct, self.avg_time_decrease_pct
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timing(arrival: f64, completion: f64, isolated: f64) -> ProcessTiming {
+        ProcessTiming {
+            arrival_ns: arrival,
+            completion_ns: completion,
+            isolated_ns: isolated,
+        }
+    }
+
+    #[test]
+    fn flow_and_stretch_of_one_process() {
+        let t = timing(100.0, 400.0, 100.0);
+        assert_eq!(t.flow_ns(), 300.0);
+        assert_eq!(t.stretch(), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "precedes arrival")]
+    fn negative_flow_is_rejected() {
+        let _ = timing(400.0, 100.0, 50.0).flow_ns();
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_isolated_time_is_rejected() {
+        let _ = timing(0.0, 100.0, 0.0).stretch();
+    }
+
+    #[test]
+    fn report_takes_maxima_and_means() {
+        let timings = [
+            timing(0.0, 100.0, 50.0),  // flow 100, stretch 2
+            timing(0.0, 300.0, 100.0), // flow 300, stretch 3
+            timing(100.0, 200.0, 100.0), // flow 100, stretch 1
+        ];
+        let report = FairnessReport::from_timings(&timings);
+        assert_eq!(report.completed, 3);
+        assert_eq!(report.max_flow_ns, 300.0);
+        assert_eq!(report.max_stretch, 3.0);
+        assert!((report.avg_process_time_ns - 500.0 / 3.0).abs() < 1e-9);
+        assert!((report.avg_stretch - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_report_is_zero() {
+        assert_eq!(FairnessReport::from_timings(&[]), FairnessReport::default());
+    }
+
+    #[test]
+    fn comparison_is_oriented_like_table2() {
+        let baseline = FairnessReport {
+            completed: 10,
+            max_flow_ns: 1000.0,
+            max_stretch: 10.0,
+            avg_process_time_ns: 500.0,
+            avg_stretch: 5.0,
+        };
+        let technique = FairnessReport {
+            completed: 10,
+            max_flow_ns: 880.0,  // 12% better
+            max_stretch: 8.0,    // 20% better
+            avg_process_time_ns: 320.0, // 36% better
+            avg_stretch: 4.0,
+        };
+        let cmp = FairnessComparison::against_baseline(&baseline, &technique);
+        assert!((cmp.max_flow_decrease_pct - 12.0).abs() < 1e-9);
+        assert!((cmp.max_stretch_decrease_pct - 20.0).abs() < 1e-9);
+        assert!((cmp.avg_time_decrease_pct - 36.0).abs() < 1e-9);
+        assert!(cmp.improves_everywhere());
+        // A regression shows up as a negative decrease.
+        let worse = FairnessReport {
+            max_flow_ns: 1200.0,
+            ..technique
+        };
+        let cmp = FairnessComparison::against_baseline(&baseline, &worse);
+        assert!(cmp.max_flow_decrease_pct < 0.0);
+        assert!(!cmp.improves_everywhere());
+    }
+
+    #[test]
+    fn comparison_display_shows_signs() {
+        let cmp = FairnessComparison {
+            max_flow_decrease_pct: 12.04,
+            max_stretch_decrease_pct: 20.41,
+            avg_time_decrease_pct: 35.95,
+        };
+        let text = format!("{cmp}");
+        assert!(text.contains("+12.04%"));
+        assert!(text.contains("+35.95%"));
+    }
+}

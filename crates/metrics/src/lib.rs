@@ -1,0 +1,43 @@
+//! # phase-metrics
+//!
+//! The measurement vocabulary of the phase-based-tuning evaluation (Sondag &
+//! Rajan, CGO 2011, Section IV):
+//!
+//! * [`SummaryStats`] — quartile summaries for the space/time-overhead box
+//!   plots (Figure 3);
+//! * [`ThroughputSeries`] / [`ThroughputComparison`] — instructions committed
+//!   per window and percentage improvement over the baseline (Figures 6–7);
+//! * [`ProcessTiming`] / [`FairnessReport`] / [`FairnessComparison`] — the
+//!   flow/stretch fairness metrics of Bender et al. and the "% decrease over
+//!   standard Linux" orientation of Table 2;
+//! * assorted helpers ([`percent_decrease`], [`geometric_mean`], ...).
+//!
+//! The crate is deliberately free of simulation dependencies so it can be
+//! unit-tested against hand-computed values.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
+
+mod fairness;
+mod stats;
+mod throughput;
+
+pub use fairness::{FairnessComparison, FairnessReport, ProcessTiming};
+pub use stats::{
+    geometric_mean, mean, percent_change, percent_decrease, percentile_sorted, SummaryStats,
+};
+pub use throughput::{ThroughputComparison, ThroughputSeries};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn public_types_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SummaryStats>();
+        assert_send_sync::<FairnessReport>();
+        assert_send_sync::<ThroughputSeries>();
+    }
+}

@@ -1,0 +1,203 @@
+//! Summary statistics: the quartile summaries behind the paper's box plots
+//! (Figure 3) and simple comparison helpers.
+
+use serde::{Deserialize, Serialize};
+
+/// Five-number summary plus mean of a sample.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct SummaryStats {
+    /// Number of observations.
+    pub count: usize,
+    /// Smallest observation.
+    pub min: f64,
+    /// First quartile (25th percentile).
+    pub q1: f64,
+    /// Median (50th percentile).
+    pub median: f64,
+    /// Third quartile (75th percentile).
+    pub q3: f64,
+    /// Largest observation.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+}
+
+impl SummaryStats {
+    /// Computes the summary of a sample. Returns the zero summary for an
+    /// empty sample.
+    pub fn of(values: &[f64]) -> Self {
+        if values.is_empty() {
+            return Self::default();
+        }
+        let mut sorted: Vec<f64> = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("values are finite"));
+        let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+        Self {
+            count: sorted.len(),
+            min: sorted[0],
+            q1: percentile_sorted(&sorted, 0.25),
+            median: percentile_sorted(&sorted, 0.5),
+            q3: percentile_sorted(&sorted, 0.75),
+            max: sorted[sorted.len() - 1],
+            mean,
+        }
+    }
+
+    /// Interquartile range (`q3 - q1`).
+    pub fn iqr(&self) -> f64 {
+        self.q3 - self.q1
+    }
+}
+
+impl std::fmt::Display for SummaryStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} min={:.3} q1={:.3} med={:.3} q3={:.3} max={:.3} mean={:.3}",
+            self.count, self.min, self.q1, self.median, self.q3, self.max, self.mean
+        )
+    }
+}
+
+/// Linear-interpolated percentile of an already-sorted sample.
+///
+/// # Panics
+///
+/// Panics if `q` is outside `[0, 1]` or the sample is empty.
+pub fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&q), "quantile {q} out of range");
+    assert!(!sorted.is_empty(), "percentile of an empty sample");
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let position = q * (sorted.len() - 1) as f64;
+    let low = position.floor() as usize;
+    let high = position.ceil() as usize;
+    let fraction = position - low as f64;
+    sorted[low] + (sorted[high] - sorted[low]) * fraction
+}
+
+/// Percentage change from `baseline` to `value`: positive when `value` is
+/// larger. Returns zero when the baseline is zero.
+pub fn percent_change(baseline: f64, value: f64) -> f64 {
+    if baseline == 0.0 {
+        0.0
+    } else {
+        (value - baseline) / baseline * 100.0
+    }
+}
+
+/// Percentage *decrease* from `baseline` to `value`: positive when `value` is
+/// smaller — the orientation the paper's Table 2 uses ("% decrease over
+/// standard Linux", where an improvement is a positive number).
+pub fn percent_decrease(baseline: f64, value: f64) -> f64 {
+    -percent_change(baseline, value)
+}
+
+/// Arithmetic mean; zero for an empty sample.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// Geometric mean; zero for an empty sample.
+///
+/// # Panics
+///
+/// Panics if any value is not strictly positive.
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    assert!(
+        values.iter().all(|v| *v > 0.0),
+        "geometric mean requires positive values"
+    );
+    (values.iter().map(|v| v.ln()).sum::<f64>() / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let values = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let s = SummaryStats::of(&values);
+        assert_eq!(s.count, 5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.q1, 2.0);
+        assert_eq!(s.q3, 4.0);
+        assert_eq!(s.iqr(), 2.0);
+    }
+
+    #[test]
+    fn summary_is_order_invariant() {
+        let a = SummaryStats::of(&[3.0, 1.0, 2.0]);
+        let b = SummaryStats::of(&[1.0, 2.0, 3.0]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_sample_gives_zero_summary() {
+        assert_eq!(SummaryStats::of(&[]), SummaryStats::default());
+    }
+
+    #[test]
+    fn single_value_summary() {
+        let s = SummaryStats::of(&[7.0]);
+        assert_eq!(s.min, 7.0);
+        assert_eq!(s.q1, 7.0);
+        assert_eq!(s.max, 7.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let sorted = [0.0, 10.0];
+        assert_eq!(percentile_sorted(&sorted, 0.0), 0.0);
+        assert_eq!(percentile_sorted(&sorted, 0.5), 5.0);
+        assert_eq!(percentile_sorted(&sorted, 1.0), 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn percentile_rejects_bad_quantile() {
+        let _ = percentile_sorted(&[1.0], 1.5);
+    }
+
+    #[test]
+    fn percent_change_and_decrease_are_opposites() {
+        assert_eq!(percent_change(100.0, 150.0), 50.0);
+        assert_eq!(percent_decrease(100.0, 64.0), 36.0);
+        assert_eq!(percent_change(0.0, 5.0), 0.0);
+        assert!((percent_change(80.0, 60.0) + percent_decrease(80.0, 60.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn means() {
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(mean(&[]), 0.0);
+        assert!((geometric_mean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geometric_mean(&[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive values")]
+    fn geometric_mean_rejects_nonpositive() {
+        let _ = geometric_mean(&[1.0, 0.0]);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let s = SummaryStats::of(&[1.0, 2.0]);
+        let text = format!("{s}");
+        assert!(text.contains("n=2"));
+        assert!(text.contains("mean="));
+    }
+}

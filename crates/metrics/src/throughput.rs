@@ -1,0 +1,164 @@
+//! Throughput measurement and comparison.
+//!
+//! The paper measures throughput "in terms of instructions committed over a
+//! time interval (0% representing no improvement)" (Section IV-C), reading
+//! the first 400 seconds of each workload. Here throughput is a count of
+//! committed instructions per fixed-width window; comparisons report the
+//! percentage improvement of a technique over the baseline for the same
+//! prefix of windows.
+
+use serde::{Deserialize, Serialize};
+
+use crate::stats::percent_change;
+
+/// Instructions committed per fixed-width window of one run.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ThroughputSeries {
+    windows: Vec<u64>,
+    window_ns: u64,
+}
+
+impl ThroughputSeries {
+    /// Creates a series from per-window instruction counts.
+    pub fn new(windows: Vec<u64>, window_ns: u64) -> Self {
+        Self { windows, window_ns }
+    }
+
+    /// The per-window instruction counts.
+    pub fn windows(&self) -> &[u64] {
+        &self.windows
+    }
+
+    /// Width of one window in nanoseconds.
+    pub fn window_ns(&self) -> u64 {
+        self.window_ns
+    }
+
+    /// Total instructions committed over the whole series.
+    pub fn total_instructions(&self) -> u64 {
+        self.windows.iter().sum()
+    }
+
+    /// Instructions committed during the first `duration_ns` nanoseconds
+    /// (whole windows only).
+    pub fn instructions_before(&self, duration_ns: u64) -> u64 {
+        if self.window_ns == 0 {
+            return 0;
+        }
+        let count = (duration_ns / self.window_ns) as usize;
+        self.windows.iter().take(count).sum()
+    }
+
+    /// Mean instructions per second over the measured prefix.
+    pub fn instructions_per_second(&self) -> f64 {
+        let duration_ns = self.window_ns as f64 * self.windows.len() as f64;
+        if duration_ns <= 0.0 {
+            0.0
+        } else {
+            self.total_instructions() as f64 / (duration_ns * 1e-9)
+        }
+    }
+}
+
+/// Throughput improvement of a technique over a baseline, measured over the
+/// same time prefix.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ThroughputComparison {
+    /// Instructions committed by the baseline in the measured prefix.
+    pub baseline_instructions: u64,
+    /// Instructions committed by the technique in the measured prefix.
+    pub technique_instructions: u64,
+    /// Percent improvement (positive means the technique committed more).
+    pub improvement_pct: f64,
+}
+
+impl ThroughputComparison {
+    /// Compares two series over the first `duration_ns` nanoseconds.
+    pub fn over_prefix(
+        baseline: &ThroughputSeries,
+        technique: &ThroughputSeries,
+        duration_ns: u64,
+    ) -> Self {
+        let baseline_instructions = baseline.instructions_before(duration_ns);
+        let technique_instructions = technique.instructions_before(duration_ns);
+        Self {
+            baseline_instructions,
+            technique_instructions,
+            improvement_pct: percent_change(
+                baseline_instructions as f64,
+                technique_instructions as f64,
+            ),
+        }
+    }
+
+    /// Compares two raw instruction totals.
+    pub fn from_totals(baseline_instructions: u64, technique_instructions: u64) -> Self {
+        Self {
+            baseline_instructions,
+            technique_instructions,
+            improvement_pct: percent_change(
+                baseline_instructions as f64,
+                technique_instructions as f64,
+            ),
+        }
+    }
+}
+
+impl std::fmt::Display for ThroughputComparison {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} vs {} instructions ({:+.2}%)",
+            self.technique_instructions, self.baseline_instructions, self.improvement_pct
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_prefixes() {
+        let series = ThroughputSeries::new(vec![100, 200, 300], 10);
+        assert_eq!(series.total_instructions(), 600);
+        assert_eq!(series.instructions_before(20), 300);
+        assert_eq!(series.instructions_before(5), 0);
+        assert_eq!(series.instructions_before(1000), 600);
+        assert_eq!(series.window_ns(), 10);
+        assert_eq!(series.windows().len(), 3);
+    }
+
+    #[test]
+    fn instructions_per_second() {
+        // 1000 instructions over 2 windows of 1 ms = 500k instructions/s.
+        let series = ThroughputSeries::new(vec![400, 600], 1_000_000);
+        assert!((series.instructions_per_second() - 500_000.0).abs() < 1e-6);
+        assert_eq!(ThroughputSeries::default().instructions_per_second(), 0.0);
+    }
+
+    #[test]
+    fn comparison_over_prefix() {
+        let baseline = ThroughputSeries::new(vec![100, 100, 100], 10);
+        let technique = ThroughputSeries::new(vec![120, 130, 50], 10);
+        let cmp = ThroughputComparison::over_prefix(&baseline, &technique, 20);
+        assert_eq!(cmp.baseline_instructions, 200);
+        assert_eq!(cmp.technique_instructions, 250);
+        assert!((cmp.improvement_pct - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn comparison_from_totals_handles_regressions() {
+        let cmp = ThroughputComparison::from_totals(1000, 900);
+        assert!(cmp.improvement_pct < 0.0);
+        let text = format!("{cmp}");
+        assert!(text.contains("900"));
+        assert!(text.contains('%'));
+    }
+
+    #[test]
+    fn zero_baseline_gives_zero_improvement() {
+        let cmp = ThroughputComparison::from_totals(0, 500);
+        assert_eq!(cmp.improvement_pct, 0.0);
+    }
+}

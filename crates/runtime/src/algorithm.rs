@@ -1,0 +1,146 @@
+//! Algorithm 2: optimal core assignment for a phase type.
+//!
+//! "This algorithm first sorts the observed behavior on each core and sets
+//! the optimal core to the first in the list. Then, it steps through the
+//! sorted list of observed behaviors. If the difference between the current
+//! and previous core's behavior is above some threshold, the optimal core is
+//! set to the current core. The intuition is that when the difference is
+//! above the threshold, we will save enough cycles to justify taking the
+//! space on the more efficient core" (Section II-B).
+//!
+//! On an AMP, a *slower* clock wastes fewer cycles per memory stall, so the
+//! highest-IPC core for memory-bound code is a slow core; CPU-bound code
+//! shows (nearly) identical IPC everywhere and therefore stays on the
+//! starting point of the walk. We break IPC ties toward the
+//! highest-frequency core so that code which does not care ends up where the
+//! frequency helps most.
+
+use phase_amp::{CoreKind, MachineSpec};
+use serde::{Deserialize, Serialize};
+
+/// The IPC a phase type was observed to achieve on one core kind.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ObservedIpc {
+    /// The core kind the observation was made on.
+    pub kind: CoreKind,
+    /// Mean instructions per cycle observed there.
+    pub ipc: f64,
+}
+
+/// Runs Algorithm 2 over per-core-kind IPC observations.
+///
+/// Returns the selected core kind, or `None` when `observations` is empty.
+///
+/// `threshold` is the paper's `δ`: the minimum IPC improvement that justifies
+/// occupying a more efficient (higher-IPC) core.
+pub fn select_core_kind(
+    machine: &MachineSpec,
+    observations: &[ObservedIpc],
+    threshold: f64,
+) -> Option<CoreKind> {
+    if observations.is_empty() {
+        return None;
+    }
+    // Sort ascending by IPC; ties go to the faster core so indifferent code
+    // lands where the clock is highest.
+    let mut sorted: Vec<ObservedIpc> = observations.to_vec();
+    sorted.sort_by(|a, b| {
+        a.ipc
+            .partial_cmp(&b.ipc)
+            .expect("observed IPCs are finite")
+            .then_with(|| {
+                machine
+                    .kind_frequency(b.kind)
+                    .partial_cmp(&machine.kind_frequency(a.kind))
+                    .expect("frequencies are finite")
+            })
+    });
+
+    let mut best = sorted[0];
+    for window in sorted.windows(2) {
+        let (previous, current) = (window[0], window[1]);
+        let theta = current.ipc - previous.ipc;
+        if theta > threshold && current.ipc > best.ipc {
+            best = current;
+        }
+    }
+    Some(best.kind)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine() -> MachineSpec {
+        MachineSpec::core2_quad_amp()
+    }
+
+    const FAST: CoreKind = CoreKind(0);
+    const SLOW: CoreKind = CoreKind(1);
+
+    #[test]
+    fn cpu_bound_code_with_equal_ipc_stays_on_fast_cores() {
+        let observations = [
+            ObservedIpc { kind: FAST, ipc: 0.95 },
+            ObservedIpc { kind: SLOW, ipc: 0.95 },
+        ];
+        assert_eq!(select_core_kind(&machine(), &observations, 0.2), Some(FAST));
+    }
+
+    #[test]
+    fn memory_bound_code_with_large_ipc_gap_moves_to_slow_cores() {
+        let observations = [
+            ObservedIpc { kind: FAST, ipc: 0.25 },
+            ObservedIpc { kind: SLOW, ipc: 0.60 },
+        ];
+        assert_eq!(select_core_kind(&machine(), &observations, 0.2), Some(SLOW));
+    }
+
+    #[test]
+    fn small_gap_below_threshold_does_not_justify_the_efficient_core() {
+        let observations = [
+            ObservedIpc { kind: FAST, ipc: 0.50 },
+            ObservedIpc { kind: SLOW, ipc: 0.60 },
+        ];
+        assert_eq!(select_core_kind(&machine(), &observations, 0.2), Some(FAST));
+        // Lowering the threshold flips the decision.
+        assert_eq!(
+            select_core_kind(&machine(), &observations, 0.05),
+            Some(SLOW)
+        );
+    }
+
+    #[test]
+    fn walk_considers_every_adjacent_pair() {
+        // Three kinds on a hypothetical machine: each step is below the
+        // threshold individually, so the walk never promotes.
+        let mut spec = machine();
+        spec.cores.push(phase_amp::CoreSpec {
+            freq_ghz: 1.2,
+            kind: CoreKind(2),
+            l2_group: 2,
+        });
+        let observations = [
+            ObservedIpc { kind: FAST, ipc: 0.40 },
+            ObservedIpc { kind: SLOW, ipc: 0.55 },
+            ObservedIpc { kind: CoreKind(2), ipc: 0.70 },
+        ];
+        assert_eq!(select_core_kind(&spec, &observations, 0.2), Some(FAST));
+        // With a lower threshold the walk climbs to the most efficient kind.
+        assert_eq!(
+            select_core_kind(&spec, &observations, 0.1),
+            Some(CoreKind(2))
+        );
+    }
+
+    #[test]
+    fn empty_observations_give_no_decision() {
+        assert_eq!(select_core_kind(&machine(), &[], 0.2), None);
+    }
+
+    #[test]
+    fn single_observation_selects_that_kind() {
+        let observations = [ObservedIpc { kind: SLOW, ipc: 0.3 }];
+        assert_eq!(select_core_kind(&machine(), &observations, 0.2), Some(SLOW));
+    }
+}

@@ -1,0 +1,60 @@
+//! # phase-runtime
+//!
+//! The dynamic-analysis and tuning half of phase-based tuning (Sondag &
+//! Rajan, CGO 2011, Section II-B): the code a phase mark executes at run
+//! time.
+//!
+//! * [`select_core_kind`] — the paper's Algorithm 2: walk the core kinds in
+//!   increasing observed-IPC order and occupy a more efficient core only when
+//!   the IPC gain exceeds the threshold `δ`;
+//! * [`PhaseTuner`] — the [`phase_sched::PhaseHook`] implementation that
+//!   monitors a few representative sections per phase type on each core
+//!   kind (through a bounded pool of hardware-counter slots), decides each
+//!   type's core assignment once, and afterwards only issues affinity-based
+//!   core switches;
+//! * [`TunerConfig`] — the `δ` threshold, sampling depth, and counter budget.
+//!
+//! ## Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use phase_amp::MachineSpec;
+//! use phase_runtime::{select_core_kind, ObservedIpc, PhaseTuner, TunerConfig};
+//!
+//! let machine = MachineSpec::core2_quad_amp();
+//! // Memory-bound phase: much higher IPC on the slow cores.
+//! let chosen = select_core_kind(
+//!     &machine,
+//!     &[
+//!         ObservedIpc { kind: machine.fastest_kind(), ipc: 0.3 },
+//!         ObservedIpc { kind: machine.slowest_kind(), ipc: 0.7 },
+//!     ],
+//!     0.2,
+//! );
+//! assert_eq!(chosen, Some(machine.slowest_kind()));
+//!
+//! let _tuner = PhaseTuner::new(Arc::new(machine), TunerConfig::default());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
+
+mod algorithm;
+mod tuner;
+
+pub use algorithm::{select_core_kind, ObservedIpc};
+pub use tuner::{PhaseTuner, TunerConfig, TunerStats};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn public_types_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<PhaseTuner>();
+        assert_send::<TunerConfig>();
+        assert_send::<TunerStats>();
+    }
+}

@@ -1,0 +1,634 @@
+//! The phase-based tuner: the dynamic half of the paper's technique.
+//!
+//! The tuner implements the [`PhaseHook`] interface of `phase-sched`. For each
+//! process it tracks, per phase type, the IPC observed on each core kind from
+//! a small number of *representative* sections. Once every core kind has been
+//! sampled, Algorithm 2 picks the phase type's core assignment; from then on
+//! every mark of that type "reduces to simply making appropriate core
+//! switching decisions" (Section II) and monitoring stops — the positional,
+//! monitor-once behaviour that keeps the runtime overhead negligible.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use phase_amp::{AffinityMask, CoreKind, CounterBank, MachineSpec};
+use phase_analysis::PhaseType;
+use phase_marking::InstrumentedProgram;
+use phase_sched::{MarkContext, MarkResponse, PhaseHook, Pid, SectionObservation};
+
+use crate::algorithm::{select_core_kind, ObservedIpc};
+
+/// Configuration of the dynamic tuner.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TunerConfig {
+    /// Algorithm 2's IPC-difference threshold `δ`. The paper sweeps this in
+    /// Figure 6 and uses 0.15–0.2 for its headline results.
+    pub ipc_threshold: f64,
+    /// How many monitored sections per `(phase type, core kind)` pair are
+    /// required before the assignment decision is made.
+    pub samples_per_kind: u32,
+    /// Monitored sections shorter than this many instructions are discarded
+    /// as unrepresentative.
+    pub min_section_instructions: u64,
+    /// Number of hardware-counter slots available machine-wide; monitoring
+    /// requests beyond this wait (the paper's Section III behaviour).
+    pub counter_slots: usize,
+    /// Whether phase types whose best kind is the *fastest* kind are pinned
+    /// to it. The paper's prototype pins both ways; leaving fast-preferring
+    /// phases unpinned (the default here) keeps the slow cores busy whenever
+    /// the workload's compute share exceeds the fast cores' capacity share,
+    /// and is exposed as an ablation knob.
+    pub pin_preferred_fast: bool,
+}
+
+impl Default for TunerConfig {
+    fn default() -> Self {
+        Self {
+            ipc_threshold: 0.2,
+            samples_per_kind: 1,
+            min_section_instructions: 30,
+            counter_slots: 8,
+            pin_preferred_fast: false,
+        }
+    }
+}
+
+impl TunerConfig {
+    /// The configuration of the paper's Table 1 run: `Loop[45]` marking with
+    /// a 0.2 IPC threshold.
+    pub fn paper_table1() -> Self {
+        Self {
+            ipc_threshold: 0.2,
+            ..Self::default()
+        }
+    }
+
+    /// The configuration behind the paper's best fairness results
+    /// (Section IV-D): a slightly looser threshold that keeps a little more
+    /// work on the fast cores.
+    pub fn paper_best_fairness() -> Self {
+        Self {
+            ipc_threshold: 0.25,
+            ..Self::default()
+        }
+    }
+}
+
+/// Aggregate statistics about what the tuner did, for reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct TunerStats {
+    /// Sections whose IPC was recorded.
+    pub sections_monitored: u64,
+    /// Monitoring requests that had to be skipped because no hardware counter
+    /// slot was free.
+    pub monitor_waits: u64,
+    /// Phase-type assignment decisions made (across all processes).
+    pub assignments_decided: u64,
+    /// Core-switch requests issued (affinity changes that excluded the
+    /// current core).
+    pub switch_requests: u64,
+}
+
+#[derive(Debug, Default)]
+struct IpcAccumulator {
+    instructions: u64,
+    cycles: f64,
+    sections: u32,
+}
+
+impl IpcAccumulator {
+    fn record(&mut self, observation: &SectionObservation) {
+        self.instructions += observation.instructions;
+        self.cycles += observation.cycles;
+        self.sections += 1;
+    }
+
+    fn ipc(&self) -> f64 {
+        if self.cycles <= 0.0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct ProcessTuning {
+    /// Observed IPC per (phase type, core kind).
+    samples: HashMap<(PhaseType, CoreKind), IpcAccumulator>,
+    /// Decided assignments per phase type.
+    assignments: HashMap<PhaseType, CoreKind>,
+    /// Phase type currently being monitored (a counter slot is held).
+    monitoring: Option<PhaseType>,
+    /// Slot handle held while monitoring.
+    counter_slot: Option<phase_amp::CounterSlot>,
+    /// Whether the process is currently pinned to a kind only so that a
+    /// not-yet-sampled kind could be measured; the pin is released as soon as
+    /// it has served its purpose so undecided processes keep the scheduler's
+    /// freedom.
+    sampling_pinned: bool,
+}
+
+struct TunerInner {
+    machine: Arc<MachineSpec>,
+    config: TunerConfig,
+    processes: HashMap<Pid, ProcessTuning>,
+    counters: CounterBank,
+    stats: TunerStats,
+}
+
+/// The phase-based tuner, shared between the simulation (as its hook) and the
+/// experiment harness (for statistics).
+///
+/// Cloning the tuner clones a handle to the same shared state.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use phase_amp::MachineSpec;
+/// use phase_runtime::{PhaseTuner, TunerConfig};
+///
+/// let machine = Arc::new(MachineSpec::core2_quad_amp());
+/// let tuner = PhaseTuner::new(Arc::clone(&machine), TunerConfig::default());
+/// let handle = tuner.clone();
+/// // `tuner` is handed to the simulation as its hook; `handle` can read the
+/// // statistics afterwards.
+/// assert_eq!(handle.stats().assignments_decided, 0);
+/// ```
+#[derive(Clone)]
+pub struct PhaseTuner {
+    inner: Arc<Mutex<TunerInner>>,
+}
+
+impl PhaseTuner {
+    /// Creates a tuner for the given machine.
+    pub fn new(machine: Arc<MachineSpec>, config: TunerConfig) -> Self {
+        let counters = CounterBank::new(config.counter_slots.max(1));
+        Self {
+            inner: Arc::new(Mutex::new(TunerInner {
+                machine,
+                config,
+                processes: HashMap::new(),
+                counters,
+                stats: TunerStats::default(),
+            })),
+        }
+    }
+
+    /// A snapshot of the tuner's aggregate statistics.
+    pub fn stats(&self) -> TunerStats {
+        self.inner.lock().stats
+    }
+
+    /// The assignment the tuner decided for a phase type of a process, if it
+    /// has been decided.
+    pub fn assignment(&self, pid: Pid, phase_type: PhaseType) -> Option<CoreKind> {
+        self.inner
+            .lock()
+            .processes
+            .get(&pid)
+            .and_then(|p| p.assignments.get(&phase_type).copied())
+    }
+}
+
+impl std::fmt::Debug for PhaseTuner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("PhaseTuner")
+            .field("config", &inner.config)
+            .field("stats", &inner.stats)
+            .field("processes", &inner.processes.len())
+            .finish()
+    }
+}
+
+impl TunerInner {
+    fn finish_monitoring(&mut self, pid: Pid, observation: Option<&SectionObservation>) {
+        let Some(state) = self.processes.get_mut(&pid) else {
+            return;
+        };
+        let Some(monitored_type) = state.monitoring.take() else {
+            return;
+        };
+        if let Some(slot) = state.counter_slot.take() {
+            self.counters.release(slot);
+        }
+        let Some(observation) = observation else {
+            return;
+        };
+        if observation.phase_type != monitored_type
+            || observation.instructions < self.config.min_section_instructions
+        {
+            return;
+        }
+        state
+            .samples
+            .entry((monitored_type, observation.core_kind))
+            .or_default()
+            .record(observation);
+        self.stats.sections_monitored += 1;
+    }
+
+    /// Decides the assignment for a phase type if enough samples exist.
+    fn try_decide(&mut self, pid: Pid, phase_type: PhaseType) -> Option<CoreKind> {
+        let kinds = self.machine.kinds();
+        let state = self.processes.get_mut(&pid)?;
+        if let Some(kind) = state.assignments.get(&phase_type) {
+            return Some(*kind);
+        }
+        let enough = kinds.iter().all(|kind| {
+            state
+                .samples
+                .get(&(phase_type, *kind))
+                .map(|acc| acc.sections >= self.config.samples_per_kind)
+                .unwrap_or(false)
+        });
+        if !enough {
+            return None;
+        }
+        let observations: Vec<ObservedIpc> = kinds
+            .iter()
+            .map(|kind| ObservedIpc {
+                kind: *kind,
+                ipc: state.samples[&(phase_type, *kind)].ipc(),
+            })
+            .collect();
+        let chosen = select_core_kind(&self.machine, &observations, self.config.ipc_threshold)?;
+        state.assignments.insert(phase_type, chosen);
+        self.stats.assignments_decided += 1;
+        Some(chosen)
+    }
+
+    /// The core kind this phase type still needs samples from, preferring the
+    /// kind the process is currently on.
+    fn kind_needing_samples(
+        &self,
+        pid: Pid,
+        phase_type: PhaseType,
+        current: CoreKind,
+    ) -> Option<CoreKind> {
+        let state = self.processes.get(&pid)?;
+        let needs = |kind: CoreKind| {
+            state
+                .samples
+                .get(&(phase_type, kind))
+                .map(|acc| acc.sections < self.config.samples_per_kind)
+                .unwrap_or(true)
+        };
+        if needs(current) {
+            return Some(current);
+        }
+        self.machine.kinds().into_iter().find(|kind| needs(*kind))
+    }
+}
+
+impl PhaseHook for PhaseTuner {
+    fn on_process_start(&mut self, pid: Pid, _program: &InstrumentedProgram) {
+        self.inner
+            .lock()
+            .processes
+            .insert(pid, ProcessTuning::default());
+    }
+
+    fn on_phase_mark(&mut self, ctx: &MarkContext<'_>) -> MarkResponse {
+        let mut inner = self.inner.lock();
+        inner
+            .processes
+            .entry(ctx.pid)
+            .or_insert_with(ProcessTuning::default);
+
+        // 1. Close out any monitoring armed at the previous mark.
+        inner.finish_monitoring(ctx.pid, ctx.completed_section.as_ref());
+
+        let phase_type = ctx.mark.phase_type;
+
+        // 2. If the assignment is (or just became) known, this mark reduces
+        //    to a core-switch decision.
+        if let Some(kind) = inner.try_decide(ctx.pid, phase_type) {
+            let was_pinned = inner
+                .processes
+                .get(&ctx.pid)
+                .map(|s| s.sampling_pinned)
+                .unwrap_or(false);
+            if let Some(state) = inner.processes.get_mut(&ctx.pid) {
+                state.sampling_pinned = false;
+            }
+            let prefers_fastest = kind == inner.machine.fastest_kind();
+            let mask = if prefers_fastest && !inner.config.pin_preferred_fast {
+                // The phase gains nothing from occupying a particular kind;
+                // hand it back to the OS so no core type starves.
+                AffinityMask::all_cores(&inner.machine)
+            } else {
+                AffinityMask::kind(&inner.machine, kind)
+            };
+            if mask.allows(ctx.core) && !was_pinned && mask.core_count() < inner.machine.core_count()
+            {
+                return MarkResponse::none();
+            }
+            if mask.allows(ctx.core) {
+                // Affinity widens (or already matches); apply it without
+                // counting a core switch.
+                return MarkResponse::switch_to(mask);
+            }
+            inner.stats.switch_requests += 1;
+            return MarkResponse::switch_to(mask);
+        }
+
+        // 3. Otherwise keep gathering samples from representative sections.
+        let all_cores = AffinityMask::all_cores(&inner.machine);
+        let was_pinned = inner
+            .processes
+            .get(&ctx.pid)
+            .map(|s| s.sampling_pinned)
+            .unwrap_or(false);
+        let Some(wanted_kind) = inner.kind_needing_samples(ctx.pid, phase_type, ctx.core_kind)
+        else {
+            // Nothing left to sample for this type but the decision is still
+            // pending (e.g. sections were too short); release any sampling
+            // pin so the scheduler stays free.
+            if was_pinned {
+                if let Some(state) = inner.processes.get_mut(&ctx.pid) {
+                    state.sampling_pinned = false;
+                }
+                return MarkResponse::switch_to(all_cores);
+            }
+            return MarkResponse::none();
+        };
+
+        let mut response = MarkResponse::none();
+        if wanted_kind != ctx.core_kind {
+            // Move the process to the kind we still need a measurement from;
+            // the next mark of this type will monitor there. The pin is
+            // temporary and released once the sample is in.
+            let mask = AffinityMask::kind(&inner.machine, wanted_kind);
+            inner.stats.switch_requests += 1;
+            if let Some(state) = inner.processes.get_mut(&ctx.pid) {
+                state.sampling_pinned = true;
+            }
+            response.new_affinity = Some(mask);
+            return response;
+        }
+
+        // Monitor the upcoming section on the current core kind, if a
+        // hardware counter slot is free. A process pinned here purely for
+        // sampling is released back to every core: the upcoming section still
+        // starts on this kind, which is all the measurement needs.
+        if was_pinned {
+            if let Some(state) = inner.processes.get_mut(&ctx.pid) {
+                state.sampling_pinned = false;
+            }
+            response.new_affinity = Some(all_cores);
+        }
+        match inner.counters.try_acquire() {
+            Some(slot) => {
+                let state = inner
+                    .processes
+                    .get_mut(&ctx.pid)
+                    .expect("state inserted above");
+                state.monitoring = Some(phase_type);
+                state.counter_slot = Some(slot);
+                response.monitoring = true;
+            }
+            None => {
+                inner.stats.monitor_waits += 1;
+            }
+        }
+        response
+    }
+
+    fn on_process_exit(&mut self, pid: Pid) {
+        let mut inner = self.inner.lock();
+        if let Some(mut state) = inner.processes.remove(&pid) {
+            if let Some(slot) = state.counter_slot.take() {
+                inner.counters.release(slot);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phase_amp::CoreId;
+    use phase_analysis::PhaseType;
+    use phase_ir::{BlockId, Location, ProcId};
+    use phase_marking::{MarkId, PhaseMark};
+
+    fn machine() -> Arc<MachineSpec> {
+        Arc::new(MachineSpec::core2_quad_amp())
+    }
+
+    fn mark(phase: u32) -> PhaseMark {
+        PhaseMark {
+            id: MarkId(0),
+            from: Location::new(ProcId(0), BlockId(0)),
+            to: Location::new(ProcId(0), BlockId(1)),
+            phase_type: PhaseType(phase),
+            previous_type: None,
+            size_bytes: 78,
+        }
+    }
+
+    fn observation(phase: u32, kind: CoreKind, ipc: f64) -> SectionObservation {
+        SectionObservation {
+            phase_type: PhaseType(phase),
+            instructions: 10_000,
+            cycles: 10_000.0 / ipc,
+            core_kind: kind,
+        }
+    }
+
+    fn ctx<'a>(
+        pid: u32,
+        mark: &'a PhaseMark,
+        core: CoreId,
+        kind: CoreKind,
+        completed: Option<SectionObservation>,
+    ) -> MarkContext<'a> {
+        MarkContext {
+            pid: Pid(pid),
+            mark,
+            core,
+            core_kind: kind,
+            completed_section: completed,
+            now_ns: 0.0,
+        }
+    }
+
+    /// Drives the tuner through monitoring on both kinds for one phase type,
+    /// feeding it the given IPCs, then returns the decided assignment.
+    fn drive_to_decision(fast_ipc: f64, slow_ipc: f64, threshold: f64) -> CoreKind {
+        let machine = machine();
+        let mut tuner = PhaseTuner::new(
+            Arc::clone(&machine),
+            TunerConfig {
+                ipc_threshold: threshold,
+                samples_per_kind: 1,
+                min_section_instructions: 1,
+                counter_slots: 4,
+                pin_preferred_fast: false,
+            },
+        );
+        let m = mark(0);
+        let fast_core = CoreId(0);
+        let slow_core = CoreId(2);
+
+        // First mark on a fast core: no samples yet, so the tuner monitors.
+        let r1 = tuner.on_phase_mark(&ctx(1, &m, fast_core, CoreKind(0), None));
+        assert!(r1.monitoring);
+
+        // Second mark: the monitored fast-core section completes; the tuner
+        // now needs a slow-core sample, so it requests a switch.
+        let r2 = tuner.on_phase_mark(&ctx(
+            1,
+            &m,
+            fast_core,
+            CoreKind(0),
+            Some(observation(0, CoreKind(0), fast_ipc)),
+        ));
+        assert_eq!(
+            r2.new_affinity,
+            Some(AffinityMask::kind(&machine, CoreKind(1)))
+        );
+
+        // Third mark, now on a slow core: monitor there.
+        let r3 = tuner.on_phase_mark(&ctx(1, &m, slow_core, CoreKind(1), None));
+        assert!(r3.monitoring);
+
+        // Fourth mark: the slow-core sample arrives; the decision is made.
+        let _ = tuner.on_phase_mark(&ctx(
+            1,
+            &m,
+            slow_core,
+            CoreKind(1),
+            Some(observation(0, CoreKind(1), slow_ipc)),
+        ));
+        tuner
+            .assignment(Pid(1), PhaseType(0))
+            .expect("assignment decided after sampling both kinds")
+    }
+
+    #[test]
+    fn memory_bound_phase_is_assigned_to_slow_cores() {
+        // Big IPC gain on the slow core: worth occupying it.
+        assert_eq!(drive_to_decision(0.3, 0.7, 0.2), CoreKind(1));
+    }
+
+    #[test]
+    fn cpu_bound_phase_is_assigned_to_fast_cores() {
+        // No IPC difference: stay where the clock is fastest.
+        assert_eq!(drive_to_decision(1.0, 1.02, 0.2), CoreKind(0));
+    }
+
+    #[test]
+    fn threshold_controls_the_decision_boundary() {
+        assert_eq!(drive_to_decision(0.5, 0.65, 0.2), CoreKind(0));
+        assert_eq!(drive_to_decision(0.5, 0.65, 0.1), CoreKind(1));
+    }
+
+    #[test]
+    fn decided_phase_types_switch_without_monitoring() {
+        let machine = machine();
+        let mut tuner = PhaseTuner::new(Arc::clone(&machine), TunerConfig {
+            samples_per_kind: 1,
+            min_section_instructions: 1,
+            ..TunerConfig::default()
+        });
+        // Decide phase 0 -> slow cores by driving samples through directly.
+        let m = mark(0);
+        tuner.on_phase_mark(&ctx(1, &m, CoreId(0), CoreKind(0), None));
+        tuner.on_phase_mark(&ctx(
+            1,
+            &m,
+            CoreId(0),
+            CoreKind(0),
+            Some(observation(0, CoreKind(0), 0.3)),
+        ));
+        tuner.on_phase_mark(&ctx(1, &m, CoreId(2), CoreKind(1), None));
+        tuner.on_phase_mark(&ctx(
+            1,
+            &m,
+            CoreId(2),
+            CoreKind(1),
+            Some(observation(0, CoreKind(1), 0.8)),
+        ));
+        assert_eq!(tuner.assignment(Pid(1), PhaseType(0)), Some(CoreKind(1)));
+
+        // A later mark of the same type on a fast core: pure switch, no
+        // monitoring.
+        let response = tuner.on_phase_mark(&ctx(1, &m, CoreId(1), CoreKind(0), None));
+        assert!(!response.monitoring);
+        assert_eq!(
+            response.new_affinity,
+            Some(AffinityMask::kind(&machine, CoreKind(1)))
+        );
+        // And on a slow core: nothing at all to do.
+        let response = tuner.on_phase_mark(&ctx(1, &m, CoreId(3), CoreKind(1), None));
+        assert_eq!(response, MarkResponse::none());
+        assert!(tuner.stats().assignments_decided >= 1);
+    }
+
+    #[test]
+    fn counter_slot_exhaustion_counts_waits() {
+        let machine = machine();
+        let mut tuner = PhaseTuner::new(
+            Arc::clone(&machine),
+            TunerConfig {
+                counter_slots: 1,
+                samples_per_kind: 5,
+                min_section_instructions: 1,
+                ..TunerConfig::default()
+            },
+        );
+        let m = mark(0);
+        // Process 1 grabs the only slot.
+        let r1 = tuner.on_phase_mark(&ctx(1, &m, CoreId(0), CoreKind(0), None));
+        assert!(r1.monitoring);
+        // Process 2 cannot monitor and is recorded as a wait.
+        let r2 = tuner.on_phase_mark(&ctx(2, &m, CoreId(1), CoreKind(0), None));
+        assert!(!r2.monitoring);
+        assert_eq!(tuner.stats().monitor_waits, 1);
+        // When process 1 exits, its slot is released and process 2 can
+        // monitor.
+        tuner.on_process_exit(Pid(1));
+        let r3 = tuner.on_phase_mark(&ctx(2, &m, CoreId(1), CoreKind(0), None));
+        assert!(r3.monitoring);
+    }
+
+    #[test]
+    fn short_sections_are_discarded() {
+        let machine = machine();
+        let mut tuner = PhaseTuner::new(
+            Arc::clone(&machine),
+            TunerConfig {
+                samples_per_kind: 1,
+                min_section_instructions: 1_000_000,
+                ..TunerConfig::default()
+            },
+        );
+        let m = mark(0);
+        tuner.on_phase_mark(&ctx(1, &m, CoreId(0), CoreKind(0), None));
+        tuner.on_phase_mark(&ctx(
+            1,
+            &m,
+            CoreId(0),
+            CoreKind(0),
+            Some(observation(0, CoreKind(0), 1.0)),
+        ));
+        assert_eq!(tuner.stats().sections_monitored, 0);
+        assert_eq!(tuner.assignment(Pid(1), PhaseType(0)), None);
+    }
+
+    #[test]
+    fn per_process_state_is_independent() {
+        let machine = machine();
+        let tuner = PhaseTuner::new(Arc::clone(&machine), TunerConfig::default());
+        let handle = tuner.clone();
+        assert_eq!(handle.assignment(Pid(1), PhaseType(0)), None);
+        assert_eq!(handle.stats(), TunerStats::default());
+    }
+}

@@ -1,0 +1,217 @@
+//! The interface between the scheduler simulation and the dynamic tuner.
+//!
+//! When a process crosses a phase-mark edge, the simulation calls into a
+//! [`PhaseHook`] with everything the mark's inserted code would know at run
+//! time: which mark fired, which core the process is on, and the performance
+//! (instructions/cycles) of the section that just ended. The hook answers
+//! with a [`MarkResponse`]: optionally a new affinity mask (a core switch)
+//! and whether it armed monitoring for the upcoming section.
+//!
+//! The stock-Linux baseline simply runs uninstrumented binaries and never
+//! invokes a hook; the phase-based tuner in `phase-runtime` implements
+//! Algorithm 2 behind this trait.
+
+use phase_amp::{AffinityMask, CoreId, CoreKind};
+use phase_analysis::PhaseType;
+use phase_marking::{InstrumentedProgram, PhaseMark};
+
+use crate::process::Pid;
+
+/// Performance observed for one just-completed section.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SectionObservation {
+    /// The phase type of the section (as recorded by the mark that opened it,
+    /// or the program's entry type for the first section).
+    pub phase_type: PhaseType,
+    /// Instructions retired in the section.
+    pub instructions: u64,
+    /// Core cycles consumed by the section.
+    pub cycles: f64,
+    /// The kind of core the section ran on.
+    pub core_kind: CoreKind,
+}
+
+impl SectionObservation {
+    /// Instructions per cycle of the section.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles <= 0.0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles
+        }
+    }
+}
+
+/// Everything the phase-mark code knows when it executes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MarkContext<'a> {
+    /// The process executing the mark.
+    pub pid: Pid,
+    /// The mark that fired.
+    pub mark: &'a PhaseMark,
+    /// The core the process is currently running on.
+    pub core: CoreId,
+    /// That core's kind.
+    pub core_kind: CoreKind,
+    /// Performance of the section that just ended, when its phase type was
+    /// known (the first mark of a process may have no preceding section).
+    pub completed_section: Option<SectionObservation>,
+    /// Current simulation time in nanoseconds.
+    pub now_ns: f64,
+}
+
+/// What the phase-mark code decided to do.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct MarkResponse {
+    /// A new affinity mask to apply (a core switch request), if any.
+    pub new_affinity: Option<AffinityMask>,
+    /// Whether the mark armed performance monitoring for the upcoming
+    /// section; monitoring marks execute more instructions.
+    pub monitoring: bool,
+}
+
+impl MarkResponse {
+    /// Do nothing: keep the current affinity, no monitoring.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Request a core switch to the given mask.
+    pub fn switch_to(mask: AffinityMask) -> Self {
+        Self {
+            new_affinity: Some(mask),
+            monitoring: false,
+        }
+    }
+
+    /// Arm monitoring for the upcoming section without switching.
+    pub fn monitor() -> Self {
+        Self {
+            new_affinity: None,
+            monitoring: true,
+        }
+    }
+}
+
+/// The dynamic-analysis side of a phase mark.
+///
+/// Implementations must be `Send` so simulations can be moved across threads
+/// by the benchmark harness.
+pub trait PhaseHook: Send {
+    /// Called once when a process starts executing an instrumented program.
+    fn on_process_start(&mut self, _pid: Pid, _program: &InstrumentedProgram) {}
+
+    /// Called whenever a process crosses a marked edge.
+    fn on_phase_mark(&mut self, ctx: &MarkContext<'_>) -> MarkResponse;
+
+    /// Called when a process exits (its per-process state can be dropped).
+    fn on_process_exit(&mut self, _pid: Pid) {}
+}
+
+/// A hook that never switches cores and never monitors: instrumented binaries
+/// behave like uninstrumented ones except for the marks' execution cost.
+/// Used by the paper's time-overhead experiment baseline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullHook;
+
+impl PhaseHook for NullHook {
+    fn on_phase_mark(&mut self, _ctx: &MarkContext<'_>) -> MarkResponse {
+        MarkResponse::none()
+    }
+}
+
+/// A hook reproducing the paper's time-overhead measurement: "instead of
+/// switching to a specific core, we switch to 'all cores'", i.e. every mark
+/// performs the affinity system call with a mask containing every core, so
+/// the full mark + switch-API cost is paid without constraining placement.
+#[derive(Debug, Clone, Copy)]
+pub struct AllCoresHook {
+    mask: AffinityMask,
+}
+
+impl AllCoresHook {
+    /// Creates the hook for a machine with the given all-cores mask.
+    pub fn new(mask: AffinityMask) -> Self {
+        Self { mask }
+    }
+}
+
+impl PhaseHook for AllCoresHook {
+    fn on_phase_mark(&mut self, _ctx: &MarkContext<'_>) -> MarkResponse {
+        MarkResponse::switch_to(self.mask)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observation_ipc() {
+        let obs = SectionObservation {
+            phase_type: PhaseType(0),
+            instructions: 100,
+            cycles: 80.0,
+            core_kind: CoreKind(0),
+        };
+        assert!((obs.ipc() - 1.25).abs() < 1e-12);
+        let empty = SectionObservation { cycles: 0.0, ..obs };
+        assert_eq!(empty.ipc(), 0.0);
+    }
+
+    #[test]
+    fn response_constructors() {
+        assert_eq!(MarkResponse::none(), MarkResponse::default());
+        let mask = AffinityMask::from_cores([CoreId(1)]);
+        let switch = MarkResponse::switch_to(mask);
+        assert_eq!(switch.new_affinity, Some(mask));
+        assert!(!switch.monitoring);
+        assert!(MarkResponse::monitor().monitoring);
+    }
+
+    #[test]
+    fn null_hook_never_acts() {
+        let mut hook = NullHook;
+        let mark = PhaseMark {
+            id: phase_marking::MarkId(0),
+            from: phase_ir::Location::new(phase_ir::ProcId(0), phase_ir::BlockId(0)),
+            to: phase_ir::Location::new(phase_ir::ProcId(0), phase_ir::BlockId(1)),
+            phase_type: PhaseType(0),
+            previous_type: None,
+            size_bytes: 78,
+        };
+        let ctx = MarkContext {
+            pid: Pid(1),
+            mark: &mark,
+            core: CoreId(0),
+            core_kind: CoreKind(0),
+            completed_section: None,
+            now_ns: 0.0,
+        };
+        assert_eq!(hook.on_phase_mark(&ctx), MarkResponse::none());
+    }
+
+    #[test]
+    fn all_cores_hook_requests_full_mask_every_time() {
+        let mask = AffinityMask::from_cores([CoreId(0), CoreId(1), CoreId(2), CoreId(3)]);
+        let mut hook = AllCoresHook::new(mask);
+        let mark = PhaseMark {
+            id: phase_marking::MarkId(1),
+            from: phase_ir::Location::new(phase_ir::ProcId(0), phase_ir::BlockId(0)),
+            to: phase_ir::Location::new(phase_ir::ProcId(0), phase_ir::BlockId(1)),
+            phase_type: PhaseType(1),
+            previous_type: Some(PhaseType(0)),
+            size_bytes: 78,
+        };
+        let ctx = MarkContext {
+            pid: Pid(7),
+            mark: &mark,
+            core: CoreId(2),
+            core_kind: CoreKind(1),
+            completed_section: None,
+            now_ns: 5.0,
+        };
+        let response = hook.on_phase_mark(&ctx);
+        assert_eq!(response.new_affinity, Some(mask));
+    }
+}

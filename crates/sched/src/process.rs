@@ -1,0 +1,361 @@
+//! Processes: one running instance of a (possibly instrumented) benchmark.
+
+use std::sync::Arc;
+
+use phase_amp::{AffinityMask, CoreId};
+use phase_analysis::PhaseType;
+use phase_marking::InstrumentedProgram;
+use serde::{Deserialize, Serialize};
+
+use crate::interp::Interpreter;
+
+/// Process identifier, unique within one simulation.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
+pub struct Pid(pub u32);
+
+impl Pid {
+    /// The pid as a `usize` index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for Pid {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "pid{}", self.0)
+    }
+}
+
+/// Run-state of a process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ProcessState {
+    /// Waiting on some core's run queue.
+    Ready,
+    /// Currently executing on a core.
+    Running,
+    /// Finished execution.
+    Finished,
+}
+
+/// Per-process accounting, accumulated by the simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ProcessStats {
+    /// Instructions retired (including phase-mark instructions).
+    pub instructions: u64,
+    /// Core cycles consumed.
+    pub cycles: f64,
+    /// CPU time in nanoseconds.
+    pub cpu_time_ns: f64,
+    /// Phase marks executed.
+    pub marks_executed: u64,
+    /// Core switches actually performed (migrations caused by affinity
+    /// changes from phase marks).
+    pub core_switches: u64,
+    /// Migrations performed by the load balancer (not caused by tuning).
+    pub balancer_migrations: u64,
+    /// CPU time spent on each core kind, indexed by kind id.
+    pub time_on_kind_ns: [f64; 4],
+}
+
+impl ProcessStats {
+    /// Average IPC over the whole execution so far.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles <= 0.0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles
+        }
+    }
+}
+
+/// One running instance of a benchmark inside the simulation.
+#[derive(Debug, Clone)]
+pub struct Process {
+    pid: Pid,
+    name: String,
+    /// The workload slot this process occupies (the next queued job starts in
+    /// the same slot when this one finishes).
+    slot: usize,
+    instrumented: Arc<InstrumentedProgram>,
+    interp: Interpreter,
+    affinity: AffinityMask,
+    state: ProcessState,
+    current_core: Option<CoreId>,
+    arrival_ns: f64,
+    completion_ns: Option<f64>,
+    stats: ProcessStats,
+    /// The phase type of the section currently executing, when known.
+    current_phase: Option<PhaseType>,
+    /// Instructions/cycles accumulated since the last phase mark.
+    section_instructions: u64,
+    section_cycles: f64,
+    /// Whether the tuner armed monitoring for the current section.
+    monitoring: bool,
+}
+
+impl Process {
+    /// Creates a process for an instrumented benchmark.
+    pub fn new(
+        pid: Pid,
+        name: impl Into<String>,
+        slot: usize,
+        instrumented: Arc<InstrumentedProgram>,
+        affinity: AffinityMask,
+        arrival_ns: f64,
+        seed: u64,
+    ) -> Self {
+        let interp = Interpreter::new(Arc::clone(instrumented.program()), seed);
+        let current_phase = instrumented.entry_type();
+        Self {
+            pid,
+            name: name.into(),
+            slot,
+            instrumented,
+            interp,
+            affinity,
+            state: ProcessState::Ready,
+            current_core: None,
+            arrival_ns,
+            completion_ns: None,
+            stats: ProcessStats::default(),
+            current_phase,
+            section_instructions: 0,
+            section_cycles: 0.0,
+            monitoring: false,
+        }
+    }
+
+    /// The process identifier.
+    pub fn pid(&self) -> Pid {
+        self.pid
+    }
+
+    /// The benchmark name this process runs.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The workload slot this process occupies.
+    pub fn slot(&self) -> usize {
+        self.slot
+    }
+
+    /// The instrumented program being executed.
+    pub fn instrumented(&self) -> &Arc<InstrumentedProgram> {
+        &self.instrumented
+    }
+
+    /// Mutable access to the interpreter (used by the simulation loop).
+    pub fn interp_mut(&mut self) -> &mut Interpreter {
+        &mut self.interp
+    }
+
+    /// Read access to the interpreter.
+    pub fn interp(&self) -> &Interpreter {
+        &self.interp
+    }
+
+    /// The process's current affinity mask.
+    pub fn affinity(&self) -> AffinityMask {
+        self.affinity
+    }
+
+    /// Replaces the affinity mask.
+    pub fn set_affinity(&mut self, mask: AffinityMask) {
+        self.affinity = mask;
+    }
+
+    /// The process's current run state.
+    pub fn state(&self) -> ProcessState {
+        self.state
+    }
+
+    /// Marks the process as running on a core.
+    pub fn set_running(&mut self, core: CoreId) {
+        self.state = ProcessState::Running;
+        self.current_core = Some(core);
+    }
+
+    /// Marks the process as ready (not on any core).
+    pub fn set_ready(&mut self) {
+        self.state = ProcessState::Ready;
+        self.current_core = None;
+    }
+
+    /// Marks the process as finished at the given time.
+    pub fn set_finished(&mut self, now_ns: f64) {
+        self.state = ProcessState::Finished;
+        self.current_core = None;
+        self.completion_ns = Some(now_ns);
+    }
+
+    /// The core the process is currently on, if running.
+    pub fn current_core(&self) -> Option<CoreId> {
+        self.current_core
+    }
+
+    /// Arrival time in nanoseconds.
+    pub fn arrival_ns(&self) -> f64 {
+        self.arrival_ns
+    }
+
+    /// Completion time in nanoseconds, once finished.
+    pub fn completion_ns(&self) -> Option<f64> {
+        self.completion_ns
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &ProcessStats {
+        &self.stats
+    }
+
+    /// Mutable access to the statistics (used by the simulation loop).
+    pub fn stats_mut(&mut self) -> &mut ProcessStats {
+        &mut self.stats
+    }
+
+    /// The phase type of the currently executing section, when known.
+    pub fn current_phase(&self) -> Option<PhaseType> {
+        self.current_phase
+    }
+
+    /// Whether monitoring is armed for the current section.
+    pub fn is_monitoring(&self) -> bool {
+        self.monitoring
+    }
+
+    /// Arms or disarms monitoring for the current section.
+    pub fn set_monitoring(&mut self, monitoring: bool) {
+        self.monitoring = monitoring;
+    }
+
+    /// Adds the cost of one executed block to the current section and the
+    /// global statistics.
+    pub fn charge_block(&mut self, instructions: u64, cycles: f64, nanos: f64, kind_index: usize) {
+        self.stats.instructions += instructions;
+        self.stats.cycles += cycles;
+        self.stats.cpu_time_ns += nanos;
+        if kind_index < self.stats.time_on_kind_ns.len() {
+            self.stats.time_on_kind_ns[kind_index] += nanos;
+        }
+        self.section_instructions += instructions;
+        self.section_cycles += cycles;
+    }
+
+    /// Closes the current section (because a phase mark fired), returning its
+    /// accumulated instructions and cycles and starting a new section of the
+    /// given phase type.
+    pub fn roll_section(&mut self, new_phase: PhaseType) -> (u64, f64, Option<PhaseType>) {
+        let finished = (
+            self.section_instructions,
+            self.section_cycles,
+            self.current_phase,
+        );
+        self.section_instructions = 0;
+        self.section_cycles = 0.0;
+        self.current_phase = Some(new_phase);
+        self.monitoring = false;
+        finished
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phase_analysis::{BlockTyping, PhaseType};
+    use phase_ir::{Instruction, ProgramBuilder, Terminator};
+    use phase_marking::{instrument, MarkingConfig};
+
+    fn instrumented_program() -> Arc<InstrumentedProgram> {
+        let mut builder = ProgramBuilder::new("bench");
+        let main = builder.declare_procedure("main");
+        let mut body = builder.procedure_builder();
+        let a = body.add_block();
+        let b = body.add_block();
+        body.push_all(a, std::iter::repeat(Instruction::int_alu()).take(20));
+        body.push_all(b, std::iter::repeat(Instruction::fp_mul()).take(20));
+        body.terminate(a, Terminator::Jump(b));
+        body.terminate(b, Terminator::Exit);
+        builder.define_procedure(main, body).unwrap();
+        let program = builder.build().unwrap();
+        let mut typing = BlockTyping::new(2);
+        typing.assign(phase_ir::Location::new(main, a), PhaseType(0));
+        typing.assign(phase_ir::Location::new(main, b), PhaseType(1));
+        Arc::new(instrument(&program, &typing, &MarkingConfig::basic_block(10, 0)))
+    }
+
+    fn process() -> Process {
+        Process::new(
+            Pid(1),
+            "bench",
+            0,
+            instrumented_program(),
+            AffinityMask::from_cores([CoreId(0), CoreId(1)]),
+            0.0,
+            42,
+        )
+    }
+
+    #[test]
+    fn new_process_starts_ready_with_entry_phase() {
+        let p = process();
+        assert_eq!(p.state(), ProcessState::Ready);
+        assert_eq!(p.current_phase(), Some(PhaseType(0)));
+        assert_eq!(p.current_core(), None);
+        assert_eq!(p.stats().instructions, 0);
+        assert!(!p.is_monitoring());
+    }
+
+    #[test]
+    fn state_transitions() {
+        let mut p = process();
+        p.set_running(CoreId(1));
+        assert_eq!(p.state(), ProcessState::Running);
+        assert_eq!(p.current_core(), Some(CoreId(1)));
+        p.set_ready();
+        assert_eq!(p.state(), ProcessState::Ready);
+        p.set_finished(123.0);
+        assert_eq!(p.state(), ProcessState::Finished);
+        assert_eq!(p.completion_ns(), Some(123.0));
+    }
+
+    #[test]
+    fn charging_blocks_accumulates_section_and_total() {
+        let mut p = process();
+        p.charge_block(100, 80.0, 33.0, 0);
+        p.charge_block(50, 40.0, 16.0, 1);
+        let stats = p.stats();
+        assert_eq!(stats.instructions, 150);
+        assert!((stats.cycles - 120.0).abs() < 1e-9);
+        assert!((stats.time_on_kind_ns[0] - 33.0).abs() < 1e-9);
+        assert!((stats.time_on_kind_ns[1] - 16.0).abs() < 1e-9);
+        assert!((stats.ipc() - 1.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rolling_a_section_returns_its_totals_and_switches_phase() {
+        let mut p = process();
+        p.charge_block(100, 50.0, 20.0, 0);
+        p.set_monitoring(true);
+        let (instructions, cycles, phase) = p.roll_section(PhaseType(1));
+        assert_eq!(instructions, 100);
+        assert!((cycles - 50.0).abs() < 1e-9);
+        assert_eq!(phase, Some(PhaseType(0)));
+        assert_eq!(p.current_phase(), Some(PhaseType(1)));
+        assert!(!p.is_monitoring(), "monitoring disarms on section roll");
+        // A fresh section accumulates from zero.
+        let (i2, c2, _) = p.roll_section(PhaseType(0));
+        assert_eq!(i2, 0);
+        assert_eq!(c2, 0.0);
+    }
+
+    #[test]
+    fn affinity_can_be_replaced() {
+        let mut p = process();
+        let new_mask = AffinityMask::single(CoreId(3));
+        p.set_affinity(new_mask);
+        assert_eq!(p.affinity(), new_mask);
+    }
+}

@@ -1,0 +1,861 @@
+//! The discrete-event multicore simulation.
+//!
+//! The simulation plays the role of the paper's physical Core 2 Quad plus the
+//! unmodified Linux 2.6.22 kernel: per-core run queues with fixed timeslices
+//! and periodic pull-based load balancing (an O(1)-scheduler-style baseline
+//! that knows nothing about asymmetry), on top of the `phase-amp` machine
+//! model. Phase-based tuning does not replace this scheduler — exactly as in
+//! the paper, it only *sets affinity masks* from the phase-mark hook, and the
+//! scheduler honours them.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+use phase_amp::{AffinityMask, BlockCost, CoreId, CostModel, MachineSpec, SharingContext};
+use phase_ir::Location;
+use phase_marking::{
+    InstrumentedProgram, MARK_DECISION_INSTRUCTIONS, MARK_MONITOR_INSTRUCTIONS,
+};
+use serde::{Deserialize, Serialize};
+
+use crate::hooks::{MarkContext, PhaseHook, SectionObservation};
+use crate::process::{Pid, Process, ProcessState, ProcessStats};
+
+/// Simulation parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Scheduling quantum in nanoseconds.
+    pub timeslice_ns: f64,
+    /// Interval between load-balancing passes in nanoseconds.
+    pub load_balance_interval_ns: f64,
+    /// Stop the simulation at this time even if work remains (`None` runs
+    /// until every queued job completes).
+    pub horizon_ns: Option<f64>,
+    /// Width of the throughput-measurement windows in nanoseconds.
+    pub throughput_window_ns: f64,
+    /// Seed for per-process interpreters.
+    pub seed: u64,
+    /// Whether phase marks add instruction/cycle overhead when executed.
+    pub charge_mark_overhead: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            timeslice_ns: 20_000.0,            // 20 µs quantum
+            load_balance_interval_ns: 200_000.0, // 200 µs balancing period
+            horizon_ns: None,
+            throughput_window_ns: 1_000_000.0, // 1 ms windows
+            seed: 0xC60_2011,
+            charge_mark_overhead: true,
+        }
+    }
+}
+
+/// One job of a workload slot: a named instrumented benchmark.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// Benchmark name (for reporting).
+    pub name: String,
+    /// The program (with or without phase marks) to run.
+    pub instrumented: Arc<InstrumentedProgram>,
+}
+
+impl JobSpec {
+    /// Creates a job.
+    pub fn new(name: impl Into<String>, instrumented: Arc<InstrumentedProgram>) -> Self {
+        Self {
+            name: name.into(),
+            instrumented,
+        }
+    }
+}
+
+/// Final accounting for one process.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProcessRecord {
+    /// The process id.
+    pub pid: Pid,
+    /// Benchmark name.
+    pub name: String,
+    /// Workload slot the process occupied.
+    pub slot: usize,
+    /// Arrival time in nanoseconds.
+    pub arrival_ns: f64,
+    /// Completion time in nanoseconds (`None` if still running at the end).
+    pub completion_ns: Option<f64>,
+    /// Accumulated execution statistics.
+    pub stats: ProcessStats,
+}
+
+impl ProcessRecord {
+    /// Flow time (`C_j - a_j`), the paper's per-process latency measure; only
+    /// defined for completed processes.
+    pub fn flow_ns(&self) -> Option<f64> {
+        self.completion_ns.map(|c| c - self.arrival_ns)
+    }
+}
+
+/// The outcome of one simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimResult {
+    /// Label of the run (scheduler/technique name).
+    pub label: String,
+    /// Records for every process that was started.
+    pub records: Vec<ProcessRecord>,
+    /// Total instructions committed by all processes (marks included).
+    pub total_instructions: u64,
+    /// Simulation end time in nanoseconds.
+    pub final_time_ns: f64,
+    /// Instructions committed per throughput window.
+    pub throughput_windows: Vec<u64>,
+    /// Busy time per core in nanoseconds.
+    pub core_busy_ns: Vec<f64>,
+    /// Total phase marks executed across all processes.
+    pub total_marks_executed: u64,
+    /// Total core switches (affinity-driven migrations) across all processes.
+    pub total_core_switches: u64,
+}
+
+impl SimResult {
+    /// Records of processes that finished.
+    pub fn completed(&self) -> impl Iterator<Item = &ProcessRecord> {
+        self.records.iter().filter(|r| r.completion_ns.is_some())
+    }
+
+    /// Number of completed processes.
+    pub fn completed_count(&self) -> usize {
+        self.completed().count()
+    }
+
+    /// Instructions committed up to the given time (sum of whole windows).
+    pub fn instructions_before(&self, time_ns: f64, window_ns: f64) -> u64 {
+        let windows = (time_ns / window_ns).floor() as usize;
+        self.throughput_windows.iter().take(windows).sum()
+    }
+}
+
+#[derive(Debug, Default)]
+struct CoreState {
+    runqueue: VecDeque<Pid>,
+    running: Option<Pid>,
+    busy_ns: f64,
+}
+
+#[derive(Debug)]
+struct SlotState {
+    jobs: Vec<JobSpec>,
+    next: usize,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct CostKey {
+    program: usize,
+    loc: Location,
+    core_kind: u32,
+    sharers: usize,
+}
+
+/// The simulation engine.
+pub struct Simulation<H: PhaseHook> {
+    label: String,
+    cost: CostModel,
+    config: SimConfig,
+    hook: H,
+    default_affinity: AffinityMask,
+    processes: Vec<Process>,
+    cores: Vec<CoreState>,
+    slots: Vec<SlotState>,
+    clock_ns: f64,
+    next_balance_ns: f64,
+    cost_cache: HashMap<CostKey, BlockCost>,
+    total_instructions: u64,
+    throughput_windows: Vec<u64>,
+}
+
+impl<H: PhaseHook> Simulation<H> {
+    /// Creates a simulation of the given machine running one job queue per
+    /// slot, under the given phase-mark hook.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots` is empty or any slot has no jobs.
+    pub fn new(
+        label: impl Into<String>,
+        machine: MachineSpec,
+        slots: Vec<Vec<JobSpec>>,
+        hook: H,
+        config: SimConfig,
+    ) -> Self {
+        assert!(!slots.is_empty(), "a simulation needs at least one slot");
+        assert!(
+            slots.iter().all(|s| !s.is_empty()),
+            "every slot needs at least one job"
+        );
+        let default_affinity = AffinityMask::all_cores(&machine);
+        let core_count = machine.core_count();
+        let mut sim = Self {
+            label: label.into(),
+            cost: CostModel::new(machine),
+            config,
+            hook,
+            default_affinity,
+            processes: Vec::new(),
+            cores: (0..core_count).map(|_| CoreState::default()).collect(),
+            slots: slots
+                .into_iter()
+                .map(|jobs| SlotState { jobs, next: 0 })
+                .collect(),
+            clock_ns: 0.0,
+            next_balance_ns: config.load_balance_interval_ns,
+            cost_cache: HashMap::new(),
+            total_instructions: 0,
+            throughput_windows: Vec::new(),
+        };
+        // Launch the first job of every slot at time zero, spread round-robin
+        // over the cores like a fork-time balancer would.
+        for slot in 0..sim.slots.len() {
+            sim.start_next_job(slot, 0.0);
+        }
+        sim
+    }
+
+    /// The machine being simulated.
+    pub fn machine(&self) -> &MachineSpec {
+        self.cost.spec()
+    }
+
+    /// Runs the simulation to completion (or to the configured horizon) and
+    /// returns the result.
+    pub fn run(mut self) -> SimResult {
+        loop {
+            if let Some(horizon) = self.config.horizon_ns {
+                if self.clock_ns >= horizon {
+                    break;
+                }
+            }
+            if self.all_work_done() {
+                break;
+            }
+            if self.clock_ns >= self.next_balance_ns {
+                self.load_balance();
+                self.next_balance_ns = self.clock_ns + self.config.load_balance_interval_ns;
+            }
+            self.run_round();
+            self.clock_ns += self.config.timeslice_ns;
+        }
+        self.into_result()
+    }
+
+    fn all_work_done(&self) -> bool {
+        let queues_empty = self.slots.iter().all(|s| s.next >= s.jobs.len());
+        let processes_done = self
+            .processes
+            .iter()
+            .all(|p| p.state() == ProcessState::Finished);
+        queues_empty && processes_done
+    }
+
+    /// Executes one scheduling quantum on every core.
+    fn run_round(&mut self) {
+        let window_index = (self.clock_ns / self.config.throughput_window_ns) as usize;
+        let before = self.total_instructions;
+
+        let sharers_per_group = self.active_sharers_per_group();
+        for core_index in 0..self.cores.len() {
+            let core = CoreId(core_index as u32);
+            self.run_core_quantum(core, &sharers_per_group);
+        }
+
+        let committed = self.total_instructions - before;
+        if self.throughput_windows.len() <= window_index {
+            self.throughput_windows.resize(window_index + 1, 0);
+        }
+        self.throughput_windows[window_index] += committed;
+    }
+
+    /// Number of runnable processes per L2 group at the start of a round,
+    /// used as the cache-sharing pressure for the whole quantum.
+    fn active_sharers_per_group(&self) -> Vec<usize> {
+        let spec = self.cost.spec();
+        let mut sharers = vec![0usize; spec.l2_group_count()];
+        for (idx, core) in self.cores.iter().enumerate() {
+            let group = spec.core(CoreId(idx as u32)).l2_group;
+            let active = usize::from(core.running.is_some()) + core.runqueue.len();
+            sharers[group] += active.min(1);
+        }
+        for s in &mut sharers {
+            *s = (*s).max(1);
+        }
+        sharers
+    }
+
+    fn run_core_quantum(&mut self, core: CoreId, sharers_per_group: &[usize]) {
+        let kind_index = self.cost.spec().kind_of(core).index();
+        let freq = self.cost.spec().core(core).freq_ghz;
+        let group = self.cost.spec().core(core).l2_group;
+        let sharing = SharingContext::shared_by(sharers_per_group[group]);
+
+        // The core keeps working until its quantum budget is used up; if the
+        // current process finishes or migrates away mid-quantum, the next
+        // ready process takes over the remaining time (the scheduler is work
+        // conserving).
+        let mut consumed = 0.0;
+        while consumed < self.config.timeslice_ns {
+            let pid = match self.pick_process(core) {
+                Some(pid) => pid,
+                None => break,
+            };
+            self.processes[pid.index()].set_running(core);
+
+            let budget = self.config.timeslice_ns - consumed;
+            let mut elapsed = 0.0;
+            let mut migrated = false;
+            let mut finished = false;
+
+            while elapsed < budget {
+                let loc = self.processes[pid.index()].interp().current_location();
+                let program = Arc::clone(self.processes[pid.index()].instrumented().program());
+                let cost = self.block_cost_cached(&program, loc, core, sharing);
+                self.processes[pid.index()].charge_block(
+                    cost.instructions,
+                    cost.cycles,
+                    cost.nanos,
+                    kind_index,
+                );
+                self.total_instructions += cost.instructions;
+                elapsed += cost.nanos;
+
+                let step = self.processes[pid.index()]
+                    .interp_mut()
+                    .step()
+                    .expect("running process is not finished");
+
+                match step.next {
+                    None => {
+                        finished = true;
+                        break;
+                    }
+                    Some(next_loc) => {
+                        let mark = self.processes[pid.index()]
+                            .instrumented()
+                            .mark_on_edge(step.executed, next_loc)
+                            .copied();
+                        if let Some(mark) = mark {
+                            let now = self.clock_ns + consumed + elapsed;
+                            let (extra_ns, did_migrate) =
+                                self.execute_mark(pid, core, &mark, now, freq, kind_index);
+                            elapsed += extra_ns;
+                            if did_migrate {
+                                migrated = true;
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+
+            self.cores[core.index()].busy_ns += elapsed.min(budget);
+            consumed += elapsed;
+
+            if finished {
+                let completion = self.clock_ns + consumed;
+                let slot = self.processes[pid.index()].slot();
+                self.processes[pid.index()].set_finished(completion);
+                self.hook.on_process_exit(pid);
+                self.cores[core.index()].running = None;
+                self.start_next_job(slot, completion);
+                continue;
+            }
+            if migrated {
+                // execute_mark already queued the process elsewhere.
+                self.cores[core.index()].running = None;
+                continue;
+            }
+            // Quantum expired for this process: preempt and requeue.
+            self.processes[pid.index()].set_ready();
+            self.cores[core.index()].running = None;
+            let affinity = self.processes[pid.index()].affinity();
+            if affinity.allows(core) {
+                self.cores[core.index()].runqueue.push_back(pid);
+            } else {
+                self.enqueue_on_allowed_core(pid);
+            }
+            break;
+        }
+    }
+
+    /// Executes a phase mark: calls the hook, charges the mark's cost, and
+    /// performs the core switch if the new affinity excludes the current
+    /// core. Returns the wall-clock time consumed and whether the process
+    /// migrated away.
+    fn execute_mark(
+        &mut self,
+        pid: Pid,
+        core: CoreId,
+        mark: &phase_marking::PhaseMark,
+        now_ns: f64,
+        freq_ghz: f64,
+        kind_index: usize,
+    ) -> (f64, bool) {
+        let core_kind = self.cost.spec().kind_of(core);
+        let (sec_instr, sec_cycles, sec_phase) =
+            self.processes[pid.index()].roll_section(mark.phase_type);
+        let completed_section = sec_phase.map(|phase_type| SectionObservation {
+            phase_type,
+            instructions: sec_instr,
+            cycles: sec_cycles,
+            core_kind,
+        });
+        let ctx = MarkContext {
+            pid,
+            mark,
+            core,
+            core_kind,
+            completed_section,
+            now_ns,
+        };
+        let response = self.hook.on_phase_mark(&ctx);
+        self.processes[pid.index()].set_monitoring(response.monitoring);
+        self.processes[pid.index()].stats_mut().marks_executed += 1;
+
+        let mut extra_ns = 0.0;
+        if self.config.charge_mark_overhead {
+            let overhead_instructions = if response.monitoring {
+                MARK_MONITOR_INSTRUCTIONS
+            } else {
+                MARK_DECISION_INSTRUCTIONS
+            };
+            let overhead_cycles = overhead_instructions as f64;
+            let overhead_ns = overhead_cycles / freq_ghz;
+            self.processes[pid.index()].charge_block(
+                overhead_instructions,
+                overhead_cycles,
+                overhead_ns,
+                kind_index,
+            );
+            self.total_instructions += overhead_instructions;
+            extra_ns += overhead_ns;
+        }
+
+        let mut migrated = false;
+        if let Some(mask) = response.new_affinity {
+            if mask != self.processes[pid.index()].affinity() {
+                self.processes[pid.index()].set_affinity(mask);
+            }
+            if !mask.allows(core) && !mask.is_empty() {
+                // A real core switch: charge the migration cost and move the
+                // process to an allowed core's run queue.
+                let (switch_cycles, switch_ns) = self.cost.core_switch_cost(core);
+                self.processes[pid.index()].charge_block(
+                    0,
+                    switch_cycles as f64,
+                    switch_ns,
+                    kind_index,
+                );
+                extra_ns += switch_ns;
+                self.processes[pid.index()].stats_mut().core_switches += 1;
+                self.processes[pid.index()].set_ready();
+                self.enqueue_on_allowed_core(pid);
+                migrated = true;
+            }
+        }
+        (extra_ns, migrated)
+    }
+
+    /// Picks the next process to run on a core: its own queue first, then an
+    /// idle-steal from the most loaded core.
+    fn pick_process(&mut self, core: CoreId) -> Option<Pid> {
+        if let Some(pid) = self.cores[core.index()].runqueue.pop_front() {
+            return Some(pid);
+        }
+        // Idle balancing: steal a ready process that may run here from the
+        // most loaded core.
+        let donor = self
+            .cores
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != core.index())
+            .max_by_key(|(_, c)| c.runqueue.len())
+            .map(|(i, _)| i)?;
+        if self.cores[donor].runqueue.len() < 1 {
+            return None;
+        }
+        let position = self.cores[donor]
+            .runqueue
+            .iter()
+            .position(|pid| self.processes[pid.index()].affinity().allows(core))?;
+        let pid = self.cores[donor].runqueue.remove(position)?;
+        self.processes[pid.index()].stats_mut().balancer_migrations += 1;
+        Some(pid)
+    }
+
+    /// Periodic load balancing: move waiting processes from the most loaded
+    /// to the least loaded core when the imbalance exceeds one.
+    fn load_balance(&mut self) {
+        loop {
+            let (busiest, busiest_len) = match self
+                .cores
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, c)| c.runqueue.len())
+            {
+                Some((i, c)) => (i, c.runqueue.len()),
+                None => return,
+            };
+            let (idlest, idlest_len) = match self
+                .cores
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, c)| c.runqueue.len())
+            {
+                Some((i, c)) => (i, c.runqueue.len()),
+                None => return,
+            };
+            if busiest_len <= idlest_len + 1 {
+                return;
+            }
+            let target = CoreId(idlest as u32);
+            let position = self.cores[busiest]
+                .runqueue
+                .iter()
+                .position(|pid| self.processes[pid.index()].affinity().allows(target));
+            match position {
+                Some(pos) => {
+                    let pid = self.cores[busiest].runqueue.remove(pos).expect("position valid");
+                    self.processes[pid.index()].stats_mut().balancer_migrations += 1;
+                    self.cores[idlest].runqueue.push_back(pid);
+                }
+                None => return,
+            }
+        }
+    }
+
+    /// Starts the next job of a slot, if the queue is not exhausted.
+    fn start_next_job(&mut self, slot: usize, now_ns: f64) {
+        let state = &mut self.slots[slot];
+        if state.next >= state.jobs.len() {
+            return;
+        }
+        let job = state.jobs[state.next].clone();
+        state.next += 1;
+        let pid = Pid(self.processes.len() as u32);
+        let seed = self
+            .config
+            .seed
+            .wrapping_add(pid.0 as u64)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let process = Process::new(
+            pid,
+            job.name,
+            slot,
+            Arc::clone(&job.instrumented),
+            self.default_affinity,
+            now_ns,
+            seed,
+        );
+        self.hook.on_process_start(pid, &job.instrumented);
+        self.processes.push(process);
+        self.enqueue_on_allowed_core(pid);
+    }
+
+    /// Puts a ready process on the least-loaded core its affinity allows.
+    fn enqueue_on_allowed_core(&mut self, pid: Pid) {
+        let affinity = self.processes[pid.index()].affinity();
+        let target = self
+            .cores
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| affinity.allows(CoreId(*i as u32)) || affinity.is_empty())
+            .min_by_key(|(_, c)| c.runqueue.len() + usize::from(c.running.is_some()))
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        self.cores[target].runqueue.push_back(pid);
+    }
+
+    fn block_cost_cached(
+        &mut self,
+        program: &Arc<phase_ir::Program>,
+        loc: Location,
+        core: CoreId,
+        sharing: SharingContext,
+    ) -> BlockCost {
+        let key = CostKey {
+            program: Arc::as_ptr(program) as usize,
+            loc,
+            core_kind: self.cost.spec().kind_of(core).0,
+            sharers: sharing.l2_sharers.min(8),
+        };
+        if let Some(cost) = self.cost_cache.get(&key) {
+            return *cost;
+        }
+        let block = program
+            .block(loc)
+            .expect("interpreter location points at an existing block");
+        let cost = self.cost.block_cost(core, block, sharing);
+        self.cost_cache.insert(key, cost);
+        cost
+    }
+
+    fn into_result(self) -> SimResult {
+        let records: Vec<ProcessRecord> = self
+            .processes
+            .iter()
+            .map(|p| ProcessRecord {
+                pid: p.pid(),
+                name: p.name().to_string(),
+                slot: p.slot(),
+                arrival_ns: p.arrival_ns(),
+                completion_ns: p.completion_ns(),
+                stats: *p.stats(),
+            })
+            .collect();
+        let total_marks_executed = records.iter().map(|r| r.stats.marks_executed).sum();
+        let total_core_switches = records.iter().map(|r| r.stats.core_switches).sum();
+        SimResult {
+            label: self.label,
+            records,
+            total_instructions: self.total_instructions,
+            final_time_ns: self.clock_ns,
+            throughput_windows: self.throughput_windows,
+            core_busy_ns: self.cores.iter().map(|c| c.busy_ns).collect(),
+            total_marks_executed,
+            total_core_switches,
+        }
+    }
+}
+
+/// Runs a single benchmark alone on the machine (no co-runners), returning
+/// its record. This is the paper's "runtime in isolation" measurement used by
+/// Table 1 and by the stretch metric's per-process processing time `t_i`.
+pub fn run_in_isolation<H: PhaseHook>(
+    name: &str,
+    instrumented: Arc<InstrumentedProgram>,
+    machine: MachineSpec,
+    hook: H,
+    config: SimConfig,
+) -> ProcessRecord {
+    let sim = Simulation::new(
+        format!("isolation-{name}"),
+        machine,
+        vec![vec![JobSpec::new(name, instrumented)]],
+        hook,
+        config,
+    );
+    let result = sim.run();
+    result
+        .records
+        .into_iter()
+        .next()
+        .expect("isolation run starts exactly one process")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hooks::NullHook;
+    use phase_analysis::{BlockTyping, PhaseType};
+    use phase_ir::{Instruction, Location as IrLocation, ProgramBuilder, Terminator};
+    use phase_marking::{instrument, MarkingConfig};
+
+    /// A small two-phase benchmark with marks between the phases.
+    fn small_benchmark(loop_trips: u32) -> Arc<InstrumentedProgram> {
+        let mut builder = ProgramBuilder::new("small");
+        let main = builder.declare_procedure("main");
+        let mut body = builder.procedure_builder();
+        let cpu = body.add_block();
+        let mem = body.add_block();
+        let latch = body.add_block();
+        let exit = body.add_block();
+        body.push_all(cpu, std::iter::repeat(Instruction::fp_mul()).take(20));
+        body.push_all(
+            mem,
+            std::iter::repeat(Instruction::load(phase_ir::MemRef::new(
+                phase_ir::AccessPattern::Random,
+                64 * 1024 * 1024,
+            )))
+            .take(20),
+        );
+        body.push_all(latch, std::iter::repeat(Instruction::int_alu()).take(20));
+        body.terminate(cpu, Terminator::Jump(mem));
+        body.terminate(mem, Terminator::Jump(latch));
+        body.loop_branch(latch, cpu, exit, loop_trips);
+        body.terminate(exit, Terminator::Exit);
+        builder.define_procedure(main, body).unwrap();
+        let program = builder.build().unwrap();
+
+        let mut typing = BlockTyping::new(2);
+        typing.assign(IrLocation::new(main, cpu), PhaseType(0));
+        typing.assign(IrLocation::new(main, mem), PhaseType(1));
+        typing.assign(IrLocation::new(main, latch), PhaseType(0));
+        typing.assign(IrLocation::new(main, exit), PhaseType(0));
+        Arc::new(instrument(&program, &typing, &MarkingConfig::basic_block(10, 0)))
+    }
+
+    fn quick_config() -> SimConfig {
+        SimConfig {
+            timeslice_ns: 50_000.0,
+            load_balance_interval_ns: 200_000.0,
+            horizon_ns: None,
+            throughput_window_ns: 1_000_000.0,
+            seed: 1,
+            charge_mark_overhead: true,
+        }
+    }
+
+    #[test]
+    fn single_process_runs_to_completion() {
+        let bench = small_benchmark(50);
+        let record = run_in_isolation(
+            "small",
+            bench,
+            MachineSpec::core2_quad_amp(),
+            NullHook,
+            quick_config(),
+        );
+        assert!(record.completion_ns.is_some());
+        assert!(record.stats.instructions > 0);
+        assert!(record.stats.marks_executed > 0);
+        assert_eq!(record.stats.core_switches, 0, "null hook never switches");
+        assert!(record.flow_ns().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn multi_slot_workload_completes_all_jobs() {
+        let bench = small_benchmark(20);
+        let slots = vec![
+            vec![
+                JobSpec::new("a", Arc::clone(&bench)),
+                JobSpec::new("b", Arc::clone(&bench)),
+            ],
+            vec![JobSpec::new("c", Arc::clone(&bench))],
+            vec![JobSpec::new("d", Arc::clone(&bench))],
+        ];
+        let sim = Simulation::new(
+            "test",
+            MachineSpec::core2_quad_amp(),
+            slots,
+            NullHook,
+            quick_config(),
+        );
+        let result = sim.run();
+        assert_eq!(result.records.len(), 4);
+        assert_eq!(result.completed_count(), 4);
+        assert!(result.total_instructions > 0);
+        assert_eq!(result.core_busy_ns.len(), 4);
+        // Queued job b starts only after a finishes.
+        let a = result.records.iter().find(|r| r.name == "a").unwrap();
+        let b = result.records.iter().find(|r| r.name == "b").unwrap();
+        assert!(b.arrival_ns >= a.completion_ns.unwrap());
+    }
+
+    #[test]
+    fn horizon_stops_the_simulation_early() {
+        let bench = small_benchmark(100_000);
+        let config = SimConfig {
+            horizon_ns: Some(2_000_000.0),
+            ..quick_config()
+        };
+        let sim = Simulation::new(
+            "horizon",
+            MachineSpec::core2_quad_amp(),
+            vec![vec![JobSpec::new("huge", bench)]],
+            NullHook,
+            config,
+        );
+        let result = sim.run();
+        assert!(result.final_time_ns >= 2_000_000.0);
+        assert!(result.final_time_ns < 4_000_000.0);
+        assert_eq!(result.completed_count(), 0);
+        assert!(result.total_instructions > 0);
+        assert!(!result.throughput_windows.is_empty());
+    }
+
+    #[test]
+    fn affinity_switching_hook_causes_migrations() {
+        /// A hook that pins every process to the slow cores on its first mark.
+        struct PinToSlow;
+        impl PhaseHook for PinToSlow {
+            fn on_phase_mark(&mut self, ctx: &MarkContext<'_>) -> crate::hooks::MarkResponse {
+                let spec = MachineSpec::core2_quad_amp();
+                let slow = AffinityMask::kind(&spec, spec.slowest_kind());
+                if slow.allows(ctx.core) {
+                    crate::hooks::MarkResponse::none()
+                } else {
+                    crate::hooks::MarkResponse::switch_to(slow)
+                }
+            }
+        }
+        let bench = small_benchmark(50);
+        let record = run_in_isolation(
+            "pinned",
+            bench,
+            MachineSpec::core2_quad_amp(),
+            PinToSlow,
+            quick_config(),
+        );
+        assert!(record.stats.core_switches >= 1);
+        // After pinning, time accumulates on the slow kind (kind index 1).
+        assert!(record.stats.time_on_kind_ns[1] > 0.0);
+    }
+
+    #[test]
+    fn mark_overhead_can_be_disabled() {
+        let bench = small_benchmark(50);
+        let with = run_in_isolation(
+            "with",
+            Arc::clone(&bench),
+            MachineSpec::core2_quad_amp(),
+            NullHook,
+            quick_config(),
+        );
+        let without = run_in_isolation(
+            "without",
+            bench,
+            MachineSpec::core2_quad_amp(),
+            NullHook,
+            SimConfig {
+                charge_mark_overhead: false,
+                ..quick_config()
+            },
+        );
+        assert!(with.stats.instructions > without.stats.instructions);
+        assert_eq!(with.stats.marks_executed, without.stats.marks_executed);
+    }
+
+    #[test]
+    fn identical_seeds_give_identical_results() {
+        let bench = small_benchmark(30);
+        let run = || {
+            let slots = vec![
+                vec![JobSpec::new("a", Arc::clone(&bench))],
+                vec![JobSpec::new("b", Arc::clone(&bench))],
+            ];
+            Simulation::new(
+                "det",
+                MachineSpec::core2_quad_amp(),
+                slots,
+                NullHook,
+                quick_config(),
+            )
+            .run()
+        };
+        let r1 = run();
+        let r2 = run();
+        assert_eq!(r1.total_instructions, r2.total_instructions);
+        assert_eq!(r1.final_time_ns, r2.final_time_ns);
+        assert_eq!(r1.records, r2.records);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn empty_slot_list_is_rejected() {
+        let _ = Simulation::new(
+            "bad",
+            MachineSpec::core2_quad_amp(),
+            vec![],
+            NullHook,
+            SimConfig::default(),
+        );
+    }
+}

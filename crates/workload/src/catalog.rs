@@ -1,0 +1,345 @@
+//! The benchmark catalogue: fifteen SPEC-named synthetic benchmarks.
+//!
+//! The names and the *shape* of each benchmark (how memory- or CPU-bound it
+//! is, how often its behaviour changes, and how long it runs relative to the
+//! others) follow the fifteen benchmarks of the paper's Table 1. Two of them
+//! (459.GemsFDTD and 473.astar) consist of a single phase kind and therefore
+//! have no phase transitions at all, exactly as the paper reports.
+
+use std::sync::Arc;
+
+use phase_ir::Program;
+use serde::{Deserialize, Serialize};
+
+use crate::generator::generate_program;
+use crate::profile::{BenchmarkProfile, PhaseSpec};
+
+/// A generated benchmark: profile plus the program built from it.
+#[derive(Debug, Clone)]
+pub struct Benchmark {
+    profile: BenchmarkProfile,
+    program: Arc<Program>,
+}
+
+impl Benchmark {
+    /// Generates a benchmark from its profile.
+    pub fn generate(profile: BenchmarkProfile, seed: u64) -> Self {
+        let program = Arc::new(generate_program(&profile, seed));
+        Self { profile, program }
+    }
+
+    /// The benchmark's name (e.g. `183.equake`).
+    pub fn name(&self) -> &str {
+        &self.profile.name
+    }
+
+    /// The benchmark's profile.
+    pub fn profile(&self) -> &BenchmarkProfile {
+        &self.profile
+    }
+
+    /// The generated program.
+    pub fn program(&self) -> &Arc<Program> {
+        &self.program
+    }
+}
+
+/// Identifier of a benchmark within a [`Catalog`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
+pub struct BenchmarkId(pub usize);
+
+/// The benchmark catalogue used to build workloads.
+#[derive(Debug, Clone)]
+pub struct Catalog {
+    benchmarks: Vec<Benchmark>,
+}
+
+impl Catalog {
+    /// The full 15-benchmark catalogue at the given scale.
+    ///
+    /// `scale` multiplies every phase's outer trip count: `1.0` gives the
+    /// standard experiment size (hundreds of thousands to a few million
+    /// dynamic instructions per benchmark), smaller values give faster runs
+    /// for tests.
+    pub fn standard(scale: f64, seed: u64) -> Self {
+        let benchmarks = standard_profiles()
+            .into_iter()
+            .map(|p| Benchmark::generate(p.scaled(scale), seed))
+            .collect();
+        Self { benchmarks }
+    }
+
+    /// A drastically scaled-down catalogue for unit and integration tests.
+    pub fn tiny(seed: u64) -> Self {
+        Self::standard(0.04, seed)
+    }
+
+    /// Number of benchmarks.
+    pub fn len(&self) -> usize {
+        self.benchmarks.len()
+    }
+
+    /// Whether the catalogue is empty (never true for the built-in ones).
+    pub fn is_empty(&self) -> bool {
+        self.benchmarks.is_empty()
+    }
+
+    /// All benchmarks.
+    pub fn benchmarks(&self) -> &[Benchmark] {
+        &self.benchmarks
+    }
+
+    /// Looks up a benchmark by id.
+    pub fn get(&self, id: BenchmarkId) -> Option<&Benchmark> {
+        self.benchmarks.get(id.0)
+    }
+
+    /// Looks up a benchmark by name.
+    pub fn by_name(&self, name: &str) -> Option<&Benchmark> {
+        self.benchmarks.iter().find(|b| b.name() == name)
+    }
+
+    /// Iterator over `(id, benchmark)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (BenchmarkId, &Benchmark)> {
+        self.benchmarks
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (BenchmarkId(i), b))
+    }
+}
+
+/// The fifteen benchmark profiles of the paper's Table 1.
+pub fn standard_profiles() -> Vec<BenchmarkProfile> {
+    vec![
+        // Frequent compress/scan alternation, medium length.
+        BenchmarkProfile::new(
+            "401.bzip2",
+            vec![
+                PhaseSpec::cpu_integer(220, 30, 28),
+                PhaseSpec::memory_streaming(90, 30, 28, 24 * 1024 * 1024),
+            ],
+            24,
+        ),
+        // Long-running FP solver with streaming sweeps.
+        BenchmarkProfile::new(
+            "410.bwaves",
+            vec![
+                PhaseSpec::cpu_float(450, 30, 32),
+                PhaseSpec::memory_streaming(200, 30, 32, 192 * 1024 * 1024),
+            ],
+            20,
+        ),
+        // Pointer-chasing network simplex with a short bookkeeping phase.
+        BenchmarkProfile::new(
+            "429.mcf",
+            vec![
+                PhaseSpec::pointer_chase(400, 30, 30, 64 * 1024 * 1024),
+                PhaseSpec::cpu_integer(60, 20, 24),
+            ],
+            10,
+        ),
+        // Single behaviour throughout: no phases at all (Table 1 reports 0
+        // switches).
+        BenchmarkProfile::new(
+            "459.GemsFDTD",
+            vec![PhaseSpec::memory_streaming(400, 30, 32, 160 * 1024 * 1024)],
+            6,
+        ),
+        // Streaming stencil with occasional cache-resident updates.
+        BenchmarkProfile::new(
+            "470.lbm",
+            vec![
+                PhaseSpec::memory_streaming(180, 30, 36, 48 * 1024 * 1024),
+                PhaseSpec::balanced(180, 20, 24),
+            ],
+            20,
+        ),
+        // Single integer search phase (0 switches in Table 1).
+        BenchmarkProfile::new(
+            "473.astar",
+            vec![PhaseSpec::cpu_integer(300, 25, 26)],
+            4,
+        ),
+        // FP molecular dynamics, almost entirely one phase.
+        BenchmarkProfile::new(
+            "188.ammp",
+            vec![
+                PhaseSpec::cpu_float(250, 25, 30),
+                PhaseSpec::memory_streaming(30, 15, 24, 16 * 1024 * 1024),
+            ],
+            6,
+        ),
+        // Long FP solver alternating compute and sweep phases.
+        BenchmarkProfile::new(
+            "173.applu",
+            vec![
+                PhaseSpec::cpu_float(280, 30, 32),
+                PhaseSpec::memory_streaming(110, 30, 32, 64 * 1024 * 1024),
+            ],
+            24,
+        ),
+        // Small FP neural-network benchmark.
+        BenchmarkProfile::new(
+            "179.art",
+            vec![
+                PhaseSpec::cpu_float(200, 20, 28),
+                PhaseSpec::balanced(30, 15, 20),
+            ],
+            6,
+        ),
+        // Very frequent alternation between short phases (highest switch
+        // count in Table 1 despite the short runtime).
+        BenchmarkProfile::new(
+            "183.equake",
+            vec![
+                PhaseSpec::cpu_float(160, 12, 24),
+                PhaseSpec::memory_streaming(80, 12, 24, 32 * 1024 * 1024),
+            ],
+            60,
+        ),
+        // Short integer benchmark, essentially one phase.
+        BenchmarkProfile::new(
+            "164.gzip",
+            vec![
+                PhaseSpec::cpu_integer(120, 20, 26),
+                PhaseSpec::balanced(15, 12, 20),
+            ],
+            6,
+        ),
+        // Small pointer-chasing benchmark.
+        BenchmarkProfile::new(
+            "181.mcf",
+            vec![
+                PhaseSpec::pointer_chase(100, 20, 26, 32 * 1024 * 1024),
+                PhaseSpec::cpu_integer(20, 15, 22),
+            ],
+            8,
+        ),
+        // Rapidly alternating multigrid sweeps.
+        BenchmarkProfile::new(
+            "172.mgrid",
+            vec![
+                PhaseSpec::memory_streaming(60, 15, 26, 32 * 1024 * 1024),
+                PhaseSpec::cpu_float(120, 15, 26),
+            ],
+            60,
+        ),
+        // Long, rapidly alternating shallow-water stencils.
+        BenchmarkProfile::new(
+            "171.swim",
+            vec![
+                PhaseSpec::memory_streaming(60, 20, 30, 192 * 1024 * 1024),
+                PhaseSpec::cpu_float(120, 20, 30),
+            ],
+            80,
+        ),
+        // Integer place-and-route with occasional pointer chasing.
+        BenchmarkProfile::new(
+            "175.vpr",
+            vec![
+                PhaseSpec::cpu_integer(100, 20, 26),
+                PhaseSpec::pointer_chase(15, 15, 24, 16 * 1024 * 1024),
+            ],
+            8,
+        ),
+    ]
+}
+
+/// Names of the benchmarks in [`standard_profiles`], in catalogue order.
+pub fn standard_benchmark_names() -> Vec<&'static str> {
+    vec![
+        "401.bzip2",
+        "410.bwaves",
+        "429.mcf",
+        "459.GemsFDTD",
+        "470.lbm",
+        "473.astar",
+        "188.ammp",
+        "173.applu",
+        "179.art",
+        "183.equake",
+        "164.gzip",
+        "181.mcf",
+        "172.mgrid",
+        "171.swim",
+        "175.vpr",
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalogue_has_the_fifteen_table1_benchmarks() {
+        let profiles = standard_profiles();
+        assert_eq!(profiles.len(), 15);
+        let names: Vec<&str> = profiles.iter().map(|p| p.name.as_str()).collect();
+        for expected in standard_benchmark_names() {
+            assert!(names.contains(&expected), "missing {expected}");
+        }
+    }
+
+    #[test]
+    fn single_phase_benchmarks_match_table1_zero_switch_entries() {
+        for profile in standard_profiles() {
+            let expected_single = matches!(profile.name.as_str(), "459.GemsFDTD" | "473.astar");
+            assert_eq!(
+                profile.distinct_phase_kinds() == 1,
+                expected_single,
+                "{} phase kinds",
+                profile.name
+            );
+        }
+    }
+
+    #[test]
+    fn relative_sizes_follow_the_paper_ordering() {
+        let sizes: std::collections::HashMap<String, u64> = standard_profiles()
+            .into_iter()
+            .map(|p| (p.name.clone(), p.approx_dynamic_instructions()))
+            .collect();
+        // The paper's longest benchmarks dwarf its shortest ones.
+        assert!(sizes["410.bwaves"] > sizes["164.gzip"] * 10);
+        assert!(sizes["171.swim"] > sizes["183.equake"]);
+        assert!(sizes["429.mcf"] > sizes["181.mcf"]);
+    }
+
+    #[test]
+    fn tiny_catalogue_generates_quickly_and_is_smaller() {
+        let tiny = Catalog::tiny(1);
+        assert_eq!(tiny.len(), 15);
+        let standard_size: u64 = standard_profiles()
+            .iter()
+            .map(BenchmarkProfile::approx_dynamic_instructions)
+            .sum();
+        let tiny_size: u64 = tiny
+            .benchmarks()
+            .iter()
+            .map(|b| b.profile().approx_dynamic_instructions())
+            .sum();
+        assert!(tiny_size < standard_size / 4);
+    }
+
+    #[test]
+    fn catalogue_lookup_by_name_and_id() {
+        let catalog = Catalog::tiny(2);
+        assert!(catalog.by_name("183.equake").is_some());
+        assert!(catalog.by_name("999.nonexistent").is_none());
+        assert!(catalog.get(BenchmarkId(0)).is_some());
+        assert!(catalog.get(BenchmarkId(99)).is_none());
+        assert!(!catalog.is_empty());
+        assert_eq!(catalog.iter().count(), 15);
+    }
+
+    #[test]
+    fn generated_programs_validate_and_carry_names() {
+        let catalog = Catalog::tiny(3);
+        for (_, bench) in catalog.iter() {
+            assert_eq!(bench.program().name(), bench.name());
+            assert!(bench.program().stats().instructions > 0);
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! # phase-workload
+//!
+//! Synthetic stand-ins for the SPEC CPU 2000/2006 workloads of phase-based
+//! tuning's evaluation (Sondag & Rajan, CGO 2011, Section IV-A2).
+//!
+//! * [`BenchmarkProfile`] / [`PhaseSpec`] — compact descriptions of a
+//!   benchmark's phase structure (CPU-bound vs. memory-bound phases, loop
+//!   trip counts, working sets);
+//! * [`generate_program`] — deterministic lowering of a profile into a
+//!   `phase-ir` program with realistic loop nests and call structure;
+//! * [`Catalog`] — the fifteen SPEC-named benchmarks of the paper's Table 1,
+//!   with their relative lengths and phase-change frequencies;
+//! * [`Workload`] — slot/job-queue workloads of 18–84 simultaneous
+//!   benchmarks, built deterministically from a seed so competing scheduling
+//!   techniques run identical queues.
+//!
+//! ## Example
+//!
+//! ```
+//! use phase_workload::{Catalog, Workload};
+//!
+//! let catalog = Catalog::tiny(7);
+//! let workload = Workload::random(&catalog, 18, 3, 42);
+//! assert_eq!(workload.size(), 18);
+//! let first_job = workload.slots()[0].job(0).unwrap();
+//! assert!(catalog.get(first_job).is_some());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
+
+mod catalog;
+mod generator;
+mod profile;
+mod workload;
+
+pub use catalog::{standard_benchmark_names, standard_profiles, Benchmark, BenchmarkId, Catalog};
+pub use generator::generate_program;
+pub use profile::{BenchmarkProfile, PhaseKind, PhaseSpec};
+pub use workload::{JobQueue, Workload};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn public_types_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Catalog>();
+        assert_send_sync::<Benchmark>();
+        assert_send_sync::<Workload>();
+        assert_send_sync::<BenchmarkProfile>();
+    }
+}

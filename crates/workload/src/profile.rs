@@ -1,0 +1,275 @@
+//! Benchmark profiles: compact descriptions of a synthetic benchmark's phase
+//! structure from which a full `phase-ir` program is generated.
+//!
+//! The paper evaluates on SPEC CPU 2000/2006 binaries. Those binaries (and
+//! the licence to ship them) are not available here, so each benchmark is
+//! replaced by a synthetic program whose *phase structure* — how much of the
+//! work is CPU-bound versus memory-bound, how often behaviour changes, and
+//! roughly how long it runs relative to the others — mimics the published
+//! characteristics. The static analyses and the runtime tuner only ever see
+//! instruction mixes, CFG shape, and IPC, so this preserves the behaviour the
+//! experiments measure.
+
+use phase_ir::AccessPattern;
+use serde::{Deserialize, Serialize};
+
+/// The behavioural flavour of one phase of a benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PhaseKind {
+    /// Dominated by integer arithmetic with small working sets.
+    CpuInteger,
+    /// Dominated by floating-point arithmetic with small working sets.
+    CpuFloat,
+    /// Streaming memory traffic over a large working set.
+    MemoryStreaming,
+    /// Dependent (pointer-chasing) accesses over a large working set.
+    MemoryPointerChase,
+    /// A mix of arithmetic and cache-resident memory accesses.
+    Balanced,
+}
+
+impl PhaseKind {
+    /// Whether this phase's performance is limited by the memory system.
+    pub fn is_memory_bound(self) -> bool {
+        matches!(
+            self,
+            PhaseKind::MemoryStreaming | PhaseKind::MemoryPointerChase
+        )
+    }
+}
+
+/// One phase of a benchmark: a loop nest with a particular behavioural
+/// flavour.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PhaseSpec {
+    /// The phase's behavioural flavour.
+    pub kind: PhaseKind,
+    /// Iterations of the phase's main loop per visit.
+    pub loop_trips: u32,
+    /// Iterations of the inner loop nested inside the main loop.
+    pub inner_trips: u32,
+    /// Instructions per loop-body block.
+    pub block_size: usize,
+    /// Working-set size in bytes touched by the phase's memory accesses.
+    pub working_set_bytes: u64,
+}
+
+impl PhaseSpec {
+    /// A CPU-bound floating-point phase.
+    pub fn cpu_float(loop_trips: u32, inner_trips: u32, block_size: usize) -> Self {
+        Self {
+            kind: PhaseKind::CpuFloat,
+            loop_trips,
+            inner_trips,
+            block_size,
+            working_set_bytes: 16 * 1024,
+        }
+    }
+
+    /// A CPU-bound integer phase.
+    pub fn cpu_integer(loop_trips: u32, inner_trips: u32, block_size: usize) -> Self {
+        Self {
+            kind: PhaseKind::CpuInteger,
+            loop_trips,
+            inner_trips,
+            block_size,
+            working_set_bytes: 16 * 1024,
+        }
+    }
+
+    /// A memory-streaming phase over the given working set.
+    pub fn memory_streaming(
+        loop_trips: u32,
+        inner_trips: u32,
+        block_size: usize,
+        working_set_bytes: u64,
+    ) -> Self {
+        Self {
+            kind: PhaseKind::MemoryStreaming,
+            loop_trips,
+            inner_trips,
+            block_size,
+            working_set_bytes,
+        }
+    }
+
+    /// A pointer-chasing phase over the given working set.
+    pub fn pointer_chase(
+        loop_trips: u32,
+        inner_trips: u32,
+        block_size: usize,
+        working_set_bytes: u64,
+    ) -> Self {
+        Self {
+            kind: PhaseKind::MemoryPointerChase,
+            loop_trips,
+            inner_trips,
+            block_size,
+            working_set_bytes,
+        }
+    }
+
+    /// A balanced phase with cache-resident data.
+    pub fn balanced(loop_trips: u32, inner_trips: u32, block_size: usize) -> Self {
+        Self {
+            kind: PhaseKind::Balanced,
+            loop_trips,
+            inner_trips,
+            block_size,
+            working_set_bytes: 256 * 1024,
+        }
+    }
+
+    /// The access pattern memory instructions of this phase use.
+    pub fn access_pattern(&self) -> AccessPattern {
+        match self.kind {
+            PhaseKind::CpuInteger | PhaseKind::CpuFloat => AccessPattern::Sequential,
+            PhaseKind::MemoryStreaming => AccessPattern::Strided { stride_bytes: 8 },
+            PhaseKind::MemoryPointerChase => AccessPattern::PointerChase,
+            PhaseKind::Balanced => AccessPattern::Sequential,
+        }
+    }
+
+    /// Approximate number of dynamic instructions one visit of the phase
+    /// executes (loop body instructions times trip counts).
+    pub fn approx_dynamic_instructions(&self) -> u64 {
+        (self.block_size as u64 + 2)
+            * u64::from(self.inner_trips.max(1))
+            * u64::from(self.loop_trips.max(1))
+    }
+
+    /// Scales the phase's trip counts by a factor, keeping at least one trip.
+    pub fn scaled(&self, factor: f64) -> Self {
+        let scale = |trips: u32| -> u32 {
+            ((f64::from(trips) * factor).round() as u32).max(1)
+        };
+        Self {
+            loop_trips: scale(self.loop_trips),
+            ..*self
+        }
+    }
+}
+
+/// A complete benchmark profile.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchmarkProfile {
+    /// Benchmark name (SPEC-style, e.g. `183.equake`).
+    pub name: String,
+    /// The phases visited, in order, on every iteration of the outer loop.
+    pub phases: Vec<PhaseSpec>,
+    /// How many times the phase sequence repeats.
+    pub repeats: u32,
+}
+
+impl BenchmarkProfile {
+    /// Creates a profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phases` is empty or `repeats` is zero.
+    pub fn new(name: impl Into<String>, phases: Vec<PhaseSpec>, repeats: u32) -> Self {
+        assert!(!phases.is_empty(), "a benchmark needs at least one phase");
+        assert!(repeats > 0, "a benchmark must run its phases at least once");
+        Self {
+            name: name.into(),
+            phases,
+            repeats,
+        }
+    }
+
+    /// Approximate total dynamic instruction count of the benchmark.
+    pub fn approx_dynamic_instructions(&self) -> u64 {
+        u64::from(self.repeats)
+            * self
+                .phases
+                .iter()
+                .map(PhaseSpec::approx_dynamic_instructions)
+                .sum::<u64>()
+    }
+
+    /// Number of *statically distinct* phases (by kind) — benchmarks whose
+    /// phases all share one kind have no phase transitions at all, like
+    /// 459.GemsFDTD and 473.astar in the paper's Table 1.
+    pub fn distinct_phase_kinds(&self) -> usize {
+        let mut kinds: Vec<PhaseKind> = self.phases.iter().map(|p| p.kind).collect();
+        kinds.sort_by_key(|k| format!("{k:?}"));
+        kinds.dedup();
+        kinds.len()
+    }
+
+    /// Returns a copy with every phase's trip counts scaled by `factor`.
+    pub fn scaled(&self, factor: f64) -> Self {
+        Self {
+            name: self.name.clone(),
+            phases: self.phases.iter().map(|p| p.scaled(factor)).collect(),
+            repeats: self.repeats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_kind_memory_predicate() {
+        assert!(PhaseKind::MemoryStreaming.is_memory_bound());
+        assert!(PhaseKind::MemoryPointerChase.is_memory_bound());
+        assert!(!PhaseKind::CpuFloat.is_memory_bound());
+        assert!(!PhaseKind::Balanced.is_memory_bound());
+    }
+
+    #[test]
+    fn approx_instruction_count_scales_with_trips() {
+        let small = PhaseSpec::cpu_float(10, 10, 20);
+        let large = PhaseSpec::cpu_float(100, 10, 20);
+        assert!(large.approx_dynamic_instructions() > small.approx_dynamic_instructions());
+        assert_eq!(
+            large.approx_dynamic_instructions(),
+            10 * small.approx_dynamic_instructions()
+        );
+    }
+
+    #[test]
+    fn profile_counts_distinct_kinds() {
+        let profile = BenchmarkProfile::new(
+            "x",
+            vec![
+                PhaseSpec::cpu_float(10, 10, 20),
+                PhaseSpec::memory_streaming(10, 10, 20, 1 << 20),
+                PhaseSpec::cpu_float(5, 5, 20),
+            ],
+            3,
+        );
+        assert_eq!(profile.distinct_phase_kinds(), 2);
+        assert!(profile.approx_dynamic_instructions() > 0);
+    }
+
+    #[test]
+    fn scaling_changes_outer_trips_only() {
+        let phase = PhaseSpec::cpu_float(10, 7, 20);
+        let scaled = phase.scaled(2.0);
+        assert_eq!(scaled.loop_trips, 20);
+        assert_eq!(scaled.inner_trips, 7);
+        let tiny = phase.scaled(0.0001);
+        assert_eq!(tiny.loop_trips, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one phase")]
+    fn empty_profile_is_rejected() {
+        let _ = BenchmarkProfile::new("empty", vec![], 1);
+    }
+
+    #[test]
+    fn access_patterns_match_kinds() {
+        assert_eq!(
+            PhaseSpec::pointer_chase(1, 1, 10, 1 << 20).access_pattern(),
+            AccessPattern::PointerChase
+        );
+        assert_eq!(
+            PhaseSpec::cpu_integer(1, 1, 10).access_pattern(),
+            AccessPattern::Sequential
+        );
+    }
+}

@@ -1,0 +1,201 @@
+//! Workload construction: slots of job queues, as in the paper's evaluation.
+//!
+//! "Our workloads range in size from 18 to 84 randomly selected benchmarks
+//! ... we maintain a job queue for each workload slot. That is, if we have a
+//! workload of size 18 then there are 18 queues. ... Upon completion of any
+//! process in a queue, the next job in the queue is immediately started. When
+//! comparing two techniques, the same queues were used for each experiment"
+//! (Section IV-A2). [`Workload`] reproduces exactly that structure; building
+//! it from a seed guarantees the baseline and the tuned runs see identical
+//! queues.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::catalog::{BenchmarkId, Catalog};
+
+/// One workload slot: an ordered queue of benchmarks run back to back.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct JobQueue {
+    jobs: Vec<BenchmarkId>,
+}
+
+impl JobQueue {
+    /// Creates a queue from an explicit job list.
+    pub fn new(jobs: Vec<BenchmarkId>) -> Self {
+        Self { jobs }
+    }
+
+    /// The jobs in execution order.
+    pub fn jobs(&self) -> &[BenchmarkId] {
+        &self.jobs
+    }
+
+    /// Number of jobs in the queue.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// The job at a given position, if any.
+    pub fn job(&self, position: usize) -> Option<BenchmarkId> {
+        self.jobs.get(position).copied()
+    }
+}
+
+/// A workload: a fixed number of slots, each with its own job queue.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Workload {
+    slots: Vec<JobQueue>,
+}
+
+impl Workload {
+    /// Creates a workload from explicit slot queues.
+    pub fn new(slots: Vec<JobQueue>) -> Self {
+        Self { slots }
+    }
+
+    /// Builds a workload of `slots` queues, each containing `jobs_per_slot`
+    /// benchmarks selected uniformly at random from the catalogue.
+    ///
+    /// Construction is deterministic for a `(catalog length, slots,
+    /// jobs_per_slot, seed)` tuple so that competing scheduling techniques
+    /// are compared on identical queues.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the catalogue is empty or `slots`/`jobs_per_slot` is zero.
+    pub fn random(catalog: &Catalog, slots: usize, jobs_per_slot: usize, seed: u64) -> Self {
+        assert!(!catalog.is_empty(), "cannot build a workload from an empty catalogue");
+        assert!(slots > 0, "a workload needs at least one slot");
+        assert!(jobs_per_slot > 0, "each slot needs at least one job");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let slots = (0..slots)
+            .map(|_| {
+                JobQueue::new(
+                    (0..jobs_per_slot)
+                        .map(|_| BenchmarkId(rng.gen_range(0..catalog.len())))
+                        .collect(),
+                )
+            })
+            .collect();
+        Self { slots }
+    }
+
+    /// The paper's workload sizes: 18 to 84 simultaneous benchmarks.
+    pub fn paper_sizes() -> Vec<usize> {
+        vec![18, 36, 54, 84]
+    }
+
+    /// The slot queues.
+    pub fn slots(&self) -> &[JobQueue] {
+        &self.slots
+    }
+
+    /// Number of slots (simultaneously running benchmarks).
+    pub fn size(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total number of jobs across all queues.
+    pub fn total_jobs(&self) -> usize {
+        self.slots.iter().map(JobQueue::len).sum()
+    }
+
+    /// Histogram of how many times each benchmark appears in the workload.
+    pub fn job_histogram(&self, catalog_len: usize) -> Vec<usize> {
+        let mut histogram = vec![0usize; catalog_len];
+        for slot in &self.slots {
+            for job in slot.jobs() {
+                if job.0 < catalog_len {
+                    histogram[job.0] += 1;
+                }
+            }
+        }
+        histogram
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn catalog() -> Catalog {
+        Catalog::tiny(7)
+    }
+
+    #[test]
+    fn random_workload_has_requested_shape() {
+        let workload = Workload::random(&catalog(), 18, 3, 42);
+        assert_eq!(workload.size(), 18);
+        assert_eq!(workload.total_jobs(), 54);
+        for slot in workload.slots() {
+            assert_eq!(slot.len(), 3);
+            assert!(!slot.is_empty());
+        }
+    }
+
+    #[test]
+    fn construction_is_deterministic_per_seed() {
+        let catalog = catalog();
+        let a = Workload::random(&catalog, 18, 3, 1);
+        let b = Workload::random(&catalog, 18, 3, 1);
+        let c = Workload::random(&catalog, 18, 3, 2);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn jobs_reference_valid_benchmarks() {
+        let catalog = catalog();
+        let workload = Workload::random(&catalog, 36, 4, 3);
+        for slot in workload.slots() {
+            for &job in slot.jobs() {
+                assert!(catalog.get(job).is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_counts_every_job() {
+        let catalog = catalog();
+        let workload = Workload::random(&catalog, 24, 5, 9);
+        let histogram = workload.job_histogram(catalog.len());
+        assert_eq!(histogram.iter().sum::<usize>(), workload.total_jobs());
+    }
+
+    #[test]
+    fn large_workloads_use_most_of_the_catalogue() {
+        let catalog = catalog();
+        let workload = Workload::random(&catalog, 84, 4, 11);
+        let histogram = workload.job_histogram(catalog.len());
+        let used = histogram.iter().filter(|c| **c > 0).count();
+        assert!(used >= catalog.len() - 2, "only {used} benchmarks used");
+    }
+
+    #[test]
+    fn paper_sizes_span_18_to_84() {
+        let sizes = Workload::paper_sizes();
+        assert_eq!(*sizes.first().unwrap(), 18);
+        assert_eq!(*sizes.last().unwrap(), 84);
+    }
+
+    #[test]
+    fn queue_position_lookup() {
+        let queue = JobQueue::new(vec![BenchmarkId(3), BenchmarkId(1)]);
+        assert_eq!(queue.job(0), Some(BenchmarkId(3)));
+        assert_eq!(queue.job(1), Some(BenchmarkId(1)));
+        assert_eq!(queue.job(2), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn zero_slot_workload_is_rejected() {
+        let _ = Workload::random(&catalog(), 0, 3, 1);
+    }
+}

@@ -1,0 +1,119 @@
+//! Static-analysis deep dive: run the whole static half of phase-based tuning
+//! on one catalogue benchmark and print what every stage found — CFG shape,
+//! loops, block types, sections, and phase marks for each technique.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example phase_report -- [benchmark-name]
+//! ```
+
+use phase_tuning::substrate::amp::MachineSpec;
+use phase_tuning::substrate::analysis::PhaseType;
+use phase_tuning::substrate::cfg::{CallGraph, Cfg, DominatorTree, IntervalPartition, LoopForest};
+use phase_tuning::substrate::marking::MarkingConfig;
+use phase_tuning::substrate::workload::Catalog;
+use phase_tuning::{prepare_program, type_blocks, PipelineConfig, TextTable};
+
+fn main() {
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "183.equake".to_string());
+
+    let catalog = Catalog::standard(0.2, 7);
+    let bench = catalog
+        .by_name(&name)
+        .unwrap_or_else(|| panic!("unknown benchmark `{name}`; try e.g. 183.equake or 429.mcf"));
+    let program = bench.program();
+    let machine = MachineSpec::core2_quad_amp();
+
+    println!("benchmark: {}", bench.name());
+    println!("program:   {program}");
+    println!();
+
+    // Per-procedure control-flow structure.
+    let mut structure = TextTable::new(vec![
+        "Procedure", "Blocks", "Instrs", "Loops", "Max nest", "Intervals",
+    ]);
+    for proc in program.procedures() {
+        let cfg = Cfg::build(proc);
+        let dom = DominatorTree::build(&cfg);
+        let loops = LoopForest::build(&cfg, &dom);
+        let intervals = IntervalPartition::build(&cfg);
+        let max_nest = proc
+            .blocks()
+            .iter()
+            .map(|b| loops.nesting_depth(b.id()))
+            .max()
+            .unwrap_or(0);
+        structure.add_row(vec![
+            proc.name().to_string(),
+            proc.block_count().to_string(),
+            proc.instruction_count().to_string(),
+            loops.loop_count().to_string(),
+            max_nest.to_string(),
+            intervals.interval_count().to_string(),
+        ]);
+    }
+    println!("{}", structure.render());
+
+    let callgraph = CallGraph::build(program);
+    println!(
+        "call graph: bottom-up order = {:?}\n",
+        callgraph
+            .bottom_up_order()
+            .iter()
+            .map(|p| program.procedure_expect(*p).name().to_string())
+            .collect::<Vec<_>>()
+    );
+
+    // Block typing at the default configuration.
+    let pipeline = PipelineConfig::paper_best();
+    let typing = type_blocks(program, &machine, &pipeline);
+    let cpu_blocks = typing.blocks_of_type(PhaseType(0)).len();
+    let mem_blocks = typing.blocks_of_type(PhaseType(1)).len();
+    println!(
+        "block typing (profile-guided): {} blocks typed — {} prefer fast cores (π0), {} tolerate slow cores (π1)\n",
+        typing.typed_block_count(),
+        cpu_blocks,
+        mem_blocks
+    );
+
+    // Marks per technique.
+    let mut marks = TextTable::new(vec![
+        "Technique", "Phase marks", "Added bytes", "Space overhead %",
+    ]);
+    for marking in [
+        MarkingConfig::basic_block(10, 0),
+        MarkingConfig::basic_block(15, 0),
+        MarkingConfig::basic_block(15, 2),
+        MarkingConfig::interval(45),
+        MarkingConfig::loop_level(45),
+        MarkingConfig::loop_level(60),
+    ] {
+        let instrumented = prepare_program(
+            program,
+            &machine,
+            &PipelineConfig::with_marking(marking),
+        );
+        marks.add_row(vec![
+            marking.to_string(),
+            instrumented.mark_count().to_string(),
+            instrumented.stats().added_bytes.to_string(),
+            format!("{:.3}", instrumented.stats().space_overhead * 100.0),
+        ]);
+    }
+    println!("{}", marks.render());
+
+    // Where exactly did the best technique put its marks?
+    let best = prepare_program(program, &machine, &pipeline);
+    println!("phase marks for {} :", pipeline.marking);
+    for mark in best.marks() {
+        let from_proc = program.procedure_expect(mark.from.proc).name();
+        let to_proc = program.procedure_expect(mark.to.proc).name();
+        println!(
+            "  {}:{} -> {}:{}  entering phase {}",
+            from_proc, mark.from.block, to_proc, mark.to.block, mark.phase_type
+        );
+    }
+}

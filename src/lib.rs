@@ -1,0 +1,36 @@
+//! # phase-tuning
+//!
+//! Umbrella crate of the phase-based-tuning reproduction (Sondag & Rajan,
+//! CGO 2011). It re-exports the [`phase_core`] facade — the static
+//! instrumentation pipeline and the baseline-versus-tuned experiment runner —
+//! plus every substrate crate under [`phase_core::substrate`], and hosts the
+//! repository's runnable examples (`examples/`) and cross-crate integration
+//! tests (`tests/`).
+//!
+//! ```
+//! use phase_tuning::{ExperimentConfig, run_comparison};
+//!
+//! let mut config = ExperimentConfig::smoke_test();
+//! config.workload_slots = 4;
+//! let outcome = run_comparison(&config);
+//! assert!(outcome.baseline.total_instructions > 0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
+
+pub use phase_core::*;
+
+/// Direct re-exports of the substrate crates for convenience.
+pub use phase_core::substrate;
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_reexports_are_reachable() {
+        let _ = crate::ExperimentConfig::smoke_test();
+        let machine = crate::substrate::amp::MachineSpec::core2_quad_amp();
+        assert!(machine.is_asymmetric());
+    }
+}

@@ -1,0 +1,184 @@
+//! Integration tests for the static half of the reproduction: catalogue
+//! generation, control-flow analysis, block typing, and phase marking all
+//! working together.
+
+use phase_tuning::substrate::amp::MachineSpec;
+use phase_tuning::substrate::cfg::{Cfg, DominatorTree, LoopForest};
+use phase_tuning::substrate::marking::{Granularity, MarkingConfig};
+use phase_tuning::substrate::workload::Catalog;
+use phase_tuning::{prepare_program, type_blocks, PipelineConfig};
+
+fn catalog() -> Catalog {
+    Catalog::tiny(11)
+}
+
+#[test]
+fn every_catalogue_benchmark_survives_the_full_pipeline() {
+    let machine = MachineSpec::core2_quad_amp();
+    let pipeline = PipelineConfig::paper_best();
+    for bench in catalog().benchmarks() {
+        let instrumented = prepare_program(bench.program(), &machine, &pipeline);
+        // The instrumented program still refers to the same underlying code.
+        assert_eq!(instrumented.program().name(), bench.name());
+        // Space overhead is bounded: marks are small relative to binaries.
+        assert!(
+            instrumented.stats().space_overhead < 0.10,
+            "{}: unexpectedly large space overhead {:.3}",
+            bench.name(),
+            instrumented.stats().space_overhead
+        );
+    }
+}
+
+#[test]
+fn marks_sit_only_on_edges_where_the_phase_type_changes() {
+    let machine = MachineSpec::core2_quad_amp();
+    for granularity in [
+        MarkingConfig::basic_block(15, 0),
+        MarkingConfig::interval(45),
+        MarkingConfig::paper_best(),
+    ] {
+        let pipeline = PipelineConfig::with_marking(granularity);
+        for bench in catalog().benchmarks() {
+            let instrumented = prepare_program(bench.program(), &machine, &pipeline);
+            for mark in instrumented.marks() {
+                assert_ne!(
+                    mark.previous_type,
+                    Some(mark.phase_type),
+                    "{}: mark {:?} does not change the phase type",
+                    bench.name(),
+                    mark.id
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn single_phase_benchmarks_get_almost_no_loop_level_marks() {
+    // 459.GemsFDTD and 473.astar consist of a single phase kind; the paper's
+    // Table 1 reports zero switches for them, which requires (almost) no
+    // phase marks from the loop technique — at most the entry into the one
+    // hot region from untyped start-up code.
+    let machine = MachineSpec::core2_quad_amp();
+    let pipeline = PipelineConfig::paper_best();
+    let catalog = catalog();
+    let equake = catalog.by_name("183.equake").expect("catalogue benchmark");
+    let equake_marks =
+        prepare_program(equake.program(), &machine, &pipeline).mark_count();
+    assert!(equake_marks > 0);
+    for name in ["459.GemsFDTD", "473.astar"] {
+        let bench = catalog.by_name(name).expect("catalogue benchmark");
+        let instrumented = prepare_program(bench.program(), &machine, &pipeline);
+        assert!(
+            instrumented.mark_count() <= 2,
+            "{name} should have (almost) no phase transitions, found {}",
+            instrumented.mark_count()
+        );
+        assert!(instrumented.mark_count() < equake_marks);
+    }
+}
+
+#[test]
+fn loop_marking_executes_far_fewer_marks_than_basic_block_marking() {
+    // The paper's reason for preferring the loop technique is dynamic, not
+    // static: it keeps marks out of hot loop bodies, so far fewer marks are
+    // *executed* (Figure 4). Check that on an alternating benchmark.
+    use phase_tuning::substrate::sched::{run_in_isolation, NullHook, SimConfig};
+    use std::sync::Arc;
+
+    let machine = MachineSpec::core2_quad_amp();
+    let catalog = catalog();
+    let bench = catalog.by_name("183.equake").expect("catalogue benchmark");
+    let executed = |marking: MarkingConfig| {
+        let instrumented = Arc::new(prepare_program(
+            bench.program(),
+            &machine,
+            &PipelineConfig::with_marking(marking),
+        ));
+        run_in_isolation(
+            bench.name(),
+            instrumented,
+            machine.clone(),
+            NullHook,
+            SimConfig::default(),
+        )
+        .stats
+        .marks_executed
+    };
+    let bb = executed(MarkingConfig::basic_block(15, 0));
+    let lp = executed(MarkingConfig::paper_best());
+    assert!(
+        lp * 5 < bb,
+        "loop marking should execute far fewer marks (loop {lp}, basic block {bb})"
+    );
+}
+
+#[test]
+fn typing_is_deterministic_and_respects_granularity_thresholds() {
+    let machine = MachineSpec::core2_quad_amp();
+    let bench_catalog = catalog();
+    let bench = bench_catalog.by_name("401.bzip2").expect("catalogue benchmark");
+    let pipeline = PipelineConfig::paper_best();
+    let a = type_blocks(bench.program(), &machine, &pipeline);
+    let b = type_blocks(bench.program(), &machine, &pipeline);
+    assert_eq!(a, b, "typing must be deterministic");
+    assert!(a.typed_block_count() > 0);
+
+    // Basic-block typing at a huge threshold types nothing.
+    let huge = PipelineConfig::with_marking(MarkingConfig::basic_block(10_000, 0));
+    let typing = type_blocks(bench.program(), &machine, &huge);
+    assert_eq!(typing.typed_block_count(), 0);
+}
+
+#[test]
+fn generated_programs_have_well_formed_loop_structure() {
+    for bench in catalog().benchmarks() {
+        for proc in bench.program().procedures() {
+            let cfg = Cfg::build(proc);
+            let dom = DominatorTree::build(&cfg);
+            let loops = LoopForest::build(&cfg, &dom);
+            for natural in loops.loops() {
+                assert!(natural.contains(natural.header()));
+                for edge in natural.back_edges() {
+                    assert!(natural.contains(edge.from));
+                    assert_eq!(edge.to, natural.header());
+                }
+                // The header dominates every block of the loop (reducible
+                // programs only, which the generator produces).
+                for &block in natural.blocks() {
+                    assert!(
+                        dom.dominates(natural.header(), block),
+                        "{}: {} not dominated by loop header {}",
+                        proc.name(),
+                        block,
+                        natural.header()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn instrumentation_preserves_the_marking_configuration() {
+    let machine = MachineSpec::core2_quad_amp();
+    let bench_catalog = catalog();
+    let bench = bench_catalog.by_name("171.swim").expect("catalogue benchmark");
+    for marking in MarkingConfig::table2_variants() {
+        let instrumented = prepare_program(
+            bench.program(),
+            &machine,
+            &PipelineConfig::with_marking(marking),
+        );
+        assert_eq!(*instrumented.config(), marking);
+        match marking.granularity {
+            Granularity::BasicBlock | Granularity::Interval | Granularity::Loop => {
+                assert_eq!(
+                    instrumented.stats().added_bytes,
+                    instrumented.mark_count() as u64 * 78
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Property-based tests over the core data structures and analyses:
+//! control-flow invariants on arbitrary generated procedures, clustering and
+//! statistics invariants, and affinity-mask algebra.
+
+use proptest::prelude::*;
+
+use phase_tuning::substrate::amp::{AffinityMask, CoreId};
+use phase_tuning::substrate::analysis::{kmeans, BlockTyping, KMeansConfig, PhaseType};
+use phase_tuning::substrate::cfg::{Cfg, DominatorTree, IntervalPartition, LoopForest};
+use phase_tuning::substrate::ir::{
+    BlockId, BranchBehavior, Instruction, Location, ProcId, Procedure, ProcedureBuilder,
+    Terminator,
+};
+use phase_tuning::substrate::metrics::SummaryStats;
+
+/// Builds an arbitrary (possibly irreducible) procedure with `block_count`
+/// blocks whose terminators are chosen from the given selector values.
+fn arbitrary_procedure(block_count: usize, selectors: Vec<(u8, u8, u8)>) -> Procedure {
+    let mut body = ProcedureBuilder::new();
+    let blocks: Vec<BlockId> = (0..block_count).map(|_| body.add_block()).collect();
+    for (&block, &(kind, a, b)) in blocks.iter().zip(selectors.iter()) {
+        body.push(block, Instruction::int_alu());
+        let target = |x: u8| blocks[x as usize % block_count];
+        match kind % 3 {
+            0 => body.terminate(block, Terminator::Jump(target(a))),
+            1 => body.terminate(
+                block,
+                Terminator::Branch {
+                    taken: target(a),
+                    fallthrough: target(b),
+                    behavior: BranchBehavior::counted(u32::from(a % 7) + 1),
+                },
+            ),
+            _ => body.terminate(block, Terminator::Return),
+        }
+    }
+    body.finish(ProcId(0), "arbitrary").expect("builder output is valid")
+}
+
+fn procedure_strategy() -> impl Strategy<Value = Procedure> {
+    (2usize..10).prop_flat_map(|n| {
+        proptest::collection::vec((0u8..3, any::<u8>(), any::<u8>()), n)
+            .prop_map(move |selectors| arbitrary_procedure(n, selectors))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every reachable block belongs to exactly one Allen interval, and
+    /// unreachable blocks belong to none.
+    #[test]
+    fn intervals_partition_reachable_blocks(proc in procedure_strategy()) {
+        let cfg = Cfg::build(&proc);
+        let partition = IntervalPartition::build(&cfg);
+        let reachable: std::collections::HashSet<BlockId> =
+            cfg.preorder().into_iter().collect();
+        for block in cfg.block_ids() {
+            let memberships = partition
+                .intervals()
+                .iter()
+                .filter(|i| i.contains(block))
+                .count();
+            if reachable.contains(&block) {
+                prop_assert_eq!(memberships, 1, "block {} in {} intervals", block, memberships);
+            } else {
+                prop_assert_eq!(memberships, 0);
+            }
+        }
+    }
+
+    /// The entry dominates every reachable block; immediate dominators are
+    /// themselves reachable; and natural-loop back edges always target the
+    /// loop header.
+    #[test]
+    fn dominator_and_loop_invariants(proc in procedure_strategy()) {
+        let cfg = Cfg::build(&proc);
+        let dom = DominatorTree::build(&cfg);
+        for block in cfg.preorder() {
+            prop_assert!(dom.dominates(cfg.entry(), block));
+            if block != cfg.entry() {
+                let idom = dom.immediate_dominator(block);
+                prop_assert!(idom.is_some());
+                prop_assert!(dom.is_reachable(idom.unwrap()));
+            }
+        }
+        let loops = LoopForest::build(&cfg, &dom);
+        for natural in loops.loops() {
+            prop_assert!(natural.contains(natural.header()));
+            for edge in natural.back_edges() {
+                prop_assert_eq!(edge.to, natural.header());
+                prop_assert!(natural.contains(edge.from));
+                prop_assert!(dom.dominates(edge.to, edge.from));
+            }
+            for &block in natural.blocks() {
+                let innermost = loops.innermost(block).expect("block is in some loop");
+                prop_assert!(innermost.block_count() <= natural.block_count());
+            }
+        }
+    }
+
+    /// Reverse postorder contains each reachable block exactly once and
+    /// starts at the entry.
+    #[test]
+    fn reverse_postorder_is_a_permutation_of_reachable_blocks(proc in procedure_strategy()) {
+        let cfg = Cfg::build(&proc);
+        let rpo = cfg.reverse_postorder();
+        let reachable = cfg.preorder();
+        prop_assert_eq!(rpo.len(), reachable.len());
+        let set: std::collections::HashSet<_> = rpo.iter().collect();
+        prop_assert_eq!(set.len(), rpo.len());
+        prop_assert_eq!(rpo[0], cfg.entry());
+    }
+
+    /// k-means assigns every point to an existing centroid and is
+    /// deterministic for a fixed seed.
+    #[test]
+    fn kmeans_assignments_are_valid_and_deterministic(
+        points in proptest::collection::vec((0.0f64..1.0, 0.0f64..1.0), 1..40),
+        k in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let data: Vec<[f64; 2]> = points.iter().map(|(x, y)| [*x, *y]).collect();
+        let config = KMeansConfig { k, max_iterations: 50, seed };
+        let a = kmeans(&data, config);
+        let b = kmeans(&data, config);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.assignments.len(), data.len());
+        for &assignment in &a.assignments {
+            prop_assert!(assignment < k);
+        }
+    }
+
+    /// Summary statistics are ordered (min ≤ q1 ≤ median ≤ q3 ≤ max) and the
+    /// mean lies within the range.
+    #[test]
+    fn summary_stats_are_ordered(values in proptest::collection::vec(-1e6f64..1e6, 1..50)) {
+        let stats = SummaryStats::of(&values);
+        prop_assert!(stats.min <= stats.q1 + 1e-9);
+        prop_assert!(stats.q1 <= stats.median + 1e-9);
+        prop_assert!(stats.median <= stats.q3 + 1e-9);
+        prop_assert!(stats.q3 <= stats.max + 1e-9);
+        prop_assert!(stats.mean >= stats.min - 1e-9 && stats.mean <= stats.max + 1e-9);
+        prop_assert_eq!(stats.count, values.len());
+    }
+
+    /// Injecting clustering error flips approximately the requested fraction
+    /// of blocks (exactly `round(n * fraction)` of them).
+    #[test]
+    fn error_injection_flips_expected_fraction(
+        block_count in 1usize..60,
+        fraction in 0.0f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let mut typing = BlockTyping::new(2);
+        for i in 0..block_count {
+            typing.assign(
+                Location::new(ProcId(0), BlockId(i as u32)),
+                PhaseType((i % 2) as u32),
+            );
+        }
+        let with_error = typing.with_injected_error(fraction, seed);
+        let agreement = typing.agreement_with(&with_error);
+        let expected_flips = (block_count as f64 * fraction).round();
+        let expected_agreement = 1.0 - expected_flips / block_count as f64;
+        prop_assert!((agreement - expected_agreement).abs() < 1e-9);
+    }
+
+    /// Affinity-mask algebra behaves like set algebra.
+    #[test]
+    fn affinity_mask_set_algebra(
+        a in proptest::collection::btree_set(0u32..16, 0..8),
+        b in proptest::collection::btree_set(0u32..16, 0..8),
+    ) {
+        let mask_a = AffinityMask::from_cores(a.iter().map(|c| CoreId(*c)));
+        let mask_b = AffinityMask::from_cores(b.iter().map(|c| CoreId(*c)));
+        let union: std::collections::BTreeSet<u32> = a.union(&b).copied().collect();
+        let intersection: std::collections::BTreeSet<u32> = a.intersection(&b).copied().collect();
+        prop_assert_eq!(mask_a.union(&mask_b).core_count(), union.len());
+        prop_assert_eq!(mask_a.intersect(&mask_b).core_count(), intersection.len());
+        for core in 0..16u32 {
+            prop_assert_eq!(mask_a.allows(CoreId(core)), a.contains(&core));
+        }
+    }
+}
