@@ -211,7 +211,12 @@ impl CostModel {
         (cycles, cycles as f64 / freq)
     }
 
-    fn memory_access_cost(&self, freq_ghz: f64, mem: &MemRef, ctx: SharingContext) -> MemAccessCost {
+    fn memory_access_cost(
+        &self,
+        freq_ghz: f64,
+        mem: &MemRef,
+        ctx: SharingContext,
+    ) -> MemAccessCost {
         let reuse = mem.estimated_reuse_distance();
         let spatial = mem.pattern.spatial_miss_factor();
         let l1_miss = spatial * miss_probability(reuse, self.spec.l1.capacity_bytes as f64);
@@ -273,12 +278,20 @@ mod tests {
     use phase_ir::{BlockId, Instruction, MemRef, Terminator};
 
     fn cpu_block(n: usize) -> BasicBlock {
-        BasicBlock::new(BlockId(0), vec![Instruction::fp_mul(); n], Terminator::Return)
+        BasicBlock::new(
+            BlockId(0),
+            vec![Instruction::fp_mul(); n],
+            Terminator::Return,
+        )
     }
 
     fn mem_block(n: usize, region: u64) -> BasicBlock {
         let mem = MemRef::new(AccessPattern::Random, region);
-        BasicBlock::new(BlockId(0), vec![Instruction::load(mem); n], Terminator::Return)
+        BasicBlock::new(
+            BlockId(0),
+            vec![Instruction::load(mem); n],
+            Terminator::Return,
+        )
     }
 
     fn model() -> CostModel {
@@ -322,10 +335,18 @@ mod tests {
         let model = model();
         let cpu = cpu_block(100);
         let mem = mem_block(100, 512 * 1024 * 1024);
-        let cpu_gap = model.block_cost(FAST, &cpu, SharingContext::exclusive()).ipc()
-            - model.block_cost(SLOW, &cpu, SharingContext::exclusive()).ipc();
-        let mem_gap = model.block_cost(FAST, &mem, SharingContext::exclusive()).ipc()
-            - model.block_cost(SLOW, &mem, SharingContext::exclusive()).ipc();
+        let cpu_gap = model
+            .block_cost(FAST, &cpu, SharingContext::exclusive())
+            .ipc()
+            - model
+                .block_cost(SLOW, &cpu, SharingContext::exclusive())
+                .ipc();
+        let mem_gap = model
+            .block_cost(FAST, &mem, SharingContext::exclusive())
+            .ipc()
+            - model
+                .block_cost(SLOW, &mem, SharingContext::exclusive())
+                .ipc();
         assert!(cpu_gap >= 0.0);
         assert!(mem_gap < cpu_gap);
     }
@@ -393,7 +414,10 @@ mod tests {
         let model = model();
         let chase = BasicBlock::new(
             BlockId(0),
-            vec![Instruction::load(MemRef::new(AccessPattern::PointerChase, 512 * 1024 * 1024)); 50],
+            vec![
+                Instruction::load(MemRef::new(AccessPattern::PointerChase, 512 * 1024 * 1024));
+                50
+            ],
             Terminator::Return,
         );
         let rand = mem_block(50, 512 * 1024 * 1024);

@@ -98,13 +98,35 @@ impl MachineSpec {
         Self {
             name: "core2quad-2f2s".to_string(),
             cores: vec![
-                CoreSpec { freq_ghz: 2.4, kind: CoreKind(0), l2_group: 0 },
-                CoreSpec { freq_ghz: 2.4, kind: CoreKind(0), l2_group: 0 },
-                CoreSpec { freq_ghz: 1.6, kind: CoreKind(1), l2_group: 1 },
-                CoreSpec { freq_ghz: 1.6, kind: CoreKind(1), l2_group: 1 },
+                CoreSpec {
+                    freq_ghz: 2.4,
+                    kind: CoreKind(0),
+                    l2_group: 0,
+                },
+                CoreSpec {
+                    freq_ghz: 2.4,
+                    kind: CoreKind(0),
+                    l2_group: 0,
+                },
+                CoreSpec {
+                    freq_ghz: 1.6,
+                    kind: CoreKind(1),
+                    l2_group: 1,
+                },
+                CoreSpec {
+                    freq_ghz: 1.6,
+                    kind: CoreKind(1),
+                    l2_group: 1,
+                },
             ],
-            l1: CacheSpec { capacity_bytes: 32 * 1024, latency_cycles: 0.5 },
-            l2: CacheSpec { capacity_bytes: 4 * 1024 * 1024, latency_cycles: 8.0 },
+            l1: CacheSpec {
+                capacity_bytes: 32 * 1024,
+                latency_cycles: 0.5,
+            },
+            l2: CacheSpec {
+                capacity_bytes: 4 * 1024 * 1024,
+                latency_cycles: 8.0,
+            },
             memory_latency_ns: 60.0,
             core_switch_cycles: 1000,
         }
@@ -116,12 +138,30 @@ impl MachineSpec {
         Self {
             name: "threecore-2f1s".to_string(),
             cores: vec![
-                CoreSpec { freq_ghz: 2.4, kind: CoreKind(0), l2_group: 0 },
-                CoreSpec { freq_ghz: 2.4, kind: CoreKind(0), l2_group: 0 },
-                CoreSpec { freq_ghz: 1.6, kind: CoreKind(1), l2_group: 1 },
+                CoreSpec {
+                    freq_ghz: 2.4,
+                    kind: CoreKind(0),
+                    l2_group: 0,
+                },
+                CoreSpec {
+                    freq_ghz: 2.4,
+                    kind: CoreKind(0),
+                    l2_group: 0,
+                },
+                CoreSpec {
+                    freq_ghz: 1.6,
+                    kind: CoreKind(1),
+                    l2_group: 1,
+                },
             ],
-            l1: CacheSpec { capacity_bytes: 32 * 1024, latency_cycles: 0.5 },
-            l2: CacheSpec { capacity_bytes: 4 * 1024 * 1024, latency_cycles: 8.0 },
+            l1: CacheSpec {
+                capacity_bytes: 32 * 1024,
+                latency_cycles: 0.5,
+            },
+            l2: CacheSpec {
+                capacity_bytes: 4 * 1024 * 1024,
+                latency_cycles: 8.0,
+            },
             memory_latency_ns: 60.0,
             core_switch_cycles: 1000,
         }
@@ -145,8 +185,14 @@ impl MachineSpec {
                     l2_group: i / 2,
                 })
                 .collect(),
-            l1: CacheSpec { capacity_bytes: 32 * 1024, latency_cycles: 0.5 },
-            l2: CacheSpec { capacity_bytes: 4 * 1024 * 1024, latency_cycles: 8.0 },
+            l1: CacheSpec {
+                capacity_bytes: 32 * 1024,
+                latency_cycles: 0.5,
+            },
+            l2: CacheSpec {
+                capacity_bytes: 4 * 1024 * 1024,
+                latency_cycles: 8.0,
+            },
             memory_latency_ns: 60.0,
             core_switch_cycles: 1000,
         }
@@ -251,7 +297,13 @@ impl MachineSpec {
 
 impl std::fmt::Display for MachineSpec {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{} ({} cores, {} kinds)", self.name, self.core_count(), self.kind_count())
+        write!(
+            f,
+            "{} ({} cores, {} kinds)",
+            self.name,
+            self.core_count(),
+            self.kind_count()
+        )
     }
 }
 

@@ -89,7 +89,11 @@ impl BlockFeatures {
 
     /// Computes the features of a basic block.
     pub fn of_block(block: &BasicBlock) -> Self {
-        Self::from_parts(&block.mix(), block_reuse_distances(block), block.instruction_count())
+        Self::from_parts(
+            &block.mix(),
+            block_reuse_distances(block),
+            block.instruction_count(),
+        )
     }
 
     /// Computes features from an instruction mix and the reuse distances of

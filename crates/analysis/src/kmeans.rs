@@ -218,15 +218,33 @@ mod tests {
     #[test]
     fn is_deterministic_for_a_fixed_seed() {
         let points = two_blobs();
-        let c1 = kmeans(&points, KMeansConfig { seed: 7, ..Default::default() });
-        let c2 = kmeans(&points, KMeansConfig { seed: 7, ..Default::default() });
+        let c1 = kmeans(
+            &points,
+            KMeansConfig {
+                seed: 7,
+                ..Default::default()
+            },
+        );
+        let c2 = kmeans(
+            &points,
+            KMeansConfig {
+                seed: 7,
+                ..Default::default()
+            },
+        );
         assert_eq!(c1, c2);
     }
 
     #[test]
     fn handles_fewer_points_than_clusters() {
         let points = vec![[0.5, 0.5]];
-        let clustering = kmeans(&points, KMeansConfig { k: 3, ..Default::default() });
+        let clustering = kmeans(
+            &points,
+            KMeansConfig {
+                k: 3,
+                ..Default::default()
+            },
+        );
         assert_eq!(clustering.cluster_count(), 3);
         assert_eq!(clustering.assignments.len(), 1);
     }
@@ -241,8 +259,20 @@ mod tests {
     #[test]
     fn inertia_decreases_with_more_clusters() {
         let points = two_blobs();
-        let c1 = kmeans(&points, KMeansConfig { k: 1, ..Default::default() });
-        let c2 = kmeans(&points, KMeansConfig { k: 2, ..Default::default() });
+        let c1 = kmeans(
+            &points,
+            KMeansConfig {
+                k: 1,
+                ..Default::default()
+            },
+        );
+        let c2 = kmeans(
+            &points,
+            KMeansConfig {
+                k: 2,
+                ..Default::default()
+            },
+        );
         assert!(c2.inertia(&points) < c1.inertia(&points));
     }
 
@@ -259,13 +289,25 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one cluster")]
     fn zero_clusters_is_rejected() {
-        let _ = kmeans(&[[0.0, 0.0]], KMeansConfig { k: 0, ..Default::default() });
+        let _ = kmeans(
+            &[[0.0, 0.0]],
+            KMeansConfig {
+                k: 0,
+                ..Default::default()
+            },
+        );
     }
 
     #[test]
     fn identical_points_all_land_in_one_cluster() {
         let points = vec![[0.3, 0.3]; 10];
-        let clustering = kmeans(&points, KMeansConfig { k: 2, ..Default::default() });
+        let clustering = kmeans(
+            &points,
+            KMeansConfig {
+                k: 2,
+                ..Default::default()
+            },
+        );
         let first = clustering.assignments[0];
         assert!(clustering.assignments.iter().all(|&a| a == first));
     }

@@ -283,11 +283,11 @@ mod tests {
         let mem2 = body.add_block();
         let tiny = body.add_block();
         for b in [cpu1, cpu2] {
-            body.push_all(b, std::iter::repeat(Instruction::fp_mul()).take(30));
+            body.push_all(b, std::iter::repeat_n(Instruction::fp_mul(), 30));
         }
         for b in [mem1, mem2] {
             let mem = MemRef::new(AccessPattern::Random, 128 * 1024 * 1024);
-            body.push_all(b, std::iter::repeat(Instruction::load(mem)).take(30));
+            body.push_all(b, std::iter::repeat_n(Instruction::load(mem), 30));
         }
         body.push(tiny, Instruction::int_alu());
         body.terminate(cpu1, Terminator::Jump(cpu2));
@@ -352,9 +352,15 @@ mod tests {
         let agreement = typing.agreement_with(&with_error);
         assert!((agreement - 0.5).abs() < 1e-9, "agreement {agreement}");
         // Zero error keeps everything.
-        assert_eq!(typing.agreement_with(&typing.with_injected_error(0.0, 1)), 1.0);
+        assert_eq!(
+            typing.agreement_with(&typing.with_injected_error(0.0, 1)),
+            1.0
+        );
         // Full error flips everything (with two types).
-        assert_eq!(typing.agreement_with(&typing.with_injected_error(1.0, 1)), 0.0);
+        assert_eq!(
+            typing.agreement_with(&typing.with_injected_error(1.0, 1)),
+            0.0
+        );
     }
 
     #[test]

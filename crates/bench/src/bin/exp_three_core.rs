@@ -3,12 +3,12 @@
 //! 4-core machine (~32% speedup).
 
 use phase_amp::MachineSpec;
-use phase_bench::{experiment_config, print_header};
+use phase_bench::{experiment_config, init};
 use phase_core::{run_comparison, TextTable};
 use phase_marking::MarkingConfig;
 
 fn main() {
-    print_header(
+    init(
         "3-core AMP (Section VII)",
         "The best technique (Loop[45]) on the 2-fast/1-slow machine, compared with the\n\
          4-core evaluation machine.",

@@ -1,24 +1,31 @@
 //! Figure 3: space overhead of phase marks per technique variant, as a box
 //! plot (quartile summary) over the benchmark catalogue.
 
-use phase_bench::{overhead_variants, print_header};
+use phase_amp::MachineSpec;
+use phase_bench::{init, overhead_variants};
 use phase_core::{prepare_program, PipelineConfig, TextTable};
 use phase_metrics::SummaryStats;
-use phase_amp::MachineSpec;
 use phase_workload::Catalog;
 
 fn main() {
-    print_header(
+    init(
         "Figure 3 — space overhead",
         "Phase-mark bytes added relative to the original binary size, per technique,\n\
          summarised over the 15 catalogue benchmarks (box-plot quartiles).",
     );
 
     let machine = MachineSpec::core2_quad_amp();
-    let catalog = Catalog::standard(1.0, 7);
+    let scale = if phase_bench::quick_mode() { 0.2 } else { 1.0 };
+    let catalog = Catalog::standard(scale, 7);
 
     let mut table = TextTable::new(vec![
-        "Technique", "Min %", "Q1 %", "Median %", "Q3 %", "Max %", "Mean marks",
+        "Technique",
+        "Min %",
+        "Q1 %",
+        "Median %",
+        "Q3 %",
+        "Max %",
+        "Mean marks",
     ]);
     for marking in overhead_variants() {
         let pipeline = PipelineConfig::with_marking(marking);

@@ -4,7 +4,7 @@
 //! difference from the baseline is the marks' execution cost.
 
 use phase_amp::{AffinityMask, MachineSpec};
-use phase_bench::{experiment_config, print_header};
+use phase_bench::{experiment_config, init};
 use phase_core::{
     baseline_catalog, build_slots, instrument_catalog, run_with_hook, PipelineConfig, TextTable,
 };
@@ -14,7 +14,7 @@ use phase_sched::{AllCoresHook, NullHook};
 use phase_workload::{Catalog, Workload};
 
 fn main() {
-    print_header(
+    init(
         "Figure 4 — time overhead of phase marks (workload size 84)",
         "Identical workloads run with uninstrumented binaries and with instrumented binaries\n\
          whose marks switch to \"all cores\"; the completion-time difference is the mark overhead.",
@@ -71,8 +71,7 @@ fn main() {
         let baseline_busy: f64 = baseline.core_busy_ns.iter().sum();
         let run_busy: f64 = run.core_busy_ns.iter().sum();
         let baseline_rate = baseline.total_instructions as f64 / baseline_busy;
-        let run_rate =
-            (run.total_instructions - run.total_marks_executed * 12) as f64 / run_busy;
+        let run_rate = (run.total_instructions - run.total_marks_executed * 12) as f64 / run_busy;
         let overhead_pct = percent_change(run_rate, baseline_rate);
         table.add_row(vec![
             marking.to_string(),

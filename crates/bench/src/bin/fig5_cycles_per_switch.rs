@@ -4,16 +4,16 @@
 
 use std::sync::Arc;
 
-use phase_bench::print_header;
+use phase_amp::MachineSpec;
+use phase_bench::init;
 use phase_core::{prepare_program, PipelineConfig, TextTable};
+use phase_marking::MarkingConfig;
 use phase_runtime::{PhaseTuner, TunerConfig};
 use phase_sched::{run_in_isolation, SimConfig};
-use phase_amp::MachineSpec;
-use phase_marking::MarkingConfig;
 use phase_workload::Catalog;
 
 fn main() {
-    print_header(
+    init(
         "Figure 5 — average cycles per core switch",
         "Cycles executed by each benchmark divided by the number of core switches it made\n\
          (running alone with Loop[45] marking and the 0.2-threshold tuner).",
@@ -57,7 +57,11 @@ fn main() {
             } else {
                 "no switches".to_string()
             },
-            if per_switch > 10_000.0 { "yes".into() } else { "marginal".into() },
+            if per_switch > 10_000.0 {
+                "yes".into()
+            } else {
+                "marginal".into()
+            },
         ]);
     }
     println!("{}", table.render());

@@ -2,12 +2,12 @@
 //! threshold `δ` used by Algorithm 2 (basic-block strategy, minimum block
 //! size 15, no lookahead).
 
-use phase_bench::{experiment_config, print_header};
+use phase_bench::{experiment_config, init};
 use phase_core::{prepare_workload, run_comparison_prepared, TextTable};
 use phase_marking::MarkingConfig;
 
 fn main() {
-    print_header(
+    init(
         "Figure 6 — throughput vs. IPC threshold",
         "Basic-block strategy, min block size 15, lookahead 0; the workload is re-run with\n\
          the same queues for every threshold value.",

@@ -2,12 +2,12 @@
 //! fraction of blocks is deliberately placed in the wrong cluster before
 //! marking.
 
-use phase_bench::{experiment_config, print_header};
+use phase_bench::{experiment_config, init};
 use phase_core::{prepare_workload, run_comparison_prepared, TextTable};
 use phase_marking::MarkingConfig;
 
 fn main() {
-    print_header(
+    init(
         "Figure 7 — throughput improvement vs. clustering error",
         "Basic-block strategy, min block size 15, lookahead 0; 0%–30% of typed blocks are\n\
          flipped to the opposite cluster before phase marking.",

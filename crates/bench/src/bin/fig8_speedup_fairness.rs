@@ -2,12 +2,12 @@
 //! reduction (speedup) plotted against max-stretch for each technique
 //! variant.
 
-use phase_bench::{experiment_config, print_header};
+use phase_bench::{experiment_config, init};
 use phase_core::{prepare_workload, run_comparison_prepared, TextTable};
 use phase_marking::MarkingConfig;
 
 fn main() {
-    print_header(
+    init(
         "Figure 8 — speedup vs. fairness trade-off",
         "Each row is one technique variant: its average-process-time reduction (speedup) and\n\
          the max-stretch it achieves (lower is fairer). The paper's interval and loop variants\n\

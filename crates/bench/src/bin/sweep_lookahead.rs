@@ -1,12 +1,12 @@
 //! Section IV-C2: effect of the basic-block technique's lookahead depth on
 //! throughput and fairness.
 
-use phase_bench::{experiment_config, print_header};
+use phase_bench::{experiment_config, init};
 use phase_core::{run_comparison, TextTable};
 use phase_marking::MarkingConfig;
 
 fn main() {
-    print_header(
+    init(
         "Lookahead-depth sweep (Section IV-C2)",
         "Basic-block strategy with min size 15 and lookahead depths 0–3.",
     );

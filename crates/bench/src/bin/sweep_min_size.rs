@@ -1,12 +1,12 @@
 //! Section IV-C4: effect of the minimum section size on marks and
 //! throughput, for all three granularities.
 
-use phase_bench::{experiment_config, print_header};
+use phase_bench::{experiment_config, init};
 use phase_core::{run_comparison, TextTable};
 use phase_marking::MarkingConfig;
 
 fn main() {
-    print_header(
+    init(
         "Minimum-section-size sweep (Section IV-C4)",
         "Marks inserted and throughput/fairness impact as the minimum section size grows,\n\
          for the basic-block, interval, and loop techniques.",

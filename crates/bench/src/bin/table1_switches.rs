@@ -3,16 +3,16 @@
 
 use std::sync::Arc;
 
-use phase_bench::print_header;
+use phase_amp::MachineSpec;
+use phase_bench::init;
 use phase_core::{format_duration_ns, prepare_program, PipelineConfig, TextTable};
+use phase_marking::MarkingConfig;
 use phase_runtime::{PhaseTuner, TunerConfig};
 use phase_sched::{run_in_isolation, SimConfig};
-use phase_amp::MachineSpec;
-use phase_marking::MarkingConfig;
 use phase_workload::Catalog;
 
 fn main() {
-    print_header(
+    init(
         "Table 1 — switches per benchmark (Loop[45], 0.2 threshold)",
         "Each benchmark runs alone on the AMP with the phase tuner; the table reports\n\
          the core switches it performed and its runtime.",

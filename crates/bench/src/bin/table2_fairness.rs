@@ -2,12 +2,12 @@
 //! technique variant — percent decrease in max-flow, max-stretch, and
 //! average process time (positive numbers are improvements).
 
-use phase_bench::{experiment_config, print_header};
+use phase_bench::{experiment_config, init};
 use phase_core::{prepare_workload, run_comparison_prepared, TextTable};
 use phase_marking::MarkingConfig;
 
 fn main() {
-    print_header(
+    init(
         "Table 2 — fairness comparison to the stock scheduler",
         "Percent decrease relative to the stock run on the same queues; positive numbers are\n\
          improvements. Pass PHASE_BENCH_QUICK=1 for a reduced run.",

@@ -1,24 +1,30 @@
 //! Section III / IV-B: phase-mark statistics for the best technique —
 //! marks per benchmark, bytes per mark, and the core-switch cost.
 
-use phase_bench::print_header;
-use phase_core::{prepare_program, PipelineConfig, TextTable};
-use phase_metrics::SummaryStats;
 use phase_amp::{CoreId, CostModel, MachineSpec};
+use phase_bench::init;
+use phase_core::{prepare_program, PipelineConfig, TextTable};
 use phase_marking::{MarkingConfig, MARK_SIZE_BYTES};
+use phase_metrics::SummaryStats;
 use phase_workload::Catalog;
 
 fn main() {
-    print_header(
+    init(
         "Phase-mark statistics (Sections III and IV-B)",
         "Marks inserted per benchmark with Loop[45], their size, and the cost of a core switch.",
     );
 
     let machine = MachineSpec::core2_quad_amp();
-    let catalog = Catalog::standard(1.0, 7);
+    let scale = if phase_bench::quick_mode() { 0.2 } else { 1.0 };
+    let catalog = Catalog::standard(scale, 7);
     let pipeline = PipelineConfig::with_marking(MarkingConfig::paper_best());
 
-    let mut table = TextTable::new(vec!["Benchmark", "Phase marks", "Added bytes", "Overhead %"]);
+    let mut table = TextTable::new(vec![
+        "Benchmark",
+        "Phase marks",
+        "Added bytes",
+        "Overhead %",
+    ]);
     let mut mark_counts = Vec::new();
     for bench in catalog.benchmarks() {
         let instrumented = prepare_program(bench.program(), &machine, &pipeline);

@@ -84,6 +84,55 @@ pub fn overhead_variants() -> Vec<MarkingConfig> {
     MarkingConfig::table2_variants()
 }
 
+/// Parses the standard regeneration-binary command line, then prints the
+/// standard header. Every binary accepts:
+///
+/// * `--help` / `-h` — print the artifact description and flags, then exit;
+/// * `--quick` / `-q` — same as setting `PHASE_BENCH_QUICK=1`: shrink the
+///   catalogue and simulation horizon so the run finishes in seconds;
+/// * `--slots=N` — same as `PHASE_BENCH_SLOTS=N`: the workload size used by
+///   the throughput/fairness experiments.
+///
+/// Flags override the corresponding environment variables, and the variables
+/// are how the parsed values reach [`experiment_config`], so full and quick
+/// runs share one code path.
+pub fn init(artifact: &str, description: &str) {
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--help" | "-h" => {
+                println!("{artifact}");
+                println!("{description}");
+                println!();
+                println!("USAGE: [--quick] [--slots=N]");
+                println!("  --quick, -q   reduced catalogue/horizon (env: PHASE_BENCH_QUICK=1)");
+                println!(
+                    "  --slots=N     workload size (env: PHASE_BENCH_SLOTS; \
+                     default varies per artifact)"
+                );
+                std::process::exit(0);
+            }
+            "--quick" | "-q" => std::env::set_var("PHASE_BENCH_QUICK", "1"),
+            other => {
+                if let Some(n) = other.strip_prefix("--slots=") {
+                    match n.parse::<usize>() {
+                        Ok(slots) if slots > 0 => {
+                            std::env::set_var("PHASE_BENCH_SLOTS", slots.to_string());
+                            continue;
+                        }
+                        _ => {
+                            eprintln!("invalid --slots value: {n} (expected a positive integer)");
+                            std::process::exit(2);
+                        }
+                    }
+                }
+                eprintln!("unrecognized argument: {other} (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+    print_header(artifact, description);
+}
+
 /// Prints the standard header used by every regeneration binary.
 pub fn print_header(artifact: &str, description: &str) {
     println!("== {artifact} ==");

@@ -61,8 +61,14 @@ impl CallGraph {
             }
         }
         Self {
-            callees: callees.into_iter().map(|s| s.into_iter().collect()).collect(),
-            callers: callers.into_iter().map(|s| s.into_iter().collect()).collect(),
+            callees: callees
+                .into_iter()
+                .map(|s| s.into_iter().collect())
+                .collect(),
+            callers: callers
+                .into_iter()
+                .map(|s| s.into_iter().collect())
+                .collect(),
         }
     }
 
@@ -182,9 +188,27 @@ mod tests {
         let m1 = body.add_block();
         let m2 = body.add_block();
         let m3 = body.add_block();
-        body.terminate(m0, Terminator::Call { callee: a, return_to: m1 });
-        body.terminate(m1, Terminator::Call { callee: b, return_to: m2 });
-        body.terminate(m2, Terminator::Call { callee: c, return_to: m3 });
+        body.terminate(
+            m0,
+            Terminator::Call {
+                callee: a,
+                return_to: m1,
+            },
+        );
+        body.terminate(
+            m1,
+            Terminator::Call {
+                callee: b,
+                return_to: m2,
+            },
+        );
+        body.terminate(
+            m2,
+            Terminator::Call {
+                callee: c,
+                return_to: m3,
+            },
+        );
         body.terminate(m3, Terminator::Exit);
         builder.define_procedure(main, body).unwrap();
 
@@ -192,7 +216,13 @@ mod tests {
         let mut abody = builder.procedure_builder();
         let a0 = abody.add_block();
         let a1 = abody.add_block();
-        abody.terminate(a0, Terminator::Call { callee: b, return_to: a1 });
+        abody.terminate(
+            a0,
+            Terminator::Call {
+                callee: b,
+                return_to: a1,
+            },
+        );
         abody.terminate(a1, Terminator::Return);
         builder.define_procedure(a, abody).unwrap();
 
@@ -207,7 +237,13 @@ mod tests {
             let mut pbody = builder.procedure_builder();
             let p0 = pbody.add_block();
             let p1 = pbody.add_block();
-            pbody.terminate(p0, Terminator::Call { callee: other, return_to: p1 });
+            pbody.terminate(
+                p0,
+                Terminator::Call {
+                    callee: other,
+                    return_to: p1,
+                },
+            );
             pbody.terminate(p1, Terminator::Return);
             builder.define_procedure(this, pbody).unwrap();
         }
@@ -266,7 +302,13 @@ mod tests {
         let mut body = builder.procedure_builder();
         let b0 = body.add_block();
         let b1 = body.add_block();
-        body.terminate(b0, Terminator::Call { callee: f, return_to: b1 });
+        body.terminate(
+            b0,
+            Terminator::Call {
+                callee: f,
+                return_to: b1,
+            },
+        );
         body.terminate(b1, Terminator::Exit);
         builder.define_procedure(f, body).unwrap();
         let program = builder.build().unwrap();

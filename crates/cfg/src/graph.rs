@@ -312,6 +312,9 @@ mod tests {
 
     #[test]
     fn edge_display_is_readable() {
-        assert_eq!(format!("{}", Edge::new(BlockId(0), BlockId(3))), "bb0 -> bb3");
+        assert_eq!(
+            format!("{}", Edge::new(BlockId(0), BlockId(3))),
+            "bb0 -> bb3"
+        );
     }
 }

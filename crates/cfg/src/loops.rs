@@ -15,16 +15,7 @@ use crate::graph::{Cfg, Edge};
 
 /// Identifier of a natural loop within one procedure's [`LoopForest`].
 #[derive(
-    Debug,
-    Clone,
-    Copy,
-    PartialEq,
-    Eq,
-    Hash,
-    PartialOrd,
-    Ord,
-    serde::Serialize,
-    serde::Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
 )]
 pub struct LoopId(pub u32);
 

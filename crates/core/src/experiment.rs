@@ -161,10 +161,8 @@ pub fn isolated_runtimes(
                 NullHook,
                 isolation_config,
             );
-            let runtime = record
-                .completion_ns
-                .expect("isolation runs complete")
-                - record.arrival_ns;
+            let runtime =
+                record.completion_ns.expect("isolation runs complete") - record.arrival_ns;
             (bench.name().to_string(), runtime)
         })
         .collect()

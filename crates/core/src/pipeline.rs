@@ -33,7 +33,9 @@ pub enum TypingStrategy {
 
 impl Default for TypingStrategy {
     fn default() -> Self {
-        TypingStrategy::ProfileGuided { ipc_threshold: 0.04 }
+        TypingStrategy::ProfileGuided {
+            ipc_threshold: 0.04,
+        }
     }
 }
 
@@ -171,10 +173,13 @@ mod tests {
         let mem = body.add_block();
         let latch = body.add_block();
         let exit = body.add_block();
-        body.push_all(cpu, std::iter::repeat(Instruction::fp_mul()).take(50));
+        body.push_all(cpu, std::iter::repeat_n(Instruction::fp_mul(), 50));
         // A realistically memory-bound block: streaming loads over a large
         // array interleaved with a little arithmetic.
-        let streaming = MemRef::new(AccessPattern::Strided { stride_bytes: 8 }, 128 * 1024 * 1024);
+        let streaming = MemRef::new(
+            AccessPattern::Strided { stride_bytes: 8 },
+            128 * 1024 * 1024,
+        );
         body.push_all(
             mem,
             (0..50).map(|i| {
@@ -185,7 +190,7 @@ mod tests {
                 }
             }),
         );
-        body.push_all(latch, std::iter::repeat(Instruction::int_alu()).take(50));
+        body.push_all(latch, std::iter::repeat_n(Instruction::int_alu(), 50));
         body.terminate(cpu, Terminator::Jump(mem));
         body.terminate(mem, Terminator::Jump(latch));
         body.loop_branch(latch, cpu, exit, 10);
@@ -203,7 +208,9 @@ mod tests {
         let program = two_phase_program();
         let config = PipelineConfig {
             marking: MarkingConfig::basic_block(15, 0),
-            typing: TypingStrategy::ProfileGuided { ipc_threshold: 0.04 },
+            typing: TypingStrategy::ProfileGuided {
+                ipc_threshold: 0.04,
+            },
             ..Default::default()
         };
         let typing = type_blocks(&program, &machine(), &config);

@@ -88,7 +88,10 @@ impl BranchBehavior {
     ///
     /// Panics if `p` is not within `[0, 1]` or is not finite.
     pub fn probabilistic(p: f64) -> Self {
-        assert!(p.is_finite() && (0.0..=1.0).contains(&p), "probability {p} out of range");
+        assert!(
+            p.is_finite() && (0.0..=1.0).contains(&p),
+            "probability {p} out of range"
+        );
         BranchBehavior::Probabilistic {
             taken_probability: p,
         }

@@ -181,11 +181,7 @@ impl ProgramBuilder {
     /// # Panics
     ///
     /// Panics if `id` was not declared by this builder.
-    pub fn define_procedure(
-        &mut self,
-        id: ProcId,
-        body: ProcedureBuilder,
-    ) -> Result<(), IrError> {
+    pub fn define_procedure(&mut self, id: ProcId, body: ProcedureBuilder) -> Result<(), IrError> {
         let name = self
             .names
             .get(id.index())

@@ -105,7 +105,10 @@ impl std::fmt::Display for IrError {
                 "procedure {caller} block {block} calls non-existent procedure {callee}"
             ),
             IrError::UndefinedProcedure { proc, name } => {
-                write!(f, "procedure {proc} (`{name}`) was declared but never defined")
+                write!(
+                    f,
+                    "procedure {proc} (`{name}`) was declared but never defined"
+                )
             }
         }
     }

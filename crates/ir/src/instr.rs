@@ -420,7 +420,7 @@ mod tests {
     fn encoded_sizes_are_small_and_nonzero() {
         for class in InstrClass::ALL {
             let size = class.encoded_size();
-            assert!(size >= 1 && size <= 8, "{class:?} has odd size {size}");
+            assert!((1..=8).contains(&size), "{class:?} has odd size {size}");
         }
     }
 

@@ -183,7 +183,9 @@ mod tests {
 
     #[test]
     fn merge_adds_counts() {
-        let mut a: InstrMix = [InstrClass::IntAlu, InstrClass::IntAlu].into_iter().collect();
+        let mut a: InstrMix = [InstrClass::IntAlu, InstrClass::IntAlu]
+            .into_iter()
+            .collect();
         let b: InstrMix = [InstrClass::IntAlu, InstrClass::Load].into_iter().collect();
         a.merge(&b);
         assert_eq!(a.count(InstrClass::IntAlu), 3);

@@ -158,10 +158,7 @@ impl Procedure {
 
     /// Total encoded size in bytes.
     pub fn size_bytes(&self) -> u64 {
-        self.blocks
-            .iter()
-            .map(|b| u64::from(b.size_bytes()))
-            .sum()
+        self.blocks.iter().map(|b| u64::from(b.size_bytes())).sum()
     }
 
     /// Instruction mix of the whole procedure (each block counted once).

@@ -178,7 +178,13 @@ impl Program {
         let mut out = String::new();
         let _ = writeln!(out, "program {} (entry {})", self.name, self.entry);
         for proc in &self.procedures {
-            let _ = writeln!(out, "proc {} `{}` entry {}:", proc.id(), proc.name(), proc.entry());
+            let _ = writeln!(
+                out,
+                "proc {} `{}` entry {}:",
+                proc.id(),
+                proc.name(),
+                proc.entry()
+            );
             for block in proc.blocks() {
                 let _ = writeln!(out, "  {}:", block.id());
                 for instr in block.instructions() {
@@ -209,11 +215,7 @@ mod tests {
     use crate::instr::Instruction;
 
     fn leaf_proc(id: ProcId, name: &str) -> Procedure {
-        let block = BasicBlock::new(
-            BlockId(0),
-            vec![Instruction::int_alu()],
-            Terminator::Return,
-        );
+        let block = BasicBlock::new(BlockId(0), vec![Instruction::int_alu()], Terminator::Return);
         Procedure::new(id, name, BlockId(0), vec![block]).unwrap()
     }
 

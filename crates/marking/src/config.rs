@@ -115,11 +115,9 @@ impl Default for MarkingConfig {
 impl std::fmt::Display for MarkingConfig {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self.granularity {
-            Granularity::BasicBlock => write!(
-                f,
-                "BB[{},{}]",
-                self.min_section_size, self.lookahead_depth
-            ),
+            Granularity::BasicBlock => {
+                write!(f, "BB[{},{}]", self.min_section_size, self.lookahead_depth)
+            }
             Granularity::Interval => write!(f, "Int[{}]", self.min_section_size),
             Granularity::Loop => write!(f, "Loop[{}]", self.min_section_size),
         }

@@ -59,7 +59,9 @@ pub use marks::{
     MARK_DECISION_INSTRUCTIONS, MARK_MONITOR_INSTRUCTIONS, MARK_SIZE_BYTES,
 };
 pub use regions::{nesting_weight, ProgramRegions, Region, RegionId, RegionKind, RegionMap};
-pub use summarize::{dominant_type, loop_type_map, Dominant, LoopTypeEntry, LoopTypeMap, SectionWeight};
+pub use summarize::{
+    dominant_type, loop_type_map, Dominant, LoopTypeEntry, LoopTypeMap, SectionWeight,
+};
 pub use transitions::{entry_phase_type, find_transitions, Transition};
 
 #[cfg(test)]

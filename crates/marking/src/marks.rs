@@ -243,7 +243,7 @@ mod tests {
         let mut body = builder.procedure_builder();
         let blocks: Vec<BlockId> = (0..6).map(|_| body.add_block()).collect();
         for &b in &blocks {
-            body.push_all(b, std::iter::repeat(Instruction::int_alu()).take(block_size));
+            body.push_all(b, std::iter::repeat_n(Instruction::int_alu(), block_size));
         }
         for w in blocks.windows(2) {
             body.terminate(w[0], Terminator::Jump(w[1]));
@@ -254,10 +254,7 @@ mod tests {
 
         let mut typing = BlockTyping::new(2);
         for (i, ty) in [0u32, 1, 0, 1, 0, 1].iter().enumerate() {
-            typing.assign(
-                Location::new(ProcId(0), BlockId(i as u32)),
-                PhaseType(*ty),
-            );
+            typing.assign(Location::new(ProcId(0), BlockId(i as u32)), PhaseType(*ty));
         }
         (program, typing)
     }
@@ -294,9 +291,7 @@ mod tests {
         assert_eq!(stats.original_bytes, program.stats().size_bytes);
         assert!(stats.space_overhead > 0.0);
         assert!(
-            (stats.space_overhead
-                - stats.added_bytes as f64 / stats.original_bytes as f64)
-                .abs()
+            (stats.space_overhead - stats.added_bytes as f64 / stats.original_bytes as f64).abs()
                 < 1e-12
         );
     }
@@ -325,10 +320,7 @@ mod tests {
         let (program, typing) = alternating_program(20);
         let instrumented = instrument(&program, &typing, &MarkingConfig::basic_block(10, 0));
         assert_eq!(instrumented.entry_type(), Some(PhaseType(0)));
-        assert_eq!(
-            instrumented.phase_types(),
-            vec![PhaseType(0), PhaseType(1)]
-        );
+        assert_eq!(instrumented.phase_types(), vec![PhaseType(0), PhaseType(1)]);
         assert_eq!(*instrumented.config(), MarkingConfig::basic_block(10, 0));
     }
 

@@ -120,11 +120,7 @@ impl RegionMap {
     }
 
     /// Builds the region map of one procedure at the configured granularity.
-    pub fn build(
-        proc: &Procedure,
-        typing: &BlockTyping,
-        config: &MarkingConfig,
-    ) -> Self {
+    pub fn build(proc: &Procedure, typing: &BlockTyping, config: &MarkingConfig) -> Self {
         let cfg = Cfg::build(proc);
         match config.granularity {
             Granularity::BasicBlock => Self::block_regions(proc, typing, config),
@@ -320,7 +316,7 @@ mod tests {
         let latch = body.add_block();
         let exit = body.add_block();
         for b in [entry, header, latch, exit] {
-            body.push_all(b, std::iter::repeat(Instruction::int_alu()).take(20));
+            body.push_all(b, std::iter::repeat_n(Instruction::int_alu(), 20));
         }
         body.terminate(entry, Terminator::Jump(header));
         body.terminate(header, Terminator::Jump(latch));

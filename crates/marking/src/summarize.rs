@@ -55,15 +55,13 @@ pub fn dominant_type(weights: &[SectionWeight]) -> Option<Dominant> {
     }
     // BTreeMap iteration is ordered by type, so `>` keeps the first (lowest
     // numbered) type on ties.
-    let (phase_type, weight) = by_type
-        .iter()
-        .fold((None, 0.0), |(best, best_w), (ty, w)| {
-            if best.is_none() || *w > best_w {
-                (Some(*ty), *w)
-            } else {
-                (best, best_w)
-            }
-        });
+    let (phase_type, weight) = by_type.iter().fold((None, 0.0), |(best, best_w), (ty, w)| {
+        if best.is_none() || *w > best_w {
+            (Some(*ty), *w)
+        } else {
+            (best, best_w)
+        }
+    });
     phase_type.map(|phase_type| Dominant {
         phase_type,
         strength: weight / total,
@@ -147,9 +145,7 @@ pub fn loop_type_map(
             .blocks()
             .iter()
             .map(|&block| {
-                let lambda = loops
-                    .nesting_depth(block)
-                    .saturating_sub(natural.depth());
+                let lambda = loops.nesting_depth(block).saturating_sub(natural.depth());
                 SectionWeight {
                     block,
                     phase_type: typing.type_of(Location::new(proc.id(), block)),
@@ -183,8 +179,7 @@ pub fn loop_type_map(
             // typing is stronger; otherwise keep the child only.
             1 => {
                 let child = retained_children[0];
-                if child.phase_type == candidate.phase_type || child.strength < candidate.strength
-                {
+                if child.phase_type == candidate.phase_type || child.strength < candidate.strength {
                     map.remove(child.loop_id);
                     map.insert(candidate);
                 }
@@ -259,7 +254,7 @@ mod tests {
         let mut body = ProcedureBuilder::new();
         let blocks: Vec<BlockId> = (0..6).map(|_| body.add_block()).collect();
         for (&b, &size) in blocks.iter().zip(sizes.iter()) {
-            body.push_all(b, std::iter::repeat(Instruction::int_alu()).take(size));
+            body.push_all(b, std::iter::repeat_n(Instruction::int_alu(), size));
         }
         body.terminate(blocks[0], Terminator::Jump(blocks[1]));
         body.terminate(blocks[1], Terminator::Jump(blocks[2]));
@@ -285,8 +280,7 @@ mod tests {
     #[test]
     fn same_typed_nested_loops_merge_into_outer() {
         // Everything type 0 -> only the outer loop is retained.
-        let (proc, loops, typing, cfg) =
-            nested_loop_proc(&[(1, 0), (2, 0), (3, 0), (4, 0)]);
+        let (proc, loops, typing, cfg) = nested_loop_proc(&[(1, 0), (2, 0), (3, 0), (4, 0)]);
         let map = loop_type_map(&proc, &cfg, &loops, &typing);
         assert_eq!(map.len(), 1);
         let entry = map.iter().next().unwrap();
@@ -299,13 +293,16 @@ mod tests {
     fn dominant_inner_loop_absorbs_outer_loop_of_same_dominant_type() {
         // The heavily-weighted inner loop makes type 1 dominant for the outer
         // loop as well, so both collapse into one retained outer region.
-        let (proc, loops, typing, cfg) =
-            nested_loop_proc(&[(1, 0), (2, 1), (3, 1), (4, 0)]);
+        let (proc, loops, typing, cfg) = nested_loop_proc(&[(1, 0), (2, 1), (3, 1), (4, 0)]);
         let map = loop_type_map(&proc, &cfg, &loops, &typing);
         assert_eq!(map.len(), 1);
         let entry = map.iter().next().unwrap();
         assert_eq!(entry.phase_type, PhaseType(1));
-        assert_eq!(loops.loop_by_id(entry.loop_id).depth(), 1, "outer loop retained");
+        assert_eq!(
+            loops.loop_by_id(entry.loop_id).depth(),
+            1,
+            "outer loop retained"
+        );
     }
 
     #[test]
@@ -314,15 +311,17 @@ mod tests {
         // outer loop: the outer loop's dominant type differs from the inner
         // loop's and its strength is lower, so the inner loop is kept and the
         // outer loop is not retained.
-        let (proc, loops, typing, cfg) = nested_loop_proc_sized(
-            &[(1, 0), (2, 1), (3, 1), (4, 0)],
-            [10, 50, 2, 2, 50, 10],
-        );
+        let (proc, loops, typing, cfg) =
+            nested_loop_proc_sized(&[(1, 0), (2, 1), (3, 1), (4, 0)], [10, 50, 2, 2, 50, 10]);
         let map = loop_type_map(&proc, &cfg, &loops, &typing);
         assert_eq!(map.len(), 1);
         let entry = map.iter().next().unwrap();
         assert_eq!(entry.phase_type, PhaseType(1));
-        assert_eq!(loops.loop_by_id(entry.loop_id).depth(), 2, "inner loop retained");
+        assert_eq!(
+            loops.loop_by_id(entry.loop_id).depth(),
+            2,
+            "inner loop retained"
+        );
         assert!((entry.strength - 1.0).abs() < 1e-9);
     }
 

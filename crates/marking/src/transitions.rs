@@ -223,7 +223,7 @@ mod tests {
         let mut body = builder.procedure_builder();
         let blocks: Vec<BlockId> = (0..5).map(|_| body.add_block()).collect();
         for &b in &blocks {
-            body.push_all(b, std::iter::repeat(Instruction::int_alu()).take(20));
+            body.push_all(b, std::iter::repeat_n(Instruction::int_alu(), 20));
         }
         for window in blocks.windows(2) {
             body.terminate(window[0], Terminator::Jump(window[1]));
@@ -235,15 +235,16 @@ mod tests {
         let mut typing = BlockTyping::new(2);
         let types = [0u32, 0, 1, 1, 0];
         for (i, ty) in types.iter().enumerate() {
-            typing.assign(
-                Location::new(ProcId(0), BlockId(i as u32)),
-                PhaseType(*ty),
-            );
+            typing.assign(Location::new(ProcId(0), BlockId(i as u32)), PhaseType(*ty));
         }
         (program, typing)
     }
 
-    fn regions_for(program: &Program, typing: &BlockTyping, config: &MarkingConfig) -> ProgramRegions {
+    fn regions_for(
+        program: &Program,
+        typing: &BlockTyping,
+        config: &MarkingConfig,
+    ) -> ProgramRegions {
         program
             .procedures()
             .iter()
@@ -321,19 +322,25 @@ mod tests {
         let ml = mbody.add_block();
         let m0 = mbody.add_block();
         let m1 = mbody.add_block();
-        mbody.push_all(ml, std::iter::repeat(Instruction::int_alu()).take(30));
+        mbody.push_all(ml, std::iter::repeat_n(Instruction::int_alu(), 30));
         mbody.loop_branch(ml, ml, m0, 50);
-        mbody.push_all(m0, std::iter::repeat(Instruction::int_alu()).take(30));
-        mbody.push_all(m1, std::iter::repeat(Instruction::int_alu()).take(30));
-        mbody.terminate(m0, Terminator::Call { callee: helper, return_to: m1 });
+        mbody.push_all(m0, std::iter::repeat_n(Instruction::int_alu(), 30));
+        mbody.push_all(m1, std::iter::repeat_n(Instruction::int_alu(), 30));
+        mbody.terminate(
+            m0,
+            Terminator::Call {
+                callee: helper,
+                return_to: m1,
+            },
+        );
         mbody.terminate(m1, Terminator::Exit);
         builder.define_procedure(main, mbody).unwrap();
 
         let mut hbody = builder.procedure_builder();
         let h0 = hbody.add_block();
         let h1 = hbody.add_block();
-        hbody.push_all(h0, std::iter::repeat(Instruction::fp_mul()).take(30));
-        hbody.push_all(h1, std::iter::repeat(Instruction::fp_mul()).take(30));
+        hbody.push_all(h0, std::iter::repeat_n(Instruction::fp_mul(), 30));
+        hbody.push_all(h1, std::iter::repeat_n(Instruction::fp_mul(), 30));
         hbody.loop_branch(h0, h0, h1, 100);
         hbody.terminate(h1, Terminator::Return);
         builder.define_procedure(helper, hbody).unwrap();
@@ -371,14 +378,20 @@ mod tests {
         let mut mbody = builder.procedure_builder();
         let m0 = mbody.add_block();
         let m1 = mbody.add_block();
-        mbody.push_all(m0, std::iter::repeat(Instruction::int_alu()).take(30));
-        mbody.push_all(m1, std::iter::repeat(Instruction::int_alu()).take(30));
-        mbody.terminate(m0, Terminator::Call { callee: helper, return_to: m1 });
+        mbody.push_all(m0, std::iter::repeat_n(Instruction::int_alu(), 30));
+        mbody.push_all(m1, std::iter::repeat_n(Instruction::int_alu(), 30));
+        mbody.terminate(
+            m0,
+            Terminator::Call {
+                callee: helper,
+                return_to: m1,
+            },
+        );
         mbody.terminate(m1, Terminator::Exit);
         builder.define_procedure(main, mbody).unwrap();
         let mut hbody = builder.procedure_builder();
         let h0 = hbody.add_block();
-        hbody.push_all(h0, std::iter::repeat(Instruction::int_alu()).take(30));
+        hbody.push_all(h0, std::iter::repeat_n(Instruction::int_alu(), 30));
         hbody.terminate(h0, Terminator::Return);
         builder.define_procedure(helper, hbody).unwrap();
         let program = builder.build().unwrap();

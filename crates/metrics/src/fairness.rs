@@ -101,10 +101,7 @@ impl FairnessComparison {
     pub fn against_baseline(baseline: &FairnessReport, technique: &FairnessReport) -> Self {
         Self {
             max_flow_decrease_pct: percent_decrease(baseline.max_flow_ns, technique.max_flow_ns),
-            max_stretch_decrease_pct: percent_decrease(
-                baseline.max_stretch,
-                technique.max_stretch,
-            ),
+            max_stretch_decrease_pct: percent_decrease(baseline.max_stretch, technique.max_stretch),
             avg_time_decrease_pct: percent_decrease(
                 baseline.avg_process_time_ns,
                 technique.avg_process_time_ns,
@@ -164,8 +161,8 @@ mod tests {
     #[test]
     fn report_takes_maxima_and_means() {
         let timings = [
-            timing(0.0, 100.0, 50.0),  // flow 100, stretch 2
-            timing(0.0, 300.0, 100.0), // flow 300, stretch 3
+            timing(0.0, 100.0, 50.0),    // flow 100, stretch 2
+            timing(0.0, 300.0, 100.0),   // flow 300, stretch 3
             timing(100.0, 200.0, 100.0), // flow 100, stretch 1
         ];
         let report = FairnessReport::from_timings(&timings);
@@ -192,8 +189,8 @@ mod tests {
         };
         let technique = FairnessReport {
             completed: 10,
-            max_flow_ns: 880.0,  // 12% better
-            max_stretch: 8.0,    // 20% better
+            max_flow_ns: 880.0,         // 12% better
+            max_stretch: 8.0,           // 20% better
             avg_process_time_ns: 320.0, // 36% better
             avg_stretch: 4.0,
         };

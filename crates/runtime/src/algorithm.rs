@@ -81,8 +81,14 @@ mod tests {
     #[test]
     fn cpu_bound_code_with_equal_ipc_stays_on_fast_cores() {
         let observations = [
-            ObservedIpc { kind: FAST, ipc: 0.95 },
-            ObservedIpc { kind: SLOW, ipc: 0.95 },
+            ObservedIpc {
+                kind: FAST,
+                ipc: 0.95,
+            },
+            ObservedIpc {
+                kind: SLOW,
+                ipc: 0.95,
+            },
         ];
         assert_eq!(select_core_kind(&machine(), &observations, 0.2), Some(FAST));
     }
@@ -90,8 +96,14 @@ mod tests {
     #[test]
     fn memory_bound_code_with_large_ipc_gap_moves_to_slow_cores() {
         let observations = [
-            ObservedIpc { kind: FAST, ipc: 0.25 },
-            ObservedIpc { kind: SLOW, ipc: 0.60 },
+            ObservedIpc {
+                kind: FAST,
+                ipc: 0.25,
+            },
+            ObservedIpc {
+                kind: SLOW,
+                ipc: 0.60,
+            },
         ];
         assert_eq!(select_core_kind(&machine(), &observations, 0.2), Some(SLOW));
     }
@@ -99,8 +111,14 @@ mod tests {
     #[test]
     fn small_gap_below_threshold_does_not_justify_the_efficient_core() {
         let observations = [
-            ObservedIpc { kind: FAST, ipc: 0.50 },
-            ObservedIpc { kind: SLOW, ipc: 0.60 },
+            ObservedIpc {
+                kind: FAST,
+                ipc: 0.50,
+            },
+            ObservedIpc {
+                kind: SLOW,
+                ipc: 0.60,
+            },
         ];
         assert_eq!(select_core_kind(&machine(), &observations, 0.2), Some(FAST));
         // Lowering the threshold flips the decision.
@@ -121,9 +139,18 @@ mod tests {
             l2_group: 2,
         });
         let observations = [
-            ObservedIpc { kind: FAST, ipc: 0.40 },
-            ObservedIpc { kind: SLOW, ipc: 0.55 },
-            ObservedIpc { kind: CoreKind(2), ipc: 0.70 },
+            ObservedIpc {
+                kind: FAST,
+                ipc: 0.40,
+            },
+            ObservedIpc {
+                kind: SLOW,
+                ipc: 0.55,
+            },
+            ObservedIpc {
+                kind: CoreKind(2),
+                ipc: 0.70,
+            },
         ];
         assert_eq!(select_core_kind(&spec, &observations, 0.2), Some(FAST));
         // With a lower threshold the walk climbs to the most efficient kind.
@@ -140,7 +167,10 @@ mod tests {
 
     #[test]
     fn single_observation_selects_that_kind() {
-        let observations = [ObservedIpc { kind: SLOW, ipc: 0.3 }];
+        let observations = [ObservedIpc {
+            kind: SLOW,
+            ipc: 0.3,
+        }];
         assert_eq!(select_core_kind(&machine(), &observations, 0.2), Some(SLOW));
     }
 }

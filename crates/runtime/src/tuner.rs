@@ -296,10 +296,7 @@ impl PhaseHook for PhaseTuner {
 
     fn on_phase_mark(&mut self, ctx: &MarkContext<'_>) -> MarkResponse {
         let mut inner = self.inner.lock();
-        inner
-            .processes
-            .entry(ctx.pid)
-            .or_insert_with(ProcessTuning::default);
+        inner.processes.entry(ctx.pid).or_default();
 
         // 1. Close out any monitoring armed at the previous mark.
         inner.finish_monitoring(ctx.pid, ctx.completed_section.as_ref());
@@ -325,7 +322,9 @@ impl PhaseHook for PhaseTuner {
             } else {
                 AffinityMask::kind(&inner.machine, kind)
             };
-            if mask.allows(ctx.core) && !was_pinned && mask.core_count() < inner.machine.core_count()
+            if mask.allows(ctx.core)
+                && !was_pinned
+                && mask.core_count() < inner.machine.core_count()
             {
                 return MarkResponse::none();
             }
@@ -533,11 +532,14 @@ mod tests {
     #[test]
     fn decided_phase_types_switch_without_monitoring() {
         let machine = machine();
-        let mut tuner = PhaseTuner::new(Arc::clone(&machine), TunerConfig {
-            samples_per_kind: 1,
-            min_section_instructions: 1,
-            ..TunerConfig::default()
-        });
+        let mut tuner = PhaseTuner::new(
+            Arc::clone(&machine),
+            TunerConfig {
+                samples_per_kind: 1,
+                min_section_instructions: 1,
+                ..TunerConfig::default()
+            },
+        );
         // Decide phase 0 -> slow cores by driving samples through directly.
         let m = mark(0);
         tuner.on_phase_mark(&ctx(1, &m, CoreId(0), CoreKind(0), None));

@@ -153,11 +153,10 @@ impl Interpreter {
                 let entry = self.program.procedure_expect(callee).entry();
                 Some(Location::new(callee, entry))
             }
-            Terminator::Return => match self.call_stack.pop() {
-                Some(frame) => Some(Location::new(frame.proc, frame.return_block)),
-                // Returning from the entry procedure ends the program.
-                None => None,
-            },
+            Terminator::Return => self
+                .call_stack
+                .pop()
+                .map(|frame| Location::new(frame.proc, frame.return_block)),
             Terminator::Exit => None,
         };
 
@@ -259,7 +258,13 @@ mod tests {
         let mut mbody = builder.procedure_builder();
         let m0 = mbody.add_block();
         let m1 = mbody.add_block();
-        mbody.terminate(m0, Terminator::Call { callee: helper, return_to: m1 });
+        mbody.terminate(
+            m0,
+            Terminator::Call {
+                callee: helper,
+                return_to: m1,
+            },
+        );
         mbody.terminate(m1, Terminator::Exit);
         builder.define_procedure(main, mbody).unwrap();
         let mut hbody = builder.procedure_builder();

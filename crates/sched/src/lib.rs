@@ -31,9 +31,7 @@ mod interp;
 mod process;
 mod sim;
 
-pub use hooks::{
-    AllCoresHook, MarkContext, MarkResponse, NullHook, PhaseHook, SectionObservation,
-};
+pub use hooks::{AllCoresHook, MarkContext, MarkResponse, NullHook, PhaseHook, SectionObservation};
 pub use interp::{Interpreter, Step};
 pub use process::{Pid, Process, ProcessState, ProcessStats};
 pub use sim::{run_in_isolation, JobSpec, ProcessRecord, SimConfig, SimResult, Simulation};

@@ -274,8 +274,8 @@ mod tests {
         let mut body = builder.procedure_builder();
         let a = body.add_block();
         let b = body.add_block();
-        body.push_all(a, std::iter::repeat(Instruction::int_alu()).take(20));
-        body.push_all(b, std::iter::repeat(Instruction::fp_mul()).take(20));
+        body.push_all(a, std::iter::repeat_n(Instruction::int_alu(), 20));
+        body.push_all(b, std::iter::repeat_n(Instruction::fp_mul(), 20));
         body.terminate(a, Terminator::Jump(b));
         body.terminate(b, Terminator::Exit);
         builder.define_procedure(main, body).unwrap();
@@ -283,7 +283,11 @@ mod tests {
         let mut typing = BlockTyping::new(2);
         typing.assign(phase_ir::Location::new(main, a), PhaseType(0));
         typing.assign(phase_ir::Location::new(main, b), PhaseType(1));
-        Arc::new(instrument(&program, &typing, &MarkingConfig::basic_block(10, 0)))
+        Arc::new(instrument(
+            &program,
+            &typing,
+            &MarkingConfig::basic_block(10, 0),
+        ))
     }
 
     fn process() -> Process {

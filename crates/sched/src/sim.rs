@@ -13,9 +13,7 @@ use std::sync::Arc;
 
 use phase_amp::{AffinityMask, BlockCost, CoreId, CostModel, MachineSpec, SharingContext};
 use phase_ir::Location;
-use phase_marking::{
-    InstrumentedProgram, MARK_DECISION_INSTRUCTIONS, MARK_MONITOR_INSTRUCTIONS,
-};
+use phase_marking::{InstrumentedProgram, MARK_DECISION_INSTRUCTIONS, MARK_MONITOR_INSTRUCTIONS};
 use serde::{Deserialize, Serialize};
 
 use crate::hooks::{MarkContext, PhaseHook, SectionObservation};
@@ -42,7 +40,7 @@ pub struct SimConfig {
 impl Default for SimConfig {
     fn default() -> Self {
         Self {
-            timeslice_ns: 20_000.0,            // 20 µs quantum
+            timeslice_ns: 20_000.0,              // 20 µs quantum
             load_balance_interval_ns: 200_000.0, // 200 µs balancing period
             horizon_ns: None,
             throughput_window_ns: 1_000_000.0, // 1 ms windows
@@ -302,11 +300,34 @@ impl<H: PhaseHook> Simulation<H> {
         // conserving).
         let mut consumed = 0.0;
         while consumed < self.config.timeslice_ns {
-            let pid = match self.pick_process(core) {
+            // Cores execute their quanta sequentially within a round, so a
+            // job spawned mid-quantum on an earlier core may already sit in
+            // this core's queue with an arrival time ahead of this core's
+            // local clock. Causality: it must not run (and in particular not
+            // complete) before it arrived, so only processes that have
+            // arrived by the core-local clock are eligible; if none are, the
+            // core idles up to the earliest arrival in its own queue (or for
+            // the rest of the round when that lies beyond this quantum).
+            let now_ns = self.clock_ns + consumed;
+            let pid = match self.pick_process(core, now_ns) {
                 Some(pid) => pid,
-                None => break,
+                None => {
+                    let earliest = self.cores[core.index()]
+                        .runqueue
+                        .iter()
+                        .map(|pid| self.processes[pid.index()].arrival_ns())
+                        .fold(f64::INFINITY, f64::min);
+                    let offset = earliest - self.clock_ns;
+                    if offset.is_finite() && offset < self.config.timeslice_ns {
+                        debug_assert!(offset > consumed, "pick skipped an arrived process");
+                        consumed = offset;
+                        continue;
+                    }
+                    break;
+                }
             };
             self.processes[pid.index()].set_running(core);
+            self.cores[core.index()].running = Some(pid);
 
             let budget = self.config.timeslice_ns - consumed;
             let mut elapsed = 0.0;
@@ -465,12 +486,22 @@ impl<H: PhaseHook> Simulation<H> {
 
     /// Picks the next process to run on a core: its own queue first, then an
     /// idle-steal from the most loaded core.
-    fn pick_process(&mut self, core: CoreId) -> Option<Pid> {
-        if let Some(pid) = self.cores[core.index()].runqueue.pop_front() {
-            return Some(pid);
+    /// Picks the next process eligible to run on `core` at core-local time
+    /// `now_ns`. Jobs spawned mid-round by an earlier core may carry arrival
+    /// times ahead of `now_ns`; those are left queued so already-arrived
+    /// work behind them is never starved.
+    fn pick_process(&mut self, core: CoreId, now_ns: f64) -> Option<Pid> {
+        let arrived =
+            |processes: &[Process], pid: &Pid| processes[pid.index()].arrival_ns() <= now_ns;
+        if let Some(position) = self.cores[core.index()]
+            .runqueue
+            .iter()
+            .position(|pid| arrived(&self.processes, pid))
+        {
+            return self.cores[core.index()].runqueue.remove(position);
         }
-        // Idle balancing: steal a ready process that may run here from the
-        // most loaded core.
+        // Idle balancing: steal a ready, arrived process that may run here
+        // from the most loaded core.
         let donor = self
             .cores
             .iter()
@@ -478,13 +509,9 @@ impl<H: PhaseHook> Simulation<H> {
             .filter(|(i, _)| *i != core.index())
             .max_by_key(|(_, c)| c.runqueue.len())
             .map(|(i, _)| i)?;
-        if self.cores[donor].runqueue.len() < 1 {
-            return None;
-        }
-        let position = self.cores[donor]
-            .runqueue
-            .iter()
-            .position(|pid| self.processes[pid.index()].affinity().allows(core))?;
+        let position = self.cores[donor].runqueue.iter().position(|pid| {
+            self.processes[pid.index()].affinity().allows(core) && arrived(&self.processes, pid)
+        })?;
         let pid = self.cores[donor].runqueue.remove(position)?;
         self.processes[pid.index()].stats_mut().balancer_migrations += 1;
         Some(pid)
@@ -522,7 +549,10 @@ impl<H: PhaseHook> Simulation<H> {
                 .position(|pid| self.processes[pid.index()].affinity().allows(target));
             match position {
                 Some(pos) => {
-                    let pid = self.cores[busiest].runqueue.remove(pos).expect("position valid");
+                    let pid = self.cores[busiest]
+                        .runqueue
+                        .remove(pos)
+                        .expect("position valid");
                     self.processes[pid.index()].stats_mut().balancer_migrations += 1;
                     self.cores[idlest].runqueue.push_back(pid);
                 }
@@ -667,16 +697,18 @@ mod tests {
         let mem = body.add_block();
         let latch = body.add_block();
         let exit = body.add_block();
-        body.push_all(cpu, std::iter::repeat(Instruction::fp_mul()).take(20));
+        body.push_all(cpu, std::iter::repeat_n(Instruction::fp_mul(), 20));
         body.push_all(
             mem,
-            std::iter::repeat(Instruction::load(phase_ir::MemRef::new(
-                phase_ir::AccessPattern::Random,
-                64 * 1024 * 1024,
-            )))
-            .take(20),
+            std::iter::repeat_n(
+                Instruction::load(phase_ir::MemRef::new(
+                    phase_ir::AccessPattern::Random,
+                    64 * 1024 * 1024,
+                )),
+                20,
+            ),
         );
-        body.push_all(latch, std::iter::repeat(Instruction::int_alu()).take(20));
+        body.push_all(latch, std::iter::repeat_n(Instruction::int_alu(), 20));
         body.terminate(cpu, Terminator::Jump(mem));
         body.terminate(mem, Terminator::Jump(latch));
         body.loop_branch(latch, cpu, exit, loop_trips);
@@ -689,7 +721,11 @@ mod tests {
         typing.assign(IrLocation::new(main, mem), PhaseType(1));
         typing.assign(IrLocation::new(main, latch), PhaseType(0));
         typing.assign(IrLocation::new(main, exit), PhaseType(0));
-        Arc::new(instrument(&program, &typing, &MarkingConfig::basic_block(10, 0)))
+        Arc::new(instrument(
+            &program,
+            &typing,
+            &MarkingConfig::basic_block(10, 0),
+        ))
     }
 
     fn quick_config() -> SimConfig {

@@ -157,11 +157,7 @@ pub fn standard_profiles() -> Vec<BenchmarkProfile> {
             20,
         ),
         // Single integer search phase (0 switches in Table 1).
-        BenchmarkProfile::new(
-            "473.astar",
-            vec![PhaseSpec::cpu_integer(300, 25, 26)],
-            4,
-        ),
+        BenchmarkProfile::new("473.astar", vec![PhaseSpec::cpu_integer(300, 25, 26)], 4),
         // FP molecular dynamics, almost entirely one phase.
         BenchmarkProfile::new(
             "188.ammp",

@@ -11,7 +11,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use phase_ir::{
-    AccessPattern, BlockId, Instruction, InstrClass, MemRef, ProcId, Program, ProgramBuilder,
+    AccessPattern, BlockId, InstrClass, Instruction, MemRef, ProcId, Program, ProgramBuilder,
     Terminator,
 };
 
@@ -112,14 +112,19 @@ pub fn generate_program(profile: &BenchmarkProfile, seed: u64) -> Program {
     // compute-flavoured blocks.
     for &proc_id in &cold_procs {
         let mut cold = phase_ir::ProcedureBuilder::new();
-        let blocks: Vec<BlockId> = (0..COLD_BLOCKS_PER_PROCEDURE).map(|_| cold.add_block()).collect();
+        let blocks: Vec<BlockId> = (0..COLD_BLOCKS_PER_PROCEDURE)
+            .map(|_| cold.add_block())
+            .collect();
         for &b in &blocks {
             cold.push_all(b, cold_instructions(&mut rng, COLD_BLOCK_SIZE));
         }
         for pair in blocks.windows(2) {
             cold.terminate(pair[0], Terminator::Jump(pair[1]));
         }
-        cold.terminate(*blocks.last().expect("cold procedure has blocks"), Terminator::Return);
+        cold.terminate(
+            *blocks.last().expect("cold procedure has blocks"),
+            Terminator::Return,
+        );
         builder
             .define_procedure(proc_id, cold)
             .expect("generated cold procedure is well formed");
@@ -163,10 +168,7 @@ fn cold_instructions(rng: &mut StdRng, count: usize) -> Vec<Instruction> {
 /// the loop-level technique hoists its single mark outside the nest, while
 /// fine-grained basic-block marking sees a type change on every iteration —
 /// exactly the contrast the paper's evaluation turns on.
-fn build_phase_procedure(
-    spec: &PhaseSpec,
-    rng: &mut StdRng,
-) -> phase_ir::ProcedureBuilder {
+fn build_phase_procedure(spec: &PhaseSpec, rng: &mut StdRng) -> phase_ir::ProcedureBuilder {
     let mut body = phase_ir::ProcedureBuilder::new();
     let entry = body.add_block();
     let outer_header = body.add_block();
@@ -179,16 +181,25 @@ fn build_phase_procedure(
     body.push_all(entry, glue_instructions(rng, 5));
     body.terminate(entry, Terminator::Jump(outer_header));
 
-    body.push_all(outer_header, phase_instructions(spec, rng, spec.block_size / 2));
+    body.push_all(
+        outer_header,
+        phase_instructions(spec, rng, spec.block_size / 2),
+    );
     body.terminate(outer_header, Terminator::Jump(inner_body));
 
     body.push_all(inner_body, phase_instructions(spec, rng, spec.block_size));
     body.terminate(inner_body, Terminator::Jump(contrast));
 
-    body.push_all(contrast, contrast_instructions(spec, rng, CONTRAST_BLOCK_SIZE));
+    body.push_all(
+        contrast,
+        contrast_instructions(spec, rng, CONTRAST_BLOCK_SIZE),
+    );
     body.terminate(contrast, Terminator::Jump(inner_latch));
 
-    body.push_all(inner_latch, phase_instructions(spec, rng, spec.block_size / 4));
+    body.push_all(
+        inner_latch,
+        phase_instructions(spec, rng, spec.block_size / 4),
+    );
     body.loop_branch(
         inner_latch,
         inner_body,
@@ -394,10 +405,10 @@ mod tests {
             .iter()
             .find(|p| p.name() == "phase_1")
             .unwrap();
-        let has_big_access = memory_proc.blocks().iter().any(|b| {
-            b.mem_refs()
-                .any(|m| m.region_bytes >= 64 * 1024 * 1024)
-        });
+        let has_big_access = memory_proc
+            .blocks()
+            .iter()
+            .any(|b| b.mem_refs().any(|m| m.region_bytes >= 64 * 1024 * 1024));
         assert!(has_big_access);
     }
 
@@ -416,11 +427,8 @@ mod tests {
 
     #[test]
     fn single_repeat_profile_generates_straight_main() {
-        let profile = BenchmarkProfile::new(
-            "test.single",
-            vec![PhaseSpec::cpu_integer(4, 4, 16)],
-            1,
-        );
+        let profile =
+            BenchmarkProfile::new("test.single", vec![PhaseSpec::cpu_integer(4, 4, 16)], 1);
         let program = generate_program(&profile, 9);
         assert_eq!(program.procedures().len(), 1 + 1 + COLD_PROCEDURES);
         assert!(program.stats().blocks >= 5);

@@ -140,9 +140,7 @@ impl PhaseSpec {
 
     /// Scales the phase's trip counts by a factor, keeping at least one trip.
     pub fn scaled(&self, factor: f64) -> Self {
-        let scale = |trips: u32| -> u32 {
-            ((f64::from(trips) * factor).round() as u32).max(1)
-        };
+        let scale = |trips: u32| -> u32 { ((f64::from(trips) * factor).round() as u32).max(1) };
         Self {
             loop_trips: scale(self.loop_trips),
             ..*self

@@ -71,7 +71,10 @@ impl Workload {
     ///
     /// Panics if the catalogue is empty or `slots`/`jobs_per_slot` is zero.
     pub fn random(catalog: &Catalog, slots: usize, jobs_per_slot: usize, seed: u64) -> Self {
-        assert!(!catalog.is_empty(), "cannot build a workload from an empty catalogue");
+        assert!(
+            !catalog.is_empty(),
+            "cannot build a workload from an empty catalogue"
+        );
         assert!(slots > 0, "a workload needs at least one slot");
         assert!(jobs_per_slot > 0, "each slot needs at least one job");
         let mut rng = StdRng::seed_from_u64(seed);

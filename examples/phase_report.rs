@@ -33,7 +33,12 @@ fn main() {
 
     // Per-procedure control-flow structure.
     let mut structure = TextTable::new(vec![
-        "Procedure", "Blocks", "Instrs", "Loops", "Max nest", "Intervals",
+        "Procedure",
+        "Blocks",
+        "Instrs",
+        "Loops",
+        "Max nest",
+        "Intervals",
     ]);
     for proc in program.procedures() {
         let cfg = Cfg::build(proc);
@@ -81,7 +86,10 @@ fn main() {
 
     // Marks per technique.
     let mut marks = TextTable::new(vec![
-        "Technique", "Phase marks", "Added bytes", "Space overhead %",
+        "Technique",
+        "Phase marks",
+        "Added bytes",
+        "Space overhead %",
     ]);
     for marking in [
         MarkingConfig::basic_block(10, 0),
@@ -91,11 +99,8 @@ fn main() {
         MarkingConfig::loop_level(45),
         MarkingConfig::loop_level(60),
     ] {
-        let instrumented = prepare_program(
-            program,
-            &machine,
-            &PipelineConfig::with_marking(marking),
-        );
+        let instrumented =
+            prepare_program(program, &machine, &PipelineConfig::with_marking(marking));
         marks.add_row(vec![
             marking.to_string(),
             instrumented.mark_count().to_string(),

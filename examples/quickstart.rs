@@ -8,9 +8,7 @@
 //! ```
 
 use phase_tuning::substrate::amp::MachineSpec;
-use phase_tuning::substrate::ir::{
-    AccessPattern, Instruction, MemRef, ProgramBuilder, Terminator,
-};
+use phase_tuning::substrate::ir::{AccessPattern, Instruction, MemRef, ProgramBuilder, Terminator};
 use phase_tuning::substrate::marking::MarkingConfig;
 use phase_tuning::{prepare_program, run_comparison, ExperimentConfig, PipelineConfig};
 
@@ -26,7 +24,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let latch = body.add_block();
     let exit = body.add_block();
 
-    body.push_all(compute, std::iter::repeat(Instruction::fp_mul()).take(48));
+    body.push_all(compute, std::iter::repeat_n(Instruction::fp_mul(), 48));
     let big_array = MemRef::new(AccessPattern::Strided { stride_bytes: 8 }, 96 * 1024 * 1024);
     body.push_all(
         stream,
@@ -38,7 +36,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
         }),
     );
-    body.push_all(latch, std::iter::repeat(Instruction::int_alu()).take(20));
+    body.push_all(latch, std::iter::repeat_n(Instruction::int_alu(), 20));
     body.terminate(compute, Terminator::Jump(stream));
     body.terminate(stream, Terminator::Jump(latch));
     body.loop_branch(latch, compute, exit, 200);
@@ -75,7 +73,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         catalog_scale: 0.12,
         ..ExperimentConfig::default()
     };
-    println!("\nrunning baseline vs. phase-tuned workload ({} slots)...", config.workload_slots);
+    println!(
+        "\nrunning baseline vs. phase-tuned workload ({} slots)...",
+        config.workload_slots
+    );
     let outcome = run_comparison(&config);
 
     println!(

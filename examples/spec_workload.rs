@@ -16,14 +16,8 @@ use phase_tuning::{
 
 fn main() {
     let mut args = std::env::args().skip(1);
-    let slots: usize = args
-        .next()
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(18);
-    let jobs_per_slot: usize = args
-        .next()
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(6);
+    let slots: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(18);
+    let jobs_per_slot: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(6);
     let ipc_threshold: f64 = args
         .next()
         .and_then(|a| a.parse().ok())
@@ -46,7 +40,12 @@ fn main() {
 
     let outcome = run_comparison(&config);
 
-    let mut table = TextTable::new(vec!["Metric", "Stock Linux-like", "Phase-based tuning", "Change"]);
+    let mut table = TextTable::new(vec![
+        "Metric",
+        "Stock Linux-like",
+        "Phase-based tuning",
+        "Change",
+    ]);
     table.add_row(vec![
         "completed processes".into(),
         outcome.baseline.completed_count().to_string(),

@@ -64,8 +64,7 @@ fn single_phase_benchmarks_get_almost_no_loop_level_marks() {
     let pipeline = PipelineConfig::paper_best();
     let catalog = catalog();
     let equake = catalog.by_name("183.equake").expect("catalogue benchmark");
-    let equake_marks =
-        prepare_program(equake.program(), &machine, &pipeline).mark_count();
+    let equake_marks = prepare_program(equake.program(), &machine, &pipeline).mark_count();
     assert!(equake_marks > 0);
     for name in ["459.GemsFDTD", "473.astar"] {
         let bench = catalog.by_name(name).expect("catalogue benchmark");
@@ -118,7 +117,9 @@ fn loop_marking_executes_far_fewer_marks_than_basic_block_marking() {
 fn typing_is_deterministic_and_respects_granularity_thresholds() {
     let machine = MachineSpec::core2_quad_amp();
     let bench_catalog = catalog();
-    let bench = bench_catalog.by_name("401.bzip2").expect("catalogue benchmark");
+    let bench = bench_catalog
+        .by_name("401.bzip2")
+        .expect("catalogue benchmark");
     let pipeline = PipelineConfig::paper_best();
     let a = type_blocks(bench.program(), &machine, &pipeline);
     let b = type_blocks(bench.program(), &machine, &pipeline);
@@ -164,7 +165,9 @@ fn generated_programs_have_well_formed_loop_structure() {
 fn instrumentation_preserves_the_marking_configuration() {
     let machine = MachineSpec::core2_quad_amp();
     let bench_catalog = catalog();
-    let bench = bench_catalog.by_name("171.swim").expect("catalogue benchmark");
+    let bench = bench_catalog
+        .by_name("171.swim")
+        .expect("catalogue benchmark");
     for marking in MarkingConfig::table2_variants() {
         let instrumented = prepare_program(
             bench.program(),

@@ -8,8 +8,7 @@ use phase_tuning::substrate::amp::{AffinityMask, CoreId};
 use phase_tuning::substrate::analysis::{kmeans, BlockTyping, KMeansConfig, PhaseType};
 use phase_tuning::substrate::cfg::{Cfg, DominatorTree, IntervalPartition, LoopForest};
 use phase_tuning::substrate::ir::{
-    BlockId, BranchBehavior, Instruction, Location, ProcId, Procedure, ProcedureBuilder,
-    Terminator,
+    BlockId, BranchBehavior, Instruction, Location, ProcId, Procedure, ProcedureBuilder, Terminator,
 };
 use phase_tuning::substrate::metrics::SummaryStats;
 
@@ -34,7 +33,8 @@ fn arbitrary_procedure(block_count: usize, selectors: Vec<(u8, u8, u8)>) -> Proc
             _ => body.terminate(block, Terminator::Return),
         }
     }
-    body.finish(ProcId(0), "arbitrary").expect("builder output is valid")
+    body.finish(ProcId(0), "arbitrary")
+        .expect("builder output is valid")
 }
 
 fn procedure_strategy() -> impl Strategy<Value = Procedure> {

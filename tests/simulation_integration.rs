@@ -104,7 +104,9 @@ fn workload_without_horizon_completes_every_job() {
 fn single_phase_benchmark_never_switches_cores_in_isolation() {
     let machine = MachineSpec::core2_quad_amp();
     let catalog = Catalog::tiny(3);
-    let bench = catalog.by_name("459.GemsFDTD").expect("catalogue benchmark");
+    let bench = catalog
+        .by_name("459.GemsFDTD")
+        .expect("catalogue benchmark");
     let instrumented = Arc::new(prepare_program(
         bench.program(),
         &machine,

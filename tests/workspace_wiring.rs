@@ -1,0 +1,100 @@
+//! Wiring tests for the Cargo workspace itself: every layer of the crate DAG
+//! must be reachable through the `phase_tuning` facade, and the default
+//! configurations of the dynamic layers (`SimConfig` from `phase-sched`,
+//! `TunerConfig` from `phase-runtime`) must compose into a runnable
+//! end-to-end comparison.
+
+use phase_tuning::substrate::runtime::TunerConfig;
+use phase_tuning::substrate::sched::SimConfig;
+use phase_tuning::{run_comparison, ExperimentConfig};
+
+/// The default `SimConfig` + `TunerConfig` drive `run_comparison` on a tiny
+/// 2-slot workload, and the tuned run does real work: it commits
+/// instructions, executes phase marks, and performs core switches.
+#[test]
+fn default_configs_run_a_two_slot_comparison() {
+    let config = ExperimentConfig {
+        tuner: TunerConfig::default(),
+        sim: SimConfig {
+            horizon_ns: Some(4_000_000.0),
+            ..SimConfig::default()
+        },
+        workload_slots: 2,
+        jobs_per_slot: 2,
+        catalog_scale: 0.05,
+        ..ExperimentConfig::default()
+    };
+
+    let outcome = run_comparison(&config);
+
+    assert!(
+        outcome.baseline.total_instructions > 0,
+        "baseline committed no instructions"
+    );
+    assert!(
+        outcome.tuned.total_instructions > 0,
+        "tuned run committed no instructions"
+    );
+    assert!(
+        outcome.tuned.total_marks_executed > 0,
+        "tuned run executed no phase marks"
+    );
+    assert!(
+        outcome.tuned.total_core_switches > 0,
+        "tuned run performed no core switches"
+    );
+    // The baseline runs uninstrumented binaries under the stock scheduler:
+    // no marks may fire there.
+    assert_eq!(
+        outcome.baseline.total_marks_executed, 0,
+        "baseline must not execute phase marks"
+    );
+}
+
+/// Every substrate crate is reachable through the facade's `substrate`
+/// module, using at least one type per crate, so a missing re-export or a
+/// broken inter-crate edge fails this test at compile time.
+#[test]
+fn every_substrate_layer_is_reachable_through_the_facade() {
+    use phase_tuning::substrate::{
+        amp, analysis, cfg, ir, marking, metrics, runtime, sched, workload,
+    };
+
+    // Static layers: ir -> cfg -> analysis -> marking.
+    let mut builder = ir::ProgramBuilder::new("wiring");
+    let main = builder.declare_procedure("main");
+    let mut body = builder.procedure_builder();
+    let entry = body.add_block();
+    body.push_all(entry, std::iter::repeat_n(ir::Instruction::fp_mul(), 20));
+    body.terminate(entry, ir::Terminator::Exit);
+    builder
+        .define_procedure(main, body)
+        .expect("valid procedure");
+    let program = builder.build().expect("valid program");
+
+    let cfg_built = cfg::Cfg::build(program.procedures().first().expect("one procedure"));
+    assert!(cfg_built.block_count() > 0);
+
+    let typing = analysis::assign_block_types(&program, &analysis::StaticTypingConfig::default());
+    let instrumented = marking::instrument(
+        &program,
+        &typing,
+        &marking::MarkingConfig::basic_block(15, 0),
+    );
+    assert_eq!(
+        instrumented.mark_count(),
+        0,
+        "single-phase program needs no marks"
+    );
+
+    // Dynamic layers: amp -> sched -> runtime, measured by metrics, fed by
+    // workload.
+    let machine = amp::MachineSpec::core2_quad_amp();
+    assert!(machine.is_asymmetric());
+    let _sim = sched::SimConfig::default();
+    let _tuner = runtime::TunerConfig::default();
+    let stats = metrics::SummaryStats::of(&[1.0, 2.0, 3.0]);
+    assert_eq!(stats.count, 3);
+    let catalog = workload::Catalog::tiny(7);
+    assert!(!catalog.is_empty());
+}

@@ -1,0 +1,200 @@
+//! Offline API stand-in for `criterion`.
+//!
+//! Implements the subset of the criterion API used by the workspace's
+//! micro-benchmarks: `Criterion`, benchmark groups, `Bencher::{iter,
+//! iter_batched}`, `BatchSize`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros. Instead of criterion's statistical machinery it
+//! takes a small, fixed number of wall-clock samples per benchmark and prints
+//! a `median / min / max ns-per-iteration` line, which is enough for coarse
+//! before/after comparisons in an offline environment.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benchmarked
+/// work; forwards to `std::hint::black_box`.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// How `iter_batched` amortizes setup cost. The shim runs one routine call
+/// per setup call regardless of the variant, so this only mirrors the API.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timing samples taken per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples.max(1);
+        self
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&name.into(), self.sample_size, &mut body);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            prefix: name.into(),
+            sample_size: self.sample_size,
+            _parent: self,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    prefix: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timing samples for benchmarks in this group.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples.max(1);
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.prefix, name.into());
+        run_one(&full, self.sample_size, &mut body);
+        self
+    }
+
+    /// Ends the group (printing is incremental, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, samples: usize, body: &mut F) {
+    let mut per_iter: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut bencher = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        body(&mut bencher);
+        if bencher.iters > 0 {
+            per_iter.push(bencher.elapsed.as_nanos() as f64 / bencher.iters as f64);
+        }
+    }
+    per_iter.sort_by(|a, b| a.total_cmp(b));
+    if per_iter.is_empty() {
+        println!("{name:<50} (no samples)");
+    } else {
+        let median = per_iter[per_iter.len() / 2];
+        let min = per_iter[0];
+        let max = per_iter[per_iter.len() - 1];
+        println!("{name:<50} median {median:>12.0} ns/iter  (min {min:.0}, max {max:.0})");
+    }
+}
+
+/// Timer handle passed to each benchmark body.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        self.iters = 1;
+        let start = Instant::now();
+        black_box(routine());
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` on inputs produced by `setup`; only the routine is
+    /// timed.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let input = setup();
+        self.iters = 1;
+        let start = Instant::now();
+        black_box(routine(input));
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Bundles benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Cargo passes harness flags (e.g. `--bench`) to harness = false
+            // targets; they are irrelevant to this shim and ignored.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_apis_run_their_bodies() {
+        let mut executions = 0usize;
+        {
+            let mut c = Criterion::default();
+            c.sample_size(2);
+            c.bench_function("smoke", |b| b.iter(|| black_box(2 + 2)));
+            let mut group = c.benchmark_group("group");
+            group.sample_size(2);
+            group.bench_function("batched", |b| {
+                b.iter_batched(
+                    || vec![1u8, 2, 3],
+                    |v| {
+                        executions += 1;
+                        v.len()
+                    },
+                    BatchSize::SmallInput,
+                )
+            });
+            group.finish();
+        }
+        assert!(executions >= 1);
+    }
+}

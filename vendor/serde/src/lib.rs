@@ -1,0 +1,31 @@
+//! Offline API stand-in for `serde`.
+//!
+//! The workspace is built in an environment without access to crates.io, so
+//! this crate provides just enough of serde's surface for the reproduction to
+//! compile: the `Serialize` / `Deserialize` marker traits (with blanket
+//! implementations so generic bounds are always satisfiable) and re-exports
+//! of the no-op derive macros from `vendor/serde_derive`. No actual
+//! serialization is performed anywhere in the workspace today; when a real
+//! wire format is needed, point the root `Cargo.toml` back at the registry
+//! version — every `#[derive(Serialize, Deserialize)]` in the tree is already
+//! written against the real API.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+
+impl<T: ?Sized> Serialize for T {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+impl<T> DeserializeOwned for T {}
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Stand-in for `serde::de`, so `serde::de::DeserializeOwned` paths resolve.
+pub mod de {
+    pub use crate::DeserializeOwned;
+}
