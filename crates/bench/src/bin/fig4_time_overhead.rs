@@ -3,40 +3,31 @@
 //! but "switch to all cores", so placement is never constrained and the only
 //! difference from the baseline is the marks' execution cost.
 
-use phase_amp::{AffinityMask, MachineSpec};
 use phase_bench::{experiment_config, init};
 use phase_core::{
-    baseline_catalog, build_slots, instrument_catalog, run_with_hook, PipelineConfig, TextTable,
+    baseline_catalog, build_slots, instrument_catalog, CellSpec, ExperimentPlan, PipelineConfig,
+    Policy, TextTable,
 };
 use phase_marking::MarkingConfig;
 use phase_metrics::percent_change;
-use phase_sched::{AllCoresHook, NullHook};
+use phase_sched::SimResult;
 use phase_workload::{Catalog, Workload};
 
 fn main() {
     init(
         "Figure 4 — time overhead of phase marks (workload size 84)",
         "Identical workloads run with uninstrumented binaries and with instrumented binaries\n\
-         whose marks switch to \"all cores\"; the completion-time difference is the mark overhead.",
+         whose marks switch to \"all cores\"; the completion-time difference is the mark\n\
+         overhead. The baseline and the eight variants are one plan fanned across the driver.",
     );
 
-    let machine = MachineSpec::core2_quad_amp();
+    let machine = phase_amp::MachineSpec::core2_quad_amp();
     let quick = phase_bench::quick_mode();
     let slots = phase_bench::env_or("PHASE_BENCH_SLOTS", 84usize);
     let scale = if quick { 0.1 } else { 0.5 };
     let catalog = Catalog::standard(scale, 7);
     let workload = Workload::random(&catalog, slots, 1, 84);
     let sim = experiment_config(MarkingConfig::paper_best()).sim;
-
-    // Baseline: uninstrumented binaries.
-    let plain = baseline_catalog(&catalog);
-    let baseline = run_with_hook(
-        "uninstrumented",
-        machine.clone(),
-        build_slots(&workload, &catalog, &plain),
-        NullHook,
-        sim,
-    );
 
     let variants = [
         MarkingConfig::basic_block(15, 0),
@@ -49,6 +40,33 @@ fn main() {
         MarkingConfig::loop_level(60),
     ];
 
+    // One plan: the uninstrumented baseline plus one all-cores cell per
+    // marking variant, all over the same job queues.
+    let mut plan = ExperimentPlan::new();
+    let plain = baseline_catalog(&catalog);
+    plan.push(CellSpec {
+        group: "baseline".into(),
+        label: "uninstrumented".into(),
+        machine: machine.clone(),
+        slots: build_slots(&workload, &catalog, &plain),
+        policy: Policy::Stock,
+        sim,
+    });
+    for marking in variants {
+        let pipeline = PipelineConfig::with_marking(marking);
+        let instrumented = instrument_catalog(&catalog, &machine, &pipeline);
+        plan.push(CellSpec {
+            group: marking.to_string(),
+            label: format!("all-cores-{marking}"),
+            machine: machine.clone(),
+            slots: build_slots(&workload, &catalog, &instrumented),
+            policy: Policy::AllCores,
+            sim,
+        });
+    }
+    let outcome = phase_bench::driver().run(plan);
+    let baseline = &outcome.cells[0].result;
+
     let mut table = TextTable::new(vec![
         "Technique",
         "Marks executed",
@@ -56,16 +74,8 @@ fn main() {
         "Instrumented instrs",
         "Time overhead %",
     ]);
-    for marking in variants {
-        let pipeline = PipelineConfig::with_marking(marking);
-        let instrumented = instrument_catalog(&catalog, &machine, &pipeline);
-        let run = run_with_hook(
-            &format!("all-cores-{marking}"),
-            machine.clone(),
-            build_slots(&workload, &catalog, &instrumented),
-            AllCoresHook::new(AffinityMask::all_cores(&machine)),
-            sim,
-        );
+    for cell in &outcome.cells[1..] {
+        let run: &SimResult = &cell.result;
         // Time overhead: extra busy time needed for the same committed work,
         // approximated by the change in instructions-per-busy-nanosecond.
         let baseline_busy: f64 = baseline.core_busy_ns.iter().sum();
@@ -74,7 +84,7 @@ fn main() {
         let run_rate = (run.total_instructions - run.total_marks_executed * 12) as f64 / run_busy;
         let overhead_pct = percent_change(run_rate, baseline_rate);
         table.add_row(vec![
-            marking.to_string(),
+            cell.group.clone(),
             run.total_marks_executed.to_string(),
             baseline.total_instructions.to_string(),
             run.total_instructions.to_string(),

@@ -6,23 +6,37 @@ use std::sync::Arc;
 
 use phase_amp::MachineSpec;
 use phase_bench::init;
-use phase_core::{prepare_program, PipelineConfig, TextTable};
+use phase_core::{prepare_program, CellSpec, ExperimentPlan, PipelineConfig, Policy, TextTable};
 use phase_marking::MarkingConfig;
-use phase_runtime::{PhaseTuner, TunerConfig};
-use phase_sched::{run_in_isolation, SimConfig};
+use phase_runtime::TunerConfig;
+use phase_sched::SimConfig;
 use phase_workload::Catalog;
 
 fn main() {
     init(
         "Figure 5 — average cycles per core switch",
         "Cycles executed by each benchmark divided by the number of core switches it made\n\
-         (running alone with Loop[45] marking and the 0.2-threshold tuner).",
+         (running alone with Loop[45] marking and the 0.2-threshold tuner); one isolation\n\
+         cell per benchmark, fanned across the driver's workers.",
     );
 
     let machine = MachineSpec::core2_quad_amp();
     let scale = if phase_bench::quick_mode() { 0.2 } else { 1.0 };
     let catalog = Catalog::standard(scale, 7);
     let pipeline = PipelineConfig::with_marking(MarkingConfig::paper_best());
+
+    let mut plan = ExperimentPlan::new();
+    for bench in catalog.benchmarks() {
+        let instrumented = Arc::new(prepare_program(bench.program(), &machine, &pipeline));
+        plan.push(CellSpec::isolation(
+            bench.name(),
+            instrumented,
+            machine.clone(),
+            Policy::Tuned(TunerConfig::paper_table1()),
+            SimConfig::default(),
+        ));
+    }
+    let outcome = phase_bench::driver().run(plan);
 
     let mut table = TextTable::new(vec![
         "Benchmark",
@@ -31,16 +45,12 @@ fn main() {
         "Cycles per switch",
         "Amortises 1000-cycle switch?",
     ]);
-    for bench in catalog.benchmarks() {
-        let instrumented = Arc::new(prepare_program(bench.program(), &machine, &pipeline));
-        let tuner = PhaseTuner::new(Arc::new(machine.clone()), TunerConfig::paper_table1());
-        let record = run_in_isolation(
-            bench.name(),
-            instrumented,
-            machine.clone(),
-            tuner,
-            SimConfig::default(),
-        );
+    for cell in &outcome.cells {
+        let record = cell
+            .result
+            .records
+            .first()
+            .expect("isolation cell ran one process");
         let switches = record.stats.core_switches;
         let cycles = record.stats.cycles;
         let per_switch = if switches == 0 {
@@ -49,7 +59,7 @@ fn main() {
             cycles / switches as f64
         };
         table.add_row(vec![
-            bench.name().to_string(),
+            cell.group.clone(),
             format!("{cycles:.3e}"),
             switches.to_string(),
             if per_switch.is_finite() {

@@ -3,7 +3,7 @@
 //! variant.
 
 use phase_bench::{experiment_config, init};
-use phase_core::{prepare_workload, run_comparison_prepared, TextTable};
+use phase_core::{comparison_plan, comparison_result, prepare_workload, ExperimentPlan, TextTable};
 use phase_marking::MarkingConfig;
 
 fn main() {
@@ -25,21 +25,30 @@ fn main() {
         MarkingConfig::table2_variants()
     };
 
+    let mut plan = ExperimentPlan::new();
+    let mut per_variant = Vec::new();
+    for marking in &variants {
+        let config = experiment_config(*marking);
+        let prepared = prepare_workload(&config);
+        plan.extend(comparison_plan(marking.to_string(), &config, &prepared));
+        per_variant.push((config, prepared));
+    }
+    let outcome = phase_bench::driver().run(plan);
+
     let mut table = TextTable::new(vec![
         "Technique",
         "Speedup (avg time reduction %)",
         "Max-stretch (tuned)",
         "Max-stretch (stock)",
     ]);
-    for marking in variants {
-        let config = experiment_config(marking);
-        let prepared = prepare_workload(&config);
-        let outcome = run_comparison_prepared(&config, &prepared);
+    for (marking, (config, prepared)) in variants.iter().zip(&per_variant) {
+        let result = comparison_result(&marking.to_string(), &outcome, config, prepared)
+            .expect("plan holds both cells of the variant");
         table.add_row(vec![
             marking.to_string(),
-            format!("{:.2}", outcome.fairness.avg_time_decrease_pct),
-            format!("{:.2}", outcome.tuned_fairness.max_stretch),
-            format!("{:.2}", outcome.baseline_fairness.max_stretch),
+            format!("{:.2}", result.fairness.avg_time_decrease_pct),
+            format!("{:.2}", result.tuned_fairness.max_stretch),
+            format!("{:.2}", result.baseline_fairness.max_stretch),
         ]);
     }
     println!("{}", table.render());

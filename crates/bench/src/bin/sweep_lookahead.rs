@@ -2,14 +2,30 @@
 //! throughput and fairness.
 
 use phase_bench::{experiment_config, init};
-use phase_core::{run_comparison, TextTable};
+use phase_core::{comparison_plan, comparison_result, prepare_workload, ExperimentPlan, TextTable};
 use phase_marking::MarkingConfig;
 
 fn main() {
     init(
         "Lookahead-depth sweep (Section IV-C2)",
-        "Basic-block strategy with min size 15 and lookahead depths 0–3.",
+        "Basic-block strategy with min size 15 and lookahead depths 0–3; one comparison\n\
+         plan per depth, fanned across the driver together.",
     );
+
+    let depths = [0usize, 1, 2, 3];
+    let mut plan = ExperimentPlan::new();
+    let mut per_depth = Vec::new();
+    for depth in depths {
+        let config = experiment_config(MarkingConfig::basic_block(15, depth));
+        let prepared = prepare_workload(&config);
+        plan.extend(comparison_plan(
+            format!("lookahead={depth}"),
+            &config,
+            &prepared,
+        ));
+        per_depth.push((config, prepared));
+    }
+    let outcome = phase_bench::driver().run(plan);
 
     let mut table = TextTable::new(vec![
         "Technique",
@@ -18,23 +34,16 @@ fn main() {
         "Avg time reduction %",
         "Max-stretch change %",
     ]);
-    for depth in 0..=3 {
-        let config = experiment_config(MarkingConfig::basic_block(15, depth));
-        let outcome = run_comparison(&config);
-        let static_marks: usize = phase_core::instrument_catalog(
-            &phase_workload::Catalog::standard(config.catalog_scale, config.workload_seed),
-            &config.machine,
-            &config.pipeline,
-        )
-        .iter()
-        .map(|p| p.mark_count())
-        .sum();
+    for (depth, (config, prepared)) in depths.iter().zip(&per_depth) {
+        let result = comparison_result(&format!("lookahead={depth}"), &outcome, config, prepared)
+            .expect("plan holds both cells of the depth");
+        let static_marks: usize = prepared.instrumented.iter().map(|p| p.mark_count()).sum();
         table.add_row(vec![
             config.pipeline.marking.to_string(),
             static_marks.to_string(),
-            format!("{:.2}", outcome.throughput.improvement_pct),
-            format!("{:.2}", outcome.fairness.avg_time_decrease_pct),
-            format!("{:.2}", outcome.fairness.max_stretch_decrease_pct),
+            format!("{:.2}", result.throughput.improvement_pct),
+            format!("{:.2}", result.fairness.avg_time_decrease_pct),
+            format!("{:.2}", result.fairness.max_stretch_decrease_pct),
         ]);
     }
     println!("{}", table.render());

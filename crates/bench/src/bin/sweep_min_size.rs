@@ -2,14 +2,15 @@
 //! throughput, for all three granularities.
 
 use phase_bench::{experiment_config, init};
-use phase_core::{run_comparison, TextTable};
+use phase_core::{comparison_plan, comparison_result, prepare_workload, ExperimentPlan, TextTable};
 use phase_marking::MarkingConfig;
 
 fn main() {
     init(
         "Minimum-section-size sweep (Section IV-C4)",
         "Marks inserted and throughput/fairness impact as the minimum section size grows,\n\
-         for the basic-block, interval, and loop techniques.",
+         for the basic-block, interval, and loop techniques; one comparison plan per\n\
+         variant, fanned across the driver together.",
     );
 
     let variants = [
@@ -24,28 +25,31 @@ fn main() {
         MarkingConfig::loop_level(60),
     ];
 
+    let mut plan = ExperimentPlan::new();
+    let mut per_variant = Vec::new();
+    for marking in variants {
+        let config = experiment_config(marking);
+        let prepared = prepare_workload(&config);
+        plan.extend(comparison_plan(marking.to_string(), &config, &prepared));
+        per_variant.push((config, prepared));
+    }
+    let outcome = phase_bench::driver().run(plan);
+
     let mut table = TextTable::new(vec![
         "Technique",
         "Static marks (catalogue)",
         "Throughput improvement %",
         "Avg time reduction %",
     ]);
-    for marking in variants {
-        let config = experiment_config(marking);
-        let static_marks: usize = phase_core::instrument_catalog(
-            &phase_workload::Catalog::standard(config.catalog_scale, config.workload_seed),
-            &config.machine,
-            &config.pipeline,
-        )
-        .iter()
-        .map(|p| p.mark_count())
-        .sum();
-        let outcome = run_comparison(&config);
+    for (marking, (config, prepared)) in variants.iter().zip(&per_variant) {
+        let result = comparison_result(&marking.to_string(), &outcome, config, prepared)
+            .expect("plan holds both cells of the variant");
+        let static_marks: usize = prepared.instrumented.iter().map(|p| p.mark_count()).sum();
         table.add_row(vec![
             marking.to_string(),
             static_marks.to_string(),
-            format!("{:.2}", outcome.throughput.improvement_pct),
-            format!("{:.2}", outcome.fairness.avg_time_decrease_pct),
+            format!("{:.2}", result.throughput.improvement_pct),
+            format!("{:.2}", result.fairness.avg_time_decrease_pct),
         ]);
     }
     println!("{}", table.render());

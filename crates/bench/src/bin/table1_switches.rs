@@ -5,17 +5,21 @@ use std::sync::Arc;
 
 use phase_amp::MachineSpec;
 use phase_bench::init;
-use phase_core::{format_duration_ns, prepare_program, PipelineConfig, TextTable};
+use phase_core::{
+    format_duration_ns, prepare_program, CellSpec, ExperimentPlan, PipelineConfig, Policy,
+    TextTable,
+};
 use phase_marking::MarkingConfig;
-use phase_runtime::{PhaseTuner, TunerConfig};
-use phase_sched::{run_in_isolation, SimConfig};
+use phase_runtime::TunerConfig;
+use phase_sched::SimConfig;
 use phase_workload::Catalog;
 
 fn main() {
     init(
         "Table 1 — switches per benchmark (Loop[45], 0.2 threshold)",
         "Each benchmark runs alone on the AMP with the phase tuner; the table reports\n\
-         the core switches it performed and its runtime.",
+         the core switches it performed and its runtime. The 15 isolation runs are\n\
+         independent cells fanned across the driver's worker threads.",
     );
 
     let machine = MachineSpec::core2_quad_amp();
@@ -24,6 +28,19 @@ fn main() {
     let pipeline = PipelineConfig::with_marking(MarkingConfig::paper_best());
     let tuner_config = TunerConfig::paper_table1();
 
+    let mut plan = ExperimentPlan::new();
+    for bench in catalog.benchmarks() {
+        let instrumented = Arc::new(prepare_program(bench.program(), &machine, &pipeline));
+        plan.push(CellSpec::isolation(
+            bench.name(),
+            instrumented,
+            machine.clone(),
+            Policy::Tuned(tuner_config),
+            SimConfig::default(),
+        ));
+    }
+    let outcome = phase_bench::driver().run(plan);
+
     let mut table = TextTable::new(vec![
         "Benchmark",
         "Switches",
@@ -31,18 +48,14 @@ fn main() {
         "Marks executed",
         "Instructions",
     ]);
-    for bench in catalog.benchmarks() {
-        let instrumented = Arc::new(prepare_program(bench.program(), &machine, &pipeline));
-        let tuner = PhaseTuner::new(Arc::new(machine.clone()), tuner_config);
-        let record = run_in_isolation(
-            bench.name(),
-            instrumented,
-            machine.clone(),
-            tuner,
-            SimConfig::default(),
-        );
+    for cell in &outcome.cells {
+        let record = cell
+            .result
+            .records
+            .first()
+            .expect("isolation cell ran one process");
         table.add_row(vec![
-            bench.name().to_string(),
+            cell.group.clone(),
             record.stats.core_switches.to_string(),
             format_duration_ns(record.completion_ns.unwrap_or_default() - record.arrival_ns),
             record.stats.marks_executed.to_string(),

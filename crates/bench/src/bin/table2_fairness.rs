@@ -3,14 +3,15 @@
 //! average process time (positive numbers are improvements).
 
 use phase_bench::{experiment_config, init};
-use phase_core::{prepare_workload, run_comparison_prepared, TextTable};
+use phase_core::{comparison_plan, comparison_result, prepare_workload, ExperimentPlan, TextTable};
 use phase_marking::MarkingConfig;
 
 fn main() {
     init(
         "Table 2 — fairness comparison to the stock scheduler",
         "Percent decrease relative to the stock run on the same queues; positive numbers are\n\
-         improvements. Pass PHASE_BENCH_QUICK=1 for a reduced run.",
+         improvements. Every variant's baseline and tuned cells form one plan fanned across\n\
+         the driver. Pass PHASE_BENCH_QUICK=1 for a reduced run.",
     );
 
     let variants = if phase_bench::quick_mode() {
@@ -23,6 +24,16 @@ fn main() {
         MarkingConfig::table2_variants()
     };
 
+    let mut plan = ExperimentPlan::new();
+    let mut per_variant = Vec::new();
+    for marking in &variants {
+        let config = experiment_config(*marking);
+        let prepared = prepare_workload(&config);
+        plan.extend(comparison_plan(marking.to_string(), &config, &prepared));
+        per_variant.push((config, prepared));
+    }
+    let outcome = phase_bench::driver().run(plan);
+
     let mut table = TextTable::new(vec![
         "Technique",
         "Max-Flow %",
@@ -31,20 +42,19 @@ fn main() {
         "Throughput %",
     ]);
     let mut best: Option<(String, f64)> = None;
-    for marking in variants {
-        let config = experiment_config(marking);
-        let prepared = prepare_workload(&config);
-        let outcome = run_comparison_prepared(&config, &prepared);
-        let avg = outcome.fairness.avg_time_decrease_pct;
+    for (marking, (config, prepared)) in variants.iter().zip(&per_variant) {
+        let result = comparison_result(&marking.to_string(), &outcome, config, prepared)
+            .expect("plan holds both cells of the variant");
+        let avg = result.fairness.avg_time_decrease_pct;
         if best.as_ref().map(|(_, b)| avg > *b).unwrap_or(true) {
             best = Some((marking.to_string(), avg));
         }
         table.add_row(vec![
             marking.to_string(),
-            format!("{:.2}", outcome.fairness.max_flow_decrease_pct),
-            format!("{:.2}", outcome.fairness.max_stretch_decrease_pct),
-            format!("{:.2}", avg),
-            format!("{:.2}", outcome.throughput.improvement_pct),
+            format!("{:.2}", result.fairness.max_flow_decrease_pct),
+            format!("{:.2}", result.fairness.max_stretch_decrease_pct),
+            format!("{avg:.2}"),
+            format!("{:.2}", result.throughput.improvement_pct),
         ]);
     }
     println!("{}", table.render());

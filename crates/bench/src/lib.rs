@@ -19,14 +19,19 @@
 //! | Figure 8 (speedup vs. fairness trade-off) | `fig8_speedup_fairness` |
 //! | Section III / IV-B (mark statistics) | `table_mark_stats` |
 //! | Section VII (3-core AMP) | `exp_three_core` |
+//! | engine/driver baseline (`BENCH_engine.json`) | `bench_engine` |
 //!
-//! The Criterion benches (`cargo bench -p phase-bench`) measure the cost of
-//! the static analyses and of the simulator itself on reduced inputs.
+//! The dynamic binaries build an `ExperimentPlan` and fan its cells across
+//! the parallel `Driver` of `phase-core`; the Criterion benches
+//! (`cargo bench -p phase-bench`) measure the static analyses and both
+//! simulator engines on reduced inputs.
 //!
-//! Every binary honours two environment variables so full and quick runs use
-//! the same code path:
+//! Every binary honours three environment variables so full and quick runs
+//! use the same code path:
 //!
 //! * `PHASE_BENCH_SLOTS` — workload size (default 18);
+//! * `PHASE_BENCH_THREADS` — driver worker threads (default: all hardware
+//!   threads);
 //! * `PHASE_BENCH_QUICK` — when set, shrinks the catalogue and horizons so a
 //!   full regeneration finishes in seconds (used by CI-style smoke runs).
 
@@ -34,7 +39,7 @@
 #![warn(rust_2018_idioms)]
 #![forbid(unsafe_code)]
 
-use phase_core::{ExperimentConfig, PipelineConfig};
+use phase_core::{Driver, ExperimentConfig, PipelineConfig};
 use phase_marking::MarkingConfig;
 use phase_sched::SimConfig;
 
@@ -60,6 +65,18 @@ pub fn workload_slots() -> usize {
     env_or("PHASE_BENCH_SLOTS", 18)
 }
 
+/// Driver worker threads, honouring `PHASE_BENCH_THREADS` (and therefore the
+/// `--threads=N` flag, which sets it). Defaults to all hardware threads.
+pub fn threads() -> usize {
+    env_or("PHASE_BENCH_THREADS", Driver::default().threads()).max(1)
+}
+
+/// The experiment driver every binary fans its plan out with:
+/// [`threads`]-many workers.
+pub fn driver() -> Driver {
+    Driver::new(threads())
+}
+
 /// The experiment configuration shared by the dynamic experiments: the
 /// paper's machine, the given marking technique, and a continuously fed
 /// workload measured over a fixed horizon.
@@ -70,6 +87,7 @@ pub fn experiment_config(marking: MarkingConfig) -> ExperimentConfig {
         workload_slots: workload_slots(),
         jobs_per_slot: if quick { 2 } else { 6 },
         catalog_scale: if quick { 0.2 } else { 1.0 },
+        threads: threads(),
         sim: SimConfig {
             horizon_ns: Some(if quick { 8_000_000.0 } else { 40_000_000.0 }),
             ..SimConfig::default()
@@ -91,11 +109,14 @@ pub fn overhead_variants() -> Vec<MarkingConfig> {
 /// * `--quick` / `-q` — same as setting `PHASE_BENCH_QUICK=1`: shrink the
 ///   catalogue and simulation horizon so the run finishes in seconds;
 /// * `--slots=N` — same as `PHASE_BENCH_SLOTS=N`: the workload size used by
-///   the throughput/fairness experiments.
+///   the throughput/fairness experiments;
+/// * `--threads=N` — same as `PHASE_BENCH_THREADS=N`: how many worker
+///   threads the parallel experiment driver fans cells across (default: all
+///   hardware threads).
 ///
 /// Flags override the corresponding environment variables, and the variables
-/// are how the parsed values reach [`experiment_config`], so full and quick
-/// runs share one code path.
+/// are how the parsed values reach [`experiment_config`] / [`driver`], so
+/// full and quick runs share one code path.
 pub fn init(artifact: &str, description: &str) {
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
@@ -103,11 +124,15 @@ pub fn init(artifact: &str, description: &str) {
                 println!("{artifact}");
                 println!("{description}");
                 println!();
-                println!("USAGE: [--quick] [--slots=N]");
+                println!("USAGE: [--quick] [--slots=N] [--threads=N]");
                 println!("  --quick, -q   reduced catalogue/horizon (env: PHASE_BENCH_QUICK=1)");
                 println!(
                     "  --slots=N     workload size (env: PHASE_BENCH_SLOTS; \
                      default varies per artifact)"
+                );
+                println!(
+                    "  --threads=N   driver worker threads (env: PHASE_BENCH_THREADS; \
+                     default: all hardware threads)"
                 );
                 std::process::exit(0);
             }
@@ -121,6 +146,18 @@ pub fn init(artifact: &str, description: &str) {
                         }
                         _ => {
                             eprintln!("invalid --slots value: {n} (expected a positive integer)");
+                            std::process::exit(2);
+                        }
+                    }
+                }
+                if let Some(n) = other.strip_prefix("--threads=") {
+                    match n.parse::<usize>() {
+                        Ok(threads) if threads > 0 => {
+                            std::env::set_var("PHASE_BENCH_THREADS", threads.to_string());
+                            continue;
+                        }
+                        _ => {
+                            eprintln!("invalid --threads value: {n} (expected a positive integer)");
                             std::process::exit(2);
                         }
                     }
@@ -140,6 +177,7 @@ pub fn print_header(artifact: &str, description: &str) {
     if quick_mode() {
         println!("(quick mode: reduced catalogue and horizon)");
     }
+    println!("(driver: {} worker threads)", threads());
     println!();
 }
 
@@ -161,6 +199,18 @@ mod tests {
         let config = experiment_config(MarkingConfig::interval(45));
         assert_eq!(config.pipeline.marking, MarkingConfig::interval(45));
         assert!(config.sim.horizon_ns.is_some());
+        assert!(config.threads >= 1);
+    }
+
+    #[test]
+    fn thread_count_honours_the_environment() {
+        std::env::set_var("PHASE_BENCH_THREADS", "3");
+        assert_eq!(threads(), 3);
+        assert_eq!(driver().threads(), 3);
+        std::env::set_var("PHASE_BENCH_THREADS", "0");
+        assert_eq!(threads(), 1, "zero clamps to one worker");
+        std::env::remove_var("PHASE_BENCH_THREADS");
+        assert!(threads() >= 1);
     }
 
     #[test]

@@ -1,0 +1,493 @@
+//! The parallel experiment driver.
+//!
+//! The paper's evaluation is a sweep over many *cells* — combinations of a
+//! workload, a machine, and a scheduling policy. [`ExperimentPlan`] describes
+//! such a sweep (including the full cross-product via
+//! [`ExperimentPlan::cross`]); [`Driver`] fans the cells out across
+//! `std::thread::scope` workers. Each cell is an independent simulation with
+//! a deterministic seed derived from its position in the plan, so the outcome
+//! is bit-identical whatever the worker count — `--threads=1` and
+//! `--threads=8` produce the same [`PlanOutcome`] (see
+//! `tests/driver_determinism.rs` at the workspace root).
+//!
+//! Aggregation is streaming: integer counters ([`PlanAggregate`]) are folded
+//! in as each cell finishes, in completion order, which is safe because they
+//! are order-independent; floating-point summaries ([`PlanOutcome::flow_summary`])
+//! are computed afterwards in plan order through `phase-metrics`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use phase_amp::{AffinityMask, MachineSpec};
+use phase_marking::InstrumentedProgram;
+use phase_metrics::SummaryStats;
+use phase_runtime::{PhaseTuner, TunerConfig, TunerStats};
+use phase_sched::{AllCoresHook, JobSpec, NullHook, SimConfig, SimResult, Simulation};
+
+/// The scheduling policy a cell runs under.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Policy {
+    /// The stock, asymmetry-oblivious scheduler (no hook).
+    Stock,
+    /// Marks execute and pay the affinity-call cost but never constrain
+    /// placement (the paper's Figure 4 overhead measurement).
+    AllCores,
+    /// The phase-based tuner with the given configuration.
+    Tuned(TunerConfig),
+}
+
+impl Policy {
+    /// Short name used in labels.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Policy::Stock => "stock",
+            Policy::AllCores => "all-cores",
+            Policy::Tuned(_) => "tuned",
+        }
+    }
+}
+
+/// One experiment cell: a workload on a machine under a policy.
+#[derive(Debug, Clone)]
+pub struct CellSpec {
+    /// Grouping key for result lookup (e.g. the technique-variant name);
+    /// cells of one baseline-versus-tuned comparison share a group.
+    pub group: String,
+    /// Human-readable label, also used as the simulation label.
+    pub label: String,
+    /// The machine to simulate.
+    pub machine: MachineSpec,
+    /// The slot job queues to run.
+    pub slots: Vec<Vec<JobSpec>>,
+    /// The scheduling policy.
+    pub policy: Policy,
+    /// Simulation parameters (timeslice, horizon, seed, engine).
+    pub sim: SimConfig,
+}
+
+impl CellSpec {
+    /// A single-benchmark isolation cell (the paper's Table 1 / Figure 5
+    /// measurements): one slot, one job, run to completion.
+    pub fn isolation(
+        name: impl Into<String>,
+        instrumented: Arc<InstrumentedProgram>,
+        machine: MachineSpec,
+        policy: Policy,
+        sim: SimConfig,
+    ) -> Self {
+        let name = name.into();
+        Self {
+            group: name.clone(),
+            label: format!("isolation-{name}"),
+            machine,
+            slots: vec![vec![JobSpec::new(name, instrumented)]],
+            policy,
+            sim: SimConfig {
+                horizon_ns: None,
+                ..sim
+            },
+        }
+    }
+}
+
+/// A named workload with both binary variants, ready to be crossed with
+/// machines and policies (stock cells run the baseline binaries, every other
+/// policy runs the instrumented ones).
+#[derive(Debug, Clone)]
+pub struct PlannedWorkload {
+    /// Workload name, used in cell groups and labels.
+    pub name: String,
+    /// Slot queues with uninstrumented binaries.
+    pub baseline_slots: Vec<Vec<JobSpec>>,
+    /// Slot queues with phase-marked binaries.
+    pub tuned_slots: Vec<Vec<JobSpec>>,
+}
+
+/// An ordered list of experiment cells.
+#[derive(Debug, Clone, Default)]
+pub struct ExperimentPlan {
+    cells: Vec<CellSpec>,
+}
+
+impl ExperimentPlan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a cell, returning its index.
+    pub fn push(&mut self, cell: CellSpec) -> usize {
+        self.cells.push(cell);
+        self.cells.len() - 1
+    }
+
+    /// Appends every cell of another plan.
+    pub fn extend(&mut self, other: ExperimentPlan) {
+        self.cells.extend(other.cells);
+    }
+
+    /// The full cross-product of workloads × machines × policies.
+    ///
+    /// Each cell's RNG seed is derived deterministically from `base_seed`
+    /// and the *workload's* position, so (a) re-running the plan — with any
+    /// worker count — reproduces it bit-for-bit, and (b) every policy sees
+    /// the same per-process seeds on a given workload, keeping comparisons
+    /// within a group fair (the paper's identical-queues rule).
+    pub fn cross(
+        workloads: &[PlannedWorkload],
+        machines: &[MachineSpec],
+        policies: &[Policy],
+        sim: SimConfig,
+        base_seed: u64,
+    ) -> Self {
+        let mut plan = Self::new();
+        for (windex, workload) in workloads.iter().enumerate() {
+            let seed = cell_seed(base_seed, windex as u64);
+            for machine in machines {
+                for policy in policies {
+                    let slots = match policy {
+                        Policy::Stock => workload.baseline_slots.clone(),
+                        Policy::AllCores | Policy::Tuned(_) => workload.tuned_slots.clone(),
+                    };
+                    plan.push(CellSpec {
+                        group: format!("{}/{}", workload.name, machine.name),
+                        label: format!("{}/{}/{}", workload.name, machine.name, policy.name()),
+                        machine: machine.clone(),
+                        slots,
+                        policy: *policy,
+                        sim: SimConfig { seed, ..sim },
+                    });
+                }
+            }
+        }
+        plan
+    }
+
+    /// The cells, in plan order.
+    pub fn cells(&self) -> &[CellSpec] {
+        &self.cells
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the plan has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+}
+
+/// Deterministic per-cell seed derivation (SplitMix64 over the cell index).
+pub fn cell_seed(base_seed: u64, index: u64) -> u64 {
+    let mut z = base_seed
+        .wrapping_add(1)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(index.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The outcome of one executed cell.
+#[derive(Debug, Clone)]
+pub struct CellResult {
+    /// Index of the cell in the plan.
+    pub index: usize,
+    /// The cell's group key.
+    pub group: String,
+    /// The cell's label.
+    pub label: String,
+    /// The policy the cell ran under.
+    pub policy: Policy,
+    /// The simulation result.
+    pub result: SimResult,
+    /// What the tuner did, for `Policy::Tuned` cells.
+    pub tuner_stats: Option<TunerStats>,
+}
+
+/// Order-independent counters folded in as cells finish (streaming
+/// aggregation); every field is an integer sum, so the fold order — which
+/// depends on worker scheduling — cannot change the value.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanAggregate {
+    /// Cells executed.
+    pub cells_completed: usize,
+    /// Instructions committed across all cells.
+    pub total_instructions: u64,
+    /// Processes that ran to completion across all cells.
+    pub completed_processes: u64,
+    /// Phase marks executed across all cells.
+    pub total_marks_executed: u64,
+    /// Core switches performed across all cells.
+    pub total_core_switches: u64,
+}
+
+impl PlanAggregate {
+    fn absorb(&mut self, result: &SimResult) {
+        self.cells_completed += 1;
+        self.total_instructions += result.total_instructions;
+        self.completed_processes += result.completed_count() as u64;
+        self.total_marks_executed += result.total_marks_executed;
+        self.total_core_switches += result.total_core_switches;
+    }
+}
+
+/// Everything a plan run produced: per-cell results in plan order plus the
+/// streaming aggregate.
+#[derive(Debug, Clone)]
+pub struct PlanOutcome {
+    /// Per-cell results, index-aligned with the plan.
+    pub cells: Vec<CellResult>,
+    /// The streaming aggregate.
+    pub aggregate: PlanAggregate,
+}
+
+impl PlanOutcome {
+    /// The cells of a group, in plan order.
+    pub fn group(&self, group: &str) -> Vec<&CellResult> {
+        self.cells.iter().filter(|c| c.group == group).collect()
+    }
+
+    /// The first cell of a group run under the given policy kind, if any.
+    pub fn find(&self, group: &str, policy: &str) -> Option<&CellResult> {
+        self.cells
+            .iter()
+            .find(|c| c.group == group && c.policy.name() == policy)
+    }
+
+    /// Five-number summary (through `phase-metrics`) of the flow times of
+    /// every completed process across all cells, computed in plan order so
+    /// it is independent of worker scheduling.
+    pub fn flow_summary(&self) -> SummaryStats {
+        let flows: Vec<f64> = self
+            .cells
+            .iter()
+            .flat_map(|cell| cell.result.completed())
+            .filter_map(|record| record.flow_ns())
+            .collect();
+        SummaryStats::of(&flows)
+    }
+}
+
+/// Fans a plan's cells across worker threads.
+#[derive(Debug, Clone, Copy)]
+pub struct Driver {
+    threads: usize,
+}
+
+impl Default for Driver {
+    /// One worker per available hardware thread.
+    fn default() -> Self {
+        Self::new(
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+        )
+    }
+}
+
+impl Driver {
+    /// A driver with the given worker count (clamped to at least one).
+    pub fn new(threads: usize) -> Self {
+        Self {
+            threads: threads.max(1),
+        }
+    }
+
+    /// The worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs every cell of the plan and returns the results in plan order.
+    ///
+    /// Cells are claimed from a shared cursor, so long cells do not leave
+    /// workers idle; each cell's simulation is fully independent (own
+    /// processes, own hook, own seed), which is what makes the fan-out safe
+    /// and deterministic.
+    pub fn run(&self, plan: ExperimentPlan) -> PlanOutcome {
+        let cells = plan.cells;
+        let cell_count = cells.len();
+        let results: Vec<Mutex<Option<CellResult>>> =
+            (0..cell_count).map(|_| Mutex::new(None)).collect();
+        let aggregate = Mutex::new(PlanAggregate::default());
+        let cursor = AtomicUsize::new(0);
+        let workers = self.threads.min(cell_count.max(1));
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let index = cursor.fetch_add(1, Ordering::Relaxed);
+                    if index >= cell_count {
+                        break;
+                    }
+                    let outcome = run_cell(index, &cells[index]);
+                    aggregate.lock().absorb(&outcome.result);
+                    *results[index].lock() = Some(outcome);
+                });
+            }
+        });
+
+        PlanOutcome {
+            cells: results
+                .into_iter()
+                .map(|slot| slot.into_inner().expect("every cell was executed"))
+                .collect(),
+            aggregate: aggregate.into_inner(),
+        }
+    }
+}
+
+/// Executes one cell under its policy.
+fn run_cell(index: usize, spec: &CellSpec) -> CellResult {
+    let (result, tuner_stats) = match &spec.policy {
+        Policy::Stock => {
+            let sim = Simulation::new(
+                spec.label.clone(),
+                spec.machine.clone(),
+                spec.slots.clone(),
+                NullHook,
+                spec.sim,
+            );
+            (sim.run(), None)
+        }
+        Policy::AllCores => {
+            let hook = AllCoresHook::new(AffinityMask::all_cores(&spec.machine));
+            let sim = Simulation::new(
+                spec.label.clone(),
+                spec.machine.clone(),
+                spec.slots.clone(),
+                hook,
+                spec.sim,
+            );
+            (sim.run(), None)
+        }
+        Policy::Tuned(config) => {
+            let tuner = PhaseTuner::new(Arc::new(spec.machine.clone()), *config);
+            let handle = tuner.clone();
+            let sim = Simulation::new(
+                spec.label.clone(),
+                spec.machine.clone(),
+                spec.slots.clone(),
+                tuner,
+                spec.sim,
+            );
+            (sim.run(), Some(handle.stats()))
+        }
+    };
+    CellResult {
+        index,
+        group: spec.group.clone(),
+        label: spec.label.clone(),
+        policy: spec.policy,
+        result,
+        tuner_stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phase_workload::Catalog;
+
+    use crate::experiment::{baseline_catalog, build_slots, instrument_catalog};
+    use crate::pipeline::PipelineConfig;
+
+    fn planned_workload(name: &str, slots: usize) -> PlannedWorkload {
+        let catalog = Catalog::tiny(7);
+        let workload = phase_workload::Workload::random(&catalog, slots, 1, 11);
+        let machine = MachineSpec::core2_quad_amp();
+        let pipeline = PipelineConfig::paper_best();
+        PlannedWorkload {
+            name: name.into(),
+            baseline_slots: build_slots(&workload, &catalog, &baseline_catalog(&catalog)),
+            tuned_slots: build_slots(
+                &workload,
+                &catalog,
+                &instrument_catalog(&catalog, &machine, &pipeline),
+            ),
+        }
+    }
+
+    fn quick_sim() -> SimConfig {
+        SimConfig {
+            horizon_ns: Some(2_000_000.0),
+            ..SimConfig::default()
+        }
+    }
+
+    #[test]
+    fn cross_product_builds_every_cell() {
+        let workloads = vec![planned_workload("w0", 2), planned_workload("w1", 2)];
+        let machines = vec![MachineSpec::core2_quad_amp(), MachineSpec::three_core_amp()];
+        let policies = vec![Policy::Stock, Policy::Tuned(TunerConfig::default())];
+        let plan = ExperimentPlan::cross(&workloads, &machines, &policies, quick_sim(), 1);
+        assert_eq!(plan.len(), 2 * 2 * 2);
+        // Policies within one (workload, machine) group share a seed; cells
+        // of different workloads do not.
+        let cells = plan.cells();
+        assert_eq!(cells[0].sim.seed, cells[1].sim.seed);
+        assert_ne!(cells[0].sim.seed, cells[4].sim.seed);
+        assert_eq!(cells[0].group, cells[1].group);
+        assert_ne!(cells[0].label, cells[1].label);
+    }
+
+    #[test]
+    fn driver_runs_all_cells_and_orders_results() {
+        let workloads = vec![planned_workload("w", 3)];
+        let machines = vec![MachineSpec::core2_quad_amp()];
+        let policies = vec![
+            Policy::Stock,
+            Policy::AllCores,
+            Policy::Tuned(TunerConfig::default()),
+        ];
+        let plan = ExperimentPlan::cross(&workloads, &machines, &policies, quick_sim(), 3);
+        let outcome = Driver::new(3).run(plan);
+        assert_eq!(outcome.cells.len(), 3);
+        assert_eq!(outcome.aggregate.cells_completed, 3);
+        assert!(outcome.aggregate.total_instructions > 0);
+        for (index, cell) in outcome.cells.iter().enumerate() {
+            assert_eq!(cell.index, index);
+        }
+        let group = &outcome.cells[0].group;
+        assert!(outcome.find(group, "stock").is_some());
+        assert!(outcome.find(group, "tuned").is_some());
+        assert!(outcome
+            .find(group, "tuned")
+            .and_then(|c| c.tuner_stats)
+            .is_some());
+        assert!(outcome.find(group, "stock").unwrap().tuner_stats.is_none());
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let workloads = vec![planned_workload("w", 4)];
+        let machines = vec![MachineSpec::core2_quad_amp()];
+        let policies = vec![Policy::Stock, Policy::Tuned(TunerConfig::default())];
+        let build = || ExperimentPlan::cross(&workloads, &machines, &policies, quick_sim(), 0xFEED);
+        let sequential = Driver::new(1).run(build());
+        let parallel = Driver::new(8).run(build());
+        assert_eq!(sequential.aggregate, parallel.aggregate);
+        for (a, b) in sequential.cells.iter().zip(parallel.cells.iter()) {
+            assert_eq!(a.result, b.result);
+            assert_eq!(a.label, b.label);
+        }
+    }
+
+    #[test]
+    fn cell_seed_is_deterministic_and_spread() {
+        assert_eq!(cell_seed(1, 0), cell_seed(1, 0));
+        assert_ne!(cell_seed(1, 0), cell_seed(1, 1));
+        assert_ne!(cell_seed(1, 0), cell_seed(2, 0));
+    }
+
+    #[test]
+    fn empty_plan_is_fine() {
+        let outcome = Driver::new(4).run(ExperimentPlan::new());
+        assert!(outcome.cells.is_empty());
+        assert_eq!(outcome.aggregate, PlanAggregate::default());
+    }
+}

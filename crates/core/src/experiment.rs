@@ -15,11 +15,12 @@ use phase_marking::InstrumentedProgram;
 use phase_metrics::{
     FairnessComparison, FairnessReport, ProcessTiming, ThroughputComparison, ThroughputSeries,
 };
-use phase_runtime::{PhaseTuner, TunerConfig, TunerStats};
-use phase_sched::{JobSpec, NullHook, PhaseHook, SimConfig, SimResult, Simulation};
+use phase_runtime::{TunerConfig, TunerStats};
+use phase_sched::{JobSpec, PhaseHook, SimConfig, SimResult, Simulation};
 use phase_workload::{Catalog, Workload};
 use serde::{Deserialize, Serialize};
 
+use crate::driver::{CellSpec, Driver, ExperimentPlan, PlanOutcome, PlannedWorkload, Policy};
 use crate::pipeline::{prepare_program, uninstrumented, PipelineConfig};
 
 /// Everything needed to run one baseline-versus-tuned comparison.
@@ -41,6 +42,9 @@ pub struct ExperimentConfig {
     pub workload_seed: u64,
     /// Scale factor applied to the benchmark catalogue.
     pub catalog_scale: f64,
+    /// Worker threads used by the experiment [`Driver`] when a comparison's
+    /// cells are fanned out (`1` runs sequentially).
+    pub threads: usize,
 }
 
 impl Default for ExperimentConfig {
@@ -57,6 +61,7 @@ impl Default for ExperimentConfig {
             jobs_per_slot: 6,
             workload_seed: 0xC60_2011,
             catalog_scale: 1.0,
+            threads: 1,
         }
     }
 }
@@ -116,6 +121,7 @@ pub fn baseline_catalog(catalog: &Catalog) -> Vec<Arc<InstrumentedProgram>> {
 
 /// Expands a workload's job queues into scheduler slot queues, picking each
 /// benchmark's program from `programs` (index-aligned with the catalogue).
+/// A queue's release time (bursty workloads) is carried onto its first job.
 pub fn build_slots(
     workload: &Workload,
     catalog: &Catalog,
@@ -128,9 +134,15 @@ pub fn build_slots(
             queue
                 .jobs()
                 .iter()
-                .map(|&id| {
+                .enumerate()
+                .map(|(position, &id)| {
                     let bench = catalog.get(id).expect("workload references the catalogue");
-                    JobSpec::new(bench.name(), Arc::clone(&programs[id.0]))
+                    let job = JobSpec::new(bench.name(), Arc::clone(&programs[id.0]));
+                    if position == 0 {
+                        job.released_at(queue.release_ns())
+                    } else {
+                        job
+                    }
                 })
                 .collect()
         })
@@ -138,32 +150,43 @@ pub fn build_slots(
 }
 
 /// Measures every benchmark's runtime in isolation on the machine (stock
-/// scheduler, uninstrumented binary), for the stretch metric's `t_j`.
+/// scheduler, uninstrumented binary), for the stretch metric's `t_j`. The
+/// per-benchmark runs are independent, so they fan out across `threads`
+/// driver workers.
 pub fn isolated_runtimes(
     catalog: &Catalog,
     baseline: &[Arc<InstrumentedProgram>],
     machine: &MachineSpec,
     sim: &SimConfig,
+    threads: usize,
 ) -> HashMap<String, f64> {
     let isolation_config = SimConfig {
         horizon_ns: None,
         ..*sim
     };
-    catalog
-        .benchmarks()
+    let mut plan = ExperimentPlan::new();
+    for (bench, program) in catalog.benchmarks().iter().zip(baseline) {
+        plan.push(CellSpec::isolation(
+            bench.name(),
+            Arc::clone(program),
+            machine.clone(),
+            Policy::Stock,
+            isolation_config,
+        ));
+    }
+    let outcome = Driver::new(threads).run(plan);
+    outcome
+        .cells
         .iter()
-        .zip(baseline)
-        .map(|(bench, program)| {
-            let record = phase_sched::run_in_isolation(
-                bench.name(),
-                Arc::clone(program),
-                machine.clone(),
-                NullHook,
-                isolation_config,
-            );
+        .map(|cell| {
+            let record = cell
+                .result
+                .records
+                .first()
+                .expect("isolation run starts exactly one process");
             let runtime =
                 record.completion_ns.expect("isolation runs complete") - record.arrival_ns;
-            (bench.name().to_string(), runtime)
+            (record.name.clone(), runtime)
         })
         .collect()
 }
@@ -180,7 +203,13 @@ pub fn prepare_workload(config: &ExperimentConfig) -> PreparedWorkload {
     );
     let instrumented = instrument_catalog(&catalog, &config.machine, &config.pipeline);
     let baseline = baseline_catalog(&catalog);
-    let isolated_ns = isolated_runtimes(&catalog, &baseline, &config.machine, &config.sim);
+    let isolated_ns = isolated_runtimes(
+        &catalog,
+        &baseline,
+        &config.machine,
+        &config.sim,
+        config.threads,
+    );
     PreparedWorkload {
         baseline_slots: build_slots(&workload, &catalog, &baseline),
         tuned_slots: build_slots(&workload, &catalog, &instrumented),
@@ -259,28 +288,71 @@ pub fn run_comparison(config: &ExperimentConfig) -> ComparisonResult {
 }
 
 /// Like [`run_comparison`], but reusing an already prepared workload (useful
-/// when sweeping tuner parameters over the same queues).
+/// when sweeping tuner parameters over the same queues). The two cells run
+/// through the experiment [`Driver`] with `config.threads` workers.
 pub fn run_comparison_prepared(
     config: &ExperimentConfig,
     prepared: &PreparedWorkload,
 ) -> ComparisonResult {
-    let baseline = run_with_hook(
-        "stock-linux",
-        config.machine.clone(),
-        prepared.baseline_slots.clone(),
-        NullHook,
-        config.sim,
-    );
+    let group = "comparison";
+    let plan = comparison_plan(group, config, prepared);
+    let outcome = Driver::new(config.threads).run(plan);
+    comparison_result(group, &outcome, config, prepared)
+        .expect("comparison plan contains a stock and a tuned cell")
+}
 
-    let tuner = PhaseTuner::new(Arc::new(config.machine.clone()), config.tuner);
-    let tuner_handle = tuner.clone();
-    let tuned = run_with_hook(
-        &format!("phase-tuned-{}", config.pipeline.marking),
-        config.machine.clone(),
-        prepared.tuned_slots.clone(),
-        tuner,
-        config.sim,
-    );
+/// Converts a prepared workload into the named form [`ExperimentPlan::cross`]
+/// consumes.
+pub fn planned_workload(name: impl Into<String>, prepared: &PreparedWorkload) -> PlannedWorkload {
+    PlannedWorkload {
+        name: name.into(),
+        baseline_slots: prepared.baseline_slots.clone(),
+        tuned_slots: prepared.tuned_slots.clone(),
+    }
+}
+
+/// The two cells of one baseline-versus-tuned comparison (the paper's
+/// identical-queues rule: both cells share the same seed and queues), grouped
+/// under `group`. Multiple comparisons can be extended into one plan and
+/// fanned out together.
+pub fn comparison_plan(
+    group: impl Into<String>,
+    config: &ExperimentConfig,
+    prepared: &PreparedWorkload,
+) -> ExperimentPlan {
+    let group = group.into();
+    let mut plan = ExperimentPlan::new();
+    plan.push(CellSpec {
+        group: group.clone(),
+        label: "stock-linux".to_string(),
+        machine: config.machine.clone(),
+        slots: prepared.baseline_slots.clone(),
+        policy: Policy::Stock,
+        sim: config.sim,
+    });
+    plan.push(CellSpec {
+        group,
+        label: format!("phase-tuned-{}", config.pipeline.marking),
+        machine: config.machine.clone(),
+        slots: prepared.tuned_slots.clone(),
+        policy: Policy::Tuned(config.tuner),
+        sim: config.sim,
+    });
+    plan
+}
+
+/// Assembles a [`ComparisonResult`] from a group's stock and tuned cells in
+/// a driver outcome; `None` when the group is missing either cell.
+pub fn comparison_result(
+    group: &str,
+    outcome: &PlanOutcome,
+    config: &ExperimentConfig,
+    prepared: &PreparedWorkload,
+) -> Option<ComparisonResult> {
+    let baseline_cell = outcome.find(group, "stock")?;
+    let tuned_cell = outcome.find(group, "tuned")?;
+    let baseline = baseline_cell.result.clone();
+    let tuned = tuned_cell.result.clone();
 
     let measure_ns = config
         .sim
@@ -296,15 +368,15 @@ pub fn run_comparison_prepared(
     let tuned_fairness = fairness_of(&tuned, &prepared.isolated_ns);
     let fairness = FairnessComparison::against_baseline(&baseline_fairness, &tuned_fairness);
 
-    ComparisonResult {
+    Some(ComparisonResult {
         baseline,
         tuned,
         throughput,
         baseline_fairness,
         tuned_fairness,
         fairness,
-        tuner_stats: tuner_handle.stats(),
-    }
+        tuner_stats: tuned_cell.tuner_stats.unwrap_or_default(),
+    })
 }
 
 #[cfg(test)]

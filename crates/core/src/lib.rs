@@ -15,6 +15,11 @@
 //!   workload construction from the SPEC-like catalogue, a stock-scheduler
 //!   baseline run and a phase-tuned run over identical job queues, and
 //!   throughput/fairness comparisons in the paper's metrics.
+//! * **Parallel experiment driver** ([`ExperimentPlan`], [`Driver`]): sweeps
+//!   are described as plans — the cross-product of workloads, machines, and
+//!   policies ([`ExperimentPlan::cross`]) or hand-assembled cells — and
+//!   fanned across `std::thread::scope` workers with deterministic per-cell
+//!   seeding, so `--threads=1` and `--threads=8` agree bit-for-bit.
 //!
 //! The individual substrates are re-exported under [`substrate`] so
 //! applications can reach every layer through this one crate.
@@ -37,14 +42,20 @@
 #![warn(rust_2018_idioms)]
 #![forbid(unsafe_code)]
 
+mod driver;
 mod experiment;
 mod pipeline;
 mod report;
 
+pub use driver::{
+    cell_seed, CellResult, CellSpec, Driver, ExperimentPlan, PlanAggregate, PlanOutcome,
+    PlannedWorkload, Policy,
+};
 pub use experiment::{
-    baseline_catalog, build_slots, fairness_of, instrument_catalog, isolated_runtimes,
-    prepare_workload, run_comparison, run_comparison_prepared, run_with_hook, throughput_of,
-    ComparisonResult, ExperimentConfig, PreparedWorkload,
+    baseline_catalog, build_slots, comparison_plan, comparison_result, fairness_of,
+    instrument_catalog, isolated_runtimes, planned_workload, prepare_workload, run_comparison,
+    run_comparison_prepared, run_with_hook, throughput_of, ComparisonResult, ExperimentConfig,
+    PreparedWorkload,
 };
 pub use pipeline::{prepare_program, type_blocks, uninstrumented, PipelineConfig, TypingStrategy};
 pub use report::{format_duration_ns, format_pct, TextTable};

@@ -1,0 +1,284 @@
+//! The event-driven driver.
+//!
+//! Instead of visiting every timeslice round and scanning every core, this
+//! driver keeps a binary-heap [`EventQueue`] of the moments where the
+//! schedule can actually change:
+//!
+//! * [`EventKind::QuantumExpiry`] — a core's previous quantum has expired and
+//!   it should dispatch again at the next round boundary;
+//! * [`EventKind::JobArrival`] — a queued job's release/arrival time falls in
+//!   a future round, so the cores sleep until that round instead of spinning;
+//! * [`EventKind::LoadBalance`] — the periodic pull-balancing tick.
+//!
+//! Time jumps from event to event, so rounds in which no core could act
+//! (bursty arrival gaps, horizon tails with future-only work) cost nothing.
+//! Mark hits and completions are discovered *while* executing a quantum —
+//! they cannot be scheduled ahead of time without doing the execution work —
+//! so they are handled inline by [`EngineCore::run_round`] exactly as the
+//! reference engine does, and only their consequences (a job spawned into a
+//! queue, a migration, a drained core) feed back into the queue as wake-ups.
+//!
+//! Equivalence with the round-based reference is maintained by three rules:
+//! all events are aligned to round boundaries; a popped round executes the
+//! same core-index-order scan as the reference (skipping only cores that are
+//! provably no-ops); and wake-ups are scheduled conservatively — whenever any
+//! run queue is non-empty, every core is woken for the round in which the
+//! earliest queued arrival becomes runnable, because an idle core may steal
+//! queued work from any other core.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use phase_amp::CoreId;
+
+use crate::hooks::PhaseHook;
+use crate::sim::SimResult;
+
+use super::EngineCore;
+
+/// What a scheduled event does when it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A queued job becomes runnable on (or stealable by) this core.
+    JobArrival {
+        /// The core to wake.
+        core: CoreId,
+    },
+    /// The periodic load-balancing tick.
+    LoadBalance,
+    /// The core's previous quantum expired; dispatch again.
+    QuantumExpiry {
+        /// The core to dispatch on.
+        core: CoreId,
+    },
+}
+
+impl EventKind {
+    /// Tie-break rank for events that share a timestamp: arrivals are
+    /// processed first, then the balance tick, then quantum dispatches —
+    /// mirroring the reference loop, which enqueues arrivals and balances
+    /// before scanning cores.
+    fn rank(self) -> u8 {
+        match self {
+            EventKind::JobArrival { .. } => 0,
+            EventKind::LoadBalance => 1,
+            EventKind::QuantumExpiry { .. } => 2,
+        }
+    }
+
+    fn core_index(self) -> u32 {
+        match self {
+            EventKind::JobArrival { core } | EventKind::QuantumExpiry { core } => core.0,
+            EventKind::LoadBalance => 0,
+        }
+    }
+}
+
+/// One scheduled event.
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    time_ns: f64,
+    kind: EventKind,
+    seq: u64,
+}
+
+impl Event {
+    /// When the event fires, in simulated nanoseconds.
+    pub fn time_ns(&self) -> f64 {
+        self.time_ns
+    }
+
+    /// What the event does.
+    pub fn kind(&self) -> EventKind {
+        self.kind
+    }
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Event {}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.time_ns
+            .total_cmp(&other.time_ns)
+            .then_with(|| self.kind.rank().cmp(&other.kind.rank()))
+            .then_with(|| self.kind.core_index().cmp(&other.kind.core_index()))
+            .then_with(|| self.seq.cmp(&other.seq))
+    }
+}
+
+/// A min-heap of simulation events, popped in (timestamp, kind, core,
+/// insertion) order. Timestamps must be finite.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<std::cmp::Reverse<Event>>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules an event.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time_ns` is not finite.
+    pub fn push(&mut self, time_ns: f64, kind: EventKind) {
+        assert!(time_ns.is_finite(), "event time must be finite");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap
+            .push(std::cmp::Reverse(Event { time_ns, kind, seq }));
+    }
+
+    /// Removes and returns the earliest event, if any.
+    pub fn pop(&mut self) -> Option<Event> {
+        self.heap.pop().map(|std::cmp::Reverse(e)| e)
+    }
+
+    /// The timestamp of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<f64> {
+        self.heap.peek().map(|std::cmp::Reverse(e)| e.time_ns)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+/// Runs the simulation to completion (or to the configured horizon) with the
+/// event-driven loop.
+pub(crate) fn run<H: PhaseHook>(mut core: EngineCore<H>) -> SimResult {
+    let quantum = core.config.timeslice_ns;
+    let interval = core.config.load_balance_interval_ns;
+    let ncores = core.cores.len();
+
+    let round_floor = |t: f64| -> u64 { (t / quantum).floor() as u64 };
+    let round_ceil = |t: f64| -> u64 { (t / quantum).ceil() as u64 };
+    let round_time = |r: u64| -> f64 { r as f64 * quantum };
+
+    let mut queue = EventQueue::new();
+    // Lazy-deletion bookkeeping: the one live wake-up per core (and the one
+    // live balance tick); heap entries that no longer match are stale and
+    // dropped on pop.
+    let mut core_wake: Vec<Option<u64>> = vec![None; ncores];
+    let mut next_balance_ns = interval;
+    let mut has_event = vec![false; ncores];
+
+    // Initial wake-ups: the first jobs were enqueued at construction time;
+    // the first interesting round is the one containing the earliest arrival
+    // (round zero unless every slot is release-delayed).
+    let first_round = round_floor(core.earliest_queued_arrival());
+    for (index, wake) in core_wake.iter_mut().enumerate() {
+        *wake = Some(first_round);
+        queue.push(
+            round_time(first_round),
+            EventKind::JobArrival {
+                core: CoreId(index as u32),
+            },
+        );
+    }
+    let initial_balance = round_ceil(next_balance_ns);
+    let mut balance_wake: Option<u64> = Some(initial_balance);
+    queue.push(round_time(initial_balance), EventKind::LoadBalance);
+
+    let final_time_ns = loop {
+        let Some(next_time) = queue.peek_time() else {
+            // Unreachable while work remains (queued work always schedules a
+            // wake-up), but break defensively rather than spin.
+            debug_assert!(core.all_work_done());
+            break core.clock_ns;
+        };
+        if let Some(horizon) = core.config.horizon_ns {
+            if next_time >= horizon {
+                // The reference loop would keep visiting (no-op) rounds until
+                // its clock reached the horizon; jump straight there.
+                break round_time(round_ceil(horizon.max(0.0)));
+            }
+        }
+
+        let this_round = round_floor(next_time);
+        let t = next_time;
+        has_event.fill(false);
+        let mut fire_balance = false;
+        while queue.peek_time() == Some(t) {
+            let event = queue.pop().expect("peeked event exists");
+            match event.kind() {
+                EventKind::LoadBalance => {
+                    if balance_wake == Some(this_round) {
+                        balance_wake = None;
+                        fire_balance = true;
+                    }
+                }
+                EventKind::JobArrival { core: c } | EventKind::QuantumExpiry { core: c } => {
+                    if core_wake[c.index()] == Some(this_round) {
+                        core_wake[c.index()] = None;
+                        has_event[c.index()] = true;
+                    }
+                }
+            }
+        }
+
+        core.clock_ns = t;
+        if fire_balance {
+            core.load_balance();
+            next_balance_ns = t + interval;
+        }
+        if balance_wake.is_none() {
+            let target = round_ceil(next_balance_ns);
+            balance_wake = Some(target);
+            queue.push(round_time(target), EventKind::LoadBalance);
+        }
+
+        core.run_round(Some(&has_event));
+
+        if core.all_work_done() {
+            break t + quantum;
+        }
+
+        // Conservative wake-up rule: any queued process may be run (or
+        // stolen) by any core at the round where the earliest queued arrival
+        // becomes runnable.
+        let earliest = core.earliest_queued_arrival();
+        debug_assert!(earliest.is_finite(), "unfinished work must be queued");
+        let wake_round = (this_round + 1).max(round_floor(earliest));
+        for (index, wake) in core_wake.iter_mut().enumerate() {
+            if wake.is_none_or(|r| r > wake_round) {
+                *wake = Some(wake_round);
+                let core_id = CoreId(index as u32);
+                let kind = if wake_round > this_round + 1 {
+                    EventKind::JobArrival { core: core_id }
+                } else {
+                    EventKind::QuantumExpiry { core: core_id }
+                };
+                queue.push(round_time(wake_round), kind);
+            }
+        }
+    };
+
+    // The reference loop's run_round extends the throughput windows on every
+    // visited round, including idle ones this driver skipped.
+    core.pad_windows_to(final_time_ns - quantum);
+    core.clock_ns = final_time_ns;
+    core.into_result(final_time_ns)
+}

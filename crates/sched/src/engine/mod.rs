@@ -1,0 +1,663 @@
+//! The simulation engines.
+//!
+//! [`EngineCore`] owns every piece of simulated machine state — processes,
+//! per-core run queues, the cost model, accounting — together with the
+//! scheduling primitives (quantum execution, phase-mark handling, load
+//! balancing, job launch). Two drivers advance its clock:
+//!
+//! * [`round`] — the reference round-based loop: every core executes one
+//!   quantum per round and the clock advances by one timeslice per round,
+//!   whether or not a core had work.
+//! * [`event`] — the event-driven loop: a binary-heap [`EventQueue`] of
+//!   quantum-expiry, job-arrival, and load-balance events decides which
+//!   rounds and which cores to touch, so fully idle stretches (bursty
+//!   arrival gaps, drained queues) cost nothing.
+//!
+//! Both drivers call the *same* `EngineCore` primitives in the same order,
+//! which is what makes the event-driven engine bit-for-bit equivalent to the
+//! reference loop (see `tests/engine_equivalence.rs` at the workspace root).
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+use phase_amp::{AffinityMask, BlockCost, CoreId, CostModel, MachineSpec, SharingContext};
+use phase_ir::Location;
+use phase_marking::{MARK_DECISION_INSTRUCTIONS, MARK_MONITOR_INSTRUCTIONS};
+
+use crate::hooks::{MarkContext, PhaseHook, SectionObservation};
+use crate::process::{Pid, Process, ProcessState};
+use crate::sim::{JobSpec, ProcessRecord, SimConfig, SimResult};
+
+pub(crate) mod event;
+pub(crate) mod round;
+
+pub use event::{Event, EventKind, EventQueue};
+
+#[derive(Debug, Default)]
+pub(crate) struct CoreState {
+    pub(crate) runqueue: VecDeque<Pid>,
+    pub(crate) running: Option<Pid>,
+    pub(crate) busy_ns: f64,
+}
+
+#[derive(Debug)]
+struct SlotState {
+    jobs: Vec<JobSpec>,
+    next: usize,
+}
+
+/// Dense block-cost cache for one `(program, core kind, sharing)` context.
+///
+/// The inner execution loop looks a block's cost up once per executed block,
+/// which used to hash a `(program, location, kind, sharers)` key per step.
+/// Instead, the slab for the running process's context is resolved *once per
+/// dispatch* (one small hash), and each step is a direct index into a dense
+/// per-program table.
+#[derive(Debug)]
+struct CostSlab {
+    /// Starting dense index of each procedure's blocks.
+    block_base: Vec<usize>,
+    /// Lazily filled cost per dense block index.
+    costs: Vec<Option<BlockCost>>,
+}
+
+impl CostSlab {
+    fn new(program: &phase_ir::Program) -> Self {
+        let (block_base, total) = program_layout(program);
+        Self {
+            block_base,
+            costs: vec![None; total],
+        }
+    }
+
+    fn dense(&self, loc: Location) -> usize {
+        self.block_base[loc.proc.index()] + loc.block.index()
+    }
+}
+
+/// Dense block numbering of a program: per-procedure base offsets and the
+/// total block count.
+pub(crate) fn program_layout(program: &phase_ir::Program) -> (Vec<usize>, usize) {
+    let mut block_base = Vec::with_capacity(program.procedures().len());
+    let mut total = 0;
+    for proc in program.procedures() {
+        block_base.push(total);
+        total += proc.block_count();
+    }
+    (block_base, total)
+}
+
+/// The machine/scheduler state shared by both engines, plus the scheduling
+/// primitives that mutate it. Drivers only decide *when* each primitive runs.
+pub(crate) struct EngineCore<H: PhaseHook> {
+    pub(crate) label: String,
+    pub(crate) cost: CostModel,
+    pub(crate) config: SimConfig,
+    pub(crate) hook: H,
+    default_affinity: AffinityMask,
+    pub(crate) processes: Vec<Process>,
+    pub(crate) cores: Vec<CoreState>,
+    slots: Vec<SlotState>,
+    pub(crate) clock_ns: f64,
+    /// Slab index per `(program identity, kind index, sharers bucket)`.
+    slab_lookup: HashMap<(usize, usize, usize), usize>,
+    slabs: Vec<CostSlab>,
+    /// Dense "block has an outgoing phase mark" bitmap per instrumented
+    /// program, so the common no-mark step skips the edge-map hash entirely.
+    mark_lookup: HashMap<usize, usize>,
+    mark_tables: Vec<Vec<bool>>,
+    pub(crate) total_instructions: u64,
+    pub(crate) throughput_windows: Vec<u64>,
+}
+
+impl<H: PhaseHook> EngineCore<H> {
+    /// Creates the initial state: one job queue per slot, with the first job
+    /// of every slot launched at its release time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots` is empty or any slot has no jobs.
+    pub(crate) fn new(
+        label: impl Into<String>,
+        machine: MachineSpec,
+        slots: Vec<Vec<JobSpec>>,
+        hook: H,
+        config: SimConfig,
+    ) -> Self {
+        assert!(!slots.is_empty(), "a simulation needs at least one slot");
+        assert!(
+            slots.iter().all(|s| !s.is_empty()),
+            "every slot needs at least one job"
+        );
+        let default_affinity = AffinityMask::all_cores(&machine);
+        let core_count = machine.core_count();
+        let mut core = Self {
+            label: label.into(),
+            cost: CostModel::new(machine),
+            config,
+            hook,
+            default_affinity,
+            processes: Vec::new(),
+            cores: (0..core_count).map(|_| CoreState::default()).collect(),
+            slots: slots
+                .into_iter()
+                .map(|jobs| SlotState { jobs, next: 0 })
+                .collect(),
+            clock_ns: 0.0,
+            slab_lookup: HashMap::new(),
+            slabs: Vec::new(),
+            mark_lookup: HashMap::new(),
+            mark_tables: Vec::new(),
+            total_instructions: 0,
+            throughput_windows: Vec::new(),
+        };
+        // Launch the first job of every slot at time zero (or its release
+        // time, for bursty workloads), spread over the least-loaded cores
+        // like a fork-time balancer would.
+        for slot in 0..core.slots.len() {
+            core.start_next_job(slot, 0.0);
+        }
+        core
+    }
+
+    /// The machine being simulated.
+    pub(crate) fn machine(&self) -> &MachineSpec {
+        self.cost.spec()
+    }
+
+    pub(crate) fn all_work_done(&self) -> bool {
+        let queues_empty = self.slots.iter().all(|s| s.next >= s.jobs.len());
+        let processes_done = self
+            .processes
+            .iter()
+            .all(|p| p.state() == ProcessState::Finished);
+        queues_empty && processes_done
+    }
+
+    /// The earliest arrival time among all queued (not yet finished, not
+    /// currently running) processes, or infinity when every queue is empty.
+    pub(crate) fn earliest_queued_arrival(&self) -> f64 {
+        self.cores
+            .iter()
+            .flat_map(|c| c.runqueue.iter())
+            .map(|pid| self.processes[pid.index()].arrival_ns())
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Executes one scheduling round at the current clock: one quantum per
+    /// core, in core-index order.
+    ///
+    /// With `has_event == None` every core is scanned (the reference
+    /// behaviour). With `has_event == Some(flags)` a core is scanned only if
+    /// it was explicitly scheduled or any run queue is non-empty at its turn
+    /// — the cases where the reference scan could act at all; skipped cores
+    /// are provably no-ops, so both modes produce identical state.
+    pub(crate) fn run_round(&mut self, has_event: Option<&[bool]>) {
+        let window_index = (self.clock_ns / self.config.throughput_window_ns) as usize;
+        let before = self.total_instructions;
+
+        let sharers_per_group = self.active_sharers_per_group();
+        for core_index in 0..self.cores.len() {
+            if let Some(flags) = has_event {
+                let any_queued = self.cores.iter().any(|c| !c.runqueue.is_empty());
+                if !flags[core_index] && !any_queued {
+                    continue;
+                }
+            }
+            let core = CoreId(core_index as u32);
+            self.run_core_quantum(core, &sharers_per_group);
+        }
+
+        let committed = self.total_instructions - before;
+        if self.throughput_windows.len() <= window_index {
+            self.throughput_windows.resize(window_index + 1, 0);
+        }
+        self.throughput_windows[window_index] += committed;
+    }
+
+    /// Extends the throughput windows with the trailing zeros the reference
+    /// loop would have produced by visiting every round up to
+    /// `last_round_clock_ns`. Used by the event engine after skipping idle
+    /// rounds.
+    pub(crate) fn pad_windows_to(&mut self, last_round_clock_ns: f64) {
+        if last_round_clock_ns < 0.0 {
+            return;
+        }
+        let window_index = (last_round_clock_ns / self.config.throughput_window_ns) as usize;
+        if self.throughput_windows.len() <= window_index {
+            self.throughput_windows.resize(window_index + 1, 0);
+        }
+    }
+
+    /// Number of runnable processes per L2 group at the start of a round,
+    /// used as the cache-sharing pressure for the whole quantum.
+    fn active_sharers_per_group(&self) -> Vec<usize> {
+        let spec = self.cost.spec();
+        let mut sharers = vec![0usize; spec.l2_group_count()];
+        for (idx, core) in self.cores.iter().enumerate() {
+            let group = spec.core(CoreId(idx as u32)).l2_group;
+            let active = usize::from(core.running.is_some()) + core.runqueue.len();
+            sharers[group] += active.min(1);
+        }
+        for s in &mut sharers {
+            *s = (*s).max(1);
+        }
+        sharers
+    }
+
+    fn run_core_quantum(&mut self, core: CoreId, sharers_per_group: &[usize]) {
+        let kind_index = self.cost.spec().kind_of(core).index();
+        let freq = self.cost.spec().core(core).freq_ghz;
+        let group = self.cost.spec().core(core).l2_group;
+        let sharing = SharingContext::shared_by(sharers_per_group[group]);
+
+        // The core keeps working until its quantum budget is used up; if the
+        // current process finishes or migrates away mid-quantum, the next
+        // ready process takes over the remaining time (the scheduler is work
+        // conserving).
+        let mut consumed = 0.0;
+        while consumed < self.config.timeslice_ns {
+            // Cores execute their quanta sequentially within a round, so a
+            // job spawned mid-quantum on an earlier core may already sit in
+            // this core's queue with an arrival time ahead of this core's
+            // local clock. Causality: it must not run (and in particular not
+            // complete) before it arrived, so only processes that have
+            // arrived by the core-local clock are eligible; if none are, the
+            // core idles up to the earliest arrival in its own queue (or for
+            // the rest of the round when that lies beyond this quantum).
+            let now_ns = self.clock_ns + consumed;
+            let pid = match self.pick_process(core, now_ns) {
+                Some(pid) => pid,
+                None => {
+                    let earliest = self.cores[core.index()]
+                        .runqueue
+                        .iter()
+                        .map(|pid| self.processes[pid.index()].arrival_ns())
+                        .fold(f64::INFINITY, f64::min);
+                    let offset = earliest - self.clock_ns;
+                    if offset.is_finite() && offset < self.config.timeslice_ns {
+                        debug_assert!(offset > consumed, "pick skipped an arrived process");
+                        consumed = offset;
+                        continue;
+                    }
+                    break;
+                }
+            };
+            self.processes[pid.index()].set_running(core);
+            self.cores[core.index()].running = Some(pid);
+
+            let budget = self.config.timeslice_ns - consumed;
+            let mut elapsed = 0.0;
+            let mut migrated = false;
+            let mut finished = false;
+
+            // Resolve this dispatch's cost slab and mark bitmap once; every
+            // block step below is then a direct dense-index lookup and the
+            // edge-map hash only runs for blocks that actually carry marks.
+            let instrumented = Arc::clone(self.processes[pid.index()].instrumented());
+            let program = Arc::clone(instrumented.program());
+            let slab = self.cost_slab(&program, kind_index, sharing);
+            let marks = self.mark_table(&instrumented);
+
+            while elapsed < budget {
+                let loc = self.processes[pid.index()].interp().current_location();
+                let dense = self.slabs[slab].dense(loc);
+                let cost = self.block_cost_at(slab, dense, loc, &program, core, sharing);
+                self.processes[pid.index()].charge_block(
+                    cost.instructions,
+                    cost.cycles,
+                    cost.nanos,
+                    kind_index,
+                );
+                self.total_instructions += cost.instructions;
+                elapsed += cost.nanos;
+
+                let step = self.processes[pid.index()]
+                    .interp_mut()
+                    .step()
+                    .expect("running process is not finished");
+
+                match step.next {
+                    None => {
+                        finished = true;
+                        break;
+                    }
+                    Some(next_loc) => {
+                        let mark = if self.mark_tables[marks][dense] {
+                            instrumented.mark_on_edge(step.executed, next_loc).copied()
+                        } else {
+                            None
+                        };
+                        if let Some(mark) = mark {
+                            let now = self.clock_ns + consumed + elapsed;
+                            let (extra_ns, did_migrate) =
+                                self.execute_mark(pid, core, &mark, now, freq, kind_index);
+                            elapsed += extra_ns;
+                            if did_migrate {
+                                migrated = true;
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+
+            self.cores[core.index()].busy_ns += elapsed.min(budget);
+            consumed += elapsed;
+
+            if finished {
+                let completion = self.clock_ns + consumed;
+                let slot = self.processes[pid.index()].slot();
+                self.processes[pid.index()].set_finished(completion);
+                self.hook.on_process_exit(pid);
+                self.cores[core.index()].running = None;
+                self.start_next_job(slot, completion);
+                continue;
+            }
+            if migrated {
+                // execute_mark already queued the process elsewhere.
+                self.cores[core.index()].running = None;
+                continue;
+            }
+            // Quantum expired for this process: preempt and requeue.
+            self.processes[pid.index()].set_ready();
+            self.cores[core.index()].running = None;
+            let affinity = self.processes[pid.index()].affinity();
+            if affinity.allows(core) {
+                self.cores[core.index()].runqueue.push_back(pid);
+            } else {
+                self.enqueue_on_allowed_core(pid);
+            }
+            break;
+        }
+    }
+
+    /// Executes a phase mark: calls the hook, charges the mark's cost, and
+    /// performs the core switch if the new affinity excludes the current
+    /// core. Returns the wall-clock time consumed and whether the process
+    /// migrated away.
+    fn execute_mark(
+        &mut self,
+        pid: Pid,
+        core: CoreId,
+        mark: &phase_marking::PhaseMark,
+        now_ns: f64,
+        freq_ghz: f64,
+        kind_index: usize,
+    ) -> (f64, bool) {
+        let core_kind = self.cost.spec().kind_of(core);
+        let (sec_instr, sec_cycles, sec_phase) =
+            self.processes[pid.index()].roll_section(mark.phase_type);
+        let completed_section = sec_phase.map(|phase_type| SectionObservation {
+            phase_type,
+            instructions: sec_instr,
+            cycles: sec_cycles,
+            core_kind,
+        });
+        let ctx = MarkContext {
+            pid,
+            mark,
+            core,
+            core_kind,
+            completed_section,
+            now_ns,
+        };
+        let response = self.hook.on_phase_mark(&ctx);
+        self.processes[pid.index()].set_monitoring(response.monitoring);
+        self.processes[pid.index()].stats_mut().marks_executed += 1;
+
+        let mut extra_ns = 0.0;
+        if self.config.charge_mark_overhead {
+            let overhead_instructions = if response.monitoring {
+                MARK_MONITOR_INSTRUCTIONS
+            } else {
+                MARK_DECISION_INSTRUCTIONS
+            };
+            let overhead_cycles = overhead_instructions as f64;
+            let overhead_ns = overhead_cycles / freq_ghz;
+            self.processes[pid.index()].charge_block(
+                overhead_instructions,
+                overhead_cycles,
+                overhead_ns,
+                kind_index,
+            );
+            self.total_instructions += overhead_instructions;
+            extra_ns += overhead_ns;
+        }
+
+        let mut migrated = false;
+        if let Some(mask) = response.new_affinity {
+            if mask != self.processes[pid.index()].affinity() {
+                self.processes[pid.index()].set_affinity(mask);
+            }
+            if !mask.allows(core) && !mask.is_empty() {
+                // A real core switch: charge the migration cost and move the
+                // process to an allowed core's run queue.
+                let (switch_cycles, switch_ns) = self.cost.core_switch_cost(core);
+                self.processes[pid.index()].charge_block(
+                    0,
+                    switch_cycles as f64,
+                    switch_ns,
+                    kind_index,
+                );
+                extra_ns += switch_ns;
+                self.processes[pid.index()].stats_mut().core_switches += 1;
+                self.processes[pid.index()].set_ready();
+                self.enqueue_on_allowed_core(pid);
+                migrated = true;
+            }
+        }
+        (extra_ns, migrated)
+    }
+
+    /// Picks the next process eligible to run on `core` at core-local time
+    /// `now_ns`: its own queue first, then an idle-steal from the most loaded
+    /// core. Jobs spawned mid-round by an earlier core may carry arrival
+    /// times ahead of `now_ns`; those are left queued so already-arrived
+    /// work behind them is never starved.
+    fn pick_process(&mut self, core: CoreId, now_ns: f64) -> Option<Pid> {
+        let arrived =
+            |processes: &[Process], pid: &Pid| processes[pid.index()].arrival_ns() <= now_ns;
+        if let Some(position) = self.cores[core.index()]
+            .runqueue
+            .iter()
+            .position(|pid| arrived(&self.processes, pid))
+        {
+            return self.cores[core.index()].runqueue.remove(position);
+        }
+        // Idle balancing: steal a ready, arrived process that may run here
+        // from the most loaded core.
+        let donor = self
+            .cores
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != core.index())
+            .max_by_key(|(_, c)| c.runqueue.len())
+            .map(|(i, _)| i)?;
+        let position = self.cores[donor].runqueue.iter().position(|pid| {
+            self.processes[pid.index()].affinity().allows(core) && arrived(&self.processes, pid)
+        })?;
+        let pid = self.cores[donor].runqueue.remove(position)?;
+        self.processes[pid.index()].stats_mut().balancer_migrations += 1;
+        Some(pid)
+    }
+
+    /// Periodic load balancing: move waiting processes from the most loaded
+    /// to the least loaded core when the imbalance exceeds one.
+    pub(crate) fn load_balance(&mut self) {
+        loop {
+            let (busiest, busiest_len) = match self
+                .cores
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, c)| c.runqueue.len())
+            {
+                Some((i, c)) => (i, c.runqueue.len()),
+                None => return,
+            };
+            let (idlest, idlest_len) = match self
+                .cores
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, c)| c.runqueue.len())
+            {
+                Some((i, c)) => (i, c.runqueue.len()),
+                None => return,
+            };
+            if busiest_len <= idlest_len + 1 {
+                return;
+            }
+            let target = CoreId(idlest as u32);
+            let position = self.cores[busiest]
+                .runqueue
+                .iter()
+                .position(|pid| self.processes[pid.index()].affinity().allows(target));
+            match position {
+                Some(pos) => {
+                    let pid = self.cores[busiest]
+                        .runqueue
+                        .remove(pos)
+                        .expect("position valid");
+                    self.processes[pid.index()].stats_mut().balancer_migrations += 1;
+                    self.cores[idlest].runqueue.push_back(pid);
+                }
+                None => return,
+            }
+        }
+    }
+
+    /// Starts the next job of a slot, if the queue is not exhausted. The new
+    /// process arrives at `now_ns` or at the job's release time, whichever is
+    /// later.
+    fn start_next_job(&mut self, slot: usize, now_ns: f64) {
+        let state = &mut self.slots[slot];
+        if state.next >= state.jobs.len() {
+            return;
+        }
+        let job = state.jobs[state.next].clone();
+        state.next += 1;
+        let pid = Pid(self.processes.len() as u32);
+        let seed = self
+            .config
+            .seed
+            .wrapping_add(pid.0 as u64)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let arrival_ns = now_ns.max(job.release_ns);
+        let process = Process::new(
+            pid,
+            job.name,
+            slot,
+            Arc::clone(&job.instrumented),
+            self.default_affinity,
+            arrival_ns,
+            seed,
+        );
+        self.hook.on_process_start(pid, &job.instrumented);
+        self.processes.push(process);
+        self.enqueue_on_allowed_core(pid);
+    }
+
+    /// Puts a ready process on the least-loaded core its affinity allows.
+    fn enqueue_on_allowed_core(&mut self, pid: Pid) {
+        let affinity = self.processes[pid.index()].affinity();
+        let target = self
+            .cores
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| affinity.allows(CoreId(*i as u32)) || affinity.is_empty())
+            .min_by_key(|(_, c)| c.runqueue.len() + usize::from(c.running.is_some()))
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        self.cores[target].runqueue.push_back(pid);
+    }
+
+    /// The dense cost slab for a `(program, core kind, sharing)` context,
+    /// created lazily on first use.
+    fn cost_slab(
+        &mut self,
+        program: &Arc<phase_ir::Program>,
+        kind_index: usize,
+        sharing: SharingContext,
+    ) -> usize {
+        let key = (
+            Arc::as_ptr(program) as usize,
+            kind_index,
+            sharing.l2_sharers.min(8),
+        );
+        if let Some(&index) = self.slab_lookup.get(&key) {
+            return index;
+        }
+        let index = self.slabs.len();
+        self.slabs.push(CostSlab::new(program));
+        self.slab_lookup.insert(key, index);
+        index
+    }
+
+    /// A block's cost from the given slab, computing and memoising it on the
+    /// first visit.
+    fn block_cost_at(
+        &mut self,
+        slab: usize,
+        dense: usize,
+        loc: Location,
+        program: &phase_ir::Program,
+        core: CoreId,
+        sharing: SharingContext,
+    ) -> BlockCost {
+        if let Some(cost) = self.slabs[slab].costs[dense] {
+            return cost;
+        }
+        let block = program
+            .block(loc)
+            .expect("interpreter location points at an existing block");
+        let cost = self.cost.block_cost(core, block, sharing);
+        self.slabs[slab].costs[dense] = Some(cost);
+        cost
+    }
+
+    /// The dense "has an outgoing phase mark" bitmap for an instrumented
+    /// program, created lazily on first use.
+    fn mark_table(&mut self, instrumented: &Arc<phase_marking::InstrumentedProgram>) -> usize {
+        let key = Arc::as_ptr(instrumented) as usize;
+        if let Some(&index) = self.mark_lookup.get(&key) {
+            return index;
+        }
+        let (block_base, total) = program_layout(instrumented.program());
+        let mut has_mark = vec![false; total];
+        for mark in instrumented.marks() {
+            has_mark[block_base[mark.from.proc.index()] + mark.from.block.index()] = true;
+        }
+        let index = self.mark_tables.len();
+        self.mark_tables.push(has_mark);
+        self.mark_lookup.insert(key, index);
+        index
+    }
+
+    /// Consumes the state into the public result, with the given end time.
+    pub(crate) fn into_result(self, final_time_ns: f64) -> SimResult {
+        let records: Vec<ProcessRecord> = self
+            .processes
+            .iter()
+            .map(|p| ProcessRecord {
+                pid: p.pid(),
+                name: p.name().to_string(),
+                slot: p.slot(),
+                arrival_ns: p.arrival_ns(),
+                completion_ns: p.completion_ns(),
+                stats: *p.stats(),
+            })
+            .collect();
+        let total_marks_executed = records.iter().map(|r| r.stats.marks_executed).sum();
+        let total_core_switches = records.iter().map(|r| r.stats.core_switches).sum();
+        SimResult {
+            label: self.label,
+            records,
+            total_instructions: self.total_instructions,
+            final_time_ns,
+            throughput_windows: self.throughput_windows,
+            core_busy_ns: self.cores.iter().map(|c| c.busy_ns).collect(),
+            total_marks_executed,
+            total_core_switches,
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! The reference round-based driver.
+//!
+//! Time advances in fixed timeslice rounds; every round scans every core
+//! whether or not it has work, exactly like the original seed engine. Kept as
+//! the golden reference for the event-driven driver (`--engine` golden tests
+//! compare the two) and as the slow-but-obvious implementation of the
+//! scheduling semantics.
+
+use crate::hooks::PhaseHook;
+use crate::sim::SimResult;
+
+use super::EngineCore;
+
+/// Runs the simulation to completion (or to the configured horizon) with the
+/// round-based loop.
+pub(crate) fn run<H: PhaseHook>(mut core: EngineCore<H>) -> SimResult {
+    let mut next_balance_ns = core.config.load_balance_interval_ns;
+    loop {
+        if let Some(horizon) = core.config.horizon_ns {
+            if core.clock_ns >= horizon {
+                break;
+            }
+        }
+        if core.all_work_done() {
+            break;
+        }
+        if core.clock_ns >= next_balance_ns {
+            core.load_balance();
+            next_balance_ns = core.clock_ns + core.config.load_balance_interval_ns;
+        }
+        core.run_round(None);
+        core.clock_ns += core.config.timeslice_ns;
+    }
+    let final_time_ns = core.clock_ns;
+    core.into_result(final_time_ns)
+}

@@ -8,7 +8,6 @@
 //! evaluation compare the stock scheduler and phase-based tuning on identical
 //! instruction streams.
 
-use std::collections::HashMap;
 use std::sync::Arc;
 
 use rand::rngs::StdRng;
@@ -64,7 +63,10 @@ pub struct Interpreter {
     program: Arc<Program>,
     current: Location,
     call_stack: Vec<Frame>,
-    loop_counters: HashMap<Location, u32>,
+    /// Per-procedure base offsets into the dense `loop_counters` table (one
+    /// slot per block, so counted branches never hash).
+    block_base: Vec<usize>,
+    loop_counters: Vec<u32>,
     rng: StdRng,
     finished: bool,
     blocks_executed: u64,
@@ -75,11 +77,13 @@ impl Interpreter {
     pub fn new(program: Arc<Program>, seed: u64) -> Self {
         let entry_proc = program.entry();
         let entry_block = program.procedure_expect(entry_proc).entry();
+        let (block_base, total) = crate::engine::program_layout(&program);
         Self {
             program,
             current: Location::new(entry_proc, entry_block),
             call_stack: Vec::new(),
-            loop_counters: HashMap::new(),
+            block_base,
+            loop_counters: vec![0; total],
             rng: StdRng::seed_from_u64(seed),
             finished: false,
             blocks_executed: 0,
@@ -129,7 +133,8 @@ impl Interpreter {
             } => {
                 let go_taken = match behavior {
                     BranchBehavior::Counted { trip_count } => {
-                        let counter = self.loop_counters.entry(executed).or_insert(0);
+                        let dense = self.block_base[executed.proc.index()] + executed.block.index();
+                        let counter = &mut self.loop_counters[dense];
                         if *counter < trip_count {
                             *counter += 1;
                             true

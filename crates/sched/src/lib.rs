@@ -18,23 +18,30 @@
 //! * [`PhaseHook`] / [`MarkContext`] / [`MarkResponse`] — the phase-mark
 //!   runtime interface implemented by `phase-runtime`;
 //! * [`Simulation`] — the machine + scheduler simulation producing
-//!   [`SimResult`]s with per-process records and throughput windows;
+//!   [`SimResult`]s with per-process records and throughput windows, run by
+//!   either the reference round-based engine or the default event-driven
+//!   engine ([`EngineKind`], [`EventQueue`]);
 //! * [`run_in_isolation`] — single-benchmark runs for Table 1 and the
-//!   stretch metric's isolated processing times.
+//!   stretch metric's isolated processing times, a thin wrapper over the
+//!   same engine path.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 #![forbid(unsafe_code)]
 
+mod engine;
 mod hooks;
 mod interp;
 mod process;
 mod sim;
 
+pub use engine::{Event, EventKind, EventQueue};
 pub use hooks::{AllCoresHook, MarkContext, MarkResponse, NullHook, PhaseHook, SectionObservation};
 pub use interp::{Interpreter, Step};
 pub use process::{Pid, Process, ProcessState, ProcessStats};
-pub use sim::{run_in_isolation, JobSpec, ProcessRecord, SimConfig, SimResult, Simulation};
+pub use sim::{
+    run_in_isolation, EngineKind, JobSpec, ProcessRecord, SimConfig, SimResult, Simulation,
+};
 
 #[cfg(test)]
 mod tests {

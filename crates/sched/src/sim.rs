@@ -7,17 +7,43 @@
 //! model. Phase-based tuning does not replace this scheduler — exactly as in
 //! the paper, it only *sets affinity masks* from the phase-mark hook, and the
 //! scheduler honours them.
+//!
+//! Two interchangeable engines advance the clock (see [`EngineKind`]): the
+//! reference round-based loop and the default event-driven loop, which skips
+//! rounds and cores that provably cannot act. Both produce bit-identical
+//! [`SimResult`]s; the golden-equivalence tests at the workspace root hold
+//! them to that.
 
-use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
-use phase_amp::{AffinityMask, BlockCost, CoreId, CostModel, MachineSpec, SharingContext};
-use phase_ir::Location;
-use phase_marking::{InstrumentedProgram, MARK_DECISION_INSTRUCTIONS, MARK_MONITOR_INSTRUCTIONS};
+use phase_amp::MachineSpec;
+use phase_marking::InstrumentedProgram;
 use serde::{Deserialize, Serialize};
 
-use crate::hooks::{MarkContext, PhaseHook, SectionObservation};
-use crate::process::{Pid, Process, ProcessState, ProcessStats};
+use crate::engine::{event, round, EngineCore};
+use crate::hooks::PhaseHook;
+use crate::process::{Pid, ProcessStats};
+
+/// Which engine advances the simulation clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum EngineKind {
+    /// The reference loop: every core executes one quantum per fixed
+    /// timeslice round, idle or not. Kept as the golden baseline.
+    RoundBased,
+    /// The binary-heap event queue: time advances event-to-event (quantum
+    /// expiry, job arrival, load-balance tick) and idle rounds cost nothing.
+    #[default]
+    EventDriven,
+}
+
+impl std::fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineKind::RoundBased => write!(f, "round-based"),
+            EngineKind::EventDriven => write!(f, "event-driven"),
+        }
+    }
+}
 
 /// Simulation parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -35,6 +61,8 @@ pub struct SimConfig {
     pub seed: u64,
     /// Whether phase marks add instruction/cycle overhead when executed.
     pub charge_mark_overhead: bool,
+    /// Which engine advances the clock.
+    pub engine: EngineKind,
 }
 
 impl Default for SimConfig {
@@ -46,6 +74,7 @@ impl Default for SimConfig {
             throughput_window_ns: 1_000_000.0, // 1 ms windows
             seed: 0xC60_2011,
             charge_mark_overhead: true,
+            engine: EngineKind::EventDriven,
         }
     }
 }
@@ -57,15 +86,27 @@ pub struct JobSpec {
     pub name: String,
     /// The program (with or without phase marks) to run.
     pub instrumented: Arc<InstrumentedProgram>,
+    /// Earliest time the job may start, in nanoseconds. The job arrives at
+    /// this time or when its slot predecessor completes, whichever is later;
+    /// zero (the default) reproduces the paper's back-to-back queues, later
+    /// values model bursty arrivals.
+    pub release_ns: f64,
 }
 
 impl JobSpec {
-    /// Creates a job.
+    /// Creates a job released at time zero.
     pub fn new(name: impl Into<String>, instrumented: Arc<InstrumentedProgram>) -> Self {
         Self {
             name: name.into(),
             instrumented,
+            release_ns: 0.0,
         }
+    }
+
+    /// Sets the job's release time (for bursty-arrival workloads).
+    pub fn released_at(mut self, release_ns: f64) -> Self {
+        self.release_ns = release_ns;
+        self
     }
 }
 
@@ -133,42 +174,10 @@ impl SimResult {
     }
 }
 
-#[derive(Debug, Default)]
-struct CoreState {
-    runqueue: VecDeque<Pid>,
-    running: Option<Pid>,
-    busy_ns: f64,
-}
-
-#[derive(Debug)]
-struct SlotState {
-    jobs: Vec<JobSpec>,
-    next: usize,
-}
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-struct CostKey {
-    program: usize,
-    loc: Location,
-    core_kind: u32,
-    sharers: usize,
-}
-
-/// The simulation engine.
+/// The simulation engine façade: builds the machine/scheduler state and runs
+/// it under the engine selected by [`SimConfig::engine`].
 pub struct Simulation<H: PhaseHook> {
-    label: String,
-    cost: CostModel,
-    config: SimConfig,
-    hook: H,
-    default_affinity: AffinityMask,
-    processes: Vec<Process>,
-    cores: Vec<CoreState>,
-    slots: Vec<SlotState>,
-    clock_ns: f64,
-    next_balance_ns: f64,
-    cost_cache: HashMap<CostKey, BlockCost>,
-    total_instructions: u64,
-    throughput_windows: Vec<u64>,
+    core: EngineCore<H>,
 }
 
 impl<H: PhaseHook> Simulation<H> {
@@ -185,472 +194,22 @@ impl<H: PhaseHook> Simulation<H> {
         hook: H,
         config: SimConfig,
     ) -> Self {
-        assert!(!slots.is_empty(), "a simulation needs at least one slot");
-        assert!(
-            slots.iter().all(|s| !s.is_empty()),
-            "every slot needs at least one job"
-        );
-        let default_affinity = AffinityMask::all_cores(&machine);
-        let core_count = machine.core_count();
-        let mut sim = Self {
-            label: label.into(),
-            cost: CostModel::new(machine),
-            config,
-            hook,
-            default_affinity,
-            processes: Vec::new(),
-            cores: (0..core_count).map(|_| CoreState::default()).collect(),
-            slots: slots
-                .into_iter()
-                .map(|jobs| SlotState { jobs, next: 0 })
-                .collect(),
-            clock_ns: 0.0,
-            next_balance_ns: config.load_balance_interval_ns,
-            cost_cache: HashMap::new(),
-            total_instructions: 0,
-            throughput_windows: Vec::new(),
-        };
-        // Launch the first job of every slot at time zero, spread round-robin
-        // over the cores like a fork-time balancer would.
-        for slot in 0..sim.slots.len() {
-            sim.start_next_job(slot, 0.0);
+        Self {
+            core: EngineCore::new(label, machine, slots, hook, config),
         }
-        sim
     }
 
     /// The machine being simulated.
     pub fn machine(&self) -> &MachineSpec {
-        self.cost.spec()
+        self.core.machine()
     }
 
     /// Runs the simulation to completion (or to the configured horizon) and
     /// returns the result.
-    pub fn run(mut self) -> SimResult {
-        loop {
-            if let Some(horizon) = self.config.horizon_ns {
-                if self.clock_ns >= horizon {
-                    break;
-                }
-            }
-            if self.all_work_done() {
-                break;
-            }
-            if self.clock_ns >= self.next_balance_ns {
-                self.load_balance();
-                self.next_balance_ns = self.clock_ns + self.config.load_balance_interval_ns;
-            }
-            self.run_round();
-            self.clock_ns += self.config.timeslice_ns;
-        }
-        self.into_result()
-    }
-
-    fn all_work_done(&self) -> bool {
-        let queues_empty = self.slots.iter().all(|s| s.next >= s.jobs.len());
-        let processes_done = self
-            .processes
-            .iter()
-            .all(|p| p.state() == ProcessState::Finished);
-        queues_empty && processes_done
-    }
-
-    /// Executes one scheduling quantum on every core.
-    fn run_round(&mut self) {
-        let window_index = (self.clock_ns / self.config.throughput_window_ns) as usize;
-        let before = self.total_instructions;
-
-        let sharers_per_group = self.active_sharers_per_group();
-        for core_index in 0..self.cores.len() {
-            let core = CoreId(core_index as u32);
-            self.run_core_quantum(core, &sharers_per_group);
-        }
-
-        let committed = self.total_instructions - before;
-        if self.throughput_windows.len() <= window_index {
-            self.throughput_windows.resize(window_index + 1, 0);
-        }
-        self.throughput_windows[window_index] += committed;
-    }
-
-    /// Number of runnable processes per L2 group at the start of a round,
-    /// used as the cache-sharing pressure for the whole quantum.
-    fn active_sharers_per_group(&self) -> Vec<usize> {
-        let spec = self.cost.spec();
-        let mut sharers = vec![0usize; spec.l2_group_count()];
-        for (idx, core) in self.cores.iter().enumerate() {
-            let group = spec.core(CoreId(idx as u32)).l2_group;
-            let active = usize::from(core.running.is_some()) + core.runqueue.len();
-            sharers[group] += active.min(1);
-        }
-        for s in &mut sharers {
-            *s = (*s).max(1);
-        }
-        sharers
-    }
-
-    fn run_core_quantum(&mut self, core: CoreId, sharers_per_group: &[usize]) {
-        let kind_index = self.cost.spec().kind_of(core).index();
-        let freq = self.cost.spec().core(core).freq_ghz;
-        let group = self.cost.spec().core(core).l2_group;
-        let sharing = SharingContext::shared_by(sharers_per_group[group]);
-
-        // The core keeps working until its quantum budget is used up; if the
-        // current process finishes or migrates away mid-quantum, the next
-        // ready process takes over the remaining time (the scheduler is work
-        // conserving).
-        let mut consumed = 0.0;
-        while consumed < self.config.timeslice_ns {
-            // Cores execute their quanta sequentially within a round, so a
-            // job spawned mid-quantum on an earlier core may already sit in
-            // this core's queue with an arrival time ahead of this core's
-            // local clock. Causality: it must not run (and in particular not
-            // complete) before it arrived, so only processes that have
-            // arrived by the core-local clock are eligible; if none are, the
-            // core idles up to the earliest arrival in its own queue (or for
-            // the rest of the round when that lies beyond this quantum).
-            let now_ns = self.clock_ns + consumed;
-            let pid = match self.pick_process(core, now_ns) {
-                Some(pid) => pid,
-                None => {
-                    let earliest = self.cores[core.index()]
-                        .runqueue
-                        .iter()
-                        .map(|pid| self.processes[pid.index()].arrival_ns())
-                        .fold(f64::INFINITY, f64::min);
-                    let offset = earliest - self.clock_ns;
-                    if offset.is_finite() && offset < self.config.timeslice_ns {
-                        debug_assert!(offset > consumed, "pick skipped an arrived process");
-                        consumed = offset;
-                        continue;
-                    }
-                    break;
-                }
-            };
-            self.processes[pid.index()].set_running(core);
-            self.cores[core.index()].running = Some(pid);
-
-            let budget = self.config.timeslice_ns - consumed;
-            let mut elapsed = 0.0;
-            let mut migrated = false;
-            let mut finished = false;
-
-            while elapsed < budget {
-                let loc = self.processes[pid.index()].interp().current_location();
-                let program = Arc::clone(self.processes[pid.index()].instrumented().program());
-                let cost = self.block_cost_cached(&program, loc, core, sharing);
-                self.processes[pid.index()].charge_block(
-                    cost.instructions,
-                    cost.cycles,
-                    cost.nanos,
-                    kind_index,
-                );
-                self.total_instructions += cost.instructions;
-                elapsed += cost.nanos;
-
-                let step = self.processes[pid.index()]
-                    .interp_mut()
-                    .step()
-                    .expect("running process is not finished");
-
-                match step.next {
-                    None => {
-                        finished = true;
-                        break;
-                    }
-                    Some(next_loc) => {
-                        let mark = self.processes[pid.index()]
-                            .instrumented()
-                            .mark_on_edge(step.executed, next_loc)
-                            .copied();
-                        if let Some(mark) = mark {
-                            let now = self.clock_ns + consumed + elapsed;
-                            let (extra_ns, did_migrate) =
-                                self.execute_mark(pid, core, &mark, now, freq, kind_index);
-                            elapsed += extra_ns;
-                            if did_migrate {
-                                migrated = true;
-                                break;
-                            }
-                        }
-                    }
-                }
-            }
-
-            self.cores[core.index()].busy_ns += elapsed.min(budget);
-            consumed += elapsed;
-
-            if finished {
-                let completion = self.clock_ns + consumed;
-                let slot = self.processes[pid.index()].slot();
-                self.processes[pid.index()].set_finished(completion);
-                self.hook.on_process_exit(pid);
-                self.cores[core.index()].running = None;
-                self.start_next_job(slot, completion);
-                continue;
-            }
-            if migrated {
-                // execute_mark already queued the process elsewhere.
-                self.cores[core.index()].running = None;
-                continue;
-            }
-            // Quantum expired for this process: preempt and requeue.
-            self.processes[pid.index()].set_ready();
-            self.cores[core.index()].running = None;
-            let affinity = self.processes[pid.index()].affinity();
-            if affinity.allows(core) {
-                self.cores[core.index()].runqueue.push_back(pid);
-            } else {
-                self.enqueue_on_allowed_core(pid);
-            }
-            break;
-        }
-    }
-
-    /// Executes a phase mark: calls the hook, charges the mark's cost, and
-    /// performs the core switch if the new affinity excludes the current
-    /// core. Returns the wall-clock time consumed and whether the process
-    /// migrated away.
-    fn execute_mark(
-        &mut self,
-        pid: Pid,
-        core: CoreId,
-        mark: &phase_marking::PhaseMark,
-        now_ns: f64,
-        freq_ghz: f64,
-        kind_index: usize,
-    ) -> (f64, bool) {
-        let core_kind = self.cost.spec().kind_of(core);
-        let (sec_instr, sec_cycles, sec_phase) =
-            self.processes[pid.index()].roll_section(mark.phase_type);
-        let completed_section = sec_phase.map(|phase_type| SectionObservation {
-            phase_type,
-            instructions: sec_instr,
-            cycles: sec_cycles,
-            core_kind,
-        });
-        let ctx = MarkContext {
-            pid,
-            mark,
-            core,
-            core_kind,
-            completed_section,
-            now_ns,
-        };
-        let response = self.hook.on_phase_mark(&ctx);
-        self.processes[pid.index()].set_monitoring(response.monitoring);
-        self.processes[pid.index()].stats_mut().marks_executed += 1;
-
-        let mut extra_ns = 0.0;
-        if self.config.charge_mark_overhead {
-            let overhead_instructions = if response.monitoring {
-                MARK_MONITOR_INSTRUCTIONS
-            } else {
-                MARK_DECISION_INSTRUCTIONS
-            };
-            let overhead_cycles = overhead_instructions as f64;
-            let overhead_ns = overhead_cycles / freq_ghz;
-            self.processes[pid.index()].charge_block(
-                overhead_instructions,
-                overhead_cycles,
-                overhead_ns,
-                kind_index,
-            );
-            self.total_instructions += overhead_instructions;
-            extra_ns += overhead_ns;
-        }
-
-        let mut migrated = false;
-        if let Some(mask) = response.new_affinity {
-            if mask != self.processes[pid.index()].affinity() {
-                self.processes[pid.index()].set_affinity(mask);
-            }
-            if !mask.allows(core) && !mask.is_empty() {
-                // A real core switch: charge the migration cost and move the
-                // process to an allowed core's run queue.
-                let (switch_cycles, switch_ns) = self.cost.core_switch_cost(core);
-                self.processes[pid.index()].charge_block(
-                    0,
-                    switch_cycles as f64,
-                    switch_ns,
-                    kind_index,
-                );
-                extra_ns += switch_ns;
-                self.processes[pid.index()].stats_mut().core_switches += 1;
-                self.processes[pid.index()].set_ready();
-                self.enqueue_on_allowed_core(pid);
-                migrated = true;
-            }
-        }
-        (extra_ns, migrated)
-    }
-
-    /// Picks the next process to run on a core: its own queue first, then an
-    /// idle-steal from the most loaded core.
-    /// Picks the next process eligible to run on `core` at core-local time
-    /// `now_ns`. Jobs spawned mid-round by an earlier core may carry arrival
-    /// times ahead of `now_ns`; those are left queued so already-arrived
-    /// work behind them is never starved.
-    fn pick_process(&mut self, core: CoreId, now_ns: f64) -> Option<Pid> {
-        let arrived =
-            |processes: &[Process], pid: &Pid| processes[pid.index()].arrival_ns() <= now_ns;
-        if let Some(position) = self.cores[core.index()]
-            .runqueue
-            .iter()
-            .position(|pid| arrived(&self.processes, pid))
-        {
-            return self.cores[core.index()].runqueue.remove(position);
-        }
-        // Idle balancing: steal a ready, arrived process that may run here
-        // from the most loaded core.
-        let donor = self
-            .cores
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| *i != core.index())
-            .max_by_key(|(_, c)| c.runqueue.len())
-            .map(|(i, _)| i)?;
-        let position = self.cores[donor].runqueue.iter().position(|pid| {
-            self.processes[pid.index()].affinity().allows(core) && arrived(&self.processes, pid)
-        })?;
-        let pid = self.cores[donor].runqueue.remove(position)?;
-        self.processes[pid.index()].stats_mut().balancer_migrations += 1;
-        Some(pid)
-    }
-
-    /// Periodic load balancing: move waiting processes from the most loaded
-    /// to the least loaded core when the imbalance exceeds one.
-    fn load_balance(&mut self) {
-        loop {
-            let (busiest, busiest_len) = match self
-                .cores
-                .iter()
-                .enumerate()
-                .max_by_key(|(_, c)| c.runqueue.len())
-            {
-                Some((i, c)) => (i, c.runqueue.len()),
-                None => return,
-            };
-            let (idlest, idlest_len) = match self
-                .cores
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, c)| c.runqueue.len())
-            {
-                Some((i, c)) => (i, c.runqueue.len()),
-                None => return,
-            };
-            if busiest_len <= idlest_len + 1 {
-                return;
-            }
-            let target = CoreId(idlest as u32);
-            let position = self.cores[busiest]
-                .runqueue
-                .iter()
-                .position(|pid| self.processes[pid.index()].affinity().allows(target));
-            match position {
-                Some(pos) => {
-                    let pid = self.cores[busiest]
-                        .runqueue
-                        .remove(pos)
-                        .expect("position valid");
-                    self.processes[pid.index()].stats_mut().balancer_migrations += 1;
-                    self.cores[idlest].runqueue.push_back(pid);
-                }
-                None => return,
-            }
-        }
-    }
-
-    /// Starts the next job of a slot, if the queue is not exhausted.
-    fn start_next_job(&mut self, slot: usize, now_ns: f64) {
-        let state = &mut self.slots[slot];
-        if state.next >= state.jobs.len() {
-            return;
-        }
-        let job = state.jobs[state.next].clone();
-        state.next += 1;
-        let pid = Pid(self.processes.len() as u32);
-        let seed = self
-            .config
-            .seed
-            .wrapping_add(pid.0 as u64)
-            .wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        let process = Process::new(
-            pid,
-            job.name,
-            slot,
-            Arc::clone(&job.instrumented),
-            self.default_affinity,
-            now_ns,
-            seed,
-        );
-        self.hook.on_process_start(pid, &job.instrumented);
-        self.processes.push(process);
-        self.enqueue_on_allowed_core(pid);
-    }
-
-    /// Puts a ready process on the least-loaded core its affinity allows.
-    fn enqueue_on_allowed_core(&mut self, pid: Pid) {
-        let affinity = self.processes[pid.index()].affinity();
-        let target = self
-            .cores
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| affinity.allows(CoreId(*i as u32)) || affinity.is_empty())
-            .min_by_key(|(_, c)| c.runqueue.len() + usize::from(c.running.is_some()))
-            .map(|(i, _)| i)
-            .unwrap_or(0);
-        self.cores[target].runqueue.push_back(pid);
-    }
-
-    fn block_cost_cached(
-        &mut self,
-        program: &Arc<phase_ir::Program>,
-        loc: Location,
-        core: CoreId,
-        sharing: SharingContext,
-    ) -> BlockCost {
-        let key = CostKey {
-            program: Arc::as_ptr(program) as usize,
-            loc,
-            core_kind: self.cost.spec().kind_of(core).0,
-            sharers: sharing.l2_sharers.min(8),
-        };
-        if let Some(cost) = self.cost_cache.get(&key) {
-            return *cost;
-        }
-        let block = program
-            .block(loc)
-            .expect("interpreter location points at an existing block");
-        let cost = self.cost.block_cost(core, block, sharing);
-        self.cost_cache.insert(key, cost);
-        cost
-    }
-
-    fn into_result(self) -> SimResult {
-        let records: Vec<ProcessRecord> = self
-            .processes
-            .iter()
-            .map(|p| ProcessRecord {
-                pid: p.pid(),
-                name: p.name().to_string(),
-                slot: p.slot(),
-                arrival_ns: p.arrival_ns(),
-                completion_ns: p.completion_ns(),
-                stats: *p.stats(),
-            })
-            .collect();
-        let total_marks_executed = records.iter().map(|r| r.stats.marks_executed).sum();
-        let total_core_switches = records.iter().map(|r| r.stats.core_switches).sum();
-        SimResult {
-            label: self.label,
-            records,
-            total_instructions: self.total_instructions,
-            final_time_ns: self.clock_ns,
-            throughput_windows: self.throughput_windows,
-            core_busy_ns: self.cores.iter().map(|c| c.busy_ns).collect(),
-            total_marks_executed,
-            total_core_switches,
+    pub fn run(self) -> SimResult {
+        match self.core.config.engine {
+            EngineKind::RoundBased => round::run(self.core),
+            EngineKind::EventDriven => event::run(self.core),
         }
     }
 }
@@ -658,6 +217,8 @@ impl<H: PhaseHook> Simulation<H> {
 /// Runs a single benchmark alone on the machine (no co-runners), returning
 /// its record. This is the paper's "runtime in isolation" measurement used by
 /// Table 1 and by the stretch metric's per-process processing time `t_i`.
+/// It is a thin wrapper over [`Simulation`] — isolation runs share the exact
+/// engine path of full workloads.
 pub fn run_in_isolation<H: PhaseHook>(
     name: &str,
     instrumented: Arc<InstrumentedProgram>,
@@ -683,7 +244,8 @@ pub fn run_in_isolation<H: PhaseHook>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::hooks::NullHook;
+    use crate::hooks::{MarkContext, NullHook};
+    use phase_amp::AffinityMask;
     use phase_analysis::{BlockTyping, PhaseType};
     use phase_ir::{Instruction, Location as IrLocation, ProgramBuilder, Terminator};
     use phase_marking::{instrument, MarkingConfig};
@@ -736,6 +298,7 @@ mod tests {
             throughput_window_ns: 1_000_000.0,
             seed: 1,
             charge_mark_overhead: true,
+            engine: EngineKind::EventDriven,
         }
     }
 
@@ -862,7 +425,7 @@ mod tests {
     #[test]
     fn identical_seeds_give_identical_results() {
         let bench = small_benchmark(30);
-        let run = || {
+        let run = |engine: EngineKind| {
             let slots = vec![
                 vec![JobSpec::new("a", Arc::clone(&bench))],
                 vec![JobSpec::new("b", Arc::clone(&bench))],
@@ -872,15 +435,74 @@ mod tests {
                 MachineSpec::core2_quad_amp(),
                 slots,
                 NullHook,
-                quick_config(),
+                SimConfig {
+                    engine,
+                    ..quick_config()
+                },
             )
             .run()
         };
-        let r1 = run();
-        let r2 = run();
-        assert_eq!(r1.total_instructions, r2.total_instructions);
-        assert_eq!(r1.final_time_ns, r2.final_time_ns);
-        assert_eq!(r1.records, r2.records);
+        for engine in [EngineKind::EventDriven, EngineKind::RoundBased] {
+            let r1 = run(engine);
+            let r2 = run(engine);
+            assert_eq!(r1.total_instructions, r2.total_instructions);
+            assert_eq!(r1.final_time_ns, r2.final_time_ns);
+            assert_eq!(r1.records, r2.records);
+        }
+    }
+
+    #[test]
+    fn engines_agree_on_a_multi_slot_workload() {
+        let bench = small_benchmark(25);
+        let run = |engine: EngineKind| {
+            let slots = vec![
+                vec![
+                    JobSpec::new("a", Arc::clone(&bench)),
+                    JobSpec::new("b", Arc::clone(&bench)),
+                ],
+                vec![JobSpec::new("c", Arc::clone(&bench))],
+                vec![JobSpec::new("d", Arc::clone(&bench)).released_at(1_234_567.0)],
+            ];
+            Simulation::new(
+                "golden",
+                MachineSpec::core2_quad_amp(),
+                slots,
+                NullHook,
+                SimConfig {
+                    engine,
+                    ..quick_config()
+                },
+            )
+            .run()
+        };
+        let round = run(EngineKind::RoundBased);
+        let event = run(EngineKind::EventDriven);
+        assert_eq!(round.records, event.records);
+        assert_eq!(round.total_instructions, event.total_instructions);
+        assert_eq!(round.final_time_ns, event.final_time_ns);
+        assert_eq!(round.throughput_windows, event.throughput_windows);
+        assert_eq!(round.core_busy_ns, event.core_busy_ns);
+    }
+
+    #[test]
+    fn released_jobs_never_start_before_their_release_time() {
+        let bench = small_benchmark(10);
+        let release = 2_000_000.0;
+        let slots = vec![
+            vec![JobSpec::new("early", Arc::clone(&bench))],
+            vec![JobSpec::new("late", bench).released_at(release)],
+        ];
+        let sim = Simulation::new(
+            "bursty",
+            MachineSpec::core2_quad_amp(),
+            slots,
+            NullHook,
+            quick_config(),
+        );
+        let result = sim.run();
+        let late = result.records.iter().find(|r| r.name == "late").unwrap();
+        assert_eq!(late.arrival_ns, release);
+        assert!(late.completion_ns.unwrap() > release);
     }
 
     #[test]

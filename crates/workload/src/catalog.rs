@@ -76,6 +76,30 @@ impl Catalog {
         Self::standard(0.04, seed)
     }
 
+    /// A catalogue built from an explicit profile list at the given scale.
+    pub fn from_profiles(profiles: Vec<BenchmarkProfile>, scale: f64, seed: u64) -> Self {
+        let benchmarks = profiles
+            .into_iter()
+            .map(|p| Benchmark::generate(p.scaled(scale), seed))
+            .collect();
+        Self { benchmarks }
+    }
+
+    /// The mixed CPU/memory scenario family ([`mixed_profiles`]) at the given
+    /// scale: programs whose phase sequences interleave three or more
+    /// behavioural flavours, producing far denser phase-transition traffic
+    /// than the Table 1 benchmarks.
+    pub fn mixed(scale: f64, seed: u64) -> Self {
+        Self::from_profiles(mixed_profiles(), scale, seed)
+    }
+
+    /// The standard Table 1 catalogue plus the mixed scenario family.
+    pub fn extended(scale: f64, seed: u64) -> Self {
+        let mut profiles = standard_profiles();
+        profiles.extend(mixed_profiles());
+        Self::from_profiles(profiles, scale, seed)
+    }
+
     /// Number of benchmarks.
     pub fn len(&self) -> usize {
         self.benchmarks.len()
@@ -243,6 +267,73 @@ pub fn standard_profiles() -> Vec<BenchmarkProfile> {
     ]
 }
 
+/// The mixed CPU/memory scenario family: synthetic programs whose phase
+/// sequences interleave three or more behavioural flavours per outer
+/// iteration. Where the Table 1 benchmarks mostly alternate between two
+/// phases, these stress the tuner (and the event-driven engine) with dense,
+/// irregular phase-transition traffic.
+pub fn mixed_profiles() -> Vec<BenchmarkProfile> {
+    vec![
+        // FFT-then-sort pipeline: compute, stream, cache-resident shuffle,
+        // pointer-heavy merge — four flavours per iteration.
+        BenchmarkProfile::new(
+            "mix.fftsort",
+            vec![
+                PhaseSpec::cpu_float(120, 20, 28),
+                PhaseSpec::memory_streaming(80, 20, 28, 64 * 1024 * 1024),
+                PhaseSpec::balanced(60, 15, 22),
+                PhaseSpec::pointer_chase(40, 15, 24, 32 * 1024 * 1024),
+            ],
+            18,
+        ),
+        // Render pass: heavy FP shading with cache-resident setup and a
+        // streaming write-back sweep.
+        BenchmarkProfile::new(
+            "mix.render",
+            vec![
+                PhaseSpec::balanced(50, 15, 20),
+                PhaseSpec::cpu_float(200, 25, 30),
+                PhaseSpec::memory_streaming(90, 25, 30, 96 * 1024 * 1024),
+            ],
+            16,
+        ),
+        // Database join: index walks, integer filtering, then a scan of the
+        // fact table.
+        BenchmarkProfile::new(
+            "mix.dbjoin",
+            vec![
+                PhaseSpec::pointer_chase(140, 20, 26, 96 * 1024 * 1024),
+                PhaseSpec::cpu_integer(90, 20, 24),
+                PhaseSpec::memory_streaming(70, 20, 28, 128 * 1024 * 1024),
+            ],
+            14,
+        ),
+        // Compress-and-ship loop: integer compression, a streaming copy, and
+        // cache-resident checksumming, changing behaviour very frequently.
+        BenchmarkProfile::new(
+            "mix.compress",
+            vec![
+                PhaseSpec::cpu_integer(70, 12, 24),
+                PhaseSpec::memory_streaming(50, 12, 24, 24 * 1024 * 1024),
+                PhaseSpec::balanced(30, 10, 18),
+            ],
+            40,
+        ),
+        // Molecular-dynamics step: neighbour-list chase, FP force kernel,
+        // integer bookkeeping, coordinate streaming.
+        BenchmarkProfile::new(
+            "mix.mdstep",
+            vec![
+                PhaseSpec::pointer_chase(60, 15, 24, 48 * 1024 * 1024),
+                PhaseSpec::cpu_float(160, 20, 30),
+                PhaseSpec::cpu_integer(40, 12, 20),
+                PhaseSpec::memory_streaming(70, 20, 28, 64 * 1024 * 1024),
+            ],
+            12,
+        ),
+    ]
+}
+
 /// Names of the benchmarks in [`standard_profiles`], in catalogue order.
 pub fn standard_benchmark_names() -> Vec<&'static str> {
     vec![
@@ -328,6 +419,34 @@ mod tests {
         assert!(catalog.get(BenchmarkId(99)).is_none());
         assert!(!catalog.is_empty());
         assert_eq!(catalog.iter().count(), 15);
+    }
+
+    #[test]
+    fn mixed_profiles_interleave_at_least_three_flavours() {
+        let profiles = mixed_profiles();
+        assert!(profiles.len() >= 5);
+        for profile in &profiles {
+            assert!(
+                profile.distinct_phase_kinds() >= 3,
+                "{} mixes only {} phase kinds",
+                profile.name,
+                profile.distinct_phase_kinds()
+            );
+            assert!(profile.name.starts_with("mix."));
+        }
+    }
+
+    #[test]
+    fn extended_catalogue_holds_both_families() {
+        let extended = Catalog::extended(0.04, 5);
+        assert_eq!(extended.len(), 15 + mixed_profiles().len());
+        assert!(extended.by_name("183.equake").is_some());
+        assert!(extended.by_name("mix.fftsort").is_some());
+        let mixed = Catalog::mixed(0.04, 5);
+        assert_eq!(mixed.len(), mixed_profiles().len());
+        for (_, bench) in mixed.iter() {
+            assert!(bench.program().stats().instructions > 0);
+        }
     }
 
     #[test]

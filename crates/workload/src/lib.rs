@@ -35,7 +35,9 @@ mod generator;
 mod profile;
 mod workload;
 
-pub use catalog::{standard_benchmark_names, standard_profiles, Benchmark, BenchmarkId, Catalog};
+pub use catalog::{
+    mixed_profiles, standard_benchmark_names, standard_profiles, Benchmark, BenchmarkId, Catalog,
+};
 pub use generator::generate_program;
 pub use profile::{BenchmarkProfile, PhaseKind, PhaseSpec};
 pub use workload::{JobQueue, Workload};

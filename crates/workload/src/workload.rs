@@ -15,16 +15,32 @@ use serde::{Deserialize, Serialize};
 
 use crate::catalog::{BenchmarkId, Catalog};
 
-/// One workload slot: an ordered queue of benchmarks run back to back.
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+/// One workload slot: an ordered queue of benchmarks run back to back,
+/// optionally released (started) only after a given time.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct JobQueue {
     jobs: Vec<BenchmarkId>,
+    release_ns: f64,
 }
 
 impl JobQueue {
-    /// Creates a queue from an explicit job list.
+    /// Creates a queue from an explicit job list, released at time zero.
     pub fn new(jobs: Vec<BenchmarkId>) -> Self {
-        Self { jobs }
+        Self {
+            jobs,
+            release_ns: 0.0,
+        }
+    }
+
+    /// Delays the queue's first job until `release_ns` (bursty arrivals).
+    pub fn released_at(mut self, release_ns: f64) -> Self {
+        self.release_ns = release_ns;
+        self
+    }
+
+    /// The earliest time the queue's first job may start, in nanoseconds.
+    pub fn release_ns(&self) -> f64 {
+        self.release_ns
     }
 
     /// The jobs in execution order.
@@ -49,7 +65,7 @@ impl JobQueue {
 }
 
 /// A workload: a fixed number of slots, each with its own job queue.
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct Workload {
     slots: Vec<JobQueue>,
 }
@@ -88,6 +104,38 @@ impl Workload {
             })
             .collect();
         Self { slots }
+    }
+
+    /// Builds a bursty-arrival workload: the same random queues as
+    /// [`Workload::random`], but the slots are split into `bursts` equal
+    /// waves and wave `k` is released only at `k * burst_gap_ns`. Between
+    /// waves most cores drain and idle — the scenario the event-driven
+    /// engine skips over and the round-based engine grinds through.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same empty inputs as [`Workload::random`], if `bursts`
+    /// is zero, or if `burst_gap_ns` is negative or non-finite.
+    pub fn bursty(
+        catalog: &Catalog,
+        slots: usize,
+        jobs_per_slot: usize,
+        bursts: usize,
+        burst_gap_ns: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(bursts > 0, "a bursty workload needs at least one burst");
+        assert!(
+            burst_gap_ns.is_finite() && burst_gap_ns >= 0.0,
+            "burst gap must be a non-negative time"
+        );
+        let mut workload = Self::random(catalog, slots, jobs_per_slot, seed);
+        let bursts = bursts.min(slots);
+        for (index, queue) in workload.slots.iter_mut().enumerate() {
+            let wave = index * bursts / slots;
+            queue.release_ns = wave as f64 * burst_gap_ns;
+        }
+        workload
     }
 
     /// The paper's workload sizes: 18 to 84 simultaneous benchmarks.
@@ -179,6 +227,34 @@ mod tests {
         let histogram = workload.job_histogram(catalog.len());
         let used = histogram.iter().filter(|c| **c > 0).count();
         assert!(used >= catalog.len() - 2, "only {used} benchmarks used");
+    }
+
+    #[test]
+    fn bursty_workload_staggers_releases_in_waves() {
+        let catalog = catalog();
+        let workload = Workload::bursty(&catalog, 12, 2, 3, 5_000_000.0, 4);
+        assert_eq!(workload.size(), 12);
+        let releases: Vec<f64> = workload.slots().iter().map(JobQueue::release_ns).collect();
+        // First wave starts immediately, later waves are delayed.
+        assert_eq!(releases[0], 0.0);
+        assert_eq!(releases[11], 10_000_000.0);
+        // Releases are non-decreasing across slots and form exactly 3 waves.
+        assert!(releases.windows(2).all(|w| w[0] <= w[1]));
+        let mut distinct = releases.clone();
+        distinct.dedup();
+        assert_eq!(distinct.len(), 3);
+        // The queues themselves match the plain random workload.
+        let plain = Workload::random(&catalog, 12, 2, 4);
+        for (bursty, random) in workload.slots().iter().zip(plain.slots()) {
+            assert_eq!(bursty.jobs(), random.jobs());
+        }
+    }
+
+    #[test]
+    fn single_burst_degenerates_to_all_at_once() {
+        let catalog = catalog();
+        let workload = Workload::bursty(&catalog, 6, 1, 1, 1_000_000.0, 9);
+        assert!(workload.slots().iter().all(|q| q.release_ns() == 0.0));
     }
 
     #[test]

@@ -2,6 +2,11 @@
 //! on one catalogue benchmark and print what every stage found — CFG shape,
 //! loops, block types, sections, and phase marks for each technique.
 //!
+//! This example is purely static (no simulation cells), so it is the one
+//! example that does not go through the `ExperimentPlan`/`Driver` API; see
+//! `quickstart`, `spec_workload`, and `tune_once_run_anywhere` for the
+//! dynamic side.
+//!
 //! Run with:
 //!
 //! ```text

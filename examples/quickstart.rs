@@ -10,7 +10,10 @@
 use phase_tuning::substrate::amp::MachineSpec;
 use phase_tuning::substrate::ir::{AccessPattern, Instruction, MemRef, ProgramBuilder, Terminator};
 use phase_tuning::substrate::marking::MarkingConfig;
-use phase_tuning::{prepare_program, run_comparison, ExperimentConfig, PipelineConfig};
+use phase_tuning::{
+    comparison_result, planned_workload, prepare_program, prepare_workload, Driver,
+    ExperimentConfig, ExperimentPlan, PipelineConfig, Policy,
+};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Build a small program that alternates between a CPU-bound phase and
@@ -66,18 +69,36 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // 3. Run a small workload comparison: stock scheduler vs. phase-based
-    //    tuning on identical job queues.
-    let config = ExperimentConfig {
+    //    tuning on identical job queues. The cells are described by an
+    //    ExperimentPlan (here the cross-product of one workload, one machine,
+    //    and two policies) and fanned out by the parallel Driver; bigger
+    //    sweeps just add workloads, machines, or policies to the cross.
+    let mut config = ExperimentConfig {
         workload_slots: 8,
         jobs_per_slot: 2,
         catalog_scale: 0.12,
         ..ExperimentConfig::default()
     };
+    // The cross-product below seeds its cells with cell_seed(base, 0);
+    // adopting that seed up front keeps the isolated runtimes measured by
+    // prepare_workload on the same stochastic realization as the cells.
+    config.sim.seed = phase_tuning::cell_seed(config.workload_seed, 0);
     println!(
         "\nrunning baseline vs. phase-tuned workload ({} slots)...",
         config.workload_slots
     );
-    let outcome = run_comparison(&config);
+    let prepared = prepare_workload(&config);
+    let plan = ExperimentPlan::cross(
+        &[planned_workload("quickstart", &prepared)],
+        std::slice::from_ref(&config.machine),
+        &[Policy::Stock, Policy::Tuned(config.tuner)],
+        config.sim,
+        config.workload_seed,
+    );
+    let group = format!("quickstart/{}", config.machine.name);
+    let cells = Driver::new(2).run(plan);
+    let outcome = comparison_result(&group, &cells, &config, &prepared)
+        .expect("the cross-product contains the comparison cells");
 
     println!(
         "throughput: {} ({} -> {} instructions)",

@@ -6,7 +6,7 @@
 //! Run with:
 //!
 //! ```text
-//! cargo run --release --example spec_workload -- [slots] [jobs_per_slot]
+//! cargo run --release --example spec_workload -- [slots] [jobs_per_slot] [ipc_threshold] [threads]
 //! ```
 
 use phase_tuning::substrate::marking::MarkingConfig;
@@ -22,11 +22,16 @@ fn main() {
         .next()
         .and_then(|a| a.parse().ok())
         .unwrap_or_else(|| phase_tuning::substrate::runtime::TunerConfig::default().ipc_threshold);
+    let threads: usize = args
+        .next()
+        .and_then(|a| a.parse().ok())
+        .unwrap_or_else(|| phase_tuning::Driver::default().threads());
 
     let mut config = ExperimentConfig {
         workload_slots: slots,
         jobs_per_slot,
         pipeline: PipelineConfig::with_marking(MarkingConfig::paper_best()),
+        threads,
         ..ExperimentConfig::default()
     };
     config.tuner.ipc_threshold = ipc_threshold;
@@ -36,7 +41,9 @@ fn main() {
         "workload: {} slots x {} queued jobs, technique {}, machine {}",
         slots, jobs_per_slot, config.pipeline.marking, config.machine
     );
-    println!("running stock baseline and phase-tuned runs on identical queues...\n");
+    println!(
+        "running stock baseline and phase-tuned cells through the driver ({threads} workers)...\n"
+    );
 
     let outcome = run_comparison(&config);
 

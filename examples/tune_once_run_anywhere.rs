@@ -5,7 +5,9 @@
 //! The example instruments one benchmark once (no machine-specific
 //! information is baked in), then runs that same binary on three machines —
 //! the paper's 4-core AMP, the 3-core future-work AMP, and a symmetric
-//! control machine — and shows how the tuner's decisions differ.
+//! control machine — and shows how the tuner's decisions differ. The six
+//! runs (baseline and tuned per machine) are independent isolation cells of
+//! one `ExperimentPlan`, fanned out by the parallel `Driver`.
 //!
 //! Run with:
 //!
@@ -17,10 +19,13 @@ use std::sync::Arc;
 
 use phase_tuning::substrate::amp::MachineSpec;
 use phase_tuning::substrate::marking::MarkingConfig;
-use phase_tuning::substrate::runtime::{PhaseTuner, TunerConfig};
-use phase_tuning::substrate::sched::{run_in_isolation, NullHook, SimConfig};
+use phase_tuning::substrate::runtime::TunerConfig;
+use phase_tuning::substrate::sched::SimConfig;
 use phase_tuning::substrate::workload::Catalog;
-use phase_tuning::{format_duration_ns, prepare_program, PipelineConfig, TextTable};
+use phase_tuning::{
+    format_duration_ns, prepare_program, CellSpec, Driver, ExperimentPlan, PipelineConfig, Policy,
+    TextTable,
+};
 
 fn main() {
     let catalog = Catalog::standard(0.4, 7);
@@ -46,6 +51,24 @@ fn main() {
         MachineSpec::symmetric(4, 2.4),
     ];
 
+    // One isolation cell per (machine, policy): the same binary everywhere.
+    let mut plan = ExperimentPlan::new();
+    for machine in &machines {
+        for policy in [Policy::Stock, Policy::Tuned(TunerConfig::paper_table1())] {
+            let mut cell = CellSpec::isolation(
+                bench.name(),
+                Arc::clone(&instrumented),
+                machine.clone(),
+                policy,
+                SimConfig::default(),
+            );
+            cell.group = machine.name.clone();
+            cell.label = format!("{}/{}", machine.name, policy.name());
+            plan.push(cell);
+        }
+    }
+    let outcome = Driver::default().run(plan);
+
     let mut table = TextTable::new(vec![
         "Machine",
         "Baseline runtime",
@@ -53,29 +76,32 @@ fn main() {
         "Core switches",
         "Sections monitored",
     ]);
-    for machine in machines {
-        let baseline = run_in_isolation(
-            bench.name(),
-            Arc::clone(&instrumented),
-            machine.clone(),
-            NullHook,
-            SimConfig::default(),
-        );
-        let tuner = PhaseTuner::new(Arc::new(machine.clone()), TunerConfig::paper_table1());
-        let handle = tuner.clone();
-        let tuned = run_in_isolation(
-            bench.name(),
-            Arc::clone(&instrumented),
-            machine.clone(),
-            tuner,
-            SimConfig::default(),
-        );
+    for machine in &machines {
+        let baseline = outcome
+            .find(&machine.name, "stock")
+            .expect("plan holds the stock cell");
+        let tuned = outcome
+            .find(&machine.name, "tuned")
+            .expect("plan holds the tuned cell");
+        let runtime = |cell: &phase_tuning::CellResult| {
+            let record = cell.result.records.first().expect("isolation record");
+            format_duration_ns(record.completion_ns.unwrap_or_default())
+        };
+        let switches = tuned
+            .result
+            .records
+            .first()
+            .map(|r| r.stats.core_switches)
+            .unwrap_or_default();
         table.add_row(vec![
             machine.name.clone(),
-            format_duration_ns(baseline.completion_ns.unwrap_or_default()),
-            format_duration_ns(tuned.completion_ns.unwrap_or_default()),
-            tuned.stats.core_switches.to_string(),
-            handle.stats().sections_monitored.to_string(),
+            runtime(baseline),
+            runtime(tuned),
+            switches.to_string(),
+            tuned
+                .tuner_stats
+                .map(|s| s.sections_monitored.to_string())
+                .unwrap_or_default(),
         ]);
     }
     println!("{}", table.render());

@@ -182,4 +182,119 @@ proptest! {
             prop_assert_eq!(mask_a.allows(CoreId(core)), a.contains(&core));
         }
     }
+
+    /// The simulator's event queue never pops events out of timestamp order,
+    /// and ties resolve by kind rank (arrivals, balance, quanta) and core.
+    #[test]
+    fn event_queue_pops_in_timestamp_order(
+        events in proptest::collection::vec((0u64..50, 0u8..3, 0u32..4), 1..80),
+    ) {
+        use phase_tuning::substrate::sched::{EventKind, EventQueue};
+
+        let mut queue = EventQueue::new();
+        for &(slot, kind, core) in &events {
+            let time_ns = slot as f64 * 20_000.0;
+            let kind = match kind {
+                0 => EventKind::JobArrival { core: CoreId(core) },
+                1 => EventKind::LoadBalance,
+                _ => EventKind::QuantumExpiry { core: CoreId(core) },
+            };
+            queue.push(time_ns, kind);
+        }
+        prop_assert_eq!(queue.len(), events.len());
+
+        let rank = |kind: EventKind| match kind {
+            EventKind::JobArrival { .. } => 0u8,
+            EventKind::LoadBalance => 1,
+            EventKind::QuantumExpiry { .. } => 2,
+        };
+        let core_of = |kind: EventKind| match kind {
+            EventKind::JobArrival { core } | EventKind::QuantumExpiry { core } => core.0,
+            EventKind::LoadBalance => 0,
+        };
+        let mut previous: Option<(f64, u8, u32)> = None;
+        let mut popped = 0usize;
+        while let Some(event) = queue.pop() {
+            popped += 1;
+            let key = (event.time_ns(), rank(event.kind()), core_of(event.kind()));
+            if let Some(prev) = previous {
+                prop_assert!(
+                    prev <= key,
+                    "events popped out of order: {:?} then {:?}",
+                    prev,
+                    key
+                );
+            }
+            previous = Some(key);
+        }
+        prop_assert_eq!(popped, events.len());
+        prop_assert!(queue.is_empty());
+    }
+
+    /// The event-driven engine never completes a process before its arrival,
+    /// never starts a released job early, and completes every job when run
+    /// without a horizon — for arbitrary slot shapes, release times, and
+    /// seeds.
+    #[test]
+    fn event_engine_respects_arrival_causality(
+        slot_releases in proptest::collection::vec(0u32..150, 1..5),
+        loop_trips in 5u32..40,
+        seed in any::<u64>(),
+    ) {
+        use phase_tuning::substrate::sched::{JobSpec, NullHook, SimConfig, Simulation};
+        use phase_tuning::substrate::ir::{Instruction, ProgramBuilder, Terminator};
+
+        let mut builder = ProgramBuilder::new("prop-bench");
+        let main = builder.declare_procedure("main");
+        let mut body = builder.procedure_builder();
+        let work = body.add_block();
+        let exit = body.add_block();
+        body.push_all(work, std::iter::repeat_n(Instruction::int_alu(), 16));
+        body.loop_branch(work, work, exit, loop_trips);
+        body.terminate(exit, Terminator::Exit);
+        builder.define_procedure(main, body).expect("valid procedure");
+        let program = builder.build().expect("valid program");
+        let instrumented = std::sync::Arc::new(phase_tuning::uninstrumented(&program));
+
+        let slots: Vec<Vec<JobSpec>> = slot_releases
+            .iter()
+            .enumerate()
+            .map(|(index, &release)| {
+                vec![
+                    JobSpec::new(format!("first-{index}"), std::sync::Arc::clone(&instrumented))
+                        .released_at(release as f64 * 10_000.0),
+                    JobSpec::new(format!("second-{index}"), std::sync::Arc::clone(&instrumented)),
+                ]
+            })
+            .collect();
+        let config = SimConfig {
+            seed,
+            horizon_ns: None,
+            ..SimConfig::default()
+        };
+        let machine = phase_tuning::substrate::amp::MachineSpec::core2_quad_amp();
+        let result = Simulation::new("prop", machine, slots, NullHook, config).run();
+
+        prop_assert_eq!(result.records.len(), slot_releases.len() * 2);
+        prop_assert_eq!(result.completed_count(), slot_releases.len() * 2);
+        for record in &result.records {
+            let completion = record.completion_ns.expect("no horizon: all complete");
+            prop_assert!(
+                completion > record.arrival_ns,
+                "{} completed at {} before arriving at {}",
+                record.name,
+                completion,
+                record.arrival_ns
+            );
+        }
+        // Released first jobs arrive exactly at their release times.
+        for (index, &release) in slot_releases.iter().enumerate() {
+            let record = result
+                .records
+                .iter()
+                .find(|r| r.name == format!("first-{index}"))
+                .expect("record exists");
+            prop_assert_eq!(record.arrival_ns, release as f64 * 10_000.0);
+        }
+    }
 }
