@@ -267,7 +267,7 @@ impl MachineSpec {
     pub fn fastest_kind(&self) -> CoreKind {
         self.cores
             .iter()
-            .max_by(|a, b| a.freq_ghz.partial_cmp(&b.freq_ghz).expect("finite"))
+            .max_by(|a, b| a.freq_ghz.total_cmp(&b.freq_ghz))
             .map(|c| c.kind)
             .expect("machine has cores")
     }
@@ -276,7 +276,7 @@ impl MachineSpec {
     pub fn slowest_kind(&self) -> CoreKind {
         self.cores
             .iter()
-            .min_by(|a, b| a.freq_ghz.partial_cmp(&b.freq_ghz).expect("finite"))
+            .min_by(|a, b| a.freq_ghz.total_cmp(&b.freq_ghz))
             .map(|c| c.kind)
             .expect("machine has cores")
     }

@@ -37,6 +37,10 @@ pub struct Clustering {
     pub assignments: Vec<usize>,
     /// Number of Lloyd iterations actually performed.
     pub iterations: usize,
+    /// The number of clusters actually produced: `min(config.k, points.len())`
+    /// (zero for an empty input). Requesting more clusters than points would
+    /// otherwise manufacture degenerate duplicate centroids.
+    pub effective_k: usize,
 }
 
 impl Clustering {
@@ -91,14 +95,18 @@ pub fn kmeans(points: &[[f64; 2]], config: KMeansConfig) -> Clustering {
     assert!(config.k > 0, "k-means needs at least one cluster");
     if points.is_empty() {
         return Clustering {
-            centroids: vec![[0.0, 0.0]; config.k],
+            centroids: Vec::new(),
             assignments: Vec::new(),
             iterations: 0,
+            effective_k: 0,
         };
     }
 
+    // More clusters than points would leave some clusters permanently empty;
+    // clamp instead of silently producing degenerate duplicate centroids.
+    let effective_k = config.k.min(points.len());
     let mut rng = StdRng::seed_from_u64(config.seed);
-    let mut centroids = initial_centroids(points, config.k, &mut rng);
+    let mut centroids = initial_centroids(points, effective_k, &mut rng);
     let mut assignments = vec![0usize; points.len()];
     let mut iterations = 0;
 
@@ -111,9 +119,7 @@ pub fn kmeans(points: &[[f64; 2]], config: KMeansConfig) -> Clustering {
                 .iter()
                 .enumerate()
                 .min_by(|(_, a), (_, b)| {
-                    squared_distance(*p, **a)
-                        .partial_cmp(&squared_distance(*p, **b))
-                        .expect("distances are finite")
+                    squared_distance(*p, **a).total_cmp(&squared_distance(*p, **b))
                 })
                 .map(|(idx, _)| idx)
                 .expect("at least one centroid");
@@ -130,13 +136,31 @@ pub fn kmeans(points: &[[f64; 2]], config: KMeansConfig) -> Clustering {
             sums[a][1] += p[1];
             counts[a] += 1;
         }
-        for (c, (sum, count)) in centroids.iter_mut().zip(sums.iter().zip(&counts)) {
+        for (cluster, (sum, count)) in sums.iter().zip(&counts).enumerate() {
             if *count > 0 {
-                *c = [sum[0] / *count as f64, sum[1] / *count as f64];
+                centroids[cluster] = [sum[0] / *count as f64, sum[1] / *count as f64];
             } else {
-                // Re-seed an empty cluster on a random point to keep k
-                // clusters alive.
-                *c = *points.choose(&mut rng).expect("points is non-empty");
+                // Re-seed an empty cluster on the point farthest from its
+                // current centroid — the standard deterministic repair, which
+                // keeps all k clusters alive without a coin flip. Coincident
+                // inputs (zero spread) are left alone: splitting a point off
+                // an identical twin would not improve anything.
+                let farthest = points
+                    .iter()
+                    .enumerate()
+                    .max_by(|(i, p), (j, q)| {
+                        squared_distance(**p, centroids[assignments[*i]])
+                            .total_cmp(&squared_distance(**q, centroids[assignments[*j]]))
+                    })
+                    .map(|(i, _)| i)
+                    .expect("points is non-empty");
+                if squared_distance(points[farthest], centroids[assignments[farthest]])
+                    > f64::EPSILON
+                {
+                    centroids[cluster] = points[farthest];
+                    assignments[farthest] = cluster;
+                    changed = true;
+                }
             }
         }
         if !changed && iterations > 1 {
@@ -148,6 +172,7 @@ pub fn kmeans(points: &[[f64; 2]], config: KMeansConfig) -> Clustering {
         centroids,
         assignments,
         iterations,
+        effective_k,
     }
 }
 
@@ -236,7 +261,7 @@ mod tests {
     }
 
     #[test]
-    fn handles_fewer_points_than_clusters() {
+    fn clamps_k_to_the_point_count() {
         let points = vec![[0.5, 0.5]];
         let clustering = kmeans(
             &points,
@@ -245,15 +270,49 @@ mod tests {
                 ..Default::default()
             },
         );
-        assert_eq!(clustering.cluster_count(), 3);
-        assert_eq!(clustering.assignments.len(), 1);
+        assert_eq!(clustering.effective_k, 1);
+        assert_eq!(clustering.cluster_count(), 1);
+        assert_eq!(clustering.assignments, vec![0]);
     }
 
     #[test]
     fn handles_empty_input() {
         let clustering = kmeans(&[], KMeansConfig::default());
         assert!(clustering.assignments.is_empty());
+        assert!(clustering.centroids.is_empty());
         assert_eq!(clustering.iterations, 0);
+        assert_eq!(clustering.effective_k, 0);
+    }
+
+    #[test]
+    fn effective_k_matches_requested_k_when_points_suffice() {
+        let clustering = kmeans(&two_blobs(), KMeansConfig::default());
+        assert_eq!(clustering.effective_k, 2);
+        assert_eq!(clustering.cluster_count(), 2);
+    }
+
+    #[test]
+    fn every_cluster_stays_alive_on_skewed_input() {
+        // One far outlier plus a tight blob: without empty-cluster repair a
+        // k=3 run can converge with a dead centroid.
+        let mut points = vec![[100.0, 100.0]];
+        for i in 0..12 {
+            points.push([0.001 * i as f64, 0.0]);
+        }
+        let clustering = kmeans(
+            &points,
+            KMeansConfig {
+                k: 3,
+                ..Default::default()
+            },
+        );
+        assert_eq!(clustering.effective_k, 3);
+        for cluster in 0..clustering.cluster_count() {
+            assert!(
+                clustering.cluster_size(cluster) > 0,
+                "cluster {cluster} is empty"
+            );
+        }
     }
 
     #[test]

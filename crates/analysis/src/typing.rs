@@ -221,11 +221,7 @@ pub fn assign_block_types(program: &Program, config: &StaticTypingConfig) -> Blo
     // Canonical order: sort clusters by decreasing compute intensity of their
     // centroid, so PhaseType(0) is always the most CPU-bound cluster.
     let mut order: Vec<usize> = (0..clustering.cluster_count()).collect();
-    order.sort_by(|a, b| {
-        clustering.centroids[*b][0]
-            .partial_cmp(&clustering.centroids[*a][0])
-            .expect("centroids are finite")
-    });
+    order.sort_by(|a, b| clustering.centroids[*b][0].total_cmp(&clustering.centroids[*a][0]));
     let mut relabel = vec![0u32; clustering.cluster_count()];
     for (new_label, original) in order.into_iter().enumerate() {
         relabel[original] = new_label as u32;

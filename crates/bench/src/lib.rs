@@ -20,6 +20,7 @@
 //! | Section III / IV-B (mark statistics) | `table_mark_stats` |
 //! | Section VII (3-core AMP) | `exp_three_core` |
 //! | engine/driver baseline (`BENCH_engine.json`) | `bench_engine` |
+//! | online vs. static tuning (`BENCH_online.json`) | `online_vs_static` |
 //!
 //! The dynamic binaries build an `ExperimentPlan` and fan its cells across
 //! the parallel `Driver` of `phase-core`; the Criterion benches
@@ -77,6 +78,17 @@ pub fn driver() -> Driver {
     Driver::new(threads())
 }
 
+/// The sampling-interval override for online-tuning binaries, honouring
+/// `PHASE_BENCH_INTERVAL` (and therefore the `--interval=N` flag, which sets
+/// it): `Some(nanoseconds)` restricts an interval sweep to that single
+/// period, `None` (the default) lets the binary sweep its built-in list.
+pub fn sample_interval_override_ns() -> Option<f64> {
+    std::env::var("PHASE_BENCH_INTERVAL")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|ns: &f64| ns.is_finite() && *ns > 0.0)
+}
+
 /// The experiment configuration shared by the dynamic experiments: the
 /// paper's machine, the given marking technique, and a continuously fed
 /// workload measured over a fixed horizon.
@@ -112,7 +124,11 @@ pub fn overhead_variants() -> Vec<MarkingConfig> {
 ///   the throughput/fairness experiments;
 /// * `--threads=N` — same as `PHASE_BENCH_THREADS=N`: how many worker
 ///   threads the parallel experiment driver fans cells across (default: all
-///   hardware threads).
+///   hardware threads);
+/// * `--interval=N` — same as `PHASE_BENCH_INTERVAL=N`: the online tuner's
+///   hardware-counter sampling period in nanoseconds. Binaries that sweep
+///   the sampling interval (`online_vs_static`) restrict the sweep to this
+///   single value; binaries without an online policy ignore it.
 ///
 /// Flags override the corresponding environment variables, and the variables
 /// are how the parsed values reach [`experiment_config`] / [`driver`], so
@@ -124,7 +140,7 @@ pub fn init(artifact: &str, description: &str) {
                 println!("{artifact}");
                 println!("{description}");
                 println!();
-                println!("USAGE: [--quick] [--slots=N] [--threads=N]");
+                println!("USAGE: [--quick] [--slots=N] [--threads=N] [--interval=N]");
                 println!("  --quick, -q   reduced catalogue/horizon (env: PHASE_BENCH_QUICK=1)");
                 println!(
                     "  --slots=N     workload size (env: PHASE_BENCH_SLOTS; \
@@ -133,6 +149,10 @@ pub fn init(artifact: &str, description: &str) {
                 println!(
                     "  --threads=N   driver worker threads (env: PHASE_BENCH_THREADS; \
                      default: all hardware threads)"
+                );
+                println!(
+                    "  --interval=N  online sampling period in ns (env: PHASE_BENCH_INTERVAL; \
+                     default: sweep the binary's built-in list)"
                 );
                 std::process::exit(0);
             }
@@ -158,6 +178,21 @@ pub fn init(artifact: &str, description: &str) {
                         }
                         _ => {
                             eprintln!("invalid --threads value: {n} (expected a positive integer)");
+                            std::process::exit(2);
+                        }
+                    }
+                }
+                if let Some(n) = other.strip_prefix("--interval=") {
+                    match n.parse::<f64>() {
+                        Ok(ns) if ns.is_finite() && ns > 0.0 => {
+                            std::env::set_var("PHASE_BENCH_INTERVAL", n);
+                            continue;
+                        }
+                        _ => {
+                            eprintln!(
+                                "invalid --interval value: {n} (expected nanoseconds as a \
+                                 positive number)"
+                            );
                             std::process::exit(2);
                         }
                     }
@@ -216,5 +251,16 @@ mod tests {
     #[test]
     fn overhead_variants_match_table2() {
         assert_eq!(overhead_variants().len(), 18);
+    }
+
+    #[test]
+    fn interval_override_honours_the_environment() {
+        std::env::remove_var("PHASE_BENCH_INTERVAL");
+        assert_eq!(sample_interval_override_ns(), None);
+        std::env::set_var("PHASE_BENCH_INTERVAL", "250000");
+        assert_eq!(sample_interval_override_ns(), Some(250_000.0));
+        std::env::set_var("PHASE_BENCH_INTERVAL", "-5");
+        assert_eq!(sample_interval_override_ns(), None, "negative is rejected");
+        std::env::remove_var("PHASE_BENCH_INTERVAL");
     }
 }

@@ -22,6 +22,7 @@ use parking_lot::Mutex;
 use phase_amp::{AffinityMask, MachineSpec};
 use phase_marking::InstrumentedProgram;
 use phase_metrics::SummaryStats;
+use phase_online::{OnlineConfig, OnlineStats, OnlineTuner};
 use phase_runtime::{PhaseTuner, TunerConfig, TunerStats};
 use phase_sched::{AllCoresHook, JobSpec, NullHook, SimConfig, SimResult, Simulation};
 
@@ -35,6 +36,10 @@ pub enum Policy {
     AllCores,
     /// The phase-based tuner with the given configuration.
     Tuned(TunerConfig),
+    /// The online tuner (`phase-online`): no static marks — phases are
+    /// detected from the periodic hardware-counter sample stream, so online
+    /// cells run the *uninstrumented* binaries, exactly like `Stock`.
+    Online(OnlineConfig),
 }
 
 impl Policy {
@@ -44,6 +49,17 @@ impl Policy {
             Policy::Stock => "stock",
             Policy::AllCores => "all-cores",
             Policy::Tuned(_) => "tuned",
+            Policy::Online(_) => "online",
+        }
+    }
+
+    /// Whether cells under this policy run the phase-marked binaries.
+    /// `Stock` and `Online` run the uninstrumented twins: the former by
+    /// definition, the latter because online detection needs no marks.
+    pub fn runs_instrumented(&self) -> bool {
+        match self {
+            Policy::Stock | Policy::Online(_) => false,
+            Policy::AllCores | Policy::Tuned(_) => true,
         }
     }
 }
@@ -146,9 +162,10 @@ impl ExperimentPlan {
             let seed = cell_seed(base_seed, windex as u64);
             for machine in machines {
                 for policy in policies {
-                    let slots = match policy {
-                        Policy::Stock => workload.baseline_slots.clone(),
-                        Policy::AllCores | Policy::Tuned(_) => workload.tuned_slots.clone(),
+                    let slots = if policy.runs_instrumented() {
+                        workload.tuned_slots.clone()
+                    } else {
+                        workload.baseline_slots.clone()
                     };
                     plan.push(CellSpec {
                         group: format!("{}/{}", workload.name, machine.name),
@@ -206,6 +223,8 @@ pub struct CellResult {
     pub result: SimResult,
     /// What the tuner did, for `Policy::Tuned` cells.
     pub tuner_stats: Option<TunerStats>,
+    /// What the online tuner did, for `Policy::Online` cells.
+    pub online_stats: Option<OnlineStats>,
 }
 
 /// Order-independent counters folded in as cells finish (streaming
@@ -343,7 +362,7 @@ impl Driver {
 
 /// Executes one cell under its policy.
 fn run_cell(index: usize, spec: &CellSpec) -> CellResult {
-    let (result, tuner_stats) = match &spec.policy {
+    let (result, tuner_stats, online_stats) = match &spec.policy {
         Policy::Stock => {
             let sim = Simulation::new(
                 spec.label.clone(),
@@ -352,7 +371,7 @@ fn run_cell(index: usize, spec: &CellSpec) -> CellResult {
                 NullHook,
                 spec.sim,
             );
-            (sim.run(), None)
+            (sim.run(), None, None)
         }
         Policy::AllCores => {
             let hook = AllCoresHook::new(AffinityMask::all_cores(&spec.machine));
@@ -363,7 +382,7 @@ fn run_cell(index: usize, spec: &CellSpec) -> CellResult {
                 hook,
                 spec.sim,
             );
-            (sim.run(), None)
+            (sim.run(), None, None)
         }
         Policy::Tuned(config) => {
             let tuner = PhaseTuner::new(Arc::new(spec.machine.clone()), *config);
@@ -375,7 +394,25 @@ fn run_cell(index: usize, spec: &CellSpec) -> CellResult {
                 tuner,
                 spec.sim,
             );
-            (sim.run(), Some(handle.stats()))
+            (sim.run(), Some(handle.stats()), None)
+        }
+        Policy::Online(config) => {
+            let tuner = OnlineTuner::new(Arc::new(spec.machine.clone()), *config);
+            let handle = tuner.clone();
+            // The policy carries the sampling period; the cell's SimConfig
+            // gains it here so callers don't have to keep the two in sync.
+            let sim_config = SimConfig {
+                sample_interval_ns: Some(config.sample_interval_ns),
+                ..spec.sim
+            };
+            let sim = Simulation::new(
+                spec.label.clone(),
+                spec.machine.clone(),
+                spec.slots.clone(),
+                tuner,
+                sim_config,
+            );
+            (sim.run(), None, Some(handle.stats()))
         }
     };
     CellResult {
@@ -385,6 +422,7 @@ fn run_cell(index: usize, spec: &CellSpec) -> CellResult {
         policy: spec.policy,
         result,
         tuner_stats,
+        online_stats,
     }
 }
 
@@ -460,6 +498,41 @@ mod tests {
             .and_then(|c| c.tuner_stats)
             .is_some());
         assert!(outcome.find(group, "stock").unwrap().tuner_stats.is_none());
+    }
+
+    #[test]
+    fn online_cells_run_unmarked_binaries_and_report_online_stats() {
+        use phase_online::OnlineConfig;
+        let workloads = vec![planned_workload("w", 4)];
+        let machines = vec![MachineSpec::core2_quad_amp()];
+        let policies = vec![
+            Policy::Stock,
+            Policy::Online(OnlineConfig {
+                sample_interval_ns: 100_000.0,
+                ..OnlineConfig::default()
+            }),
+        ];
+        let sim = SimConfig {
+            horizon_ns: Some(6_000_000.0),
+            ..SimConfig::default()
+        };
+        let plan = ExperimentPlan::cross(&workloads, &machines, &policies, sim, 11);
+        // Online cells must carry the baseline (uninstrumented) binaries.
+        for cell in plan.cells() {
+            if matches!(cell.policy, Policy::Online(_)) {
+                for job in cell.slots.iter().flatten() {
+                    assert_eq!(job.instrumented.mark_count(), 0, "{} is marked", job.name);
+                }
+            }
+        }
+        let outcome = Driver::new(2).run(plan);
+        let group = &outcome.cells[0].group;
+        let online = outcome.find(group, "online").expect("online cell ran");
+        assert_eq!(online.result.total_marks_executed, 0);
+        let stats = online.online_stats.expect("online stats recorded");
+        assert!(stats.intervals_observed > 0, "sampling stream was empty");
+        assert!(stats.phases_created > 0);
+        assert!(outcome.find(group, "stock").unwrap().online_stats.is_none());
     }
 
     #[test]

@@ -16,7 +16,7 @@ use phase_metrics::{
     FairnessComparison, FairnessReport, ProcessTiming, ThroughputComparison, ThroughputSeries,
 };
 use phase_runtime::{TunerConfig, TunerStats};
-use phase_sched::{JobSpec, PhaseHook, SimConfig, SimResult, Simulation};
+use phase_sched::{IntervalHook, JobSpec, PhaseHook, SimConfig, SimResult, Simulation};
 use phase_workload::{Catalog, Workload};
 use serde::{Deserialize, Serialize};
 
@@ -219,7 +219,7 @@ pub fn prepare_workload(config: &ExperimentConfig) -> PreparedWorkload {
 }
 
 /// Runs one workload under the given hook.
-pub fn run_with_hook<H: PhaseHook>(
+pub fn run_with_hook<H: PhaseHook + IntervalHook>(
     label: &str,
     machine: MachineSpec,
     slots: Vec<Vec<JobSpec>>,

@@ -69,6 +69,7 @@ pub mod substrate {
     pub use phase_ir as ir;
     pub use phase_marking as marking;
     pub use phase_metrics as metrics;
+    pub use phase_online as online;
     pub use phase_runtime as runtime;
     pub use phase_sched as sched;
     pub use phase_workload as workload;

@@ -30,7 +30,9 @@ impl SummaryStats {
             return Self::default();
         }
         let mut sorted: Vec<f64> = values.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("values are finite"));
+        // A total order even for NaN observations: they sort to the end
+        // instead of panicking the summary mid-run.
+        sorted.sort_by(f64::total_cmp);
         let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
         Self {
             count: sorted.len(),

@@ -1,0 +1,227 @@
+//! The streaming phase classifier: leader–follower / online-k-means.
+//!
+//! Each sampling interval is summarised as a point in a small feature space
+//! (scaled IPC × scaled memory ratio). The classifier keeps a bounded table
+//! of phase centroids; an arriving point joins the nearest centroid if it is
+//! close enough, founds a new phase while the table has room, and otherwise
+//! joins the nearest centroid regardless (the table is bounded by
+//! construction, mirroring the fixed number of phase types the static
+//! pipeline works with). Matched centroids track their phase with an
+//! exponential-decay update, so a phase whose behaviour drifts drags its
+//! centroid along — which is exactly the signal the adaptive retuner watches.
+//!
+//! The classifier is a *pure stream function*: its state after observing a
+//! sequence of points depends only on that sequence, never on how the
+//! sequence was batched. The batch-invariance proptest at the workspace root
+//! holds it to that.
+
+/// Identifier of a detected phase within one process's classifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct PhaseId(pub u32);
+
+impl PhaseId {
+    /// The phase id as a `usize` index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for PhaseId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "φ{}", self.0)
+    }
+}
+
+/// A point in the classifier's feature space.
+pub type Feature = [f64; 2];
+
+/// Euclidean distance in the feature space — the one metric shared by the
+/// classifier's leader–follower radius and the retuner's drift threshold.
+pub(crate) fn distance(a: Feature, b: Feature) -> f64 {
+    let dx = a[0] - b[0];
+    let dy = a[1] - b[1];
+    (dx * dx + dy * dy).sqrt()
+}
+
+/// The streaming leader–follower classifier.
+#[derive(Debug, Clone)]
+pub struct OnlineClassifier {
+    max_phases: usize,
+    distance_threshold: f64,
+    decay: f64,
+    centroids: Vec<Feature>,
+    counts: Vec<u64>,
+}
+
+impl OnlineClassifier {
+    /// Creates an empty classifier.
+    ///
+    /// `max_phases` bounds the phase table; `distance_threshold` is the
+    /// leader–follower radius (a point farther than this from every centroid
+    /// founds a new phase while the table has room); `decay` is the
+    /// exponential-decay step of the centroid update
+    /// (`c ← (1 − decay)·c + decay·x`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_phases` is zero, `distance_threshold` is negative or
+    /// non-finite, or `decay` is outside `(0, 1]`.
+    pub fn new(max_phases: usize, distance_threshold: f64, decay: f64) -> Self {
+        assert!(max_phases > 0, "the phase table needs at least one slot");
+        assert!(
+            distance_threshold.is_finite() && distance_threshold >= 0.0,
+            "distance threshold must be a non-negative number"
+        );
+        assert!(
+            decay > 0.0 && decay <= 1.0,
+            "decay must be within (0, 1], got {decay}"
+        );
+        Self {
+            max_phases,
+            distance_threshold,
+            decay,
+            centroids: Vec::new(),
+            counts: Vec::new(),
+        }
+    }
+
+    /// Classifies one interval's feature point, updating the matched phase's
+    /// centroid, and returns the phase it was assigned to.
+    pub fn observe(&mut self, feature: Feature) -> PhaseId {
+        let nearest = self
+            .centroids
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| distance(feature, **a).total_cmp(&distance(feature, **b)))
+            .map(|(index, centroid)| (index, distance(feature, *centroid)));
+        match nearest {
+            // Far from everything and the table has room: a new phase.
+            Some((_, gap))
+                if gap > self.distance_threshold && self.centroids.len() < self.max_phases =>
+            {
+                self.found(feature)
+            }
+            // Close enough (or the table is full): follow the leader.
+            Some((index, _)) => {
+                let c = &mut self.centroids[index];
+                c[0] += self.decay * (feature[0] - c[0]);
+                c[1] += self.decay * (feature[1] - c[1]);
+                self.counts[index] += 1;
+                PhaseId(index as u32)
+            }
+            // The very first observation founds the first phase.
+            None => self.found(feature),
+        }
+    }
+
+    /// Classifies a batch of points in order; equivalent to calling
+    /// [`OnlineClassifier::observe`] on each point individually.
+    pub fn observe_batch(&mut self, features: &[Feature]) -> Vec<PhaseId> {
+        features.iter().map(|f| self.observe(*f)).collect()
+    }
+
+    fn found(&mut self, feature: Feature) -> PhaseId {
+        let id = PhaseId(self.centroids.len() as u32);
+        self.centroids.push(feature);
+        self.counts.push(1);
+        id
+    }
+
+    /// Number of phases detected so far.
+    pub fn phase_count(&self) -> usize {
+        self.centroids.len()
+    }
+
+    /// The current centroid of a phase, if it exists.
+    pub fn centroid(&self, phase: PhaseId) -> Option<Feature> {
+        self.centroids.get(phase.index()).copied()
+    }
+
+    /// Number of observations assigned to a phase so far.
+    pub fn observations(&self, phase: PhaseId) -> u64 {
+        self.counts.get(phase.index()).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_observation_founds_phase_zero() {
+        let mut c = OnlineClassifier::new(4, 0.1, 0.3);
+        assert_eq!(c.observe([0.5, 0.2]), PhaseId(0));
+        assert_eq!(c.phase_count(), 1);
+        assert_eq!(c.observations(PhaseId(0)), 1);
+        assert_eq!(c.centroid(PhaseId(0)), Some([0.5, 0.2]));
+    }
+
+    #[test]
+    fn nearby_points_join_the_same_phase() {
+        let mut c = OnlineClassifier::new(4, 0.2, 0.5);
+        let a = c.observe([0.5, 0.2]);
+        let b = c.observe([0.55, 0.22]);
+        assert_eq!(a, b);
+        assert_eq!(c.phase_count(), 1);
+        assert_eq!(c.observations(a), 2);
+    }
+
+    #[test]
+    fn distant_points_found_new_phases_until_the_table_is_full() {
+        let mut c = OnlineClassifier::new(2, 0.1, 0.3);
+        let a = c.observe([0.0, 0.0]);
+        let b = c.observe([1.0, 1.0]);
+        assert_ne!(a, b);
+        assert_eq!(c.phase_count(), 2);
+        // Table full: a third distinct behaviour joins its nearest phase.
+        let d = c.observe([2.0, 2.0]);
+        assert_eq!(d, b);
+        assert_eq!(c.phase_count(), 2);
+    }
+
+    #[test]
+    fn centroids_decay_toward_recent_behaviour() {
+        let mut c = OnlineClassifier::new(2, 10.0, 0.5);
+        c.observe([0.0, 0.0]);
+        c.observe([1.0, 0.0]);
+        let centroid = c.centroid(PhaseId(0)).unwrap();
+        assert!((centroid[0] - 0.5).abs() < 1e-12);
+        c.observe([1.0, 0.0]);
+        let centroid = c.centroid(PhaseId(0)).unwrap();
+        assert!(
+            (centroid[0] - 0.75).abs() < 1e-12,
+            "drifts toward the drift"
+        );
+    }
+
+    #[test]
+    fn batch_and_single_observation_agree() {
+        let stream = [
+            [0.1, 0.0],
+            [0.9, 0.6],
+            [0.12, 0.02],
+            [0.88, 0.61],
+            [0.5, 0.3],
+        ];
+        let mut one = OnlineClassifier::new(3, 0.25, 0.3);
+        let singly: Vec<PhaseId> = stream.iter().map(|f| one.observe(*f)).collect();
+        let mut two = OnlineClassifier::new(3, 0.25, 0.3);
+        let (head, tail) = stream.split_at(2);
+        let mut batched = two.observe_batch(head);
+        batched.extend(two.observe_batch(tail));
+        assert_eq!(singly, batched);
+        assert_eq!(one.centroid(PhaseId(0)), two.centroid(PhaseId(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn zero_phase_table_is_rejected() {
+        let _ = OnlineClassifier::new(0, 0.1, 0.3);
+    }
+
+    #[test]
+    #[should_panic(expected = "decay")]
+    fn decay_outside_unit_interval_is_rejected() {
+        let _ = OnlineClassifier::new(2, 0.1, 1.5);
+    }
+}

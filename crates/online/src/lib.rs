@@ -1,0 +1,480 @@
+//! # phase-online
+//!
+//! Online phase detection and adaptive retuning — tuning *without* static
+//! marks.
+//!
+//! The paper's Section II notes the alternative to its static phase marks:
+//! detect phases dynamically from hardware counters at run time (the road
+//! taken by Jooya & Analoui's interval classification and by Saez et al.'s
+//! live-counter OpenMP placement). This crate is that path for the
+//! reproduction: it consumes the periodic [`IntervalObservation`] stream the
+//! `phase-sched` engines emit when `SimConfig::sample_interval_ns` is set,
+//! and needs nothing from the static pipeline — no typing, no marks, no
+//! instrumented binaries.
+//!
+//! Three pieces:
+//!
+//! * [`OnlineClassifier`] — a streaming leader–follower / online-k-means
+//!   classifier over per-interval `{ipc, mem_ratio}` feature points, with a
+//!   bounded phase table and exponential-decay centroids;
+//! * [`AdaptiveRetuner`] — per-phase per-core-kind IPC accumulation feeding
+//!   the paper's Algorithm 2 (`phase_runtime::select_core_kind`), with
+//!   drift-triggered re-evaluation when a phase's centroid moves past a
+//!   threshold (the case the static monitor-once tuner can never recover
+//!   from);
+//! * [`OnlineTuner`] — the [`PhaseHook`] + [`IntervalHook`] implementation
+//!   gluing them together per process, issuing affinity masks exactly like
+//!   the static tuner does at marks.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
+
+mod classifier;
+mod retuner;
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use phase_amp::{AffinityMask, MachineSpec};
+use phase_sched::{IntervalHook, IntervalObservation, MarkContext, MarkResponse, PhaseHook, Pid};
+
+pub use classifier::{Feature, OnlineClassifier, PhaseId};
+pub use retuner::{AdaptiveRetuner, RetuneEvents};
+
+/// Configuration of the online tuner.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OnlineConfig {
+    /// Period of the hardware-counter sampling tick, in nanoseconds; becomes
+    /// `SimConfig::sample_interval_ns` for online cells.
+    pub sample_interval_ns: f64,
+    /// Bound on the per-process phase table.
+    pub max_phases: usize,
+    /// Leader–follower radius in feature space: an interval farther than this
+    /// from every known phase founds a new one (while the table has room).
+    pub distance_threshold: f64,
+    /// Exponential-decay step of the centroid update, in `(0, 1]`.
+    pub decay: f64,
+    /// Weight of the IPC coordinate in the feature vector. IPC depends on the
+    /// core kind the interval ran on, so it is weighted low relative to the
+    /// kind-invariant memory ratio.
+    pub ipc_weight: f64,
+    /// Weight of the memory-ratio coordinate in the feature vector.
+    pub mem_weight: f64,
+    /// Intervals with fewer instructions are discarded as unrepresentative.
+    pub min_interval_instructions: u64,
+    /// Sampled intervals required per `(phase, core kind)` pair before the
+    /// assignment decision is made.
+    pub samples_per_kind: u32,
+    /// Algorithm 2's IPC-difference threshold `δ` (shared with the static
+    /// tuner's `TunerConfig::ipc_threshold`).
+    pub ipc_threshold: f64,
+    /// How far a phase's centroid may move from where it was at decision time
+    /// before the assignment is dropped and the phase re-measured.
+    pub drift_threshold: f64,
+    /// Whether phases preferring the fastest kind are pinned to it (the same
+    /// ablation knob as `TunerConfig::pin_preferred_fast`; the default leaves
+    /// them on all cores so no kind starves).
+    pub pin_preferred_fast: bool,
+    /// Contention cap: how many processes may be pinned to one core kind at a
+    /// time. Zero (the default) means "one per core of that kind"; an
+    /// explicit value overrides it. Pins beyond the cap degrade to all-cores
+    /// so no kind is ever oversubscribed by the tuner itself.
+    pub pin_cap_per_kind: u32,
+}
+
+impl Default for OnlineConfig {
+    fn default() -> Self {
+        Self {
+            sample_interval_ns: 200_000.0, // one tick per 10 default quanta
+            max_phases: 8,
+            distance_threshold: 0.12,
+            decay: 0.3,
+            ipc_weight: 0.25,
+            mem_weight: 3.0,
+            min_interval_instructions: 50,
+            samples_per_kind: 1,
+            ipc_threshold: 0.2,
+            drift_threshold: 0.1,
+            pin_preferred_fast: false,
+            pin_cap_per_kind: 0,
+        }
+    }
+}
+
+impl OnlineConfig {
+    /// The configuration with a different sampling interval.
+    pub fn with_interval_ns(mut self, sample_interval_ns: f64) -> Self {
+        self.sample_interval_ns = sample_interval_ns;
+        self
+    }
+
+    /// The configuration with a different phase-table bound.
+    pub fn with_max_phases(mut self, max_phases: usize) -> Self {
+        self.max_phases = max_phases;
+        self
+    }
+}
+
+/// Aggregate statistics about what the online tuner did, for reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct OnlineStats {
+    /// Interval observations accepted (after the minimum-size filter).
+    pub intervals_observed: u64,
+    /// Phases founded across all processes.
+    pub phases_created: u64,
+    /// Assignment decisions made (including re-decisions after drift).
+    pub assignments_decided: u64,
+    /// Assignments dropped because a phase's centroid drifted.
+    pub retunes: u64,
+    /// Affinity-mask changes issued to the scheduler.
+    pub switch_requests: u64,
+}
+
+/// Per-process online-tuning state.
+struct ProcessOnline {
+    classifier: OnlineClassifier,
+    retuner: AdaptiveRetuner,
+    /// The last mask issued for the process, so unchanged decisions stay
+    /// silent instead of re-issuing the same affinity every tick.
+    last_mask: Option<AffinityMask>,
+    /// The kind the process is currently pinned to (counted against the
+    /// per-kind contention cap), if any.
+    pinned_kind: Option<phase_amp::CoreKind>,
+}
+
+struct TunerInner {
+    machine: Arc<MachineSpec>,
+    config: OnlineConfig,
+    processes: HashMap<Pid, ProcessOnline>,
+    /// Processes currently pinned to each kind, indexed by kind id: the
+    /// contention cap's bookkeeping.
+    pinned: [u32; 8],
+    stats: OnlineStats,
+}
+
+/// The online phase tuner, shared between the simulation (as its hook) and
+/// the experiment harness (for statistics).
+///
+/// Cloning the tuner clones a handle to the same shared state, mirroring
+/// `phase_runtime::PhaseTuner`.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use phase_amp::MachineSpec;
+/// use phase_online::{OnlineConfig, OnlineTuner};
+///
+/// let machine = Arc::new(MachineSpec::core2_quad_amp());
+/// let tuner = OnlineTuner::new(Arc::clone(&machine), OnlineConfig::default());
+/// let handle = tuner.clone();
+/// assert_eq!(handle.stats().intervals_observed, 0);
+/// ```
+#[derive(Clone)]
+pub struct OnlineTuner {
+    inner: Arc<Mutex<TunerInner>>,
+}
+
+impl OnlineTuner {
+    /// Creates an online tuner for the given machine.
+    pub fn new(machine: Arc<MachineSpec>, config: OnlineConfig) -> Self {
+        Self {
+            inner: Arc::new(Mutex::new(TunerInner {
+                machine,
+                config,
+                processes: HashMap::new(),
+                pinned: [0; 8],
+                stats: OnlineStats::default(),
+            })),
+        }
+    }
+
+    /// A snapshot of the tuner's aggregate statistics.
+    pub fn stats(&self) -> OnlineStats {
+        self.inner.lock().stats
+    }
+
+    /// The assignment decided for a phase of a process, if any.
+    pub fn assignment(&self, pid: Pid, phase: PhaseId) -> Option<phase_amp::CoreKind> {
+        self.inner
+            .lock()
+            .processes
+            .get(&pid)
+            .and_then(|state| state.retuner.assignment(phase))
+    }
+
+    /// Number of phases detected for a process so far.
+    pub fn phase_count(&self, pid: Pid) -> usize {
+        self.inner
+            .lock()
+            .processes
+            .get(&pid)
+            .map(|state| state.classifier.phase_count())
+            .unwrap_or(0)
+    }
+}
+
+impl std::fmt::Debug for OnlineTuner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("OnlineTuner")
+            .field("config", &inner.config)
+            .field("stats", &inner.stats)
+            .field("processes", &inner.processes.len())
+            .finish()
+    }
+}
+
+impl PhaseHook for OnlineTuner {
+    fn on_phase_mark(&mut self, _ctx: &MarkContext<'_>) -> MarkResponse {
+        // The online tuner is built for binaries without marks; if a marked
+        // binary runs under it anyway, marks are inert.
+        MarkResponse::none()
+    }
+
+    fn on_process_exit(&mut self, pid: Pid) {
+        let mut inner = self.inner.lock();
+        if let Some(state) = inner.processes.remove(&pid) {
+            if let Some(kind) = state.pinned_kind {
+                inner.pinned[kind.index()] = inner.pinned[kind.index()].saturating_sub(1);
+            }
+        }
+    }
+}
+
+impl IntervalHook for OnlineTuner {
+    fn on_sample_interval(&mut self, observation: &IntervalObservation) -> Option<AffinityMask> {
+        let mut inner = self.inner.lock();
+        let TunerInner {
+            machine,
+            config,
+            processes,
+            pinned,
+            stats,
+        } = &mut *inner;
+        if observation.instructions < config.min_interval_instructions {
+            return None;
+        }
+        let fastest = machine.fastest_kind();
+        let state = processes
+            .entry(observation.pid)
+            .or_insert_with(|| ProcessOnline {
+                classifier: OnlineClassifier::new(
+                    config.max_phases,
+                    config.distance_threshold,
+                    config.decay,
+                ),
+                retuner: AdaptiveRetuner::new(Arc::clone(machine), *config),
+                last_mask: None,
+                pinned_kind: None,
+            });
+
+        // 1. Classify the interval.
+        stats.intervals_observed += 1;
+        let feature = [
+            observation.ipc() * config.ipc_weight,
+            observation.mem_ratio() * config.mem_weight,
+        ];
+        let before = state.classifier.phase_count();
+        let phase = state.classifier.observe(feature);
+        stats.phases_created += (state.classifier.phase_count() - before) as u64;
+        let centroid = state
+            .classifier
+            .centroid(phase)
+            .expect("observed phase exists");
+
+        // 2. Feed the retuner; it decides or re-evaluates the assignment.
+        let events = state.retuner.observe(
+            phase,
+            centroid,
+            observation.core_kind,
+            observation.instructions,
+            observation.cycles,
+        );
+        stats.retunes += u64::from(events.retuned);
+        stats.assignments_decided += u64::from(events.decided);
+
+        // 3. The placement the phase should have now: the decided kind, or —
+        //    while undecided — a pin to the *other* kind still needing
+        //    samples so the next interval measures there. When the kind we
+        //    need next is the one the process already runs on, it is left
+        //    alone: restricting an undecided process would only take freedom
+        //    from the scheduler.
+        let wanted_kind = match state.retuner.assignment(phase) {
+            Some(kind) if kind == fastest && !config.pin_preferred_fast => None,
+            Some(kind) => Some(kind),
+            None => match state
+                .retuner
+                .kind_needing_samples(phase, observation.core_kind)
+            {
+                Some(kind) if kind != observation.core_kind => Some(kind),
+                _ => None,
+            },
+        };
+
+        // 4. Contention cap: a kind only absorbs as many *pinned* processes
+        //    as it has cores. Pinning more would idle the other kinds while
+        //    this one queues up — the oversubscription failure mode of naive
+        //    phase-chasing. Processes over the cap stay on all cores and keep
+        //    the machine busy; their phase simply is not accelerated yet.
+        let wanted_kind = wanted_kind.filter(|kind| {
+            let cap = if config.pin_cap_per_kind > 0 {
+                config.pin_cap_per_kind
+            } else {
+                machine.cores_of_kind(*kind).len() as u32
+            };
+            state.pinned_kind == Some(*kind) || pinned[kind.index()] < cap
+        });
+
+        // 5. Book-keep the pin transition and answer only on change.
+        if state.pinned_kind != wanted_kind {
+            if let Some(old) = state.pinned_kind {
+                pinned[old.index()] = pinned[old.index()].saturating_sub(1);
+            }
+            if let Some(new) = wanted_kind {
+                pinned[new.index()] += 1;
+            }
+            state.pinned_kind = wanted_kind;
+        }
+        let mask = match wanted_kind {
+            Some(kind) => AffinityMask::kind(machine, kind),
+            None => AffinityMask::all_cores(machine),
+        };
+        if state.last_mask == Some(mask) {
+            None
+        } else {
+            state.last_mask = Some(mask);
+            stats.switch_requests += 1;
+            Some(mask)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phase_amp::CoreKind;
+
+    fn machine() -> Arc<MachineSpec> {
+        Arc::new(MachineSpec::core2_quad_amp())
+    }
+
+    fn observation(
+        pid: u32,
+        seq: u64,
+        kind: CoreKind,
+        ipc: f64,
+        mem_ratio: f64,
+    ) -> IntervalObservation {
+        let instructions = 10_000;
+        IntervalObservation {
+            pid: Pid(pid),
+            seq,
+            instructions,
+            cycles: instructions as f64 / ipc,
+            mem_accesses: (instructions as f64 * mem_ratio) as u64,
+            core_kind: kind,
+            now_ns: seq as f64 * 200_000.0,
+        }
+    }
+
+    #[test]
+    fn memory_bound_stream_is_routed_to_slow_cores() {
+        let machine = machine();
+        let mut tuner = OnlineTuner::new(Arc::clone(&machine), OnlineConfig::default());
+        // First interval on a fast core: undecided, pinned to the fast kind
+        // until its sample count is met... already met (samples_per_kind=1),
+        // so the pin moves to the slow kind for the missing sample.
+        let first = tuner.on_sample_interval(&observation(1, 0, CoreKind(0), 0.3, 0.25));
+        assert_eq!(first, Some(AffinityMask::kind(&machine, CoreKind(1))));
+        // Second interval runs on the slow kind with a big IPC gain: decided.
+        let second = tuner.on_sample_interval(&observation(1, 1, CoreKind(1), 0.7, 0.25));
+        assert_eq!(second, None, "pin to slow cores is already in place");
+        assert_eq!(tuner.assignment(Pid(1), PhaseId(0)), Some(CoreKind(1)));
+        let stats = tuner.stats();
+        assert_eq!(stats.intervals_observed, 2);
+        assert_eq!(stats.assignments_decided, 1);
+        assert_eq!(stats.phases_created, 1);
+    }
+
+    #[test]
+    fn cpu_bound_stream_is_released_to_all_cores() {
+        let machine = machine();
+        let mut tuner = OnlineTuner::new(Arc::clone(&machine), OnlineConfig::default());
+        tuner.on_sample_interval(&observation(1, 0, CoreKind(0), 1.0, 0.02));
+        let response = tuner.on_sample_interval(&observation(1, 1, CoreKind(1), 1.02, 0.02));
+        assert_eq!(response, Some(AffinityMask::all_cores(&machine)));
+        assert_eq!(tuner.assignment(Pid(1), PhaseId(0)), Some(CoreKind(0)));
+    }
+
+    #[test]
+    fn distinct_behaviours_become_distinct_phases() {
+        let machine = machine();
+        let mut tuner = OnlineTuner::new(Arc::clone(&machine), OnlineConfig::default());
+        tuner.on_sample_interval(&observation(1, 0, CoreKind(0), 1.1, 0.02));
+        tuner.on_sample_interval(&observation(1, 1, CoreKind(0), 0.3, 0.28));
+        assert_eq!(tuner.phase_count(Pid(1)), 2);
+    }
+
+    #[test]
+    fn drifting_phase_is_retuned() {
+        let machine = machine();
+        let config = OnlineConfig {
+            // A wide radius keeps the drifting stream in ONE phase, so the
+            // retune must come from centroid drift, not from a new phase.
+            distance_threshold: 2.0,
+            decay: 0.5,
+            ..OnlineConfig::default()
+        };
+        let mut tuner = OnlineTuner::new(Arc::clone(&machine), config);
+        // Decide the phase as CPU-bound on both kinds.
+        tuner.on_sample_interval(&observation(1, 0, CoreKind(0), 1.0, 0.02));
+        tuner.on_sample_interval(&observation(1, 1, CoreKind(1), 1.0, 0.02));
+        assert_eq!(tuner.assignment(Pid(1), PhaseId(0)), Some(CoreKind(0)));
+        // The program rotates to memory-bound behaviour: the centroid drags
+        // past the drift threshold, the assignment drops, and fresh samples
+        // flip it to the slow cores.
+        for seq in 2..8 {
+            let kind = if seq % 2 == 0 {
+                CoreKind(0)
+            } else {
+                CoreKind(1)
+            };
+            let ipc = if kind == CoreKind(1) { 0.7 } else { 0.3 };
+            tuner.on_sample_interval(&observation(1, seq, kind, ipc, 0.3));
+        }
+        let stats = tuner.stats();
+        assert!(stats.retunes >= 1, "drift must trigger a retune");
+        assert!(stats.assignments_decided >= 2);
+        assert_eq!(tuner.assignment(Pid(1), PhaseId(0)), Some(CoreKind(1)));
+        assert_eq!(tuner.phase_count(Pid(1)), 1, "one drifting phase");
+    }
+
+    #[test]
+    fn tiny_intervals_are_discarded() {
+        let machine = machine();
+        let mut tuner = OnlineTuner::new(Arc::clone(&machine), OnlineConfig::default());
+        let mut tiny = observation(1, 0, CoreKind(0), 1.0, 0.1);
+        tiny.instructions = 3;
+        tiny.cycles = 3.0;
+        assert_eq!(tuner.on_sample_interval(&tiny), None);
+        assert_eq!(tuner.stats().intervals_observed, 0);
+    }
+
+    #[test]
+    fn processes_are_independent_and_cleaned_up() {
+        let machine = machine();
+        let mut tuner = OnlineTuner::new(Arc::clone(&machine), OnlineConfig::default());
+        tuner.on_sample_interval(&observation(1, 0, CoreKind(0), 1.0, 0.02));
+        tuner.on_sample_interval(&observation(2, 0, CoreKind(0), 0.3, 0.28));
+        assert_eq!(tuner.phase_count(Pid(1)), 1);
+        assert_eq!(tuner.phase_count(Pid(2)), 1);
+        tuner.on_process_exit(Pid(1));
+        assert_eq!(tuner.phase_count(Pid(1)), 0);
+        assert_eq!(tuner.phase_count(Pid(2)), 1);
+    }
+}

@@ -1,0 +1,271 @@
+//! The adaptive retuner: per-phase IPC sampling, Algorithm 2 decisions, and
+//! drift-triggered re-evaluation.
+//!
+//! Once the classifier names an interval's phase, the retuner accumulates the
+//! interval's IPC under that phase's entry for the core kind it ran on. When
+//! every kind has enough samples, the phase's per-kind IPCs go through the
+//! paper's Algorithm 2 ([`phase_runtime::select_core_kind`]) exactly as the
+//! static tuner's monitored sections would — the two tuners share the same
+//! decision procedure and differ only in where the observations come from.
+//!
+//! Unlike the static tuner's monitor-once behaviour, a decision here is not
+//! final: the centroid the classifier maintains for the phase keeps moving
+//! with the program, and when it drifts farther than a threshold from where
+//! it was at decision time, the assignment is dropped, the samples cleared,
+//! and the phase re-measured — the "adaptive" half of the subsystem.
+
+use std::sync::Arc;
+
+use phase_amp::{CoreKind, MachineSpec};
+use phase_runtime::{select_core_kind, ObservedIpc};
+
+use crate::classifier::{distance, Feature, PhaseId};
+use crate::OnlineConfig;
+
+#[derive(Debug, Clone, Copy, Default)]
+struct KindSamples {
+    instructions: u64,
+    cycles: f64,
+    intervals: u32,
+}
+
+impl KindSamples {
+    fn record(&mut self, instructions: u64, cycles: f64) {
+        self.instructions += instructions;
+        self.cycles += cycles;
+        self.intervals += 1;
+    }
+
+    fn ipc(&self) -> f64 {
+        if self.cycles <= 0.0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct PhaseTuning {
+    /// Per-core-kind accumulators, indexed by kind id.
+    kind_samples: Vec<KindSamples>,
+    /// The decided core kind, once Algorithm 2 has run.
+    assignment: Option<CoreKind>,
+    /// Where the phase's centroid was when the assignment was decided.
+    centroid_at_decision: Feature,
+}
+
+impl PhaseTuning {
+    fn new(kind_count: usize) -> Self {
+        Self {
+            kind_samples: vec![KindSamples::default(); kind_count],
+            assignment: None,
+            centroid_at_decision: [0.0, 0.0],
+        }
+    }
+}
+
+/// What one retuner observation did, so the tuner can fold it into its
+/// aggregate statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RetuneEvents {
+    /// An existing assignment was dropped because the centroid drifted.
+    pub retuned: bool,
+    /// A (new) assignment was decided this observation.
+    pub decided: bool,
+}
+
+/// Per-process adaptive retuning state over the classifier's phase table.
+#[derive(Debug, Clone)]
+pub struct AdaptiveRetuner {
+    machine: Arc<MachineSpec>,
+    config: OnlineConfig,
+    phases: Vec<PhaseTuning>,
+}
+
+impl AdaptiveRetuner {
+    /// Creates the retuner for one process on the given machine.
+    pub fn new(machine: Arc<MachineSpec>, config: OnlineConfig) -> Self {
+        Self {
+            machine,
+            config,
+            phases: Vec::new(),
+        }
+    }
+
+    fn phase_mut(&mut self, phase: PhaseId) -> &mut PhaseTuning {
+        let kind_count = self.machine.kinds().len();
+        while self.phases.len() <= phase.index() {
+            self.phases.push(PhaseTuning::new(kind_count));
+        }
+        &mut self.phases[phase.index()]
+    }
+
+    /// Folds one classified interval into the phase's per-kind samples,
+    /// re-evaluating a drifted assignment and deciding an undecided one when
+    /// enough samples exist. Returns what happened.
+    pub fn observe(
+        &mut self,
+        phase: PhaseId,
+        centroid: Feature,
+        kind: CoreKind,
+        instructions: u64,
+        cycles: f64,
+    ) -> RetuneEvents {
+        let drift_threshold = self.config.drift_threshold;
+        let samples_per_kind = self.config.samples_per_kind;
+        let ipc_threshold = self.config.ipc_threshold;
+        let kinds = self.machine.kinds();
+        let machine = Arc::clone(&self.machine);
+        let entry = self.phase_mut(phase);
+        let mut events = RetuneEvents::default();
+
+        // 1. Drift re-evaluation: the phase is no longer what it was measured
+        //    as; drop the stale assignment and start over with fresh samples.
+        if entry.assignment.is_some() {
+            let moved = distance(centroid, entry.centroid_at_decision);
+            if moved > drift_threshold {
+                entry.assignment = None;
+                for samples in &mut entry.kind_samples {
+                    *samples = KindSamples::default();
+                }
+                events.retuned = true;
+            }
+        }
+
+        // 2. Record the interval under the kind it ran on.
+        if let Some(samples) = entry.kind_samples.get_mut(kind.index()) {
+            samples.record(instructions, cycles);
+        }
+
+        // 3. Decide once every kind has been sampled enough.
+        if entry.assignment.is_none() {
+            let enough = kinds.iter().all(|kind| {
+                entry
+                    .kind_samples
+                    .get(kind.index())
+                    .map(|samples| samples.intervals >= samples_per_kind)
+                    .unwrap_or(false)
+            });
+            if enough {
+                let observations: Vec<ObservedIpc> = kinds
+                    .iter()
+                    .map(|kind| ObservedIpc {
+                        kind: *kind,
+                        ipc: entry.kind_samples[kind.index()].ipc(),
+                    })
+                    .collect();
+                if let Some(chosen) = select_core_kind(&machine, &observations, ipc_threshold) {
+                    entry.assignment = Some(chosen);
+                    entry.centroid_at_decision = centroid;
+                    events.decided = true;
+                }
+            }
+        }
+        events
+    }
+
+    /// The phase's decided core kind, if any.
+    pub fn assignment(&self, phase: PhaseId) -> Option<CoreKind> {
+        self.phases
+            .get(phase.index())
+            .and_then(|entry| entry.assignment)
+    }
+
+    /// The core kind the phase still needs samples from, preferring the kind
+    /// the process currently runs on; `None` once every kind is covered.
+    pub fn kind_needing_samples(&self, phase: PhaseId, current: CoreKind) -> Option<CoreKind> {
+        let Some(entry) = self.phases.get(phase.index()) else {
+            // A phase never observed needs samples from everywhere; start
+            // where the process already is.
+            return Some(current);
+        };
+        let needs = |kind: CoreKind| {
+            entry
+                .kind_samples
+                .get(kind.index())
+                .map(|samples| samples.intervals < self.config.samples_per_kind)
+                .unwrap_or(true)
+        };
+        if needs(current) {
+            return Some(current);
+        }
+        self.machine.kinds().into_iter().find(|kind| needs(*kind))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine() -> Arc<MachineSpec> {
+        Arc::new(MachineSpec::core2_quad_amp())
+    }
+
+    fn config() -> OnlineConfig {
+        OnlineConfig {
+            samples_per_kind: 1,
+            ipc_threshold: 0.2,
+            drift_threshold: 0.1,
+            ..OnlineConfig::default()
+        }
+    }
+
+    const FAST: CoreKind = CoreKind(0);
+    const SLOW: CoreKind = CoreKind(1);
+
+    #[test]
+    fn memory_bound_phase_is_assigned_to_slow_cores() {
+        let mut retuner = AdaptiveRetuner::new(machine(), config());
+        let phase = PhaseId(0);
+        let centroid = [0.3, 0.6];
+        let first = retuner.observe(phase, centroid, FAST, 3_000, 10_000.0);
+        assert!(!first.decided);
+        assert_eq!(retuner.kind_needing_samples(phase, FAST), Some(SLOW));
+        let second = retuner.observe(phase, centroid, SLOW, 7_000, 10_000.0);
+        assert!(second.decided);
+        assert_eq!(retuner.assignment(phase), Some(SLOW));
+        assert_eq!(retuner.kind_needing_samples(phase, FAST), None);
+    }
+
+    #[test]
+    fn cpu_bound_phase_stays_on_fast_cores() {
+        let mut retuner = AdaptiveRetuner::new(machine(), config());
+        let phase = PhaseId(0);
+        let centroid = [1.0, 0.05];
+        retuner.observe(phase, centroid, FAST, 10_000, 10_000.0);
+        retuner.observe(phase, centroid, SLOW, 10_200, 10_000.0);
+        assert_eq!(retuner.assignment(phase), Some(FAST));
+    }
+
+    #[test]
+    fn centroid_drift_drops_the_assignment_and_resamples() {
+        let mut retuner = AdaptiveRetuner::new(machine(), config());
+        let phase = PhaseId(0);
+        retuner.observe(phase, [1.0, 0.0], FAST, 10_000, 10_000.0);
+        let decided = retuner.observe(phase, [1.0, 0.0], SLOW, 10_100, 10_000.0);
+        assert!(decided.decided);
+        assert_eq!(retuner.assignment(phase), Some(FAST));
+
+        // The phase's behaviour rotates toward memory-bound: its centroid
+        // moves past the drift threshold. The stale assignment is dropped and
+        // fresh samples (now showing a big slow-core IPC gain) flip it.
+        let drifted = [0.35, 0.5];
+        let events = retuner.observe(phase, drifted, FAST, 3_000, 10_000.0);
+        assert!(events.retuned);
+        assert_eq!(retuner.assignment(phase), None);
+        let redecided = retuner.observe(phase, drifted, SLOW, 7_000, 10_000.0);
+        assert!(redecided.decided);
+        assert_eq!(retuner.assignment(phase), Some(SLOW));
+    }
+
+    #[test]
+    fn phases_are_independent() {
+        let mut retuner = AdaptiveRetuner::new(machine(), config());
+        retuner.observe(PhaseId(0), [1.0, 0.0], FAST, 10_000, 10_000.0);
+        retuner.observe(PhaseId(0), [1.0, 0.0], SLOW, 10_100, 10_000.0);
+        assert_eq!(retuner.assignment(PhaseId(0)), Some(FAST));
+        assert_eq!(retuner.assignment(PhaseId(1)), None);
+        assert_eq!(retuner.kind_needing_samples(PhaseId(1), SLOW), Some(SLOW));
+    }
+}

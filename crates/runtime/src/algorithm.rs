@@ -42,18 +42,16 @@ pub fn select_core_kind(
         return None;
     }
     // Sort ascending by IPC; ties go to the faster core so indifferent code
-    // lands where the clock is highest.
+    // lands where the clock is highest. `total_cmp` keeps the sort total even
+    // for NaN observations (e.g. a zero-cycle section), which order last and
+    // therefore cannot panic the tuner mid-run.
     let mut sorted: Vec<ObservedIpc> = observations.to_vec();
     sorted.sort_by(|a, b| {
-        a.ipc
-            .partial_cmp(&b.ipc)
-            .expect("observed IPCs are finite")
-            .then_with(|| {
-                machine
-                    .kind_frequency(b.kind)
-                    .partial_cmp(&machine.kind_frequency(a.kind))
-                    .expect("frequencies are finite")
-            })
+        a.ipc.total_cmp(&b.ipc).then_with(|| {
+            machine
+                .kind_frequency(b.kind)
+                .total_cmp(&machine.kind_frequency(a.kind))
+        })
     });
 
     let mut best = sorted[0];

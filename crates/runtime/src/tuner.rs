@@ -17,7 +17,7 @@ use serde::{Deserialize, Serialize};
 use phase_amp::{AffinityMask, CoreKind, CounterBank, MachineSpec};
 use phase_analysis::PhaseType;
 use phase_marking::InstrumentedProgram;
-use phase_sched::{MarkContext, MarkResponse, PhaseHook, Pid, SectionObservation};
+use phase_sched::{IntervalHook, MarkContext, MarkResponse, PhaseHook, Pid, SectionObservation};
 
 use crate::algorithm::{select_core_kind, ObservedIpc};
 
@@ -285,6 +285,10 @@ impl TunerInner {
         self.machine.kinds().into_iter().find(|kind| needs(*kind))
     }
 }
+
+/// The static tuner acts only at phase marks; the interval sample stream is
+/// ignored (the online tuner in `phase-online` is its counterpart there).
+impl IntervalHook for PhaseTuner {}
 
 impl PhaseHook for PhaseTuner {
     fn on_process_start(&mut self, pid: Pid, _program: &InstrumentedProgram) {

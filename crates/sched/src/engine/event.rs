@@ -31,7 +31,7 @@ use std::collections::BinaryHeap;
 
 use phase_amp::CoreId;
 
-use crate::hooks::PhaseHook;
+use crate::hooks::{IntervalHook, PhaseHook};
 use crate::sim::SimResult;
 
 use super::EngineCore;
@@ -46,6 +46,10 @@ pub enum EventKind {
     },
     /// The periodic load-balancing tick.
     LoadBalance,
+    /// The periodic hardware-counter sampling tick
+    /// (`SimConfig::sample_interval_ns`): every process's elapsed-interval
+    /// counters are rolled into `IntervalObservation`s for the hook.
+    SampleInterval,
     /// The core's previous quantum expired; dispatch again.
     QuantumExpiry {
         /// The core to dispatch on.
@@ -55,21 +59,22 @@ pub enum EventKind {
 
 impl EventKind {
     /// Tie-break rank for events that share a timestamp: arrivals are
-    /// processed first, then the balance tick, then quantum dispatches —
-    /// mirroring the reference loop, which enqueues arrivals and balances
-    /// before scanning cores.
+    /// processed first, then the balance tick, then the sampling tick, then
+    /// quantum dispatches — mirroring the reference loop, which enqueues
+    /// arrivals, balances, and samples before scanning cores.
     fn rank(self) -> u8 {
         match self {
             EventKind::JobArrival { .. } => 0,
             EventKind::LoadBalance => 1,
-            EventKind::QuantumExpiry { .. } => 2,
+            EventKind::SampleInterval => 2,
+            EventKind::QuantumExpiry { .. } => 3,
         }
     }
 
     fn core_index(self) -> u32 {
         match self {
             EventKind::JobArrival { core } | EventKind::QuantumExpiry { core } => core.0,
-            EventKind::LoadBalance => 0,
+            EventKind::LoadBalance | EventKind::SampleInterval => 0,
         }
     }
 }
@@ -168,9 +173,10 @@ impl EventQueue {
 
 /// Runs the simulation to completion (or to the configured horizon) with the
 /// event-driven loop.
-pub(crate) fn run<H: PhaseHook>(mut core: EngineCore<H>) -> SimResult {
+pub(crate) fn run<H: PhaseHook + IntervalHook>(mut core: EngineCore<H>) -> SimResult {
     let quantum = core.config.timeslice_ns;
     let interval = core.config.load_balance_interval_ns;
+    let sample_interval = core.config.sample_interval_ns;
     let ncores = core.cores.len();
 
     let round_floor = |t: f64| -> u64 { (t / quantum).floor() as u64 };
@@ -201,6 +207,16 @@ pub(crate) fn run<H: PhaseHook>(mut core: EngineCore<H>) -> SimResult {
     let initial_balance = round_ceil(next_balance_ns);
     let mut balance_wake: Option<u64> = Some(initial_balance);
     queue.push(round_time(initial_balance), EventKind::LoadBalance);
+    // The sampling tick mirrors the balance tick: one live event, rescheduled
+    // after every firing, so idle stretches still sample at the same
+    // round-aligned times the reference loop would visit.
+    let mut next_sample_ns = sample_interval.unwrap_or(f64::INFINITY);
+    let mut sample_wake: Option<u64> = None;
+    if sample_interval.is_some() {
+        let initial_sample = round_ceil(next_sample_ns);
+        sample_wake = Some(initial_sample);
+        queue.push(round_time(initial_sample), EventKind::SampleInterval);
+    }
 
     let final_time_ns = loop {
         let Some(next_time) = queue.peek_time() else {
@@ -221,6 +237,7 @@ pub(crate) fn run<H: PhaseHook>(mut core: EngineCore<H>) -> SimResult {
         let t = next_time;
         has_event.fill(false);
         let mut fire_balance = false;
+        let mut fire_sample = false;
         while queue.peek_time() == Some(t) {
             let event = queue.pop().expect("peeked event exists");
             match event.kind() {
@@ -228,6 +245,12 @@ pub(crate) fn run<H: PhaseHook>(mut core: EngineCore<H>) -> SimResult {
                     if balance_wake == Some(this_round) {
                         balance_wake = None;
                         fire_balance = true;
+                    }
+                }
+                EventKind::SampleInterval => {
+                    if sample_wake == Some(this_round) {
+                        sample_wake = None;
+                        fire_sample = true;
                     }
                 }
                 EventKind::JobArrival { core: c } | EventKind::QuantumExpiry { core: c } => {
@@ -248,6 +271,15 @@ pub(crate) fn run<H: PhaseHook>(mut core: EngineCore<H>) -> SimResult {
             let target = round_ceil(next_balance_ns);
             balance_wake = Some(target);
             queue.push(round_time(target), EventKind::LoadBalance);
+        }
+        if fire_sample {
+            core.sample_intervals();
+            next_sample_ns = t + sample_interval.expect("sampling tick fired only when enabled");
+        }
+        if sample_interval.is_some() && sample_wake.is_none() {
+            let target = round_ceil(next_sample_ns);
+            sample_wake = Some(target);
+            queue.push(round_time(target), EventKind::SampleInterval);
         }
 
         core.run_round(Some(&has_event));

@@ -20,11 +20,13 @@
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
-use phase_amp::{AffinityMask, BlockCost, CoreId, CostModel, MachineSpec, SharingContext};
+use phase_amp::{
+    AffinityMask, BlockCost, CoreId, CoreKind, CostModel, MachineSpec, SharingContext,
+};
 use phase_ir::Location;
 use phase_marking::{MARK_DECISION_INSTRUCTIONS, MARK_MONITOR_INSTRUCTIONS};
 
-use crate::hooks::{MarkContext, PhaseHook, SectionObservation};
+use crate::hooks::{IntervalHook, IntervalObservation, MarkContext, PhaseHook, SectionObservation};
 use crate::process::{Pid, Process, ProcessState};
 use crate::sim::{JobSpec, ProcessRecord, SimConfig, SimResult};
 
@@ -89,7 +91,7 @@ pub(crate) fn program_layout(program: &phase_ir::Program) -> (Vec<usize>, usize)
 
 /// The machine/scheduler state shared by both engines, plus the scheduling
 /// primitives that mutate it. Drivers only decide *when* each primitive runs.
-pub(crate) struct EngineCore<H: PhaseHook> {
+pub(crate) struct EngineCore<H: PhaseHook + IntervalHook> {
     pub(crate) label: String,
     pub(crate) cost: CostModel,
     pub(crate) config: SimConfig,
@@ -106,11 +108,18 @@ pub(crate) struct EngineCore<H: PhaseHook> {
     /// program, so the common no-mark step skips the edge-map hash entirely.
     mark_lookup: HashMap<usize, usize>,
     mark_tables: Vec<Vec<bool>>,
+    /// Dense "memory accesses per execution" count per program block, filled
+    /// only when interval sampling is enabled (it feeds
+    /// `IntervalObservation::mem_ratio`).
+    mem_lookup: HashMap<usize, usize>,
+    mem_tables: Vec<Vec<u32>>,
+    /// Whether `config.sample_interval_ns` is set (cached for the hot loop).
+    sampling: bool,
     pub(crate) total_instructions: u64,
     pub(crate) throughput_windows: Vec<u64>,
 }
 
-impl<H: PhaseHook> EngineCore<H> {
+impl<H: PhaseHook + IntervalHook> EngineCore<H> {
     /// Creates the initial state: one job queue per slot, with the first job
     /// of every slot launched at its release time.
     ///
@@ -129,8 +138,17 @@ impl<H: PhaseHook> EngineCore<H> {
             slots.iter().all(|s| !s.is_empty()),
             "every slot needs at least one job"
         );
+        if let Some(interval) = config.sample_interval_ns {
+            // A zero/negative/NaN period would re-arm the event engine's
+            // sampling tick at the same round forever, pinning its clock.
+            assert!(
+                interval.is_finite() && interval > 0.0,
+                "sample interval must be a positive time, got {interval}"
+            );
+        }
         let default_affinity = AffinityMask::all_cores(&machine);
         let core_count = machine.core_count();
+        let sampling = config.sample_interval_ns.is_some();
         let mut core = Self {
             label: label.into(),
             cost: CostModel::new(machine),
@@ -148,6 +166,9 @@ impl<H: PhaseHook> EngineCore<H> {
             slabs: Vec::new(),
             mark_lookup: HashMap::new(),
             mark_tables: Vec::new(),
+            mem_lookup: HashMap::new(),
+            mem_tables: Vec::new(),
+            sampling,
             total_instructions: 0,
             throughput_windows: Vec::new(),
         };
@@ -174,13 +195,14 @@ impl<H: PhaseHook> EngineCore<H> {
         queues_empty && processes_done
     }
 
-    /// The earliest arrival time among all queued (not yet finished, not
-    /// currently running) processes, or infinity when every queue is empty.
+    /// The earliest time any queued (not yet finished, not currently running)
+    /// process becomes dispatchable — its arrival time pushed forward by any
+    /// queued-migration delay — or infinity when every queue is empty.
     pub(crate) fn earliest_queued_arrival(&self) -> f64 {
         self.cores
             .iter()
             .flat_map(|c| c.runqueue.iter())
-            .map(|pid| self.processes[pid.index()].arrival_ns())
+            .map(|pid| self.processes[pid.index()].ready_ns())
             .fold(f64::INFINITY, f64::min)
     }
 
@@ -272,7 +294,7 @@ impl<H: PhaseHook> EngineCore<H> {
                     let earliest = self.cores[core.index()]
                         .runqueue
                         .iter()
-                        .map(|pid| self.processes[pid.index()].arrival_ns())
+                        .map(|pid| self.processes[pid.index()].ready_ns())
                         .fold(f64::INFINITY, f64::min);
                     let offset = earliest - self.clock_ns;
                     if offset.is_finite() && offset < self.config.timeslice_ns {
@@ -298,6 +320,7 @@ impl<H: PhaseHook> EngineCore<H> {
             let program = Arc::clone(instrumented.program());
             let slab = self.cost_slab(&program, kind_index, sharing);
             let marks = self.mark_table(&instrumented);
+            let mems = self.sampling.then(|| self.mem_table(&program));
 
             while elapsed < budget {
                 let loc = self.processes[pid.index()].interp().current_location();
@@ -309,6 +332,12 @@ impl<H: PhaseHook> EngineCore<H> {
                     cost.nanos,
                     kind_index,
                 );
+                if let Some(mems) = mems {
+                    let accesses = u64::from(self.mem_tables[mems][dense]);
+                    if accesses > 0 {
+                        self.processes[pid.index()].note_interval_mem_accesses(accesses);
+                    }
+                }
                 self.total_instructions += cost.instructions;
                 elapsed += cost.nanos;
 
@@ -457,7 +486,7 @@ impl<H: PhaseHook> EngineCore<H> {
     /// work behind them is never starved.
     fn pick_process(&mut self, core: CoreId, now_ns: f64) -> Option<Pid> {
         let arrived =
-            |processes: &[Process], pid: &Pid| processes[pid.index()].arrival_ns() <= now_ns;
+            |processes: &[Process], pid: &Pid| processes[pid.index()].ready_ns() <= now_ns;
         if let Some(position) = self.cores[core.index()]
             .runqueue
             .iter()
@@ -557,8 +586,9 @@ impl<H: PhaseHook> EngineCore<H> {
         self.enqueue_on_allowed_core(pid);
     }
 
-    /// Puts a ready process on the least-loaded core its affinity allows.
-    fn enqueue_on_allowed_core(&mut self, pid: Pid) {
+    /// Puts a ready process on the least-loaded core its affinity allows,
+    /// returning the chosen core.
+    fn enqueue_on_allowed_core(&mut self, pid: Pid) -> CoreId {
         let affinity = self.processes[pid.index()].affinity();
         let target = self
             .cores
@@ -569,6 +599,102 @@ impl<H: PhaseHook> EngineCore<H> {
             .map(|(i, _)| i)
             .unwrap_or(0);
         self.cores[target].runqueue.push_back(pid);
+        CoreId(target as u32)
+    }
+
+    /// Closes the elapsed sampling interval: every live process that executed
+    /// anything since the previous tick emits one [`IntervalObservation`] to
+    /// the hook (in pid order), and any affinity mask the hook answers with is
+    /// applied. A process migrated off an excluded core's queue pays the
+    /// core-switch cost twice over, like a mark-driven switch does: the
+    /// cycles land in its own counters, and its next dispatch is delayed by
+    /// the switch latency (a queued process cannot consume core time, so the
+    /// latency is charged as ineligibility instead of quantum time).
+    ///
+    /// Both engines call this at the same round-aligned times, so it cannot
+    /// break their bit-for-bit equivalence.
+    pub(crate) fn sample_intervals(&mut self) {
+        for index in 0..self.processes.len() {
+            if self.processes[index].state() == ProcessState::Finished {
+                continue;
+            }
+            if !self.processes[index].has_interval_activity() {
+                continue;
+            }
+            let pid = self.processes[index].pid();
+            let counters = self.processes[index].roll_interval();
+            // Attribute the interval to the kind it mostly ran on; ties go to
+            // the lower kind index for determinism.
+            let mut kind = 0usize;
+            for (candidate, cycles) in counters.kind_cycles.iter().enumerate().skip(1) {
+                if *cycles > counters.kind_cycles[kind] {
+                    kind = candidate;
+                }
+            }
+            let observation = IntervalObservation {
+                pid,
+                seq: counters.seq,
+                instructions: counters.instructions,
+                cycles: counters.cycles,
+                mem_accesses: counters.mem_accesses,
+                core_kind: CoreKind(kind as u32),
+                now_ns: self.clock_ns,
+            };
+            let Some(mask) = self.hook.on_sample_interval(&observation) else {
+                continue;
+            };
+            if mask.is_empty() || mask == self.processes[index].affinity() {
+                continue;
+            }
+            self.processes[index].set_affinity(mask);
+            // Between rounds every unfinished process waits on some core's
+            // run queue; if that core is now excluded, perform the switch.
+            let located = self.cores.iter().enumerate().find_map(|(c, core)| {
+                core.runqueue
+                    .iter()
+                    .position(|p| p.index() == index)
+                    .map(|pos| (c, pos))
+            });
+            if let Some((core_index, position)) = located {
+                let source = CoreId(core_index as u32);
+                if !mask.allows(source) {
+                    self.cores[core_index].runqueue.remove(position);
+                    let _target = self.enqueue_on_allowed_core(pid);
+                    // Cost basis is the core being left, matching the
+                    // mark-driven path in `execute_mark`, so identical
+                    // migrations cost the same under either tuner.
+                    let (switch_cycles, switch_ns) = self.cost.core_switch_cost(source);
+                    let kind_index = self.cost.spec().kind_of(source).index();
+                    self.processes[index].charge_block(
+                        0,
+                        switch_cycles as f64,
+                        switch_ns,
+                        kind_index,
+                    );
+                    self.processes[index].delay_until(self.clock_ns + switch_ns);
+                    self.processes[index].stats_mut().core_switches += 1;
+                }
+            }
+        }
+    }
+
+    /// The dense "memory accesses per execution" table for a program, created
+    /// lazily on first use (only when interval sampling is enabled).
+    fn mem_table(&mut self, program: &Arc<phase_ir::Program>) -> usize {
+        let key = Arc::as_ptr(program) as usize;
+        if let Some(&index) = self.mem_lookup.get(&key) {
+            return index;
+        }
+        let (block_base, total) = program_layout(program);
+        let mut accesses = vec![0u32; total];
+        for (loc, block) in program.iter_blocks() {
+            accesses[block_base[loc.proc.index()] + loc.block.index()] =
+                block.memory_access_count() as u32;
+        }
+        let index = self.mem_tables.len();
+        self.mem_tables.push(accesses);
+        self.mem_lookup.insert(key, index);
+        index
     }
 
     /// The dense cost slab for a `(program, core kind, sharing)` context,

@@ -6,15 +6,16 @@
 //! compare the two) and as the slow-but-obvious implementation of the
 //! scheduling semantics.
 
-use crate::hooks::PhaseHook;
+use crate::hooks::{IntervalHook, PhaseHook};
 use crate::sim::SimResult;
 
 use super::EngineCore;
 
 /// Runs the simulation to completion (or to the configured horizon) with the
 /// round-based loop.
-pub(crate) fn run<H: PhaseHook>(mut core: EngineCore<H>) -> SimResult {
+pub(crate) fn run<H: PhaseHook + IntervalHook>(mut core: EngineCore<H>) -> SimResult {
     let mut next_balance_ns = core.config.load_balance_interval_ns;
+    let mut next_sample_ns = core.config.sample_interval_ns.unwrap_or(f64::INFINITY);
     loop {
         if let Some(horizon) = core.config.horizon_ns {
             if core.clock_ns >= horizon {
@@ -27,6 +28,14 @@ pub(crate) fn run<H: PhaseHook>(mut core: EngineCore<H>) -> SimResult {
         if core.clock_ns >= next_balance_ns {
             core.load_balance();
             next_balance_ns = core.clock_ns + core.config.load_balance_interval_ns;
+        }
+        if core.clock_ns >= next_sample_ns {
+            core.sample_intervals();
+            next_sample_ns = core.clock_ns
+                + core
+                    .config
+                    .sample_interval_ns
+                    .expect("sampling tick reached only when enabled");
         }
         core.run_round(None);
         core.clock_ns += core.config.timeslice_ns;

@@ -10,6 +10,14 @@
 //! The stock-Linux baseline simply runs uninstrumented binaries and never
 //! invokes a hook; the phase-based tuner in `phase-runtime` implements
 //! Algorithm 2 behind this trait.
+//!
+//! Independently of marks, the engines can deliver a periodic hardware-counter
+//! sample stream: when [`crate::SimConfig::sample_interval_ns`] is set, every
+//! elapsed interval produces one [`IntervalObservation`] per process that
+//! executed during it, delivered to the [`IntervalHook`] half of the hook.
+//! This is the substrate for *online* phase detection (`phase-online`), which
+//! tunes programs the static pipeline could not mark; hooks that only care
+//! about marks inherit the trait's do-nothing default.
 
 use phase_amp::{AffinityMask, CoreId, CoreKind};
 use phase_analysis::PhaseType;
@@ -93,6 +101,69 @@ impl MarkResponse {
     }
 }
 
+/// What the hardware counters recorded for one process over one elapsed
+/// sampling interval ([`crate::SimConfig::sample_interval_ns`]).
+///
+/// Unlike a [`SectionObservation`], which exists only where a static phase
+/// mark fired, interval observations are produced for *any* running process —
+/// marked or not — which is what makes online phase detection possible on
+/// binaries the static pipeline could not mark.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IntervalObservation {
+    /// The process the interval belongs to.
+    pub pid: Pid,
+    /// Zero-based index of this observation in the process's sample stream
+    /// (intervals in which the process executed nothing are skipped).
+    pub seq: u64,
+    /// Instructions retired during the interval.
+    pub instructions: u64,
+    /// Core cycles consumed during the interval.
+    pub cycles: f64,
+    /// Memory accesses (loads + stores) issued during the interval.
+    pub mem_accesses: u64,
+    /// The core kind the interval predominantly ran on (most cycles; ties go
+    /// to the lower kind index).
+    pub core_kind: CoreKind,
+    /// Simulation time at the end of the interval, in nanoseconds.
+    pub now_ns: f64,
+}
+
+impl IntervalObservation {
+    /// Instructions per cycle over the interval.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles <= 0.0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles
+        }
+    }
+
+    /// Fraction of the interval's instructions that accessed memory.
+    pub fn mem_ratio(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.mem_accesses as f64 / self.instructions as f64
+        }
+    }
+}
+
+/// The interval-sample side of a simulation hook: called once per process per
+/// elapsed sampling interval (in pid order), it may answer with a new affinity
+/// mask to apply — the online tuner's retuning channel.
+///
+/// The default implementation ignores the stream, so mark-only hooks opt in
+/// by doing nothing.
+pub trait IntervalHook: Send {
+    /// Called with one process's observation for the interval that just
+    /// elapsed. Returning `Some(mask)` replaces the process's affinity; if
+    /// the process waits on a core the mask excludes it is migrated (and the
+    /// core-switch cost charged) before its next dispatch.
+    fn on_sample_interval(&mut self, _observation: &IntervalObservation) -> Option<AffinityMask> {
+        None
+    }
+}
+
 /// The dynamic-analysis side of a phase mark.
 ///
 /// Implementations must be `Send` so simulations can be moved across threads
@@ -120,6 +191,8 @@ impl PhaseHook for NullHook {
     }
 }
 
+impl IntervalHook for NullHook {}
+
 /// A hook reproducing the paper's time-overhead measurement: "instead of
 /// switching to a specific core, we switch to 'all cores'", i.e. every mark
 /// performs the affinity system call with a mask containing every core, so
@@ -142,6 +215,8 @@ impl PhaseHook for AllCoresHook {
     }
 }
 
+impl IntervalHook for AllCoresHook {}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -157,6 +232,45 @@ mod tests {
         assert!((obs.ipc() - 1.25).abs() < 1e-12);
         let empty = SectionObservation { cycles: 0.0, ..obs };
         assert_eq!(empty.ipc(), 0.0);
+    }
+
+    #[test]
+    fn interval_observation_ratios() {
+        let obs = IntervalObservation {
+            pid: Pid(3),
+            seq: 0,
+            instructions: 200,
+            cycles: 400.0,
+            mem_accesses: 50,
+            core_kind: CoreKind(1),
+            now_ns: 1_000.0,
+        };
+        assert!((obs.ipc() - 0.5).abs() < 1e-12);
+        assert!((obs.mem_ratio() - 0.25).abs() < 1e-12);
+        let empty = IntervalObservation {
+            instructions: 0,
+            cycles: 0.0,
+            mem_accesses: 0,
+            ..obs
+        };
+        assert_eq!(empty.ipc(), 0.0);
+        assert_eq!(empty.mem_ratio(), 0.0);
+    }
+
+    #[test]
+    fn default_interval_hook_is_inert() {
+        let obs = IntervalObservation {
+            pid: Pid(0),
+            seq: 0,
+            instructions: 10,
+            cycles: 10.0,
+            mem_accesses: 1,
+            core_kind: CoreKind(0),
+            now_ns: 0.0,
+        };
+        assert_eq!(NullHook.on_sample_interval(&obs), None);
+        let mask = AffinityMask::from_cores([CoreId(0)]);
+        assert_eq!(AllCoresHook::new(mask).on_sample_interval(&obs), None);
     }
 
     #[test]

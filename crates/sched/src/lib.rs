@@ -36,9 +36,12 @@ mod process;
 mod sim;
 
 pub use engine::{Event, EventKind, EventQueue};
-pub use hooks::{AllCoresHook, MarkContext, MarkResponse, NullHook, PhaseHook, SectionObservation};
+pub use hooks::{
+    AllCoresHook, IntervalHook, IntervalObservation, MarkContext, MarkResponse, NullHook,
+    PhaseHook, SectionObservation,
+};
 pub use interp::{Interpreter, Step};
-pub use process::{Pid, Process, ProcessState, ProcessStats};
+pub use process::{IntervalCounters, Pid, Process, ProcessState, ProcessStats};
 pub use sim::{
     run_in_isolation, EngineKind, JobSpec, ProcessRecord, SimConfig, SimResult, Simulation,
 };

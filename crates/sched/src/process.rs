@@ -84,6 +84,10 @@ pub struct Process {
     state: ProcessState,
     current_core: Option<CoreId>,
     arrival_ns: f64,
+    /// Earliest time the process may next be dispatched; starts at the
+    /// arrival time and is pushed forward by migration costs incurred while
+    /// the process was queued (interval-driven core switches).
+    eligible_ns: f64,
     completion_ns: Option<f64>,
     stats: ProcessStats,
     /// The phase type of the section currently executing, when known.
@@ -93,6 +97,31 @@ pub struct Process {
     section_cycles: f64,
     /// Whether the tuner armed monitoring for the current section.
     monitoring: bool,
+    /// Counters accumulated since the last elapsed sampling interval
+    /// (`SimConfig::sample_interval_ns`): instructions, cycles, memory
+    /// accesses, and cycles per core kind (for dominant-kind attribution).
+    interval_instructions: u64,
+    interval_cycles: f64,
+    interval_mem_accesses: u64,
+    interval_kind_cycles: [f64; 4],
+    /// Number of interval observations emitted for this process so far.
+    interval_seq: u64,
+}
+
+/// One elapsed sampling interval's raw counters, rolled out of a [`Process`]
+/// by [`Process::roll_interval`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IntervalCounters {
+    /// Zero-based index of the emitted observation.
+    pub seq: u64,
+    /// Instructions retired during the interval.
+    pub instructions: u64,
+    /// Core cycles consumed during the interval.
+    pub cycles: f64,
+    /// Memory accesses issued during the interval.
+    pub mem_accesses: u64,
+    /// Cycles per core kind, indexed by kind id.
+    pub kind_cycles: [f64; 4],
 }
 
 impl Process {
@@ -118,12 +147,18 @@ impl Process {
             state: ProcessState::Ready,
             current_core: None,
             arrival_ns,
+            eligible_ns: arrival_ns,
             completion_ns: None,
             stats: ProcessStats::default(),
             current_phase,
             section_instructions: 0,
             section_cycles: 0.0,
             monitoring: false,
+            interval_instructions: 0,
+            interval_cycles: 0.0,
+            interval_mem_accesses: 0,
+            interval_kind_cycles: [0.0; 4],
+            interval_seq: 0,
         }
     }
 
@@ -201,6 +236,20 @@ impl Process {
         self.arrival_ns
     }
 
+    /// Earliest time the process may next be dispatched: its arrival time,
+    /// pushed forward by any migration cost paid while queued.
+    pub fn ready_ns(&self) -> f64 {
+        self.arrival_ns.max(self.eligible_ns)
+    }
+
+    /// Delays the process's next dispatch to no earlier than `until_ns`
+    /// (charging a queued-migration latency).
+    pub fn delay_until(&mut self, until_ns: f64) {
+        if until_ns > self.eligible_ns {
+            self.eligible_ns = until_ns;
+        }
+    }
+
     /// Completion time in nanoseconds, once finished.
     pub fn completion_ns(&self) -> Option<f64> {
         self.completion_ns
@@ -231,8 +280,8 @@ impl Process {
         self.monitoring = monitoring;
     }
 
-    /// Adds the cost of one executed block to the current section and the
-    /// global statistics.
+    /// Adds the cost of one executed block to the current section, the
+    /// current sampling interval, and the global statistics.
     pub fn charge_block(&mut self, instructions: u64, cycles: f64, nanos: f64, kind_index: usize) {
         self.stats.instructions += instructions;
         self.stats.cycles += cycles;
@@ -242,6 +291,41 @@ impl Process {
         }
         self.section_instructions += instructions;
         self.section_cycles += cycles;
+        self.interval_instructions += instructions;
+        self.interval_cycles += cycles;
+        if kind_index < self.interval_kind_cycles.len() {
+            self.interval_kind_cycles[kind_index] += cycles;
+        }
+    }
+
+    /// Records memory accesses for the current sampling interval (only called
+    /// when interval sampling is enabled).
+    pub fn note_interval_mem_accesses(&mut self, accesses: u64) {
+        self.interval_mem_accesses += accesses;
+    }
+
+    /// Whether the process executed anything since the last elapsed sampling
+    /// interval.
+    pub fn has_interval_activity(&self) -> bool {
+        self.interval_instructions > 0
+    }
+
+    /// Closes the current sampling interval, returning its raw counters and
+    /// starting the next one.
+    pub fn roll_interval(&mut self) -> IntervalCounters {
+        let counters = IntervalCounters {
+            seq: self.interval_seq,
+            instructions: self.interval_instructions,
+            cycles: self.interval_cycles,
+            mem_accesses: self.interval_mem_accesses,
+            kind_cycles: self.interval_kind_cycles,
+        };
+        self.interval_seq += 1;
+        self.interval_instructions = 0;
+        self.interval_cycles = 0.0;
+        self.interval_mem_accesses = 0;
+        self.interval_kind_cycles = [0.0; 4];
+        counters
     }
 
     /// Closes the current section (because a phase mark fired), returning its
@@ -353,6 +437,53 @@ mod tests {
         let (i2, c2, _) = p.roll_section(PhaseType(0));
         assert_eq!(i2, 0);
         assert_eq!(c2, 0.0);
+    }
+
+    #[test]
+    fn rolling_an_interval_returns_counters_and_advances_the_sequence() {
+        let mut p = process();
+        assert!(!p.has_interval_activity());
+        p.charge_block(100, 80.0, 33.0, 0);
+        p.charge_block(60, 90.0, 56.0, 1);
+        p.note_interval_mem_accesses(12);
+        assert!(p.has_interval_activity());
+        let first = p.roll_interval();
+        assert_eq!(first.seq, 0);
+        assert_eq!(first.instructions, 160);
+        assert!((first.cycles - 170.0).abs() < 1e-9);
+        assert_eq!(first.mem_accesses, 12);
+        assert!((first.kind_cycles[0] - 80.0).abs() < 1e-9);
+        assert!((first.kind_cycles[1] - 90.0).abs() < 1e-9);
+        // The next interval starts from zero with the next sequence number.
+        assert!(!p.has_interval_activity());
+        p.charge_block(5, 5.0, 2.0, 0);
+        let second = p.roll_interval();
+        assert_eq!(second.seq, 1);
+        assert_eq!(second.instructions, 5);
+        assert_eq!(second.mem_accesses, 0);
+    }
+
+    #[test]
+    fn interval_counters_do_not_disturb_sections() {
+        let mut p = process();
+        p.charge_block(100, 50.0, 20.0, 0);
+        let _ = p.roll_interval();
+        let (instructions, cycles, _) = p.roll_section(PhaseType(1));
+        assert_eq!(instructions, 100, "section survives an interval roll");
+        assert!((cycles - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn queued_migration_delay_pushes_readiness_forward_only() {
+        let mut p = process();
+        assert_eq!(p.ready_ns(), p.arrival_ns());
+        p.delay_until(500.0);
+        assert_eq!(p.ready_ns(), 500.0);
+        // Delays never move backwards, and arrival time is untouched (flow
+        // metrics stay anchored to the true arrival).
+        p.delay_until(200.0);
+        assert_eq!(p.ready_ns(), 500.0);
+        assert_eq!(p.arrival_ns(), 0.0);
     }
 
     #[test]

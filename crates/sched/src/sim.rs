@@ -21,7 +21,7 @@ use phase_marking::InstrumentedProgram;
 use serde::{Deserialize, Serialize};
 
 use crate::engine::{event, round, EngineCore};
-use crate::hooks::PhaseHook;
+use crate::hooks::{IntervalHook, PhaseHook};
 use crate::process::{Pid, ProcessStats};
 
 /// Which engine advances the simulation clock.
@@ -63,6 +63,12 @@ pub struct SimConfig {
     pub charge_mark_overhead: bool,
     /// Which engine advances the clock.
     pub engine: EngineKind,
+    /// Period of the hardware-counter sampling tick feeding
+    /// [`crate::IntervalHook`], in nanoseconds (`None`, the default, disables
+    /// interval sampling entirely). Both engines fire the tick at the same
+    /// round-aligned times, so their bit-for-bit equivalence holds with
+    /// sampling enabled.
+    pub sample_interval_ns: Option<f64>,
 }
 
 impl Default for SimConfig {
@@ -75,6 +81,7 @@ impl Default for SimConfig {
             seed: 0xC60_2011,
             charge_mark_overhead: true,
             engine: EngineKind::EventDriven,
+            sample_interval_ns: None,
         }
     }
 }
@@ -176,11 +183,11 @@ impl SimResult {
 
 /// The simulation engine façade: builds the machine/scheduler state and runs
 /// it under the engine selected by [`SimConfig::engine`].
-pub struct Simulation<H: PhaseHook> {
+pub struct Simulation<H: PhaseHook + IntervalHook> {
     core: EngineCore<H>,
 }
 
-impl<H: PhaseHook> Simulation<H> {
+impl<H: PhaseHook + IntervalHook> Simulation<H> {
     /// Creates a simulation of the given machine running one job queue per
     /// slot, under the given phase-mark hook.
     ///
@@ -219,7 +226,7 @@ impl<H: PhaseHook> Simulation<H> {
 /// Table 1 and by the stretch metric's per-process processing time `t_i`.
 /// It is a thin wrapper over [`Simulation`] — isolation runs share the exact
 /// engine path of full workloads.
-pub fn run_in_isolation<H: PhaseHook>(
+pub fn run_in_isolation<H: PhaseHook + IntervalHook>(
     name: &str,
     instrumented: Arc<InstrumentedProgram>,
     machine: MachineSpec,
@@ -299,6 +306,7 @@ mod tests {
             seed: 1,
             charge_mark_overhead: true,
             engine: EngineKind::EventDriven,
+            sample_interval_ns: None,
         }
     }
 
@@ -374,6 +382,7 @@ mod tests {
     fn affinity_switching_hook_causes_migrations() {
         /// A hook that pins every process to the slow cores on its first mark.
         struct PinToSlow;
+        impl crate::hooks::IntervalHook for PinToSlow {}
         impl PhaseHook for PinToSlow {
             fn on_phase_mark(&mut self, ctx: &MarkContext<'_>) -> crate::hooks::MarkResponse {
                 let spec = MachineSpec::core2_quad_amp();
@@ -503,6 +512,169 @@ mod tests {
         let late = result.records.iter().find(|r| r.name == "late").unwrap();
         assert_eq!(late.arrival_ns, release);
         assert!(late.completion_ns.unwrap() > release);
+    }
+
+    /// An interval hook that records every observation and pins every sampled
+    /// process to the slow cores.
+    struct SampleToSlow {
+        observations: Vec<IntervalObservation>,
+    }
+    impl PhaseHook for SampleToSlow {
+        fn on_phase_mark(&mut self, _ctx: &MarkContext<'_>) -> crate::hooks::MarkResponse {
+            crate::hooks::MarkResponse::none()
+        }
+    }
+    impl crate::hooks::IntervalHook for SampleToSlow {
+        fn on_sample_interval(
+            &mut self,
+            observation: &IntervalObservation,
+        ) -> Option<AffinityMask> {
+            self.observations.push(*observation);
+            let spec = MachineSpec::core2_quad_amp();
+            Some(AffinityMask::kind(&spec, spec.slowest_kind()))
+        }
+    }
+
+    use crate::hooks::IntervalObservation;
+
+    #[test]
+    fn interval_sampling_delivers_observations_and_applies_affinity() {
+        let bench = small_benchmark(20_000);
+        let config = SimConfig {
+            sample_interval_ns: Some(100_000.0),
+            ..quick_config()
+        };
+        let sim = Simulation::new(
+            "sampled",
+            MachineSpec::core2_quad_amp(),
+            vec![
+                vec![JobSpec::new("a", Arc::clone(&bench))],
+                vec![JobSpec::new("b", bench)],
+            ],
+            SampleToSlow {
+                observations: Vec::new(),
+            },
+            config,
+        );
+        let result = sim.run();
+        assert_eq!(result.completed_count(), 2);
+        // Pinned to the slow kind after the first tick, both processes must
+        // have accumulated slow-kind time and performed interval-driven
+        // switches where the pin excluded their queue's core.
+        for record in &result.records {
+            assert!(record.stats.time_on_kind_ns[1] > 0.0, "{}", record.name);
+        }
+        assert!(result.total_core_switches > 0);
+    }
+
+    #[test]
+    fn interval_observations_carry_consistent_counters() {
+        use std::sync::Mutex;
+        /// Records every observation into a shared log without interfering.
+        struct Collect(Arc<Mutex<Vec<IntervalObservation>>>);
+        impl PhaseHook for Collect {
+            fn on_phase_mark(&mut self, _ctx: &MarkContext<'_>) -> crate::hooks::MarkResponse {
+                crate::hooks::MarkResponse::none()
+            }
+        }
+        impl crate::hooks::IntervalHook for Collect {
+            fn on_sample_interval(
+                &mut self,
+                observation: &IntervalObservation,
+            ) -> Option<AffinityMask> {
+                self.0.lock().unwrap().push(*observation);
+                None
+            }
+        }
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let bench = small_benchmark(20_000);
+        let record = run_in_isolation(
+            "sampled",
+            bench,
+            MachineSpec::core2_quad_amp(),
+            Collect(Arc::clone(&log)),
+            SimConfig {
+                sample_interval_ns: Some(100_000.0),
+                ..quick_config()
+            },
+        );
+        assert!(record.completion_ns.is_some());
+        let observations = log.lock().unwrap();
+        assert!(
+            !observations.is_empty(),
+            "sampling produced no observations (completion at {:?})",
+            record.completion_ns
+        );
+        let mut total_instructions = 0;
+        for (expected_seq, obs) in observations.iter().enumerate() {
+            assert_eq!(obs.pid, Pid(0));
+            assert_eq!(obs.seq, expected_seq as u64, "sample stream has gaps");
+            assert!(obs.instructions > 0, "empty intervals are skipped");
+            assert!(obs.cycles > 0.0);
+            assert!(obs.mem_accesses <= obs.instructions);
+            assert!((0.0..=1.0).contains(&obs.mem_ratio()));
+            assert!(obs.ipc() > 0.0);
+            total_instructions += obs.instructions;
+        }
+        // Interval counters never exceed the process's own accounting (the
+        // tail after the last tick is not sampled).
+        assert!(total_instructions <= record.stats.instructions);
+        // The benchmark's memory phase must be visible in at least one
+        // interval's memory ratio.
+        assert!(observations.iter().any(|o| o.mem_accesses > 0));
+    }
+
+    #[test]
+    fn engines_agree_with_interval_sampling_enabled() {
+        let bench = small_benchmark(8_000);
+        let run = |engine: EngineKind| {
+            let slots = vec![
+                vec![
+                    JobSpec::new("a", Arc::clone(&bench)),
+                    JobSpec::new("b", Arc::clone(&bench)),
+                ],
+                vec![JobSpec::new("c", Arc::clone(&bench))],
+                vec![JobSpec::new("d", Arc::clone(&bench)).released_at(777_777.0)],
+            ];
+            Simulation::new(
+                "sampled-golden",
+                MachineSpec::core2_quad_amp(),
+                slots,
+                SampleToSlow {
+                    observations: Vec::new(),
+                },
+                SimConfig {
+                    engine,
+                    sample_interval_ns: Some(150_000.0),
+                    ..quick_config()
+                },
+            )
+            .run()
+        };
+        let round = run(EngineKind::RoundBased);
+        let event = run(EngineKind::EventDriven);
+        assert_eq!(round.records, event.records);
+        assert_eq!(round.total_instructions, event.total_instructions);
+        assert_eq!(round.final_time_ns, event.final_time_ns);
+        assert_eq!(round.throughput_windows, event.throughput_windows);
+        assert_eq!(round.core_busy_ns, event.core_busy_ns);
+        assert!(round.total_core_switches > 0, "sampling pin migrated work");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive time")]
+    fn non_positive_sample_interval_is_rejected() {
+        let bench = small_benchmark(10);
+        let _ = Simulation::new(
+            "bad-interval",
+            MachineSpec::core2_quad_amp(),
+            vec![vec![JobSpec::new("a", bench)]],
+            NullHook,
+            SimConfig {
+                sample_interval_ns: Some(0.0),
+                ..SimConfig::default()
+            },
+        );
     }
 
     #[test]

@@ -93,6 +93,15 @@ impl Catalog {
         Self::from_profiles(mixed_profiles(), scale, seed)
     }
 
+    /// The drifting-phase / unmarked-binary scenario family
+    /// ([`drifting_profiles`]) at the given scale: programs whose flavour mix
+    /// rotates mid-run and whose blocks all sit below the static pipeline's
+    /// typing threshold, so static marking comes up empty and only interval
+    /// sampling (`phase-online`) can see their phases.
+    pub fn drifting(scale: f64, seed: u64) -> Self {
+        Self::from_profiles(drifting_profiles(), scale, seed)
+    }
+
     /// The standard Table 1 catalogue plus the mixed scenario family.
     pub fn extended(scale: f64, seed: u64) -> Self {
         let mut profiles = standard_profiles();
@@ -334,6 +343,82 @@ pub fn mixed_profiles() -> Vec<BenchmarkProfile> {
     ]
 }
 
+/// The drifting-phase scenario family: programs the static pipeline cannot
+/// mark, whose behavioural mix rotates mid-run.
+///
+/// Two properties set these apart from every other family:
+///
+/// * **Unmarkable.** Every block is *uniform* (no contrast block) and smaller
+///   than the static pipeline's typing threshold, so block typing finds
+///   nothing to type, no phase marks are inserted, and `Policy::Tuned`
+///   degenerates to the stock scheduler — its speedup collapses to 1.0.
+/// * **Drifting.** The per-visit durations rotate the CPU/memory duty cycle
+///   across the run (e.g. 80% CPU early, 80% memory late), so even a
+///   hypothetical one-shot measurement goes stale; the online tuner's
+///   drift-triggered retuning is the only path that keeps up.
+pub fn drifting_profiles() -> Vec<BenchmarkProfile> {
+    // All blocks ≤ 13 instructions — below the 15-instruction typing
+    // threshold and too small for any marking granularity to section. The
+    // duty cycle stays compute-dominant overall (as in SPEC), because a
+    // machine with two slow cores can only ever absorb roughly its capacity
+    // share of memory-phase work; what drifts is *when* the memory phases
+    // come.
+    let cpu = |trips| PhaseSpec::cpu_float(trips, 26, 12).uniform();
+    let intc = |trips| PhaseSpec::cpu_integer(trips, 26, 12).uniform();
+    let mem = |trips| PhaseSpec::memory_streaming(trips, 26, 12, 128 * 1024 * 1024).uniform();
+    let chase = |trips| PhaseSpec::pointer_chase(trips, 26, 12, 64 * 1024 * 1024).uniform();
+    vec![
+        // Compute-heavy start rotating into a memory-flavoured tail.
+        BenchmarkProfile::new(
+            "drift.rampmem",
+            vec![
+                cpu(5200),
+                mem(300),
+                cpu(2600),
+                mem(900),
+                cpu(1300),
+                mem(1500),
+            ],
+            2,
+        ),
+        // The mirror image: the memory phases come first.
+        BenchmarkProfile::new(
+            "drift.rampcpu",
+            vec![
+                mem(1500),
+                cpu(1300),
+                mem(900),
+                cpu(2600),
+                mem(300),
+                cpu(5200),
+            ],
+            2,
+        ),
+        // Stable alternation — not drifting, but still unmarkable: isolates
+        // the pure unmarked-binary benefit of online tuning.
+        BenchmarkProfile::new("drift.square", vec![cpu(3400), mem(1100)], 4),
+        // Three flavours rotating through different duty cycles.
+        BenchmarkProfile::new(
+            "drift.tide",
+            vec![
+                intc(3200),
+                chase(500),
+                intc(1600),
+                chase(1000),
+                cpu(2400),
+                mem(800),
+            ],
+            2,
+        ),
+        // A memory soak that turns into compute once warmed up.
+        BenchmarkProfile::new(
+            "drift.thaw",
+            vec![mem(1600), chase(500), intc(4200), cpu(3000)],
+            2,
+        ),
+    ]
+}
+
 /// Names of the benchmarks in [`standard_profiles`], in catalogue order.
 pub fn standard_benchmark_names() -> Vec<&'static str> {
     vec![
@@ -446,6 +531,46 @@ mod tests {
         assert_eq!(mixed.len(), mixed_profiles().len());
         for (_, bench) in mixed.iter() {
             assert!(bench.program().stats().instructions > 0);
+        }
+    }
+
+    #[test]
+    fn drifting_profiles_are_uniform_and_tiny_blocked() {
+        let profiles = drifting_profiles();
+        assert!(profiles.len() >= 5);
+        for profile in &profiles {
+            assert!(profile.name.starts_with("drift."));
+            for phase in &profile.phases {
+                assert!(phase.uniform, "{} has a contrast block", profile.name);
+                assert!(
+                    phase.block_size + 1 < 15,
+                    "{} blocks reach the typing threshold",
+                    profile.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn drifting_catalogue_generates_small_uniform_blocks() {
+        let drifting = Catalog::drifting(0.02, 5);
+        assert_eq!(drifting.len(), drifting_profiles().len());
+        for (_, bench) in drifting.iter() {
+            assert!(bench.program().stats().instructions > 0);
+            for proc in bench.program().procedures() {
+                if !proc.name().starts_with("phase_") {
+                    continue;
+                }
+                for block in proc.blocks() {
+                    assert!(
+                        block.instruction_count() < 15,
+                        "{}:{} has {} instructions",
+                        bench.name(),
+                        proc.name(),
+                        block.instruction_count()
+                    );
+                }
+            }
         }
     }
 

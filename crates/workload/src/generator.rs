@@ -190,10 +190,20 @@ fn build_phase_procedure(spec: &PhaseSpec, rng: &mut StdRng) -> phase_ir::Proced
     body.push_all(inner_body, phase_instructions(spec, rng, spec.block_size));
     body.terminate(inner_body, Terminator::Jump(contrast));
 
-    body.push_all(
-        contrast,
-        contrast_instructions(spec, rng, CONTRAST_BLOCK_SIZE),
-    );
+    if spec.uniform {
+        // A uniform phase carries no contrast block: the slot keeps the
+        // phase's own flavour at half the body size, so every block of the
+        // phase looks (and behaves) alike.
+        body.push_all(
+            contrast,
+            phase_instructions(spec, rng, (spec.block_size / 2).max(2)),
+        );
+    } else {
+        body.push_all(
+            contrast,
+            contrast_instructions(spec, rng, CONTRAST_BLOCK_SIZE),
+        );
+    }
     body.terminate(contrast, Terminator::Jump(inner_latch));
 
     body.push_all(

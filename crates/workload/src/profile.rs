@@ -52,6 +52,13 @@ pub struct PhaseSpec {
     pub block_size: usize,
     /// Working-set size in bytes touched by the phase's memory accesses.
     pub working_set_bytes: u64,
+    /// Whether the phase's loop body is *uniform*: the generator then skips
+    /// the opposite-flavour contrast block it normally interleaves, so every
+    /// block of the phase shares one flavour. Combined with block sizes below
+    /// the static pipeline's typing threshold this produces programs the
+    /// static pipeline cannot mark at all — the territory of the online
+    /// tuner (`phase-online`).
+    pub uniform: bool,
 }
 
 impl PhaseSpec {
@@ -63,6 +70,7 @@ impl PhaseSpec {
             inner_trips,
             block_size,
             working_set_bytes: 16 * 1024,
+            uniform: false,
         }
     }
 
@@ -74,6 +82,7 @@ impl PhaseSpec {
             inner_trips,
             block_size,
             working_set_bytes: 16 * 1024,
+            uniform: false,
         }
     }
 
@@ -90,6 +99,7 @@ impl PhaseSpec {
             inner_trips,
             block_size,
             working_set_bytes,
+            uniform: false,
         }
     }
 
@@ -106,6 +116,7 @@ impl PhaseSpec {
             inner_trips,
             block_size,
             working_set_bytes,
+            uniform: false,
         }
     }
 
@@ -117,7 +128,15 @@ impl PhaseSpec {
             inner_trips,
             block_size,
             working_set_bytes: 256 * 1024,
+            uniform: false,
         }
+    }
+
+    /// Marks the phase as uniform: no contrast block is generated, so every
+    /// block shares the phase's flavour (see [`PhaseSpec::uniform`]).
+    pub fn uniform(mut self) -> Self {
+        self.uniform = true;
+        self
     }
 
     /// The access pattern memory instructions of this phase use.

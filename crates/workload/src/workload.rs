@@ -138,6 +138,36 @@ impl Workload {
         workload
     }
 
+    /// Builds a drifting workload: every slot's queue walks the catalogue
+    /// round-robin from a per-slot random offset, so each slot experiences
+    /// the catalogue's full drift spectrum instead of a random subsample.
+    /// Intended for the drifting-phase family (`Catalog::drifting`), where
+    /// covering every rotation pattern matters more than random selection.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same degenerate inputs as [`Workload::random`].
+    pub fn drifting(catalog: &Catalog, slots: usize, jobs_per_slot: usize, seed: u64) -> Self {
+        assert!(
+            !catalog.is_empty(),
+            "cannot build a workload from an empty catalogue"
+        );
+        assert!(slots > 0, "a workload needs at least one slot");
+        assert!(jobs_per_slot > 0, "each slot needs at least one job");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let slots = (0..slots)
+            .map(|_| {
+                let offset = rng.gen_range(0..catalog.len());
+                JobQueue::new(
+                    (0..jobs_per_slot)
+                        .map(|position| BenchmarkId((offset + position) % catalog.len()))
+                        .collect(),
+                )
+            })
+            .collect();
+        Self { slots }
+    }
+
     /// The paper's workload sizes: 18 to 84 simultaneous benchmarks.
     pub fn paper_sizes() -> Vec<usize> {
         vec![18, 36, 54, 84]
@@ -255,6 +285,26 @@ mod tests {
         let catalog = catalog();
         let workload = Workload::bursty(&catalog, 6, 1, 1, 1_000_000.0, 9);
         assert!(workload.slots().iter().all(|q| q.release_ns() == 0.0));
+    }
+
+    #[test]
+    fn drifting_workload_walks_the_catalogue_round_robin() {
+        let catalog = catalog();
+        let workload = Workload::drifting(&catalog, 10, 4, 3);
+        assert_eq!(workload.size(), 10);
+        for slot in workload.slots() {
+            let jobs = slot.jobs();
+            for pair in jobs.windows(2) {
+                assert_eq!(
+                    (pair[0].0 + 1) % catalog.len(),
+                    pair[1].0,
+                    "queues walk the catalogue in order"
+                );
+            }
+        }
+        // Deterministic per seed.
+        assert_eq!(workload, Workload::drifting(&catalog, 10, 4, 3));
+        assert_ne!(workload, Workload::drifting(&catalog, 10, 4, 4));
     }
 
     #[test]

@@ -3,6 +3,7 @@
 //! `SimResult` aggregates — the worker count only changes wall-clock time.
 
 use phase_tuning::substrate::amp::MachineSpec;
+use phase_tuning::substrate::online::OnlineConfig;
 use phase_tuning::substrate::runtime::TunerConfig;
 use phase_tuning::substrate::sched::SimConfig;
 use phase_tuning::substrate::workload::{Catalog, Workload};
@@ -17,7 +18,9 @@ fn plan() -> ExperimentPlan {
     let pipeline = PipelineConfig::paper_best();
     let instrumented = instrument_catalog(&catalog, &machine, &pipeline);
     let plain = baseline_catalog(&catalog);
-    let workloads: Vec<PlannedWorkload> = [
+    let drifting_catalog = Catalog::drifting(0.3, 9);
+    let drifting_plain = baseline_catalog(&drifting_catalog);
+    let mut workloads: Vec<PlannedWorkload> = [
         ("dense", Workload::random(&catalog, 5, 2, 31)),
         ("bursty", Workload::bursty(&catalog, 6, 1, 3, 800_000.0, 32)),
     ]
@@ -28,6 +31,14 @@ fn plan() -> ExperimentPlan {
         tuned_slots: build_slots(&workload, &catalog, &instrumented),
     })
     .collect();
+    // An unmarkable drifting workload: its online cells exercise the
+    // interval-sampling path, which must be as deterministic as the rest.
+    let drifting = Workload::drifting(&drifting_catalog, 4, 1, 33);
+    workloads.push(PlannedWorkload {
+        name: "drifting".to_string(),
+        baseline_slots: build_slots(&drifting, &drifting_catalog, &drifting_plain),
+        tuned_slots: build_slots(&drifting, &drifting_catalog, &drifting_plain),
+    });
     let sim = SimConfig {
         horizon_ns: Some(3_000_000.0),
         ..SimConfig::default()
@@ -35,7 +46,14 @@ fn plan() -> ExperimentPlan {
     ExperimentPlan::cross(
         &workloads,
         &[machine],
-        &[Policy::Stock, Policy::Tuned(TunerConfig::paper_table1())],
+        &[
+            Policy::Stock,
+            Policy::Tuned(TunerConfig::paper_table1()),
+            Policy::Online(OnlineConfig {
+                sample_interval_ns: 100_000.0,
+                ..OnlineConfig::default()
+            }),
+        ],
         sim,
         0x0D57_EC60,
     )
@@ -49,7 +67,7 @@ fn one_worker_and_eight_workers_agree_bit_for_bit() {
     // The streaming aggregate is order-independent by construction.
     assert_eq!(sequential.aggregate, parallel.aggregate);
     assert!(sequential.aggregate.total_instructions > 0);
-    assert_eq!(sequential.aggregate.cells_completed, 4);
+    assert_eq!(sequential.aggregate.cells_completed, 9);
 
     // Per-cell results are bit-identical, including every floating-point
     // field (completion times, busy nanoseconds, throughput windows).
@@ -59,7 +77,17 @@ fn one_worker_and_eight_workers_agree_bit_for_bit() {
         assert_eq!(a.label, b.label);
         assert_eq!(a.result, b.result, "cell {} diverged", a.label);
         assert_eq!(a.tuner_stats, b.tuner_stats, "cell {} tuner", a.label);
+        assert_eq!(a.online_stats, b.online_stats, "cell {} online", a.label);
     }
+
+    // The online cells really ran the sampling path.
+    let online_sampled: u64 = sequential
+        .cells
+        .iter()
+        .filter_map(|cell| cell.online_stats)
+        .map(|stats| stats.intervals_observed)
+        .sum();
+    assert!(online_sampled > 0, "no interval observations were made");
 
     // Deterministic floating-point summaries match exactly as well.
     let flows_a = sequential.flow_summary();

@@ -159,6 +159,33 @@ fn engines_agree_on_the_mixed_scenario_family() {
 }
 
 #[test]
+fn engines_agree_under_the_online_policy_with_interval_sampling() {
+    use phase_tuning::substrate::online::OnlineConfig;
+    // An unmarkable drifting workload under Policy::Online: both engines must
+    // fire the SampleInterval tick at the same round-aligned times, deliver
+    // the same observation stream, and apply the same affinity changes.
+    let catalog = Catalog::drifting(0.3, 4);
+    let workload = Workload::drifting(&catalog, 5, 1, 4);
+    let programs = baseline_catalog(&catalog);
+    let slots = build_slots(&workload, &catalog, &programs);
+    let policy = Policy::Online(OnlineConfig {
+        sample_interval_ns: 150_000.0,
+        ..OnlineConfig::default()
+    });
+    let round = run_engine(slots.clone(), policy, EngineKind::RoundBased);
+    let event = run_engine(slots, policy, EngineKind::EventDriven);
+    assert_eq!(
+        round.total_marks_executed, 0,
+        "drifting programs are unmarkable"
+    );
+    assert!(
+        event.total_core_switches > 0,
+        "interval sampling produced no affinity-driven switches"
+    );
+    assert_equivalent(&round, &event);
+}
+
+#[test]
 fn engines_agree_on_a_bursty_arrival_workload() {
     let catalog = Catalog::extended(0.05, 3);
     let workload = Workload::bursty(&catalog, 8, 1, 3, 1_500_000.0, 3);

@@ -184,10 +184,11 @@ proptest! {
     }
 
     /// The simulator's event queue never pops events out of timestamp order,
-    /// and ties resolve by kind rank (arrivals, balance, quanta) and core.
+    /// and ties resolve by kind rank (arrivals, balance, sampling, quanta)
+    /// and core.
     #[test]
     fn event_queue_pops_in_timestamp_order(
-        events in proptest::collection::vec((0u64..50, 0u8..3, 0u32..4), 1..80),
+        events in proptest::collection::vec((0u64..50, 0u8..4, 0u32..4), 1..80),
     ) {
         use phase_tuning::substrate::sched::{EventKind, EventQueue};
 
@@ -197,6 +198,7 @@ proptest! {
             let kind = match kind {
                 0 => EventKind::JobArrival { core: CoreId(core) },
                 1 => EventKind::LoadBalance,
+                2 => EventKind::SampleInterval,
                 _ => EventKind::QuantumExpiry { core: CoreId(core) },
             };
             queue.push(time_ns, kind);
@@ -206,11 +208,12 @@ proptest! {
         let rank = |kind: EventKind| match kind {
             EventKind::JobArrival { .. } => 0u8,
             EventKind::LoadBalance => 1,
-            EventKind::QuantumExpiry { .. } => 2,
+            EventKind::SampleInterval => 2,
+            EventKind::QuantumExpiry { .. } => 3,
         };
         let core_of = |kind: EventKind| match kind {
             EventKind::JobArrival { core } | EventKind::QuantumExpiry { core } => core.0,
-            EventKind::LoadBalance => 0,
+            EventKind::LoadBalance | EventKind::SampleInterval => 0,
         };
         let mut previous: Option<(f64, u8, u32)> = None;
         let mut popped = 0usize;
@@ -295,6 +298,59 @@ proptest! {
                 .find(|r| r.name == format!("first-{index}"))
                 .expect("record exists");
             prop_assert_eq!(record.arrival_ns, release as f64 * 10_000.0);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The online leader–follower classifier is a pure stream function: for
+    /// one interval stream it assigns identical phase ids (and ends with
+    /// identical centroids) no matter how the stream is cut into batches.
+    #[test]
+    fn online_classifier_is_batch_invariant(
+        stream in proptest::collection::vec((0.0f64..2.0, 0.0f64..1.0), 1..60),
+        cut_points in proptest::collection::vec(any::<u64>(), 0..4),
+    ) {
+        use phase_tuning::substrate::online::{OnlineClassifier, PhaseId};
+
+        let features: Vec<[f64; 2]> = stream.iter().map(|(a, b)| [*a, *b]).collect();
+
+        let mut singly = OnlineClassifier::new(4, 0.2, 0.3);
+        let one_by_one: Vec<PhaseId> = features.iter().map(|f| singly.observe(*f)).collect();
+
+        let mut cuts: Vec<usize> = cut_points
+            .iter()
+            .map(|c| (*c as usize) % features.len())
+            .collect();
+        cuts.sort_unstable();
+        cuts.dedup();
+        cuts.push(features.len());
+        let mut batched_classifier = OnlineClassifier::new(4, 0.2, 0.3);
+        let mut batched = Vec::new();
+        let mut start = 0;
+        for cut in cuts {
+            if cut > start {
+                batched.extend(batched_classifier.observe_batch(&features[start..cut]));
+                start = cut;
+            }
+        }
+
+        prop_assert_eq!(one_by_one, batched);
+        prop_assert_eq!(singly.phase_count(), batched_classifier.phase_count());
+        for index in 0..singly.phase_count() {
+            let phase = PhaseId(index as u32);
+            prop_assert_eq!(
+                singly.centroid(phase),
+                batched_classifier.centroid(phase),
+                "centroid of {} diverged",
+                phase
+            );
+            prop_assert_eq!(
+                singly.observations(phase),
+                batched_classifier.observations(phase)
+            );
         }
     }
 }

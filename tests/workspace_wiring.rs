@@ -57,7 +57,7 @@ fn default_configs_run_a_two_slot_comparison() {
 #[test]
 fn every_substrate_layer_is_reachable_through_the_facade() {
     use phase_tuning::substrate::{
-        amp, analysis, cfg, ir, marking, metrics, runtime, sched, workload,
+        amp, analysis, cfg, ir, marking, metrics, online, runtime, sched, workload,
     };
 
     // Static layers: ir -> cfg -> analysis -> marking.
@@ -93,6 +93,8 @@ fn every_substrate_layer_is_reachable_through_the_facade() {
     assert!(machine.is_asymmetric());
     let _sim = sched::SimConfig::default();
     let _tuner = runtime::TunerConfig::default();
+    let online_config = online::OnlineConfig::default();
+    assert!(online_config.sample_interval_ns > 0.0);
     let stats = metrics::SummaryStats::of(&[1.0, 2.0, 3.0]);
     assert_eq!(stats.count, 3);
     let catalog = workload::Catalog::tiny(7);
