@@ -98,6 +98,15 @@ impl BlockTyping {
         self.types.iter().map(|(l, t)| (*l, *t))
     }
 
+    /// Every `(location, phase type)` pair sorted by location — the
+    /// deterministic order serializers (e.g. the artifact store's on-disk
+    /// spill) need, since the backing map iterates in unspecified order.
+    pub fn sorted_entries(&self) -> Vec<(Location, PhaseType)> {
+        let mut entries: Vec<(Location, PhaseType)> = self.iter().collect();
+        entries.sort_by_key(|(loc, _)| (loc.proc.0, loc.block.0));
+        entries
+    }
+
     /// Locations assigned the given type.
     pub fn blocks_of_type(&self, ty: PhaseType) -> Vec<Location> {
         let mut blocks: Vec<Location> = self

@@ -21,7 +21,7 @@ use phase_amp::MachineSpec;
 use phase_bench::{experiment_config, init};
 use phase_core::{
     baseline_catalog, build_slots, prepare_program, run_with_hook, CellSpec, Driver,
-    ExperimentPlan, PipelineConfig, Policy, TextTable,
+    ExperimentPlan, JsonValue, PipelineConfig, Policy, TextTable,
 };
 use phase_marking::MarkingConfig;
 use phase_runtime::TunerConfig;
@@ -42,7 +42,7 @@ fn time_best<F: FnMut() -> SimResult>(samples: usize, mut run: F) -> (f64, SimRe
 }
 
 fn main() {
-    init(
+    let settings = init(
         "Engine + driver baseline (BENCH_engine.json)",
         "Round-based vs. event-driven engine on the fig4 workload and a bursty workload,\n\
          and sequential vs. --threads=4 driver on the table1 isolation plan.",
@@ -187,43 +187,41 @@ fn main() {
     let new_binary_s: Option<f64> = std::env::var("PHASE_BENCH_TABLE1_NEW_S")
         .ok()
         .and_then(|v| v.parse().ok());
-    let seed_comparison = match (seed_binary_s, new_binary_s) {
-        (Some(seed), Some(new)) if new > 0.0 => {
+
+    let mut doc = JsonValue::object()
+        .field("quick", quick)
+        .field("samples", samples)
+        .field("fig4_round_based_s", fig4_round_s)
+        .field("fig4_event_driven_s", fig4_event_s)
+        .field("fig4_engine_speedup", fig4_round_s / fig4_event_s)
+        .field("bursty_round_based_s", bursty_round_s)
+        .field("bursty_event_driven_s", bursty_event_s)
+        .field("bursty_engine_speedup", bursty_round_s / bursty_event_s)
+        .field("table1_threads1_s", table1_seq_s)
+        .field("table1_threads4_s", table1_par_s)
+        .field("table1_parallel_speedup", table1_seq_s / table1_par_s)
+        .field("table1_e2e_threads1_s", table1_e2e_seq_s)
+        .field("table1_e2e_threads4_s", table1_e2e_par_s)
+        .field(
+            "table1_e2e_parallel_speedup",
+            table1_e2e_seq_s / table1_e2e_par_s,
+        );
+    if let (Some(seed), Some(new)) = (seed_binary_s, new_binary_s) {
+        if new > 0.0 {
             println!(
                 "external binary comparison: seed {seed:.3}s -> current {new:.3}s \
                  ({:.2}x, table1_switches --quick)",
                 seed / new
             );
-            format!(
-                ",\n  \"table1_quick_seed_binary_s\": {seed:.6},\n  \
-                 \"table1_quick_binary_s\": {new:.6},\n  \
-                 \"table1_quick_speedup_vs_seed\": {:.4}",
-                seed / new
-            )
+            doc = doc
+                .field("table1_quick_seed_binary_s", seed)
+                .field("table1_quick_binary_s", new)
+                .field("table1_quick_speedup_vs_seed", seed / new);
         }
-        _ => String::new(),
-    };
-
-    let json = format!(
-        "{{\n  \"quick\": {quick},\n  \"samples\": {samples},\n  \
-         \"fig4_round_based_s\": {fig4_round_s:.6},\n  \
-         \"fig4_event_driven_s\": {fig4_event_s:.6},\n  \
-         \"fig4_engine_speedup\": {:.4},\n  \
-         \"bursty_round_based_s\": {bursty_round_s:.6},\n  \
-         \"bursty_event_driven_s\": {bursty_event_s:.6},\n  \
-         \"bursty_engine_speedup\": {:.4},\n  \
-         \"table1_threads1_s\": {table1_seq_s:.6},\n  \
-         \"table1_threads4_s\": {table1_par_s:.6},\n  \
-         \"table1_parallel_speedup\": {:.4},\n  \
-         \"table1_e2e_threads1_s\": {table1_e2e_seq_s:.6},\n  \
-         \"table1_e2e_threads4_s\": {table1_e2e_par_s:.6},\n  \
-         \"table1_e2e_parallel_speedup\": {:.4}{seed_comparison}\n}}\n",
-        fig4_round_s / fig4_event_s,
-        bursty_round_s / bursty_event_s,
-        table1_seq_s / table1_par_s,
-        table1_e2e_seq_s / table1_e2e_par_s,
-    );
-    std::fs::write("BENCH_engine.json", &json).expect("write BENCH_engine.json");
-    println!("wrote BENCH_engine.json");
+    }
+    let json = doc.render();
+    let path = settings.out_path("BENCH_engine.json");
+    let written = phase_bench::write_report_file(&path, &json).map(|()| path);
+    phase_bench::announce_report(written, "BENCH_engine.json");
     print!("{json}");
 }

@@ -1,50 +1,14 @@
 //! Section VII: the 3-core AMP configuration (2 fast, 1 slow) mentioned as
 //! already-tested future work; the paper reports results similar to the
-//! 4-core machine (~32% speedup).
-
-use phase_amp::MachineSpec;
-use phase_bench::{experiment_config, init};
-use phase_core::{comparison_plan, comparison_result, prepare_workload, ExperimentPlan, TextTable};
-use phase_marking::MarkingConfig;
+//! 4-core machine (~32% speedup). Thin spec over the shared study runner
+//! (`phase_bench::studies::exp_three_core`).
 
 fn main() {
-    init(
+    phase_bench::run_study_main(
         "3-core AMP (Section VII)",
         "The best technique (Loop[45]) on the 2-fast/1-slow machine, compared with the\n\
          4-core evaluation machine; both machines' baseline and tuned cells form one\n\
          plan fanned across the driver.",
+        phase_bench::studies::exp_three_core,
     );
-
-    let machines = [MachineSpec::core2_quad_amp(), MachineSpec::three_core_amp()];
-    let mut plan = ExperimentPlan::new();
-    let mut per_machine = Vec::new();
-    for machine in &machines {
-        let mut config = experiment_config(MarkingConfig::paper_best());
-        config.machine = machine.clone();
-        let prepared = prepare_workload(&config);
-        plan.extend(comparison_plan(machine.name.clone(), &config, &prepared));
-        per_machine.push((config, prepared));
-    }
-    let outcome = phase_bench::driver().run(plan);
-
-    let mut table = TextTable::new(vec![
-        "Machine",
-        "Avg time reduction %",
-        "Max-flow %",
-        "Max-stretch %",
-        "Throughput %",
-    ]);
-    for (machine, (config, prepared)) in machines.iter().zip(&per_machine) {
-        let result = comparison_result(&machine.name, &outcome, config, prepared)
-            .expect("plan holds both cells of the machine");
-        table.add_row(vec![
-            machine.name.clone(),
-            format!("{:.2}", result.fairness.avg_time_decrease_pct),
-            format!("{:.2}", result.fairness.max_flow_decrease_pct),
-            format!("{:.2}", result.fairness.max_stretch_decrease_pct),
-            format!("{:.2}", result.throughput.improvement_pct),
-        ]);
-    }
-    println!("{}", table.render());
-    println!("paper: performance on the 3-core setup is similar to the 4-core one (~32% speedup).");
 }

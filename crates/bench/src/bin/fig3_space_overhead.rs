@@ -1,56 +1,12 @@
 //! Figure 3: space overhead of phase marks per technique variant, as a box
-//! plot (quartile summary) over the benchmark catalogue.
-
-use phase_amp::MachineSpec;
-use phase_bench::{init, overhead_variants};
-use phase_core::{prepare_program, PipelineConfig, TextTable};
-use phase_metrics::SummaryStats;
-use phase_workload::Catalog;
+//! plot (quartile summary) over the benchmark catalogue. Thin spec over the
+//! shared study runner (`phase_bench::studies::fig3`).
 
 fn main() {
-    init(
+    phase_bench::run_study_main(
         "Figure 3 — space overhead",
         "Phase-mark bytes added relative to the original binary size, per technique,\n\
          summarised over the 15 catalogue benchmarks (box-plot quartiles).",
-    );
-
-    let machine = MachineSpec::core2_quad_amp();
-    let scale = if phase_bench::quick_mode() { 0.2 } else { 1.0 };
-    let catalog = Catalog::standard(scale, 7);
-
-    let mut table = TextTable::new(vec![
-        "Technique",
-        "Min %",
-        "Q1 %",
-        "Median %",
-        "Q3 %",
-        "Max %",
-        "Mean marks",
-    ]);
-    for marking in overhead_variants() {
-        let pipeline = PipelineConfig::with_marking(marking);
-        let mut overheads = Vec::new();
-        let mut marks = Vec::new();
-        for bench in catalog.benchmarks() {
-            let instrumented = prepare_program(bench.program(), &machine, &pipeline);
-            overheads.push(instrumented.stats().space_overhead * 100.0);
-            marks.push(instrumented.mark_count() as f64);
-        }
-        let stats = SummaryStats::of(&overheads);
-        let mark_stats = SummaryStats::of(&marks);
-        table.add_row(vec![
-            marking.to_string(),
-            format!("{:.2}", stats.min),
-            format!("{:.2}", stats.q1),
-            format!("{:.2}", stats.median),
-            format!("{:.2}", stats.q3),
-            format!("{:.2}", stats.max),
-            format!("{:.1}", mark_stats.mean),
-        ]);
-    }
-    println!("{}", table.render());
-    println!(
-        "paper: less than 4% space overhead for the best technique (Loop[45]),\n\
-         overhead decreasing as the minimum section size and lookahead grow."
+        phase_bench::studies::fig3,
     );
 }

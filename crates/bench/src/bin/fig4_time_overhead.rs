@@ -1,99 +1,15 @@
 //! Figure 4: time overhead of the phase marks themselves, measured the way
 //! the paper does — the marks execute and perform the affinity system call,
 //! but "switch to all cores", so placement is never constrained and the only
-//! difference from the baseline is the marks' execution cost.
-
-use phase_bench::{experiment_config, init};
-use phase_core::{
-    baseline_catalog, build_slots, instrument_catalog, CellSpec, ExperimentPlan, PipelineConfig,
-    Policy, TextTable,
-};
-use phase_marking::MarkingConfig;
-use phase_metrics::percent_change;
-use phase_sched::SimResult;
-use phase_workload::{Catalog, Workload};
+//! difference from the baseline is the marks' execution cost. Thin spec over
+//! the shared study runner (`phase_bench::studies::fig4`).
 
 fn main() {
-    init(
+    phase_bench::run_study_main(
         "Figure 4 — time overhead of phase marks (workload size 84)",
         "Identical workloads run with uninstrumented binaries and with instrumented binaries\n\
          whose marks switch to \"all cores\"; the completion-time difference is the mark\n\
          overhead. The baseline and the eight variants are one plan fanned across the driver.",
-    );
-
-    let machine = phase_amp::MachineSpec::core2_quad_amp();
-    let quick = phase_bench::quick_mode();
-    let slots = phase_bench::env_or("PHASE_BENCH_SLOTS", 84usize);
-    let scale = if quick { 0.1 } else { 0.5 };
-    let catalog = Catalog::standard(scale, 7);
-    let workload = Workload::random(&catalog, slots, 1, 84);
-    let sim = experiment_config(MarkingConfig::paper_best()).sim;
-
-    let variants = [
-        MarkingConfig::basic_block(15, 0),
-        MarkingConfig::basic_block(15, 2),
-        MarkingConfig::basic_block(45, 0),
-        MarkingConfig::interval(30),
-        MarkingConfig::interval(45),
-        MarkingConfig::loop_level(30),
-        MarkingConfig::loop_level(45),
-        MarkingConfig::loop_level(60),
-    ];
-
-    // One plan: the uninstrumented baseline plus one all-cores cell per
-    // marking variant, all over the same job queues.
-    let mut plan = ExperimentPlan::new();
-    let plain = baseline_catalog(&catalog);
-    plan.push(CellSpec {
-        group: "baseline".into(),
-        label: "uninstrumented".into(),
-        machine: machine.clone(),
-        slots: build_slots(&workload, &catalog, &plain),
-        policy: Policy::Stock,
-        sim,
-    });
-    for marking in variants {
-        let pipeline = PipelineConfig::with_marking(marking);
-        let instrumented = instrument_catalog(&catalog, &machine, &pipeline);
-        plan.push(CellSpec {
-            group: marking.to_string(),
-            label: format!("all-cores-{marking}"),
-            machine: machine.clone(),
-            slots: build_slots(&workload, &catalog, &instrumented),
-            policy: Policy::AllCores,
-            sim,
-        });
-    }
-    let outcome = phase_bench::driver().run(plan);
-    let baseline = &outcome.cells[0].result;
-
-    let mut table = TextTable::new(vec![
-        "Technique",
-        "Marks executed",
-        "Baseline instrs",
-        "Instrumented instrs",
-        "Time overhead %",
-    ]);
-    for cell in &outcome.cells[1..] {
-        let run: &SimResult = &cell.result;
-        // Time overhead: extra busy time needed for the same committed work,
-        // approximated by the change in instructions-per-busy-nanosecond.
-        let baseline_busy: f64 = baseline.core_busy_ns.iter().sum();
-        let run_busy: f64 = run.core_busy_ns.iter().sum();
-        let baseline_rate = baseline.total_instructions as f64 / baseline_busy;
-        let run_rate = (run.total_instructions - run.total_marks_executed * 12) as f64 / run_busy;
-        let overhead_pct = percent_change(run_rate, baseline_rate);
-        table.add_row(vec![
-            cell.group.clone(),
-            run.total_marks_executed.to_string(),
-            baseline.total_instructions.to_string(),
-            run.total_instructions.to_string(),
-            format!("{overhead_pct:.3}"),
-        ]);
-    }
-    println!("{}", table.render());
-    println!(
-        "paper: as little as 0.14% time overhead, lowest for the loop technique because it\n\
-         eliminates marks inside nested loops and in functions called from loops."
+        phase_bench::studies::fig4,
     );
 }

@@ -1,82 +1,14 @@
 //! Figure 5: average cycles per core switch for each benchmark (log scale in
 //! the paper); a switch is amortised when this number is far above the
-//! ~1000-cycle switch cost.
-
-use std::sync::Arc;
-
-use phase_amp::MachineSpec;
-use phase_bench::init;
-use phase_core::{prepare_program, CellSpec, ExperimentPlan, PipelineConfig, Policy, TextTable};
-use phase_marking::MarkingConfig;
-use phase_runtime::TunerConfig;
-use phase_sched::SimConfig;
-use phase_workload::Catalog;
+//! ~1000-cycle switch cost. Thin spec over the shared study runner
+//! (`phase_bench::studies::fig5`).
 
 fn main() {
-    init(
+    phase_bench::run_study_main(
         "Figure 5 — average cycles per core switch",
         "Cycles executed by each benchmark divided by the number of core switches it made\n\
          (running alone with Loop[45] marking and the 0.2-threshold tuner); one isolation\n\
          cell per benchmark, fanned across the driver's workers.",
-    );
-
-    let machine = MachineSpec::core2_quad_amp();
-    let scale = if phase_bench::quick_mode() { 0.2 } else { 1.0 };
-    let catalog = Catalog::standard(scale, 7);
-    let pipeline = PipelineConfig::with_marking(MarkingConfig::paper_best());
-
-    let mut plan = ExperimentPlan::new();
-    for bench in catalog.benchmarks() {
-        let instrumented = Arc::new(prepare_program(bench.program(), &machine, &pipeline));
-        plan.push(CellSpec::isolation(
-            bench.name(),
-            instrumented,
-            machine.clone(),
-            Policy::Tuned(TunerConfig::paper_table1()),
-            SimConfig::default(),
-        ));
-    }
-    let outcome = phase_bench::driver().run(plan);
-
-    let mut table = TextTable::new(vec![
-        "Benchmark",
-        "Cycles",
-        "Switches",
-        "Cycles per switch",
-        "Amortises 1000-cycle switch?",
-    ]);
-    for cell in &outcome.cells {
-        let record = cell
-            .result
-            .records
-            .first()
-            .expect("isolation cell ran one process");
-        let switches = record.stats.core_switches;
-        let cycles = record.stats.cycles;
-        let per_switch = if switches == 0 {
-            f64::INFINITY
-        } else {
-            cycles / switches as f64
-        };
-        table.add_row(vec![
-            cell.group.clone(),
-            format!("{cycles:.3e}"),
-            switches.to_string(),
-            if per_switch.is_finite() {
-                format!("{per_switch:.3e}")
-            } else {
-                "no switches".to_string()
-            },
-            if per_switch > 10_000.0 {
-                "yes".into()
-            } else {
-                "marginal".into()
-            },
-        ]);
-    }
-    println!("{}", table.render());
-    println!(
-        "paper shape: most benchmarks execute millions to billions of cycles per switch,\n\
-         comfortably amortising the ~1000-cycle switch cost."
+        phase_bench::studies::fig5,
     );
 }

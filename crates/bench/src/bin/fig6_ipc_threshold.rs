@@ -1,58 +1,14 @@
 //! Figure 6: workload throughput improvement as a function of the IPC
 //! threshold `δ` used by Algorithm 2 (basic-block strategy, minimum block
-//! size 15, no lookahead).
-
-use phase_bench::{experiment_config, init};
-use phase_core::{comparison_plan, comparison_result, prepare_workload, ExperimentPlan, TextTable};
-use phase_marking::MarkingConfig;
+//! size 15, no lookahead). Thin spec over the shared study runner
+//! (`phase_bench::studies::fig6`).
 
 fn main() {
-    init(
+    phase_bench::run_study_main(
         "Figure 6 — throughput vs. IPC threshold",
         "Basic-block strategy, min block size 15, lookahead 0; the workload is re-run with\n\
          the same queues for every threshold value. All threshold cells form one plan\n\
          fanned across the driver.",
-    );
-
-    let thresholds = [0.0, 0.05, 0.1, 0.15, 0.2, 0.3, 0.5];
-    let base = experiment_config(MarkingConfig::basic_block(15, 0));
-    let prepared = prepare_workload(&base);
-
-    let mut plan = ExperimentPlan::new();
-    let mut configs = Vec::new();
-    for threshold in thresholds {
-        let mut config = base.clone();
-        config.tuner.ipc_threshold = threshold;
-        plan.extend(comparison_plan(
-            format!("delta={threshold:.2}"),
-            &config,
-            &prepared,
-        ));
-        configs.push(config);
-    }
-    let outcome = phase_bench::driver().run(plan);
-
-    let mut table = TextTable::new(vec![
-        "IPC threshold",
-        "Throughput improvement %",
-        "Avg time reduction %",
-        "Core switches",
-    ]);
-    for (threshold, config) in thresholds.iter().zip(&configs) {
-        let group = format!("delta={threshold:.2}");
-        let comparison = comparison_result(&group, &outcome, config, &prepared)
-            .expect("plan holds both cells of the group");
-        table.add_row(vec![
-            format!("{threshold:.2}"),
-            format!("{:.2}", comparison.throughput.improvement_pct),
-            format!("{:.2}", comparison.fairness.avg_time_decrease_pct),
-            comparison.tuned.total_core_switches.to_string(),
-        ]);
-    }
-    println!("{}", table.render());
-    println!(
-        "paper shape: extreme thresholds degrade throughput (everything migrates away from\n\
-         one core type at δ≈0; nothing well-suited reaches the efficient cores at large δ);\n\
-         an interior value balances the assignment."
+        phase_bench::studies::fig6,
     );
 }

@@ -1,55 +1,14 @@
 //! Figure 7: robustness of the technique to static clustering error — a
 //! fraction of blocks is deliberately placed in the wrong cluster before
-//! marking.
-
-use phase_bench::{experiment_config, init};
-use phase_core::{comparison_plan, comparison_result, prepare_workload, ExperimentPlan, TextTable};
-use phase_marking::MarkingConfig;
+//! marking. Thin spec over the shared study runner
+//! (`phase_bench::studies::fig7`).
 
 fn main() {
-    init(
+    phase_bench::run_study_main(
         "Figure 7 — throughput improvement vs. clustering error",
         "Basic-block strategy, min block size 15, lookahead 0; 0%–30% of typed blocks are\n\
          flipped to the opposite cluster before phase marking. One comparison plan per\n\
          error level, all fanned across the driver together.",
-    );
-
-    let error_levels = [0.0, 0.10, 0.20, 0.30];
-    let mut plan = ExperimentPlan::new();
-    let mut per_level = Vec::new();
-    for error in error_levels {
-        let mut config = experiment_config(MarkingConfig::basic_block(15, 0));
-        config.pipeline.clustering_error = error;
-        let prepared = prepare_workload(&config);
-        plan.extend(comparison_plan(
-            format!("error={error:.2}"),
-            &config,
-            &prepared,
-        ));
-        per_level.push((config, prepared));
-    }
-    let outcome = phase_bench::driver().run(plan);
-
-    let mut table = TextTable::new(vec![
-        "Clustering error",
-        "Throughput improvement %",
-        "Avg time reduction %",
-        "Phase marks executed",
-    ]);
-    for (error, (config, prepared)) in error_levels.iter().zip(&per_level) {
-        let group = format!("error={error:.2}");
-        let comparison = comparison_result(&group, &outcome, config, prepared)
-            .expect("plan holds both cells of the group");
-        table.add_row(vec![
-            format!("{:.0}%", error * 100.0),
-            format!("{:.2}", comparison.throughput.improvement_pct),
-            format!("{:.2}", comparison.fairness.avg_time_decrease_pct),
-            comparison.tuned.total_marks_executed.to_string(),
-        ]);
-    }
-    println!("{}", table.render());
-    println!(
-        "paper shape: almost no loss at 10% error, still a significant gain at 20%, and\n\
-         little improvement left at 30%."
+        phase_bench::studies::fig7,
     );
 }

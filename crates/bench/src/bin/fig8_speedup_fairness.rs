@@ -1,55 +1,14 @@
 //! Figure 8: the speedup-versus-fairness trade-off — average-process-time
 //! reduction (speedup) plotted against max-stretch for each technique
-//! variant.
-
-use phase_bench::{experiment_config, init};
-use phase_core::{comparison_plan, comparison_result, prepare_workload, ExperimentPlan, TextTable};
-use phase_marking::MarkingConfig;
+//! variant. Thin spec over the shared study runner
+//! (`phase_bench::studies::fig8`).
 
 fn main() {
-    init(
+    phase_bench::run_study_main(
         "Figure 8 — speedup vs. fairness trade-off",
         "Each row is one technique variant: its average-process-time reduction (speedup) and\n\
          the max-stretch it achieves (lower is fairer). The paper's interval and loop variants\n\
          balance the two; several basic-block variants trade fairness for speedup.",
+        phase_bench::studies::fig8,
     );
-
-    let variants = if phase_bench::quick_mode() {
-        vec![
-            MarkingConfig::basic_block(15, 0),
-            MarkingConfig::basic_block(15, 2),
-            MarkingConfig::interval(45),
-            MarkingConfig::loop_level(45),
-        ]
-    } else {
-        MarkingConfig::table2_variants()
-    };
-
-    let mut plan = ExperimentPlan::new();
-    let mut per_variant = Vec::new();
-    for marking in &variants {
-        let config = experiment_config(*marking);
-        let prepared = prepare_workload(&config);
-        plan.extend(comparison_plan(marking.to_string(), &config, &prepared));
-        per_variant.push((config, prepared));
-    }
-    let outcome = phase_bench::driver().run(plan);
-
-    let mut table = TextTable::new(vec![
-        "Technique",
-        "Speedup (avg time reduction %)",
-        "Max-stretch (tuned)",
-        "Max-stretch (stock)",
-    ]);
-    for (marking, (config, prepared)) in variants.iter().zip(&per_variant) {
-        let result = comparison_result(&marking.to_string(), &outcome, config, prepared)
-            .expect("plan holds both cells of the variant");
-        table.add_row(vec![
-            marking.to_string(),
-            format!("{:.2}", result.fairness.avg_time_decrease_pct),
-            format!("{:.2}", result.tuned_fairness.max_stretch),
-            format!("{:.2}", result.baseline_fairness.max_stretch),
-        ]);
-    }
-    println!("{}", table.render());
 }

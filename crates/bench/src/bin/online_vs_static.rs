@@ -4,283 +4,37 @@
 //! (dense phase-transition traffic), bursty (arrival gaps), and drifting
 //! (unmarkable programs whose flavour mix rotates mid-run).
 //!
-//! The online policy is swept over sampling-interval length × phase-table
-//! size (`--interval=N` restricts the sweep to one period). Every family is
-//! continuously fed (the paper's queue-per-slot rule) and measured over a
-//! fixed horizon: *speedup* is the throughput ratio against the stock cell,
-//! fairness is max-stretch over isolated runtimes, and the switch counts
-//! show how much affinity traffic each tuner generates.
-//!
 //! The headline is the drifting family: its programs have no blocks the
 //! static pipeline can type, so `tuned` degenerates to `stock` (speedup
 //! exactly 1.0) while the online tuner — sampling hardware counters instead
-//! of reading marks — still finds and places the phases. Writes
+//! of reading marks — still finds and places the phases. Thin spec over the
+//! shared study runner (`phase_bench::studies::online`); writes
 //! `BENCH_online.json` for CI trend tracking.
 
-use std::collections::HashMap;
-
-use phase_amp::MachineSpec;
-use phase_bench::init;
-use phase_core::{
-    baseline_catalog, build_slots, cell_seed, fairness_of, instrument_catalog, isolated_runtimes,
-    CellSpec, ExperimentPlan, PipelineConfig, PlannedWorkload, Policy, TextTable,
-};
-use phase_online::OnlineConfig;
-use phase_runtime::TunerConfig;
-use phase_sched::SimConfig;
-use phase_workload::{Catalog, Workload};
-
-/// One family's prepared inputs.
-struct Family {
-    name: &'static str,
-    planned: PlannedWorkload,
-    isolated_ns: HashMap<String, f64>,
-}
+use phase_bench::studies;
+use phase_core::{run_study, ArtifactStore, JsonValue};
 
 fn main() {
-    init(
+    let settings = phase_bench::init(
         "Online vs. static tuning (BENCH_online.json)",
         "Stock vs. static phase marks vs. online interval sampling on the standard, mixed,\n\
          bursty, and drifting families; the online policy is swept over sampling interval\n\
          x phase count. Drifting programs are unmarkable, so the static tuner collapses\n\
          to stock there while the online tuner keeps tuning.",
     );
+    let spec = studies::online(&settings);
+    let store = ArtifactStore::new();
+    let report = run_study(&spec, &store, settings.threads.max(1));
+    print!("{}", studies::render(&report));
 
-    let quick = phase_bench::quick_mode();
-    let machine = MachineSpec::core2_quad_amp();
-    let slots = phase_bench::env_or("PHASE_BENCH_SLOTS", 8);
-    let jobs_per_slot = if quick { 5 } else { 6 };
-    // The catalogue scale of the markable families; the drifting family keeps
-    // its full-length phases even in quick mode — collapsing them under the
-    // sampling interval would measure lag, not tuning.
-    let scale = if quick { 0.2 } else { 1.0 };
-    let horizon_ns = 40_000_000.0;
-    let base_seed = 0xD61F7;
-
-    let intervals: Vec<f64> = match phase_bench::sample_interval_override_ns() {
-        Some(ns) => vec![ns],
-        None if quick => vec![100_000.0, 200_000.0],
-        None => vec![100_000.0, 200_000.0, 400_000.0],
-    };
-    let phase_counts: &[usize] = if quick { &[2, 8] } else { &[2, 4, 8] };
-
-    let sim = SimConfig {
-        horizon_ns: Some(horizon_ns),
-        ..SimConfig::default()
-    };
-    let pipeline = PipelineConfig::paper_best();
-    let threads = phase_bench::threads();
-
-    // --- Prepare the four families. Per-catalogue work (instrumentation and
-    // the per-benchmark isolated runs behind the stretch metric) is done once
-    // per catalogue; the standard and bursty families share it. ---
-    let standard_catalog = Catalog::standard(scale, 7);
-    let mixed_catalog = Catalog::mixed(scale, 7);
-    let drifting_catalog = Catalog::drifting(1.0, 7);
-    struct Prepared {
-        instrumented: Vec<std::sync::Arc<phase_marking::InstrumentedProgram>>,
-        plain: Vec<std::sync::Arc<phase_marking::InstrumentedProgram>>,
-        isolated_ns: HashMap<String, f64>,
-    }
-    let prepare_catalog = |catalog: &Catalog| -> Prepared {
-        let instrumented = instrument_catalog(catalog, &machine, &pipeline);
-        let plain = baseline_catalog(catalog);
-        let isolated_ns = isolated_runtimes(catalog, &plain, &machine, &sim, threads);
-        Prepared {
-            instrumented,
-            plain,
-            isolated_ns,
-        }
-    };
-    let standard_prepared = prepare_catalog(&standard_catalog);
-    let mixed_prepared = prepare_catalog(&mixed_catalog);
-    let drifting_prepared = prepare_catalog(&drifting_catalog);
-    let family = |name: &'static str,
-                  catalog: &Catalog,
-                  prepared: &Prepared,
-                  workload: &Workload|
-     -> Family {
-        Family {
-            name,
-            planned: PlannedWorkload {
-                name: name.to_string(),
-                baseline_slots: build_slots(workload, catalog, &prepared.plain),
-                tuned_slots: build_slots(workload, catalog, &prepared.instrumented),
-            },
-            isolated_ns: prepared.isolated_ns.clone(),
-        }
-    };
-    let families = vec![
-        family(
-            "standard",
-            &standard_catalog,
-            &standard_prepared,
-            &Workload::random(&standard_catalog, slots, jobs_per_slot, 31),
-        ),
-        family(
-            "mixed",
-            &mixed_catalog,
-            &mixed_prepared,
-            &Workload::random(&mixed_catalog, slots, jobs_per_slot, 31),
-        ),
-        family(
-            "bursty",
-            &standard_catalog,
-            &standard_prepared,
-            &Workload::bursty(&standard_catalog, slots, jobs_per_slot, 3, 5_000_000.0, 31),
-        ),
-        family(
-            "drifting",
-            &drifting_catalog,
-            &drifting_prepared,
-            &Workload::drifting(&drifting_catalog, slots, jobs_per_slot, 31),
+    let (static_speedup, best_online) = studies::online_drifting_headline(&report);
+    let extra = [
+        ("drifting_static_speedup", JsonValue::Float(static_speedup)),
+        (
+            "drifting_best_online_speedup",
+            JsonValue::Float(best_online),
         ),
     ];
-
-    // --- One plan over everything: per family, a stock cell, a static-marks
-    // cell, and one online cell per (interval, phase-count) combination, all
-    // on identical queues and seeds (the paper's identical-queues rule). ---
-    let mut policies = vec![Policy::Stock, Policy::Tuned(TunerConfig::paper_table1())];
-    for &interval in &intervals {
-        for &phases in phase_counts {
-            policies.push(Policy::Online(
-                OnlineConfig::default()
-                    .with_interval_ns(interval)
-                    .with_max_phases(phases),
-            ));
-        }
-    }
-    let mut plan = ExperimentPlan::new();
-    for (index, family) in families.iter().enumerate() {
-        let seed = cell_seed(base_seed, index as u64);
-        for policy in &policies {
-            let slots = if policy.runs_instrumented() {
-                family.planned.tuned_slots.clone()
-            } else {
-                family.planned.baseline_slots.clone()
-            };
-            plan.push(CellSpec {
-                group: family.name.to_string(),
-                label: format!("{}/{}", family.name, policy_tag(policy)),
-                machine: machine.clone(),
-                slots,
-                policy: *policy,
-                sim: SimConfig { seed, ..sim },
-            });
-        }
-    }
-    let outcome = phase_bench::driver().run(plan);
-
-    // --- Report. ---
-    let mut table = TextTable::new(vec![
-        "Family",
-        "Policy",
-        "Speedup vs stock",
-        "Done",
-        "Max-stretch",
-        "Switches",
-        "Phases/Retunes",
-    ]);
-    let mut json_families = Vec::new();
-    for family in &families {
-        let cells = outcome.group(family.name);
-        let stock = cells
-            .iter()
-            .find(|c| c.policy.name() == "stock")
-            .expect("stock cell ran");
-        let stock_instructions = stock.result.total_instructions;
-        let mut static_speedup = 0.0;
-        let mut best_online_speedup = 0.0;
-        let mut json_online = Vec::new();
-        for cell in &cells {
-            let speedup = cell.result.total_instructions as f64 / stock_instructions as f64;
-            let fairness = fairness_of(&cell.result, &family.isolated_ns);
-            let detail = match (&cell.policy, cell.online_stats) {
-                (Policy::Online(config), Some(stats)) => {
-                    if speedup > best_online_speedup {
-                        best_online_speedup = speedup;
-                    }
-                    json_online.push(format!(
-                        "{{\"interval_ns\": {}, \"max_phases\": {}, \"speedup\": {:.4}, \
-                         \"max_stretch\": {:.3}, \"switches\": {}, \"retunes\": {}}}",
-                        config.sample_interval_ns,
-                        config.max_phases,
-                        speedup,
-                        fairness.max_stretch,
-                        cell.result.total_core_switches,
-                        stats.retunes,
-                    ));
-                    format!("{}/{}", stats.phases_created, stats.retunes)
-                }
-                _ => {
-                    if cell.policy.name() == "tuned" {
-                        static_speedup = speedup;
-                    }
-                    String::new()
-                }
-            };
-            table.add_row(vec![
-                family.name.to_string(),
-                policy_tag(&cell.policy),
-                format!("{speedup:.3}x"),
-                format!("{}", cell.result.completed_count()),
-                format!("{:.2}", fairness.max_stretch),
-                format!("{}", cell.result.total_core_switches),
-                detail,
-            ]);
-        }
-        json_families.push(format!(
-            "  \"{}\": {{\n    \"stock_instructions\": {},\n    \
-             \"static_speedup\": {:.4},\n    \"best_online_speedup\": {:.4},\n    \
-             \"online\": [{}]\n  }}",
-            family.name,
-            stock_instructions,
-            static_speedup,
-            best_online_speedup,
-            json_online.join(", "),
-        ));
-    }
-    println!("{}", table.render());
-
-    // The claim this binary exists to check: on the drifting (unmarkable)
-    // family the static tuner collapses to the stock scheduler while the
-    // online tuner still wins.
-    let drifting = families.last().expect("drifting family present");
-    let drifting_cells = outcome.group(drifting.name);
-    let drifting_stock = drifting_cells[0].result.total_instructions as f64;
-    let drifting_static = drifting_cells
-        .iter()
-        .find(|c| c.policy.name() == "tuned")
-        .map(|c| c.result.total_instructions as f64 / drifting_stock)
-        .unwrap_or(0.0);
-    let drifting_best = drifting_cells
-        .iter()
-        .filter(|c| c.policy.name() == "online")
-        .map(|c| c.result.total_instructions as f64 / drifting_stock)
-        .fold(0.0, f64::max);
-    println!(
-        "drifting family: static speedup {drifting_static:.4} (collapsed to stock), \
-         best online speedup {drifting_best:.4}"
-    );
-
-    let json = format!(
-        "{{\n  \"quick\": {quick},\n  \"slots\": {slots},\n  \"horizon_ns\": {horizon_ns},\n\
-         {},\n  \"drifting_static_speedup\": {drifting_static:.4},\n  \
-         \"drifting_best_online_speedup\": {drifting_best:.4}\n}}\n",
-        json_families.join(",\n"),
-    );
-    std::fs::write("BENCH_online.json", &json).expect("write BENCH_online.json");
-    println!("wrote BENCH_online.json");
-}
-
-/// Short per-cell tag: `stock`, `tuned`, or `online[i=<µs>,p=<phases>]`.
-fn policy_tag(policy: &Policy) -> String {
-    match policy {
-        Policy::Online(config) => format!(
-            "online[i={}us,p={}]",
-            (config.sample_interval_ns / 1_000.0).round() as u64,
-            config.max_phases
-        ),
-        other => other.name().to_string(),
-    }
+    let written = phase_bench::write_study_report_with(&report, &settings, &extra);
+    phase_bench::announce_report(written, "BENCH_online.json");
 }

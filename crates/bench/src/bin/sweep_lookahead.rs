@@ -1,54 +1,12 @@
 //! Section IV-C2: effect of the basic-block technique's lookahead depth on
-//! throughput and fairness.
-
-use phase_bench::{experiment_config, init};
-use phase_core::{comparison_plan, comparison_result, prepare_workload, ExperimentPlan, TextTable};
-use phase_marking::MarkingConfig;
+//! throughput and fairness. Thin spec over the shared study runner
+//! (`phase_bench::studies::sweep_lookahead`).
 
 fn main() {
-    init(
+    phase_bench::run_study_main(
         "Lookahead-depth sweep (Section IV-C2)",
         "Basic-block strategy with min size 15 and lookahead depths 0–3; one comparison\n\
          plan per depth, fanned across the driver together.",
-    );
-
-    let depths = [0usize, 1, 2, 3];
-    let mut plan = ExperimentPlan::new();
-    let mut per_depth = Vec::new();
-    for depth in depths {
-        let config = experiment_config(MarkingConfig::basic_block(15, depth));
-        let prepared = prepare_workload(&config);
-        plan.extend(comparison_plan(
-            format!("lookahead={depth}"),
-            &config,
-            &prepared,
-        ));
-        per_depth.push((config, prepared));
-    }
-    let outcome = phase_bench::driver().run(plan);
-
-    let mut table = TextTable::new(vec![
-        "Technique",
-        "Static marks (catalogue)",
-        "Throughput improvement %",
-        "Avg time reduction %",
-        "Max-stretch change %",
-    ]);
-    for (depth, (config, prepared)) in depths.iter().zip(&per_depth) {
-        let result = comparison_result(&format!("lookahead={depth}"), &outcome, config, prepared)
-            .expect("plan holds both cells of the depth");
-        let static_marks: usize = prepared.instrumented.iter().map(|p| p.mark_count()).sum();
-        table.add_row(vec![
-            config.pipeline.marking.to_string(),
-            static_marks.to_string(),
-            format!("{:.2}", result.throughput.improvement_pct),
-            format!("{:.2}", result.fairness.avg_time_decrease_pct),
-            format!("{:.2}", result.fairness.max_stretch_decrease_pct),
-        ]);
-    }
-    println!("{}", table.render());
-    println!(
-        "paper shape: less lookahead gives higher throughput but at a significant cost in\n\
-         fairness; deeper lookahead removes marks and tempers both effects."
+        phase_bench::studies::sweep_lookahead,
     );
 }

@@ -1,60 +1,13 @@
 //! Section IV-C4: effect of the minimum section size on marks and
-//! throughput, for all three granularities.
-
-use phase_bench::{experiment_config, init};
-use phase_core::{comparison_plan, comparison_result, prepare_workload, ExperimentPlan, TextTable};
-use phase_marking::MarkingConfig;
+//! throughput, for all three granularities. Thin spec over the shared study
+//! runner (`phase_bench::studies::sweep_min_size`).
 
 fn main() {
-    init(
+    phase_bench::run_study_main(
         "Minimum-section-size sweep (Section IV-C4)",
         "Marks inserted and throughput/fairness impact as the minimum section size grows,\n\
          for the basic-block, interval, and loop techniques; one comparison plan per\n\
          variant, fanned across the driver together.",
-    );
-
-    let variants = [
-        MarkingConfig::basic_block(10, 0),
-        MarkingConfig::basic_block(15, 0),
-        MarkingConfig::basic_block(20, 0),
-        MarkingConfig::interval(30),
-        MarkingConfig::interval(45),
-        MarkingConfig::interval(60),
-        MarkingConfig::loop_level(30),
-        MarkingConfig::loop_level(45),
-        MarkingConfig::loop_level(60),
-    ];
-
-    let mut plan = ExperimentPlan::new();
-    let mut per_variant = Vec::new();
-    for marking in variants {
-        let config = experiment_config(marking);
-        let prepared = prepare_workload(&config);
-        plan.extend(comparison_plan(marking.to_string(), &config, &prepared));
-        per_variant.push((config, prepared));
-    }
-    let outcome = phase_bench::driver().run(plan);
-
-    let mut table = TextTable::new(vec![
-        "Technique",
-        "Static marks (catalogue)",
-        "Throughput improvement %",
-        "Avg time reduction %",
-    ]);
-    for (marking, (config, prepared)) in variants.iter().zip(&per_variant) {
-        let result = comparison_result(&marking.to_string(), &outcome, config, prepared)
-            .expect("plan holds both cells of the variant");
-        let static_marks: usize = prepared.instrumented.iter().map(|p| p.mark_count()).sum();
-        table.add_row(vec![
-            marking.to_string(),
-            static_marks.to_string(),
-            format!("{:.2}", result.throughput.improvement_pct),
-            format!("{:.2}", result.fairness.avg_time_decrease_pct),
-        ]);
-    }
-    println!("{}", table.render());
-    println!(
-        "paper shape: smaller minimum sizes catch more transitions (higher potential gain,\n\
-         more overhead); larger minimums may miss small hot loops."
+        phase_bench::studies::sweep_min_size,
     );
 }

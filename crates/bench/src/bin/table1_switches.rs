@@ -1,70 +1,13 @@
 //! Table 1: core switches and isolated runtime per benchmark under the best
-//! technique (Loop[45], 0.2 IPC threshold).
-
-use std::sync::Arc;
-
-use phase_amp::MachineSpec;
-use phase_bench::init;
-use phase_core::{
-    format_duration_ns, prepare_program, CellSpec, ExperimentPlan, PipelineConfig, Policy,
-    TextTable,
-};
-use phase_marking::MarkingConfig;
-use phase_runtime::TunerConfig;
-use phase_sched::SimConfig;
-use phase_workload::Catalog;
+//! technique (Loop[45], 0.2 IPC threshold). Thin spec over the shared study
+//! runner (`phase_bench::studies::table1`).
 
 fn main() {
-    init(
+    phase_bench::run_study_main(
         "Table 1 — switches per benchmark (Loop[45], 0.2 threshold)",
         "Each benchmark runs alone on the AMP with the phase tuner; the table reports\n\
          the core switches it performed and its runtime. The 15 isolation runs are\n\
          independent cells fanned across the driver's worker threads.",
-    );
-
-    let machine = MachineSpec::core2_quad_amp();
-    let scale = if phase_bench::quick_mode() { 0.2 } else { 1.0 };
-    let catalog = Catalog::standard(scale, 7);
-    let pipeline = PipelineConfig::with_marking(MarkingConfig::paper_best());
-    let tuner_config = TunerConfig::paper_table1();
-
-    let mut plan = ExperimentPlan::new();
-    for bench in catalog.benchmarks() {
-        let instrumented = Arc::new(prepare_program(bench.program(), &machine, &pipeline));
-        plan.push(CellSpec::isolation(
-            bench.name(),
-            instrumented,
-            machine.clone(),
-            Policy::Tuned(tuner_config),
-            SimConfig::default(),
-        ));
-    }
-    let outcome = phase_bench::driver().run(plan);
-
-    let mut table = TextTable::new(vec![
-        "Benchmark",
-        "Switches",
-        "Runtime",
-        "Marks executed",
-        "Instructions",
-    ]);
-    for cell in &outcome.cells {
-        let record = cell
-            .result
-            .records
-            .first()
-            .expect("isolation cell ran one process");
-        table.add_row(vec![
-            cell.group.clone(),
-            record.stats.core_switches.to_string(),
-            format_duration_ns(record.completion_ns.unwrap_or_default() - record.arrival_ns),
-            record.stats.marks_executed.to_string(),
-            record.stats.instructions.to_string(),
-        ]);
-    }
-    println!("{}", table.render());
-    println!(
-        "paper shape: most benchmarks switch occasionally; 183.equake / 171.swim / 172.mgrid\n\
-         switch most often; 459.GemsFDTD and 473.astar have no phases and never switch."
+        phase_bench::studies::table1,
     );
 }

@@ -1,69 +1,14 @@
 //! Table 2: fairness comparison against the stock scheduler for every
 //! technique variant — percent decrease in max-flow, max-stretch, and
-//! average process time (positive numbers are improvements).
-
-use phase_bench::{experiment_config, init};
-use phase_core::{comparison_plan, comparison_result, prepare_workload, ExperimentPlan, TextTable};
-use phase_marking::MarkingConfig;
+//! average process time (positive numbers are improvements). Thin spec over
+//! the shared study runner (`phase_bench::studies::table2`).
 
 fn main() {
-    init(
+    phase_bench::run_study_main(
         "Table 2 — fairness comparison to the stock scheduler",
         "Percent decrease relative to the stock run on the same queues; positive numbers are\n\
          improvements. Every variant's baseline and tuned cells form one plan fanned across\n\
          the driver. Pass PHASE_BENCH_QUICK=1 for a reduced run.",
-    );
-
-    let variants = if phase_bench::quick_mode() {
-        vec![
-            MarkingConfig::basic_block(15, 0),
-            MarkingConfig::interval(45),
-            MarkingConfig::loop_level(45),
-        ]
-    } else {
-        MarkingConfig::table2_variants()
-    };
-
-    let mut plan = ExperimentPlan::new();
-    let mut per_variant = Vec::new();
-    for marking in &variants {
-        let config = experiment_config(*marking);
-        let prepared = prepare_workload(&config);
-        plan.extend(comparison_plan(marking.to_string(), &config, &prepared));
-        per_variant.push((config, prepared));
-    }
-    let outcome = phase_bench::driver().run(plan);
-
-    let mut table = TextTable::new(vec![
-        "Technique",
-        "Max-Flow %",
-        "Max-Stretch %",
-        "Avg. Time %",
-        "Throughput %",
-    ]);
-    let mut best: Option<(String, f64)> = None;
-    for (marking, (config, prepared)) in variants.iter().zip(&per_variant) {
-        let result = comparison_result(&marking.to_string(), &outcome, config, prepared)
-            .expect("plan holds both cells of the variant");
-        let avg = result.fairness.avg_time_decrease_pct;
-        if best.as_ref().map(|(_, b)| avg > *b).unwrap_or(true) {
-            best = Some((marking.to_string(), avg));
-        }
-        table.add_row(vec![
-            marking.to_string(),
-            format!("{:.2}", result.fairness.max_flow_decrease_pct),
-            format!("{:.2}", result.fairness.max_stretch_decrease_pct),
-            format!("{avg:.2}"),
-            format!("{:.2}", result.throughput.improvement_pct),
-        ]);
-    }
-    println!("{}", table.render());
-    if let Some((name, avg)) = best {
-        println!("best average-process-time reduction: {name} at {avg:.2}%");
-    }
-    println!(
-        "paper: interval and loop variants dominate the basic-block variants (several of\n\
-         which regress); the best run (Loop[45]) improves max-flow by 12.04%, max-stretch by\n\
-         20.41%, and average process time by 35.95%."
+        phase_bench::studies::table2,
     );
 }

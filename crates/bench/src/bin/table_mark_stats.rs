@@ -1,54 +1,11 @@
 //! Section III / IV-B: phase-mark statistics for the best technique —
-//! marks per benchmark, bytes per mark, and the core-switch cost.
-
-use phase_amp::{CoreId, CostModel, MachineSpec};
-use phase_bench::init;
-use phase_core::{prepare_program, PipelineConfig, TextTable};
-use phase_marking::{MarkingConfig, MARK_SIZE_BYTES};
-use phase_metrics::SummaryStats;
-use phase_workload::Catalog;
+//! marks per benchmark, bytes per mark, and the core-switch cost. Thin spec
+//! over the shared study runner (`phase_bench::studies::table_mark_stats`).
 
 fn main() {
-    init(
+    phase_bench::run_study_main(
         "Phase-mark statistics (Sections III and IV-B)",
         "Marks inserted per benchmark with Loop[45], their size, and the cost of a core switch.",
-    );
-
-    let machine = MachineSpec::core2_quad_amp();
-    let scale = if phase_bench::quick_mode() { 0.2 } else { 1.0 };
-    let catalog = Catalog::standard(scale, 7);
-    let pipeline = PipelineConfig::with_marking(MarkingConfig::paper_best());
-
-    let mut table = TextTable::new(vec![
-        "Benchmark",
-        "Phase marks",
-        "Added bytes",
-        "Overhead %",
-    ]);
-    let mut mark_counts = Vec::new();
-    for bench in catalog.benchmarks() {
-        let instrumented = prepare_program(bench.program(), &machine, &pipeline);
-        mark_counts.push(instrumented.mark_count() as f64);
-        table.add_row(vec![
-            bench.name().to_string(),
-            instrumented.mark_count().to_string(),
-            instrumented.stats().added_bytes.to_string(),
-            format!("{:.2}", instrumented.stats().space_overhead * 100.0),
-        ]);
-    }
-    println!("{}", table.render());
-
-    let summary = SummaryStats::of(&mark_counts);
-    println!(
-        "marks per benchmark: mean {:.2} (paper: 20.24 for Loop[45])",
-        summary.mean
-    );
-    println!("bytes per mark: {MARK_SIZE_BYTES} (paper: at most 78 bytes)");
-
-    let cost = CostModel::new(machine);
-    let (cycles, nanos_fast) = cost.core_switch_cost(CoreId(0));
-    let (_, nanos_slow) = cost.core_switch_cost(CoreId(2));
-    println!(
-        "core switch cost: {cycles} cycles ({nanos_fast:.0} ns on a fast core, {nanos_slow:.0} ns on a slow core; paper: ~1000 cycles)"
+        phase_bench::studies::table_mark_stats,
     );
 }

@@ -21,35 +21,85 @@
 //! | Section VII (3-core AMP) | `exp_three_core` |
 //! | engine/driver baseline (`BENCH_engine.json`) | `bench_engine` |
 //! | online vs. static tuning (`BENCH_online.json`) | `online_vs_static` |
+//! | every study + cold/warm store benchmark (`BENCH_study.json`) | `run_studies` |
 //!
-//! The dynamic binaries build an `ExperimentPlan` and fan its cells across
-//! the parallel `Driver` of `phase-core`; the Criterion benches
-//! (`cargo bench -p phase-bench`) measure the static analyses and both
-//! simulator engines on reduced inputs.
+//! Every study binary is a thin declarative spec (see [`studies`]) over the
+//! shared spec-driven runner of `phase-core` (`run_study`): the spec expands
+//! into an `ExperimentPlan`, the cells fan across the parallel `Driver`
+//! through the content-addressed `ArtifactStore`, and the unified
+//! [`StudyReport`] is rendered to the legacy table text and written as
+//! `BENCH_<study>.json`. `run_studies` executes all thirteen studies against
+//! one shared store and records the cold-versus-warm sweep wall-clock in
+//! `BENCH_study.json`. The Criterion benches (`cargo bench -p phase-bench`)
+//! measure the static analyses and both simulator engines on reduced inputs.
 //!
-//! Every binary honours three environment variables so full and quick runs
-//! use the same code path:
+//! Every binary honours these environment variables (mirrored by CLI flags)
+//! so full and quick runs use the same code path:
 //!
-//! * `PHASE_BENCH_SLOTS` — workload size (default 18);
+//! * `PHASE_BENCH_SLOTS` — workload size (default varies per study);
 //! * `PHASE_BENCH_THREADS` — driver worker threads (default: all hardware
 //!   threads);
 //! * `PHASE_BENCH_QUICK` — when set, shrinks the catalogue and horizons so a
-//!   full regeneration finishes in seconds (used by CI-style smoke runs).
+//!   full regeneration finishes in seconds (used by CI-style smoke runs);
+//! * `PHASE_BENCH_OUT_DIR` — where `BENCH_*.json` reports are written
+//!   (default: the current directory);
+//! * `PHASE_BENCH_INTERVAL` — restricts the online sampling-interval sweep
+//!   to one period.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 #![forbid(unsafe_code)]
 
-use phase_core::{Driver, ExperimentConfig, PipelineConfig};
+use std::path::PathBuf;
+
+use phase_core::{Driver, ExperimentConfig, JsonValue, PipelineConfig, StudyReport};
 use phase_marking::MarkingConfig;
 use phase_sched::SimConfig;
 
+pub mod studies;
+
+/// How an environment variable parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EnvParse<T> {
+    /// The variable is not set.
+    Unset,
+    /// The variable parsed.
+    Parsed(T),
+    /// The variable is set but does not parse as the expected type; the raw
+    /// value is carried for the error message.
+    Malformed(String),
+}
+
+/// Classifies an environment variable without losing the malformed case.
+pub fn env_parse<T: std::str::FromStr>(name: &str) -> EnvParse<T> {
+    match std::env::var(name) {
+        Err(_) => EnvParse::Unset,
+        Ok(raw) => match raw.parse() {
+            Ok(value) => EnvParse::Parsed(value),
+            Err(_) => EnvParse::Malformed(raw),
+        },
+    }
+}
+
 /// Reads an environment variable as a number, falling back to a default.
+///
+/// A set-but-unparsable value is *not* silently swallowed: a loud warning
+/// naming the variable and the rejected value goes to stderr before the
+/// default is used, so `PHASE_BENCH_SLOTS=1o` can no longer masquerade as a
+/// deliberate default-sized run.
 pub fn env_or<T: std::str::FromStr>(name: &str, default: T) -> T {
-    std::env::var(name)
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
+    match env_parse(name) {
+        EnvParse::Unset => default,
+        EnvParse::Parsed(value) => value,
+        EnvParse::Malformed(raw) => {
+            eprintln!(
+                "WARNING: environment variable {name}={raw:?} does not parse as {}; \
+                 falling back to the default",
+                std::any::type_name::<T>()
+            );
+            default
+        }
+    }
 }
 
 /// Whether quick mode is enabled (`PHASE_BENCH_QUICK` set to anything but
@@ -89,17 +139,178 @@ pub fn sample_interval_override_ns() -> Option<f64> {
         .filter(|ns: &f64| ns.is_finite() && *ns > 0.0)
 }
 
+/// The output directory for `BENCH_*.json` reports, honouring
+/// `PHASE_BENCH_OUT_DIR` (and therefore the `--out=PATH` flag, which sets
+/// it). `None` means the current directory, the legacy behaviour.
+pub fn out_dir() -> Option<PathBuf> {
+    std::env::var("PHASE_BENCH_OUT_DIR").ok().map(PathBuf::from)
+}
+
+/// The parsed harness settings every study binary runs under. Binaries fill
+/// this from the environment (after `init` folded the flags in); tests build
+/// it directly so they never race on process-global environment variables.
+#[derive(Debug, Clone, Default)]
+pub struct BenchSettings {
+    /// Reduced catalogue and horizon (`--quick` / `PHASE_BENCH_QUICK`).
+    pub quick: bool,
+    /// Workload-size override (`--slots=N` / `PHASE_BENCH_SLOTS`); `None`
+    /// uses each study's own default.
+    pub slots: Option<usize>,
+    /// Driver worker threads (`--threads=N` / `PHASE_BENCH_THREADS`).
+    pub threads: usize,
+    /// Online sampling-interval override (`--interval=N` /
+    /// `PHASE_BENCH_INTERVAL`).
+    pub interval_override_ns: Option<f64>,
+    /// Where `BENCH_*.json` reports go (`--out=PATH` /
+    /// `PHASE_BENCH_OUT_DIR`); `None` writes to the current directory.
+    pub out_dir: Option<PathBuf>,
+}
+
+impl BenchSettings {
+    /// Settings as configured by the environment (and therefore the CLI
+    /// flags, which `init` translates into environment variables).
+    pub fn from_env() -> Self {
+        Self {
+            quick: quick_mode(),
+            slots: match env_parse("PHASE_BENCH_SLOTS") {
+                EnvParse::Parsed(slots) => Some(slots),
+                EnvParse::Unset => None,
+                EnvParse::Malformed(_) => {
+                    // `env_or` warns; keep one warning path.
+                    let _: usize = env_or("PHASE_BENCH_SLOTS", 0);
+                    None
+                }
+            },
+            threads: threads(),
+            interval_override_ns: sample_interval_override_ns(),
+            out_dir: out_dir(),
+        }
+    }
+
+    /// Fixed settings for tests: quick mode, an explicit slot count, two
+    /// driver workers, no output directory.
+    pub fn for_tests(slots: usize) -> Self {
+        Self {
+            quick: true,
+            slots: Some(slots),
+            threads: 2,
+            interval_override_ns: None,
+            out_dir: None,
+        }
+    }
+
+    /// The workload size: the override if set, otherwise the study default.
+    pub fn slots_or(&self, default: usize) -> usize {
+        self.slots.unwrap_or(default)
+    }
+
+    /// The settings as JSON metadata fields, shared by every report header
+    /// (`write_study_report_with` and `run_studies`' `BENCH_study.json`).
+    pub fn meta_json(&self) -> Vec<(&'static str, JsonValue)> {
+        vec![
+            ("quick", JsonValue::Bool(self.quick)),
+            (
+                "slots",
+                self.slots.map(JsonValue::from).unwrap_or(JsonValue::Null),
+            ),
+            ("threads", JsonValue::from(self.threads.max(1))),
+        ]
+    }
+
+    /// Where a report file should be written.
+    pub fn out_path(&self, file_name: &str) -> PathBuf {
+        match &self.out_dir {
+            Some(dir) => dir.join(file_name),
+            None => PathBuf::from(file_name),
+        }
+    }
+}
+
+/// Writes a study report as `BENCH_<study>.json` (under `--out` if given),
+/// wrapping the unified schema with the harness settings it ran under.
+/// Returns the path written.
+pub fn write_study_report(
+    report: &StudyReport,
+    settings: &BenchSettings,
+) -> std::io::Result<PathBuf> {
+    write_study_report_with(report, settings, &[])
+}
+
+/// Like [`write_study_report`], with study-specific headline fields spliced
+/// into the JSON after the settings.
+pub fn write_study_report_with(
+    report: &StudyReport,
+    settings: &BenchSettings,
+    extra: &[(&str, JsonValue)],
+) -> std::io::Result<PathBuf> {
+    let mut meta = settings.meta_json();
+    meta.extend(extra.iter().map(|(name, value)| (*name, value.clone())));
+    let path = settings.out_path(&format!("BENCH_{}.json", report.study));
+    write_report_file(&path, &report.to_json_with(&meta).render())?;
+    Ok(path)
+}
+
+/// Writes a report file, creating the `--out` directory first — every binary
+/// honouring the flag must behave the same when the directory is absent.
+pub fn write_report_file(path: &std::path::Path, contents: &str) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    std::fs::write(path, contents)
+}
+
+/// Prints the path a report was written to, or fails the whole run: a
+/// missing `BENCH_*.json` must exit nonzero (as the legacy `.expect()` did)
+/// so CI's smoke step cannot pass while uploading a partial artifact set.
+pub fn announce_report(result: std::io::Result<PathBuf>, what: &str) {
+    match result {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(error) => {
+            eprintln!("failed to write {what}: {error}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// The whole body of a standard study binary: parse the command line, build
+/// the spec, run it through a fresh artifact store, print the rendered
+/// tables, and write the `BENCH_<study>.json` report.
+pub fn run_study_main(
+    artifact: &str,
+    description: &str,
+    build: impl FnOnce(&BenchSettings) -> phase_core::StudySpec,
+) {
+    let settings = init(artifact, description);
+    let spec = build(&settings);
+    let store = phase_core::ArtifactStore::new();
+    let report = phase_core::run_study(&spec, &store, settings.threads.max(1));
+    print!("{}", studies::render(&report));
+    let written = write_study_report(&report, &settings);
+    announce_report(written, &format!("BENCH_{}.json", report.study));
+}
+
 /// The experiment configuration shared by the dynamic experiments: the
 /// paper's machine, the given marking technique, and a continuously fed
 /// workload measured over a fixed horizon.
 pub fn experiment_config(marking: MarkingConfig) -> ExperimentConfig {
-    let quick = quick_mode();
+    experiment_config_with(&BenchSettings::from_env(), marking)
+}
+
+/// Like [`experiment_config`], but from explicit settings instead of the
+/// process environment (what the study specs and their tests use).
+pub fn experiment_config_with(
+    settings: &BenchSettings,
+    marking: MarkingConfig,
+) -> ExperimentConfig {
+    let quick = settings.quick;
     ExperimentConfig {
         pipeline: PipelineConfig::with_marking(marking),
-        workload_slots: workload_slots(),
+        workload_slots: settings.slots_or(18),
         jobs_per_slot: if quick { 2 } else { 6 },
         catalog_scale: if quick { 0.2 } else { 1.0 },
-        threads: threads(),
+        threads: settings.threads.max(1),
         sim: SimConfig {
             horizon_ns: Some(if quick { 8_000_000.0 } else { 40_000_000.0 }),
             ..SimConfig::default()
@@ -115,7 +326,8 @@ pub fn overhead_variants() -> Vec<MarkingConfig> {
 }
 
 /// Parses the standard regeneration-binary command line, then prints the
-/// standard header. Every binary accepts:
+/// standard header and returns the resulting [`BenchSettings`]. Every binary
+/// accepts:
 ///
 /// * `--help` / `-h` — print the artifact description and flags, then exit;
 /// * `--quick` / `-q` — same as setting `PHASE_BENCH_QUICK=1`: shrink the
@@ -128,19 +340,21 @@ pub fn overhead_variants() -> Vec<MarkingConfig> {
 /// * `--interval=N` — same as `PHASE_BENCH_INTERVAL=N`: the online tuner's
 ///   hardware-counter sampling period in nanoseconds. Binaries that sweep
 ///   the sampling interval (`online_vs_static`) restrict the sweep to this
-///   single value; binaries without an online policy ignore it.
+///   single value; binaries without an online policy ignore it;
+/// * `--out=PATH` — same as `PHASE_BENCH_OUT_DIR=PATH`: the directory
+///   `BENCH_*.json` reports are written to (default: the current directory).
 ///
 /// Flags override the corresponding environment variables, and the variables
 /// are how the parsed values reach [`experiment_config`] / [`driver`], so
 /// full and quick runs share one code path.
-pub fn init(artifact: &str, description: &str) {
+pub fn init(artifact: &str, description: &str) -> BenchSettings {
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--help" | "-h" => {
                 println!("{artifact}");
                 println!("{description}");
                 println!();
-                println!("USAGE: [--quick] [--slots=N] [--threads=N] [--interval=N]");
+                println!("USAGE: [--quick] [--slots=N] [--threads=N] [--interval=N] [--out=PATH]");
                 println!("  --quick, -q   reduced catalogue/horizon (env: PHASE_BENCH_QUICK=1)");
                 println!(
                     "  --slots=N     workload size (env: PHASE_BENCH_SLOTS; \
@@ -153,6 +367,10 @@ pub fn init(artifact: &str, description: &str) {
                 println!(
                     "  --interval=N  online sampling period in ns (env: PHASE_BENCH_INTERVAL; \
                      default: sweep the binary's built-in list)"
+                );
+                println!(
+                    "  --out=PATH    directory for BENCH_*.json reports \
+                     (env: PHASE_BENCH_OUT_DIR; default: current directory)"
                 );
                 std::process::exit(0);
             }
@@ -197,12 +415,21 @@ pub fn init(artifact: &str, description: &str) {
                         }
                     }
                 }
+                if let Some(path) = other.strip_prefix("--out=") {
+                    if path.is_empty() {
+                        eprintln!("invalid --out value: expected a directory path");
+                        std::process::exit(2);
+                    }
+                    std::env::set_var("PHASE_BENCH_OUT_DIR", path);
+                    continue;
+                }
                 eprintln!("unrecognized argument: {other} (try --help)");
                 std::process::exit(2);
             }
         }
     }
     print_header(artifact, description);
+    BenchSettings::from_env()
 }
 
 /// Prints the standard header used by every regeneration binary.
@@ -227,6 +454,23 @@ mod tests {
         std::env::set_var("PHASE_BENCH_TEST_VALUE", "12");
         assert_eq!(env_or("PHASE_BENCH_TEST_VALUE", 7usize), 12);
         std::env::remove_var("PHASE_BENCH_TEST_VALUE");
+    }
+
+    #[test]
+    fn malformed_env_values_are_detected_not_swallowed() {
+        std::env::set_var("PHASE_BENCH_TEST_MALFORMED", "1o");
+        assert_eq!(
+            env_parse::<usize>("PHASE_BENCH_TEST_MALFORMED"),
+            EnvParse::Malformed("1o".to_string()),
+            "the malformed case is distinguishable from unset"
+        );
+        // `env_or` warns on stderr and then falls back.
+        assert_eq!(env_or("PHASE_BENCH_TEST_MALFORMED", 7usize), 7);
+        std::env::remove_var("PHASE_BENCH_TEST_MALFORMED");
+        assert_eq!(
+            env_parse::<usize>("PHASE_BENCH_TEST_MALFORMED"),
+            EnvParse::Unset
+        );
     }
 
     #[test]

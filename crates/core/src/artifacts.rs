@@ -1,0 +1,1034 @@
+//! The content-addressed artifact store behind the staged pipeline.
+//!
+//! Every stage of the evaluation pipeline — catalogue generation, per-block
+//! IPC profiling, block typing, section summarization, instrumentation, the
+//! per-benchmark isolated baseline runs, and whole simulation cells — produces
+//! a value that is a pure function of its inputs. [`ArtifactStore`] keys each
+//! such value by a 128-bit content hash of *(program fingerprint, stage
+//! config)* and shares it behind an `Arc`, so a sweep that varies one axis
+//! (the tuner threshold, the clustering error, the marking technique) reuses
+//! every upstream artifact instead of recomputing it. This is the *tune once,
+//! run anywhere* motto applied to the harness itself, and mirrors how
+//! phase-classification work amortizes one profiling pass across many tuning
+//! candidates.
+//!
+//! The store is a sharded in-memory map (16 shards per stage, `parking_lot`
+//! mutexes) with per-stage hit/miss counters and an optional on-disk JSON
+//! spill for the stages whose artifacts have a compact serialized form
+//! (typings, IPC profiles, isolated runtimes). Values are deterministic, so
+//! a racing double-compute under contention is harmless: both workers derive
+//! bit-identical artifacts and the first insert wins.
+
+use std::collections::HashMap;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use phase_amp::MachineSpec;
+use phase_analysis::{BlockTyping, PhaseType};
+use phase_ir::{BlockId, Location, ProcId, Program};
+use phase_marking::{InstrumentedProgram, MarkingConfig, ProgramRegions};
+use phase_online::{OnlineConfig, OnlineStats};
+use phase_runtime::{TunerConfig, TunerStats};
+use phase_sched::{EngineKind, JobSpec, SimConfig, SimResult};
+use phase_workload::{Catalog, CatalogSpec, WorkloadSpec};
+
+use crate::driver::Policy;
+use crate::json::{parse, JsonValue};
+use crate::pipeline::{
+    instrument_stage, min_typed_block_size, profile_stage, regions_stage, typing_stage,
+    IpcProfileArtifact, PipelineConfig, TypingStrategy,
+};
+
+/// Number of shards per stage cache.
+const SHARDS: usize = 16;
+
+/// A 128-bit content hash: the artifact key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ContentHash {
+    /// High 64 bits.
+    pub hi: u64,
+    /// Low 64 bits.
+    pub lo: u64,
+}
+
+impl std::fmt::Display for ContentHash {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:016x}{:016x}", self.hi, self.lo)
+    }
+}
+
+impl ContentHash {
+    /// Parses the hex form produced by [`ContentHash`]'s `Display`.
+    pub fn from_hex(text: &str) -> Option<Self> {
+        if text.len() != 32 || !text.is_ascii() {
+            return None;
+        }
+        let hi = u64::from_str_radix(&text[..16], 16).ok()?;
+        let lo = u64::from_str_radix(&text[16..], 16).ok()?;
+        Some(Self { hi, lo })
+    }
+}
+
+/// A deterministic two-lane FNV-1a hasher producing a [`ContentHash`].
+///
+/// Not cryptographic — it guards a cache of deterministic recomputable
+/// values, where an accidental collision is the only failure mode that
+/// matters and 128 bits make it negligible.
+#[derive(Debug, Clone)]
+pub struct StableHasher {
+    a: u64,
+    b: u64,
+}
+
+impl Default for StableHasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StableHasher {
+    const OFFSET_A: u64 = 0xcbf2_9ce4_8422_2325;
+    const OFFSET_B: u64 = 0x8422_2325_cbf2_9ce4;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// A fresh hasher.
+    pub fn new() -> Self {
+        Self {
+            a: Self::OFFSET_A,
+            b: Self::OFFSET_B,
+        }
+    }
+
+    /// Feeds raw bytes.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &byte in bytes {
+            self.a = (self.a ^ u64::from(byte)).wrapping_mul(Self::PRIME);
+            self.b = (self.b ^ u64::from(byte.rotate_left(3))).wrapping_mul(Self::PRIME);
+        }
+    }
+
+    /// Feeds a `u64`.
+    pub fn write_u64(&mut self, value: u64) {
+        self.write_bytes(&value.to_le_bytes());
+    }
+
+    /// Feeds a `usize`.
+    pub fn write_usize(&mut self, value: usize) {
+        self.write_u64(value as u64);
+    }
+
+    /// Feeds a `bool`.
+    pub fn write_bool(&mut self, value: bool) {
+        self.write_bytes(&[u8::from(value)]);
+    }
+
+    /// Feeds an `f64` by bit pattern (`-0.0` and `0.0` hash differently; both
+    /// sides of the cache use the same literal so this cannot split keys).
+    pub fn write_f64(&mut self, value: f64) {
+        self.write_u64(value.to_bits());
+    }
+
+    /// Feeds a length-prefixed string.
+    pub fn write_str(&mut self, value: &str) {
+        self.write_usize(value.len());
+        self.write_bytes(value.as_bytes());
+    }
+
+    /// The accumulated hash.
+    pub fn finish(&self) -> ContentHash {
+        ContentHash {
+            hi: self.a,
+            lo: self.b,
+        }
+    }
+}
+
+/// Anything that can feed a [`StableHasher`] deterministically.
+pub trait Fingerprint {
+    /// Feeds this value's identity into the hasher.
+    fn fingerprint(&self, hasher: &mut StableHasher);
+
+    /// Convenience: the hash of this value alone.
+    fn content_hash(&self) -> ContentHash {
+        let mut hasher = StableHasher::new();
+        self.fingerprint(&mut hasher);
+        hasher.finish()
+    }
+}
+
+impl Fingerprint for ContentHash {
+    fn fingerprint(&self, h: &mut StableHasher) {
+        h.write_u64(self.hi);
+        h.write_u64(self.lo);
+    }
+}
+
+impl Fingerprint for MachineSpec {
+    fn fingerprint(&self, h: &mut StableHasher) {
+        h.write_str("machine");
+        h.write_str(&self.name);
+        h.write_usize(self.cores.len());
+        for core in &self.cores {
+            h.write_f64(core.freq_ghz);
+            h.write_u64(u64::from(core.kind.0));
+            h.write_usize(core.l2_group);
+        }
+        for cache in [&self.l1, &self.l2] {
+            h.write_u64(cache.capacity_bytes);
+            h.write_f64(cache.latency_cycles);
+        }
+        h.write_f64(self.memory_latency_ns);
+        h.write_u64(self.core_switch_cycles);
+    }
+}
+
+impl Fingerprint for MarkingConfig {
+    fn fingerprint(&self, h: &mut StableHasher) {
+        h.write_str("marking");
+        h.write_str(&self.granularity.to_string());
+        h.write_usize(self.min_section_size);
+        h.write_usize(self.lookahead_depth);
+    }
+}
+
+impl Fingerprint for TypingStrategy {
+    fn fingerprint(&self, h: &mut StableHasher) {
+        match self {
+            TypingStrategy::StaticKMeans { seed } => {
+                h.write_str("kmeans");
+                h.write_u64(*seed);
+            }
+            TypingStrategy::ProfileGuided { ipc_threshold } => {
+                h.write_str("profile");
+                h.write_f64(*ipc_threshold);
+            }
+        }
+    }
+}
+
+impl Fingerprint for PipelineConfig {
+    fn fingerprint(&self, h: &mut StableHasher) {
+        self.marking.fingerprint(h);
+        self.typing.fingerprint(h);
+        h.write_f64(self.clustering_error);
+        h.write_u64(self.error_seed);
+    }
+}
+
+impl Fingerprint for TunerConfig {
+    fn fingerprint(&self, h: &mut StableHasher) {
+        h.write_str("tuner");
+        h.write_f64(self.ipc_threshold);
+        h.write_u64(u64::from(self.samples_per_kind));
+        h.write_u64(self.min_section_instructions);
+        h.write_usize(self.counter_slots);
+        h.write_bool(self.pin_preferred_fast);
+    }
+}
+
+impl Fingerprint for OnlineConfig {
+    fn fingerprint(&self, h: &mut StableHasher) {
+        h.write_str("online");
+        h.write_f64(self.sample_interval_ns);
+        h.write_usize(self.max_phases);
+        h.write_f64(self.distance_threshold);
+        h.write_f64(self.decay);
+        h.write_f64(self.ipc_weight);
+        h.write_f64(self.mem_weight);
+        h.write_u64(self.min_interval_instructions);
+        h.write_u64(u64::from(self.samples_per_kind));
+        h.write_f64(self.ipc_threshold);
+        h.write_f64(self.drift_threshold);
+        h.write_bool(self.pin_preferred_fast);
+        h.write_u64(u64::from(self.pin_cap_per_kind));
+    }
+}
+
+impl Fingerprint for SimConfig {
+    fn fingerprint(&self, h: &mut StableHasher) {
+        h.write_str("sim");
+        h.write_f64(self.timeslice_ns);
+        h.write_f64(self.load_balance_interval_ns);
+        match self.horizon_ns {
+            Some(ns) => {
+                h.write_bool(true);
+                h.write_f64(ns);
+            }
+            None => h.write_bool(false),
+        }
+        h.write_f64(self.throughput_window_ns);
+        h.write_u64(self.seed);
+        h.write_bool(self.charge_mark_overhead);
+        h.write_str(match self.engine {
+            EngineKind::RoundBased => "round",
+            EngineKind::EventDriven => "event",
+        });
+        match self.sample_interval_ns {
+            Some(ns) => {
+                h.write_bool(true);
+                h.write_f64(ns);
+            }
+            None => h.write_bool(false),
+        }
+    }
+}
+
+impl Fingerprint for Policy {
+    fn fingerprint(&self, h: &mut StableHasher) {
+        match self {
+            Policy::Stock => h.write_str("stock"),
+            Policy::AllCores => h.write_str("all-cores"),
+            Policy::Tuned(config) => {
+                h.write_str("tuned");
+                config.fingerprint(h);
+            }
+            Policy::Online(config) => {
+                h.write_str("online-policy");
+                config.fingerprint(h);
+            }
+        }
+    }
+}
+
+impl Fingerprint for CatalogSpec {
+    fn fingerprint(&self, h: &mut StableHasher) {
+        h.write_str("catalog");
+        h.write_str(self.kind.name());
+        h.write_f64(self.scale);
+        h.write_u64(self.seed);
+    }
+}
+
+impl Fingerprint for WorkloadSpec {
+    fn fingerprint(&self, h: &mut StableHasher) {
+        match *self {
+            WorkloadSpec::Random {
+                slots,
+                jobs_per_slot,
+                seed,
+            } => {
+                h.write_str("random");
+                h.write_usize(slots);
+                h.write_usize(jobs_per_slot);
+                h.write_u64(seed);
+            }
+            WorkloadSpec::Bursty {
+                slots,
+                jobs_per_slot,
+                waves,
+                gap_ns,
+                seed,
+            } => {
+                h.write_str("bursty");
+                h.write_usize(slots);
+                h.write_usize(jobs_per_slot);
+                h.write_usize(waves);
+                h.write_f64(gap_ns);
+                h.write_u64(seed);
+            }
+            WorkloadSpec::Drifting {
+                slots,
+                jobs_per_slot,
+                seed,
+            } => {
+                h.write_str("drifting");
+                h.write_usize(slots);
+                h.write_usize(jobs_per_slot);
+                h.write_u64(seed);
+            }
+        }
+    }
+}
+
+/// The outcome of one executed simulation cell, as cached by the store: the
+/// raw result plus whichever tuner statistics the policy produced. The cell's
+/// plan position (index, group, label) is *not* part of the artifact — it is
+/// re-attached by the driver on every lookup, so content-identical cells in
+/// different sweep groups share one artifact.
+#[derive(Debug, Clone)]
+pub struct CachedCell {
+    /// The simulation result (its `label` is patched per lookup).
+    pub result: SimResult,
+    /// Tuner statistics for `Policy::Tuned` cells.
+    pub tuner_stats: Option<TunerStats>,
+    /// Online-tuner statistics for `Policy::Online` cells.
+    pub online_stats: Option<OnlineStats>,
+}
+
+/// One stage's sharded map plus hit/miss counters.
+#[derive(Debug)]
+struct ShardedCache<V> {
+    shards: Vec<Mutex<HashMap<ContentHash, Arc<V>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<V> Default for ShardedCache<V> {
+    fn default() -> Self {
+        Self {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+}
+
+impl<V> ShardedCache<V> {
+    fn shard(&self, key: ContentHash) -> &Mutex<HashMap<ContentHash, Arc<V>>> {
+        &self.shards[(key.lo as usize) % SHARDS]
+    }
+
+    /// Returns the cached artifact for `key`, computing it outside the shard
+    /// lock on a miss. Under a racing double-miss both computations produce
+    /// the same deterministic value and the first insert wins.
+    fn get_or_insert_with(&self, key: ContentHash, compute: impl FnOnce() -> V) -> Arc<V> {
+        if let Some(found) = self.shard(key).lock().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(found);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let value = Arc::new(compute());
+        Arc::clone(
+            self.shard(key)
+                .lock()
+                .entry(key)
+                .or_insert_with(|| Arc::clone(&value)),
+        )
+    }
+
+    fn insert(&self, key: ContentHash, value: Arc<V>) {
+        self.shard(key).lock().entry(key).or_insert(value);
+    }
+
+    fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    fn stats(&self) -> StageStats {
+        StageStats {
+            entries: self.len(),
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    fn entries(&self) -> Vec<(ContentHash, Arc<V>)> {
+        let mut all: Vec<(ContentHash, Arc<V>)> = self
+            .shards
+            .iter()
+            .flat_map(|s| {
+                s.lock()
+                    .iter()
+                    .map(|(k, v)| (*k, Arc::clone(v)))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        all.sort_by_key(|(k, _)| *k);
+        all
+    }
+}
+
+/// Hit/miss/entry counters of one stage.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageStats {
+    /// Distinct artifacts held.
+    pub entries: usize,
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to compute.
+    pub misses: u64,
+}
+
+/// A snapshot of every stage's counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// `(stage name, counters)`, in pipeline order.
+    pub stages: Vec<(&'static str, StageStats)>,
+}
+
+impl StoreStats {
+    /// Total hits across stages.
+    pub fn total_hits(&self) -> u64 {
+        self.stages.iter().map(|(_, s)| s.hits).sum()
+    }
+
+    /// Total misses across stages.
+    pub fn total_misses(&self) -> u64 {
+        self.stages.iter().map(|(_, s)| s.misses).sum()
+    }
+
+    /// Counters for one stage by name.
+    pub fn stage(&self, name: &str) -> Option<StageStats> {
+        self.stages
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, s)| *s)
+    }
+
+    /// The change in hit/miss counters since `before` (entry counts stay
+    /// absolute — they describe the store, not the interval). This is what
+    /// lets one report attribute cache behavior to one study even when many
+    /// studies share a store.
+    pub fn delta_since(&self, before: &StoreStats) -> StoreStats {
+        StoreStats {
+            stages: self
+                .stages
+                .iter()
+                .map(|(name, after)| {
+                    let prior = before.stage(name).unwrap_or_default();
+                    (
+                        *name,
+                        StageStats {
+                            entries: after.entries,
+                            hits: after.hits.saturating_sub(prior.hits),
+                            misses: after.misses.saturating_sub(prior.misses),
+                        },
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    /// The snapshot as a JSON object (stage → `{entries, hits, misses}`).
+    pub fn to_json(&self) -> JsonValue {
+        let mut doc = JsonValue::object();
+        for (name, stats) in &self.stages {
+            doc = doc.field(
+                name,
+                JsonValue::object()
+                    .field("entries", stats.entries)
+                    .field("hits", stats.hits)
+                    .field("misses", stats.misses),
+            );
+        }
+        doc
+    }
+}
+
+/// The content-addressed artifact store. See the module docs for the design.
+#[derive(Debug, Default)]
+pub struct ArtifactStore {
+    catalogs: ShardedCache<Catalog>,
+    profiles: ShardedCache<IpcProfileArtifact>,
+    typings: ShardedCache<BlockTyping>,
+    regions: ShardedCache<ProgramRegions>,
+    instrumented: ShardedCache<InstrumentedProgram>,
+    baselines: ShardedCache<InstrumentedProgram>,
+    isolated: ShardedCache<HashMap<String, f64>>,
+    cells: ShardedCache<CachedCell>,
+    /// Program fingerprints memoized by allocation; the held `Arc` keeps the
+    /// allocation alive so an address can never be reused for a different
+    /// program while the memo entry exists.
+    program_fps: Mutex<HashMap<usize, (Arc<Program>, ContentHash)>>,
+    /// Same memo for instrumented programs (used when hashing job slots).
+    instrumented_fps: Mutex<HashMap<usize, (Arc<InstrumentedProgram>, ContentHash)>>,
+}
+
+impl ArtifactStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The content fingerprint of a program (memoized per allocation).
+    ///
+    /// The fingerprint hashes the program's full textual listing — every
+    /// instruction, memory reference, and terminator — so two structurally
+    /// identical programs share artifacts even if generated separately.
+    pub fn program_fingerprint(&self, program: &Arc<Program>) -> ContentHash {
+        let key = Arc::as_ptr(program) as usize;
+        if let Some((_, hash)) = self.program_fps.lock().get(&key) {
+            return *hash;
+        }
+        let mut hasher = StableHasher::new();
+        hasher.write_str("program");
+        hasher.write_str(program.name());
+        hasher.write_str(&program.to_listing());
+        let hash = hasher.finish();
+        self.program_fps
+            .lock()
+            .insert(key, (Arc::clone(program), hash));
+        hash
+    }
+
+    /// The content fingerprint of an instrumented program: the underlying
+    /// program plus the marking config and the exact mark set.
+    pub fn instrumented_fingerprint(&self, instrumented: &Arc<InstrumentedProgram>) -> ContentHash {
+        let key = Arc::as_ptr(instrumented) as usize;
+        if let Some((_, hash)) = self.instrumented_fps.lock().get(&key) {
+            return *hash;
+        }
+        let mut hasher = StableHasher::new();
+        hasher.write_str("instrumented");
+        self.program_fingerprint(instrumented.program())
+            .fingerprint(&mut hasher);
+        instrumented.config().fingerprint(&mut hasher);
+        // The entry phase type is a real simulation input (it seeds each
+        // process's starting phase), so zero-mark twins that differ only in
+        // entry typing must not alias.
+        match instrumented.entry_type() {
+            Some(ty) => {
+                hasher.write_bool(true);
+                hasher.write_u64(u64::from(ty.0));
+            }
+            None => hasher.write_bool(false),
+        }
+        hasher.write_usize(instrumented.mark_count());
+        for mark in instrumented.marks() {
+            hasher.write_u64(u64::from(mark.from.proc.0));
+            hasher.write_u64(u64::from(mark.from.block.0));
+            hasher.write_u64(u64::from(mark.to.proc.0));
+            hasher.write_u64(u64::from(mark.to.block.0));
+            hasher.write_u64(u64::from(mark.phase_type.0));
+            match mark.previous_type {
+                Some(ty) => {
+                    hasher.write_bool(true);
+                    hasher.write_u64(u64::from(ty.0));
+                }
+                None => hasher.write_bool(false),
+            }
+        }
+        let hash = hasher.finish();
+        self.instrumented_fps
+            .lock()
+            .insert(key, (Arc::clone(instrumented), hash));
+        hash
+    }
+
+    /// Stage 1 — catalogue generation.
+    pub fn catalog(&self, spec: &CatalogSpec) -> Arc<Catalog> {
+        self.catalogs
+            .get_or_insert_with(spec.content_hash(), || spec.build())
+    }
+
+    /// Stage 2 — per-block IPC profiling on the machine's fastest and slowest
+    /// kinds.
+    pub fn ipc_profiles(
+        &self,
+        program: &Arc<Program>,
+        machine: &MachineSpec,
+        min_block_size: usize,
+    ) -> Arc<IpcProfileArtifact> {
+        let mut hasher = StableHasher::new();
+        hasher.write_str("ipc-profile");
+        self.program_fingerprint(program).fingerprint(&mut hasher);
+        machine.fingerprint(&mut hasher);
+        hasher.write_usize(min_block_size);
+        self.profiles.get_or_insert_with(hasher.finish(), || {
+            profile_stage(program, machine, min_block_size)
+        })
+    }
+
+    /// Stage 3 — block typing. Profile-guided typing pulls stage 2 from the
+    /// store, so two pipeline configs that differ only in marking share one
+    /// profiling pass.
+    pub fn typing(
+        &self,
+        program: &Arc<Program>,
+        machine: &MachineSpec,
+        config: &PipelineConfig,
+    ) -> Arc<BlockTyping> {
+        let min_block_size = min_typed_block_size(config);
+        let mut hasher = StableHasher::new();
+        hasher.write_str("typing");
+        self.program_fingerprint(program).fingerprint(&mut hasher);
+        machine.fingerprint(&mut hasher);
+        config.typing.fingerprint(&mut hasher);
+        hasher.write_usize(min_block_size);
+        hasher.write_f64(config.clustering_error);
+        hasher.write_u64(config.error_seed);
+        self.typings.get_or_insert_with(hasher.finish(), || {
+            let profiles = match config.typing {
+                TypingStrategy::ProfileGuided { .. } => {
+                    Some(self.ipc_profiles(program, machine, min_block_size))
+                }
+                TypingStrategy::StaticKMeans { .. } => None,
+            };
+            typing_stage(program, machine, config, profiles.as_deref())
+        })
+    }
+
+    /// Stage 4 — section summarization (region maps at the marking
+    /// granularity, with dominant types).
+    pub fn regions(
+        &self,
+        program: &Arc<Program>,
+        machine: &MachineSpec,
+        config: &PipelineConfig,
+    ) -> Arc<ProgramRegions> {
+        let mut hasher = StableHasher::new();
+        hasher.write_str("regions");
+        self.program_fingerprint(program).fingerprint(&mut hasher);
+        machine.fingerprint(&mut hasher);
+        config.fingerprint(&mut hasher);
+        self.regions.get_or_insert_with(hasher.finish(), || {
+            let typing = self.typing(program, machine, config);
+            regions_stage(program, &typing, &config.marking)
+        })
+    }
+
+    /// Stage 5 — instrumentation (phase-mark insertion).
+    pub fn instrumented(
+        &self,
+        program: &Arc<Program>,
+        machine: &MachineSpec,
+        config: &PipelineConfig,
+    ) -> Arc<InstrumentedProgram> {
+        let mut hasher = StableHasher::new();
+        hasher.write_str("instrument");
+        self.program_fingerprint(program).fingerprint(&mut hasher);
+        machine.fingerprint(&mut hasher);
+        config.fingerprint(&mut hasher);
+        self.instrumented.get_or_insert_with(hasher.finish(), || {
+            let regions = self.regions(program, machine, config);
+            instrument_stage(program, &regions, &config.marking)
+        })
+    }
+
+    /// The uninstrumented twin of a program (zero marks). Config-independent:
+    /// one artifact per program, shared by every pipeline configuration —
+    /// sweeps no longer rebuild the baseline per sweep point.
+    pub fn baseline(&self, program: &Arc<Program>) -> Arc<InstrumentedProgram> {
+        let mut hasher = StableHasher::new();
+        hasher.write_str("baseline");
+        self.program_fingerprint(program).fingerprint(&mut hasher);
+        self.baselines
+            .get_or_insert_with(hasher.finish(), || crate::pipeline::uninstrumented(program))
+    }
+
+    /// Per-benchmark isolated runtimes for a catalogue on a machine
+    /// (config-independent like the baseline twins; the stretch metric's
+    /// denominator).
+    pub fn isolated_runtimes(
+        &self,
+        catalog_spec: &CatalogSpec,
+        machine: &MachineSpec,
+        sim: &SimConfig,
+        compute: impl FnOnce() -> HashMap<String, f64>,
+    ) -> Arc<HashMap<String, f64>> {
+        let mut hasher = StableHasher::new();
+        hasher.write_str("isolated");
+        catalog_spec.fingerprint(&mut hasher);
+        machine.fingerprint(&mut hasher);
+        sim.fingerprint(&mut hasher);
+        self.isolated.get_or_insert_with(hasher.finish(), compute)
+    }
+
+    /// The cache key of a simulation cell: machine, policy, sim parameters,
+    /// and the full job-slot content (names, release times, binary
+    /// fingerprints). Plan position is deliberately excluded.
+    pub fn cell_key(
+        &self,
+        machine: &MachineSpec,
+        policy: &Policy,
+        sim: &SimConfig,
+        slots: &[Vec<JobSpec>],
+    ) -> ContentHash {
+        let mut hasher = StableHasher::new();
+        hasher.write_str("cell");
+        machine.fingerprint(&mut hasher);
+        policy.fingerprint(&mut hasher);
+        sim.fingerprint(&mut hasher);
+        hasher.write_usize(slots.len());
+        for queue in slots {
+            hasher.write_usize(queue.len());
+            for job in queue {
+                hasher.write_str(&job.name);
+                hasher.write_f64(job.release_ns);
+                self.instrumented_fingerprint(&job.instrumented)
+                    .fingerprint(&mut hasher);
+            }
+        }
+        hasher.finish()
+    }
+
+    /// Looks up or computes a whole simulation cell.
+    pub fn cell(&self, key: ContentHash, compute: impl FnOnce() -> CachedCell) -> Arc<CachedCell> {
+        self.cells.get_or_insert_with(key, compute)
+    }
+
+    /// A snapshot of every stage's counters, in pipeline order.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            stages: vec![
+                ("catalogs", self.catalogs.stats()),
+                ("ipc_profiles", self.profiles.stats()),
+                ("typings", self.typings.stats()),
+                ("regions", self.regions.stats()),
+                ("instrumented", self.instrumented.stats()),
+                ("baselines", self.baselines.stats()),
+                ("isolated_runtimes", self.isolated.stats()),
+                ("cells", self.cells.stats()),
+            ],
+        }
+    }
+
+    /// Spills the serializable stages to `dir` as deterministic JSON:
+    /// `index.json` (every stage's counters), `typings.json`,
+    /// `ipc_profiles.json`, and `isolated_runtimes.json`. Stages whose
+    /// artifacts hold full programs (catalogues, instrumented binaries,
+    /// simulation cells) appear in the index only; persisting those across
+    /// processes is a ROADMAP follow-on.
+    pub fn spill_to_dir(&self, dir: &Path) -> io::Result<Vec<PathBuf>> {
+        std::fs::create_dir_all(dir)?;
+        let mut written = Vec::new();
+        let index_path = dir.join("index.json");
+        std::fs::write(&index_path, self.stats().to_json().render())?;
+        written.push(index_path);
+
+        let typings = JsonValue::Array(
+            self.typings
+                .entries()
+                .into_iter()
+                .map(|(key, typing)| {
+                    let entries = typing.sorted_entries();
+                    JsonValue::object()
+                        .field("key", key.to_string())
+                        .field("num_types", typing.num_types())
+                        .field(
+                            "entries",
+                            entries
+                                .into_iter()
+                                .map(|(loc, ty)| {
+                                    JsonValue::object()
+                                        .field("proc", loc.proc.0)
+                                        .field("block", loc.block.0)
+                                        .field("type", ty.0)
+                                })
+                                .collect::<Vec<_>>(),
+                        )
+                })
+                .collect(),
+        );
+        let typings_path = dir.join("typings.json");
+        std::fs::write(&typings_path, typings.render())?;
+        written.push(typings_path);
+
+        let profiles = JsonValue::Array(
+            self.profiles
+                .entries()
+                .into_iter()
+                .map(|(key, artifact)| {
+                    JsonValue::object()
+                        .field("key", key.to_string())
+                        .field("min_block_size", artifact.min_block_size)
+                        .field(
+                            "rows",
+                            artifact
+                                .rows
+                                .iter()
+                                .map(|row| {
+                                    JsonValue::object()
+                                        .field("proc", row.location.proc.0)
+                                        .field("block", row.location.block.0)
+                                        .field("fast_ipc", row.fast_ipc)
+                                        .field("slow_ipc", row.slow_ipc)
+                                })
+                                .collect::<Vec<_>>(),
+                        )
+                })
+                .collect(),
+        );
+        let profiles_path = dir.join("ipc_profiles.json");
+        std::fs::write(&profiles_path, profiles.render())?;
+        written.push(profiles_path);
+
+        let isolated = JsonValue::Array(
+            self.isolated
+                .entries()
+                .into_iter()
+                .map(|(key, runtimes)| {
+                    let mut rows: Vec<(&String, &f64)> = runtimes.iter().collect();
+                    rows.sort_by(|a, b| a.0.cmp(b.0));
+                    JsonValue::object().field("key", key.to_string()).field(
+                        "runtimes",
+                        rows.into_iter()
+                            .fold(JsonValue::object(), |doc, (name, ns)| doc.field(name, *ns)),
+                    )
+                })
+                .collect(),
+        );
+        let isolated_path = dir.join("isolated_runtimes.json");
+        std::fs::write(&isolated_path, isolated.render())?;
+        written.push(isolated_path);
+        Ok(written)
+    }
+
+    /// Reloads a directory written by [`ArtifactStore::spill_to_dir`],
+    /// pre-warming the typing, IPC-profile, and isolated-runtime stages.
+    /// Returns the number of artifacts loaded.
+    pub fn load_spill_dir(&self, dir: &Path) -> io::Result<usize> {
+        let mut loaded = 0;
+        let bad = |message: String| io::Error::new(io::ErrorKind::InvalidData, message);
+        let read_doc = |path: PathBuf| -> io::Result<Option<JsonValue>> {
+            if !path.exists() {
+                return Ok(None);
+            }
+            let text = std::fs::read_to_string(&path)?;
+            parse(&text)
+                .map(Some)
+                .map_err(|e| bad(format!("{}: {e}", path.display())))
+        };
+        let key_of = |entry: &JsonValue| -> io::Result<ContentHash> {
+            entry
+                .get("key")
+                .and_then(JsonValue::as_str)
+                .and_then(ContentHash::from_hex)
+                .ok_or_else(|| bad("missing or malformed artifact key".to_string()))
+        };
+
+        if let Some(doc) = read_doc(dir.join("typings.json"))? {
+            for entry in doc.as_array().unwrap_or_default() {
+                let key = key_of(entry)?;
+                let num_types = entry
+                    .get("num_types")
+                    .and_then(JsonValue::as_f64)
+                    .unwrap_or(0.0) as usize;
+                let mut typing = BlockTyping::new(num_types);
+                for row in entry
+                    .get("entries")
+                    .and_then(JsonValue::as_array)
+                    .unwrap_or_default()
+                {
+                    let field = |name: &str| {
+                        row.get(name)
+                            .and_then(JsonValue::as_f64)
+                            .ok_or_else(|| bad(format!("typing row missing {name}")))
+                    };
+                    typing.assign(
+                        Location::new(
+                            ProcId(field("proc")? as u32),
+                            BlockId(field("block")? as u32),
+                        ),
+                        PhaseType(field("type")? as u32),
+                    );
+                }
+                self.typings.insert(key, Arc::new(typing));
+                loaded += 1;
+            }
+        }
+
+        if let Some(doc) = read_doc(dir.join("ipc_profiles.json"))? {
+            for entry in doc.as_array().unwrap_or_default() {
+                let key = key_of(entry)?;
+                let min_block_size = entry
+                    .get("min_block_size")
+                    .and_then(JsonValue::as_f64)
+                    .unwrap_or(0.0) as usize;
+                let mut artifact = IpcProfileArtifact {
+                    min_block_size,
+                    rows: Vec::new(),
+                };
+                for row in entry
+                    .get("rows")
+                    .and_then(JsonValue::as_array)
+                    .unwrap_or_default()
+                {
+                    let field = |name: &str| {
+                        row.get(name)
+                            .and_then(JsonValue::as_f64)
+                            .ok_or_else(|| bad(format!("profile row missing {name}")))
+                    };
+                    artifact.rows.push(crate::pipeline::IpcProfileRow {
+                        location: Location::new(
+                            ProcId(field("proc")? as u32),
+                            BlockId(field("block")? as u32),
+                        ),
+                        fast_ipc: field("fast_ipc")?,
+                        slow_ipc: field("slow_ipc")?,
+                    });
+                }
+                self.profiles.insert(key, Arc::new(artifact));
+                loaded += 1;
+            }
+        }
+
+        if let Some(doc) = read_doc(dir.join("isolated_runtimes.json"))? {
+            for entry in doc.as_array().unwrap_or_default() {
+                let key = key_of(entry)?;
+                let mut runtimes = HashMap::new();
+                if let Some(JsonValue::Object(fields)) = entry.get("runtimes") {
+                    for (name, ns) in fields {
+                        runtimes.insert(
+                            name.clone(),
+                            ns.as_f64()
+                                .ok_or_else(|| bad(format!("runtime {name} not numeric")))?,
+                        );
+                    }
+                }
+                self.isolated.insert(key, Arc::new(runtimes));
+                loaded += 1;
+            }
+        }
+        Ok(loaded)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phase_workload::CatalogSpec;
+
+    #[test]
+    fn content_hash_round_trips_through_hex() {
+        let hash = ContentHash {
+            hi: 0x0123_4567_89ab_cdef,
+            lo: 0xfedc_ba98_7654_3210,
+        };
+        assert_eq!(ContentHash::from_hex(&hash.to_string()), Some(hash));
+        assert_eq!(ContentHash::from_hex("xyz"), None);
+    }
+
+    #[test]
+    fn hasher_distinguishes_field_order_and_values() {
+        let mut a = StableHasher::new();
+        a.write_str("ab");
+        a.write_str("c");
+        let mut b = StableHasher::new();
+        b.write_str("a");
+        b.write_str("bc");
+        assert_ne!(a.finish(), b.finish(), "length prefixes split boundaries");
+        assert_ne!(
+            MarkingConfig::loop_level(45).content_hash(),
+            MarkingConfig::loop_level(30).content_hash()
+        );
+        assert_ne!(
+            MarkingConfig::basic_block(15, 0).content_hash(),
+            MarkingConfig::interval(15).content_hash()
+        );
+        assert_eq!(
+            PipelineConfig::paper_best().content_hash(),
+            PipelineConfig::paper_best().content_hash()
+        );
+    }
+
+    #[test]
+    fn catalog_stage_hits_on_equal_specs() {
+        let store = ArtifactStore::new();
+        let spec = CatalogSpec::standard(0.04, 7);
+        let first = store.catalog(&spec);
+        let second = store.catalog(&spec);
+        assert!(Arc::ptr_eq(&first, &second));
+        let stats = store.stats().stage("catalogs").unwrap();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+        let other = store.catalog(&CatalogSpec::standard(0.04, 8));
+        assert!(!Arc::ptr_eq(&first, &other));
+        assert_eq!(store.stats().stage("catalogs").unwrap().entries, 2);
+    }
+
+    #[test]
+    fn program_fingerprints_are_structural() {
+        let store = ArtifactStore::new();
+        let a = CatalogSpec::standard(0.04, 7).build();
+        let b = CatalogSpec::standard(0.04, 7).build();
+        // Different allocations, same content: same fingerprint.
+        let fa = store.program_fingerprint(a.benchmarks()[0].program());
+        let fb = store.program_fingerprint(b.benchmarks()[0].program());
+        assert_eq!(fa, fb);
+        let other = store.program_fingerprint(a.benchmarks()[1].program());
+        assert_ne!(fa, other);
+    }
+}

@@ -26,6 +26,8 @@ use phase_online::{OnlineConfig, OnlineStats, OnlineTuner};
 use phase_runtime::{PhaseTuner, TunerConfig, TunerStats};
 use phase_sched::{AllCoresHook, JobSpec, NullHook, SimConfig, SimResult, Simulation};
 
+use crate::artifacts::{ArtifactStore, CachedCell};
+
 /// The scheduling policy a cell runs under.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Policy {
@@ -328,6 +330,20 @@ impl Driver {
     /// processes, own hook, own seed), which is what makes the fan-out safe
     /// and deterministic.
     pub fn run(&self, plan: ExperimentPlan) -> PlanOutcome {
+        self.run_inner(plan, None)
+    }
+
+    /// Like [`Driver::run`], but answering content-identical cells from the
+    /// artifact store. Because every cell is a deterministic function of its
+    /// spec, a cache hit is bit-identical to a recomputation — warm sweeps
+    /// skip the simulation entirely, and repeated cells *within* one plan
+    /// (e.g. the identical stock baselines of a threshold sweep) are run
+    /// once and shared.
+    pub fn run_cached(&self, plan: ExperimentPlan, store: &ArtifactStore) -> PlanOutcome {
+        self.run_inner(plan, Some(store))
+    }
+
+    fn run_inner(&self, plan: ExperimentPlan, store: Option<&ArtifactStore>) -> PlanOutcome {
         let cells = plan.cells;
         let cell_count = cells.len();
         let results: Vec<Mutex<Option<CellResult>>> =
@@ -343,7 +359,7 @@ impl Driver {
                     if index >= cell_count {
                         break;
                     }
-                    let outcome = run_cell(index, &cells[index]);
+                    let outcome = run_cell(index, &cells[index], store);
                     aggregate.lock().absorb(&outcome.result);
                     *results[index].lock() = Some(outcome);
                 });
@@ -360,8 +376,32 @@ impl Driver {
     }
 }
 
-/// Executes one cell under its policy.
-fn run_cell(index: usize, spec: &CellSpec) -> CellResult {
+/// Executes one cell, answering from the store when one is given.
+fn run_cell(index: usize, spec: &CellSpec, store: Option<&ArtifactStore>) -> CellResult {
+    let cached = match store {
+        Some(store) => {
+            let key = store.cell_key(&spec.machine, &spec.policy, &spec.sim, &spec.slots);
+            store.cell(key, || compute_cell(spec))
+        }
+        None => Arc::new(compute_cell(spec)),
+    };
+    // The cached artifact excludes plan position; re-attach it. The result's
+    // label is patched so a cell shared across sweep groups reports its own.
+    let mut result = cached.result.clone();
+    result.label = spec.label.clone();
+    CellResult {
+        index,
+        group: spec.group.clone(),
+        label: spec.label.clone(),
+        policy: spec.policy,
+        result,
+        tuner_stats: cached.tuner_stats,
+        online_stats: cached.online_stats,
+    }
+}
+
+/// Runs one cell's simulation under its policy.
+fn compute_cell(spec: &CellSpec) -> CachedCell {
     let (result, tuner_stats, online_stats) = match &spec.policy {
         Policy::Stock => {
             let sim = Simulation::new(
@@ -415,11 +455,7 @@ fn run_cell(index: usize, spec: &CellSpec) -> CellResult {
             (sim.run(), None, Some(handle.stats()))
         }
     };
-    CellResult {
-        index,
-        group: spec.group.clone(),
-        label: spec.label.clone(),
-        policy: spec.policy,
+    CachedCell {
         result,
         tuner_stats,
         online_stats,

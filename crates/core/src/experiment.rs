@@ -17,9 +17,10 @@ use phase_metrics::{
 };
 use phase_runtime::{TunerConfig, TunerStats};
 use phase_sched::{IntervalHook, JobSpec, PhaseHook, SimConfig, SimResult, Simulation};
-use phase_workload::{Catalog, Workload};
+use phase_workload::{Catalog, CatalogSpec, Workload};
 use serde::{Deserialize, Serialize};
 
+use crate::artifacts::ArtifactStore;
 use crate::driver::{CellSpec, Driver, ExperimentPlan, PlanOutcome, PlannedWorkload, Policy};
 use crate::pipeline::{prepare_program, uninstrumented, PipelineConfig};
 
@@ -160,6 +161,17 @@ pub fn isolated_runtimes(
     sim: &SimConfig,
     threads: usize,
 ) -> HashMap<String, f64> {
+    isolated_runtimes_inner(catalog, baseline, machine, sim, threads, None)
+}
+
+fn isolated_runtimes_inner(
+    catalog: &Catalog,
+    baseline: &[Arc<InstrumentedProgram>],
+    machine: &MachineSpec,
+    sim: &SimConfig,
+    threads: usize,
+    store: Option<&ArtifactStore>,
+) -> HashMap<String, f64> {
     let isolation_config = SimConfig {
         horizon_ns: None,
         ..*sim
@@ -174,7 +186,11 @@ pub fn isolated_runtimes(
             isolation_config,
         ));
     }
-    let outcome = Driver::new(threads).run(plan);
+    let driver = Driver::new(threads);
+    let outcome = match store {
+        Some(store) => driver.run_cached(plan, store),
+        None => driver.run(plan),
+    };
     outcome
         .cells
         .iter()
@@ -189,6 +205,30 @@ pub fn isolated_runtimes(
             (record.name.clone(), runtime)
         })
         .collect()
+}
+
+/// The isolated runtimes of a catalogue, keyed in the artifact store by
+/// *(catalogue spec, machine, isolation sim config)* — config-independent
+/// like the baseline twins, so every sweep point over one catalogue shares a
+/// single measurement pass. The individual isolation cells also go through
+/// the store's cell cache.
+#[allow(clippy::too_many_arguments)]
+pub fn isolated_runtimes_cached(
+    catalog_spec: &CatalogSpec,
+    catalog: &Catalog,
+    baseline: &[Arc<InstrumentedProgram>],
+    machine: &MachineSpec,
+    sim: &SimConfig,
+    threads: usize,
+    store: &ArtifactStore,
+) -> Arc<HashMap<String, f64>> {
+    let isolation_config = SimConfig {
+        horizon_ns: None,
+        ..*sim
+    };
+    store.isolated_runtimes(catalog_spec, machine, &isolation_config, || {
+        isolated_runtimes_inner(catalog, baseline, machine, sim, threads, Some(store))
+    })
 }
 
 /// Prepares a full workload: catalogue generation, instrumentation, job
@@ -214,6 +254,50 @@ pub fn prepare_workload(config: &ExperimentConfig) -> PreparedWorkload {
         baseline_slots: build_slots(&workload, &catalog, &baseline),
         tuned_slots: build_slots(&workload, &catalog, &instrumented),
         isolated_ns,
+        instrumented,
+    }
+}
+
+/// Like [`prepare_workload`], but chaining every stage through the artifact
+/// store: the catalogue, the per-stage instrumentation pipeline, the
+/// config-independent baseline twins, and the isolated-runtime measurements
+/// are all cached by content hash, so sweep points that share an upstream
+/// input share the artifact instead of recomputing it.
+pub fn prepare_workload_cached(
+    config: &ExperimentConfig,
+    store: &ArtifactStore,
+) -> PreparedWorkload {
+    let catalog_spec = CatalogSpec::standard(config.catalog_scale, config.workload_seed);
+    let catalog = store.catalog(&catalog_spec);
+    let workload = Workload::random(
+        &catalog,
+        config.workload_slots,
+        config.jobs_per_slot,
+        config.workload_seed,
+    );
+    let instrumented: Vec<Arc<InstrumentedProgram>> = catalog
+        .benchmarks()
+        .iter()
+        .map(|b| store.instrumented(b.program(), &config.machine, &config.pipeline))
+        .collect();
+    let baseline: Vec<Arc<InstrumentedProgram>> = catalog
+        .benchmarks()
+        .iter()
+        .map(|b| store.baseline(b.program()))
+        .collect();
+    let isolated_ns = isolated_runtimes_cached(
+        &catalog_spec,
+        &catalog,
+        &baseline,
+        &config.machine,
+        &config.sim,
+        config.threads,
+        store,
+    );
+    PreparedWorkload {
+        baseline_slots: build_slots(&workload, &catalog, &baseline),
+        tuned_slots: build_slots(&workload, &catalog, &instrumented),
+        isolated_ns: (*isolated_ns).clone(),
         instrumented,
     }
 }

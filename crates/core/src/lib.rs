@@ -42,23 +42,38 @@
 #![warn(rust_2018_idioms)]
 #![forbid(unsafe_code)]
 
+mod artifacts;
 mod driver;
 mod experiment;
+pub mod json;
 mod pipeline;
 mod report;
+mod study;
 
+pub use artifacts::{
+    ArtifactStore, CachedCell, ContentHash, Fingerprint, StableHasher, StageStats, StoreStats,
+};
 pub use driver::{
     cell_seed, CellResult, CellSpec, Driver, ExperimentPlan, PlanAggregate, PlanOutcome,
     PlannedWorkload, Policy,
 };
 pub use experiment::{
     baseline_catalog, build_slots, comparison_plan, comparison_result, fairness_of,
-    instrument_catalog, isolated_runtimes, planned_workload, prepare_workload, run_comparison,
-    run_comparison_prepared, run_with_hook, throughput_of, ComparisonResult, ExperimentConfig,
-    PreparedWorkload,
+    instrument_catalog, isolated_runtimes, isolated_runtimes_cached, planned_workload,
+    prepare_workload, prepare_workload_cached, run_comparison, run_comparison_prepared,
+    run_with_hook, throughput_of, ComparisonResult, ExperimentConfig, PreparedWorkload,
 };
-pub use pipeline::{prepare_program, type_blocks, uninstrumented, PipelineConfig, TypingStrategy};
+pub use json::JsonValue;
+pub use pipeline::{
+    instrument_stage, min_typed_block_size, prepare_program, profile_stage, regions_stage,
+    type_blocks, typing_stage, uninstrumented, IpcProfileArtifact, IpcProfileRow, PipelineConfig,
+    TypingStrategy,
+};
 pub use report::{format_duration_ns, format_pct, TextTable};
+pub use study::{
+    policy_tag, run_study, ComparisonPoint, FamilySpec, MetricValue, StudyMode, StudyReport,
+    StudyRow, StudySpec,
+};
 
 /// Re-exports of every substrate crate, so downstream users can depend on
 /// `phase-core` alone.

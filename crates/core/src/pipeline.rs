@@ -4,13 +4,30 @@
 //! blocks, summarizing sections at the chosen granularity, finding phase
 //! transitions, and inserting phase marks. Nothing in the pipeline looks at
 //! the target machine's asymmetry — only the dynamic tuner does.
+//!
+//! The pipeline is split into explicit stages, each a pure function of
+//! *(program, machine, config)* producing a serde-serializable artifact:
+//!
+//! 1. catalogue generation (`phase-workload`, cached by `CatalogSpec`),
+//! 2. per-block IPC profiling — [`profile_stage`] → [`IpcProfileArtifact`],
+//! 3. block typing — [`typing_stage`] → `BlockTyping`,
+//! 4. section summarization — [`regions_stage`] → `ProgramRegions`,
+//! 5. instrumentation — [`instrument_stage`] → `InstrumentedProgram`.
+//!
+//! [`prepare_program`] chains 2–5 directly; the
+//! [`ArtifactStore`](crate::ArtifactStore) chains them through its
+//! content-addressed cache so sweeps reuse every stage whose inputs did not
+//! change.
 
 use phase_amp::{CostModel, MachineSpec, SharingContext};
 use phase_analysis::{
     assign_block_types, typing_from_ipc_profiles, BlockTyping, StaticTypingConfig,
 };
-use phase_ir::Program;
-use phase_marking::{instrument, Granularity, InstrumentedProgram, MarkingConfig};
+use phase_ir::{Location, Program};
+use phase_marking::{
+    instrument_with_regions, Granularity, InstrumentedProgram, MarkingConfig, ProgramRegions,
+    RegionMap,
+};
 use serde::{Deserialize, Serialize};
 
 /// How basic blocks get their phase types.
@@ -81,21 +98,86 @@ impl PipelineConfig {
     }
 }
 
-/// Computes the block typing of a program under the given strategy.
+/// The minimum block size the typing stage considers under a configuration.
 ///
 /// For the basic-block technique blocks below the marking's minimum size are
 /// not typed (they can never carry marks); the interval and loop techniques
-/// type every block so the section summaries are as informed as possible and
-/// apply the size threshold at the section level instead.
-pub fn type_blocks(
+/// type every block of meaningful size so the section summaries are as
+/// informed as possible and apply the size threshold at the section level
+/// instead.
+pub fn min_typed_block_size(config: &PipelineConfig) -> usize {
+    match config.marking.granularity {
+        Granularity::BasicBlock => config.marking.min_section_size,
+        Granularity::Interval | Granularity::Loop => 4,
+    }
+}
+
+/// One row of the per-block IPC profile: the block's estimated IPC on the
+/// machine's fastest and slowest core kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IpcProfileRow {
+    /// The profiled block.
+    pub location: Location,
+    /// Estimated IPC on the fastest kind.
+    pub fast_ipc: f64,
+    /// Estimated IPC on the slowest kind.
+    pub slow_ipc: f64,
+}
+
+/// Stage 2 artifact — the per-block IPC profile of one program on one
+/// machine, mirroring the execution-profile seeding of Section IV-A1. The
+/// profile depends only on the machine's cost model and the size floor, so
+/// every typing threshold and marking variant reuses one profiling pass.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IpcProfileArtifact {
+    /// Blocks below this instruction count were skipped.
+    pub min_block_size: usize,
+    /// Per-block rows, in program iteration order.
+    pub rows: Vec<IpcProfileRow>,
+}
+
+/// Stage 2 — per-block IPC profiling: estimate each block's IPC on the
+/// fastest and slowest core kinds with the machine cost model.
+pub fn profile_stage(
+    program: &Program,
+    machine: &MachineSpec,
+    min_block_size: usize,
+) -> IpcProfileArtifact {
+    let model = CostModel::new(machine.clone());
+    let fast_core = machine.cores_of_kind(machine.fastest_kind())[0];
+    let slow_core = machine.cores_of_kind(machine.slowest_kind())[0];
+    let rows = program
+        .iter_blocks()
+        .filter(|(_, block)| block.instruction_count() >= min_block_size)
+        .map(|(location, block)| {
+            let fast = model.block_cost(fast_core, block, SharingContext::exclusive());
+            let slow = model.block_cost(slow_core, block, SharingContext::exclusive());
+            IpcProfileRow {
+                location,
+                fast_ipc: fast.ipc(),
+                slow_ipc: slow.ipc(),
+            }
+        })
+        .collect();
+    IpcProfileArtifact {
+        min_block_size,
+        rows,
+    }
+}
+
+/// Stage 3 — block typing under the configured strategy, with the
+/// clustering-error injection of Figure 7 applied on top.
+///
+/// Profile-guided typing consumes the stage 2 artifact; pass `None` to let
+/// the stage compute (and discard) the profile itself, or for the k-means
+/// strategy which does not use it.
+pub fn typing_stage(
     program: &Program,
     machine: &MachineSpec,
     config: &PipelineConfig,
+    profiles: Option<&IpcProfileArtifact>,
 ) -> BlockTyping {
-    let min_block_size = match config.marking.granularity {
-        Granularity::BasicBlock => config.marking.min_section_size,
-        Granularity::Interval | Granularity::Loop => 4,
-    };
+    let min_block_size = min_typed_block_size(config);
     let typing = match config.typing {
         TypingStrategy::StaticKMeans { seed } => assign_block_types(
             program,
@@ -107,7 +189,21 @@ pub fn type_blocks(
             },
         ),
         TypingStrategy::ProfileGuided { ipc_threshold } => {
-            profile_guided_typing(program, machine, min_block_size, ipc_threshold)
+            let owned;
+            let profile = match profiles {
+                Some(existing) => existing,
+                None => {
+                    owned = profile_stage(program, machine, min_block_size);
+                    &owned
+                }
+            };
+            typing_from_ipc_profiles(
+                profile
+                    .rows
+                    .iter()
+                    .map(|row| (row.location, row.fast_ipc, row.slow_ipc)),
+                ipc_threshold,
+            )
         }
     };
     if config.clustering_error > 0.0 {
@@ -117,44 +213,59 @@ pub fn type_blocks(
     }
 }
 
-/// Profile-guided typing: estimate each block's IPC on the fastest and
-/// slowest core kinds with the machine cost model and split on the IPC
-/// difference, mirroring the execution-profile seeding of Section IV-A1.
-fn profile_guided_typing(
+/// Stage 4 — section summarization: build the region maps (sections at the
+/// marking granularity, each with a dominant phase type) for every procedure.
+pub fn regions_stage(
     program: &Program,
-    machine: &MachineSpec,
-    min_block_size: usize,
-    ipc_threshold: f64,
-) -> BlockTyping {
-    let model = CostModel::new(machine.clone());
-    let fast_core = machine.cores_of_kind(machine.fastest_kind())[0];
-    let slow_core = machine.cores_of_kind(machine.slowest_kind())[0];
-    let profiles = program
-        .iter_blocks()
-        .filter(|(_, block)| block.instruction_count() >= min_block_size)
-        .map(|(loc, block)| {
-            let fast = model.block_cost(fast_core, block, SharingContext::exclusive());
-            let slow = model.block_cost(slow_core, block, SharingContext::exclusive());
-            (loc, fast.ipc(), slow.ipc())
-        })
-        .collect::<Vec<_>>();
-    typing_from_ipc_profiles(profiles, ipc_threshold)
+    typing: &BlockTyping,
+    marking: &MarkingConfig,
+) -> ProgramRegions {
+    program
+        .procedures()
+        .iter()
+        .map(|proc| (proc.id(), RegionMap::build(proc, typing, marking)))
+        .collect()
 }
 
-/// Runs the full static pipeline: type blocks, mark transitions, instrument.
+/// Stage 5 — instrumentation: find phase transitions between sections and
+/// attach one phase mark per transition edge.
+pub fn instrument_stage(
+    program: &Program,
+    regions: &ProgramRegions,
+    marking: &MarkingConfig,
+) -> InstrumentedProgram {
+    instrument_with_regions(program, regions, marking)
+}
+
+/// Computes the block typing of a program under the given strategy (stages 2
+/// and 3 chained without a store).
+pub fn type_blocks(
+    program: &Program,
+    machine: &MachineSpec,
+    config: &PipelineConfig,
+) -> BlockTyping {
+    typing_stage(program, machine, config, None)
+}
+
+/// Runs the full static pipeline — profiling, typing, summarization,
+/// instrumentation — without consulting an artifact store.
 pub fn prepare_program(
     program: &Program,
     machine: &MachineSpec,
     config: &PipelineConfig,
 ) -> InstrumentedProgram {
     let typing = type_blocks(program, machine, config);
-    instrument(program, &typing, &config.marking)
+    let regions = regions_stage(program, &typing, &config.marking);
+    instrument_stage(program, &regions, &config.marking)
 }
 
 /// Produces an uninstrumented twin of a program (zero phase marks), used for
 /// the stock-Linux baseline runs.
 pub fn uninstrumented(program: &Program) -> InstrumentedProgram {
-    instrument(program, &BlockTyping::new(0), &MarkingConfig::paper_best())
+    let typing = BlockTyping::new(0);
+    let marking = MarkingConfig::paper_best();
+    let regions = regions_stage(program, &typing, &marking);
+    instrument_stage(program, &regions, &marking)
 }
 
 #[cfg(test)]

@@ -1,0 +1,817 @@
+//! The declarative study layer: spec in, unified report out.
+//!
+//! A *study* is one of the paper's tables or figures described as data — a
+//! [`StudySpec`] names the swept axes (marking configs, tuner thresholds,
+//! clustering errors, machines, workload families, policies) and the study
+//! mode, and [`run_study`] expands it into an [`ExperimentPlan`], fans the
+//! cells across the parallel [`Driver`](crate::Driver) through the
+//! [`ArtifactStore`], and collects a [`StudyReport`] with one metrics row per
+//! sweep point. Every bench binary is a thin spec over this one runner, and
+//! the unified report schema serializes to `BENCH_*.json` through
+//! [`crate::json`].
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+use phase_amp::MachineSpec;
+use phase_marking::{InstrumentedProgram, MarkingConfig};
+use phase_metrics::SummaryStats;
+use phase_runtime::TunerConfig;
+use phase_sched::SimConfig;
+use phase_workload::{CatalogSpec, WorkloadSpec};
+use serde::{Deserialize, Serialize};
+
+use crate::artifacts::{ArtifactStore, StoreStats};
+use crate::driver::{cell_seed, CellSpec, Driver, ExperimentPlan, Policy};
+use crate::experiment::{
+    build_slots, comparison_plan, comparison_result, fairness_of, isolated_runtimes_cached,
+    prepare_workload_cached, ExperimentConfig,
+};
+use crate::json::JsonValue;
+use crate::pipeline::PipelineConfig;
+
+/// One typed metric value in a study row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum MetricValue {
+    /// A signed integer.
+    Int(i64),
+    /// An unsigned integer (counters).
+    UInt(u64),
+    /// A float.
+    Float(f64),
+    /// A short string (policy tags and the like).
+    Text(String),
+}
+
+impl MetricValue {
+    /// The value as a float, if numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            MetricValue::Int(v) => Some(*v as f64),
+            MetricValue::UInt(v) => Some(*v as f64),
+            MetricValue::Float(v) => Some(*v),
+            MetricValue::Text(_) => None,
+        }
+    }
+
+    /// The value as an unsigned integer, if it is one.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            MetricValue::UInt(v) => Some(*v),
+            MetricValue::Int(v) => u64::try_from(*v).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if text.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            MetricValue::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn to_json(&self) -> JsonValue {
+        match self {
+            MetricValue::Int(v) => JsonValue::Int(*v),
+            MetricValue::UInt(v) => JsonValue::UInt(*v),
+            MetricValue::Float(v) => JsonValue::Float(*v),
+            MetricValue::Text(s) => JsonValue::Str(s.clone()),
+        }
+    }
+}
+
+/// One row of a study report: a sweep-point label plus named metrics in
+/// insertion order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StudyRow {
+    /// The sweep-point label (technique name, threshold, benchmark, ...).
+    pub label: String,
+    /// Named metrics, in a deterministic order.
+    pub metrics: Vec<(String, MetricValue)>,
+}
+
+impl StudyRow {
+    /// A row with no metrics yet.
+    pub fn new(label: impl Into<String>) -> Self {
+        Self {
+            label: label.into(),
+            metrics: Vec::new(),
+        }
+    }
+
+    /// Appends a metric, returning `self` for chaining.
+    pub fn metric(mut self, name: &str, value: MetricValue) -> Self {
+        self.metrics.push((name.to_string(), value));
+        self
+    }
+
+    /// Looks up a metric by name.
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.metrics.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+    }
+
+    /// A float metric, panicking with a useful message if absent.
+    pub fn f64(&self, name: &str) -> f64 {
+        self.get(name)
+            .and_then(MetricValue::as_f64)
+            .unwrap_or_else(|| panic!("row '{}' has no numeric metric '{name}'", self.label))
+    }
+
+    /// An unsigned-integer metric, panicking with a useful message if absent.
+    pub fn u64(&self, name: &str) -> u64 {
+        self.get(name)
+            .and_then(MetricValue::as_u64)
+            .unwrap_or_else(|| panic!("row '{}' has no integer metric '{name}'", self.label))
+    }
+
+    /// A text metric, panicking with a useful message if absent.
+    pub fn text(&self, name: &str) -> &str {
+        self.get(name)
+            .and_then(MetricValue::as_str)
+            .unwrap_or_else(|| panic!("row '{}' has no text metric '{name}'", self.label))
+    }
+}
+
+/// One point of a comparison sweep: a label and the full experiment
+/// configuration derived for it.
+#[derive(Debug, Clone)]
+pub struct ComparisonPoint {
+    /// Row label (also the plan group key).
+    pub label: String,
+    /// The derived configuration.
+    pub config: ExperimentConfig,
+}
+
+/// One workload family of a policy-matrix study.
+#[derive(Debug, Clone)]
+pub struct FamilySpec {
+    /// Family name (row label and plan group).
+    pub name: String,
+    /// The catalogue to generate.
+    pub catalog: CatalogSpec,
+    /// The workload to queue from it.
+    pub workload: WorkloadSpec,
+}
+
+/// What a study measures.
+#[derive(Debug, Clone)]
+pub enum StudyMode {
+    /// Static space-overhead statistics per marking variant, summarized over
+    /// the catalogue (Figure 3). Rows: `space_min/q1/median/q3/max` (already
+    /// in percent) and `marks_mean`.
+    MarkStatsPerVariant {
+        /// Catalogue to instrument.
+        catalog: CatalogSpec,
+        /// Machine whose cost model seeds the typing.
+        machine: MachineSpec,
+        /// The marking variants to compare.
+        variants: Vec<MarkingConfig>,
+    },
+    /// Static mark statistics per benchmark for one pipeline (Sections III /
+    /// IV-B). Rows: `marks`, `added_bytes`, `space_overhead_pct`.
+    MarkStatsPerBenchmark {
+        /// Catalogue to instrument.
+        catalog: CatalogSpec,
+        /// Machine whose cost model seeds the typing.
+        machine: MachineSpec,
+        /// The pipeline configuration.
+        pipeline: PipelineConfig,
+    },
+    /// Per-benchmark isolation runs under the phase tuner (Table 1 /
+    /// Figure 5). Rows: `switches`, `runtime_ns`, `marks_executed`,
+    /// `instructions`, `cycles`.
+    Isolation {
+        /// Catalogue to run.
+        catalog: CatalogSpec,
+        /// Machine to simulate.
+        machine: MachineSpec,
+        /// The static pipeline.
+        pipeline: PipelineConfig,
+        /// The dynamic tuner.
+        tuner: TunerConfig,
+        /// Simulation parameters (horizon is cleared per isolation cell).
+        sim: SimConfig,
+    },
+    /// Mark time-overhead measurement (Figure 4): identical queues run
+    /// uninstrumented (stock) and instrumented with all-cores marks. Rows:
+    /// `marks_executed`, `baseline_instructions`, `run_instructions`,
+    /// `overhead_pct`.
+    MarkOverhead {
+        /// Catalogue to run.
+        catalog: CatalogSpec,
+        /// Machine to simulate.
+        machine: MachineSpec,
+        /// The workload queued over the catalogue.
+        workload: WorkloadSpec,
+        /// The marking variants to measure.
+        variants: Vec<MarkingConfig>,
+        /// Simulation parameters.
+        sim: SimConfig,
+    },
+    /// Baseline-versus-tuned comparison sweep (Figures 6–8, Table 2, the
+    /// lookahead and minimum-size sweeps, the 3-core machine). Rows:
+    /// `throughput_improvement_pct`, `avg_time_decrease_pct`,
+    /// `max_flow_decrease_pct`, `max_stretch_decrease_pct`,
+    /// `tuned_max_stretch`, `stock_max_stretch`, `tuned_core_switches`,
+    /// `tuned_marks_executed`, `static_marks`.
+    Comparison {
+        /// The sweep points.
+        points: Vec<ComparisonPoint>,
+    },
+    /// Workload families × scheduling policies on identical queues
+    /// (online-versus-static). One row per (family, policy) with `policy`,
+    /// `policy_kind`, `speedup` (vs. the family's stock cell), `completed`,
+    /// `instructions`, `max_stretch`, `switches`, and for online cells
+    /// `phases_created`, `retunes`, `interval_ns`, `max_phases`.
+    PolicyMatrix {
+        /// The workload families.
+        families: Vec<FamilySpec>,
+        /// The policies every family runs under.
+        policies: Vec<Policy>,
+        /// Machine to simulate.
+        machine: MachineSpec,
+        /// The static pipeline behind `Policy::Tuned` cells.
+        pipeline: PipelineConfig,
+        /// Simulation parameters.
+        sim: SimConfig,
+        /// Base seed; family `i` uses `cell_seed(base_seed, i)`.
+        base_seed: u64,
+    },
+}
+
+/// A study: name, human title, and mode.
+#[derive(Debug, Clone)]
+pub struct StudySpec {
+    /// Machine-readable name (also the `BENCH_<name>.json` stem).
+    pub name: String,
+    /// Human-readable title.
+    pub title: String,
+    /// What to measure.
+    pub mode: StudyMode,
+}
+
+/// The unified report every study produces.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StudyReport {
+    /// The study's machine-readable name.
+    pub study: String,
+    /// The study's title.
+    pub title: String,
+    /// One row per sweep point (or benchmark), in sweep order.
+    pub rows: Vec<StudyRow>,
+    /// Artifact-store counters for this run: hit/miss deltas attributable to
+    /// this study (entry counts are absolute store sizes), so reports from a
+    /// shared store and from a fresh one are comparable.
+    pub store: StoreStats,
+    /// Wall-clock of the run in seconds.
+    pub elapsed_s: f64,
+}
+
+impl StudyReport {
+    /// Rows whose `label` equals `label`, in report order.
+    pub fn rows_labeled(&self, label: &str) -> Vec<&StudyRow> {
+        self.rows.iter().filter(|r| r.label == label).collect()
+    }
+
+    /// The report as a JSON document (rows flattened into objects).
+    pub fn to_json(&self) -> JsonValue {
+        self.to_json_with(&[])
+    }
+
+    /// Like [`StudyReport::to_json`], with extra metadata fields spliced in
+    /// after the title (harness settings and the like).
+    pub fn to_json_with(&self, meta: &[(&str, JsonValue)]) -> JsonValue {
+        let mut doc = JsonValue::object()
+            .field("study", self.study.as_str())
+            .field("title", self.title.as_str());
+        for (name, value) in meta {
+            doc = doc.field(name, value.clone());
+        }
+        doc.field("elapsed_s", self.elapsed_s)
+            .field(
+                "rows",
+                self.rows
+                    .iter()
+                    .map(|row| {
+                        row.metrics.iter().fold(
+                            JsonValue::object().field("label", row.label.as_str()),
+                            |doc, (name, value)| doc.field(name, value.to_json()),
+                        )
+                    })
+                    .collect::<Vec<_>>(),
+            )
+            .field("store", self.store.to_json())
+    }
+}
+
+/// Short per-cell policy tag: `stock`, `tuned`, `all-cores`, or
+/// `online[i=<µs>,p=<phases>]`.
+pub fn policy_tag(policy: &Policy) -> String {
+    match policy {
+        Policy::Online(config) => format!(
+            "online[i={}us,p={}]",
+            (config.sample_interval_ns / 1_000.0).round() as u64,
+            config.max_phases
+        ),
+        other => other.name().to_string(),
+    }
+}
+
+/// Runs a study through the artifact store with `threads` driver workers.
+pub fn run_study(spec: &StudySpec, store: &ArtifactStore, threads: usize) -> StudyReport {
+    let start = Instant::now();
+    let counters_before = store.stats();
+    let rows = match &spec.mode {
+        StudyMode::MarkStatsPerVariant {
+            catalog,
+            machine,
+            variants,
+        } => mark_stats_per_variant(store, catalog, machine, variants),
+        StudyMode::MarkStatsPerBenchmark {
+            catalog,
+            machine,
+            pipeline,
+        } => mark_stats_per_benchmark(store, catalog, machine, pipeline),
+        StudyMode::Isolation {
+            catalog,
+            machine,
+            pipeline,
+            tuner,
+            sim,
+        } => isolation(store, threads, catalog, machine, pipeline, tuner, sim),
+        StudyMode::MarkOverhead {
+            catalog,
+            machine,
+            workload,
+            variants,
+            sim,
+        } => mark_overhead(store, threads, catalog, machine, workload, variants, sim),
+        StudyMode::Comparison { points } => comparison(store, threads, points),
+        StudyMode::PolicyMatrix {
+            families,
+            policies,
+            machine,
+            pipeline,
+            sim,
+            base_seed,
+        } => policy_matrix(
+            store, threads, families, policies, machine, pipeline, sim, *base_seed,
+        ),
+    };
+    StudyReport {
+        study: spec.name.clone(),
+        title: spec.title.clone(),
+        rows,
+        // Hit/miss counters attributable to THIS study even on a shared
+        // store (entry counts stay absolute).
+        store: store.stats().delta_since(&counters_before),
+        elapsed_s: start.elapsed().as_secs_f64(),
+    }
+}
+
+fn mark_stats_per_variant(
+    store: &ArtifactStore,
+    catalog: &CatalogSpec,
+    machine: &MachineSpec,
+    variants: &[MarkingConfig],
+) -> Vec<StudyRow> {
+    let catalog = store.catalog(catalog);
+    variants
+        .iter()
+        .map(|marking| {
+            let pipeline = PipelineConfig::with_marking(*marking);
+            let mut overheads = Vec::new();
+            let mut marks = Vec::new();
+            for bench in catalog.benchmarks() {
+                let instrumented = store.instrumented(bench.program(), machine, &pipeline);
+                overheads.push(instrumented.stats().space_overhead * 100.0);
+                marks.push(instrumented.mark_count() as f64);
+            }
+            let stats = SummaryStats::of(&overheads);
+            let mark_stats = SummaryStats::of(&marks);
+            StudyRow::new(marking.to_string())
+                .metric("space_min", MetricValue::Float(stats.min))
+                .metric("space_q1", MetricValue::Float(stats.q1))
+                .metric("space_median", MetricValue::Float(stats.median))
+                .metric("space_q3", MetricValue::Float(stats.q3))
+                .metric("space_max", MetricValue::Float(stats.max))
+                .metric("marks_mean", MetricValue::Float(mark_stats.mean))
+        })
+        .collect()
+}
+
+fn mark_stats_per_benchmark(
+    store: &ArtifactStore,
+    catalog: &CatalogSpec,
+    machine: &MachineSpec,
+    pipeline: &PipelineConfig,
+) -> Vec<StudyRow> {
+    let catalog = store.catalog(catalog);
+    catalog
+        .benchmarks()
+        .iter()
+        .map(|bench| {
+            let instrumented = store.instrumented(bench.program(), machine, pipeline);
+            StudyRow::new(bench.name())
+                .metric("marks", MetricValue::UInt(instrumented.mark_count() as u64))
+                .metric(
+                    "added_bytes",
+                    MetricValue::UInt(instrumented.stats().added_bytes),
+                )
+                .metric(
+                    "space_overhead_pct",
+                    MetricValue::Float(instrumented.stats().space_overhead * 100.0),
+                )
+        })
+        .collect()
+}
+
+fn isolation(
+    store: &ArtifactStore,
+    threads: usize,
+    catalog: &CatalogSpec,
+    machine: &MachineSpec,
+    pipeline: &PipelineConfig,
+    tuner: &TunerConfig,
+    sim: &SimConfig,
+) -> Vec<StudyRow> {
+    let catalog = store.catalog(catalog);
+    let mut plan = ExperimentPlan::new();
+    for bench in catalog.benchmarks() {
+        let instrumented = store.instrumented(bench.program(), machine, pipeline);
+        plan.push(CellSpec::isolation(
+            bench.name(),
+            instrumented,
+            machine.clone(),
+            Policy::Tuned(*tuner),
+            *sim,
+        ));
+    }
+    let outcome = Driver::new(threads).run_cached(plan, store);
+    outcome
+        .cells
+        .iter()
+        .map(|cell| {
+            let record = cell
+                .result
+                .records
+                .first()
+                .expect("isolation cell ran one process");
+            StudyRow::new(cell.group.clone())
+                .metric("switches", MetricValue::UInt(record.stats.core_switches))
+                .metric(
+                    "runtime_ns",
+                    MetricValue::Float(
+                        record.completion_ns.unwrap_or_default() - record.arrival_ns,
+                    ),
+                )
+                .metric(
+                    "marks_executed",
+                    MetricValue::UInt(record.stats.marks_executed),
+                )
+                .metric("instructions", MetricValue::UInt(record.stats.instructions))
+                .metric("cycles", MetricValue::Float(record.stats.cycles))
+        })
+        .collect()
+}
+
+fn mark_overhead(
+    store: &ArtifactStore,
+    threads: usize,
+    catalog_spec: &CatalogSpec,
+    machine: &MachineSpec,
+    workload: &WorkloadSpec,
+    variants: &[MarkingConfig],
+    sim: &SimConfig,
+) -> Vec<StudyRow> {
+    let catalog = store.catalog(catalog_spec);
+    let workload = workload.build(&catalog);
+    let plain: Vec<Arc<InstrumentedProgram>> = catalog
+        .benchmarks()
+        .iter()
+        .map(|b| store.baseline(b.program()))
+        .collect();
+    let mut plan = ExperimentPlan::new();
+    plan.push(CellSpec {
+        group: "baseline".into(),
+        label: "uninstrumented".into(),
+        machine: machine.clone(),
+        slots: build_slots(&workload, &catalog, &plain),
+        policy: Policy::Stock,
+        sim: *sim,
+    });
+    for marking in variants {
+        let pipeline = PipelineConfig::with_marking(*marking);
+        let instrumented: Vec<Arc<InstrumentedProgram>> = catalog
+            .benchmarks()
+            .iter()
+            .map(|b| store.instrumented(b.program(), machine, &pipeline))
+            .collect();
+        plan.push(CellSpec {
+            group: marking.to_string(),
+            label: format!("all-cores-{marking}"),
+            machine: machine.clone(),
+            slots: build_slots(&workload, &catalog, &instrumented),
+            policy: Policy::AllCores,
+            sim: *sim,
+        });
+    }
+    let outcome = Driver::new(threads).run_cached(plan, store);
+    let baseline = &outcome.cells[0].result;
+    let baseline_busy: f64 = baseline.core_busy_ns.iter().sum();
+    let baseline_rate = baseline.total_instructions as f64 / baseline_busy;
+    outcome.cells[1..]
+        .iter()
+        .map(|cell| {
+            let run = &cell.result;
+            // Time overhead: extra busy time needed for the same committed
+            // work, approximated by the change in instructions per busy
+            // nanosecond.
+            let run_busy: f64 = run.core_busy_ns.iter().sum();
+            let mark_instructions =
+                run.total_marks_executed * phase_marking::MARK_DECISION_INSTRUCTIONS;
+            let run_rate = (run.total_instructions - mark_instructions) as f64 / run_busy;
+            let overhead_pct = phase_metrics::percent_change(run_rate, baseline_rate);
+            StudyRow::new(cell.group.clone())
+                .metric(
+                    "marks_executed",
+                    MetricValue::UInt(run.total_marks_executed),
+                )
+                .metric(
+                    "baseline_instructions",
+                    MetricValue::UInt(baseline.total_instructions),
+                )
+                .metric(
+                    "run_instructions",
+                    MetricValue::UInt(run.total_instructions),
+                )
+                .metric("overhead_pct", MetricValue::Float(overhead_pct))
+        })
+        .collect()
+}
+
+fn comparison(store: &ArtifactStore, threads: usize, points: &[ComparisonPoint]) -> Vec<StudyRow> {
+    let mut plan = ExperimentPlan::new();
+    let mut prepared_points = Vec::new();
+    for point in points {
+        let prepared = prepare_workload_cached(&point.config, store);
+        plan.extend(comparison_plan(&point.label, &point.config, &prepared));
+        prepared_points.push(prepared);
+    }
+    let outcome = Driver::new(threads).run_cached(plan, store);
+    points
+        .iter()
+        .zip(&prepared_points)
+        .map(|(point, prepared)| {
+            let result = comparison_result(&point.label, &outcome, &point.config, prepared)
+                .expect("plan holds both cells of the point");
+            let static_marks: usize = prepared.instrumented.iter().map(|p| p.mark_count()).sum();
+            StudyRow::new(point.label.clone())
+                .metric(
+                    "throughput_improvement_pct",
+                    MetricValue::Float(result.throughput.improvement_pct),
+                )
+                .metric(
+                    "avg_time_decrease_pct",
+                    MetricValue::Float(result.fairness.avg_time_decrease_pct),
+                )
+                .metric(
+                    "max_flow_decrease_pct",
+                    MetricValue::Float(result.fairness.max_flow_decrease_pct),
+                )
+                .metric(
+                    "max_stretch_decrease_pct",
+                    MetricValue::Float(result.fairness.max_stretch_decrease_pct),
+                )
+                .metric(
+                    "tuned_max_stretch",
+                    MetricValue::Float(result.tuned_fairness.max_stretch),
+                )
+                .metric(
+                    "stock_max_stretch",
+                    MetricValue::Float(result.baseline_fairness.max_stretch),
+                )
+                .metric(
+                    "tuned_core_switches",
+                    MetricValue::UInt(result.tuned.total_core_switches),
+                )
+                .metric(
+                    "tuned_marks_executed",
+                    MetricValue::UInt(result.tuned.total_marks_executed),
+                )
+                .metric("static_marks", MetricValue::UInt(static_marks as u64))
+        })
+        .collect()
+}
+
+#[allow(clippy::too_many_arguments)]
+fn policy_matrix(
+    store: &ArtifactStore,
+    threads: usize,
+    families: &[FamilySpec],
+    policies: &[Policy],
+    machine: &MachineSpec,
+    pipeline: &PipelineConfig,
+    sim: &SimConfig,
+    base_seed: u64,
+) -> Vec<StudyRow> {
+    struct PreparedFamily {
+        baseline_slots: Vec<Vec<phase_sched::JobSpec>>,
+        tuned_slots: Vec<Vec<phase_sched::JobSpec>>,
+        isolated_ns: Arc<HashMap<String, f64>>,
+    }
+    let prepared: Vec<PreparedFamily> = families
+        .iter()
+        .map(|family| {
+            let catalog = store.catalog(&family.catalog);
+            let instrumented: Vec<Arc<InstrumentedProgram>> = catalog
+                .benchmarks()
+                .iter()
+                .map(|b| store.instrumented(b.program(), machine, pipeline))
+                .collect();
+            let plain: Vec<Arc<InstrumentedProgram>> = catalog
+                .benchmarks()
+                .iter()
+                .map(|b| store.baseline(b.program()))
+                .collect();
+            let isolated_ns = isolated_runtimes_cached(
+                &family.catalog,
+                &catalog,
+                &plain,
+                machine,
+                sim,
+                threads,
+                store,
+            );
+            let workload = family.workload.build(&catalog);
+            PreparedFamily {
+                baseline_slots: build_slots(&workload, &catalog, &plain),
+                tuned_slots: build_slots(&workload, &catalog, &instrumented),
+                isolated_ns,
+            }
+        })
+        .collect();
+
+    // One plan over everything: per family, one cell per policy, all on
+    // identical queues and seeds (the paper's identical-queues rule).
+    let mut plan = ExperimentPlan::new();
+    for (index, (family, prep)) in families.iter().zip(&prepared).enumerate() {
+        let seed = cell_seed(base_seed, index as u64);
+        for policy in policies {
+            let slots = if policy.runs_instrumented() {
+                prep.tuned_slots.clone()
+            } else {
+                prep.baseline_slots.clone()
+            };
+            plan.push(CellSpec {
+                group: family.name.clone(),
+                label: format!("{}/{}", family.name, policy_tag(policy)),
+                machine: machine.clone(),
+                slots,
+                policy: *policy,
+                sim: SimConfig { seed, ..*sim },
+            });
+        }
+    }
+    let outcome = Driver::new(threads).run_cached(plan, store);
+
+    let mut rows = Vec::new();
+    for (family, prep) in families.iter().zip(&prepared) {
+        let cells = outcome.group(&family.name);
+        let stock = cells
+            .iter()
+            .find(|c| c.policy.name() == "stock")
+            .expect("every family runs a stock cell");
+        let stock_instructions = stock.result.total_instructions;
+        for cell in &cells {
+            let speedup = cell.result.total_instructions as f64 / stock_instructions as f64;
+            let fairness = fairness_of(&cell.result, &prep.isolated_ns);
+            let mut row = StudyRow::new(family.name.clone())
+                .metric("policy", MetricValue::Text(policy_tag(&cell.policy)))
+                .metric(
+                    "policy_kind",
+                    MetricValue::Text(cell.policy.name().to_string()),
+                )
+                .metric("speedup", MetricValue::Float(speedup))
+                .metric(
+                    "completed",
+                    MetricValue::UInt(cell.result.completed_count() as u64),
+                )
+                .metric(
+                    "instructions",
+                    MetricValue::UInt(cell.result.total_instructions),
+                )
+                .metric("max_stretch", MetricValue::Float(fairness.max_stretch))
+                .metric(
+                    "switches",
+                    MetricValue::UInt(cell.result.total_core_switches),
+                );
+            if let (Policy::Online(config), Some(stats)) = (&cell.policy, &cell.online_stats) {
+                row = row
+                    .metric("phases_created", MetricValue::UInt(stats.phases_created))
+                    .metric("retunes", MetricValue::UInt(stats.retunes))
+                    .metric("interval_ns", MetricValue::Float(config.sample_interval_ns))
+                    .metric("max_phases", MetricValue::UInt(config.max_phases as u64));
+            }
+            rows.push(row);
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_catalog() -> CatalogSpec {
+        CatalogSpec::standard(0.04, 7)
+    }
+
+    #[test]
+    fn mark_stats_study_reports_one_row_per_variant() {
+        let store = ArtifactStore::new();
+        let spec = StudySpec {
+            name: "fig3".into(),
+            title: "space overhead".into(),
+            mode: StudyMode::MarkStatsPerVariant {
+                catalog: tiny_catalog(),
+                machine: MachineSpec::core2_quad_amp(),
+                variants: vec![MarkingConfig::loop_level(45), MarkingConfig::interval(45)],
+            },
+        };
+        let report = run_study(&spec, &store, 2);
+        assert_eq!(report.rows.len(), 2);
+        assert_eq!(report.rows[0].label, "Loop[45]");
+        assert!(report.rows[0].f64("space_max") >= report.rows[0].f64("space_min"));
+        let json = report.to_json();
+        assert_eq!(json.get("study").and_then(JsonValue::as_str), Some("fig3"));
+        assert_eq!(
+            json.get("rows")
+                .and_then(JsonValue::as_array)
+                .unwrap()
+                .len(),
+            2
+        );
+    }
+
+    #[test]
+    fn isolation_study_rows_cover_the_catalogue_in_order() {
+        let store = ArtifactStore::new();
+        let spec = StudySpec {
+            name: "table1".into(),
+            title: "switches".into(),
+            mode: StudyMode::Isolation {
+                catalog: tiny_catalog(),
+                machine: MachineSpec::core2_quad_amp(),
+                pipeline: PipelineConfig::paper_best(),
+                tuner: TunerConfig::paper_table1(),
+                sim: SimConfig::default(),
+            },
+        };
+        let report = run_study(&spec, &store, 4);
+        assert_eq!(report.rows.len(), 15);
+        assert_eq!(report.rows[0].label, "401.bzip2");
+        assert!(report.rows.iter().all(|r| r.u64("instructions") > 0));
+        // The second run is answered from the store cell-for-cell.
+        let warm = run_study(&spec, &store, 4);
+        assert_eq!(warm.rows, report.rows);
+        let cells = warm.store.stage("cells").unwrap();
+        assert!(cells.hits >= 15, "warm run hit {} cells", cells.hits);
+    }
+
+    #[test]
+    fn comparison_study_matches_the_uncached_comparison() {
+        use crate::experiment::run_comparison;
+        let store = ArtifactStore::new();
+        let config = ExperimentConfig::smoke_test();
+        let spec = StudySpec {
+            name: "cmp".into(),
+            title: "comparison".into(),
+            mode: StudyMode::Comparison {
+                points: vec![ComparisonPoint {
+                    label: "paper-best".into(),
+                    config: config.clone(),
+                }],
+            },
+        };
+        let report = run_study(&spec, &store, 2);
+        assert_eq!(report.rows.len(), 1);
+        let reference = run_comparison(&config);
+        let row = &report.rows[0];
+        assert_eq!(
+            row.f64("avg_time_decrease_pct"),
+            reference.fairness.avg_time_decrease_pct,
+            "cached path reproduces the uncached comparison bit-for-bit"
+        );
+        assert_eq!(
+            row.f64("throughput_improvement_pct"),
+            reference.throughput.improvement_pct
+        );
+        assert_eq!(
+            row.u64("tuned_marks_executed"),
+            reference.tuned.total_marks_executed
+        );
+    }
+}

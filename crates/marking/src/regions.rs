@@ -299,7 +299,10 @@ pub fn nesting_weight(depth: u32) -> f64 {
     10f64.powi(depth.min(6) as i32)
 }
 
-/// Region maps for every procedure of a program.
+/// Region maps for every procedure of a program — the section-summarization
+/// stage's artifact in `phase-core`'s staged pipeline (built by
+/// `regions_stage`, consumed by [`crate::instrument_with_regions`], and
+/// cached per *(program, machine, pipeline config)* by the artifact store).
 pub type ProgramRegions = HashMap<ProcId, RegionMap>;
 
 #[cfg(test)]

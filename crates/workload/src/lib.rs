@@ -33,13 +33,16 @@
 mod catalog;
 mod generator;
 mod profile;
+mod spec;
 mod workload;
 
 pub use catalog::{
-    mixed_profiles, standard_benchmark_names, standard_profiles, Benchmark, BenchmarkId, Catalog,
+    drifting_profiles, mixed_profiles, standard_benchmark_names, standard_profiles, Benchmark,
+    BenchmarkId, Catalog,
 };
 pub use generator::generate_program;
 pub use profile::{BenchmarkProfile, PhaseKind, PhaseSpec};
+pub use spec::{CatalogKind, CatalogSpec, WorkloadSpec};
 pub use workload::{JobQueue, Workload};
 
 #[cfg(test)]

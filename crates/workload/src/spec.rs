@@ -1,0 +1,253 @@
+//! Declarative catalogue and workload descriptions.
+//!
+//! The evaluation harness sweeps axes such as *workload family* — which
+//! benchmark catalogue to generate and how to queue jobs from it. Those axes
+//! need a value-type description that can be compared, hashed into an
+//! artifact key, and expanded on demand: [`CatalogSpec`] and [`WorkloadSpec`]
+//! are exactly that. Building the same spec twice yields bit-identical
+//! catalogues and workloads, which is what makes them safe cache keys for
+//! the artifact store in `phase-core`.
+
+use serde::{Deserialize, Serialize};
+
+use crate::catalog::Catalog;
+use crate::workload::Workload;
+
+/// Which built-in catalogue family to generate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CatalogKind {
+    /// The fifteen SPEC-named benchmarks of the paper's Table 1.
+    Standard,
+    /// The mixed CPU/memory family (dense phase-transition traffic).
+    Mixed,
+    /// The drifting-phase / unmarkable-binary family.
+    Drifting,
+    /// [`CatalogKind::Standard`] plus [`CatalogKind::Mixed`].
+    Extended,
+}
+
+impl CatalogKind {
+    /// Short name used in labels and artifact spill files.
+    pub fn name(self) -> &'static str {
+        match self {
+            CatalogKind::Standard => "standard",
+            CatalogKind::Mixed => "mixed",
+            CatalogKind::Drifting => "drifting",
+            CatalogKind::Extended => "extended",
+        }
+    }
+}
+
+/// A catalogue generation request: family, scale, and seed.
+///
+/// # Examples
+///
+/// ```
+/// use phase_workload::CatalogSpec;
+///
+/// let spec = CatalogSpec::standard(0.05, 7);
+/// let catalog = spec.build();
+/// assert_eq!(catalog.len(), 15);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CatalogSpec {
+    /// The catalogue family.
+    pub kind: CatalogKind,
+    /// Trip-count multiplier (`1.0` is the standard experiment size).
+    pub scale: f64,
+    /// Generation seed.
+    pub seed: u64,
+}
+
+impl CatalogSpec {
+    /// The standard Table 1 catalogue.
+    pub fn standard(scale: f64, seed: u64) -> Self {
+        Self {
+            kind: CatalogKind::Standard,
+            scale,
+            seed,
+        }
+    }
+
+    /// The mixed CPU/memory family.
+    pub fn mixed(scale: f64, seed: u64) -> Self {
+        Self {
+            kind: CatalogKind::Mixed,
+            scale,
+            seed,
+        }
+    }
+
+    /// The drifting-phase family.
+    pub fn drifting(scale: f64, seed: u64) -> Self {
+        Self {
+            kind: CatalogKind::Drifting,
+            scale,
+            seed,
+        }
+    }
+
+    /// The extended (standard + mixed) catalogue.
+    pub fn extended(scale: f64, seed: u64) -> Self {
+        Self {
+            kind: CatalogKind::Extended,
+            scale,
+            seed,
+        }
+    }
+
+    /// Generates the catalogue. Deterministic: equal specs build bit-identical
+    /// catalogues.
+    pub fn build(&self) -> Catalog {
+        match self.kind {
+            CatalogKind::Standard => Catalog::standard(self.scale, self.seed),
+            CatalogKind::Mixed => Catalog::mixed(self.scale, self.seed),
+            CatalogKind::Drifting => Catalog::drifting(self.scale, self.seed),
+            CatalogKind::Extended => Catalog::extended(self.scale, self.seed),
+        }
+    }
+}
+
+/// A workload construction request over an already-built catalogue.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum WorkloadSpec {
+    /// Uniformly random job queues ([`Workload::random`]).
+    Random {
+        /// Simultaneously running slots.
+        slots: usize,
+        /// Jobs queued per slot.
+        jobs_per_slot: usize,
+        /// Selection seed.
+        seed: u64,
+    },
+    /// Bursty arrivals in waves ([`Workload::bursty`]).
+    Bursty {
+        /// Simultaneously running slots.
+        slots: usize,
+        /// Jobs queued per slot.
+        jobs_per_slot: usize,
+        /// Number of arrival waves.
+        waves: usize,
+        /// Gap between waves in nanoseconds.
+        gap_ns: f64,
+        /// Selection seed.
+        seed: u64,
+    },
+    /// The drifting-family workload ([`Workload::drifting`]).
+    Drifting {
+        /// Simultaneously running slots.
+        slots: usize,
+        /// Jobs queued per slot.
+        jobs_per_slot: usize,
+        /// Selection seed.
+        seed: u64,
+    },
+}
+
+impl WorkloadSpec {
+    /// Expands the spec against a catalogue. Deterministic for equal inputs.
+    pub fn build(&self, catalog: &Catalog) -> Workload {
+        match *self {
+            WorkloadSpec::Random {
+                slots,
+                jobs_per_slot,
+                seed,
+            } => Workload::random(catalog, slots, jobs_per_slot, seed),
+            WorkloadSpec::Bursty {
+                slots,
+                jobs_per_slot,
+                waves,
+                gap_ns,
+                seed,
+            } => Workload::bursty(catalog, slots, jobs_per_slot, waves, gap_ns, seed),
+            WorkloadSpec::Drifting {
+                slots,
+                jobs_per_slot,
+                seed,
+            } => Workload::drifting(catalog, slots, jobs_per_slot, seed),
+        }
+    }
+
+    /// The slot count the expanded workload will have.
+    pub fn slots(&self) -> usize {
+        match *self {
+            WorkloadSpec::Random { slots, .. }
+            | WorkloadSpec::Bursty { slots, .. }
+            | WorkloadSpec::Drifting { slots, .. } => slots,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_spec_builds_each_family() {
+        assert_eq!(CatalogSpec::standard(0.04, 7).build().len(), 15);
+        assert_eq!(
+            CatalogSpec::mixed(0.04, 7).build().len(),
+            crate::catalog::mixed_profiles().len()
+        );
+        assert_eq!(
+            CatalogSpec::drifting(0.04, 7).build().len(),
+            crate::catalog::drifting_profiles().len()
+        );
+        assert_eq!(
+            CatalogSpec::extended(0.04, 7).build().len(),
+            15 + crate::catalog::mixed_profiles().len()
+        );
+    }
+
+    #[test]
+    fn equal_specs_build_identical_catalogues() {
+        let a = CatalogSpec::standard(0.04, 11).build();
+        let b = CatalogSpec::standard(0.04, 11).build();
+        assert_eq!(a.len(), b.len());
+        for ((_, x), (_, y)) in a.iter().zip(b.iter()) {
+            assert_eq!(x.name(), y.name());
+            assert_eq!(x.program().to_listing(), y.program().to_listing());
+        }
+    }
+
+    #[test]
+    fn workload_spec_expands_deterministically() {
+        let catalog = CatalogSpec::standard(0.04, 7).build();
+        let spec = WorkloadSpec::Random {
+            slots: 6,
+            jobs_per_slot: 2,
+            seed: 31,
+        };
+        assert_eq!(spec.slots(), 6);
+        let a = spec.build(&catalog);
+        let b = spec.build(&catalog);
+        assert_eq!(a.size(), 6);
+        for (qa, qb) in a.slots().iter().zip(b.slots()) {
+            assert_eq!(qa.jobs(), qb.jobs());
+            assert_eq!(qa.release_ns(), qb.release_ns());
+        }
+    }
+
+    #[test]
+    fn bursty_and_drifting_specs_build() {
+        let catalog = CatalogSpec::standard(0.04, 7).build();
+        let bursty = WorkloadSpec::Bursty {
+            slots: 4,
+            jobs_per_slot: 1,
+            waves: 2,
+            gap_ns: 1_000_000.0,
+            seed: 5,
+        }
+        .build(&catalog);
+        assert_eq!(bursty.size(), 4);
+        assert!(bursty.slots().iter().any(|q| q.release_ns() > 0.0));
+        let drifting_catalog = CatalogSpec::drifting(0.02, 7).build();
+        let drifting = WorkloadSpec::Drifting {
+            slots: 3,
+            jobs_per_slot: 1,
+            seed: 5,
+        }
+        .build(&drifting_catalog);
+        assert_eq!(drifting.size(), 3);
+    }
+}
