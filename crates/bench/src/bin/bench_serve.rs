@@ -1,0 +1,176 @@
+//! Tuning-service benchmark (`BENCH_serve.json`): cold-versus-warm request
+//! latency through one long-running [`TuningService`], plus a
+//! budget-constrained run demonstrating that a bounded store evicts instead
+//! of growing and never exceeds its byte budget.
+//!
+//! The first section issues a mix of isolation / marks / comparison requests
+//! against an unbounded service, then repeats each request and records the
+//! best warm latency: identical requests are answered from the
+//! content-addressed store, so the warm path skips simulation entirely (the
+//! "serve many tuning requests fast" headline). The second section replays a
+//! wider request rotation against a service whose store is bounded to a few
+//! megabytes and records the eviction counters and the maximum resident
+//! footprint ever observed.
+
+use std::time::Instant;
+
+use phase_core::JsonValue;
+use phase_serve::{ServiceConfig, TuningService};
+
+struct RequestCase {
+    label: &'static str,
+    line: String,
+}
+
+fn request_cases(scale: f64, slots: usize) -> Vec<RequestCase> {
+    vec![
+        RequestCase {
+            label: "marks/loop45",
+            line: format!(
+                "{{\"id\": \"m1\", \"kind\": \"marks\", \
+                 \"catalog\": {{\"scale\": {scale}, \"seed\": 7}}}}"
+            ),
+        },
+        RequestCase {
+            label: "isolation/loop45",
+            line: format!(
+                "{{\"id\": \"i1\", \"kind\": \"isolation\", \
+                 \"catalog\": {{\"scale\": {scale}, \"seed\": 7}}, \"ipc_threshold\": 0.2}}"
+            ),
+        },
+        RequestCase {
+            label: "isolation/interval45",
+            line: format!(
+                "{{\"id\": \"i2\", \"kind\": \"isolation\", \
+                 \"catalog\": {{\"scale\": {scale}, \"seed\": 7}}, \
+                 \"marking\": {{\"granularity\": \"interval\", \"min_section_size\": 45}}}}"
+            ),
+        },
+        RequestCase {
+            label: "comparison/loop45",
+            line: format!(
+                "{{\"id\": \"c1\", \"kind\": \"comparison\", \
+                 \"catalog\": {{\"scale\": {scale}}}, \"slots\": {slots}, \
+                 \"jobs_per_slot\": 2, \"horizon_ns\": 4000000.0, \"workload_seed\": 11}}"
+            ),
+        },
+    ]
+}
+
+const WARM_REPEATS: usize = 5;
+
+fn main() {
+    let settings = phase_bench::init(
+        "Tuning-service benchmark (BENCH_serve.json)",
+        "Cold-vs-warm request latency through the phase-serve service, plus a\n\
+         budget-constrained run recording eviction behaviour of the bounded store.",
+    );
+    let scale = if settings.quick { 0.05 } else { 0.25 };
+    let slots = settings.slots_or(if settings.quick { 4 } else { 12 });
+    let threads = settings.threads.max(1);
+
+    // --- Cold vs. warm through one unbounded service. ---
+    let service =
+        TuningService::new(ServiceConfig::with_threads(threads)).expect("cold start cannot fail");
+    let mut rows = Vec::new();
+    let mut worst_speedup = f64::INFINITY;
+    for case in request_cases(scale, slots) {
+        let start = Instant::now();
+        let cold = service.respond(&case.line);
+        let cold_s = start.elapsed().as_secs_f64();
+        assert!(!cold.is_error(), "{}: {:?}", case.label, cold.to_json());
+        let cold_bytes = cold.to_json().render_compact();
+
+        let mut warm_s = f64::INFINITY;
+        for _ in 0..WARM_REPEATS {
+            let start = Instant::now();
+            let warm = service.respond(&case.line);
+            warm_s = warm_s.min(start.elapsed().as_secs_f64());
+            assert_eq!(
+                warm.to_json().render_compact(),
+                cold_bytes,
+                "{}: a warm response changed",
+                case.label
+            );
+        }
+        let speedup = cold_s / warm_s.max(1e-9);
+        worst_speedup = worst_speedup.min(speedup);
+        println!(
+            "{:24} cold {:>9.4}ms -> warm {:>9.4}ms  ({speedup:.1}x)",
+            case.label,
+            cold_s * 1e3,
+            warm_s * 1e3
+        );
+        rows.push(
+            JsonValue::object()
+                .field("label", case.label)
+                .field("cold_s", cold_s)
+                .field("warm_s", warm_s)
+                .field("speedup", speedup),
+        );
+    }
+    println!("worst warm speedup: {worst_speedup:.1}x");
+
+    // --- Budget-constrained run: distinct requests under a small budget. ---
+    let budget: u64 = if settings.quick {
+        4 * 1024 * 1024
+    } else {
+        16 * 1024 * 1024
+    };
+    let bounded = TuningService::new(ServiceConfig {
+        threads,
+        budget_bytes: Some(budget),
+        warm_start: None,
+    })
+    .expect("cold start cannot fail");
+    let mut max_resident = 0u64;
+    let mut budget_requests = 0u64;
+    for seed in 0..6u64 {
+        for marking in ["loop", "interval"] {
+            let line = format!(
+                "{{\"id\": \"b-{seed}-{marking}\", \"kind\": \"marks\", \
+                 \"catalog\": {{\"scale\": {scale}, \"seed\": {seed}}}, \
+                 \"marking\": {{\"granularity\": \"{marking}\", \"min_section_size\": 45}}}}"
+            );
+            let response = bounded.respond(&line);
+            assert!(!response.is_error(), "budget run request failed");
+            budget_requests += 1;
+            max_resident = max_resident.max(bounded.store().resident_bytes());
+            assert!(
+                max_resident <= budget,
+                "budget exceeded: {max_resident} > {budget}"
+            );
+        }
+    }
+    let stats = bounded.stats();
+    println!(
+        "budget run: {budget_requests} requests, max resident {max_resident} / {budget} bytes, \
+         {} evictions",
+        stats.evictions()
+    );
+
+    // --- BENCH_serve.json. ---
+    let mut doc = JsonValue::object();
+    for (name, value) in settings.meta_json() {
+        doc = doc.field(name, value);
+    }
+    let doc = doc
+        .field("scale", scale)
+        .field("warm_repeats", WARM_REPEATS)
+        .field("worst_warm_speedup", worst_speedup)
+        .field("requests", rows)
+        .field(
+            "budget_run",
+            JsonValue::object()
+                .field("budget_bytes", budget)
+                .field("requests", budget_requests)
+                .field("max_resident_bytes", max_resident)
+                .field("within_budget", max_resident <= budget)
+                .field("evictions", stats.evictions())
+                .field("final_resident_bytes", stats.resident_bytes())
+                .field("store", stats.store.to_json()),
+        );
+    let path = settings.out_path("BENCH_serve.json");
+    let written = phase_bench::write_report_file(&path, &doc.render()).map(|()| path);
+    phase_bench::announce_report(written, "BENCH_serve.json");
+}

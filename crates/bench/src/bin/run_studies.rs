@@ -129,7 +129,7 @@ fn main() {
                 })
                 .collect::<Vec<_>>(),
         )
-        .field("store", store.stats().to_json());
+        .field("store", store.snapshot().to_json());
     let path = settings.out_path("BENCH_study.json");
     let written = phase_bench::write_report_file(&path, &doc.render()).map(|()| path);
     phase_bench::announce_report(written, "BENCH_study.json");

@@ -13,16 +13,23 @@
 //! candidates.
 //!
 //! The store is a sharded in-memory map (16 shards per stage, `parking_lot`
-//! mutexes) with per-stage hit/miss counters and an optional on-disk JSON
-//! spill for the stages whose artifacts have a compact serialized form
-//! (typings, IPC profiles, isolated runtimes). Values are deterministic, so
-//! a racing double-compute under contention is harmless: both workers derive
-//! bit-identical artifacts and the first insert wins.
+//! mutexes) with per-stage hit/miss/insert/eviction counters and an optional
+//! on-disk JSON spill for the stages whose artifacts have a compact
+//! serialized form (typings, IPC profiles, isolated runtimes). Values are
+//! deterministic, so a racing double-compute under contention is harmless:
+//! both workers derive bit-identical artifacts and the first insert wins.
+//!
+//! A service-scale store cannot grow without bound: every artifact type
+//! reports its size through [`StoreFootprint`], and a store built with
+//! [`ArtifactStore::with_budget`] enforces a byte budget with sharded CLOCK
+//! eviction ([`ShardedClockCache`]). Admission is conservative — a new
+//! artifact is only retained once eviction has made room for it, so the
+//! resident footprint *never* exceeds the budget — and eviction never
+//! removes an entry some caller still borrows through its `Arc`.
 
 use std::collections::HashMap;
 use std::io;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -44,6 +51,12 @@ use crate::pipeline::{
 
 /// Number of shards per stage cache.
 const SHARDS: usize = 16;
+
+/// Upper bound on the fingerprint memo maps: each entry pins a program
+/// allocation via `Arc`, so the memos are cleared (re-hashing is cheap and
+/// deterministic) rather than allowed to grow with every catalogue a
+/// long-running service ever touches.
+const FP_MEMO_CAP: usize = 4096;
 
 /// A 128-bit content hash: the artifact key.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -358,71 +371,337 @@ pub struct CachedCell {
     pub online_stats: Option<OnlineStats>,
 }
 
-/// One stage's sharded map plus hit/miss counters.
-#[derive(Debug)]
-struct ShardedCache<V> {
-    shards: Vec<Mutex<HashMap<ContentHash, Arc<V>>>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
+/// Per-entry size accounting: how many bytes an artifact is charged against
+/// the store's budget. Estimates are fine — what matters is that the charge
+/// at admission equals the refund at eviction, which the accounting layer
+/// guarantees by computing the footprint exactly once per entry.
+pub trait StoreFootprint {
+    /// The entry's size in bytes (an estimate of retained memory).
+    fn footprint_bytes(&self) -> u64;
 }
 
-impl<V> Default for ShardedCache<V> {
+impl StoreFootprint for Vec<u8> {
+    fn footprint_bytes(&self) -> u64 {
+        self.len() as u64
+    }
+}
+
+fn program_footprint(program: &Program) -> u64 {
+    let stats = program.stats();
+    stats.instructions as u64 * 24 + stats.blocks as u64 * 48 + 128
+}
+
+impl StoreFootprint for Catalog {
+    fn footprint_bytes(&self) -> u64 {
+        self.benchmarks()
+            .iter()
+            .map(|b| program_footprint(b.program()) + b.name().len() as u64 + 256)
+            .sum()
+    }
+}
+
+impl StoreFootprint for IpcProfileArtifact {
+    fn footprint_bytes(&self) -> u64 {
+        (self.rows.len() * std::mem::size_of::<crate::pipeline::IpcProfileRow>()) as u64 + 32
+    }
+}
+
+impl StoreFootprint for BlockTyping {
+    fn footprint_bytes(&self) -> u64 {
+        self.iter().count() as u64 * 24 + 32
+    }
+}
+
+impl StoreFootprint for ProgramRegions {
+    fn footprint_bytes(&self) -> u64 {
+        self.values()
+            .map(|map| {
+                map.regions()
+                    .iter()
+                    .map(|r| 64 + r.blocks().len() as u64 * 4)
+                    .sum::<u64>()
+                    + 48
+            })
+            .sum()
+    }
+}
+
+impl StoreFootprint for InstrumentedProgram {
+    fn footprint_bytes(&self) -> u64 {
+        // The held `Arc<Program>` pins the whole program, so the twin is
+        // charged for it even though the catalogue artifact charges the same
+        // program: the budget deliberately over-counts shared allocations
+        // (an upper bound stays a bound; under-counting would let evicting
+        // the catalogue strand uncharged, pinned programs).
+        program_footprint(self.program()) + self.marks().len() as u64 * 96 + 64
+    }
+}
+
+impl StoreFootprint for HashMap<String, f64> {
+    fn footprint_bytes(&self) -> u64 {
+        self.keys().map(|name| name.len() as u64 + 48).sum::<u64>() + 32
+    }
+}
+
+impl StoreFootprint for CachedCell {
+    fn footprint_bytes(&self) -> u64 {
+        let result = &self.result;
+        result.label.len() as u64
+            + (result.records.len() * std::mem::size_of::<phase_sched::ProcessRecord>()) as u64
+            + result
+                .records
+                .iter()
+                .map(|r| r.name.len() as u64)
+                .sum::<u64>()
+            + result.throughput_windows.len() as u64 * 8
+            + result.core_busy_ns.len() as u64 * 8
+            + std::mem::size_of::<Option<TunerStats>>() as u64
+            + std::mem::size_of::<Option<OnlineStats>>() as u64
+            + 64
+    }
+}
+
+/// The byte budget of a bounded store: the limit plus the admission lock
+/// that serializes admissions and evictions, making "resident bytes never
+/// exceed the budget" a true invariant rather than an eventually-converged
+/// target. The guard *carries the running resident total*, so admission is
+/// O(1) per fit check and readers that take the guard can never observe a
+/// torn, over-budget sum mid-admission.
+#[derive(Debug)]
+pub struct StoreBudget {
+    max_bytes: u64,
+    /// Resident bytes across every stage; every mutation (admission,
+    /// eviction) happens while this lock is held.
+    resident: Mutex<u64>,
+}
+
+impl StoreBudget {
+    /// A budget of `max_bytes`.
+    pub fn new(max_bytes: u64) -> Self {
+        Self {
+            max_bytes,
+            resident: Mutex::new(0),
+        }
+    }
+
+    /// The byte limit.
+    pub fn max_bytes(&self) -> u64 {
+        self.max_bytes
+    }
+}
+
+/// One CLOCK slot: the artifact, its (cached) footprint, and the reference
+/// bit the sweep clears before it may evict.
+#[derive(Debug)]
+struct Slot<V> {
+    value: Arc<V>,
+    bytes: u64,
+    referenced: bool,
+}
+
+/// One shard's map, CLOCK ring, and counters. The counters live *inside*
+/// the shard lock, so any snapshot taken under the locks is consistent:
+/// `inserts - evictions == map.len()` holds exactly, never torn.
+#[derive(Debug)]
+struct ShardState<V> {
+    map: HashMap<ContentHash, Slot<V>>,
+    ring: Vec<ContentHash>,
+    hand: usize,
+    hits: u64,
+    misses: u64,
+    inserts: u64,
+    evictions: u64,
+    resident_bytes: u64,
+}
+
+impl<V> Default for ShardState<V> {
     fn default() -> Self {
         Self {
-            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
+            map: HashMap::new(),
+            ring: Vec::new(),
+            hand: 0,
+            hits: 0,
+            misses: 0,
+            inserts: 0,
+            evictions: 0,
+            resident_bytes: 0,
         }
     }
 }
 
-impl<V> ShardedCache<V> {
-    fn shard(&self, key: ContentHash) -> &Mutex<HashMap<ContentHash, Arc<V>>> {
+impl<V> ShardState<V> {
+    /// One CLOCK sweep over this shard, freeing at least `need` bytes if it
+    /// can. Referenced entries get their bit cleared (one pass of grace);
+    /// entries currently borrowed through an outside `Arc` are never
+    /// evicted. At most two full revolutions, so a fully-pinned shard cannot
+    /// livelock the sweep.
+    fn evict(&mut self, need: u64) -> u64 {
+        let mut freed = 0;
+        let mut scanned = 0;
+        let limit = self.ring.len() * 2;
+        while freed < need && !self.ring.is_empty() && scanned < limit {
+            if self.hand >= self.ring.len() {
+                self.hand = 0;
+            }
+            let key = self.ring[self.hand];
+            let slot = self.map.get_mut(&key).expect("ring tracks the map");
+            if slot.referenced {
+                slot.referenced = false;
+                self.hand += 1;
+            } else if Arc::strong_count(&slot.value) > 1 {
+                // Borrowed: some caller still holds the artifact.
+                self.hand += 1;
+            } else {
+                let slot = self.map.remove(&key).expect("checked above");
+                self.ring.swap_remove(self.hand);
+                self.resident_bytes -= slot.bytes;
+                self.evictions += 1;
+                freed += slot.bytes;
+            }
+            scanned += 1;
+        }
+        freed
+    }
+}
+
+/// One stage's sharded CLOCK cache: 16 shards, each an insertion ring with
+/// reference bits, per-shard counters, and footprint accounting. Eviction
+/// approximates LRU (CLOCK second-chance) and skips entries whose `Arc` is
+/// borrowed outside the cache; successive sweeps start at successive
+/// shards, so capacity pressure is spread across the shards instead of
+/// draining shard 0 first.
+#[derive(Debug)]
+pub struct ShardedClockCache<V> {
+    shards: Vec<Mutex<ShardState<V>>>,
+    sweep_start: std::sync::atomic::AtomicUsize,
+}
+
+impl<V> Default for ShardedClockCache<V> {
+    fn default() -> Self {
+        Self {
+            shards: (0..SHARDS)
+                .map(|_| Mutex::new(ShardState::default()))
+                .collect(),
+            sweep_start: std::sync::atomic::AtomicUsize::new(0),
+        }
+    }
+}
+
+/// Type-erased view of a stage used by the store's cross-stage eviction.
+trait EvictStage: Send + Sync {
+    fn evict_bytes(&self, need: u64) -> u64;
+    fn resident(&self) -> u64;
+}
+
+impl<V: Send + Sync> EvictStage for ShardedClockCache<V> {
+    fn evict_bytes(&self, need: u64) -> u64 {
+        self.evict(need)
+    }
+
+    fn resident(&self) -> u64 {
+        self.resident_bytes()
+    }
+}
+
+impl<V> ShardedClockCache<V> {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn shard(&self, key: ContentHash) -> &Mutex<ShardState<V>> {
         &self.shards[(key.lo as usize) % SHARDS]
     }
 
-    /// Returns the cached artifact for `key`, computing it outside the shard
-    /// lock on a miss. Under a racing double-miss both computations produce
-    /// the same deterministic value and the first insert wins.
-    fn get_or_insert_with(&self, key: ContentHash, compute: impl FnOnce() -> V) -> Arc<V> {
-        if let Some(found) = self.shard(key).lock().get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return Arc::clone(found);
-        }
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        let value = Arc::new(compute());
-        Arc::clone(
-            self.shard(key)
-                .lock()
-                .entry(key)
-                .or_insert_with(|| Arc::clone(&value)),
-        )
-    }
-
-    fn insert(&self, key: ContentHash, value: Arc<V>) {
-        self.shard(key).lock().entry(key).or_insert(value);
-    }
-
-    fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().len()).sum()
-    }
-
-    fn stats(&self) -> StageStats {
-        StageStats {
-            entries: self.len(),
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
+    /// Looks up `key`, counting a hit or a miss and setting the CLOCK
+    /// reference bit on a hit.
+    pub fn lookup(&self, key: ContentHash) -> Option<Arc<V>> {
+        let mut shard = self.shard(key).lock();
+        match shard.map.get_mut(&key) {
+            Some(slot) => {
+                slot.referenced = true;
+                let value = Arc::clone(&slot.value);
+                shard.hits += 1;
+                Some(value)
+            }
+            None => {
+                shard.misses += 1;
+                None
+            }
         }
     }
 
-    fn entries(&self) -> Vec<(ContentHash, Arc<V>)> {
+    /// Inserts `value` under `key`, charged at `bytes`. If a racing insert
+    /// got there first the resident entry wins and is returned; otherwise
+    /// the new entry is added with its reference bit set (one sweep of
+    /// grace, like a fresh hit).
+    fn admit_sized(&self, key: ContentHash, value: Arc<V>, bytes: u64) -> Arc<V> {
+        let mut shard = self.shard(key).lock();
+        match shard.map.entry(key) {
+            std::collections::hash_map::Entry::Occupied(entry) => Arc::clone(&entry.get().value),
+            std::collections::hash_map::Entry::Vacant(entry) => {
+                entry.insert(Slot {
+                    value: Arc::clone(&value),
+                    bytes,
+                    referenced: true,
+                });
+                shard.ring.push(key);
+                shard.inserts += 1;
+                shard.resident_bytes += bytes;
+                value
+            }
+        }
+    }
+
+    /// A CLOCK sweep across the shards freeing at least `need` bytes if any
+    /// unreferenced, unborrowed entries remain. Returns the bytes freed.
+    pub fn evict(&self, need: u64) -> u64 {
+        let start = self
+            .sweep_start
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let mut freed = 0;
+        for offset in 0..self.shards.len() {
+            if freed >= need {
+                break;
+            }
+            let shard = &self.shards[(start + offset) % self.shards.len()];
+            freed += shard.lock().evict(need - freed);
+        }
+        freed
+    }
+
+    /// Total bytes currently resident in this stage.
+    pub fn resident_bytes(&self) -> u64 {
+        self.shards.iter().map(|s| s.lock().resident_bytes).sum()
+    }
+
+    /// A consistent snapshot of this stage's counters: each shard's counters
+    /// are read under its lock, so `inserts - evictions == entries` and the
+    /// footprint sum hold exactly.
+    pub fn snapshot(&self) -> StageStats {
+        let mut stats = StageStats::default();
+        for shard in &self.shards {
+            let shard = shard.lock();
+            stats.entries += shard.map.len();
+            stats.hits += shard.hits;
+            stats.misses += shard.misses;
+            stats.inserts += shard.inserts;
+            stats.evictions += shard.evictions;
+            stats.resident_bytes += shard.resident_bytes;
+        }
+        stats
+    }
+
+    /// Every entry, sorted by key (deterministic; used by the spill).
+    pub fn entries(&self) -> Vec<(ContentHash, Arc<V>)> {
         let mut all: Vec<(ContentHash, Arc<V>)> = self
             .shards
             .iter()
             .flat_map(|s| {
                 s.lock()
+                    .map
                     .iter()
-                    .map(|(k, v)| (*k, Arc::clone(v)))
+                    .map(|(k, slot)| (*k, Arc::clone(&slot.value)))
                     .collect::<Vec<_>>()
             })
             .collect();
@@ -431,7 +710,28 @@ impl<V> ShardedCache<V> {
     }
 }
 
-/// Hit/miss/entry counters of one stage.
+impl<V: StoreFootprint> ShardedClockCache<V> {
+    /// Inserts `value` under `key` unbudgeted, charging its own footprint.
+    /// The resident entry wins if a racing insert got there first.
+    pub fn admit(&self, key: ContentHash, value: Arc<V>) -> Arc<V> {
+        let bytes = value.footprint_bytes();
+        self.admit_sized(key, value, bytes)
+    }
+
+    /// Returns the cached artifact for `key`, computing it outside the shard
+    /// lock on a miss (unbudgeted). Under a racing double-miss both
+    /// computations produce the same deterministic value and the first
+    /// insert wins.
+    pub fn get_or_insert_with(&self, key: ContentHash, compute: impl FnOnce() -> V) -> Arc<V> {
+        if let Some(found) = self.lookup(key) {
+            return found;
+        }
+        self.admit(key, Arc::new(compute()))
+    }
+}
+
+/// Counters of one stage: entries, lookups (hits + misses), admissions,
+/// evictions, and the resident footprint.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StageStats {
     /// Distinct artifacts held.
@@ -440,6 +740,19 @@ pub struct StageStats {
     pub hits: u64,
     /// Lookups that had to compute.
     pub misses: u64,
+    /// Artifacts admitted into the cache.
+    pub inserts: u64,
+    /// Artifacts evicted by the CLOCK sweep.
+    pub evictions: u64,
+    /// Bytes currently resident (footprint accounting).
+    pub resident_bytes: u64,
+}
+
+impl StageStats {
+    /// Total lookups (`hits + misses`).
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
 }
 
 /// A snapshot of every stage's counters.
@@ -460,6 +773,21 @@ impl StoreStats {
         self.stages.iter().map(|(_, s)| s.misses).sum()
     }
 
+    /// Total evictions across stages.
+    pub fn total_evictions(&self) -> u64 {
+        self.stages.iter().map(|(_, s)| s.evictions).sum()
+    }
+
+    /// Total resident bytes across stages.
+    pub fn resident_bytes(&self) -> u64 {
+        self.stages.iter().map(|(_, s)| s.resident_bytes).sum()
+    }
+
+    /// Total entries across stages.
+    pub fn total_entries(&self) -> usize {
+        self.stages.iter().map(|(_, s)| s.entries).sum()
+    }
+
     /// Counters for one stage by name.
     pub fn stage(&self, name: &str) -> Option<StageStats> {
         self.stages
@@ -468,10 +796,10 @@ impl StoreStats {
             .map(|(_, s)| *s)
     }
 
-    /// The change in hit/miss counters since `before` (entry counts stay
-    /// absolute — they describe the store, not the interval). This is what
-    /// lets one report attribute cache behavior to one study even when many
-    /// studies share a store.
+    /// The change in hit/miss/insert/eviction counters since `before`
+    /// (entry counts and resident bytes stay absolute — they describe the
+    /// store, not the interval). This is what lets one report attribute
+    /// cache behavior to one study even when many studies share a store.
     pub fn delta_since(&self, before: &StoreStats) -> StoreStats {
         StoreStats {
             stages: self
@@ -485,6 +813,9 @@ impl StoreStats {
                             entries: after.entries,
                             hits: after.hits.saturating_sub(prior.hits),
                             misses: after.misses.saturating_sub(prior.misses),
+                            inserts: after.inserts.saturating_sub(prior.inserts),
+                            evictions: after.evictions.saturating_sub(prior.evictions),
+                            resident_bytes: after.resident_bytes,
                         },
                     )
                 })
@@ -492,7 +823,8 @@ impl StoreStats {
         }
     }
 
-    /// The snapshot as a JSON object (stage → `{entries, hits, misses}`).
+    /// The snapshot as a JSON object (stage → `{entries, hits, misses,
+    /// inserts, evictions, resident_bytes}`).
     pub fn to_json(&self) -> JsonValue {
         let mut doc = JsonValue::object();
         for (name, stats) in &self.stages {
@@ -501,7 +833,10 @@ impl StoreStats {
                 JsonValue::object()
                     .field("entries", stats.entries)
                     .field("hits", stats.hits)
-                    .field("misses", stats.misses),
+                    .field("misses", stats.misses)
+                    .field("inserts", stats.inserts)
+                    .field("evictions", stats.evictions)
+                    .field("resident_bytes", stats.resident_bytes),
             );
         }
         doc
@@ -511,26 +846,152 @@ impl StoreStats {
 /// The content-addressed artifact store. See the module docs for the design.
 #[derive(Debug, Default)]
 pub struct ArtifactStore {
-    catalogs: ShardedCache<Catalog>,
-    profiles: ShardedCache<IpcProfileArtifact>,
-    typings: ShardedCache<BlockTyping>,
-    regions: ShardedCache<ProgramRegions>,
-    instrumented: ShardedCache<InstrumentedProgram>,
-    baselines: ShardedCache<InstrumentedProgram>,
-    isolated: ShardedCache<HashMap<String, f64>>,
-    cells: ShardedCache<CachedCell>,
+    catalogs: ShardedClockCache<Catalog>,
+    profiles: ShardedClockCache<IpcProfileArtifact>,
+    typings: ShardedClockCache<BlockTyping>,
+    regions: ShardedClockCache<ProgramRegions>,
+    instrumented: ShardedClockCache<InstrumentedProgram>,
+    baselines: ShardedClockCache<InstrumentedProgram>,
+    isolated: ShardedClockCache<HashMap<String, f64>>,
+    cells: ShardedClockCache<CachedCell>,
+    /// The optional byte budget. `None` (the default) grows without bound,
+    /// the legacy sweep-harness behaviour; a service-scale store sets it.
+    budget: Option<StoreBudget>,
     /// Program fingerprints memoized by allocation; the held `Arc` keeps the
     /// allocation alive so an address can never be reused for a different
-    /// program while the memo entry exists.
+    /// program while the memo entry exists. Because that `Arc` pins the
+    /// whole program, the memo is *bounded*: once it reaches
+    /// [`FP_MEMO_CAP`] entries it is cleared (dropping the pins) before the
+    /// next insert — a long-running service over rotating catalogues
+    /// re-hashes occasionally instead of leaking every program it ever saw.
     program_fps: Mutex<HashMap<usize, (Arc<Program>, ContentHash)>>,
-    /// Same memo for instrumented programs (used when hashing job slots).
+    /// Same memo (and the same bound) for instrumented programs, used when
+    /// hashing job slots.
     instrumented_fps: Mutex<HashMap<usize, (Arc<InstrumentedProgram>, ContentHash)>>,
 }
 
 impl ArtifactStore {
-    /// An empty store.
+    /// An empty, unbounded store.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty store bounded to `max_bytes` of resident artifacts. On
+    /// admission the store evicts (sharded CLOCK, borrowed entries skipped)
+    /// until the new artifact fits; an artifact that cannot be made to fit
+    /// is returned to the caller *uncached*, so the resident footprint never
+    /// exceeds the budget.
+    pub fn with_budget(max_bytes: u64) -> Self {
+        Self {
+            budget: Some(StoreBudget::new(max_bytes)),
+            ..Self::default()
+        }
+    }
+
+    /// The configured byte budget, if any.
+    pub fn budget_bytes(&self) -> Option<u64> {
+        self.budget.as_ref().map(StoreBudget::max_bytes)
+    }
+
+    /// Total bytes currently resident across every stage. On a bounded
+    /// store this reads the budget's running total under its lock — O(1),
+    /// and never a torn mid-admission sum; an unbounded store sums the
+    /// per-shard accounting.
+    pub fn resident_bytes(&self) -> u64 {
+        match &self.budget {
+            Some(budget) => *budget.resident.lock(),
+            None => self.resident_bytes_unguarded(),
+        }
+    }
+
+    /// The per-shard accounting sum (what the budget total mirrors).
+    fn resident_bytes_unguarded(&self) -> u64 {
+        self.stage_list().iter().map(|(_, s)| s.resident()).sum()
+    }
+
+    /// Every stage as a type-erased eviction target, in the order the
+    /// cross-stage sweep prefers victims: simulation cells first (largest,
+    /// cheapest to recompute relative to their size), compact analysis
+    /// artifacts last.
+    fn stage_list(&self) -> [(&'static str, &dyn EvictStage); 8] {
+        [
+            ("cells", &self.cells),
+            ("catalogs", &self.catalogs),
+            ("instrumented", &self.instrumented),
+            ("baselines", &self.baselines),
+            ("regions", &self.regions),
+            ("isolated_runtimes", &self.isolated),
+            ("ipc_profiles", &self.profiles),
+            ("typings", &self.typings),
+        ]
+    }
+
+    /// One cross-stage eviction round freeing at least `need` bytes if it
+    /// can. Stages are tried in [`ArtifactStore::stage_list`]'s fixed
+    /// preference order (cells and catalogues first) — no residency re-scan
+    /// per round, since every call already runs under the budget lock and
+    /// extra shard-lock round-trips there stall all other admissions.
+    /// Returns the bytes freed; `0` means every remaining entry is
+    /// referenced or borrowed.
+    fn evict_round(&self, need: u64) -> u64 {
+        let mut freed = 0;
+        for (_, stage) in self.stage_list() {
+            if freed >= need {
+                break;
+            }
+            freed += stage.evict_bytes(need - freed);
+        }
+        freed
+    }
+
+    /// Admits a freshly computed artifact, enforcing the budget when one is
+    /// configured. Admission is serialized by the budget's guard (which
+    /// carries the running resident total), evicts until the artifact fits,
+    /// and hands the artifact back *uncached* when room cannot be made
+    /// (oversized artifact, or everything else pinned) — so
+    /// `resident_bytes() <= budget` is an invariant, not a goal.
+    fn admit<V: StoreFootprint>(
+        &self,
+        cache: &ShardedClockCache<V>,
+        key: ContentHash,
+        value: Arc<V>,
+    ) -> Arc<V> {
+        let Some(budget) = &self.budget else {
+            return cache.admit(key, value);
+        };
+        let mut resident = budget.resident.lock();
+        // A racing admission may have inserted the key while we computed;
+        // the resident entry wins without any new accounting.
+        if let Some(found) = cache.shard(key).lock().map.get(&key) {
+            return Arc::clone(&found.value);
+        }
+        let bytes = value.footprint_bytes();
+        if bytes > budget.max_bytes {
+            return value;
+        }
+        while *resident + bytes > budget.max_bytes {
+            let freed = self.evict_round(*resident + bytes - budget.max_bytes);
+            if freed == 0 {
+                return value;
+            }
+            *resident -= freed;
+        }
+        *resident += bytes;
+        cache.admit_sized(key, value, bytes)
+    }
+
+    /// The budget-aware lookup-or-compute every stage accessor goes
+    /// through.
+    fn cached<V: StoreFootprint>(
+        &self,
+        cache: &ShardedClockCache<V>,
+        key: ContentHash,
+        compute: impl FnOnce() -> V,
+    ) -> Arc<V> {
+        if let Some(found) = cache.lookup(key) {
+            return found;
+        }
+        self.admit(cache, key, Arc::new(compute()))
     }
 
     /// The content fingerprint of a program (memoized per allocation).
@@ -548,9 +1009,11 @@ impl ArtifactStore {
         hasher.write_str(program.name());
         hasher.write_str(&program.to_listing());
         let hash = hasher.finish();
-        self.program_fps
-            .lock()
-            .insert(key, (Arc::clone(program), hash));
+        let mut memo = self.program_fps.lock();
+        if memo.len() >= FP_MEMO_CAP {
+            memo.clear();
+        }
+        memo.insert(key, (Arc::clone(program), hash));
         hash
     }
 
@@ -592,16 +1055,17 @@ impl ArtifactStore {
             }
         }
         let hash = hasher.finish();
-        self.instrumented_fps
-            .lock()
-            .insert(key, (Arc::clone(instrumented), hash));
+        let mut memo = self.instrumented_fps.lock();
+        if memo.len() >= FP_MEMO_CAP {
+            memo.clear();
+        }
+        memo.insert(key, (Arc::clone(instrumented), hash));
         hash
     }
 
     /// Stage 1 — catalogue generation.
     pub fn catalog(&self, spec: &CatalogSpec) -> Arc<Catalog> {
-        self.catalogs
-            .get_or_insert_with(spec.content_hash(), || spec.build())
+        self.cached(&self.catalogs, spec.content_hash(), || spec.build())
     }
 
     /// Stage 2 — per-block IPC profiling on the machine's fastest and slowest
@@ -617,7 +1081,7 @@ impl ArtifactStore {
         self.program_fingerprint(program).fingerprint(&mut hasher);
         machine.fingerprint(&mut hasher);
         hasher.write_usize(min_block_size);
-        self.profiles.get_or_insert_with(hasher.finish(), || {
+        self.cached(&self.profiles, hasher.finish(), || {
             profile_stage(program, machine, min_block_size)
         })
     }
@@ -640,7 +1104,7 @@ impl ArtifactStore {
         hasher.write_usize(min_block_size);
         hasher.write_f64(config.clustering_error);
         hasher.write_u64(config.error_seed);
-        self.typings.get_or_insert_with(hasher.finish(), || {
+        self.cached(&self.typings, hasher.finish(), || {
             let profiles = match config.typing {
                 TypingStrategy::ProfileGuided { .. } => {
                     Some(self.ipc_profiles(program, machine, min_block_size))
@@ -664,7 +1128,7 @@ impl ArtifactStore {
         self.program_fingerprint(program).fingerprint(&mut hasher);
         machine.fingerprint(&mut hasher);
         config.fingerprint(&mut hasher);
-        self.regions.get_or_insert_with(hasher.finish(), || {
+        self.cached(&self.regions, hasher.finish(), || {
             let typing = self.typing(program, machine, config);
             regions_stage(program, &typing, &config.marking)
         })
@@ -682,7 +1146,7 @@ impl ArtifactStore {
         self.program_fingerprint(program).fingerprint(&mut hasher);
         machine.fingerprint(&mut hasher);
         config.fingerprint(&mut hasher);
-        self.instrumented.get_or_insert_with(hasher.finish(), || {
+        self.cached(&self.instrumented, hasher.finish(), || {
             let regions = self.regions(program, machine, config);
             instrument_stage(program, &regions, &config.marking)
         })
@@ -695,8 +1159,9 @@ impl ArtifactStore {
         let mut hasher = StableHasher::new();
         hasher.write_str("baseline");
         self.program_fingerprint(program).fingerprint(&mut hasher);
-        self.baselines
-            .get_or_insert_with(hasher.finish(), || crate::pipeline::uninstrumented(program))
+        self.cached(&self.baselines, hasher.finish(), || {
+            crate::pipeline::uninstrumented(program)
+        })
     }
 
     /// Per-benchmark isolated runtimes for a catalogue on a machine
@@ -714,7 +1179,7 @@ impl ArtifactStore {
         catalog_spec.fingerprint(&mut hasher);
         machine.fingerprint(&mut hasher);
         sim.fingerprint(&mut hasher);
-        self.isolated.get_or_insert_with(hasher.finish(), compute)
+        self.cached(&self.isolated, hasher.finish(), compute)
     }
 
     /// The cache key of a simulation cell: machine, policy, sim parameters,
@@ -747,23 +1212,40 @@ impl ArtifactStore {
 
     /// Looks up or computes a whole simulation cell.
     pub fn cell(&self, key: ContentHash, compute: impl FnOnce() -> CachedCell) -> Arc<CachedCell> {
-        self.cells.get_or_insert_with(key, compute)
+        self.cached(&self.cells, key, compute)
     }
 
-    /// A snapshot of every stage's counters, in pipeline order.
-    pub fn stats(&self) -> StoreStats {
+    /// A consistent snapshot of every stage's counters, in pipeline order.
+    ///
+    /// Each stage's counters are read under its shard locks, so the
+    /// invariants `hits + misses == lookups` and
+    /// `inserts - evictions == entries` hold exactly in the returned value —
+    /// readers can never observe a torn combination (an insert counted but
+    /// its entry not yet visible, or vice versa). On a bounded store the
+    /// snapshot additionally holds the budget guard, so the cross-stage
+    /// resident sum is taken with no admission or eviction in flight and
+    /// can never exceed the budget. Both the study runner and the tuning
+    /// service report through this one method.
+    pub fn snapshot(&self) -> StoreStats {
+        let _guard = self.budget.as_ref().map(|b| b.resident.lock());
         StoreStats {
             stages: vec![
-                ("catalogs", self.catalogs.stats()),
-                ("ipc_profiles", self.profiles.stats()),
-                ("typings", self.typings.stats()),
-                ("regions", self.regions.stats()),
-                ("instrumented", self.instrumented.stats()),
-                ("baselines", self.baselines.stats()),
-                ("isolated_runtimes", self.isolated.stats()),
-                ("cells", self.cells.stats()),
+                ("catalogs", self.catalogs.snapshot()),
+                ("ipc_profiles", self.profiles.snapshot()),
+                ("typings", self.typings.snapshot()),
+                ("regions", self.regions.snapshot()),
+                ("instrumented", self.instrumented.snapshot()),
+                ("baselines", self.baselines.snapshot()),
+                ("isolated_runtimes", self.isolated.snapshot()),
+                ("cells", self.cells.snapshot()),
             ],
         }
+    }
+
+    /// Alias of [`ArtifactStore::snapshot`], kept for callers written
+    /// against the pre-eviction API.
+    pub fn stats(&self) -> StoreStats {
+        self.snapshot()
     }
 
     /// Spills the serializable stages to `dir` as deterministic JSON:
@@ -776,7 +1258,7 @@ impl ArtifactStore {
         std::fs::create_dir_all(dir)?;
         let mut written = Vec::new();
         let index_path = dir.join("index.json");
-        std::fs::write(&index_path, self.stats().to_json().render())?;
+        std::fs::write(&index_path, self.snapshot().to_json().render())?;
         written.push(index_path);
 
         let typings = JsonValue::Array(
@@ -859,7 +1341,9 @@ impl ArtifactStore {
 
     /// Reloads a directory written by [`ArtifactStore::spill_to_dir`],
     /// pre-warming the typing, IPC-profile, and isolated-runtime stages.
-    /// Returns the number of artifacts loaded.
+    /// Returns the number of artifacts parsed and *offered* to the store —
+    /// a bounded store admits them through the usual budget gate and may
+    /// decline some, so the count is an upper bound on what was retained.
     pub fn load_spill_dir(&self, dir: &Path) -> io::Result<usize> {
         let mut loaded = 0;
         let bad = |message: String| io::Error::new(io::ErrorKind::InvalidData, message);
@@ -906,7 +1390,7 @@ impl ArtifactStore {
                         PhaseType(field("type")? as u32),
                     );
                 }
-                self.typings.insert(key, Arc::new(typing));
+                self.admit(&self.typings, key, Arc::new(typing));
                 loaded += 1;
             }
         }
@@ -941,7 +1425,7 @@ impl ArtifactStore {
                         slow_ipc: field("slow_ipc")?,
                     });
                 }
-                self.profiles.insert(key, Arc::new(artifact));
+                self.admit(&self.profiles, key, Arc::new(artifact));
                 loaded += 1;
             }
         }
@@ -959,7 +1443,7 @@ impl ArtifactStore {
                         );
                     }
                 }
-                self.isolated.insert(key, Arc::new(runtimes));
+                self.admit(&self.isolated, key, Arc::new(runtimes));
                 loaded += 1;
             }
         }

@@ -51,7 +51,8 @@ mod report;
 mod study;
 
 pub use artifacts::{
-    ArtifactStore, CachedCell, ContentHash, Fingerprint, StableHasher, StageStats, StoreStats,
+    ArtifactStore, CachedCell, ContentHash, Fingerprint, ShardedClockCache, StableHasher,
+    StageStats, StoreBudget, StoreFootprint, StoreStats,
 };
 pub use driver::{
     cell_seed, CellResult, CellSpec, Driver, ExperimentPlan, PlanAggregate, PlanOutcome,

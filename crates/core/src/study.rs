@@ -72,7 +72,9 @@ impl MetricValue {
         }
     }
 
-    fn to_json(&self) -> JsonValue {
+    /// The value as a JSON node (shared by the report writer and the
+    /// tuning service's wire format, so the two can never diverge).
+    pub fn to_json(&self) -> JsonValue {
         match self {
             MetricValue::Int(v) => JsonValue::Int(*v),
             MetricValue::UInt(v) => JsonValue::UInt(*v),
@@ -322,7 +324,7 @@ pub fn policy_tag(policy: &Policy) -> String {
 /// Runs a study through the artifact store with `threads` driver workers.
 pub fn run_study(spec: &StudySpec, store: &ArtifactStore, threads: usize) -> StudyReport {
     let start = Instant::now();
-    let counters_before = store.stats();
+    let counters_before = store.snapshot();
     let rows = match &spec.mode {
         StudyMode::MarkStatsPerVariant {
             catalog,
@@ -366,7 +368,7 @@ pub fn run_study(spec: &StudySpec, store: &ArtifactStore, threads: usize) -> Stu
         rows,
         // Hit/miss counters attributable to THIS study even on a shared
         // store (entry counts stay absolute).
-        store: store.stats().delta_since(&counters_before),
+        store: store.snapshot().delta_since(&counters_before),
         elapsed_s: start.elapsed().as_secs_f64(),
     }
 }

@@ -1,0 +1,46 @@
+//! # phase-serve
+//!
+//! The long-running tuning service of the reproduction: the ROADMAP's
+//! "serve many tuning requests fast" path made concrete.
+//!
+//! A [`TuningService`] wraps an `Arc<`[`ArtifactStore`]`>` — usually a
+//! *bounded* store built with [`ArtifactStore::with_budget`] — and resolves
+//! [`TuningRequest`]s against it: a request names a workload catalogue, a
+//! machine, and a pipeline/tuner configuration, and the service answers with
+//! the rows of the corresponding study (per-benchmark isolation tuning,
+//! static mark statistics, or a baseline-versus-tuned comparison) in the
+//! unified `StudyReport` schema. Because every stage of the resolution runs
+//! through the content-addressed store, a repeated request is answered from
+//! cache — the *tune once, run anywhere* amortization the paper argues for,
+//! applied across requests instead of across sweep points.
+//!
+//! Three front ends share one resolution path:
+//!
+//! * **direct calls** — [`TuningService::handle`];
+//! * **an in-process channel** — [`ServiceHandle`] (clonable, thread-safe),
+//!   from [`TuningService::spawn`];
+//! * **newline-delimited JSON** — [`serve_lines`] over any reader/writer
+//!   pair (stdio, an in-memory transcript, a socket) and [`serve_tcp`] over
+//!   a `TcpListener`, both built on the dependency-free `phase_core::json`
+//!   document model. Malformed requests produce structured error responses;
+//!   they never kill the loop.
+//!
+//! A service restarted from a spill directory ([`ServiceConfig::warm_start`]
+//! / [`TuningService::spill_to_dir`]) reloads the store's compact artifacts
+//! and answers its first requests warm.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
+
+pub use phase_core::ArtifactStore;
+
+mod request;
+mod service;
+mod wire;
+
+pub use request::{
+    parse_request, RequestKind, ServeError, TuneSpec, TuningRequest, TuningResponse,
+};
+pub use service::{ServiceConfig, ServiceHandle, ServiceStats, TuningService};
+pub use wire::{serve_lines, serve_tcp, WireSummary};

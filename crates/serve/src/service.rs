@@ -1,0 +1,367 @@
+//! The service core: request resolution over a shared, bounded
+//! [`ArtifactStore`], plus the in-process channel front end.
+
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::mpsc;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use phase_core::json::JsonValue;
+use phase_core::{
+    run_study, ArtifactStore, ComparisonPoint, ExperimentConfig, StoreStats, StudyMode, StudySpec,
+};
+use phase_runtime::TunerConfig;
+use phase_sched::SimConfig;
+use phase_workload::CatalogKind;
+
+use crate::request::{RequestKind, ServeError, TuneSpec, TuningRequest, TuningResponse};
+
+/// How a [`TuningService`] is built.
+#[derive(Debug, Clone, Default)]
+pub struct ServiceConfig {
+    /// Driver worker threads each request's study fans its cells across
+    /// (`0` is clamped to 1).
+    pub threads: usize,
+    /// Byte budget for the artifact store; `None` grows without bound.
+    pub budget_bytes: Option<u64>,
+    /// Spill directory to warm-start from. A missing directory is a normal
+    /// cold start; a present-but-malformed one is an error.
+    pub warm_start: Option<PathBuf>,
+}
+
+impl ServiceConfig {
+    /// A config with the given worker count and no budget.
+    pub fn with_threads(threads: usize) -> Self {
+        Self {
+            threads,
+            ..Self::default()
+        }
+    }
+}
+
+/// The service's counters: request totals plus a consistent store snapshot.
+#[derive(Debug, Clone)]
+pub struct ServiceStats {
+    /// Requests handled (reports + stats + errors).
+    pub requests: u64,
+    /// Requests answered with a report.
+    pub reports: u64,
+    /// Requests answered with a structured error.
+    pub errors: u64,
+    /// Artifacts loaded at warm start.
+    pub warm_loaded: usize,
+    /// The store's byte budget, if bounded.
+    pub budget_bytes: Option<u64>,
+    /// Consistent per-stage store counters (from
+    /// [`ArtifactStore::snapshot`]).
+    pub store: StoreStats,
+}
+
+impl ServiceStats {
+    /// Total bytes resident in the store.
+    pub fn resident_bytes(&self) -> u64 {
+        self.store.resident_bytes()
+    }
+
+    /// Total store evictions.
+    pub fn evictions(&self) -> u64 {
+        self.store.total_evictions()
+    }
+
+    /// The stats as a JSON document.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::object()
+            .field("requests", self.requests)
+            .field("reports", self.reports)
+            .field("errors", self.errors)
+            .field("warm_loaded", self.warm_loaded)
+            .field(
+                "budget_bytes",
+                self.budget_bytes
+                    .map(JsonValue::from)
+                    .unwrap_or(JsonValue::Null),
+            )
+            .field("resident_bytes", self.resident_bytes())
+            .field("evictions", self.evictions())
+            .field("store", self.store.to_json())
+    }
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    requests: u64,
+    reports: u64,
+    errors: u64,
+}
+
+/// The long-running tuning service. See the crate docs for the front ends.
+#[derive(Debug)]
+pub struct TuningService {
+    store: Arc<ArtifactStore>,
+    threads: usize,
+    warm_loaded: usize,
+    counters: Mutex<Counters>,
+}
+
+impl TuningService {
+    /// Builds a service: a fresh store (bounded if the config names a
+    /// budget), optionally pre-warmed from a spill directory.
+    pub fn new(config: ServiceConfig) -> io::Result<Self> {
+        let store = match config.budget_bytes {
+            Some(bytes) => ArtifactStore::with_budget(bytes),
+            None => ArtifactStore::new(),
+        };
+        let mut warm_loaded = 0;
+        if let Some(dir) = &config.warm_start {
+            if dir.exists() {
+                warm_loaded = store.load_spill_dir(dir)?;
+            }
+        }
+        Ok(Self {
+            store: Arc::new(store),
+            threads: config.threads.max(1),
+            warm_loaded,
+            counters: Mutex::new(Counters::default()),
+        })
+    }
+
+    /// A service over an existing shared store.
+    pub fn with_store(store: Arc<ArtifactStore>, threads: usize) -> Self {
+        Self {
+            store,
+            threads: threads.max(1),
+            warm_loaded: 0,
+            counters: Mutex::new(Counters::default()),
+        }
+    }
+
+    /// The shared store behind the service.
+    pub fn store(&self) -> &Arc<ArtifactStore> {
+        &self.store
+    }
+
+    /// Handles one parsed request.
+    pub fn handle(&self, request: &TuningRequest) -> TuningResponse {
+        let response = self.resolve(request);
+        let mut counters = self.counters.lock();
+        counters.requests += 1;
+        match &response {
+            TuningResponse::Error { .. } => counters.errors += 1,
+            TuningResponse::Report { .. } => counters.reports += 1,
+            TuningResponse::Stats { .. } => {}
+        }
+        response
+    }
+
+    /// A counted structured error for input the parser never even sees
+    /// (e.g. a line that is not valid UTF-8).
+    pub(crate) fn respond_malformed(&self, message: &str) -> TuningResponse {
+        let mut counters = self.counters.lock();
+        counters.requests += 1;
+        counters.errors += 1;
+        TuningResponse::Error {
+            id: None,
+            error: ServeError {
+                code: "bad-json",
+                message: message.to_string(),
+            },
+        }
+    }
+
+    /// Parses and handles one request line (what the NDJSON front end calls
+    /// per line). Parse failures become structured error responses.
+    pub fn respond(&self, line: &str) -> TuningResponse {
+        match crate::request::parse_request(line) {
+            Ok(request) => self.handle(&request),
+            Err(error_response) => {
+                let mut counters = self.counters.lock();
+                counters.requests += 1;
+                counters.errors += 1;
+                *error_response
+            }
+        }
+    }
+
+    fn resolve(&self, request: &TuningRequest) -> TuningResponse {
+        let spec = match &request.kind {
+            RequestKind::Stats => {
+                return TuningResponse::Stats {
+                    id: request.id.clone(),
+                    stats: self.stats(),
+                }
+            }
+            kind => kind.spec().expect("non-stats kinds carry a spec"),
+        };
+        let study = match self.study_for(&request.kind, spec) {
+            Ok(study) => study,
+            Err(error) => {
+                return TuningResponse::Error {
+                    id: Some(request.id.clone()),
+                    error,
+                }
+            }
+        };
+        let report = run_study(&study, &self.store, self.threads);
+        TuningResponse::Report {
+            id: request.id.clone(),
+            kind: request.kind.name(),
+            spec_hash: request.spec_hash(),
+            report,
+        }
+    }
+
+    /// The study a request resolves to. The study name/title are derived
+    /// from the spec alone, so identical requests produce bit-identical
+    /// reports.
+    fn study_for(&self, kind: &RequestKind, spec: &TuneSpec) -> Result<StudySpec, ServeError> {
+        let catalog_label = format!(
+            "{}[scale={},seed={}]",
+            spec.catalog.kind.name(),
+            spec.catalog.scale,
+            spec.catalog.seed
+        );
+        match kind {
+            RequestKind::Isolation(_) => Ok(StudySpec {
+                name: "serve_isolation".into(),
+                title: format!(
+                    "isolation tuning — {catalog_label} / {} / {}",
+                    spec.machine_name, spec.pipeline.marking
+                ),
+                mode: StudyMode::Isolation {
+                    catalog: spec.catalog,
+                    machine: spec.machine.clone(),
+                    pipeline: spec.pipeline,
+                    tuner: TunerConfig {
+                        ipc_threshold: spec.ipc_threshold,
+                        ..TunerConfig::default()
+                    },
+                    sim: SimConfig::default(),
+                },
+            }),
+            RequestKind::Marks(_) => Ok(StudySpec {
+                name: "serve_marks".into(),
+                title: format!(
+                    "mark statistics — {catalog_label} / {} / {}",
+                    spec.machine_name, spec.pipeline.marking
+                ),
+                mode: StudyMode::MarkStatsPerBenchmark {
+                    catalog: spec.catalog,
+                    machine: spec.machine.clone(),
+                    pipeline: spec.pipeline,
+                },
+            }),
+            RequestKind::Comparison(_) => {
+                if spec.catalog.kind != CatalogKind::Standard {
+                    return Err(ServeError {
+                        code: "bad-request",
+                        message: format!(
+                            "comparison requests run the standard catalogue; got '{}'",
+                            spec.catalog.kind.name()
+                        ),
+                    });
+                }
+                if spec.catalog_seed_explicit {
+                    return Err(ServeError {
+                        code: "bad-request",
+                        message: "comparison requests derive their catalogue from \
+                                  workload_seed; leave catalog.seed unset"
+                            .to_string(),
+                    });
+                }
+                // The comparison catalogue really is keyed by workload_seed
+                // (one seed drives generation and queueing); the title says
+                // so rather than echoing the unused catalog default.
+                let comparison_label = format!(
+                    "standard[scale={},seed={}]",
+                    spec.catalog.scale, spec.workload_seed
+                );
+                Ok(StudySpec {
+                    name: "serve_comparison".into(),
+                    title: format!(
+                        "baseline vs. tuned — {comparison_label} / {} / {}",
+                        spec.machine_name, spec.pipeline.marking
+                    ),
+                    mode: StudyMode::Comparison {
+                        points: vec![ComparisonPoint {
+                            label: format!("{} slots={}", spec.pipeline.marking, spec.slots),
+                            config: ExperimentConfig {
+                                machine: spec.machine.clone(),
+                                pipeline: spec.pipeline,
+                                tuner: TunerConfig {
+                                    ipc_threshold: spec.ipc_threshold,
+                                    ..TunerConfig::default()
+                                },
+                                sim: SimConfig {
+                                    horizon_ns: Some(spec.horizon_ns),
+                                    ..SimConfig::default()
+                                },
+                                workload_slots: spec.slots,
+                                jobs_per_slot: spec.jobs_per_slot,
+                                workload_seed: spec.workload_seed,
+                                catalog_scale: spec.catalog.scale,
+                                threads: self.threads,
+                            },
+                        }],
+                    },
+                })
+            }
+            RequestKind::Stats => unreachable!("stats requests never reach study_for"),
+        }
+    }
+
+    /// The service counters plus a consistent store snapshot.
+    pub fn stats(&self) -> ServiceStats {
+        let counters = self.counters.lock();
+        ServiceStats {
+            requests: counters.requests,
+            reports: counters.reports,
+            errors: counters.errors,
+            warm_loaded: self.warm_loaded,
+            budget_bytes: self.store.budget_bytes(),
+            store: self.store.snapshot(),
+        }
+    }
+
+    /// Spills the store's serializable stages to `dir` (see
+    /// [`ArtifactStore::spill_to_dir`]); a service restarted with
+    /// [`ServiceConfig::warm_start`] pointing there answers warm.
+    pub fn spill_to_dir(&self, dir: &Path) -> io::Result<Vec<PathBuf>> {
+        self.store.spill_to_dir(dir)
+    }
+
+    /// Spawns a worker thread owning the service and returns a clonable
+    /// handle; the worker exits when every handle is dropped.
+    pub fn spawn(service: Arc<TuningService>) -> (ServiceHandle, std::thread::JoinHandle<()>) {
+        let (sender, receiver) = mpsc::channel::<Job>();
+        let worker = std::thread::spawn(move || {
+            while let Ok(job) = receiver.recv() {
+                let response = service.handle(&job.request);
+                // A dropped reply receiver just means the client gave up.
+                let _ = job.reply.send(response);
+            }
+        });
+        (ServiceHandle { sender }, worker)
+    }
+}
+
+struct Job {
+    request: TuningRequest,
+    reply: mpsc::Sender<TuningResponse>,
+}
+
+/// A clonable in-process client of a spawned [`TuningService`].
+#[derive(Clone)]
+pub struct ServiceHandle {
+    sender: mpsc::Sender<Job>,
+}
+
+impl ServiceHandle {
+    /// Sends a request and blocks for the response. `None` means the
+    /// service worker has shut down.
+    pub fn request(&self, request: TuningRequest) -> Option<TuningResponse> {
+        let (reply, receive) = mpsc::channel();
+        self.sender.send(Job { request, reply }).ok()?;
+        receive.recv().ok()
+    }
+}

@@ -1,0 +1,101 @@
+//! The newline-delimited-JSON front end: one request per line in, one
+//! response per line out, over any reader/writer pair or a TCP listener.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::TcpListener;
+use std::sync::Arc;
+
+use crate::service::TuningService;
+
+/// What one serving loop did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WireSummary {
+    /// Responses written (one per non-empty input line).
+    pub responses: u64,
+    /// How many of them were structured errors.
+    pub errors: u64,
+}
+
+/// Serves newline-delimited JSON requests from `reader`, writing one
+/// compact-JSON response line per request to `writer`. Empty lines are
+/// skipped; malformed lines — including lines that are not valid UTF-8 —
+/// produce structured error responses and the loop keeps serving. Returns
+/// when the reader reaches end of input (only a real I/O error is `Err`).
+pub fn serve_lines<R: BufRead, W: Write>(
+    service: &TuningService,
+    mut reader: R,
+    writer: &mut W,
+) -> io::Result<WireSummary> {
+    let mut summary = WireSummary::default();
+    let mut buffer = Vec::new();
+    loop {
+        buffer.clear();
+        // Raw bytes, not `lines()`: a non-UTF-8 byte must become a
+        // structured error response, never kill the serving loop.
+        if reader.read_until(b'\n', &mut buffer)? == 0 {
+            return Ok(summary);
+        }
+        let response = match std::str::from_utf8(&buffer) {
+            Ok(text) => {
+                let line = text.trim_end_matches(['\n', '\r']);
+                if line.trim().is_empty() {
+                    continue;
+                }
+                service.respond(line)
+            }
+            Err(_) => service.respond_malformed("request line is not valid UTF-8"),
+        };
+        if response.is_error() {
+            summary.errors += 1;
+        }
+        summary.responses += 1;
+        writer.write_all(response.to_json().render_compact().as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+    }
+}
+
+/// Serves NDJSON requests over TCP: one thread per connection, each running
+/// [`serve_lines`] until its peer closes. With `max_connections` the
+/// listener stops accepting after that many connections and the call
+/// returns once they all drain (useful for tests and bounded deployments);
+/// `None` accepts forever. Transient accept failures (a peer that resets
+/// before the handshake completes, a momentary descriptor shortage) are
+/// logged and skipped — a long-running listener must not die on them.
+pub fn serve_tcp(
+    service: &Arc<TuningService>,
+    listener: TcpListener,
+    max_connections: Option<usize>,
+) -> io::Result<()> {
+    std::thread::scope(|scope| {
+        let mut accepted = 0usize;
+        if max_connections == Some(0) {
+            return Ok(());
+        }
+        for stream in listener.incoming() {
+            let stream = match stream {
+                Ok(stream) => stream,
+                Err(error) => {
+                    // Back off briefly: a persistent error (e.g. descriptor
+                    // exhaustion) must not busy-spin the accept loop.
+                    eprintln!("phase-serve: accept failed, still listening: {error}");
+                    std::thread::sleep(std::time::Duration::from_millis(50));
+                    continue;
+                }
+            };
+            let service = Arc::clone(service);
+            scope.spawn(move || {
+                let Ok(read_half) = stream.try_clone() else {
+                    return;
+                };
+                let mut writer = stream;
+                let _ = serve_lines(&service, BufReader::new(read_half), &mut writer);
+            });
+            accepted += 1;
+            if max_connections.is_some_and(|max| accepted >= max) {
+                break;
+            }
+        }
+        Ok(())
+    })
+}

@@ -1,0 +1,159 @@
+//! Concurrency stress test for the tuning service: N client threads issue
+//! overlapping request mixes against one *bounded* store. Every response
+//! must be bit-identical to a single-threaded replay of the same request
+//! (responses carry only deterministic content, and every cached artifact is
+//! a pure function of its key), and the store's resident footprint must
+//! never exceed the configured byte budget — admission control makes that an
+//! invariant, so it is asserted after every single request.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use phase_serve::{ServiceConfig, TuningService};
+
+/// The overlapping request mix: repeated identical requests (cache hits),
+/// near-identical requests (upstream-stage sharing), and disjoint requests
+/// (capacity pressure).
+fn request_mix() -> Vec<String> {
+    let mut lines = Vec::new();
+    for seed in [7u64, 8] {
+        for marking in ["loop", "interval"] {
+            lines.push(format!(
+                "{{\"id\": \"m-{seed}-{marking}\", \"kind\": \"marks\", \
+                 \"catalog\": {{\"scale\": 0.04, \"seed\": {seed}}}, \
+                 \"marking\": {{\"granularity\": \"{marking}\", \"min_section_size\": 45}}}}"
+            ));
+        }
+        lines.push(format!(
+            "{{\"id\": \"i-{seed}\", \"kind\": \"isolation\", \
+             \"catalog\": {{\"scale\": 0.04, \"seed\": {seed}}}, \"ipc_threshold\": 0.2}}"
+        ));
+    }
+    lines.push(
+        "{\"id\": \"c-1\", \"kind\": \"comparison\", \
+         \"catalog\": {\"scale\": 0.04}, \"slots\": 4, \"jobs_per_slot\": 1, \
+         \"horizon_ns\": 2000000.0, \"workload_seed\": 11}"
+            .to_string(),
+    );
+    // Repeat the whole mix so every thread sees hot entries again after
+    // capacity pressure may have evicted them.
+    let mut all = lines.clone();
+    all.extend(lines);
+    all
+}
+
+/// The byte budget: small enough that a full mix cannot stay resident (so
+/// eviction runs), large enough that any single request's working set fits.
+const BUDGET_BYTES: u64 = 6 * 1024 * 1024;
+const CLIENT_THREADS: usize = 8;
+
+/// A single-threaded replay of the mix: the canonical response bytes per
+/// request line.
+fn serial_responses(lines: &[String]) -> HashMap<String, String> {
+    let service = TuningService::new(ServiceConfig {
+        threads: 1,
+        budget_bytes: Some(BUDGET_BYTES),
+        warm_start: None,
+    })
+    .expect("cold start");
+    let mut expected = HashMap::new();
+    for line in lines {
+        let bytes = service.respond(line).to_json().render_compact();
+        let previous = expected.insert(line.clone(), bytes.clone());
+        if let Some(previous) = previous {
+            assert_eq!(previous, bytes, "serial replay must itself be stable");
+        }
+    }
+    expected
+}
+
+#[test]
+fn overlapping_clients_match_serial_replay_and_respect_the_budget() {
+    let lines = request_mix();
+    let expected = serial_responses(&lines);
+
+    let service = Arc::new(
+        TuningService::new(ServiceConfig {
+            threads: 2,
+            budget_bytes: Some(BUDGET_BYTES),
+            warm_start: None,
+        })
+        .expect("cold start"),
+    );
+
+    std::thread::scope(|scope| {
+        for client in 0..CLIENT_THREADS {
+            let service = Arc::clone(&service);
+            let lines = &lines;
+            let expected = &expected;
+            scope.spawn(move || {
+                // Each client walks the mix from a different offset, so at
+                // any moment different requests overlap in flight.
+                for index in 0..lines.len() {
+                    let line = &lines[(index + client * 3) % lines.len()];
+                    let response = service.respond(line).to_json().render_compact();
+                    assert_eq!(
+                        &response,
+                        expected.get(line).expect("every line has a replay"),
+                        "client {client} diverged from the single-threaded replay on {line}"
+                    );
+                    let resident = service.store().resident_bytes();
+                    assert!(
+                        resident <= BUDGET_BYTES,
+                        "budget exceeded: {resident} > {BUDGET_BYTES}"
+                    );
+                }
+            });
+        }
+    });
+
+    let stats = service.stats();
+    assert_eq!(
+        stats.requests as usize,
+        CLIENT_THREADS * lines.len(),
+        "every request was counted"
+    );
+    assert_eq!(stats.errors, 0, "the mix contains no malformed requests");
+    assert!(
+        stats.resident_bytes() <= BUDGET_BYTES,
+        "final footprint within budget"
+    );
+    // The mix is larger than the budget, so the CLOCK sweep must have run.
+    assert!(
+        stats.evictions() > 0,
+        "expected capacity pressure to evict: {:?}",
+        stats.store
+    );
+    // Counter balance across every stage, read from one consistent snapshot.
+    for (name, stage) in &stats.store.stages {
+        assert_eq!(
+            stage.inserts - stage.evictions,
+            stage.entries as u64,
+            "stage {name}: inserts - evictions == live entries"
+        );
+    }
+}
+
+#[test]
+fn unbounded_and_bounded_services_agree() {
+    // Eviction and admission rejection may force recomputation, but never a
+    // different answer: a tightly bounded service and an unbounded one must
+    // produce identical bytes for the same requests.
+    let lines = request_mix();
+    let unbounded = TuningService::new(ServiceConfig::with_threads(2)).expect("cold start");
+    let bounded = TuningService::new(ServiceConfig {
+        threads: 2,
+        budget_bytes: Some(BUDGET_BYTES / 8),
+        warm_start: None,
+    })
+    .expect("cold start");
+    for line in lines.iter().take(6) {
+        assert_eq!(
+            unbounded.respond(line).to_json().render_compact(),
+            bounded.respond(line).to_json().render_compact(),
+            "a tiny budget changed the answer for {line}"
+        );
+        let resident = bounded.store().resident_bytes();
+        assert!(resident <= BUDGET_BYTES / 8, "tiny budget exceeded");
+    }
+}
