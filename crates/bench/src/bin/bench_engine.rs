@@ -1,227 +1,61 @@
-//! Engine/driver baseline: wall-clock comparison of the round-based and
-//! event-driven engines (on the Figure 4 workload and on a bursty-arrival
-//! workload) and of the sequential versus parallel experiment driver (on the
-//! Table 1 isolation plan). Writes the numbers to `BENCH_engine.json` for CI
-//! trend tracking.
+//! Engine/driver baseline and continuous perf gate: wall-clock sims/sec of
+//! the round-based and event-driven engines (on the Figure 4 workload and on
+//! a bursty-arrival workload) and of the experiment driver at 1 and 4
+//! workers (on the Table 1 isolation plan). A thin spec over the shared
+//! study runner — the measurement itself is `StudyMode::EnginePerf` and the
+//! report is the unified `StudyReport` schema written to `BENCH_engine.json`.
 //!
-//! Two optional environment variables record an *external* binary-level
-//! comparison against the pre-refactor sequential seed path (measured by
-//! timing `table1_switches --quick` built from the previous commit and from
-//! the current tree, e.g. via `git worktree`):
-//!
-//! * `PHASE_BENCH_TABLE1_SEED_S` — seed binary wall-clock in seconds;
-//! * `PHASE_BENCH_TABLE1_NEW_S` — current binary wall-clock in seconds.
-//!
-//! When both are set, `table1_quick_speedup_vs_seed` is included in the JSON.
+//! Run with `--perf` (or `PHASE_BENCH_PERF=1`) for the pinned profile the
+//! perf gate compares across runs. When `PHASE_BENCH_BASELINE` names a
+//! committed `BENCH_engine.json`, the run exits nonzero if any shared row's
+//! `sims_per_sec` lands more than 20% below the baseline.
 
-use std::sync::Arc;
-use std::time::Instant;
+use phase_bench::{announce_report, init, perf_regressions, studies, write_study_report};
+use phase_core::{json, run_study, ArtifactStore};
 
-use phase_amp::MachineSpec;
-use phase_bench::{experiment_config, init};
-use phase_core::{
-    baseline_catalog, build_slots, prepare_program, run_with_hook, CellSpec, Driver,
-    ExperimentPlan, JsonValue, PipelineConfig, Policy, TextTable,
-};
-use phase_marking::MarkingConfig;
-use phase_runtime::TunerConfig;
-use phase_sched::{EngineKind, NullHook, SimConfig, SimResult};
-use phase_workload::{Catalog, Workload};
-
-/// Smallest wall-clock of `samples` runs, in seconds.
-fn time_best<F: FnMut() -> SimResult>(samples: usize, mut run: F) -> (f64, SimResult) {
-    let mut best = f64::INFINITY;
-    let mut last = None;
-    for _ in 0..samples {
-        let start = Instant::now();
-        let result = run();
-        best = best.min(start.elapsed().as_secs_f64());
-        last = Some(result);
-    }
-    (best, last.expect("at least one sample"))
-}
+/// Relative sims/sec slack before the gate fails; generous because CI
+/// machines are noisy, tight enough to catch a real hot-path regression.
+const BASELINE_TOLERANCE: f64 = 0.20;
 
 fn main() {
     let settings = init(
         "Engine + driver baseline (BENCH_engine.json)",
-        "Round-based vs. event-driven engine on the fig4 workload and a bursty workload,\n\
-         and sequential vs. --threads=4 driver on the table1 isolation plan.",
+        "Round-based vs. event-driven engine sims/sec on the fig4 and bursty workloads,\n\
+         and driver scaling at --threads=1 vs. 4 on the table1 isolation plan.",
     );
+    let spec = studies::engine(&settings);
+    let store = ArtifactStore::new();
+    let report = run_study(&spec, &store, settings.threads.max(1));
+    print!("{}", studies::render(&report));
+    let written = write_study_report(&report, &settings);
+    announce_report(written, "BENCH_engine.json");
 
-    let quick = phase_bench::quick_mode();
-    let samples = if quick { 3 } else { 5 };
-    let machine = MachineSpec::core2_quad_amp();
-    let sim = experiment_config(MarkingConfig::paper_best()).sim;
-
-    // --- Engine comparison on the Figure 4 workload (dense queues). ---
-    let scale = if quick { 0.1 } else { 0.5 };
-    let slots = phase_bench::env_or("PHASE_BENCH_SLOTS", if quick { 18 } else { 84 });
-    let catalog = Catalog::standard(scale, 7);
-    let plain = baseline_catalog(&catalog);
-    let fig4_workload = Workload::random(&catalog, slots, 1, 84);
-    let fig4_slots = build_slots(&fig4_workload, &catalog, &plain);
-    let engine_run =
-        |engine: EngineKind, job_slots: &Vec<Vec<phase_sched::JobSpec>>, horizon: Option<f64>| {
-            let config = SimConfig {
-                engine,
-                horizon_ns: horizon,
-                ..sim
-            };
-            run_with_hook(
-                "engine-bench",
-                machine.clone(),
-                job_slots.clone(),
-                NullHook,
-                config,
-            )
+    if let Ok(path) = std::env::var("PHASE_BENCH_BASELINE") {
+        let contents = match std::fs::read_to_string(&path) {
+            Ok(contents) => contents,
+            Err(error) => {
+                eprintln!("perf gate: cannot read baseline {path}: {error}");
+                std::process::exit(1);
+            }
         };
-    let (fig4_round_s, fig4_round) = time_best(samples, || {
-        engine_run(EngineKind::RoundBased, &fig4_slots, sim.horizon_ns)
-    });
-    let (fig4_event_s, fig4_event) = time_best(samples, || {
-        engine_run(EngineKind::EventDriven, &fig4_slots, sim.horizon_ns)
-    });
-    assert_eq!(
-        fig4_round.total_instructions, fig4_event.total_instructions,
-        "engines must agree on the fig4 workload"
-    );
-
-    // --- Engine comparison on a bursty workload (long idle gaps between
-    // waves: the event engine's best case). ---
-    let bursty_workload = Workload::bursty(&catalog, slots.min(12), 1, 4, 50_000_000.0, 21);
-    let bursty_slots = build_slots(&bursty_workload, &catalog, &plain);
-    let (bursty_round_s, bursty_round) = time_best(samples, || {
-        engine_run(EngineKind::RoundBased, &bursty_slots, None)
-    });
-    let (bursty_event_s, bursty_event) = time_best(samples, || {
-        engine_run(EngineKind::EventDriven, &bursty_slots, None)
-    });
-    assert_eq!(
-        bursty_round.total_instructions, bursty_event.total_instructions,
-        "engines must agree on the bursty workload"
-    );
-
-    // --- Driver comparison on the Table 1 isolation plan. ---
-    let table1_scale = if quick { 0.2 } else { 1.0 };
-    let table1_catalog = Catalog::standard(table1_scale, 7);
-    let pipeline = PipelineConfig::with_marking(MarkingConfig::paper_best());
-    let table1_plan = || {
-        let mut plan = ExperimentPlan::new();
-        for bench in table1_catalog.benchmarks() {
-            let instrumented = Arc::new(prepare_program(bench.program(), &machine, &pipeline));
-            plan.push(CellSpec::isolation(
-                bench.name(),
-                instrumented,
-                machine.clone(),
-                Policy::Tuned(TunerConfig::paper_table1()),
-                SimConfig::default(),
-            ));
-        }
-        plan
-    };
-    // `time_setup = false` times the plan run alone; `true` also times the
-    // instrumentation, the closest in-process equivalent of timing the whole
-    // `table1_switches --quick` binary.
-    let time_table1 = |threads: usize, time_setup: bool| {
-        let mut best = f64::INFINITY;
-        for _ in 0..samples {
-            let premade = (!time_setup).then(&table1_plan);
-            let start = Instant::now();
-            let outcome = Driver::new(threads).run(premade.unwrap_or_else(&table1_plan));
-            best = best.min(start.elapsed().as_secs_f64());
-            assert_eq!(outcome.aggregate.cells_completed, table1_catalog.len());
-        }
-        best
-    };
-    let table1_seq_s = time_table1(1, false);
-    let table1_par_s = time_table1(4, false);
-    let table1_e2e_seq_s = time_table1(1, true);
-    let table1_e2e_par_s = time_table1(4, true);
-
-    let mut table = TextTable::new(vec!["Measurement", "Seconds", "Speedup"]);
-    table.add_row(vec![
-        "fig4 round-based".into(),
-        format!("{fig4_round_s:.4}"),
-        String::new(),
-    ]);
-    table.add_row(vec![
-        "fig4 event-driven".into(),
-        format!("{fig4_event_s:.4}"),
-        format!("{:.2}x", fig4_round_s / fig4_event_s),
-    ]);
-    table.add_row(vec![
-        "bursty round-based".into(),
-        format!("{bursty_round_s:.4}"),
-        String::new(),
-    ]);
-    table.add_row(vec![
-        "bursty event-driven".into(),
-        format!("{bursty_event_s:.4}"),
-        format!("{:.2}x", bursty_round_s / bursty_event_s),
-    ]);
-    table.add_row(vec![
-        "table1 driver --threads=1".into(),
-        format!("{table1_seq_s:.4}"),
-        String::new(),
-    ]);
-    table.add_row(vec![
-        "table1 driver --threads=4".into(),
-        format!("{table1_par_s:.4}"),
-        format!("{:.2}x", table1_seq_s / table1_par_s),
-    ]);
-    table.add_row(vec![
-        "table1 e2e --threads=1".into(),
-        format!("{table1_e2e_seq_s:.4}"),
-        String::new(),
-    ]);
-    table.add_row(vec![
-        "table1 e2e --threads=4".into(),
-        format!("{table1_e2e_par_s:.4}"),
-        format!("{:.2}x", table1_e2e_seq_s / table1_e2e_par_s),
-    ]);
-    println!("{}", table.render());
-
-    let seed_binary_s: Option<f64> = std::env::var("PHASE_BENCH_TABLE1_SEED_S")
-        .ok()
-        .and_then(|v| v.parse().ok());
-    let new_binary_s: Option<f64> = std::env::var("PHASE_BENCH_TABLE1_NEW_S")
-        .ok()
-        .and_then(|v| v.parse().ok());
-
-    let mut doc = JsonValue::object()
-        .field("quick", quick)
-        .field("samples", samples)
-        .field("fig4_round_based_s", fig4_round_s)
-        .field("fig4_event_driven_s", fig4_event_s)
-        .field("fig4_engine_speedup", fig4_round_s / fig4_event_s)
-        .field("bursty_round_based_s", bursty_round_s)
-        .field("bursty_event_driven_s", bursty_event_s)
-        .field("bursty_engine_speedup", bursty_round_s / bursty_event_s)
-        .field("table1_threads1_s", table1_seq_s)
-        .field("table1_threads4_s", table1_par_s)
-        .field("table1_parallel_speedup", table1_seq_s / table1_par_s)
-        .field("table1_e2e_threads1_s", table1_e2e_seq_s)
-        .field("table1_e2e_threads4_s", table1_e2e_par_s)
-        .field(
-            "table1_e2e_parallel_speedup",
-            table1_e2e_seq_s / table1_e2e_par_s,
-        );
-    if let (Some(seed), Some(new)) = (seed_binary_s, new_binary_s) {
-        if new > 0.0 {
+        let baseline = match json::parse(&contents) {
+            Ok(baseline) => baseline,
+            Err(error) => {
+                eprintln!("perf gate: baseline {path} is not valid JSON: {error:?}");
+                std::process::exit(1);
+            }
+        };
+        let regressions = perf_regressions(&report.to_json(), &baseline, BASELINE_TOLERANCE);
+        if regressions.is_empty() {
             println!(
-                "external binary comparison: seed {seed:.3}s -> current {new:.3}s \
-                 ({:.2}x, table1_switches --quick)",
-                seed / new
+                "perf gate: OK vs {path} (tolerance {:.0}%)",
+                BASELINE_TOLERANCE * 100.0
             );
-            doc = doc
-                .field("table1_quick_seed_binary_s", seed)
-                .field("table1_quick_binary_s", new)
-                .field("table1_quick_speedup_vs_seed", seed / new);
+        } else {
+            for regression in &regressions {
+                eprintln!("perf regression: {regression}");
+            }
+            std::process::exit(1);
         }
     }
-    let json = doc.render();
-    let path = settings.out_path("BENCH_engine.json");
-    let written = phase_bench::write_report_file(&path, &json).map(|()| path);
-    phase_bench::announce_report(written, "BENCH_engine.json");
-    print!("{json}");
 }

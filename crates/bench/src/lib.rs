@@ -42,6 +42,9 @@
 //!   threads);
 //! * `PHASE_BENCH_QUICK` — when set, shrinks the catalogue and horizons so a
 //!   full regeneration finishes in seconds (used by CI-style smoke runs);
+//! * `PHASE_BENCH_PERF` — when set, pins `bench_engine`'s scale, slots,
+//!   seeds and sample count (the sims/sec perf-gate profile; overrides
+//!   quick/slots);
 //! * `PHASE_BENCH_OUT_DIR` — where `BENCH_*.json` reports are written
 //!   (default: the current directory);
 //! * `PHASE_BENCH_INTERVAL` — restricts the online sampling-interval sweep
@@ -111,6 +114,17 @@ pub fn quick_mode() -> bool {
         .unwrap_or(false)
 }
 
+/// Whether the pinned performance profile is enabled (`PHASE_BENCH_PERF` set
+/// to anything but `0`, or the `--perf` flag). Perf runs pin the scale, slot
+/// count, seeds and sample count so `BENCH_engine.json` sims/sec numbers are
+/// comparable across runs and against the checked-in baseline; the profile
+/// overrides `--quick` and `--slots`.
+pub fn perf_mode() -> bool {
+    std::env::var("PHASE_BENCH_PERF")
+        .map(|v| v != "0")
+        .unwrap_or(false)
+}
+
 /// The workload size used by the throughput/fairness experiments, honouring
 /// `PHASE_BENCH_SLOTS`.
 pub fn workload_slots() -> usize {
@@ -154,6 +168,10 @@ pub fn out_dir() -> Option<PathBuf> {
 pub struct BenchSettings {
     /// Reduced catalogue and horizon (`--quick` / `PHASE_BENCH_QUICK`).
     pub quick: bool,
+    /// Pinned performance profile (`--perf` / `PHASE_BENCH_PERF`): fixed
+    /// scale, slots, seeds and samples for comparable sims/sec numbers;
+    /// overrides `quick` and `slots` where the two conflict.
+    pub perf: bool,
     /// Workload-size override (`--slots=N` / `PHASE_BENCH_SLOTS`); `None`
     /// uses each study's own default.
     pub slots: Option<usize>,
@@ -173,6 +191,7 @@ impl BenchSettings {
     pub fn from_env() -> Self {
         Self {
             quick: quick_mode(),
+            perf: perf_mode(),
             slots: match env_parse("PHASE_BENCH_SLOTS") {
                 EnvParse::Parsed(slots) => Some(slots),
                 EnvParse::Unset => None,
@@ -193,6 +212,7 @@ impl BenchSettings {
     pub fn for_tests(slots: usize) -> Self {
         Self {
             quick: true,
+            perf: false,
             slots: Some(slots),
             threads: 2,
             interval_override_ns: None,
@@ -210,6 +230,7 @@ impl BenchSettings {
     pub fn meta_json(&self) -> Vec<(&'static str, JsonValue)> {
         vec![
             ("quick", JsonValue::Bool(self.quick)),
+            ("perf", JsonValue::Bool(self.perf)),
             (
                 "slots",
                 self.slots.map(JsonValue::from).unwrap_or(JsonValue::Null),
@@ -275,6 +296,50 @@ pub fn announce_report(result: std::io::Result<PathBuf>, what: &str) {
     }
 }
 
+/// Compares a freshly produced engine report against a committed baseline
+/// document at the given relative tolerance, returning one message per
+/// regression (empty means the gate passes).
+///
+/// Rows are matched by `label`; `sims_per_sec` is the gated metric, and a
+/// regression is a current value more than `tolerance` below the baseline.
+/// Labels present on only one side are ignored, so adding a workload (or
+/// retiring one) never fails the gate by itself — only slowing down a
+/// measurement both documents share does. Faster-than-baseline rows always
+/// pass; refreshing the committed baseline after a real improvement is a
+/// deliberate, separate commit.
+pub fn perf_regressions(current: &JsonValue, baseline: &JsonValue, tolerance: f64) -> Vec<String> {
+    fn rows(doc: &JsonValue) -> Vec<(String, f64)> {
+        doc.get("rows")
+            .and_then(JsonValue::as_array)
+            .map(|rows| {
+                rows.iter()
+                    .filter_map(|row| {
+                        Some((
+                            row.get("label")?.as_str()?.to_string(),
+                            row.get("sims_per_sec")?.as_f64()?,
+                        ))
+                    })
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+    let current = rows(current);
+    rows(baseline)
+        .into_iter()
+        .filter_map(|(label, base)| {
+            let (_, now) = current.iter().find(|(l, _)| *l == label)?;
+            (base > 0.0 && *now < base * (1.0 - tolerance)).then(|| {
+                format!(
+                    "{label}: sims/sec {now:.3} is {:.1}% below the baseline {base:.3} \
+                     (tolerance {:.0}%)",
+                    (1.0 - now / base) * 100.0,
+                    tolerance * 100.0
+                )
+            })
+        })
+        .collect()
+}
+
 /// The whole body of a standard study binary: parse the command line, build
 /// the spec, run it through a fresh artifact store, print the rendered
 /// tables, and write the `BENCH_<study>.json` report.
@@ -333,6 +398,9 @@ pub fn overhead_variants() -> Vec<MarkingConfig> {
 /// * `--help` / `-h` — print the artifact description and flags, then exit;
 /// * `--quick` / `-q` — same as setting `PHASE_BENCH_QUICK=1`: shrink the
 ///   catalogue and simulation horizon so the run finishes in seconds;
+/// * `--perf` — same as setting `PHASE_BENCH_PERF=1`: the pinned performance
+///   profile (fixed scale, slots, seeds and samples) used by the sims/sec
+///   perf gate; overrides `--quick` and `--slots` where they conflict;
 /// * `--slots=N` — same as `PHASE_BENCH_SLOTS=N`: the workload size used by
 ///   the throughput/fairness experiments;
 /// * `--threads=N` — same as `PHASE_BENCH_THREADS=N`: how many worker
@@ -355,8 +423,15 @@ pub fn init(artifact: &str, description: &str) -> BenchSettings {
                 println!("{artifact}");
                 println!("{description}");
                 println!();
-                println!("USAGE: [--quick] [--slots=N] [--threads=N] [--interval=N] [--out=PATH]");
+                println!(
+                    "USAGE: [--quick] [--perf] [--slots=N] [--threads=N] [--interval=N] \
+                     [--out=PATH]"
+                );
                 println!("  --quick, -q   reduced catalogue/horizon (env: PHASE_BENCH_QUICK=1)");
+                println!(
+                    "  --perf        pinned scale/seed perf profile for sims/sec gating \
+                     (env: PHASE_BENCH_PERF=1)"
+                );
                 println!(
                     "  --slots=N     workload size (env: PHASE_BENCH_SLOTS; \
                      default varies per artifact)"
@@ -376,6 +451,7 @@ pub fn init(artifact: &str, description: &str) -> BenchSettings {
                 std::process::exit(0);
             }
             "--quick" | "-q" => std::env::set_var("PHASE_BENCH_QUICK", "1"),
+            "--perf" => std::env::set_var("PHASE_BENCH_PERF", "1"),
             other => {
                 if let Some(n) = other.strip_prefix("--slots=") {
                     match n.parse::<usize>() {
@@ -496,6 +572,32 @@ mod tests {
     #[test]
     fn overhead_variants_match_table2() {
         assert_eq!(overhead_variants().len(), 18);
+    }
+
+    #[test]
+    fn perf_regressions_gate_on_sims_per_sec_by_label() {
+        let doc = |fig4: f64, bursty: f64| {
+            phase_core::json::parse(&format!(
+                r#"{{"rows": [
+                    {{"label": "fig4/event", "sims_per_sec": {fig4}}},
+                    {{"label": "bursty/event", "sims_per_sec": {bursty}}}
+                ]}}"#
+            ))
+            .expect("valid test document")
+        };
+        // Equal, faster, and within-tolerance rows all pass.
+        assert!(perf_regressions(&doc(10.0, 5.0), &doc(10.0, 5.0), 0.20).is_empty());
+        assert!(perf_regressions(&doc(12.0, 4.1), &doc(10.0, 5.0), 0.20).is_empty());
+        // A row more than 20% below the baseline fails, naming the label.
+        let regressions = perf_regressions(&doc(7.0, 5.0), &doc(10.0, 5.0), 0.20);
+        assert_eq!(regressions.len(), 1);
+        assert!(regressions[0].contains("fig4/event"), "{regressions:?}");
+        // Labels on only one side never fail the gate.
+        let extra =
+            phase_core::json::parse(r#"{"rows": [{"label": "new/event", "sims_per_sec": 1.0}]}"#)
+                .unwrap();
+        assert!(perf_regressions(&extra, &doc(10.0, 5.0), 0.20).is_empty());
+        assert!(perf_regressions(&doc(10.0, 5.0), &extra, 0.20).is_empty());
     }
 
     #[test]

@@ -16,8 +16,8 @@
 
 use phase_amp::{CoreId, CostModel, MachineSpec};
 use phase_core::{
-    format_duration_ns, ComparisonPoint, FamilySpec, Policy, StudyMode, StudyReport, StudyRow,
-    StudySpec, TextTable,
+    format_duration_ns, ComparisonPoint, FamilySpec, MetricValue, PerfWorkload, Policy, StudyMode,
+    StudyReport, StudyRow, StudySpec, TextTable,
 };
 use phase_marking::{MarkingConfig, MARK_SIZE_BYTES};
 use phase_metrics::SummaryStats;
@@ -78,8 +78,95 @@ pub fn render(report: &StudyReport) -> String {
         "table_mark_stats" => render_table_mark_stats(report),
         "three_core" => render_exp_three_core(report),
         "online" => render_online(report),
+        "engine" => render_engine(report),
         other => panic!("no renderer for study '{other}'"),
     }
+}
+
+// --- Engine perf gate: BENCH_engine.json. ---
+
+/// The engine/driver wall-clock study behind `bench_engine` and the CI
+/// sims/sec perf gate: both engines on the fig4 and bursty workloads, then
+/// the driver on the Table 1 isolation plan at 1 and 4 workers.
+///
+/// Under `--perf` every knob is pinned (scale 0.5, 84 slots, catalogue seed
+/// 7, workload seeds 84/21, 5 samples) regardless of `--quick`/`--slots`, so
+/// sims/sec is comparable run-to-run and against the committed baseline.
+pub fn engine(settings: &BenchSettings) -> StudySpec {
+    let pinned;
+    let settings = if settings.perf {
+        pinned = BenchSettings {
+            quick: false,
+            slots: Some(84),
+            ..settings.clone()
+        };
+        &pinned
+    } else {
+        settings
+    };
+    let quick = settings.quick;
+    let scale = if quick { 0.1 } else { 0.5 };
+    let slots = settings.slots_or(if quick { 18 } else { 84 });
+    let sim = experiment_config_with(settings, MarkingConfig::paper_best()).sim;
+    StudySpec {
+        name: "engine".into(),
+        title: "Engine + driver baseline (BENCH_engine.json)".into(),
+        mode: StudyMode::EnginePerf {
+            catalog: CatalogSpec::standard(scale, 7),
+            isolation_catalog: CatalogSpec::standard(catalog_scale(quick), 7),
+            machine: MachineSpec::core2_quad_amp(),
+            workloads: vec![
+                PerfWorkload {
+                    name: "fig4".into(),
+                    workload: WorkloadSpec::Random {
+                        slots,
+                        jobs_per_slot: 1,
+                        seed: 84,
+                    },
+                    horizon_ns: sim.horizon_ns,
+                },
+                // Long idle gaps between waves: the event engine's best case.
+                PerfWorkload {
+                    name: "bursty".into(),
+                    workload: WorkloadSpec::Bursty {
+                        slots: slots.min(12),
+                        jobs_per_slot: 1,
+                        waves: 4,
+                        gap_ns: 50_000_000.0,
+                        seed: 21,
+                    },
+                    horizon_ns: None,
+                },
+            ],
+            pipeline: phase_core::PipelineConfig::with_marking(MarkingConfig::paper_best()),
+            tuner: TunerConfig::paper_table1(),
+            thread_counts: vec![1, 4],
+            sim,
+            samples: if quick { 3 } else { 5 },
+        },
+    }
+}
+
+/// Renders [`engine`] as a measurement table with sims/sec and speedups.
+pub fn render_engine(report: &StudyReport) -> String {
+    let mut table = TextTable::new(vec!["Measurement", "Seconds", "Sims/sec", "Speedup"]);
+    for row in &report.rows {
+        let speedup = row
+            .get("speedup_vs_round")
+            .or_else(|| row.get("parallel_speedup"))
+            .and_then(MetricValue::as_f64);
+        table.add_row(vec![
+            row.label.clone(),
+            format!("{:.4}", row.f64("wall_s")),
+            format!("{:.2}", row.f64("sims_per_sec")),
+            speedup.map(|s| format!("{s:.2}x")).unwrap_or_default(),
+        ]);
+    }
+    body(
+        &table,
+        "sims/sec: full simulations per wall-clock second (best of N samples); \
+         engine rows are one simulation each, table1 rows one isolation plan.",
+    )
 }
 
 // --- Figure 3: space overhead. ---

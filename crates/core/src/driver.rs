@@ -354,14 +354,14 @@ impl Driver {
 
         std::thread::scope(|scope| {
             for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let index = cursor.fetch_add(1, Ordering::Relaxed);
-                    if index >= cell_count {
-                        break;
+                scope.spawn(|| {
+                    while let Some((start, end)) = claim_chunk(&cursor, cell_count, workers) {
+                        for index in start..end {
+                            let outcome = run_cell(index, &cells[index], store);
+                            aggregate.lock().absorb(&outcome.result);
+                            *results[index].lock() = Some(outcome);
+                        }
                     }
-                    let outcome = run_cell(index, &cells[index], store);
-                    aggregate.lock().absorb(&outcome.result);
-                    *results[index].lock() = Some(outcome);
                 });
             }
         });
@@ -372,6 +372,36 @@ impl Driver {
                 .map(|slot| slot.into_inner().expect("every cell was executed"))
                 .collect(),
             aggregate: aggregate.into_inner(),
+        }
+    }
+}
+
+/// Claims the next chunk of cell indices `[start, end)` from the shared
+/// cursor, or `None` when the plan is exhausted.
+///
+/// Guided self-scheduling: each claim takes a quarter of the remaining
+/// cells per worker, so early claims are large (few contended atomics on
+/// big sweeps) while late claims shrink to single cells (no worker sits
+/// idle behind a straggler holding a fixed-size tail chunk). Which worker
+/// runs which cell never affects the outcome — results are written by
+/// index and the aggregate is order-independent — so chunking is purely a
+/// scheduling optimisation.
+fn claim_chunk(cursor: &AtomicUsize, cell_count: usize, workers: usize) -> Option<(usize, usize)> {
+    let mut start = cursor.load(Ordering::Relaxed);
+    loop {
+        if start >= cell_count {
+            return None;
+        }
+        let remaining = cell_count - start;
+        let chunk = (remaining / (workers * 4)).max(1);
+        match cursor.compare_exchange_weak(
+            start,
+            start + chunk,
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        ) {
+            Ok(_) => return Some((start, start + chunk)),
+            Err(current) => start = current,
         }
     }
 }
@@ -584,6 +614,40 @@ mod tests {
             assert_eq!(a.result, b.result);
             assert_eq!(a.label, b.label);
         }
+    }
+
+    #[test]
+    fn claim_chunk_covers_every_cell_exactly_once() {
+        for (cell_count, workers) in [(0, 4), (1, 4), (7, 3), (64, 4), (100, 1), (5, 16)] {
+            let cursor = AtomicUsize::new(0);
+            let mut next_expected = 0;
+            while let Some((start, end)) = claim_chunk(&cursor, cell_count, workers) {
+                assert_eq!(start, next_expected, "chunks must be contiguous");
+                assert!(end > start && end <= cell_count);
+                next_expected = end;
+            }
+            assert_eq!(next_expected, cell_count, "every cell claimed");
+            assert!(claim_chunk(&cursor, cell_count, workers).is_none());
+        }
+    }
+
+    #[test]
+    fn claim_chunk_shrinks_toward_the_tail() {
+        let cursor = AtomicUsize::new(0);
+        let mut sizes = Vec::new();
+        while let Some((start, end)) = claim_chunk(&cursor, 256, 4) {
+            sizes.push(end - start);
+        }
+        assert!(
+            sizes.windows(2).all(|w| w[1] <= w[0]),
+            "sizes decay: {sizes:?}"
+        );
+        assert_eq!(
+            *sizes.first().unwrap(),
+            16,
+            "first claim is remaining/(workers*4)"
+        );
+        assert_eq!(*sizes.last().unwrap(), 1, "tail claims are single cells");
     }
 
     #[test]

@@ -72,8 +72,8 @@ pub use pipeline::{
 };
 pub use report::{format_duration_ns, format_pct, TextTable};
 pub use study::{
-    policy_tag, run_study, ComparisonPoint, FamilySpec, MetricValue, StudyMode, StudyReport,
-    StudyRow, StudySpec,
+    policy_tag, run_study, ComparisonPoint, FamilySpec, MetricValue, PerfWorkload, StudyMode,
+    StudyReport, StudyRow, StudySpec,
 };
 
 /// Re-exports of every substrate crate, so downstream users can depend on

@@ -18,7 +18,7 @@ use phase_amp::MachineSpec;
 use phase_marking::{InstrumentedProgram, MarkingConfig};
 use phase_metrics::SummaryStats;
 use phase_runtime::TunerConfig;
-use phase_sched::SimConfig;
+use phase_sched::{EngineKind, NullHook, SimConfig, SimResult};
 use phase_workload::{CatalogSpec, WorkloadSpec};
 use serde::{Deserialize, Serialize};
 
@@ -26,7 +26,7 @@ use crate::artifacts::{ArtifactStore, StoreStats};
 use crate::driver::{cell_seed, CellSpec, Driver, ExperimentPlan, Policy};
 use crate::experiment::{
     build_slots, comparison_plan, comparison_result, fairness_of, isolated_runtimes_cached,
-    prepare_workload_cached, ExperimentConfig,
+    prepare_workload_cached, run_with_hook, ExperimentConfig,
 };
 use crate::json::JsonValue;
 use crate::pipeline::PipelineConfig;
@@ -146,6 +146,17 @@ pub struct ComparisonPoint {
     pub config: ExperimentConfig,
 }
 
+/// One named workload timed by an engine-performance study.
+#[derive(Debug, Clone)]
+pub struct PerfWorkload {
+    /// Name; rows are labelled `<name>/round` and `<name>/event`.
+    pub name: String,
+    /// The workload queued over the catalogue.
+    pub workload: WorkloadSpec,
+    /// Horizon for this workload (`None` runs every queue to completion).
+    pub horizon_ns: Option<f64>,
+}
+
 /// One workload family of a policy-matrix study.
 #[derive(Debug, Clone)]
 pub struct FamilySpec {
@@ -240,6 +251,35 @@ pub enum StudyMode {
         sim: SimConfig,
         /// Base seed; family `i` uses `cell_seed(base_seed, i)`.
         base_seed: u64,
+    },
+    /// Wall-clock engine and driver throughput (the continuous perf gate).
+    /// For every workload × engine pair: one row with `wall_s` (best of
+    /// `samples`), `sims_per_sec` (full simulations per second, `1 / wall_s`),
+    /// `instructions` and `minstr_per_s`; event rows add `speedup_vs_round`
+    /// and assert bit-identical committed work against the round engine. For
+    /// every driver thread count: one `table1/threads=N` row with `wall_s`,
+    /// `cells`, `sims_per_sec` (cells per second) and `parallel_speedup`
+    /// versus the first listed count. Perf cells deliberately bypass the
+    /// artifact store — a cache hit would time the cache, not the engine.
+    EnginePerf {
+        /// Catalogue the engine workloads queue over (uninstrumented twins).
+        catalog: CatalogSpec,
+        /// Catalogue behind the driver-scaling isolation plan.
+        isolation_catalog: CatalogSpec,
+        /// Machine to simulate.
+        machine: MachineSpec,
+        /// The workloads to time under both engines.
+        workloads: Vec<PerfWorkload>,
+        /// The static pipeline behind the isolation plan's tuned cells.
+        pipeline: PipelineConfig,
+        /// The tuner the isolation plan runs under.
+        tuner: TunerConfig,
+        /// Driver worker counts to time on the isolation plan.
+        thread_counts: Vec<usize>,
+        /// Simulation parameters (per-workload horizons override).
+        sim: SimConfig,
+        /// Wall-clock samples per measurement; the best is reported.
+        samples: usize,
     },
 }
 
@@ -360,6 +400,28 @@ pub fn run_study(spec: &StudySpec, store: &ArtifactStore, threads: usize) -> Stu
             base_seed,
         } => policy_matrix(
             store, threads, families, policies, machine, pipeline, sim, *base_seed,
+        ),
+        StudyMode::EnginePerf {
+            catalog,
+            isolation_catalog,
+            machine,
+            workloads,
+            pipeline,
+            tuner,
+            thread_counts,
+            sim,
+            samples,
+        } => engine_perf(
+            store,
+            catalog,
+            isolation_catalog,
+            machine,
+            workloads,
+            pipeline,
+            tuner,
+            thread_counts,
+            sim,
+            *samples,
         ),
     };
     StudyReport {
@@ -723,6 +785,125 @@ fn policy_matrix(
     rows
 }
 
+/// Times both engines on each workload and the driver on the isolation
+/// plan. Setup (slot and machine clones, plan construction) stays outside
+/// every timed region: the rows measure simulation throughput, nothing else.
+#[allow(clippy::too_many_arguments)]
+fn engine_perf(
+    store: &ArtifactStore,
+    catalog_spec: &CatalogSpec,
+    isolation_catalog: &CatalogSpec,
+    machine: &MachineSpec,
+    workloads: &[PerfWorkload],
+    pipeline: &PipelineConfig,
+    tuner: &TunerConfig,
+    thread_counts: &[usize],
+    sim: &SimConfig,
+    samples: usize,
+) -> Vec<StudyRow> {
+    let samples = samples.max(1);
+    let catalog = store.catalog(catalog_spec);
+    let plain: Vec<Arc<InstrumentedProgram>> = catalog
+        .benchmarks()
+        .iter()
+        .map(|b| store.baseline(b.program()))
+        .collect();
+
+    let mut rows = Vec::new();
+    for perf in workloads {
+        let workload = perf.workload.build(&catalog);
+        let slots = build_slots(&workload, &catalog, &plain);
+        let mut round = None::<(f64, u64)>;
+        for engine in [EngineKind::RoundBased, EngineKind::EventDriven] {
+            let config = SimConfig {
+                engine,
+                horizon_ns: perf.horizon_ns,
+                ..*sim
+            };
+            let mut best = f64::INFINITY;
+            let mut last = None::<SimResult>;
+            for _ in 0..samples {
+                let slots = slots.clone();
+                let machine = machine.clone();
+                let start = Instant::now();
+                let result = run_with_hook("engine-perf", machine, slots, NullHook, config);
+                best = best.min(start.elapsed().as_secs_f64());
+                last = Some(result);
+            }
+            let result = last.expect("at least one sample ran");
+            let engine_name = match engine {
+                EngineKind::RoundBased => "round",
+                EngineKind::EventDriven => "event",
+            };
+            let mut row = StudyRow::new(format!("{}/{engine_name}", perf.name))
+                .metric("engine", MetricValue::Text(engine_name.into()))
+                .metric("wall_s", MetricValue::Float(best))
+                .metric("sims_per_sec", MetricValue::Float(1.0 / best))
+                .metric("instructions", MetricValue::UInt(result.total_instructions))
+                .metric(
+                    "minstr_per_s",
+                    MetricValue::Float(result.total_instructions as f64 / best / 1e6),
+                );
+            match round {
+                None => round = Some((best, result.total_instructions)),
+                Some((round_s, round_instructions)) => {
+                    assert_eq!(
+                        round_instructions, result.total_instructions,
+                        "engines must commit identical work on '{}'",
+                        perf.name
+                    );
+                    row = row.metric("speedup_vs_round", MetricValue::Float(round_s / best));
+                }
+            }
+            rows.push(row);
+        }
+    }
+
+    if !thread_counts.is_empty() {
+        let catalog = store.catalog(isolation_catalog);
+        let instrumented: Vec<Arc<InstrumentedProgram>> = catalog
+            .benchmarks()
+            .iter()
+            .map(|b| store.instrumented(b.program(), machine, pipeline))
+            .collect();
+        let build_plan = || {
+            let mut plan = ExperimentPlan::new();
+            for (bench, instrumented) in catalog.benchmarks().iter().zip(&instrumented) {
+                plan.push(CellSpec::isolation(
+                    bench.name(),
+                    instrumented.clone(),
+                    machine.clone(),
+                    Policy::Tuned(*tuner),
+                    *sim,
+                ));
+            }
+            plan
+        };
+        let cells = catalog.len() as f64;
+        let mut reference = None::<f64>;
+        for &threads in thread_counts {
+            let mut best = f64::INFINITY;
+            for _ in 0..samples {
+                let plan = build_plan();
+                let start = Instant::now();
+                let outcome = Driver::new(threads).run(plan);
+                best = best.min(start.elapsed().as_secs_f64());
+                assert_eq!(outcome.aggregate.cells_completed, catalog.len());
+            }
+            let reference_s = *reference.get_or_insert(best);
+            rows.push(
+                StudyRow::new(format!("table1/threads={threads}"))
+                    .metric("threads", MetricValue::UInt(threads as u64))
+                    .metric("wall_s", MetricValue::Float(best))
+                    .metric("cells", MetricValue::UInt(catalog.len() as u64))
+                    .metric("sims_per_sec", MetricValue::Float(cells / best))
+                    .metric("parallel_speedup", MetricValue::Float(reference_s / best)),
+            );
+        }
+    }
+    rows
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -781,6 +962,52 @@ mod tests {
         assert_eq!(warm.rows, report.rows);
         let cells = warm.store.stage("cells").unwrap();
         assert!(cells.hits >= 15, "warm run hit {} cells", cells.hits);
+    }
+
+    #[test]
+    fn engine_perf_study_reports_engines_and_thread_scaling() {
+        let store = ArtifactStore::new();
+        let spec = StudySpec {
+            name: "engine".into(),
+            title: "engine perf".into(),
+            mode: StudyMode::EnginePerf {
+                catalog: tiny_catalog(),
+                isolation_catalog: tiny_catalog(),
+                machine: MachineSpec::core2_quad_amp(),
+                workloads: vec![PerfWorkload {
+                    name: "fig4".into(),
+                    workload: WorkloadSpec::Random {
+                        slots: 4,
+                        jobs_per_slot: 1,
+                        seed: 84,
+                    },
+                    horizon_ns: Some(2_000_000.0),
+                }],
+                pipeline: PipelineConfig::paper_best(),
+                tuner: TunerConfig::paper_table1(),
+                thread_counts: vec![1, 2],
+                sim: SimConfig::default(),
+                samples: 1,
+            },
+        };
+        let report = run_study(&spec, &store, 2);
+        assert_eq!(report.rows.len(), 4, "2 engine rows + 2 thread rows");
+        let round = &report.rows[0];
+        let event = &report.rows[1];
+        assert_eq!(round.label, "fig4/round");
+        assert_eq!(event.label, "fig4/event");
+        assert_eq!(
+            round.u64("instructions"),
+            event.u64("instructions"),
+            "engines committed identical work"
+        );
+        assert!(round.f64("sims_per_sec") > 0.0);
+        assert!(event.f64("speedup_vs_round") > 0.0);
+        assert!(round.get("speedup_vs_round").is_none());
+        let seq = &report.rows[2];
+        assert_eq!(seq.label, "table1/threads=1");
+        assert_eq!(seq.f64("parallel_speedup"), 1.0);
+        assert!(report.rows[3].u64("cells") > 0);
     }
 
     #[test]

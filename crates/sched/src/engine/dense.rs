@@ -1,0 +1,140 @@
+//! Pre-compiled dense control flow for the event engine's fast path.
+//!
+//! The reference interpreter resolves every step through
+//! `Program::block(Location)` — two bounds-checked `Vec` indexes, an
+//! `Option`, and a fresh `Location` per block. [`DenseProgram`] compiles each
+//! block's terminator once into a flat table indexed by the same dense block
+//! numbering the cost slabs and loop counters already use, so the hot loop
+//! steps from dense index to dense index without touching the IR at all.
+//!
+//! Semantics are a strict mirror of `Interpreter::step`: counted branches use
+//! the interpreter's own dense loop counters, probabilistic branches draw the
+//! identical `gen_bool` sequence (probabilities are clamped at compile time
+//! to the same `[0, 1]` range the reference clamps per call), and
+//! calls/returns drive the same call stack — which is what keeps the event
+//! engine bit-for-bit equivalent to the round-based reference.
+
+use phase_ir::{BlockId, Location, Program, Terminator};
+
+use super::program_layout;
+
+/// One block's compiled terminator, with all targets resolved to dense
+/// indexes.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum DenseCtrl {
+    /// Unconditional jump.
+    Jump { next: u32 },
+    /// Counted branch: takes `taken` while the block's loop counter is below
+    /// `trip`, then resets and falls through.
+    Counted {
+        taken: u32,
+        fallthrough: u32,
+        trip: u32,
+    },
+    /// Probabilistic branch with a pre-clamped taken probability.
+    Probabilistic {
+        taken: u32,
+        fallthrough: u32,
+        p: f64,
+    },
+    /// Call: jump to the callee's entry, remembering where to return.
+    Call {
+        callee_entry: u32,
+        return_block: BlockId,
+    },
+    /// Return to the top call-stack frame (program exit when empty).
+    Return,
+    /// Program exit.
+    Exit,
+}
+
+/// A program's control flow flattened over its dense block numbering.
+#[derive(Debug)]
+pub(crate) struct DenseProgram {
+    /// Starting dense index of each procedure's blocks (same layout as
+    /// [`program_layout`], shared with cost slabs and loop counters).
+    block_base: Vec<usize>,
+    /// The IR location of each dense block (for mark edges and lazy cost
+    /// fills).
+    locations: Vec<Location>,
+    ctrl: Vec<DenseCtrl>,
+}
+
+impl DenseProgram {
+    pub(crate) fn new(program: &Program) -> Self {
+        let (block_base, total) = program_layout(program);
+        let placeholder = Location::new(program.entry(), BlockId(0));
+        let mut locations = vec![placeholder; total];
+        let mut ctrl = vec![DenseCtrl::Exit; total];
+        for (loc, block) in program.iter_blocks() {
+            let base = block_base[loc.proc.index()];
+            let dense = base + loc.block.index();
+            locations[dense] = loc;
+            ctrl[dense] = match *block.terminator() {
+                Terminator::Jump(target) => DenseCtrl::Jump {
+                    next: (base + target.index()) as u32,
+                },
+                Terminator::Branch {
+                    taken,
+                    fallthrough,
+                    behavior,
+                } => {
+                    let taken = (base + taken.index()) as u32;
+                    let fallthrough = (base + fallthrough.index()) as u32;
+                    match behavior {
+                        phase_ir::BranchBehavior::Counted { trip_count } => DenseCtrl::Counted {
+                            taken,
+                            fallthrough,
+                            trip: trip_count,
+                        },
+                        phase_ir::BranchBehavior::Probabilistic { taken_probability } => {
+                            DenseCtrl::Probabilistic {
+                                taken,
+                                fallthrough,
+                                p: taken_probability.clamp(0.0, 1.0),
+                            }
+                        }
+                    }
+                }
+                Terminator::Call { callee, return_to } => {
+                    let entry = program.procedure_expect(callee).entry();
+                    DenseCtrl::Call {
+                        callee_entry: (block_base[callee.index()] + entry.index()) as u32,
+                        return_block: return_to,
+                    }
+                }
+                Terminator::Return => DenseCtrl::Return,
+                Terminator::Exit => DenseCtrl::Exit,
+            };
+        }
+        Self {
+            block_base,
+            locations,
+            ctrl,
+        }
+    }
+
+    /// The dense index of an IR location.
+    #[inline]
+    pub(crate) fn dense_of(&self, loc: Location) -> u32 {
+        (self.block_base[loc.proc.index()] + loc.block.index()) as u32
+    }
+
+    /// The dense index a call-stack frame returns to.
+    #[inline]
+    pub(crate) fn return_target(&self, proc: phase_ir::ProcId, return_block: BlockId) -> u32 {
+        (self.block_base[proc.index()] + return_block.index()) as u32
+    }
+
+    /// The IR location of a dense block.
+    #[inline]
+    pub(crate) fn location(&self, dense: u32) -> Location {
+        self.locations[dense as usize]
+    }
+
+    /// The compiled terminator of a dense block.
+    #[inline]
+    pub(crate) fn ctrl(&self, dense: u32) -> DenseCtrl {
+        self.ctrl[dense as usize]
+    }
+}

@@ -1,39 +1,46 @@
 //! The simulation engines.
 //!
-//! [`EngineCore`] owns every piece of simulated machine state — processes,
-//! per-core run queues, the cost model, accounting — together with the
-//! scheduling primitives (quantum execution, phase-mark handling, load
-//! balancing, job launch). Two drivers advance its clock:
+//! [`EngineCore`] owns every piece of simulated machine state — the
+//! struct-of-arrays process table, per-core run queues, the cost model,
+//! accounting — together with the scheduling primitives (quantum execution,
+//! phase-mark handling, load balancing, job launch). Two drivers advance its
+//! clock:
 //!
 //! * [`round`] — the reference round-based loop: every core executes one
 //!   quantum per round and the clock advances by one timeslice per round,
-//!   whether or not a core had work.
-//! * [`event`] — the event-driven loop: a binary-heap [`EventQueue`] of
+//!   whether or not a core had work. Its quantum path is written as the
+//!   slow-but-obvious specification.
+//! * [`event`] — the event-driven loop: a bucketed [`BucketQueue`] of
 //!   quantum-expiry, job-arrival, and load-balance events decides which
 //!   rounds and which cores to touch, so fully idle stretches (bursty
-//!   arrival gaps, drained queues) cost nothing.
+//!   arrival gaps, drained queues) cost nothing. Its quantum path
+//!   (`run_core_quantum_fast`) steps pre-compiled dense control flow and a
+//!   flat per-block [`HotSlab`] arena with hoisted borrows.
 //!
-//! Both drivers call the *same* `EngineCore` primitives in the same order,
-//! which is what makes the event-driven engine bit-for-bit equivalent to the
-//! reference loop (see `tests/engine_equivalence.rs` at the workspace root).
+//! Both drivers mutate the *same* `EngineCore` state with the same arithmetic
+//! in the same order, which is what makes the event-driven engine bit-for-bit
+//! equivalent to the reference loop (see `tests/engine_equivalence.rs` at the
+//! workspace root).
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
-use phase_amp::{
-    AffinityMask, BlockCost, CoreId, CoreKind, CostModel, MachineSpec, SharingContext,
-};
+use phase_amp::{AffinityMask, CoreId, CoreKind, CostModel, MachineSpec, SharingContext};
 use phase_ir::Location;
 use phase_marking::{MARK_DECISION_INSTRUCTIONS, MARK_MONITOR_INSTRUCTIONS};
 
 use crate::hooks::{IntervalHook, IntervalObservation, MarkContext, PhaseHook, SectionObservation};
-use crate::process::{Pid, Process, ProcessState};
+use crate::interp::Interpreter;
+use crate::process::{HotCounters, Pid, ProcessState, ProcessTable};
 use crate::sim::{JobSpec, ProcessRecord, SimConfig, SimResult};
 
+pub(crate) mod dense;
 pub(crate) mod event;
 pub(crate) mod round;
 
-pub use event::{Event, EventKind, EventQueue};
+use dense::DenseProgram;
+
+pub use event::{BucketQueue, Event, EventKind, EventQueue};
 
 #[derive(Debug, Default)]
 pub(crate) struct CoreState {
@@ -48,27 +55,56 @@ struct SlotState {
     next: usize,
 }
 
-/// Dense block-cost cache for one `(program, core kind, sharing)` context.
-///
-/// The inner execution loop looks a block's cost up once per executed block,
-/// which used to hash a `(program, location, kind, sharers)` key per step.
-/// Instead, the slab for the running process's context is resolved *once per
-/// dispatch* (one small hash), and each step is a direct index into a dense
-/// per-program table.
-#[derive(Debug)]
-struct CostSlab {
-    /// Starting dense index of each procedure's blocks.
-    block_base: Vec<usize>,
-    /// Lazily filled cost per dense block index.
-    costs: Vec<Option<BlockCost>>,
+/// `BlockRecord` flag: the cost fields have been computed.
+const COST_FILLED: u8 = 1 << 0;
+/// `BlockRecord` flag: the block has at least one outgoing phase mark.
+const HAS_MARK: u8 = 1 << 1;
+
+/// Everything the inner execution loop needs about one block, packed into a
+/// single 32-byte record: its (lazily memoised) cost, its memory-access
+/// count, and whether any outgoing edge carries a phase mark.
+#[derive(Debug, Clone, Copy, Default)]
+struct BlockRecord {
+    instructions: u64,
+    cycles: f64,
+    nanos: f64,
+    mem_accesses: u32,
+    flags: u8,
 }
 
-impl CostSlab {
-    fn new(program: &phase_ir::Program) -> Self {
+/// Flat per-block arena for one `(instrumented program, core kind, sharing)`
+/// context.
+///
+/// The inner execution loop used to consult three parallel structures per
+/// executed block — a cost slab, a mark bitmap, and a mem-access table — each
+/// behind its own double indirection. One slab of [`BlockRecord`]s is
+/// resolved *once per dispatch* (one small hash) and each step is then a
+/// single dense index into one contiguous table.
+#[derive(Debug)]
+struct HotSlab {
+    /// Starting dense index of each procedure's blocks.
+    block_base: Vec<usize>,
+    records: Vec<BlockRecord>,
+}
+
+impl HotSlab {
+    /// Builds the slab with the mem-access counts and mark flags filled
+    /// eagerly (both are cheap, pure per-block facts); costs are memoised on
+    /// first execution like before.
+    fn new(instrumented: &phase_marking::InstrumentedProgram) -> Self {
+        let program = instrumented.program();
         let (block_base, total) = program_layout(program);
+        let mut records = vec![BlockRecord::default(); total];
+        for (loc, block) in program.iter_blocks() {
+            records[block_base[loc.proc.index()] + loc.block.index()].mem_accesses =
+                block.memory_access_count() as u32;
+        }
+        for mark in instrumented.marks() {
+            records[block_base[mark.from.proc.index()] + mark.from.block.index()].flags |= HAS_MARK;
+        }
         Self {
             block_base,
-            costs: vec![None; total],
+            records,
         }
     }
 
@@ -97,24 +133,29 @@ pub(crate) struct EngineCore<H: PhaseHook + IntervalHook> {
     pub(crate) config: SimConfig,
     pub(crate) hook: H,
     default_affinity: AffinityMask,
-    pub(crate) processes: Vec<Process>,
+    pub(crate) procs: ProcessTable,
     pub(crate) cores: Vec<CoreState>,
     slots: Vec<SlotState>,
     pub(crate) clock_ns: f64,
-    /// Slab index per `(program identity, kind index, sharers bucket)`.
+    /// Slab index per `(instrumented program identity, kind index, sharers
+    /// bucket)`.
     slab_lookup: HashMap<(usize, usize, usize), usize>,
-    slabs: Vec<CostSlab>,
-    /// Dense "block has an outgoing phase mark" bitmap per instrumented
-    /// program, so the common no-mark step skips the edge-map hash entirely.
-    mark_lookup: HashMap<usize, usize>,
-    mark_tables: Vec<Vec<bool>>,
-    /// Dense "memory accesses per execution" count per program block, filled
-    /// only when interval sampling is enabled (it feeds
-    /// `IntervalObservation::mem_ratio`).
-    mem_lookup: HashMap<usize, usize>,
-    mem_tables: Vec<Vec<u32>>,
+    slabs: Vec<HotSlab>,
+    /// Dense control-flow compilation per program identity (event fast path).
+    dense_lookup: HashMap<usize, usize>,
+    dense_programs: Vec<Arc<DenseProgram>>,
     /// Whether `config.sample_interval_ns` is set (cached for the hot loop).
     sampling: bool,
+    /// Total processes currently sitting on any run queue, maintained
+    /// incrementally at every queue mutation so the event engine's per-core
+    /// skip check is O(1) instead of a scan over all cores.
+    queued: usize,
+    /// Jobs not yet launched across all slots, and launched-but-unfinished
+    /// processes — together an O(1) `all_work_done` for the event loop.
+    pending_jobs: usize,
+    unfinished: usize,
+    /// Reusable per-round scratch for the L2 sharers histogram (event path).
+    sharers_scratch: Vec<usize>,
     pub(crate) total_instructions: u64,
     pub(crate) throughput_windows: Vec<u64>,
 }
@@ -149,13 +190,14 @@ impl<H: PhaseHook + IntervalHook> EngineCore<H> {
         let default_affinity = AffinityMask::all_cores(&machine);
         let core_count = machine.core_count();
         let sampling = config.sample_interval_ns.is_some();
+        let pending_jobs = slots.iter().map(|s| s.len()).sum();
         let mut core = Self {
             label: label.into(),
             cost: CostModel::new(machine),
             config,
             hook,
             default_affinity,
-            processes: Vec::new(),
+            procs: ProcessTable::default(),
             cores: (0..core_count).map(|_| CoreState::default()).collect(),
             slots: slots
                 .into_iter()
@@ -164,11 +206,13 @@ impl<H: PhaseHook + IntervalHook> EngineCore<H> {
             clock_ns: 0.0,
             slab_lookup: HashMap::new(),
             slabs: Vec::new(),
-            mark_lookup: HashMap::new(),
-            mark_tables: Vec::new(),
-            mem_lookup: HashMap::new(),
-            mem_tables: Vec::new(),
+            dense_lookup: HashMap::new(),
+            dense_programs: Vec::new(),
             sampling,
+            queued: 0,
+            pending_jobs,
+            unfinished: 0,
+            sharers_scratch: Vec::new(),
             total_instructions: 0,
             throughput_windows: Vec::new(),
         };
@@ -188,11 +232,16 @@ impl<H: PhaseHook + IntervalHook> EngineCore<H> {
 
     pub(crate) fn all_work_done(&self) -> bool {
         let queues_empty = self.slots.iter().all(|s| s.next >= s.jobs.len());
-        let processes_done = self
-            .processes
-            .iter()
-            .all(|p| p.state() == ProcessState::Finished);
+        let processes_done = self.procs.all_finished();
         queues_empty && processes_done
+    }
+
+    /// O(1) variant of [`all_work_done`](Self::all_work_done) from the
+    /// incrementally maintained counters (event engine, once per round).
+    pub(crate) fn all_work_done_fast(&self) -> bool {
+        let done = self.pending_jobs == 0 && self.unfinished == 0;
+        debug_assert_eq!(done, self.all_work_done());
+        done
     }
 
     /// The earliest time any queued (not yet finished, not currently running)
@@ -202,33 +251,56 @@ impl<H: PhaseHook + IntervalHook> EngineCore<H> {
         self.cores
             .iter()
             .flat_map(|c| c.runqueue.iter())
-            .map(|pid| self.processes[pid.index()].ready_ns())
+            .map(|pid| self.procs.ready_ns(pid.index()))
             .fold(f64::INFINITY, f64::min)
     }
 
     /// Executes one scheduling round at the current clock: one quantum per
-    /// core, in core-index order.
-    ///
-    /// With `has_event == None` every core is scanned (the reference
-    /// behaviour). With `has_event == Some(flags)` a core is scanned only if
-    /// it was explicitly scheduled or any run queue is non-empty at its turn
-    /// — the cases where the reference scan could act at all; skipped cores
-    /// are provably no-ops, so both modes produce identical state.
-    pub(crate) fn run_round(&mut self, has_event: Option<&[bool]>) {
+    /// core, in core-index order, scanning every core (the reference
+    /// behaviour).
+    pub(crate) fn run_round(&mut self) {
         let window_index = (self.clock_ns / self.config.throughput_window_ns) as usize;
         let before = self.total_instructions;
 
         let sharers_per_group = self.active_sharers_per_group();
         for core_index in 0..self.cores.len() {
-            if let Some(flags) = has_event {
-                let any_queued = self.cores.iter().any(|c| !c.runqueue.is_empty());
-                if !flags[core_index] && !any_queued {
-                    continue;
-                }
-            }
             let core = CoreId(core_index as u32);
             self.run_core_quantum(core, &sharers_per_group);
         }
+
+        let committed = self.total_instructions - before;
+        if self.throughput_windows.len() <= window_index {
+            self.throughput_windows.resize(window_index + 1, 0);
+        }
+        self.throughput_windows[window_index] += committed;
+    }
+
+    /// The event engine's round: a core is scanned only if it was explicitly
+    /// scheduled (`has_event`) or any run queue is non-empty at its turn —
+    /// the cases where the reference scan could act at all; skipped cores are
+    /// provably no-ops, so both rounds produce identical state. The queue
+    /// check reads the incrementally maintained `queued` counter, which stays
+    /// current across quanta within the round.
+    pub(crate) fn run_round_fast(&mut self, has_event: &[bool]) {
+        debug_assert_eq!(
+            self.queued,
+            self.cores.iter().map(|c| c.runqueue.len()).sum::<usize>(),
+            "incremental queued counter diverged from the run queues"
+        );
+        let window_index = (self.clock_ns / self.config.throughput_window_ns) as usize;
+        let before = self.total_instructions;
+
+        let mut sharers = std::mem::take(&mut self.sharers_scratch);
+        self.active_sharers_into(&mut sharers);
+        debug_assert_eq!(has_event.len(), self.cores.len());
+        for (core_index, &scheduled) in has_event.iter().enumerate() {
+            if !scheduled && self.queued == 0 {
+                continue;
+            }
+            let core = CoreId(core_index as u32);
+            self.run_core_quantum_fast(core, &sharers);
+        }
+        self.sharers_scratch = sharers;
 
         let committed = self.total_instructions - before;
         if self.throughput_windows.len() <= window_index {
@@ -254,19 +326,27 @@ impl<H: PhaseHook + IntervalHook> EngineCore<H> {
     /// Number of runnable processes per L2 group at the start of a round,
     /// used as the cache-sharing pressure for the whole quantum.
     fn active_sharers_per_group(&self) -> Vec<usize> {
+        let mut sharers = Vec::new();
+        self.active_sharers_into(&mut sharers);
+        sharers
+    }
+
+    fn active_sharers_into(&self, sharers: &mut Vec<usize>) {
         let spec = self.cost.spec();
-        let mut sharers = vec![0usize; spec.l2_group_count()];
+        sharers.clear();
+        sharers.resize(spec.l2_group_count(), 0);
         for (idx, core) in self.cores.iter().enumerate() {
             let group = spec.core(CoreId(idx as u32)).l2_group;
             let active = usize::from(core.running.is_some()) + core.runqueue.len();
             sharers[group] += active.min(1);
         }
-        for s in &mut sharers {
+        for s in sharers.iter_mut() {
             *s = (*s).max(1);
         }
-        sharers
     }
 
+    /// The reference quantum: slow-but-obvious per-step code, resolving the
+    /// interpreter location and indexing the slab on every block.
     fn run_core_quantum(&mut self, core: CoreId, sharers_per_group: &[usize]) {
         let kind_index = self.cost.spec().kind_of(core).index();
         let freq = self.cost.spec().core(core).freq_ghz;
@@ -294,7 +374,7 @@ impl<H: PhaseHook + IntervalHook> EngineCore<H> {
                     let earliest = self.cores[core.index()]
                         .runqueue
                         .iter()
-                        .map(|pid| self.processes[pid.index()].ready_ns())
+                        .map(|pid| self.procs.ready_ns(pid.index()))
                         .fold(f64::INFINITY, f64::min);
                     let offset = earliest - self.clock_ns;
                     if offset.is_finite() && offset < self.config.timeslice_ns {
@@ -305,7 +385,8 @@ impl<H: PhaseHook + IntervalHook> EngineCore<H> {
                     break;
                 }
             };
-            self.processes[pid.index()].set_running(core);
+            let pid_i = pid.index();
+            self.procs.set_running(pid_i, core);
             self.cores[core.index()].running = Some(pid);
 
             let budget = self.config.timeslice_ns - consumed;
@@ -313,36 +394,29 @@ impl<H: PhaseHook + IntervalHook> EngineCore<H> {
             let mut migrated = false;
             let mut finished = false;
 
-            // Resolve this dispatch's cost slab and mark bitmap once; every
-            // block step below is then a direct dense-index lookup and the
-            // edge-map hash only runs for blocks that actually carry marks.
-            let instrumented = Arc::clone(self.processes[pid.index()].instrumented());
+            // Resolve this dispatch's block arena once; every step below is
+            // then a direct dense-index lookup and the edge-map hash only
+            // runs for blocks that actually carry marks.
+            let instrumented = Arc::clone(self.procs.instrumented(pid_i));
             let program = Arc::clone(instrumented.program());
-            let slab = self.cost_slab(&program, kind_index, sharing);
-            let marks = self.mark_table(&instrumented);
-            let mems = self.sampling.then(|| self.mem_table(&program));
+            let slab = self.hot_slab(&instrumented, kind_index, sharing);
 
             while elapsed < budget {
-                let loc = self.processes[pid.index()].interp().current_location();
+                let loc = self.procs.interps[pid_i].current_location();
                 let dense = self.slabs[slab].dense(loc);
-                let cost = self.block_cost_at(slab, dense, loc, &program, core, sharing);
-                self.processes[pid.index()].charge_block(
-                    cost.instructions,
-                    cost.cycles,
-                    cost.nanos,
-                    kind_index,
-                );
-                if let Some(mems) = mems {
-                    let accesses = u64::from(self.mem_tables[mems][dense]);
+                let rec = self.block_record_at(slab, dense, loc, &program, core, sharing);
+                self.procs
+                    .charge_block(pid_i, rec.instructions, rec.cycles, rec.nanos, kind_index);
+                if self.sampling {
+                    let accesses = u64::from(rec.mem_accesses);
                     if accesses > 0 {
-                        self.processes[pid.index()].note_interval_mem_accesses(accesses);
+                        self.procs.note_interval_mem_accesses(pid_i, accesses);
                     }
                 }
-                self.total_instructions += cost.instructions;
-                elapsed += cost.nanos;
+                self.total_instructions += rec.instructions;
+                elapsed += rec.nanos;
 
-                let step = self.processes[pid.index()]
-                    .interp_mut()
+                let step = self.procs.interps[pid_i]
                     .step()
                     .expect("running process is not finished");
 
@@ -352,7 +426,7 @@ impl<H: PhaseHook + IntervalHook> EngineCore<H> {
                         break;
                     }
                     Some(next_loc) => {
-                        let mark = if self.mark_tables[marks][dense] {
+                        let mark = if rec.flags & HAS_MARK != 0 {
                             instrumented.mark_on_edge(step.executed, next_loc).copied()
                         } else {
                             None
@@ -374,31 +448,156 @@ impl<H: PhaseHook + IntervalHook> EngineCore<H> {
             self.cores[core.index()].busy_ns += elapsed.min(budget);
             consumed += elapsed;
 
-            if finished {
-                let completion = self.clock_ns + consumed;
-                let slot = self.processes[pid.index()].slot();
-                self.processes[pid.index()].set_finished(completion);
-                self.hook.on_process_exit(pid);
-                self.cores[core.index()].running = None;
-                self.start_next_job(slot, completion);
+            if self.finish_dispatch(pid, core, consumed, finished, migrated) {
                 continue;
-            }
-            if migrated {
-                // execute_mark already queued the process elsewhere.
-                self.cores[core.index()].running = None;
-                continue;
-            }
-            // Quantum expired for this process: preempt and requeue.
-            self.processes[pid.index()].set_ready();
-            self.cores[core.index()].running = None;
-            let affinity = self.processes[pid.index()].affinity();
-            if affinity.allows(core) {
-                self.cores[core.index()].runqueue.push_back(pid);
-            } else {
-                self.enqueue_on_allowed_core(pid);
             }
             break;
         }
+    }
+
+    /// The event engine's quantum: identical scheduling decisions and
+    /// arithmetic to [`run_core_quantum`](Self::run_core_quantum), but the
+    /// per-block loop runs over pre-compiled dense control flow with the
+    /// slab, interpreter, and hot counters borrowed once per dispatch.
+    fn run_core_quantum_fast(&mut self, core: CoreId, sharers_per_group: &[usize]) {
+        let kind_index = self.cost.spec().kind_of(core).index();
+        let freq = self.cost.spec().core(core).freq_ghz;
+        let group = self.cost.spec().core(core).l2_group;
+        let sharing = SharingContext::shared_by(sharers_per_group[group]);
+
+        let mut consumed = 0.0;
+        while consumed < self.config.timeslice_ns {
+            let now_ns = self.clock_ns + consumed;
+            let pid = match self.pick_process(core, now_ns) {
+                Some(pid) => pid,
+                None => {
+                    let earliest = self.cores[core.index()]
+                        .runqueue
+                        .iter()
+                        .map(|pid| self.procs.ready_ns(pid.index()))
+                        .fold(f64::INFINITY, f64::min);
+                    let offset = earliest - self.clock_ns;
+                    if offset.is_finite() && offset < self.config.timeslice_ns {
+                        debug_assert!(offset > consumed, "pick skipped an arrived process");
+                        consumed = offset;
+                        continue;
+                    }
+                    break;
+                }
+            };
+            let pid_i = pid.index();
+            self.procs.set_running(pid_i, core);
+            self.cores[core.index()].running = Some(pid);
+
+            let budget = self.config.timeslice_ns - consumed;
+            let mut elapsed = 0.0;
+            let mut migrated = false;
+            let mut finished = false;
+
+            let instrumented = Arc::clone(self.procs.instrumented(pid_i));
+            let program = Arc::clone(instrumented.program());
+            let dp = self.dense_program(&program);
+            let slab_i = self.hot_slab(&instrumented, kind_index, sharing);
+            let mut cur = dp.dense_of(self.procs.interps[pid_i].current_location());
+            let mut committed: u64 = 0;
+
+            loop {
+                let outcome = {
+                    let slab = &mut self.slabs[slab_i];
+                    let interp = &mut self.procs.interps[pid_i];
+                    let hot = &mut self.procs.hot[pid_i];
+                    run_blocks_fast(
+                        slab,
+                        interp,
+                        hot,
+                        &dp,
+                        &self.cost,
+                        &program,
+                        core,
+                        sharing,
+                        kind_index,
+                        self.sampling,
+                        budget,
+                        &mut elapsed,
+                        &mut cur,
+                        &mut committed,
+                    )
+                };
+                match outcome {
+                    BlockRun::Budget => break,
+                    BlockRun::Finished => {
+                        finished = true;
+                        break;
+                    }
+                    BlockRun::MarkedEdge { next } => {
+                        let mark = instrumented
+                            .mark_on_edge(dp.location(cur), dp.location(next))
+                            .copied();
+                        cur = next;
+                        if let Some(mark) = mark {
+                            let now = self.clock_ns + consumed + elapsed;
+                            let (extra_ns, did_migrate) =
+                                self.execute_mark(pid, core, &mark, now, freq, kind_index);
+                            elapsed += extra_ns;
+                            if did_migrate {
+                                migrated = true;
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+            self.total_instructions += committed;
+            self.procs.interps[pid_i].sync_location(dp.location(cur));
+
+            self.cores[core.index()].busy_ns += elapsed.min(budget);
+            consumed += elapsed;
+
+            if self.finish_dispatch(pid, core, consumed, finished, migrated) {
+                continue;
+            }
+            break;
+        }
+    }
+
+    /// Shared tail of a dispatch: retire a finished process (launching its
+    /// slot's next job), release a migrated one, or preempt and requeue.
+    /// Returns whether the core should look for more work in this quantum.
+    fn finish_dispatch(
+        &mut self,
+        pid: Pid,
+        core: CoreId,
+        consumed: f64,
+        finished: bool,
+        migrated: bool,
+    ) -> bool {
+        let pid_i = pid.index();
+        if finished {
+            let completion = self.clock_ns + consumed;
+            let slot = self.procs.slot(pid_i);
+            self.procs.set_finished(pid_i, completion);
+            self.unfinished -= 1;
+            self.hook.on_process_exit(pid);
+            self.cores[core.index()].running = None;
+            self.start_next_job(slot, completion);
+            return true;
+        }
+        if migrated {
+            // execute_mark already queued the process elsewhere.
+            self.cores[core.index()].running = None;
+            return true;
+        }
+        // Quantum expired for this process: preempt and requeue.
+        self.procs.set_ready(pid_i);
+        self.cores[core.index()].running = None;
+        let affinity = self.procs.affinity(pid_i);
+        if affinity.allows(core) {
+            self.cores[core.index()].runqueue.push_back(pid);
+            self.queued += 1;
+        } else {
+            self.enqueue_on_allowed_core(pid);
+        }
+        false
     }
 
     /// Executes a phase mark: calls the hook, charges the mark's cost, and
@@ -414,9 +613,9 @@ impl<H: PhaseHook + IntervalHook> EngineCore<H> {
         freq_ghz: f64,
         kind_index: usize,
     ) -> (f64, bool) {
+        let pid_i = pid.index();
         let core_kind = self.cost.spec().kind_of(core);
-        let (sec_instr, sec_cycles, sec_phase) =
-            self.processes[pid.index()].roll_section(mark.phase_type);
+        let (sec_instr, sec_cycles, sec_phase) = self.procs.roll_section(pid_i, mark.phase_type);
         let completed_section = sec_phase.map(|phase_type| SectionObservation {
             phase_type,
             instructions: sec_instr,
@@ -432,8 +631,8 @@ impl<H: PhaseHook + IntervalHook> EngineCore<H> {
             now_ns,
         };
         let response = self.hook.on_phase_mark(&ctx);
-        self.processes[pid.index()].set_monitoring(response.monitoring);
-        self.processes[pid.index()].stats_mut().marks_executed += 1;
+        self.procs.set_monitoring(pid_i, response.monitoring);
+        self.procs.stats_mut(pid_i).marks_executed += 1;
 
         let mut extra_ns = 0.0;
         if self.config.charge_mark_overhead {
@@ -444,7 +643,8 @@ impl<H: PhaseHook + IntervalHook> EngineCore<H> {
             };
             let overhead_cycles = overhead_instructions as f64;
             let overhead_ns = overhead_cycles / freq_ghz;
-            self.processes[pid.index()].charge_block(
+            self.procs.charge_block(
+                pid_i,
                 overhead_instructions,
                 overhead_cycles,
                 overhead_ns,
@@ -456,22 +656,18 @@ impl<H: PhaseHook + IntervalHook> EngineCore<H> {
 
         let mut migrated = false;
         if let Some(mask) = response.new_affinity {
-            if mask != self.processes[pid.index()].affinity() {
-                self.processes[pid.index()].set_affinity(mask);
+            if mask != self.procs.affinity(pid_i) {
+                self.procs.set_affinity(pid_i, mask);
             }
             if !mask.allows(core) && !mask.is_empty() {
                 // A real core switch: charge the migration cost and move the
                 // process to an allowed core's run queue.
                 let (switch_cycles, switch_ns) = self.cost.core_switch_cost(core);
-                self.processes[pid.index()].charge_block(
-                    0,
-                    switch_cycles as f64,
-                    switch_ns,
-                    kind_index,
-                );
+                self.procs
+                    .charge_block(pid_i, 0, switch_cycles as f64, switch_ns, kind_index);
                 extra_ns += switch_ns;
-                self.processes[pid.index()].stats_mut().core_switches += 1;
-                self.processes[pid.index()].set_ready();
+                self.procs.stats_mut(pid_i).core_switches += 1;
+                self.procs.set_ready(pid_i);
                 self.enqueue_on_allowed_core(pid);
                 migrated = true;
             }
@@ -485,14 +681,15 @@ impl<H: PhaseHook + IntervalHook> EngineCore<H> {
     /// times ahead of `now_ns`; those are left queued so already-arrived
     /// work behind them is never starved.
     fn pick_process(&mut self, core: CoreId, now_ns: f64) -> Option<Pid> {
-        let arrived =
-            |processes: &[Process], pid: &Pid| processes[pid.index()].ready_ns() <= now_ns;
+        let arrived = |procs: &ProcessTable, pid: &Pid| procs.ready_ns(pid.index()) <= now_ns;
         if let Some(position) = self.cores[core.index()]
             .runqueue
             .iter()
-            .position(|pid| arrived(&self.processes, pid))
+            .position(|pid| arrived(&self.procs, pid))
         {
-            return self.cores[core.index()].runqueue.remove(position);
+            let pid = self.cores[core.index()].runqueue.remove(position);
+            self.queued -= 1;
+            return pid;
         }
         // Idle balancing: steal a ready, arrived process that may run here
         // from the most loaded core.
@@ -504,10 +701,11 @@ impl<H: PhaseHook + IntervalHook> EngineCore<H> {
             .max_by_key(|(_, c)| c.runqueue.len())
             .map(|(i, _)| i)?;
         let position = self.cores[donor].runqueue.iter().position(|pid| {
-            self.processes[pid.index()].affinity().allows(core) && arrived(&self.processes, pid)
+            self.procs.affinity(pid.index()).allows(core) && arrived(&self.procs, pid)
         })?;
         let pid = self.cores[donor].runqueue.remove(position)?;
-        self.processes[pid.index()].stats_mut().balancer_migrations += 1;
+        self.queued -= 1;
+        self.procs.stats_mut(pid.index()).balancer_migrations += 1;
         Some(pid)
     }
 
@@ -540,14 +738,14 @@ impl<H: PhaseHook + IntervalHook> EngineCore<H> {
             let position = self.cores[busiest]
                 .runqueue
                 .iter()
-                .position(|pid| self.processes[pid.index()].affinity().allows(target));
+                .position(|pid| self.procs.affinity(pid.index()).allows(target));
             match position {
                 Some(pos) => {
                     let pid = self.cores[busiest]
                         .runqueue
                         .remove(pos)
                         .expect("position valid");
-                    self.processes[pid.index()].stats_mut().balancer_migrations += 1;
+                    self.procs.stats_mut(pid.index()).balancer_migrations += 1;
                     self.cores[idlest].runqueue.push_back(pid);
                 }
                 None => return,
@@ -565,15 +763,16 @@ impl<H: PhaseHook + IntervalHook> EngineCore<H> {
         }
         let job = state.jobs[state.next].clone();
         state.next += 1;
-        let pid = Pid(self.processes.len() as u32);
+        self.pending_jobs -= 1;
+        self.unfinished += 1;
+        let next_pid = Pid(self.procs.len() as u32);
         let seed = self
             .config
             .seed
-            .wrapping_add(pid.0 as u64)
+            .wrapping_add(next_pid.0 as u64)
             .wrapping_mul(0x9E37_79B9_7F4A_7C15);
         let arrival_ns = now_ns.max(job.release_ns);
-        let process = Process::new(
-            pid,
+        let pid = self.procs.spawn(
             job.name,
             slot,
             Arc::clone(&job.instrumented),
@@ -581,15 +780,15 @@ impl<H: PhaseHook + IntervalHook> EngineCore<H> {
             arrival_ns,
             seed,
         );
+        debug_assert_eq!(pid, next_pid);
         self.hook.on_process_start(pid, &job.instrumented);
-        self.processes.push(process);
         self.enqueue_on_allowed_core(pid);
     }
 
     /// Puts a ready process on the least-loaded core its affinity allows,
     /// returning the chosen core.
     fn enqueue_on_allowed_core(&mut self, pid: Pid) -> CoreId {
-        let affinity = self.processes[pid.index()].affinity();
+        let affinity = self.procs.affinity(pid.index());
         let target = self
             .cores
             .iter()
@@ -599,6 +798,7 @@ impl<H: PhaseHook + IntervalHook> EngineCore<H> {
             .map(|(i, _)| i)
             .unwrap_or(0);
         self.cores[target].runqueue.push_back(pid);
+        self.queued += 1;
         CoreId(target as u32)
     }
 
@@ -614,15 +814,15 @@ impl<H: PhaseHook + IntervalHook> EngineCore<H> {
     /// Both engines call this at the same round-aligned times, so it cannot
     /// break their bit-for-bit equivalence.
     pub(crate) fn sample_intervals(&mut self) {
-        for index in 0..self.processes.len() {
-            if self.processes[index].state() == ProcessState::Finished {
+        for index in 0..self.procs.len() {
+            if self.procs.state(index) == ProcessState::Finished {
                 continue;
             }
-            if !self.processes[index].has_interval_activity() {
+            if !self.procs.has_interval_activity(index) {
                 continue;
             }
-            let pid = self.processes[index].pid();
-            let counters = self.processes[index].roll_interval();
+            let pid = Pid(index as u32);
+            let counters = self.procs.roll_interval(index);
             // Attribute the interval to the kind it mostly ran on; ties go to
             // the lower kind index for determinism.
             let mut kind = 0usize;
@@ -643,10 +843,10 @@ impl<H: PhaseHook + IntervalHook> EngineCore<H> {
             let Some(mask) = self.hook.on_sample_interval(&observation) else {
                 continue;
             };
-            if mask.is_empty() || mask == self.processes[index].affinity() {
+            if mask.is_empty() || mask == self.procs.affinity(index) {
                 continue;
             }
-            self.processes[index].set_affinity(mask);
+            self.procs.set_affinity(index, mask);
             // Between rounds every unfinished process waits on some core's
             // run queue; if that core is now excluded, perform the switch.
             let located = self.cores.iter().enumerate().find_map(|(c, core)| {
@@ -659,54 +859,45 @@ impl<H: PhaseHook + IntervalHook> EngineCore<H> {
                 let source = CoreId(core_index as u32);
                 if !mask.allows(source) {
                     self.cores[core_index].runqueue.remove(position);
+                    self.queued -= 1;
                     let _target = self.enqueue_on_allowed_core(pid);
                     // Cost basis is the core being left, matching the
                     // mark-driven path in `execute_mark`, so identical
                     // migrations cost the same under either tuner.
                     let (switch_cycles, switch_ns) = self.cost.core_switch_cost(source);
                     let kind_index = self.cost.spec().kind_of(source).index();
-                    self.processes[index].charge_block(
-                        0,
-                        switch_cycles as f64,
-                        switch_ns,
-                        kind_index,
-                    );
-                    self.processes[index].delay_until(self.clock_ns + switch_ns);
-                    self.processes[index].stats_mut().core_switches += 1;
+                    self.procs
+                        .charge_block(index, 0, switch_cycles as f64, switch_ns, kind_index);
+                    self.procs.delay_until(index, self.clock_ns + switch_ns);
+                    self.procs.stats_mut(index).core_switches += 1;
                 }
             }
         }
     }
 
-    /// The dense "memory accesses per execution" table for a program, created
-    /// lazily on first use (only when interval sampling is enabled).
-    fn mem_table(&mut self, program: &Arc<phase_ir::Program>) -> usize {
+    /// The dense control-flow compilation for a program, created lazily on
+    /// first use (event fast path only).
+    fn dense_program(&mut self, program: &Arc<phase_ir::Program>) -> Arc<DenseProgram> {
         let key = Arc::as_ptr(program) as usize;
-        if let Some(&index) = self.mem_lookup.get(&key) {
-            return index;
+        if let Some(&index) = self.dense_lookup.get(&key) {
+            return Arc::clone(&self.dense_programs[index]);
         }
-        let (block_base, total) = program_layout(program);
-        let mut accesses = vec![0u32; total];
-        for (loc, block) in program.iter_blocks() {
-            accesses[block_base[loc.proc.index()] + loc.block.index()] =
-                block.memory_access_count() as u32;
-        }
-        let index = self.mem_tables.len();
-        self.mem_tables.push(accesses);
-        self.mem_lookup.insert(key, index);
-        index
+        let dp = Arc::new(DenseProgram::new(program));
+        self.dense_lookup.insert(key, self.dense_programs.len());
+        self.dense_programs.push(Arc::clone(&dp));
+        dp
     }
 
-    /// The dense cost slab for a `(program, core kind, sharing)` context,
-    /// created lazily on first use.
-    fn cost_slab(
+    /// The block arena for an `(instrumented program, core kind, sharing)`
+    /// context, created lazily on first use.
+    fn hot_slab(
         &mut self,
-        program: &Arc<phase_ir::Program>,
+        instrumented: &Arc<phase_marking::InstrumentedProgram>,
         kind_index: usize,
         sharing: SharingContext,
     ) -> usize {
         let key = (
-            Arc::as_ptr(program) as usize,
+            Arc::as_ptr(instrumented) as usize,
             kind_index,
             sharing.l2_sharers.min(8),
         );
@@ -714,14 +905,14 @@ impl<H: PhaseHook + IntervalHook> EngineCore<H> {
             return index;
         }
         let index = self.slabs.len();
-        self.slabs.push(CostSlab::new(program));
+        self.slabs.push(HotSlab::new(instrumented));
         self.slab_lookup.insert(key, index);
         index
     }
 
-    /// A block's cost from the given slab, computing and memoising it on the
-    /// first visit.
-    fn block_cost_at(
+    /// A block's record from the given slab, computing and memoising its cost
+    /// on the first visit.
+    fn block_record_at(
         &mut self,
         slab: usize,
         dense: usize,
@@ -729,48 +920,33 @@ impl<H: PhaseHook + IntervalHook> EngineCore<H> {
         program: &phase_ir::Program,
         core: CoreId,
         sharing: SharingContext,
-    ) -> BlockCost {
-        if let Some(cost) = self.slabs[slab].costs[dense] {
-            return cost;
+    ) -> BlockRecord {
+        let rec = self.slabs[slab].records[dense];
+        if rec.flags & COST_FILLED != 0 {
+            return rec;
         }
         let block = program
             .block(loc)
             .expect("interpreter location points at an existing block");
         let cost = self.cost.block_cost(core, block, sharing);
-        self.slabs[slab].costs[dense] = Some(cost);
-        cost
-    }
-
-    /// The dense "has an outgoing phase mark" bitmap for an instrumented
-    /// program, created lazily on first use.
-    fn mark_table(&mut self, instrumented: &Arc<phase_marking::InstrumentedProgram>) -> usize {
-        let key = Arc::as_ptr(instrumented) as usize;
-        if let Some(&index) = self.mark_lookup.get(&key) {
-            return index;
-        }
-        let (block_base, total) = program_layout(instrumented.program());
-        let mut has_mark = vec![false; total];
-        for mark in instrumented.marks() {
-            has_mark[block_base[mark.from.proc.index()] + mark.from.block.index()] = true;
-        }
-        let index = self.mark_tables.len();
-        self.mark_tables.push(has_mark);
-        self.mark_lookup.insert(key, index);
-        index
+        let rec = &mut self.slabs[slab].records[dense];
+        rec.instructions = cost.instructions;
+        rec.cycles = cost.cycles;
+        rec.nanos = cost.nanos;
+        rec.flags |= COST_FILLED;
+        *rec
     }
 
     /// Consumes the state into the public result, with the given end time.
     pub(crate) fn into_result(self, final_time_ns: f64) -> SimResult {
-        let records: Vec<ProcessRecord> = self
-            .processes
-            .iter()
-            .map(|p| ProcessRecord {
-                pid: p.pid(),
-                name: p.name().to_string(),
-                slot: p.slot(),
-                arrival_ns: p.arrival_ns(),
-                completion_ns: p.completion_ns(),
-                stats: *p.stats(),
+        let records: Vec<ProcessRecord> = (0..self.procs.len())
+            .map(|i| ProcessRecord {
+                pid: Pid(i as u32),
+                name: self.procs.name(i).to_string(),
+                slot: self.procs.slot(i),
+                arrival_ns: self.procs.arrival_ns(i),
+                completion_ns: self.procs.completion_ns(i),
+                stats: *self.procs.stats(i),
             })
             .collect();
         let total_marks_executed = records.iter().map(|r| r.stats.marks_executed).sum();
@@ -786,4 +962,77 @@ impl<H: PhaseHook + IntervalHook> EngineCore<H> {
             total_core_switches,
         }
     }
+}
+
+/// Why the fast block loop returned control to the dispatch loop.
+enum BlockRun {
+    /// The quantum budget is used up.
+    Budget,
+    /// The process exited.
+    Finished,
+    /// The executed block has a marked outgoing edge; `next` is where control
+    /// flows (the dense cursor still points at the executed block so the
+    /// caller can resolve the edge).
+    MarkedEdge { next: u32 },
+}
+
+/// The event engine's inner block loop: all hot state is borrowed once and
+/// held across iterations, and control flow steps through the pre-compiled
+/// dense table. Bit-identical to the reference loop in `run_core_quantum` —
+/// same per-accumulator addition order, same RNG draws, same lazily memoised
+/// costs.
+#[allow(clippy::too_many_arguments)]
+fn run_blocks_fast(
+    slab: &mut HotSlab,
+    interp: &mut Interpreter,
+    hot: &mut HotCounters,
+    dp: &DenseProgram,
+    cost: &CostModel,
+    program: &phase_ir::Program,
+    core: CoreId,
+    sharing: SharingContext,
+    kind_index: usize,
+    sampling: bool,
+    budget: f64,
+    elapsed: &mut f64,
+    cur: &mut u32,
+    committed: &mut u64,
+) -> BlockRun {
+    while *elapsed < budget {
+        let rec = &mut slab.records[*cur as usize];
+        if rec.flags & COST_FILLED == 0 {
+            let block = program
+                .block(dp.location(*cur))
+                .expect("dense index maps to an existing block");
+            let c = cost.block_cost(core, block, sharing);
+            rec.instructions = c.instructions;
+            rec.cycles = c.cycles;
+            rec.nanos = c.nanos;
+            rec.flags |= COST_FILLED;
+        }
+        let (instructions, cycles, nanos, mem, flags) = (
+            rec.instructions,
+            rec.cycles,
+            rec.nanos,
+            rec.mem_accesses,
+            rec.flags,
+        );
+        hot.charge_block(instructions, cycles, nanos, kind_index);
+        if sampling && mem > 0 {
+            hot.interval_mem_accesses += u64::from(mem);
+        }
+        *committed += instructions;
+        *elapsed += nanos;
+
+        match interp.step_dense(dp, *cur) {
+            None => return BlockRun::Finished,
+            Some(next) => {
+                if flags & HAS_MARK != 0 {
+                    return BlockRun::MarkedEdge { next };
+                }
+                *cur = next;
+            }
+        }
+    }
+    BlockRun::Budget
 }

@@ -37,7 +37,7 @@ pub(crate) fn run<H: PhaseHook + IntervalHook>(mut core: EngineCore<H>) -> SimRe
                     .sample_interval_ns
                     .expect("sampling tick reached only when enabled");
         }
-        core.run_round(None);
+        core.run_round();
         core.clock_ns += core.config.timeslice_ns;
     }
     let final_time_ns = core.clock_ns;

@@ -172,6 +172,80 @@ impl Interpreter {
         Some(Step { executed, next })
     }
 
+    /// Executes the block at dense index `cur` through a pre-compiled
+    /// [`DenseProgram`](crate::engine::dense::DenseProgram), returning the
+    /// next dense index (or `None` on exit, which also marks the interpreter
+    /// finished).
+    ///
+    /// This is the event engine's fast path. It advances exactly the same
+    /// state as [`step`](Self::step) — loop counters, RNG draws, call stack,
+    /// block count — but leaves `current_location` untouched; callers own the
+    /// dense cursor and must [`sync_location`](Self::sync_location) before
+    /// anything reads the location again.
+    #[inline]
+    pub(crate) fn step_dense(
+        &mut self,
+        dp: &crate::engine::dense::DenseProgram,
+        cur: u32,
+    ) -> Option<u32> {
+        use crate::engine::dense::DenseCtrl;
+        debug_assert!(!self.finished, "stepping a finished interpreter");
+        self.blocks_executed += 1;
+        let next = match dp.ctrl(cur) {
+            DenseCtrl::Jump { next } => Some(next),
+            DenseCtrl::Counted {
+                taken,
+                fallthrough,
+                trip,
+            } => {
+                let counter = &mut self.loop_counters[cur as usize];
+                if *counter < trip {
+                    *counter += 1;
+                    Some(taken)
+                } else {
+                    *counter = 0;
+                    Some(fallthrough)
+                }
+            }
+            DenseCtrl::Probabilistic {
+                taken,
+                fallthrough,
+                p,
+            } => {
+                if self.rng.gen_bool(p) {
+                    Some(taken)
+                } else {
+                    Some(fallthrough)
+                }
+            }
+            DenseCtrl::Call {
+                callee_entry,
+                return_block,
+            } => {
+                self.call_stack.push(Frame {
+                    proc: dp.location(cur).proc,
+                    return_block,
+                });
+                Some(callee_entry)
+            }
+            DenseCtrl::Return => self
+                .call_stack
+                .pop()
+                .map(|frame| dp.return_target(frame.proc, frame.return_block)),
+            DenseCtrl::Exit => None,
+        };
+        if next.is_none() {
+            self.finished = true;
+        }
+        next
+    }
+
+    /// Writes the dense cursor back into the interpreter's location (the fast
+    /// path's counterpart to `step` updating `current` itself).
+    pub(crate) fn sync_location(&mut self, loc: Location) {
+        self.current = loc;
+    }
+
     /// Runs the program to completion, counting executed blocks (useful in
     /// tests; real simulations step block by block to charge costs).
     ///

@@ -14,13 +14,15 @@
 //! Contents:
 //!
 //! * [`Interpreter`] — deterministic block-by-block CFG execution;
-//! * [`Process`] — one running benchmark instance with its stats;
+//! * [`ProcessStats`] / [`ProcessState`] — per-process accounting and
+//!   run-state (the processes themselves live in a struct-of-arrays table
+//!   owned by the engine);
 //! * [`PhaseHook`] / [`MarkContext`] / [`MarkResponse`] — the phase-mark
 //!   runtime interface implemented by `phase-runtime`;
 //! * [`Simulation`] — the machine + scheduler simulation producing
 //!   [`SimResult`]s with per-process records and throughput windows, run by
 //!   either the reference round-based engine or the default event-driven
-//!   engine ([`EngineKind`], [`EventQueue`]);
+//!   engine ([`EngineKind`], [`BucketQueue`], [`EventQueue`]);
 //! * [`run_in_isolation`] — single-benchmark runs for Table 1 and the
 //!   stretch metric's isolated processing times, a thin wrapper over the
 //!   same engine path.
@@ -35,13 +37,13 @@ mod interp;
 mod process;
 mod sim;
 
-pub use engine::{Event, EventKind, EventQueue};
+pub use engine::{BucketQueue, Event, EventKind, EventQueue};
 pub use hooks::{
     AllCoresHook, IntervalHook, IntervalObservation, MarkContext, MarkResponse, NullHook,
     PhaseHook, SectionObservation,
 };
 pub use interp::{Interpreter, Step};
-pub use process::{IntervalCounters, Pid, Process, ProcessState, ProcessStats};
+pub use process::{IntervalCounters, Pid, ProcessState, ProcessStats};
 pub use sim::{
     run_in_isolation, EngineKind, JobSpec, ProcessRecord, SimConfig, SimResult, Simulation,
 };
@@ -53,7 +55,7 @@ mod tests {
     #[test]
     fn public_types_are_send() {
         fn assert_send<T: Send>() {}
-        assert_send::<Process>();
+        assert_send::<ProcessStats>();
         assert_send::<SimResult>();
         assert_send::<SimConfig>();
         assert_send::<Simulation<NullHook>>();

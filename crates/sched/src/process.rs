@@ -1,4 +1,11 @@
-//! Processes: one running instance of a (possibly instrumented) benchmark.
+//! Processes: running instances of (possibly instrumented) benchmarks.
+//!
+//! Per-process state lives in a struct-of-arrays [`ProcessTable`] owned by
+//! the engine: every field is a dense `Vec` indexed by [`Pid`]. The counters
+//! the inner execution loop writes on *every block* are grouped into one
+//! [`HotCounters`] record per process, so a whole quantum's accounting hits a
+//! handful of adjacent cache lines instead of pointer-chasing through a
+//! scattered `Vec<Process>` of large mixed-purpose structs.
 
 use std::sync::Arc;
 
@@ -70,46 +77,8 @@ impl ProcessStats {
     }
 }
 
-/// One running instance of a benchmark inside the simulation.
-#[derive(Debug, Clone)]
-pub struct Process {
-    pid: Pid,
-    name: String,
-    /// The workload slot this process occupies (the next queued job starts in
-    /// the same slot when this one finishes).
-    slot: usize,
-    instrumented: Arc<InstrumentedProgram>,
-    interp: Interpreter,
-    affinity: AffinityMask,
-    state: ProcessState,
-    current_core: Option<CoreId>,
-    arrival_ns: f64,
-    /// Earliest time the process may next be dispatched; starts at the
-    /// arrival time and is pushed forward by migration costs incurred while
-    /// the process was queued (interval-driven core switches).
-    eligible_ns: f64,
-    completion_ns: Option<f64>,
-    stats: ProcessStats,
-    /// The phase type of the section currently executing, when known.
-    current_phase: Option<PhaseType>,
-    /// Instructions/cycles accumulated since the last phase mark.
-    section_instructions: u64,
-    section_cycles: f64,
-    /// Whether the tuner armed monitoring for the current section.
-    monitoring: bool,
-    /// Counters accumulated since the last elapsed sampling interval
-    /// (`SimConfig::sample_interval_ns`): instructions, cycles, memory
-    /// accesses, and cycles per core kind (for dominant-kind attribution).
-    interval_instructions: u64,
-    interval_cycles: f64,
-    interval_mem_accesses: u64,
-    interval_kind_cycles: [f64; 4],
-    /// Number of interval observations emitted for this process so far.
-    interval_seq: u64,
-}
-
-/// One elapsed sampling interval's raw counters, rolled out of a [`Process`]
-/// by [`Process::roll_interval`].
+/// One elapsed sampling interval's raw counters, rolled out of the table by
+/// [`ProcessTable::roll_interval`].
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct IntervalCounters {
     /// Zero-based index of the emitted observation.
@@ -124,165 +93,37 @@ pub struct IntervalCounters {
     pub kind_cycles: [f64; 4],
 }
 
-impl Process {
-    /// Creates a process for an instrumented benchmark.
-    pub fn new(
-        pid: Pid,
-        name: impl Into<String>,
-        slot: usize,
-        instrumented: Arc<InstrumentedProgram>,
-        affinity: AffinityMask,
-        arrival_ns: f64,
-        seed: u64,
-    ) -> Self {
-        let interp = Interpreter::new(Arc::clone(instrumented.program()), seed);
-        let current_phase = instrumented.entry_type();
-        Self {
-            pid,
-            name: name.into(),
-            slot,
-            instrumented,
-            interp,
-            affinity,
-            state: ProcessState::Ready,
-            current_core: None,
-            arrival_ns,
-            eligible_ns: arrival_ns,
-            completion_ns: None,
-            stats: ProcessStats::default(),
-            current_phase,
-            section_instructions: 0,
-            section_cycles: 0.0,
-            monitoring: false,
-            interval_instructions: 0,
-            interval_cycles: 0.0,
-            interval_mem_accesses: 0,
-            interval_kind_cycles: [0.0; 4],
-            interval_seq: 0,
-        }
-    }
+/// The counters the inner execution loop updates on every executed block,
+/// packed contiguously per process: lifetime statistics, the current phase
+/// section, and the current sampling interval.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct HotCounters {
+    pub(crate) stats: ProcessStats,
+    /// Instructions/cycles accumulated since the last phase mark.
+    pub(crate) section_instructions: u64,
+    pub(crate) section_cycles: f64,
+    /// Counters accumulated since the last elapsed sampling interval.
+    pub(crate) interval_instructions: u64,
+    pub(crate) interval_cycles: f64,
+    pub(crate) interval_mem_accesses: u64,
+    pub(crate) interval_kind_cycles: [f64; 4],
+}
 
-    /// The process identifier.
-    pub fn pid(&self) -> Pid {
-        self.pid
-    }
-
-    /// The benchmark name this process runs.
-    pub fn name(&self) -> &str {
-        &self.name
-    }
-
-    /// The workload slot this process occupies.
-    pub fn slot(&self) -> usize {
-        self.slot
-    }
-
-    /// The instrumented program being executed.
-    pub fn instrumented(&self) -> &Arc<InstrumentedProgram> {
-        &self.instrumented
-    }
-
-    /// Mutable access to the interpreter (used by the simulation loop).
-    pub fn interp_mut(&mut self) -> &mut Interpreter {
-        &mut self.interp
-    }
-
-    /// Read access to the interpreter.
-    pub fn interp(&self) -> &Interpreter {
-        &self.interp
-    }
-
-    /// The process's current affinity mask.
-    pub fn affinity(&self) -> AffinityMask {
-        self.affinity
-    }
-
-    /// Replaces the affinity mask.
-    pub fn set_affinity(&mut self, mask: AffinityMask) {
-        self.affinity = mask;
-    }
-
-    /// The process's current run state.
-    pub fn state(&self) -> ProcessState {
-        self.state
-    }
-
-    /// Marks the process as running on a core.
-    pub fn set_running(&mut self, core: CoreId) {
-        self.state = ProcessState::Running;
-        self.current_core = Some(core);
-    }
-
-    /// Marks the process as ready (not on any core).
-    pub fn set_ready(&mut self) {
-        self.state = ProcessState::Ready;
-        self.current_core = None;
-    }
-
-    /// Marks the process as finished at the given time.
-    pub fn set_finished(&mut self, now_ns: f64) {
-        self.state = ProcessState::Finished;
-        self.current_core = None;
-        self.completion_ns = Some(now_ns);
-    }
-
-    /// The core the process is currently on, if running.
-    pub fn current_core(&self) -> Option<CoreId> {
-        self.current_core
-    }
-
-    /// Arrival time in nanoseconds.
-    pub fn arrival_ns(&self) -> f64 {
-        self.arrival_ns
-    }
-
-    /// Earliest time the process may next be dispatched: its arrival time,
-    /// pushed forward by any migration cost paid while queued.
-    pub fn ready_ns(&self) -> f64 {
-        self.arrival_ns.max(self.eligible_ns)
-    }
-
-    /// Delays the process's next dispatch to no earlier than `until_ns`
-    /// (charging a queued-migration latency).
-    pub fn delay_until(&mut self, until_ns: f64) {
-        if until_ns > self.eligible_ns {
-            self.eligible_ns = until_ns;
-        }
-    }
-
-    /// Completion time in nanoseconds, once finished.
-    pub fn completion_ns(&self) -> Option<f64> {
-        self.completion_ns
-    }
-
-    /// Accumulated statistics.
-    pub fn stats(&self) -> &ProcessStats {
-        &self.stats
-    }
-
-    /// Mutable access to the statistics (used by the simulation loop).
-    pub fn stats_mut(&mut self) -> &mut ProcessStats {
-        &mut self.stats
-    }
-
-    /// The phase type of the currently executing section, when known.
-    pub fn current_phase(&self) -> Option<PhaseType> {
-        self.current_phase
-    }
-
-    /// Whether monitoring is armed for the current section.
-    pub fn is_monitoring(&self) -> bool {
-        self.monitoring
-    }
-
-    /// Arms or disarms monitoring for the current section.
-    pub fn set_monitoring(&mut self, monitoring: bool) {
-        self.monitoring = monitoring;
-    }
-
+impl HotCounters {
     /// Adds the cost of one executed block to the current section, the
     /// current sampling interval, and the global statistics.
-    pub fn charge_block(&mut self, instructions: u64, cycles: f64, nanos: f64, kind_index: usize) {
+    ///
+    /// The accumulation order per field is load-bearing: the engines'
+    /// bit-for-bit equivalence relies on every accumulator seeing the same
+    /// sequence of floating-point additions.
+    #[inline]
+    pub(crate) fn charge_block(
+        &mut self,
+        instructions: u64,
+        cycles: f64,
+        nanos: f64,
+        kind_index: usize,
+    ) {
         self.stats.instructions += instructions;
         self.stats.cycles += cycles;
         self.stats.cpu_time_ns += nanos;
@@ -297,50 +138,246 @@ impl Process {
             self.interval_kind_cycles[kind_index] += cycles;
         }
     }
+}
 
-    /// Records memory accesses for the current sampling interval (only called
-    /// when interval sampling is enabled).
-    pub fn note_interval_mem_accesses(&mut self, accesses: u64) {
-        self.interval_mem_accesses += accesses;
+/// Struct-of-arrays storage for every process in a simulation.
+///
+/// All vectors share one length and are indexed by `Pid::index()`. The
+/// fields are grouped by access pattern: `hot` is written per executed block,
+/// `interps` is stepped per block, and the rest are read or written only at
+/// scheduling decision points (dispatch, preemption, marks, sampling).
+#[derive(Debug, Default)]
+pub(crate) struct ProcessTable {
+    names: Vec<String>,
+    slots: Vec<usize>,
+    instrumented: Vec<Arc<InstrumentedProgram>>,
+    pub(crate) interps: Vec<Interpreter>,
+    pub(crate) hot: Vec<HotCounters>,
+    affinity: Vec<AffinityMask>,
+    state: Vec<ProcessState>,
+    current_core: Vec<Option<CoreId>>,
+    arrival_ns: Vec<f64>,
+    /// Earliest time the process may next be dispatched; starts at the
+    /// arrival time and is pushed forward by migration costs incurred while
+    /// the process was queued (interval-driven core switches).
+    eligible_ns: Vec<f64>,
+    completion_ns: Vec<Option<f64>>,
+    /// The phase type of the section currently executing, when known.
+    current_phase: Vec<Option<PhaseType>>,
+    /// Whether the tuner armed monitoring for the current section.
+    monitoring: Vec<bool>,
+    /// Number of interval observations emitted per process so far.
+    interval_seq: Vec<u64>,
+}
+
+impl ProcessTable {
+    /// Number of processes spawned so far.
+    pub(crate) fn len(&self) -> usize {
+        self.names.len()
     }
 
-    /// Whether the process executed anything since the last elapsed sampling
+    /// Spawns a process for an instrumented benchmark, returning its pid.
+    pub(crate) fn spawn(
+        &mut self,
+        name: impl Into<String>,
+        slot: usize,
+        instrumented: Arc<InstrumentedProgram>,
+        affinity: AffinityMask,
+        arrival_ns: f64,
+        seed: u64,
+    ) -> Pid {
+        let pid = Pid(self.len() as u32);
+        let interp = Interpreter::new(Arc::clone(instrumented.program()), seed);
+        self.current_phase.push(instrumented.entry_type());
+        self.names.push(name.into());
+        self.slots.push(slot);
+        self.instrumented.push(instrumented);
+        self.interps.push(interp);
+        self.hot.push(HotCounters::default());
+        self.affinity.push(affinity);
+        self.state.push(ProcessState::Ready);
+        self.current_core.push(None);
+        self.arrival_ns.push(arrival_ns);
+        self.eligible_ns.push(arrival_ns);
+        self.completion_ns.push(None);
+        self.monitoring.push(false);
+        self.interval_seq.push(0);
+        pid
+    }
+
+    /// The benchmark name a process runs.
+    pub(crate) fn name(&self, index: usize) -> &str {
+        &self.names[index]
+    }
+
+    /// The workload slot a process occupies.
+    pub(crate) fn slot(&self, index: usize) -> usize {
+        self.slots[index]
+    }
+
+    /// The instrumented program a process executes.
+    pub(crate) fn instrumented(&self, index: usize) -> &Arc<InstrumentedProgram> {
+        &self.instrumented[index]
+    }
+
+    /// A process's current affinity mask.
+    pub(crate) fn affinity(&self, index: usize) -> AffinityMask {
+        self.affinity[index]
+    }
+
+    /// Replaces a process's affinity mask.
+    pub(crate) fn set_affinity(&mut self, index: usize, mask: AffinityMask) {
+        self.affinity[index] = mask;
+    }
+
+    /// A process's current run state.
+    pub(crate) fn state(&self, index: usize) -> ProcessState {
+        self.state[index]
+    }
+
+    /// Whether every spawned process has finished.
+    pub(crate) fn all_finished(&self) -> bool {
+        self.state.iter().all(|s| *s == ProcessState::Finished)
+    }
+
+    /// Marks a process as running on a core.
+    pub(crate) fn set_running(&mut self, index: usize, core: CoreId) {
+        self.state[index] = ProcessState::Running;
+        self.current_core[index] = Some(core);
+    }
+
+    /// Marks a process as ready (not on any core).
+    pub(crate) fn set_ready(&mut self, index: usize) {
+        self.state[index] = ProcessState::Ready;
+        self.current_core[index] = None;
+    }
+
+    /// Marks a process as finished at the given time.
+    pub(crate) fn set_finished(&mut self, index: usize, now_ns: f64) {
+        self.state[index] = ProcessState::Finished;
+        self.current_core[index] = None;
+        self.completion_ns[index] = Some(now_ns);
+    }
+
+    /// The core a process is currently on, if running.
+    #[cfg(test)]
+    pub(crate) fn current_core(&self, index: usize) -> Option<CoreId> {
+        self.current_core[index]
+    }
+
+    /// Arrival time in nanoseconds.
+    pub(crate) fn arrival_ns(&self, index: usize) -> f64 {
+        self.arrival_ns[index]
+    }
+
+    /// Earliest time a process may next be dispatched: its arrival time,
+    /// pushed forward by any migration cost paid while queued.
+    pub(crate) fn ready_ns(&self, index: usize) -> f64 {
+        self.arrival_ns[index].max(self.eligible_ns[index])
+    }
+
+    /// Delays a process's next dispatch to no earlier than `until_ns`
+    /// (charging a queued-migration latency).
+    pub(crate) fn delay_until(&mut self, index: usize, until_ns: f64) {
+        if until_ns > self.eligible_ns[index] {
+            self.eligible_ns[index] = until_ns;
+        }
+    }
+
+    /// Completion time in nanoseconds, once finished.
+    pub(crate) fn completion_ns(&self, index: usize) -> Option<f64> {
+        self.completion_ns[index]
+    }
+
+    /// A process's accumulated statistics.
+    pub(crate) fn stats(&self, index: usize) -> &ProcessStats {
+        &self.hot[index].stats
+    }
+
+    /// Mutable access to a process's statistics.
+    pub(crate) fn stats_mut(&mut self, index: usize) -> &mut ProcessStats {
+        &mut self.hot[index].stats
+    }
+
+    /// The phase type of a process's currently executing section, when known.
+    #[cfg(test)]
+    pub(crate) fn current_phase(&self, index: usize) -> Option<PhaseType> {
+        self.current_phase[index]
+    }
+
+    /// Whether monitoring is armed for a process's current section.
+    #[cfg(test)]
+    pub(crate) fn is_monitoring(&self, index: usize) -> bool {
+        self.monitoring[index]
+    }
+
+    /// Arms or disarms monitoring for a process's current section.
+    pub(crate) fn set_monitoring(&mut self, index: usize, monitoring: bool) {
+        self.monitoring[index] = monitoring;
+    }
+
+    /// Adds the cost of one executed block to a process's counters.
+    #[inline]
+    pub(crate) fn charge_block(
+        &mut self,
+        index: usize,
+        instructions: u64,
+        cycles: f64,
+        nanos: f64,
+        kind_index: usize,
+    ) {
+        self.hot[index].charge_block(instructions, cycles, nanos, kind_index);
+    }
+
+    /// Records memory accesses for a process's current sampling interval
+    /// (only called when interval sampling is enabled).
+    pub(crate) fn note_interval_mem_accesses(&mut self, index: usize, accesses: u64) {
+        self.hot[index].interval_mem_accesses += accesses;
+    }
+
+    /// Whether a process executed anything since the last elapsed sampling
     /// interval.
-    pub fn has_interval_activity(&self) -> bool {
-        self.interval_instructions > 0
+    pub(crate) fn has_interval_activity(&self, index: usize) -> bool {
+        self.hot[index].interval_instructions > 0
     }
 
-    /// Closes the current sampling interval, returning its raw counters and
-    /// starting the next one.
-    pub fn roll_interval(&mut self) -> IntervalCounters {
+    /// Closes a process's current sampling interval, returning its raw
+    /// counters and starting the next one.
+    pub(crate) fn roll_interval(&mut self, index: usize) -> IntervalCounters {
+        let hot = &mut self.hot[index];
         let counters = IntervalCounters {
-            seq: self.interval_seq,
-            instructions: self.interval_instructions,
-            cycles: self.interval_cycles,
-            mem_accesses: self.interval_mem_accesses,
-            kind_cycles: self.interval_kind_cycles,
+            seq: self.interval_seq[index],
+            instructions: hot.interval_instructions,
+            cycles: hot.interval_cycles,
+            mem_accesses: hot.interval_mem_accesses,
+            kind_cycles: hot.interval_kind_cycles,
         };
-        self.interval_seq += 1;
-        self.interval_instructions = 0;
-        self.interval_cycles = 0.0;
-        self.interval_mem_accesses = 0;
-        self.interval_kind_cycles = [0.0; 4];
+        self.interval_seq[index] += 1;
+        hot.interval_instructions = 0;
+        hot.interval_cycles = 0.0;
+        hot.interval_mem_accesses = 0;
+        hot.interval_kind_cycles = [0.0; 4];
         counters
     }
 
-    /// Closes the current section (because a phase mark fired), returning its
-    /// accumulated instructions and cycles and starting a new section of the
-    /// given phase type.
-    pub fn roll_section(&mut self, new_phase: PhaseType) -> (u64, f64, Option<PhaseType>) {
+    /// Closes a process's current section (because a phase mark fired),
+    /// returning its accumulated instructions and cycles and starting a new
+    /// section of the given phase type.
+    pub(crate) fn roll_section(
+        &mut self,
+        index: usize,
+        new_phase: PhaseType,
+    ) -> (u64, f64, Option<PhaseType>) {
+        let hot = &mut self.hot[index];
         let finished = (
-            self.section_instructions,
-            self.section_cycles,
-            self.current_phase,
+            hot.section_instructions,
+            hot.section_cycles,
+            self.current_phase[index],
         );
-        self.section_instructions = 0;
-        self.section_cycles = 0.0;
-        self.current_phase = Some(new_phase);
-        self.monitoring = false;
+        hot.section_instructions = 0;
+        hot.section_cycles = 0.0;
+        self.current_phase[index] = Some(new_phase);
+        self.monitoring[index] = false;
         finished
     }
 }
@@ -374,47 +411,70 @@ mod tests {
         ))
     }
 
-    fn process() -> Process {
-        Process::new(
-            Pid(1),
+    fn table() -> (ProcessTable, usize) {
+        let mut table = ProcessTable::default();
+        let pid = table.spawn(
             "bench",
             0,
             instrumented_program(),
             AffinityMask::from_cores([CoreId(0), CoreId(1)]),
             0.0,
             42,
-        )
+        );
+        (table, pid.index())
     }
 
     #[test]
-    fn new_process_starts_ready_with_entry_phase() {
-        let p = process();
-        assert_eq!(p.state(), ProcessState::Ready);
-        assert_eq!(p.current_phase(), Some(PhaseType(0)));
-        assert_eq!(p.current_core(), None);
-        assert_eq!(p.stats().instructions, 0);
-        assert!(!p.is_monitoring());
+    fn spawned_process_starts_ready_with_entry_phase() {
+        let (t, p) = table();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.state(p), ProcessState::Ready);
+        assert_eq!(t.current_phase(p), Some(PhaseType(0)));
+        assert_eq!(t.current_core(p), None);
+        assert_eq!(t.stats(p).instructions, 0);
+        assert!(!t.is_monitoring(p));
+    }
+
+    #[test]
+    fn spawn_assigns_sequential_pids() {
+        let (mut t, first) = table();
+        assert_eq!(first, 0);
+        let second = t.spawn(
+            "bench2",
+            1,
+            instrumented_program(),
+            AffinityMask::single(CoreId(0)),
+            5.0,
+            43,
+        );
+        assert_eq!(second, Pid(1));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.name(1), "bench2");
+        assert_eq!(t.slot(1), 1);
+        assert_eq!(t.arrival_ns(1), 5.0);
     }
 
     #[test]
     fn state_transitions() {
-        let mut p = process();
-        p.set_running(CoreId(1));
-        assert_eq!(p.state(), ProcessState::Running);
-        assert_eq!(p.current_core(), Some(CoreId(1)));
-        p.set_ready();
-        assert_eq!(p.state(), ProcessState::Ready);
-        p.set_finished(123.0);
-        assert_eq!(p.state(), ProcessState::Finished);
-        assert_eq!(p.completion_ns(), Some(123.0));
+        let (mut t, p) = table();
+        t.set_running(p, CoreId(1));
+        assert_eq!(t.state(p), ProcessState::Running);
+        assert_eq!(t.current_core(p), Some(CoreId(1)));
+        t.set_ready(p);
+        assert_eq!(t.state(p), ProcessState::Ready);
+        assert!(!t.all_finished());
+        t.set_finished(p, 123.0);
+        assert_eq!(t.state(p), ProcessState::Finished);
+        assert_eq!(t.completion_ns(p), Some(123.0));
+        assert!(t.all_finished());
     }
 
     #[test]
     fn charging_blocks_accumulates_section_and_total() {
-        let mut p = process();
-        p.charge_block(100, 80.0, 33.0, 0);
-        p.charge_block(50, 40.0, 16.0, 1);
-        let stats = p.stats();
+        let (mut t, p) = table();
+        t.charge_block(p, 100, 80.0, 33.0, 0);
+        t.charge_block(p, 50, 40.0, 16.0, 1);
+        let stats = t.stats(p);
         assert_eq!(stats.instructions, 150);
         assert!((stats.cycles - 120.0).abs() < 1e-9);
         assert!((stats.time_on_kind_ns[0] - 33.0).abs() < 1e-9);
@@ -424,30 +484,30 @@ mod tests {
 
     #[test]
     fn rolling_a_section_returns_its_totals_and_switches_phase() {
-        let mut p = process();
-        p.charge_block(100, 50.0, 20.0, 0);
-        p.set_monitoring(true);
-        let (instructions, cycles, phase) = p.roll_section(PhaseType(1));
+        let (mut t, p) = table();
+        t.charge_block(p, 100, 50.0, 20.0, 0);
+        t.set_monitoring(p, true);
+        let (instructions, cycles, phase) = t.roll_section(p, PhaseType(1));
         assert_eq!(instructions, 100);
         assert!((cycles - 50.0).abs() < 1e-9);
         assert_eq!(phase, Some(PhaseType(0)));
-        assert_eq!(p.current_phase(), Some(PhaseType(1)));
-        assert!(!p.is_monitoring(), "monitoring disarms on section roll");
+        assert_eq!(t.current_phase(p), Some(PhaseType(1)));
+        assert!(!t.is_monitoring(p), "monitoring disarms on section roll");
         // A fresh section accumulates from zero.
-        let (i2, c2, _) = p.roll_section(PhaseType(0));
+        let (i2, c2, _) = t.roll_section(p, PhaseType(0));
         assert_eq!(i2, 0);
         assert_eq!(c2, 0.0);
     }
 
     #[test]
     fn rolling_an_interval_returns_counters_and_advances_the_sequence() {
-        let mut p = process();
-        assert!(!p.has_interval_activity());
-        p.charge_block(100, 80.0, 33.0, 0);
-        p.charge_block(60, 90.0, 56.0, 1);
-        p.note_interval_mem_accesses(12);
-        assert!(p.has_interval_activity());
-        let first = p.roll_interval();
+        let (mut t, p) = table();
+        assert!(!t.has_interval_activity(p));
+        t.charge_block(p, 100, 80.0, 33.0, 0);
+        t.charge_block(p, 60, 90.0, 56.0, 1);
+        t.note_interval_mem_accesses(p, 12);
+        assert!(t.has_interval_activity(p));
+        let first = t.roll_interval(p);
         assert_eq!(first.seq, 0);
         assert_eq!(first.instructions, 160);
         assert!((first.cycles - 170.0).abs() < 1e-9);
@@ -455,9 +515,9 @@ mod tests {
         assert!((first.kind_cycles[0] - 80.0).abs() < 1e-9);
         assert!((first.kind_cycles[1] - 90.0).abs() < 1e-9);
         // The next interval starts from zero with the next sequence number.
-        assert!(!p.has_interval_activity());
-        p.charge_block(5, 5.0, 2.0, 0);
-        let second = p.roll_interval();
+        assert!(!t.has_interval_activity(p));
+        t.charge_block(p, 5, 5.0, 2.0, 0);
+        let second = t.roll_interval(p);
         assert_eq!(second.seq, 1);
         assert_eq!(second.instructions, 5);
         assert_eq!(second.mem_accesses, 0);
@@ -465,32 +525,32 @@ mod tests {
 
     #[test]
     fn interval_counters_do_not_disturb_sections() {
-        let mut p = process();
-        p.charge_block(100, 50.0, 20.0, 0);
-        let _ = p.roll_interval();
-        let (instructions, cycles, _) = p.roll_section(PhaseType(1));
+        let (mut t, p) = table();
+        t.charge_block(p, 100, 50.0, 20.0, 0);
+        let _ = t.roll_interval(p);
+        let (instructions, cycles, _) = t.roll_section(p, PhaseType(1));
         assert_eq!(instructions, 100, "section survives an interval roll");
         assert!((cycles - 50.0).abs() < 1e-9);
     }
 
     #[test]
     fn queued_migration_delay_pushes_readiness_forward_only() {
-        let mut p = process();
-        assert_eq!(p.ready_ns(), p.arrival_ns());
-        p.delay_until(500.0);
-        assert_eq!(p.ready_ns(), 500.0);
+        let (mut t, p) = table();
+        assert_eq!(t.ready_ns(p), t.arrival_ns(p));
+        t.delay_until(p, 500.0);
+        assert_eq!(t.ready_ns(p), 500.0);
         // Delays never move backwards, and arrival time is untouched (flow
         // metrics stay anchored to the true arrival).
-        p.delay_until(200.0);
-        assert_eq!(p.ready_ns(), 500.0);
-        assert_eq!(p.arrival_ns(), 0.0);
+        t.delay_until(p, 200.0);
+        assert_eq!(t.ready_ns(p), 500.0);
+        assert_eq!(t.arrival_ns(p), 0.0);
     }
 
     #[test]
     fn affinity_can_be_replaced() {
-        let mut p = process();
+        let (mut t, p) = table();
         let new_mask = AffinityMask::single(CoreId(3));
-        p.set_affinity(new_mask);
-        assert_eq!(p.affinity(), new_mask);
+        t.set_affinity(p, new_mask);
+        assert_eq!(t.affinity(p), new_mask);
     }
 }

@@ -1,10 +1,13 @@
 //! Golden-equivalence tests: the event-driven engine must reproduce the
 //! round-based reference engine's results on real workloads.
 //!
-//! Three seeded workloads cover the interesting regimes — the paper's dense
+//! Five seeded workloads cover the interesting regimes — the paper's dense
 //! Table 1 catalogue, the mixed CPU/memory scenario family (heavy
-//! phase-transition traffic), and a bursty-arrival workload (the idle
-//! stretches the event engine skips). Aggregate metrics (completion times,
+//! phase-transition traffic), a bursty-arrival workload (the idle
+//! stretches the event engine skips), an online-policy run with interval
+//! sampling, and a larger bursty workload under online sampling (batched
+//! same-timestamp arrivals interleaved with sample ticks on the bucket
+//! queue's fast path). Aggregate metrics (completion times,
 //! switch counts, fairness) must agree within 1e-9; in practice they are
 //! bit-identical because both engines drive the same scheduling primitives.
 
@@ -181,6 +184,54 @@ fn engines_agree_under_the_online_policy_with_interval_sampling() {
     assert!(
         event.total_core_switches > 0,
         "interval sampling produced no affinity-driven switches"
+    );
+    assert_equivalent(&round, &event);
+}
+
+#[test]
+fn engines_agree_on_a_large_bursty_workload_with_online_sampling() {
+    use phase_tuning::substrate::online::OnlineConfig;
+    // The stress case for the batched event path: a larger catalogue and
+    // slot count than the cases above, arrivals in waves (draining the
+    // calendar queue across long idle gaps), AND the online policy's
+    // periodic SampleInterval ticks landing between quantum expiries. Wave
+    // gaps are deliberately not multiples of the sampling period, so arrival
+    // bursts, sampling ticks, and quantum expiries collide at shared
+    // timestamps in every combination the batch-application loop handles.
+    let machine = machine();
+    let catalog = Catalog::standard(0.15, 5);
+    let workload = Workload::bursty(&catalog, 12, 2, 3, 1_250_000.0, 9);
+    let programs = baseline_catalog(&catalog);
+    let slots = build_slots(&workload, &catalog, &programs);
+    let policy = Policy::Online(OnlineConfig {
+        sample_interval_ns: 180_000.0,
+        ..OnlineConfig::default()
+    });
+    let sim = SimConfig {
+        horizon_ns: Some(12_000_000.0),
+        ..SimConfig::default()
+    };
+    let run = |engine: EngineKind| {
+        let mut plan = ExperimentPlan::new();
+        plan.push(CellSpec {
+            group: "golden-large".into(),
+            label: format!("golden-large-{engine}"),
+            machine: machine.clone(),
+            slots: slots.clone(),
+            policy,
+            sim: SimConfig { engine, ..sim },
+        });
+        Driver::new(1).run(plan).cells.remove(0).result
+    };
+    let round = run(EngineKind::RoundBased);
+    let event = run(EngineKind::EventDriven);
+    assert!(
+        round.records.iter().any(|r| r.arrival_ns > 0.0),
+        "waves produced no delayed arrivals"
+    );
+    assert!(
+        event.total_core_switches > 0,
+        "online sampling never retuned anything"
     );
     assert_equivalent(&round, &event);
 }

@@ -234,6 +234,68 @@ proptest! {
         prop_assert!(queue.is_empty());
     }
 
+    /// The bucketed calendar queue pops in exactly the binary-heap reference
+    /// order under arbitrary interleavings of pushes and pops, with event
+    /// times spread across every horizon the queue distinguishes: the live
+    /// bucket, the in-window calendar, and the far-future overflow heap.
+    #[test]
+    fn bucket_queue_matches_heap_order_under_interleaving(
+        ops in proptest::collection::vec(
+            (0u8..4, 0u8..4, any::<u8>(), 0u8..4, 0u32..4),
+            1..100,
+        ),
+    ) {
+        use phase_tuning::substrate::sched::{BucketQueue, EventKind, EventQueue};
+
+        const WIDTH_NS: f64 = 20_000.0;
+        let mut heap = EventQueue::new();
+        let mut bucket = BucketQueue::new(WIDTH_NS);
+        for &(op, horizon, step, kind, core) in &ops {
+            if op == 0 {
+                // A quarter of the ops pop mid-stream; popping advances the
+                // calendar's base, so later pushes may land behind it.
+                let reference = heap.pop();
+                let candidate = bucket.pop();
+                prop_assert_eq!(reference.is_some(), candidate.is_some());
+                if let (Some(a), Some(b)) = (reference, candidate) {
+                    prop_assert_eq!(a.time_ns(), b.time_ns());
+                    prop_assert_eq!(a.kind(), b.kind());
+                }
+            } else {
+                let base = match horizon {
+                    0 => 0.0,                // the live bucket
+                    1 => WIDTH_NS * 100.0,   // inside the calendar window
+                    2 => WIDTH_NS * 300.0,   // just past it: overflow heap
+                    _ => WIDTH_NS * 9_999.0, // deep future
+                };
+                // Fractional offsets: times need not be round-aligned.
+                let time_ns = base + f64::from(step) * WIDTH_NS / 8.0;
+                let kind = match kind {
+                    0 => EventKind::JobArrival { core: CoreId(core) },
+                    1 => EventKind::LoadBalance,
+                    2 => EventKind::SampleInterval,
+                    _ => EventKind::QuantumExpiry { core: CoreId(core) },
+                };
+                heap.push(time_ns, kind);
+                bucket.push(time_ns, kind);
+            }
+        }
+        prop_assert_eq!(heap.len(), bucket.len());
+        loop {
+            let reference = heap.pop();
+            let candidate = bucket.pop();
+            prop_assert_eq!(reference.is_some(), candidate.is_some());
+            match (reference, candidate) {
+                (Some(a), Some(b)) => {
+                    prop_assert_eq!(a.time_ns(), b.time_ns());
+                    prop_assert_eq!(a.kind(), b.kind());
+                }
+                _ => break,
+            }
+        }
+        prop_assert!(bucket.is_empty());
+    }
+
     /// The event-driven engine never completes a process before its arrival,
     /// never starts a released job early, and completes every job when run
     /// without a horizon — for arbitrary slot shapes, release times, and
