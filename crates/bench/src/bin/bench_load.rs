@@ -1,0 +1,505 @@
+//! Open-loop load benchmark for the TCP tuning service
+//! (`BENCH_load.json`): deterministic arrival traces (Poisson, bursty,
+//! diurnal) replayed against a live `serve_tcp_with` listener on localhost,
+//! recording per-request latency percentiles (p50/p99/p999 from the
+//! fixed-bucket log-scale histogram) and sustained RPS per
+//! (trace × executor-workers × queue-depth) row.
+//!
+//! The replay is *open-loop*: request send times come from the trace alone,
+//! never from response arrival, so a slow server accumulates queueing delay
+//! in the measured latency instead of silently throttling the offered load.
+//! Each trace mixes repeated (cache-hot), distinct, and malformed request
+//! lines. A second section storms one cold request from many concurrent
+//! clients against a deliberately cache-less service (1-byte store budget)
+//! with single-flight coalescing on and off, proving the coalesced path
+//! multiplies throughput without changing a byte of any response.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use phase_core::{JsonValue, MetricValue, StudyReport, StudyRow};
+use phase_metrics::LogHistogram;
+use phase_serve::{serve_tcp_with, ServiceConfig, TuningService, WireConfig};
+
+// --- Deterministic trace generation -------------------------------------
+
+/// splitmix64: tiny, seedable, and good enough for arrival jitter.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Trace {
+    /// Memoryless arrivals at a constant rate.
+    Poisson,
+    /// On/off square wave: the whole load arrives in 25%-duty bursts at 4x
+    /// the mean rate (same offered load, much harsher queueing).
+    Bursty,
+    /// One slow sinusoidal swell across the run (a compressed day).
+    Diurnal,
+}
+
+impl Trace {
+    fn name(self) -> &'static str {
+        match self {
+            Trace::Poisson => "poisson",
+            Trace::Bursty => "bursty",
+            Trace::Diurnal => "diurnal",
+        }
+    }
+
+    /// Instantaneous arrival rate at `t`, shaped so every trace offers the
+    /// same mean `rate_hz` over `duration_s`.
+    fn intensity(self, t: f64, duration_s: f64, rate_hz: f64) -> f64 {
+        match self {
+            Trace::Poisson => rate_hz,
+            Trace::Bursty => {
+                const PERIOD_S: f64 = 0.2;
+                const DUTY: f64 = 0.25;
+                if (t / PERIOD_S).fract() < DUTY {
+                    rate_hz / DUTY
+                } else {
+                    0.0
+                }
+            }
+            Trace::Diurnal => {
+                let phase = std::f64::consts::TAU * t / duration_s;
+                rate_hz * (1.0 + 0.9 * phase.sin())
+            }
+        }
+    }
+
+    fn peak(self, rate_hz: f64) -> f64 {
+        match self {
+            Trace::Poisson => rate_hz,
+            Trace::Bursty => rate_hz / 0.25,
+            Trace::Diurnal => rate_hz * 1.9,
+        }
+    }
+}
+
+/// Arrival offsets (seconds from trace start) via Lewis–Shedler thinning of
+/// a homogeneous process at the trace's peak rate.
+fn arrivals(trace: Trace, rate_hz: f64, duration_s: f64, seed: u64) -> Vec<f64> {
+    let mut rng = SplitMix64(seed);
+    let peak = trace.peak(rate_hz);
+    let mut t = 0.0;
+    let mut out = Vec::new();
+    loop {
+        t += -(1.0 - rng.next_f64()).ln() / peak;
+        if t >= duration_s {
+            return out;
+        }
+        if rng.next_f64() * peak < trace.intensity(t, duration_s, rate_hz) {
+            out.push(t);
+        }
+    }
+}
+
+// --- The request mix -----------------------------------------------------
+
+const DISTINCT_SPECS: usize = 8;
+const MALFORMED: &str = "{\"id\": \"bad\", \"kind\": \"dance\"}";
+
+fn distinct_line(slot: usize, scale: f64) -> String {
+    format!(
+        "{{\"id\": \"d{slot}\", \"kind\": \"marks\", \
+         \"catalog\": {{\"scale\": {scale}, \"seed\": {slot}}}}}"
+    )
+}
+
+fn hot_line(scale: f64) -> String {
+    format!(
+        "{{\"id\": \"hot\", \"kind\": \"marks\", \
+         \"catalog\": {{\"scale\": {scale}, \"seed\": 100}}}}"
+    )
+}
+
+/// The mix: 10% malformed (structured-error path), 10% one hot repeated
+/// spec, 80% cycling through a small distinct set — all pre-warmed, so the
+/// matrix measures serving overhead, not simulation time.
+fn line_for(index: usize, scale: f64) -> String {
+    match index % 10 {
+        9 => MALFORMED.to_string(),
+        4 => hot_line(scale),
+        _ => distinct_line(index % DISTINCT_SPECS, scale),
+    }
+}
+
+// --- Open-loop replay ----------------------------------------------------
+
+struct ReplayOutcome {
+    histogram: LogHistogram,
+    responses: u64,
+    errors: u64,
+    /// Offset of the last completion from the replay epoch, seconds.
+    last_completion_s: f64,
+}
+
+/// Replays timestamped request lines over `connections` pipelined TCP
+/// connections (round-robin assignment; per-connection send order preserved,
+/// which matches the server's per-connection response order).
+fn replay(
+    addr: std::net::SocketAddr,
+    events: &[(f64, String)],
+    connections: usize,
+) -> ReplayOutcome {
+    let mut per_connection: Vec<Vec<(f64, String)>> = vec![Vec::new(); connections];
+    for (index, event) in events.iter().enumerate() {
+        per_connection[index % connections].push(event.clone());
+    }
+    // The epoch is a short grace period ahead so every sender thread is
+    // parked on its first deadline before the clock starts.
+    let epoch = Instant::now() + Duration::from_millis(100);
+    let readers: Vec<_> = per_connection
+        .into_iter()
+        .map(|batch| {
+            let stream = TcpStream::connect(addr).expect("connect to the service");
+            stream.set_nodelay(true).expect("set nodelay");
+            let read_half = stream.try_clone().expect("split the stream");
+            let schedule: Vec<f64> = batch.iter().map(|(at, _)| *at).collect();
+            let writer = std::thread::spawn(move || {
+                let mut stream = stream;
+                for (at, line) in &batch {
+                    let target = epoch + Duration::from_secs_f64(*at);
+                    let wait = target.saturating_duration_since(Instant::now());
+                    if !wait.is_zero() {
+                        std::thread::sleep(wait);
+                    }
+                    stream
+                        .write_all(format!("{line}\n").as_bytes())
+                        .expect("send the request");
+                }
+                let _ = stream.shutdown(std::net::Shutdown::Write);
+            });
+            let reader = std::thread::spawn(move || {
+                let mut reader = BufReader::new(read_half);
+                let mut samples = Vec::with_capacity(schedule.len());
+                let mut line = String::new();
+                for at in schedule {
+                    line.clear();
+                    let n = reader.read_line(&mut line).expect("read the response");
+                    assert!(n > 0, "the server closed the connection early");
+                    let done_s = epoch.elapsed().as_secs_f64();
+                    // Latency is measured from the *scheduled* arrival: a
+                    // sender running behind still charges the backlog here.
+                    let latency_s = (done_s - at).max(0.0);
+                    let is_error = line.contains("\"status\": \"error\"");
+                    samples.push((latency_s, done_s, is_error));
+                }
+                samples
+            });
+            (writer, reader)
+        })
+        .collect();
+
+    let mut outcome = ReplayOutcome {
+        histogram: LogHistogram::new(),
+        responses: 0,
+        errors: 0,
+        last_completion_s: 0.0,
+    };
+    for (writer, reader) in readers {
+        writer.join().expect("sender thread");
+        for (latency_s, done_s, is_error) in reader.join().expect("reader thread") {
+            outcome.histogram.record((latency_s * 1e9) as u64);
+            outcome.responses += 1;
+            outcome.errors += u64::from(is_error);
+            outcome.last_completion_s = outcome.last_completion_s.max(done_s);
+        }
+    }
+    outcome
+}
+
+// --- The matrix ----------------------------------------------------------
+
+struct MatrixParams {
+    rate_hz: f64,
+    duration_s: f64,
+    scale: f64,
+    connections: usize,
+    workers: Vec<usize>,
+    depths: Vec<usize>,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_row(
+    trace: Trace,
+    workers: usize,
+    depth: usize,
+    params: &MatrixParams,
+    seed: u64,
+    quick: bool,
+) -> (StudyRow, phase_core::StoreStats) {
+    let service = Arc::new(
+        TuningService::new(ServiceConfig::with_threads(1)).expect("cold start cannot fail"),
+    );
+    // Pre-warm every spec in the mix: matrix rows measure the serving path
+    // (parse, coalesce, queue, cache lookup), not cold simulation.
+    for slot in 0..DISTINCT_SPECS {
+        assert!(!service
+            .respond(&distinct_line(slot, params.scale))
+            .is_error());
+    }
+    assert!(!service.respond(&hot_line(params.scale)).is_error());
+
+    let events: Vec<(f64, String)> = arrivals(trace, params.rate_hz, params.duration_s, seed)
+        .into_iter()
+        .enumerate()
+        .map(|(index, at)| (at, line_for(index, params.scale)))
+        .collect();
+    assert!(!events.is_empty(), "the trace generated no arrivals");
+    let expected_errors = events.iter().filter(|(_, line)| line == MALFORMED).count() as u64;
+
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind an ephemeral port");
+    let addr = listener.local_addr().expect("local addr");
+    let config = WireConfig {
+        connection_workers: params.connections + 1,
+        executor_workers: workers,
+        queue_depth: depth,
+        ..WireConfig::default()
+    };
+    let server = {
+        let service = Arc::clone(&service);
+        let connections = params.connections;
+        std::thread::spawn(move || serve_tcp_with(&service, listener, Some(connections), config))
+    };
+    let outcome = replay(addr, &events, params.connections);
+    let summary = server
+        .join()
+        .expect("server thread")
+        .expect("serving succeeded");
+
+    assert_eq!(
+        outcome.responses,
+        events.len() as u64,
+        "every request answered"
+    );
+    assert_eq!(summary.responses, events.len() as u64);
+    let stats = service.stats();
+    if quick {
+        // The smoke profile must complete shed-free: a warm service at this
+        // offered load has no excuse to drop anything.
+        assert_eq!(stats.serving.shed, 0, "quick run shed requests");
+        assert_eq!(
+            outcome.errors, expected_errors,
+            "only malformed lines errored"
+        );
+    }
+
+    let (p50_ns, p99_ns, p999_ns) = outcome.histogram.p50_p99_p999();
+    let rps = outcome.responses as f64 / outcome.last_completion_s.max(1e-9);
+    let label = format!("{}/w{workers}/q{depth}", trace.name());
+    println!(
+        "{label:>18}  {:>5} req  {rps:>8.1} rps  p50 {:>9.3}ms  p99 {:>9.3}ms  \
+         p999 {:>9.3}ms  shed {}",
+        outcome.responses,
+        p50_ns as f64 / 1e6,
+        p99_ns as f64 / 1e6,
+        p999_ns as f64 / 1e6,
+        stats.serving.shed,
+    );
+    let row = StudyRow::new(label)
+        .metric("trace", MetricValue::Text(trace.name().to_string()))
+        .metric("executor_workers", MetricValue::UInt(workers as u64))
+        .metric("queue_depth", MetricValue::UInt(depth as u64))
+        .metric("requests", MetricValue::UInt(outcome.responses))
+        .metric("rps", MetricValue::Float(rps))
+        .metric("p50_ns", MetricValue::UInt(p50_ns))
+        .metric("p99_ns", MetricValue::UInt(p99_ns))
+        .metric("p999_ns", MetricValue::UInt(p999_ns))
+        .metric("max_ns", MetricValue::UInt(outcome.histogram.max()))
+        .metric("errors", MetricValue::UInt(outcome.errors))
+        .metric("shed", MetricValue::UInt(stats.serving.shed))
+        .metric("coalesced", MetricValue::UInt(stats.serving.coalesced))
+        .metric(
+            "queue_hiwater",
+            MetricValue::UInt(stats.serving.queue_hiwater),
+        );
+    (row, stats.store)
+}
+
+// --- The coalescing storm ------------------------------------------------
+
+const STORM_CLIENTS: usize = 16;
+
+fn storm_line(scale: f64) -> String {
+    format!(
+        "{{\"id\": \"storm\", \"kind\": \"isolation\", \
+         \"catalog\": {{\"scale\": {scale}, \"seed\": 11}}}}"
+    )
+}
+
+/// Storms one identical cold request from [`STORM_CLIENTS`] concurrent
+/// connections against a cache-less service (1-byte budget: nothing is ever
+/// admitted to the store, so the uncoalesced path recomputes every time).
+/// Returns the wall-clock and every response's bytes.
+fn run_storm(line: &str, coalesce: bool) -> (f64, Vec<String>) {
+    let service = Arc::new(
+        TuningService::new(ServiceConfig {
+            threads: 1,
+            budget_bytes: Some(1),
+            coalesce,
+            ..ServiceConfig::default()
+        })
+        .expect("cold start cannot fail"),
+    );
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind an ephemeral port");
+    let addr = listener.local_addr().expect("local addr");
+    let config = WireConfig {
+        connection_workers: STORM_CLIENTS + 2,
+        executor_workers: 2,
+        queue_depth: STORM_CLIENTS * 4,
+        ..WireConfig::default()
+    };
+    let server = {
+        let service = Arc::clone(&service);
+        std::thread::spawn(move || serve_tcp_with(&service, listener, Some(STORM_CLIENTS), config))
+    };
+    let barrier = Arc::new(Barrier::new(STORM_CLIENTS + 1));
+    let clients: Vec<_> = (0..STORM_CLIENTS)
+        .map(|_| {
+            let barrier = Arc::clone(&barrier);
+            let line = line.to_string();
+            std::thread::spawn(move || {
+                let mut stream = TcpStream::connect(addr).expect("connect to the service");
+                stream.set_nodelay(true).expect("set nodelay");
+                let mut reader = BufReader::new(stream.try_clone().expect("split the stream"));
+                barrier.wait();
+                stream
+                    .write_all(format!("{line}\n").as_bytes())
+                    .expect("send the request");
+                let mut response = String::new();
+                reader.read_line(&mut response).expect("read the response");
+                let _ = stream.shutdown(std::net::Shutdown::Write);
+                response.trim_end().to_string()
+            })
+        })
+        .collect();
+    barrier.wait();
+    let start = Instant::now();
+    let responses: Vec<String> = clients
+        .into_iter()
+        .map(|client| client.join().expect("storm client"))
+        .collect();
+    let wall_s = start.elapsed().as_secs_f64();
+    server
+        .join()
+        .expect("server thread")
+        .expect("serving succeeded");
+    (wall_s, responses)
+}
+
+// --- main ----------------------------------------------------------------
+
+fn main() {
+    let settings = phase_bench::init(
+        "Open-loop serving load benchmark (BENCH_load.json)",
+        "Replays deterministic Poisson/bursty/diurnal arrival traces against a live\n\
+         serve_tcp listener and records p50/p99/p999 latency and sustained RPS per\n\
+         (trace x workers x queue-depth) row, plus an identical-request storm\n\
+         measuring the single-flight coalescing speedup.",
+    );
+    let quick = settings.quick;
+    let started = Instant::now();
+    let params = MatrixParams {
+        rate_hz: if quick { 150.0 } else { 400.0 },
+        duration_s: if quick { 1.0 } else { 2.5 },
+        scale: 0.05,
+        connections: 6,
+        workers: vec![1, 2],
+        depths: if quick { vec![64] } else { vec![16, 64] },
+    };
+
+    // --- The trace matrix. ---
+    let mut rows = Vec::new();
+    let mut store = None;
+    for trace in [Trace::Poisson, Trace::Bursty, Trace::Diurnal] {
+        for &workers in &params.workers {
+            for &depth in &params.depths {
+                let seed = 0xC60_2011 ^ (workers as u64) << 8 ^ depth as u64;
+                let (row, row_store) = run_row(trace, workers, depth, &params, seed, quick);
+                rows.push(row);
+                store = Some(row_store);
+            }
+        }
+    }
+
+    // --- The coalescing storm. ---
+    // Slow enough cold (~hundreds of ms) that all storm clients join the
+    // leader's flight well before it completes.
+    let line = storm_line(if quick { 2.0 } else { 4.0 });
+    let replay_bytes = TuningService::new(ServiceConfig::with_threads(1))
+        .expect("cold start cannot fail")
+        .respond(&line)
+        .to_json()
+        .render_compact();
+    let mut storm_rps = [0.0f64; 2];
+    for (index, coalesce) in [true, false].into_iter().enumerate() {
+        let (wall_s, responses) = run_storm(&line, coalesce);
+        for response in &responses {
+            assert_eq!(
+                response, &replay_bytes,
+                "a storm response (coalesce={coalesce}) diverged from the serial replay"
+            );
+        }
+        let rps = STORM_CLIENTS as f64 / wall_s.max(1e-9);
+        storm_rps[index] = rps;
+        let label = if coalesce {
+            "storm/coalesced"
+        } else {
+            "storm/uncoalesced"
+        };
+        println!("{label:>18}  {STORM_CLIENTS:>5} req  {rps:>8.1} rps  wall {wall_s:.3}s");
+        rows.push(
+            StudyRow::new(label)
+                .metric("coalesce", MetricValue::Text(coalesce.to_string()))
+                .metric("requests", MetricValue::UInt(STORM_CLIENTS as u64))
+                .metric("rps", MetricValue::Float(rps))
+                .metric("wall_s", MetricValue::Float(wall_s)),
+        );
+    }
+    let speedup = storm_rps[0] / storm_rps[1].max(1e-9);
+    println!("coalescing speedup: {speedup:.1}x (byte-identical responses in both modes)");
+    assert!(
+        speedup >= 5.0,
+        "coalescing must multiply identical-request throughput at least 5x, got {speedup:.1}x"
+    );
+
+    // --- BENCH_load.json. ---
+    let report = StudyReport {
+        study: "load".to_string(),
+        title: "Open-loop serving latency: Poisson/bursty/diurnal traces over serve_tcp"
+            .to_string(),
+        rows,
+        store: store.expect("the matrix ran at least one row"),
+        elapsed_s: started.elapsed().as_secs_f64(),
+    };
+    let written = phase_bench::write_study_report_with(
+        &report,
+        &settings,
+        &[
+            ("rate_hz", JsonValue::from(params.rate_hz)),
+            ("duration_s", JsonValue::from(params.duration_s)),
+            ("connections", JsonValue::from(params.connections as u64)),
+            ("storm_clients", JsonValue::from(STORM_CLIENTS as u64)),
+            ("coalesce_speedup", JsonValue::from(speedup)),
+        ],
+    );
+    phase_bench::announce_report(written, "BENCH_load.json");
+}

@@ -120,7 +120,7 @@ fn main() {
     let bounded = TuningService::new(ServiceConfig {
         threads,
         budget_bytes: Some(budget),
-        warm_start: None,
+        ..ServiceConfig::default()
     })
     .expect("cold start cannot fail");
     let mut max_resident = 0u64;
@@ -169,7 +169,11 @@ fn main() {
                 .field("evictions", stats.evictions())
                 .field("final_resident_bytes", stats.resident_bytes())
                 .field("store", stats.store.to_json()),
-        );
+        )
+        // The full final snapshot (serving counters included — coalesced,
+        // shed, per-kind admission/latency) so a regression in any serving
+        // counter is visible in the committed artifact.
+        .field("service_stats", stats.to_json());
     let path = settings.out_path("BENCH_serve.json");
     let written = phase_bench::write_report_file(&path, &doc.render()).map(|()| path);
     phase_bench::announce_report(written, "BENCH_serve.json");

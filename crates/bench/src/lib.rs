@@ -23,6 +23,7 @@
 //! | online vs. static tuning (`BENCH_online.json`) | `online_vs_static` |
 //! | every study + cold/warm store benchmark (`BENCH_study.json`) | `run_studies` |
 //! | tuning-service cold/warm + eviction (`BENCH_serve.json`) | `bench_serve` |
+//! | open-loop serving latency + coalescing storm (`BENCH_load.json`) | `bench_load` |
 //!
 //! Every study binary is a thin declarative spec (see [`studies`]) over the
 //! shared spec-driven runner of `phase-core` (`run_study`): the spec expands

@@ -1,0 +1,261 @@
+//! A fixed-bucket log-scale latency histogram.
+//!
+//! The serving stack records one observation per request into a
+//! [`LogHistogram`] and reports p50/p99/p999 from its buckets. The layout is
+//! HDR-style: values are bucketed by their floor-log2 octave, each octave
+//! split into `2^PRECISION_BITS` linear sub-buckets, so the relative
+//! quantization error is bounded by `2^-PRECISION_BITS` (~3%) across the
+//! whole `u64` range — microseconds and minutes share one fixed array, no
+//! reallocation, no per-recording branching beyond an `ilog2`.
+
+use serde::{Deserialize, Serialize};
+
+/// Sub-bucket precision: each power-of-two octave is split into
+/// `2^PRECISION_BITS` linear buckets, bounding relative error at
+/// `2^-PRECISION_BITS` (~3.1%).
+const PRECISION_BITS: u32 = 5;
+const SUB_BUCKETS: usize = 1 << PRECISION_BITS;
+/// Values below `2^PRECISION_BITS` map one-to-one onto the first
+/// `SUB_BUCKETS` buckets; every octave above contributes `SUB_BUCKETS` more.
+const BUCKETS: usize = SUB_BUCKETS * (64 - PRECISION_BITS as usize + 1);
+
+/// A fixed-bucket log-scale histogram over `u64` observations (the serving
+/// stack records nanoseconds). Recording is O(1), the footprint is a fixed
+/// ~15 KB, and quantiles are read back with bounded (~3%) relative error.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LogHistogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn bucket_index(value: u64) -> usize {
+    if value < SUB_BUCKETS as u64 {
+        return value as usize;
+    }
+    let octave = 63 - value.leading_zeros(); // >= PRECISION_BITS here
+    let shift = octave - PRECISION_BITS;
+    let sub = ((value >> shift) as usize) & (SUB_BUCKETS - 1);
+    (octave - PRECISION_BITS + 1) as usize * SUB_BUCKETS + sub
+}
+
+/// The smallest value that maps to `index` (the bucket's lower bound).
+fn bucket_floor(index: usize) -> u64 {
+    if index < SUB_BUCKETS {
+        return index as u64;
+    }
+    let octave = (index / SUB_BUCKETS - 1) as u32 + PRECISION_BITS;
+    let sub = (index % SUB_BUCKETS) as u64;
+    (1u64 << octave) + (sub << (octave - PRECISION_BITS))
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            counts: vec![0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: u64) {
+        self.counts[bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum += u128::from(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Smallest observation; zero when empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation; zero when empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean of the observations; zero when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`) of the recorded observations: the
+    /// lower bound of the first bucket whose cumulative count reaches
+    /// `ceil(q * count)`, clamped into `[min, max]` so quantization never
+    /// reports a value outside the observed range. Zero when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} out of range");
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (index, &bucket) in self.counts.iter().enumerate() {
+            seen += bucket;
+            if seen >= rank {
+                return bucket_floor(index).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Convenience: the 50th/99th/99.9th percentiles as a tuple.
+    pub fn p50_p99_p999(&self) -> (u64, u64, u64) {
+        (
+            self.quantile(0.50),
+            self.quantile(0.99),
+            self.quantile(0.999),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_reports_zeroes() {
+        let h = LogHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.99), 0);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = LogHistogram::new();
+        for v in 0..SUB_BUCKETS as u64 {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), SUB_BUCKETS as u64 - 1);
+        // Every value below 2^PRECISION_BITS has its own bucket.
+        for v in 0..SUB_BUCKETS as u64 {
+            assert_eq!(bucket_floor(bucket_index(v)), v);
+        }
+    }
+
+    #[test]
+    fn quantiles_have_bounded_relative_error() {
+        let mut h = LogHistogram::new();
+        // A deterministic spread across five orders of magnitude.
+        let mut values = Vec::new();
+        let mut v: u64 = 17;
+        for _ in 0..10_000 {
+            v = v
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let sample = 1_000 + v % 100_000_000; // 1µs .. 100ms in ns
+            values.push(sample);
+            h.record(sample);
+        }
+        values.sort_unstable();
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            let exact =
+                values[((q * (values.len() - 1) as f64).round() as usize).min(values.len() - 1)];
+            let approx = h.quantile(q);
+            let error = (approx as f64 - exact as f64).abs() / exact as f64;
+            assert!(
+                error <= 0.05,
+                "q={q}: approx {approx} vs exact {exact} (error {error:.4})"
+            );
+        }
+        assert_eq!(h.count(), 10_000);
+        assert!(h.min() >= 1_000 && h.max() < 100_001_000);
+    }
+
+    #[test]
+    fn bucket_floor_inverts_bucket_index() {
+        for value in [
+            0,
+            1,
+            31,
+            32,
+            33,
+            1_000,
+            65_535,
+            1 << 20,
+            (1 << 40) + 12345,
+            u64::MAX,
+        ] {
+            let index = bucket_index(value);
+            let floor = bucket_floor(index);
+            assert!(floor <= value, "floor {floor} above value {value}");
+            assert_eq!(bucket_index(floor), index, "floor maps back to its bucket");
+        }
+    }
+
+    #[test]
+    fn merge_matches_recording_into_one() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        let mut both = LogHistogram::new();
+        for v in [10u64, 100, 1_000, 10_000] {
+            a.record(v);
+            both.record(v);
+        }
+        for v in [5u64, 50_000, 500_000] {
+            b.record(v);
+            both.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), both.count());
+        assert_eq!(a.min(), both.min());
+        assert_eq!(a.max(), both.max());
+        assert_eq!(a.mean(), both.mean());
+        for q in [0.0, 0.25, 0.5, 0.75, 0.99, 1.0] {
+            assert_eq!(a.quantile(q), both.quantile(q));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn quantile_rejects_bad_q() {
+        let _ = LogHistogram::new().quantile(1.5);
+    }
+}

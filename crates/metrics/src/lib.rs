@@ -10,6 +10,9 @@
 //! * [`ProcessTiming`] / [`FairnessReport`] / [`FairnessComparison`] — the
 //!   flow/stretch fairness metrics of Bender et al. and the "% decrease over
 //!   standard Linux" orientation of Table 2;
+//! * [`LogHistogram`] — the fixed-bucket log-scale latency histogram the
+//!   serving stack records per-request latencies into (p50/p99/p999 with
+//!   bounded relative error);
 //! * assorted helpers ([`percent_decrease`], [`geometric_mean`], ...).
 //!
 //! The crate is deliberately free of simulation dependencies so it can be
@@ -20,10 +23,12 @@
 #![forbid(unsafe_code)]
 
 mod fairness;
+mod histogram;
 mod stats;
 mod throughput;
 
 pub use fairness::{FairnessComparison, FairnessReport, ProcessTiming};
+pub use histogram::LogHistogram;
 pub use stats::{
     geometric_mean, mean, percent_change, percent_decrease, percentile_sorted, SummaryStats,
 };
@@ -39,5 +44,6 @@ mod tests {
         assert_send_sync::<SummaryStats>();
         assert_send_sync::<FairnessReport>();
         assert_send_sync::<ThroughputSeries>();
+        assert_send_sync::<LogHistogram>();
     }
 }

@@ -20,10 +20,23 @@
 //! * **an in-process channel** — [`ServiceHandle`] (clonable, thread-safe),
 //!   from [`TuningService::spawn`];
 //! * **newline-delimited JSON** — [`serve_lines`] over any reader/writer
-//!   pair (stdio, an in-memory transcript, a socket) and [`serve_tcp`] over
-//!   a `TcpListener`, both built on the dependency-free `phase_core::json`
-//!   document model. Malformed requests produce structured error responses;
-//!   they never kill the loop.
+//!   pair (stdio, an in-memory transcript, a socket) and [`serve_tcp`] /
+//!   [`serve_tcp_with`] over a `TcpListener`, both built on the
+//!   dependency-free `phase_core::json` document model. Malformed requests
+//!   produce structured error responses; they never kill the loop.
+//!
+//! The TCP front end is built for throughput, not just correctness
+//! ([`WireConfig`]): a fixed pool of connection workers multiplexes
+//! connections instead of spawning a thread each; study execution runs on a
+//! separate bounded executor pool so a slow study cannot starve cheap
+//! requests; identical concurrent requests are coalesced into a single
+//! execution (single-flight, keyed by spec hash — safe because identical
+//! specs resolve to bit-identical reports); and when the executor queue is
+//! full, requests are shed immediately with a structured `overloaded` error
+//! instead of queueing without bound. Admission, shedding, coalescing, and
+//! per-kind latency percentiles are all visible in [`ServiceStats`] (the
+//! `stats` wire request) and in the optional periodic `service-metrics`
+//! NDJSON line.
 //!
 //! A service restarted from a spill directory ([`ServiceConfig::warm_start`]
 //! / [`TuningService::spill_to_dir`]) reloads the store's compact artifacts
@@ -35,6 +48,8 @@
 
 pub use phase_core::ArtifactStore;
 
+mod inflight;
+mod pool;
 mod request;
 mod service;
 mod wire;
@@ -42,5 +57,11 @@ mod wire;
 pub use request::{
     parse_request, RequestKind, ServeError, TuneSpec, TuningRequest, TuningResponse,
 };
-pub use service::{ServiceConfig, ServiceHandle, ServiceStats, TuningService};
-pub use wire::{serve_lines, serve_tcp, WireSummary};
+pub use service::{
+    KindAdmission, KindLatency, ServiceConfig, ServiceHandle, ServiceStats, ServingStats,
+    TuningService,
+};
+pub use wire::{
+    emit_metrics_line, serve_lines, serve_lines_capped, serve_tcp, serve_tcp_with, WireConfig,
+    WireSummary, DEFAULT_MAX_LINE_BYTES,
+};

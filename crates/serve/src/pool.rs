@@ -1,0 +1,141 @@
+//! The bounded study executor: a fixed pool of worker threads draining a
+//! depth-capped request queue.
+//!
+//! Connection workers never run studies themselves — they submit a [`Job`]
+//! and block on its reply channel, so a slow study occupies one executor
+//! slot, not a connection slot, and cheap requests (stats, parse errors,
+//! coalesced followers) keep flowing on other connections. Admission is
+//! bounded: when the queue is full, [`Executor::submit`] refuses
+//! *immediately* and the caller answers a structured `overloaded` error —
+//! the service sheds load instead of queueing without bound.
+
+use std::collections::VecDeque;
+use std::sync::atomic::Ordering;
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use crate::inflight::Completion;
+use crate::request::{TuningRequest, TuningResponse};
+use crate::service::{FlightOutcome, TuningService};
+
+/// One queued study execution: the parsed request, the single-flight
+/// completion the executor must publish through (when coalescing is on), and
+/// the channel the submitting connection worker blocks on.
+pub(crate) struct Job {
+    pub(crate) request: TuningRequest,
+    pub(crate) completion: Option<Completion<FlightOutcome>>,
+    pub(crate) reply: mpsc::Sender<TuningResponse>,
+    pub(crate) started: Instant,
+}
+
+struct Shared {
+    queue: Mutex<QueueState>,
+    available: Condvar,
+    service: Arc<TuningService>,
+    depth: usize,
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+/// The bounded executor pool. Dropping it drains the queue and joins the
+/// workers.
+pub(crate) struct Executor {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Executor {
+    /// Spawns `workers` executor threads sharing a queue capped at `depth`
+    /// pending jobs (both clamped to at least 1).
+    pub(crate) fn new(service: Arc<TuningService>, workers: usize, depth: usize) -> Self {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                shutdown: false,
+            }),
+            available: Condvar::new(),
+            service,
+            depth: depth.max(1),
+        });
+        let workers = (0..workers.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        Self { shared, workers }
+    }
+
+    /// Admits a job if the queue has room; hands it back untouched when the
+    /// queue is full so the caller can shed it with a structured error.
+    pub(crate) fn submit(&self, job: Job) -> Result<(), Box<Job>> {
+        let metrics = self.shared.service.metrics();
+        let mut queue = self.shared.queue.lock().expect("executor queue lock");
+        if queue.shutdown || queue.jobs.len() >= self.shared.depth {
+            drop(queue);
+            metrics.note_shed(job.request.kind.name());
+            return Err(Box::new(job));
+        }
+        metrics.note_admitted(job.request.kind.name());
+        queue.jobs.push_back(job);
+        let depth = queue.jobs.len() as u64;
+        metrics.queue_depth.store(depth, Ordering::Relaxed);
+        metrics.queue_hiwater.fetch_max(depth, Ordering::Relaxed);
+        drop(queue);
+        self.shared.available.notify_one();
+        Ok(())
+    }
+
+    fn stop(&self) {
+        let mut queue = self.shared.queue.lock().expect("executor queue lock");
+        queue.shutdown = true;
+        drop(queue);
+        self.shared.available.notify_all();
+    }
+}
+
+impl Drop for Executor {
+    fn drop(&mut self) {
+        self.stop();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    let service = &shared.service;
+    let metrics = service.metrics();
+    loop {
+        let job = {
+            let mut queue = shared.queue.lock().expect("executor queue lock");
+            loop {
+                if let Some(job) = queue.jobs.pop_front() {
+                    metrics
+                        .queue_depth
+                        .store(queue.jobs.len() as u64, Ordering::Relaxed);
+                    break job;
+                }
+                if queue.shutdown {
+                    return;
+                }
+                queue = shared.available.wait(queue).expect("executor queue wait");
+            }
+        };
+        metrics.active_jobs.fetch_add(1, Ordering::Relaxed);
+        let outcome = service.resolve_outcome(&job.request);
+        if let Some(completion) = job.completion {
+            completion.fulfill(outcome.clone());
+        }
+        let response = service.response_from_outcome(&job.request, outcome);
+        service.finish_request(job.request.kind.name(), job.started, &response);
+        // A dropped receiver just means the connection went away mid-study.
+        let _ = job.reply.send(response);
+        metrics.active_jobs.fetch_sub(1, Ordering::Relaxed);
+    }
+}

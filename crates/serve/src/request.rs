@@ -24,7 +24,11 @@ use crate::service::ServiceStats;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServeError {
     /// Machine-readable error code (`bad-json`, `bad-request`,
-    /// `unknown-field`, `unknown-kind`, `hash-mismatch`).
+    /// `unknown-field`, `unknown-kind`, `hash-mismatch`; from the TCP front
+    /// end also `overloaded` when the bounded queue sheds a request or
+    /// connection, `line-too-long` when a request line exceeds the cap,
+    /// `connection-failed` when a stream could not be split for reading,
+    /// and `internal` when an execution worker dies mid-request).
     pub code: &'static str,
     /// Human-readable description.
     pub message: String,

@@ -1,38 +1,169 @@
 //! The newline-delimited-JSON front end: one request per line in, one
 //! response per line out, over any reader/writer pair or a TCP listener.
+//!
+//! The TCP front end is a fixed-size pool, not thread-per-connection: an
+//! acceptor thread hands connections to `connection_workers` serving
+//! threads, and study execution is forwarded to a separate bounded
+//! [`Executor`](crate::pool) pool so one slow study occupies an executor
+//! slot, not a connection slot — stats requests, parse errors, and coalesced
+//! followers keep flowing. Admission is bounded on every axis: the request
+//! queue sheds with a structured `overloaded` error when
+//! [`WireConfig::queue_depth`] is exceeded, the pending-connection queue
+//! sheds (with a best-effort error line) when `pending_connections` is
+//! exceeded, and request lines longer than `max_line_bytes` close the
+//! connection with a structured error instead of buffering without bound.
 
-use std::io::{self, BufRead, BufReader, Write};
-use std::net::TcpListener;
-use std::sync::Arc;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::Ordering;
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
+use phase_core::json::JsonValue;
+
+use crate::inflight::Entry;
+use crate::pool::{Executor, Job};
+use crate::request::{parse_request, RequestKind, ServeError, TuningResponse};
 use crate::service::TuningService;
 
-/// What one serving loop did.
+/// Default cap on one request line; a client streaming an endless line gets
+/// a structured error and a closed connection, never an OOM.
+pub const DEFAULT_MAX_LINE_BYTES: usize = 4 * 1024 * 1024;
+
+/// How the TCP front end is shaped: pool sizes, admission bounds, and the
+/// optional periodic metrics line.
+#[derive(Debug, Clone)]
+pub struct WireConfig {
+    /// Connection-serving worker threads (clamped to at least 1).
+    pub connection_workers: usize,
+    /// Accepted connections waiting for a connection worker; when full, new
+    /// connections are shed with a best-effort error line.
+    pub pending_connections: usize,
+    /// Study-executor worker threads (clamped to at least 1).
+    pub executor_workers: usize,
+    /// Bound on queued (admitted, not yet executing) study requests; when
+    /// full, requests answer a structured `overloaded` error immediately.
+    pub queue_depth: usize,
+    /// Cap on one request line in bytes.
+    pub max_line_bytes: usize,
+    /// Emit a `service-metrics` NDJSON line to stderr this often; `None`
+    /// disables the emitter.
+    pub metrics_every: Option<Duration>,
+}
+
+impl Default for WireConfig {
+    fn default() -> Self {
+        Self {
+            connection_workers: 4,
+            pending_connections: 128,
+            executor_workers: 2,
+            queue_depth: 64,
+            max_line_bytes: DEFAULT_MAX_LINE_BYTES,
+            metrics_every: None,
+        }
+    }
+}
+
+/// What one serving loop (or one whole [`serve_tcp`] run) did.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct WireSummary {
     /// Responses written (one per non-empty input line).
     pub responses: u64,
     /// How many of them were structured errors.
     pub errors: u64,
+    /// Request lines rejected (and connections closed) for exceeding the
+    /// line-length cap.
+    pub overlong: u64,
+    /// Connections dropped because the stream could not be split for
+    /// reading (`try_clone` failure); each got a best-effort error line.
+    pub failed_connections: u64,
+}
+
+impl WireSummary {
+    fn absorb(&mut self, other: WireSummary) {
+        self.responses += other.responses;
+        self.errors += other.errors;
+        self.overlong += other.overlong;
+        self.failed_connections += other.failed_connections;
+    }
 }
 
 /// Serves newline-delimited JSON requests from `reader`, writing one
-/// compact-JSON response line per request to `writer`. Empty lines are
-/// skipped; malformed lines — including lines that are not valid UTF-8 —
-/// produce structured error responses and the loop keeps serving. Returns
-/// when the reader reaches end of input (only a real I/O error is `Err`).
+/// compact-JSON response line per request to `writer` and executing studies
+/// inline on the calling thread. Empty lines are skipped; malformed lines —
+/// including lines that are not valid UTF-8 — produce structured error
+/// responses and the loop keeps serving; a line longer than
+/// [`DEFAULT_MAX_LINE_BYTES`] produces a structured error and closes the
+/// loop (see [`serve_lines_capped`] to configure the cap). Returns when the
+/// reader reaches end of input (only a real I/O error is `Err`).
 pub fn serve_lines<R: BufRead, W: Write>(
+    service: &TuningService,
+    reader: R,
+    writer: &mut W,
+) -> io::Result<WireSummary> {
+    serve_connection(service, reader, writer, None, DEFAULT_MAX_LINE_BYTES)
+}
+
+/// [`serve_lines`] with an explicit line-length cap in bytes.
+pub fn serve_lines_capped<R: BufRead, W: Write>(
+    service: &TuningService,
+    reader: R,
+    writer: &mut W,
+    max_line_bytes: usize,
+) -> io::Result<WireSummary> {
+    serve_connection(service, reader, writer, None, max_line_bytes.max(1))
+}
+
+fn write_response<W: Write>(writer: &mut W, response: &TuningResponse) -> io::Result<()> {
+    writer.write_all(response.to_json().render_compact().as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()
+}
+
+/// The shared serving loop: reads capped lines, answers cheap requests
+/// inline, and (when an executor is present) forwards study execution to
+/// the bounded pool with single-flight coalescing joined *before*
+/// admission.
+fn serve_connection<R: BufRead, W: Write>(
     service: &TuningService,
     mut reader: R,
     writer: &mut W,
+    executor: Option<&Executor>,
+    max_line_bytes: usize,
 ) -> io::Result<WireSummary> {
     let mut summary = WireSummary::default();
     let mut buffer = Vec::new();
     loop {
         buffer.clear();
         // Raw bytes, not `lines()`: a non-UTF-8 byte must become a
-        // structured error response, never kill the serving loop.
-        if reader.read_until(b'\n', &mut buffer)? == 0 {
+        // structured error response, never kill the serving loop. The
+        // `take` bounds how much of an endless line is ever buffered.
+        let mut limited = reader.by_ref().take(max_line_bytes as u64 + 1);
+        if limited.read_until(b'\n', &mut buffer)? == 0 {
+            return Ok(summary);
+        }
+        if buffer.len() > max_line_bytes && buffer.last() != Some(&b'\n') {
+            // Over-long line: answer a structured error and close the
+            // connection — the rest of the line cannot be resynchronized.
+            service
+                .metrics()
+                .overlong_lines
+                .fetch_add(1, Ordering::Relaxed);
+            service.note_parse_error();
+            let response = TuningResponse::Error {
+                id: None,
+                error: ServeError {
+                    code: "line-too-long",
+                    message: format!(
+                        "request line exceeds the {max_line_bytes}-byte cap; closing the \
+                         connection"
+                    ),
+                },
+            };
+            summary.responses += 1;
+            summary.errors += 1;
+            summary.overlong += 1;
+            write_response(writer, &response)?;
             return Ok(summary);
         }
         let response = match std::str::from_utf8(&buffer) {
@@ -41,7 +172,10 @@ pub fn serve_lines<R: BufRead, W: Write>(
                 if line.trim().is_empty() {
                     continue;
                 }
-                service.respond(line)
+                match executor {
+                    None => service.respond(line),
+                    Some(executor) => respond_pooled(service, executor, line),
+                }
             }
             Err(_) => service.respond_malformed("request line is not valid UTF-8"),
         };
@@ -49,53 +183,383 @@ pub fn serve_lines<R: BufRead, W: Write>(
             summary.errors += 1;
         }
         summary.responses += 1;
-        writer.write_all(response.to_json().render_compact().as_bytes())?;
-        writer.write_all(b"\n")?;
-        writer.flush()?;
+        write_response(writer, &response)?;
     }
 }
 
-/// Serves NDJSON requests over TCP: one thread per connection, each running
-/// [`serve_lines`] until its peer closes. With `max_connections` the
-/// listener stops accepting after that many connections and the call
-/// returns once they all drain (useful for tests and bounded deployments);
-/// `None` accepts forever. Transient accept failures (a peer that resets
-/// before the handshake completes, a momentary descriptor shortage) are
-/// logged and skipped — a long-running listener must not die on them.
+/// Resolves one request line through the pooled path: parse errors and
+/// stats answer inline; coalesced followers wait on the leader's flight
+/// without consuming a queue slot; everything else is submitted to the
+/// bounded executor (and shed with `overloaded` when its queue is full).
+fn respond_pooled(service: &TuningService, executor: &Executor, line: &str) -> TuningResponse {
+    let started = Instant::now();
+    let request = match parse_request(line) {
+        Ok(request) => request,
+        Err(error_response) => {
+            service.note_parse_error();
+            return *error_response;
+        }
+    };
+    if matches!(request.kind, RequestKind::Stats) {
+        return service.handle(&request);
+    }
+    match service.join_flight(&request) {
+        Some(Entry::Follower(waiter)) => {
+            if let Some(outcome) = waiter.wait() {
+                let response = service.response_from_outcome(&request, outcome);
+                service.finish_request(request.kind.name(), started, &response);
+                return response;
+            }
+            // The leader was shed or died; execute for ourselves.
+            submit(
+                service,
+                executor,
+                Job {
+                    request,
+                    completion: None,
+                    reply: mpsc::channel().0,
+                    started,
+                },
+            )
+        }
+        Some(Entry::Leader(completion)) => submit(
+            service,
+            executor,
+            Job {
+                request,
+                completion: Some(completion),
+                reply: mpsc::channel().0,
+                started,
+            },
+        ),
+        None => submit(
+            service,
+            executor,
+            Job {
+                request,
+                completion: None,
+                reply: mpsc::channel().0,
+                started,
+            },
+        ),
+    }
+}
+
+/// Submits a job (re-wiring its reply channel) and blocks for the executor's
+/// response; a full queue answers `overloaded` instead of blocking.
+fn submit(service: &TuningService, executor: &Executor, mut job: Job) -> TuningResponse {
+    let (reply, receive) = mpsc::channel();
+    job.reply = reply;
+    let started = job.started;
+    match executor.submit(job) {
+        Ok(()) => receive.recv().unwrap_or_else(|_| {
+            // The executor worker died mid-study (it cannot complete the
+            // reply). Answer a structured error; the loop keeps serving.
+            let response = TuningResponse::Error {
+                id: None,
+                error: ServeError {
+                    code: "internal",
+                    message: "the execution worker disappeared mid-request".to_string(),
+                },
+            };
+            service.finish_request("internal", started, &response);
+            response
+        }),
+        Err(job) => {
+            // Shed: dropping the job abandons its flight (followers fall
+            // back), and the client learns immediately instead of queueing.
+            let response = TuningResponse::Error {
+                id: Some(job.request.id.clone()),
+                error: ServeError {
+                    code: "overloaded",
+                    message: format!(
+                        "the request queue is full ({} pending); retry later",
+                        service.metrics().queue_depth.load(Ordering::Relaxed)
+                    ),
+                },
+            };
+            drop(job);
+            service.finish_request("overloaded", started, &response);
+            response
+        }
+    }
+}
+
+/// A best-effort structured error line for a connection the server cannot
+/// serve (shed at accept, or its stream could not be split for reading).
+fn connection_error_line(code: &'static str, message: &str) -> String {
+    let doc = JsonValue::object()
+        .field("id", JsonValue::Null)
+        .field("status", "error")
+        .field("code", code)
+        .field("message", message);
+    format!("{}\n", doc.render_compact())
+}
+
+/// One `service-metrics` NDJSON line: the full [`ServiceStats`] snapshot
+/// wrapped in an `event` envelope so log consumers can tell it from
+/// responses.
+///
+/// [`ServiceStats`]: crate::service::ServiceStats
+pub fn emit_metrics_line<W: Write>(service: &TuningService, writer: &mut W) -> io::Result<()> {
+    let line = JsonValue::object()
+        .field("event", "service-metrics")
+        .field("stats", service.stats().to_json())
+        .render_compact();
+    writer.write_all(line.as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()
+}
+
+struct ConnQueue {
+    state: Mutex<ConnQueueState>,
+    available: Condvar,
+}
+
+struct ConnQueueState {
+    pending: std::collections::VecDeque<TcpStream>,
+    done: bool,
+}
+
+/// Serves NDJSON requests over TCP with the default [`WireConfig`]. With
+/// `max_connections` the listener stops accepting after that many
+/// connections and the call returns an aggregate [`WireSummary`] once they
+/// all drain (useful for tests and bounded deployments); `None` accepts
+/// forever. Transient accept failures (a peer that resets before the
+/// handshake completes, a momentary descriptor shortage) are logged and
+/// skipped — a long-running listener must not die on them.
 pub fn serve_tcp(
     service: &Arc<TuningService>,
     listener: TcpListener,
     max_connections: Option<usize>,
-) -> io::Result<()> {
-    std::thread::scope(|scope| {
-        let mut accepted = 0usize;
-        if max_connections == Some(0) {
-            return Ok(());
-        }
-        for stream in listener.incoming() {
-            let stream = match stream {
-                Ok(stream) => stream,
-                Err(error) => {
-                    // Back off briefly: a persistent error (e.g. descriptor
-                    // exhaustion) must not busy-spin the accept loop.
-                    eprintln!("phase-serve: accept failed, still listening: {error}");
-                    std::thread::sleep(std::time::Duration::from_millis(50));
-                    continue;
-                }
-            };
+) -> io::Result<WireSummary> {
+    serve_tcp_with(service, listener, max_connections, WireConfig::default())
+}
+
+/// [`serve_tcp`] with an explicit [`WireConfig`]: the fixed-size connection
+/// worker pool, the bounded study executor, admission limits, and the
+/// optional periodic metrics line.
+pub fn serve_tcp_with(
+    service: &Arc<TuningService>,
+    listener: TcpListener,
+    max_connections: Option<usize>,
+    config: WireConfig,
+) -> io::Result<WireSummary> {
+    if max_connections == Some(0) {
+        return Ok(WireSummary::default());
+    }
+    let executor = Arc::new(Executor::new(
+        Arc::clone(service),
+        config.executor_workers,
+        config.queue_depth,
+    ));
+    let connections = Arc::new(ConnQueue {
+        state: Mutex::new(ConnQueueState {
+            pending: std::collections::VecDeque::new(),
+            done: false,
+        }),
+        available: Condvar::new(),
+    });
+    let summary = Arc::new(Mutex::new(WireSummary::default()));
+
+    let workers: Vec<_> = (0..config.connection_workers.max(1))
+        .map(|_| {
             let service = Arc::clone(service);
-            scope.spawn(move || {
-                let Ok(read_half) = stream.try_clone() else {
+            let executor = Arc::clone(&executor);
+            let connections = Arc::clone(&connections);
+            let summary = Arc::clone(&summary);
+            let max_line_bytes = config.max_line_bytes.max(1);
+            std::thread::spawn(move || {
+                connection_worker_loop(&service, &executor, &connections, &summary, max_line_bytes)
+            })
+        })
+        .collect();
+
+    // The periodic metrics emitter: a stop flag + condvar so it exits
+    // promptly when serving ends instead of sleeping out its interval.
+    let emitter_stop = Arc::new((Mutex::new(false), Condvar::new()));
+    let emitter = config.metrics_every.map(|every| {
+        let service = Arc::clone(service);
+        let stop = Arc::clone(&emitter_stop);
+        std::thread::spawn(move || {
+            let (flag, wake) = &*stop;
+            let mut stopped = flag.lock().expect("emitter stop lock");
+            loop {
+                let (guard, timeout) = wake
+                    .wait_timeout(stopped, every)
+                    .expect("emitter stop wait");
+                stopped = guard;
+                if *stopped {
                     return;
-                };
-                let mut writer = stream;
-                let _ = serve_lines(&service, BufReader::new(read_half), &mut writer);
-            });
-            accepted += 1;
-            if max_connections.is_some_and(|max| accepted >= max) {
-                break;
+                }
+                if timeout.timed_out() {
+                    let _ = emit_metrics_line(&service, &mut io::stderr().lock());
+                }
             }
+        })
+    });
+
+    let metrics = service.metrics();
+    let mut accepted = 0usize;
+    for stream in listener.incoming() {
+        let stream = match stream {
+            Ok(stream) => stream,
+            Err(error) => {
+                // Back off briefly: a persistent error (e.g. descriptor
+                // exhaustion) must not busy-spin the accept loop.
+                eprintln!("phase-serve: accept failed, still listening: {error}");
+                std::thread::sleep(Duration::from_millis(50));
+                continue;
+            }
+        };
+        accepted += 1;
+        metrics.connections_accepted.fetch_add(1, Ordering::Relaxed);
+        // One-line request/response traffic: Nagle + delayed ACK would add
+        // ~40ms to every exchange, swamping real service latency.
+        let _ = stream.set_nodelay(true);
+        let mut state = connections.state.lock().expect("connection queue lock");
+        if state.pending.len() >= config.pending_connections.max(1) {
+            drop(state);
+            // Shed at accept: the client learns immediately instead of
+            // waiting behind a queue the pool cannot drain.
+            metrics.connections_shed.fetch_add(1, Ordering::Relaxed);
+            let mut stream = stream;
+            let _ = stream.write_all(
+                connection_error_line(
+                    "overloaded",
+                    "too many connections waiting for a worker; retry later",
+                )
+                .as_bytes(),
+            );
+        } else {
+            state.pending.push_back(stream);
+            drop(state);
+            connections.available.notify_one();
         }
-        Ok(())
-    })
+        if max_connections.is_some_and(|max| accepted >= max) {
+            break;
+        }
+    }
+
+    // Drain: no more connections will arrive; workers exit once the pending
+    // queue is empty, then the executor pool drains and joins on drop.
+    let mut state = connections.state.lock().expect("connection queue lock");
+    state.done = true;
+    drop(state);
+    connections.available.notify_all();
+    for worker in workers {
+        let _ = worker.join();
+    }
+    if let Some(handle) = emitter {
+        let (flag, wake) = &*emitter_stop;
+        *flag.lock().expect("emitter stop lock") = true;
+        wake.notify_all();
+        let _ = handle.join();
+    }
+    let summary = *summary.lock().expect("summary lock");
+    Ok(summary)
+}
+
+fn connection_worker_loop(
+    service: &Arc<TuningService>,
+    executor: &Executor,
+    connections: &ConnQueue,
+    summary: &Mutex<WireSummary>,
+    max_line_bytes: usize,
+) {
+    let metrics = service.metrics();
+    loop {
+        let stream = {
+            let mut state = connections.state.lock().expect("connection queue lock");
+            loop {
+                if let Some(stream) = state.pending.pop_front() {
+                    break stream;
+                }
+                if state.done {
+                    return;
+                }
+                state = connections
+                    .available
+                    .wait(state)
+                    .expect("connection queue wait");
+            }
+        };
+        metrics.connections_active.fetch_add(1, Ordering::Relaxed);
+        let connection_summary = serve_one_connection(service, executor, stream, max_line_bytes);
+        summary
+            .lock()
+            .expect("summary lock")
+            .absorb(connection_summary);
+        metrics.connections_active.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+fn serve_one_connection(
+    service: &Arc<TuningService>,
+    executor: &Executor,
+    stream: TcpStream,
+    max_line_bytes: usize,
+) -> WireSummary {
+    let read_half = match stream.try_clone() {
+        Ok(read_half) => read_half,
+        Err(error) => {
+            // The connection cannot be split for reading: tell the peer
+            // (best-effort) and count it instead of dropping it silently.
+            service
+                .metrics()
+                .connections_failed
+                .fetch_add(1, Ordering::Relaxed);
+            let mut writer = stream;
+            let _ = writer.write_all(
+                connection_error_line(
+                    "connection-failed",
+                    &format!("could not split the stream for reading: {error}"),
+                )
+                .as_bytes(),
+            );
+            return WireSummary {
+                failed_connections: 1,
+                ..WireSummary::default()
+            };
+        }
+    };
+    let mut writer = stream;
+    serve_connection(
+        service,
+        BufReader::new(read_half),
+        &mut writer,
+        Some(executor),
+        max_line_bytes,
+    )
+    .unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::ServiceConfig;
+
+    #[test]
+    fn metrics_line_is_one_parsable_json_object() {
+        let service =
+            TuningService::new(ServiceConfig::with_threads(1)).expect("cold start cannot fail");
+        let mut out = Vec::new();
+        emit_metrics_line(&service, &mut out).expect("in-memory write cannot fail");
+        let text = String::from_utf8(out).expect("metrics are UTF-8");
+        assert!(text.ends_with('\n'), "one NDJSON line");
+        let doc = phase_core::json::parse(text.trim_end()).expect("the line parses");
+        assert_eq!(
+            doc.get("event").and_then(|v| v.as_str()),
+            Some("service-metrics")
+        );
+        assert!(doc.get("stats").is_some(), "carries the full snapshot");
+    }
+
+    #[test]
+    fn connection_error_lines_are_structured() {
+        let line = connection_error_line("overloaded", "retry later");
+        let doc = phase_core::json::parse(line.trim_end()).expect("the line parses");
+        assert_eq!(doc.get("status").and_then(|v| v.as_str()), Some("error"));
+        assert_eq!(doc.get("code").and_then(|v| v.as_str()), Some("overloaded"));
+    }
 }

@@ -203,7 +203,7 @@ fn bounded_service_keeps_borrowed_artifacts_valid() {
     let service = TuningService::new(ServiceConfig {
         threads: 1,
         budget_bytes: Some(budget),
-        warm_start: None,
+        ..ServiceConfig::default()
     })
     .expect("cold start");
     let lines: Vec<String> = (0..6)

@@ -53,7 +53,7 @@ fn serial_responses(lines: &[String]) -> HashMap<String, String> {
     let service = TuningService::new(ServiceConfig {
         threads: 1,
         budget_bytes: Some(BUDGET_BYTES),
-        warm_start: None,
+        ..ServiceConfig::default()
     })
     .expect("cold start");
     let mut expected = HashMap::new();
@@ -76,7 +76,7 @@ fn overlapping_clients_match_serial_replay_and_respect_the_budget() {
         TuningService::new(ServiceConfig {
             threads: 2,
             budget_bytes: Some(BUDGET_BYTES),
-            warm_start: None,
+            ..ServiceConfig::default()
         })
         .expect("cold start"),
     );
@@ -144,7 +144,7 @@ fn unbounded_and_bounded_services_agree() {
     let bounded = TuningService::new(ServiceConfig {
         threads: 2,
         budget_bytes: Some(BUDGET_BYTES / 8),
-        warm_start: None,
+        ..ServiceConfig::default()
     })
     .expect("cold start");
     for line in lines.iter().take(6) {

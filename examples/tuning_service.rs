@@ -17,7 +17,7 @@ fn main() {
         TuningService::new(ServiceConfig {
             threads: 4,
             budget_bytes: Some(32 * 1024 * 1024),
-            warm_start: None,
+            ..ServiceConfig::default()
         })
         .expect("cold start cannot fail"),
     );
