@@ -324,6 +324,7 @@ fn run_row(
         .metric("p99_ns", MetricValue::UInt(p99_ns))
         .metric("p999_ns", MetricValue::UInt(p999_ns))
         .metric("max_ns", MetricValue::UInt(outcome.histogram.max()))
+        .metric("cdf", MetricValue::Cdf(outcome.histogram.cdf()))
         .metric("errors", MetricValue::UInt(outcome.errors))
         .metric("shed", MetricValue::UInt(stats.serving.shed))
         .metric("coalesced", MetricValue::UInt(stats.serving.coalesced))
@@ -405,6 +406,108 @@ fn run_storm(line: &str, coalesce: bool) -> (f64, Vec<String>) {
     (wall_s, responses)
 }
 
+// --- The traced-request smoke --------------------------------------------
+
+/// Replays one request through a live listener with tracing on, fetches its
+/// timeline via the `trace` wire request, and asserts the schema: found,
+/// non-empty, every record carrying the full logical coordinate. Returns the
+/// event count. Runs after the latency matrix so tracing never perturbs it.
+fn run_trace_smoke(scale: f64) -> usize {
+    phase_trace::set_enabled(true);
+    let service = Arc::new(
+        TuningService::new(ServiceConfig::with_threads(1)).expect("cold start cannot fail"),
+    );
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind an ephemeral port");
+    let addr = listener.local_addr().expect("local addr");
+    let server = {
+        let service = Arc::clone(&service);
+        std::thread::spawn(move || {
+            serve_tcp_with(&service, listener, Some(1), WireConfig::default())
+        })
+    };
+    let mut stream = TcpStream::connect(addr).expect("connect to the service");
+    stream.set_nodelay(true).expect("set nodelay");
+    let mut reader = BufReader::new(stream.try_clone().expect("split the stream"));
+    let mut roundtrip = |line: String| -> JsonValue {
+        stream
+            .write_all(format!("{line}\n").as_bytes())
+            .expect("send the request");
+        let mut response = String::new();
+        reader.read_line(&mut response).expect("read the response");
+        phase_core::json::parse(response.trim_end()).expect("the response line parses")
+    };
+    let study = roundtrip(format!(
+        "{{\"id\": \"traced\", \"kind\": \"marks\", \
+         \"catalog\": {{\"scale\": {scale}, \"seed\": 5}}}}"
+    ));
+    assert_eq!(
+        study.get("status").and_then(JsonValue::as_str),
+        Some("ok"),
+        "the traced request succeeded"
+    );
+    let timeline =
+        roundtrip("{\"id\": \"tl\", \"kind\": \"trace\", \"target\": \"traced\"}".into());
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    server
+        .join()
+        .expect("server thread")
+        .expect("serving succeeded");
+    phase_trace::set_enabled(false);
+
+    assert_eq!(
+        timeline.get("found"),
+        Some(&JsonValue::Bool(true)),
+        "the timeline for the finished request is retrievable"
+    );
+    let events = timeline
+        .get("events")
+        .and_then(JsonValue::as_array)
+        .expect("events array");
+    assert!(!events.is_empty(), "the timeline carries records");
+    for event in events {
+        for field in [
+            "trace", "lane", "scope", "seq", "kind", "domain", "name", "t_ns", "value",
+        ] {
+            assert!(
+                event.get(field).is_some(),
+                "trace record missing '{field}': {}",
+                event.render_compact()
+            );
+        }
+    }
+    println!(
+        "      trace smoke  timeline found with {} schema-valid records",
+        events.len()
+    );
+    events.len()
+}
+
+/// Captures one traced request end to end on this thread (Bench lane) and
+/// dumps the records as NDJSON to `path` — the `--trace-out` contract.
+fn dump_trace(path: &std::path::Path, scale: f64) {
+    phase_trace::set_enabled(true);
+    let service =
+        TuningService::new(ServiceConfig::with_threads(1)).expect("cold start cannot fail");
+    let trace_id = phase_trace::new_trace_id();
+    {
+        let _ctx = phase_trace::install(trace_id, phase_trace::Lane::Bench, 0);
+        let response = service.respond(&format!(
+            "{{\"id\": \"dump\", \"kind\": \"marks\", \
+             \"catalog\": {{\"scale\": {scale}, \"seed\": 6}}}}"
+        ));
+        assert!(!response.is_error(), "the dumped request succeeded");
+    }
+    phase_trace::set_enabled(false);
+    let records = phase_trace::take(trace_id);
+    match phase_bench::write_trace_ndjson(path, &records) {
+        Ok(()) => println!("wrote {} ({} trace records)", path.display(), records.len()),
+        Err(error) => {
+            eprintln!("failed to write {}: {error}", path.display());
+            std::process::exit(1);
+        }
+    }
+}
+
 // --- main ----------------------------------------------------------------
 
 fn main() {
@@ -481,6 +584,13 @@ fn main() {
         "coalescing must multiply identical-request throughput at least 5x, got {speedup:.1}x"
     );
 
+    // --- The traced-request smoke (after the matrix: tracing never
+    // perturbs the latency measurements above). ---
+    let trace_events = run_trace_smoke(params.scale);
+    if let Some(path) = &settings.trace_out {
+        dump_trace(path, params.scale);
+    }
+
     // --- BENCH_load.json. ---
     let report = StudyReport {
         study: "load".to_string(),
@@ -499,6 +609,7 @@ fn main() {
             ("connections", JsonValue::from(params.connections as u64)),
             ("storm_clients", JsonValue::from(STORM_CLIENTS as u64)),
             ("coalesce_speedup", JsonValue::from(speedup)),
+            ("trace_smoke_events", JsonValue::from(trace_events as u64)),
         ],
     );
     phase_bench::announce_report(written, "BENCH_load.json");

@@ -15,7 +15,22 @@
 use std::time::Instant;
 
 use phase_core::JsonValue;
+use phase_metrics::LogHistogram;
 use phase_serve::{ServiceConfig, TuningService};
+
+/// Renders a histogram's full CDF curve as `[[bucket_upper_ns, fraction],
+/// ...]` — the same shape `MetricValue::Cdf` renders in study rows.
+fn cdf_json(histogram: &LogHistogram) -> JsonValue {
+    JsonValue::Array(
+        histogram
+            .cdf()
+            .into_iter()
+            .map(|(upper_ns, fraction)| {
+                JsonValue::Array(vec![JsonValue::from(upper_ns), JsonValue::from(fraction)])
+            })
+            .collect(),
+    )
+}
 
 struct RequestCase {
     label: &'static str,
@@ -82,10 +97,13 @@ fn main() {
         let cold_bytes = cold.to_json().render_compact();
 
         let mut warm_s = f64::INFINITY;
+        let mut warm_histogram = LogHistogram::new();
         for _ in 0..WARM_REPEATS {
             let start = Instant::now();
             let warm = service.respond(&case.line);
-            warm_s = warm_s.min(start.elapsed().as_secs_f64());
+            let elapsed = start.elapsed();
+            warm_s = warm_s.min(elapsed.as_secs_f64());
+            warm_histogram.record(elapsed.as_nanos().min(u128::from(u64::MAX)) as u64);
             assert_eq!(
                 warm.to_json().render_compact(),
                 cold_bytes,
@@ -106,7 +124,10 @@ fn main() {
                 .field("label", case.label)
                 .field("cold_s", cold_s)
                 .field("warm_s", warm_s)
-                .field("speedup", speedup),
+                .field("speedup", speedup)
+                // The full warm-latency distribution, not just the best
+                // repeat: [[bucket_upper_ns, cumulative_fraction], ...].
+                .field("cdf", cdf_json(&warm_histogram)),
         );
     }
     println!("worst warm speedup: {worst_speedup:.1}x");

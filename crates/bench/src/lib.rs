@@ -162,6 +162,25 @@ pub fn out_dir() -> Option<PathBuf> {
     std::env::var("PHASE_BENCH_OUT_DIR").ok().map(PathBuf::from)
 }
 
+/// Where a bench binary should dump its captured trace as NDJSON, honouring
+/// `PHASE_BENCH_TRACE_OUT` (and therefore the `--trace-out=PATH` flag, which
+/// sets it). `None` (the default) leaves tracing off.
+pub fn trace_out() -> Option<PathBuf> {
+    std::env::var("PHASE_BENCH_TRACE_OUT")
+        .ok()
+        .filter(|path| !path.is_empty())
+        .map(PathBuf::from)
+}
+
+/// Writes the given trace records to `path` as deterministic NDJSON (one
+/// record per line, sorted by logical coordinate by the trace crate).
+pub fn write_trace_ndjson(
+    path: &std::path::Path,
+    records: &[phase_trace::TraceRecord],
+) -> std::io::Result<()> {
+    write_report_file(path, &phase_core::trace_export::render_ndjson(records))
+}
+
 /// The parsed harness settings every study binary runs under. Binaries fill
 /// this from the environment (after `init` folded the flags in); tests build
 /// it directly so they never race on process-global environment variables.
@@ -184,6 +203,9 @@ pub struct BenchSettings {
     /// Where `BENCH_*.json` reports go (`--out=PATH` /
     /// `PHASE_BENCH_OUT_DIR`); `None` writes to the current directory.
     pub out_dir: Option<PathBuf>,
+    /// Where a captured trace is dumped as NDJSON (`--trace-out=PATH` /
+    /// `PHASE_BENCH_TRACE_OUT`); `None` leaves tracing off.
+    pub trace_out: Option<PathBuf>,
 }
 
 impl BenchSettings {
@@ -205,6 +227,7 @@ impl BenchSettings {
             threads: threads(),
             interval_override_ns: sample_interval_override_ns(),
             out_dir: out_dir(),
+            trace_out: trace_out(),
         }
     }
 
@@ -218,6 +241,7 @@ impl BenchSettings {
             threads: 2,
             interval_override_ns: None,
             out_dir: None,
+            trace_out: None,
         }
     }
 
@@ -426,7 +450,7 @@ pub fn init(artifact: &str, description: &str) -> BenchSettings {
                 println!();
                 println!(
                     "USAGE: [--quick] [--perf] [--slots=N] [--threads=N] [--interval=N] \
-                     [--out=PATH]"
+                     [--out=PATH] [--trace-out=PATH]"
                 );
                 println!("  --quick, -q   reduced catalogue/horizon (env: PHASE_BENCH_QUICK=1)");
                 println!(
@@ -448,6 +472,10 @@ pub fn init(artifact: &str, description: &str) -> BenchSettings {
                 println!(
                     "  --out=PATH    directory for BENCH_*.json reports \
                      (env: PHASE_BENCH_OUT_DIR; default: current directory)"
+                );
+                println!(
+                    "  --trace-out=PATH  enable structured tracing and dump the run's \
+                     timeline as NDJSON (env: PHASE_BENCH_TRACE_OUT; default: off)"
                 );
                 std::process::exit(0);
             }
@@ -499,6 +527,14 @@ pub fn init(artifact: &str, description: &str) -> BenchSettings {
                         std::process::exit(2);
                     }
                     std::env::set_var("PHASE_BENCH_OUT_DIR", path);
+                    continue;
+                }
+                if let Some(path) = other.strip_prefix("--trace-out=") {
+                    if path.is_empty() {
+                        eprintln!("invalid --trace-out value: expected a file path");
+                        std::process::exit(2);
+                    }
+                    std::env::set_var("PHASE_BENCH_TRACE_OUT", path);
                     continue;
                 }
                 eprintln!("unrecognized argument: {other} (try --help)");

@@ -981,16 +981,22 @@ impl ArtifactStore {
     }
 
     /// The budget-aware lookup-or-compute every stage accessor goes
-    /// through.
+    /// through. When tracing is on, a hit/miss event (detail
+    /// `stage:content-hash`) lands on the current trace, and the recompute
+    /// runs under a span named after the stage.
     fn cached<V: StoreFootprint>(
         &self,
+        stage: &'static str,
         cache: &ShardedClockCache<V>,
         key: ContentHash,
         compute: impl FnOnce() -> V,
     ) -> Arc<V> {
         if let Some(found) = cache.lookup(key) {
+            phase_trace::event_detail("store-hit", 0, || format!("{stage}:{key}"));
             return found;
         }
+        phase_trace::event_detail("store-miss", 0, || format!("{stage}:{key}"));
+        let _recompute = phase_trace::span(stage);
         self.admit(cache, key, Arc::new(compute()))
     }
 
@@ -1065,7 +1071,9 @@ impl ArtifactStore {
 
     /// Stage 1 — catalogue generation.
     pub fn catalog(&self, spec: &CatalogSpec) -> Arc<Catalog> {
-        self.cached(&self.catalogs, spec.content_hash(), || spec.build())
+        self.cached("catalogs", &self.catalogs, spec.content_hash(), || {
+            spec.build()
+        })
     }
 
     /// Stage 2 — per-block IPC profiling on the machine's fastest and slowest
@@ -1081,7 +1089,7 @@ impl ArtifactStore {
         self.program_fingerprint(program).fingerprint(&mut hasher);
         machine.fingerprint(&mut hasher);
         hasher.write_usize(min_block_size);
-        self.cached(&self.profiles, hasher.finish(), || {
+        self.cached("ipc_profiles", &self.profiles, hasher.finish(), || {
             profile_stage(program, machine, min_block_size)
         })
     }
@@ -1104,7 +1112,7 @@ impl ArtifactStore {
         hasher.write_usize(min_block_size);
         hasher.write_f64(config.clustering_error);
         hasher.write_u64(config.error_seed);
-        self.cached(&self.typings, hasher.finish(), || {
+        self.cached("typings", &self.typings, hasher.finish(), || {
             let profiles = match config.typing {
                 TypingStrategy::ProfileGuided { .. } => {
                     Some(self.ipc_profiles(program, machine, min_block_size))
@@ -1128,7 +1136,7 @@ impl ArtifactStore {
         self.program_fingerprint(program).fingerprint(&mut hasher);
         machine.fingerprint(&mut hasher);
         config.fingerprint(&mut hasher);
-        self.cached(&self.regions, hasher.finish(), || {
+        self.cached("regions", &self.regions, hasher.finish(), || {
             let typing = self.typing(program, machine, config);
             regions_stage(program, &typing, &config.marking)
         })
@@ -1146,7 +1154,7 @@ impl ArtifactStore {
         self.program_fingerprint(program).fingerprint(&mut hasher);
         machine.fingerprint(&mut hasher);
         config.fingerprint(&mut hasher);
-        self.cached(&self.instrumented, hasher.finish(), || {
+        self.cached("instrumented", &self.instrumented, hasher.finish(), || {
             let regions = self.regions(program, machine, config);
             instrument_stage(program, &regions, &config.marking)
         })
@@ -1159,7 +1167,7 @@ impl ArtifactStore {
         let mut hasher = StableHasher::new();
         hasher.write_str("baseline");
         self.program_fingerprint(program).fingerprint(&mut hasher);
-        self.cached(&self.baselines, hasher.finish(), || {
+        self.cached("baselines", &self.baselines, hasher.finish(), || {
             crate::pipeline::uninstrumented(program)
         })
     }
@@ -1179,7 +1187,12 @@ impl ArtifactStore {
         catalog_spec.fingerprint(&mut hasher);
         machine.fingerprint(&mut hasher);
         sim.fingerprint(&mut hasher);
-        self.cached(&self.isolated, hasher.finish(), compute)
+        self.cached(
+            "isolated_runtimes",
+            &self.isolated,
+            hasher.finish(),
+            compute,
+        )
     }
 
     /// The cache key of a simulation cell: machine, policy, sim parameters,
@@ -1212,7 +1225,7 @@ impl ArtifactStore {
 
     /// Looks up or computes a whole simulation cell.
     pub fn cell(&self, key: ContentHash, compute: impl FnOnce() -> CachedCell) -> Arc<CachedCell> {
-        self.cached(&self.cells, key, compute)
+        self.cached("cells", &self.cells, key, compute)
     }
 
     /// A consistent snapshot of every stage's counters, in pipeline order.

@@ -351,12 +351,24 @@ impl Driver {
         let aggregate = Mutex::new(PlanAggregate::default());
         let cursor = AtomicUsize::new(0);
         let workers = self.threads.min(cell_count.max(1));
+        // Scoped workers do not inherit the caller's thread-local trace
+        // context, so the ambient trace id is captured here and re-installed
+        // per cell with the cell's plan index as the scope — records then
+        // sort identically whatever worker ran the cell.
+        let ambient_trace = phase_trace::current_trace_id();
 
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| {
                     while let Some((start, end)) = claim_chunk(&cursor, cell_count, workers) {
                         for index in start..end {
+                            let _trace_ctx = ambient_trace.map(|trace_id| {
+                                phase_trace::install(
+                                    trace_id,
+                                    phase_trace::Lane::Study,
+                                    index as u32,
+                                )
+                            });
                             let outcome = run_cell(index, &cells[index], store);
                             aggregate.lock().absorb(&outcome.result);
                             *results[index].lock() = Some(outcome);

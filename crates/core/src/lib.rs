@@ -49,6 +49,7 @@ pub mod json;
 mod pipeline;
 mod report;
 mod study;
+pub mod trace_export;
 
 pub use artifacts::{
     ArtifactStore, CachedCell, ContentHash, Fingerprint, ShardedClockCache, StableHasher,
@@ -88,6 +89,7 @@ pub mod substrate {
     pub use phase_online as online;
     pub use phase_runtime as runtime;
     pub use phase_sched as sched;
+    pub use phase_trace as trace;
     pub use phase_workload as workload;
 }
 

@@ -42,6 +42,10 @@ pub enum MetricValue {
     Float(f64),
     /// A short string (policy tags and the like).
     Text(String),
+    /// A latency CDF curve: `(bucket_upper_ns, cumulative_fraction)` points
+    /// (see `LogHistogram::cdf`), serialized as an array of two-element
+    /// arrays.
+    Cdf(Vec<(u64, f64)>),
 }
 
 impl MetricValue {
@@ -51,7 +55,7 @@ impl MetricValue {
             MetricValue::Int(v) => Some(*v as f64),
             MetricValue::UInt(v) => Some(*v as f64),
             MetricValue::Float(v) => Some(*v),
-            MetricValue::Text(_) => None,
+            MetricValue::Text(_) | MetricValue::Cdf(_) => None,
         }
     }
 
@@ -80,6 +84,14 @@ impl MetricValue {
             MetricValue::UInt(v) => JsonValue::UInt(*v),
             MetricValue::Float(v) => JsonValue::Float(*v),
             MetricValue::Text(s) => JsonValue::Str(s.clone()),
+            MetricValue::Cdf(points) => JsonValue::from(
+                points
+                    .iter()
+                    .map(|(upper, fraction)| {
+                        JsonValue::from(vec![JsonValue::from(*upper), JsonValue::from(*fraction)])
+                    })
+                    .collect::<Vec<_>>(),
+            ),
         }
     }
 }
@@ -363,6 +375,7 @@ pub fn policy_tag(policy: &Policy) -> String {
 
 /// Runs a study through the artifact store with `threads` driver workers.
 pub fn run_study(spec: &StudySpec, store: &ArtifactStore, threads: usize) -> StudyReport {
+    let _span = phase_trace::span("run_study");
     let start = Instant::now();
     let counters_before = store.snapshot();
     let rows = match &spec.mode {

@@ -1,0 +1,75 @@
+//! Deterministic NDJSON rendering of [`phase_trace::TraceRecord`]s.
+//!
+//! The `phase-trace` crate sits below the JSON document model in the
+//! workspace layering, so the wire shape lives here. One record renders to
+//! one insertion-ordered compact object; a timeline renders to one line per
+//! record in the logical `(trace_id, lane, scope, seq)` order the collector
+//! already sorted by, so sim-domain timelines serialize bit-identically
+//! whatever thread count produced them.
+
+use crate::json::JsonValue;
+use phase_trace::TraceRecord;
+
+/// One trace record as an insertion-ordered JSON object.
+pub fn record_to_json(record: &TraceRecord) -> JsonValue {
+    let doc = JsonValue::object()
+        .field("trace", record.trace_id)
+        .field("lane", record.lane.name())
+        .field("scope", record.scope)
+        .field("seq", record.seq)
+        .field("kind", record.kind.name())
+        .field("domain", record.domain.name())
+        .field("name", record.name)
+        .field("t_ns", record.t_ns)
+        .field("value", record.value);
+    match &record.detail {
+        Some(detail) => doc.field("detail", detail.as_ref()),
+        None => doc,
+    }
+}
+
+/// A timeline as NDJSON: one compact line per record, each `\n`-terminated.
+/// An empty timeline renders to the empty string.
+pub fn render_ndjson(records: &[TraceRecord]) -> String {
+    let mut out = String::new();
+    for record in records {
+        out.push_str(&record_to_json(record).render_compact());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phase_trace::{Domain, Kind, Lane};
+
+    fn record(detail: Option<&str>) -> TraceRecord {
+        TraceRecord {
+            trace_id: 3,
+            lane: Lane::Study,
+            scope: 2,
+            seq: 7,
+            kind: Kind::Event,
+            domain: Domain::Sim,
+            name: "phase-transition",
+            t_ns: 123_456,
+            value: 4,
+            detail: detail.map(Box::from),
+        }
+    }
+
+    #[test]
+    fn records_render_deterministically() {
+        assert_eq!(
+            record_to_json(&record(None)).render_compact(),
+            r#"{"trace": 3, "lane": "study", "scope": 2, "seq": 7, "kind": "event", "domain": "sim", "name": "phase-transition", "t_ns": 123456, "value": 4}"#
+        );
+        let with_detail = record_to_json(&record(Some("cells:00ff"))).render_compact();
+        assert!(with_detail.ends_with(r#""detail": "cells:00ff"}"#));
+        let ndjson = render_ndjson(&[record(None), record(None)]);
+        assert_eq!(ndjson.lines().count(), 2);
+        assert!(ndjson.ends_with('\n'));
+        assert_eq!(render_ndjson(&[]), "");
+    }
+}

@@ -141,6 +141,37 @@ impl LogHistogram {
         self.max
     }
 
+    /// The full cumulative distribution: one `(bucket_upper, fraction)`
+    /// point per non-empty bucket, in ascending value order, where
+    /// `bucket_upper` is the largest value the bucket can hold (clamped to
+    /// `max` on the last point so the curve never extends past the observed
+    /// range) and `fraction` is the cumulative share of observations at or
+    /// below it. The final point's fraction is exactly `1.0`; an empty
+    /// histogram yields an empty curve.
+    pub fn cdf(&self) -> Vec<(u64, f64)> {
+        let mut curve = Vec::new();
+        if self.count == 0 {
+            return curve;
+        }
+        let mut seen = 0u64;
+        for (index, &bucket) in self.counts.iter().enumerate() {
+            if bucket == 0 {
+                continue;
+            }
+            seen += bucket;
+            let upper = if index + 1 < BUCKETS {
+                bucket_floor(index + 1) - 1
+            } else {
+                u64::MAX
+            };
+            curve.push((upper.min(self.max), seen as f64 / self.count as f64));
+            if seen == self.count {
+                break;
+            }
+        }
+        curve
+    }
+
     /// Convenience: the 50th/99th/99.9th percentiles as a tuple.
     pub fn p50_p99_p999(&self) -> (u64, u64, u64) {
         (
@@ -257,5 +288,73 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn quantile_rejects_bad_q() {
         let _ = LogHistogram::new().quantile(1.5);
+    }
+
+    #[test]
+    fn cdf_matches_hand_computed_distribution() {
+        // Values below 2^PRECISION_BITS land in exact unit buckets, so the
+        // whole curve can be written down by hand.
+        let mut h = LogHistogram::new();
+        for v in [1u64, 1, 2, 5, 5, 5] {
+            h.record(v);
+        }
+        assert_eq!(
+            h.cdf(),
+            vec![(1, 2.0 / 6.0), (2, 3.0 / 6.0), (5, 1.0)],
+            "unit buckets: upper bound is the value itself"
+        );
+
+        // A coarser bucket: 1000 falls in [992, 1023] at PRECISION_BITS=5,
+        // so its cumulative point sits at the bucket's upper bound — except
+        // on the last point, which clamps to the observed max.
+        let mut h = LogHistogram::new();
+        h.record(3);
+        h.record(1_000);
+        assert_eq!(h.cdf(), vec![(3, 0.5), (1_000, 1.0)]);
+        h.record(1_005);
+        assert_eq!(
+            h.cdf(),
+            vec![(3, 1.0 / 3.0), (1_005, 1.0)],
+            "same [992, 1007] bucket: one point, clamped to max"
+        );
+
+        assert!(LogHistogram::new().cdf().is_empty());
+    }
+
+    #[test]
+    fn cdf_is_monotonic_and_ends_at_one() {
+        let mut h = LogHistogram::new();
+        let mut v: u64 = 99;
+        for _ in 0..5_000 {
+            v = v
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            h.record(v % 10_000_000);
+        }
+        let curve = h.cdf();
+        assert!(!curve.is_empty());
+        for window in curve.windows(2) {
+            assert!(window[0].0 < window[1].0, "uppers strictly increase");
+            assert!(window[0].1 < window[1].1, "fractions strictly increase");
+        }
+        assert_eq!(curve.last().expect("non-empty").1, 1.0);
+        assert!(curve.last().expect("non-empty").0 <= h.max());
+    }
+
+    #[test]
+    fn merged_cdf_matches_recording_into_one() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        let mut both = LogHistogram::new();
+        for v in [1u64, 7, 300, 9_000, 1 << 30] {
+            a.record(v);
+            both.record(v);
+        }
+        for v in [2u64, 7, 450_000] {
+            b.record(v);
+            both.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.cdf(), both.cdf());
     }
 }

@@ -578,6 +578,7 @@ impl<H: PhaseHook + IntervalHook> EngineCore<H> {
             self.procs.set_finished(pid_i, completion);
             self.unfinished -= 1;
             self.hook.on_process_exit(pid);
+            phase_trace::event_sim("process-exit", completion as u64, u64::from(pid.0));
             self.cores[core.index()].running = None;
             self.start_next_job(slot, completion);
             return true;
@@ -633,6 +634,13 @@ impl<H: PhaseHook + IntervalHook> EngineCore<H> {
         let response = self.hook.on_phase_mark(&ctx);
         self.procs.set_monitoring(pid_i, response.monitoring);
         self.procs.stats_mut(pid_i).marks_executed += 1;
+        // Simulated-time trace event (value packs `pid << 32 | phase_type`);
+        // disabled tracing costs one relaxed load here.
+        phase_trace::event_sim(
+            "phase-transition",
+            now_ns as u64,
+            (u64::from(pid.0) << 32) | u64::from(mark.phase_type.0),
+        );
 
         let mut extra_ns = 0.0;
         if self.config.charge_mark_overhead {
@@ -668,7 +676,12 @@ impl<H: PhaseHook + IntervalHook> EngineCore<H> {
                 extra_ns += switch_ns;
                 self.procs.stats_mut(pid_i).core_switches += 1;
                 self.procs.set_ready(pid_i);
-                self.enqueue_on_allowed_core(pid);
+                let target = self.enqueue_on_allowed_core(pid);
+                phase_trace::event_sim(
+                    "migration",
+                    now_ns as u64,
+                    (u64::from(pid.0) << 32) | u64::from(target.0),
+                );
                 migrated = true;
             }
         }
@@ -782,6 +795,7 @@ impl<H: PhaseHook + IntervalHook> EngineCore<H> {
         );
         debug_assert_eq!(pid, next_pid);
         self.hook.on_process_start(pid, &job.instrumented);
+        phase_trace::event_sim("process-start", arrival_ns as u64, u64::from(pid.0));
         self.enqueue_on_allowed_core(pid);
     }
 
@@ -840,6 +854,11 @@ impl<H: PhaseHook + IntervalHook> EngineCore<H> {
                 core_kind: CoreKind(kind as u32),
                 now_ns: self.clock_ns,
             };
+            phase_trace::event_sim(
+                "sample-interval",
+                self.clock_ns as u64,
+                (u64::from(pid.0) << 32) | (observation.seq & 0xffff_ffff),
+            );
             let Some(mask) = self.hook.on_sample_interval(&observation) else {
                 continue;
             };
@@ -847,6 +866,17 @@ impl<H: PhaseHook + IntervalHook> EngineCore<H> {
                 continue;
             }
             self.procs.set_affinity(index, mask);
+            phase_trace::event_sim_detail(
+                "retune",
+                self.clock_ns as u64,
+                (u64::from(pid.0) << 32) | mask.core_count() as u64,
+                || {
+                    mask.iter()
+                        .map(|core| core.0.to_string())
+                        .collect::<Vec<_>>()
+                        .join(",")
+                },
+            );
             // Between rounds every unfinished process waits on some core's
             // run queue; if that core is now excluded, perform the switch.
             let located = self.cores.iter().enumerate().find_map(|(c, core)| {
@@ -860,7 +890,12 @@ impl<H: PhaseHook + IntervalHook> EngineCore<H> {
                 if !mask.allows(source) {
                     self.cores[core_index].runqueue.remove(position);
                     self.queued -= 1;
-                    let _target = self.enqueue_on_allowed_core(pid);
+                    let target = self.enqueue_on_allowed_core(pid);
+                    phase_trace::event_sim(
+                        "migration",
+                        self.clock_ns as u64,
+                        (u64::from(pid.0) << 32) | u64::from(target.0),
+                    );
                     // Cost basis is the core being left, matching the
                     // mark-driven path in `execute_mark`, so identical
                     // migrations cost the same under either tuner.

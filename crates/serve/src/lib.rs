@@ -41,6 +41,13 @@
 //! A service restarted from a spill directory ([`ServiceConfig::warm_start`]
 //! / [`TuningService::spill_to_dir`]) reloads the store's compact artifacts
 //! and answers its first requests warm.
+//!
+//! When `phase_trace` tracing is enabled, every wire request records a
+//! structured timeline — parse, queue wait, single-flight coalescing,
+//! execution, store lookups, and response serialization — and the service
+//! keeps the most recent timelines in memory; a `trace` wire request
+//! (`{"kind": "trace", "target": "<request id>"}`) replays the full record
+//! list for a recently served request.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]

@@ -28,6 +28,10 @@ pub(crate) struct Job {
     pub(crate) completion: Option<Completion<FlightOutcome>>,
     pub(crate) reply: mpsc::Sender<TuningResponse>,
     pub(crate) started: Instant,
+    /// The submitting connection's trace id and submit timestamp
+    /// ([`phase_trace::wall_now_ns`]), when it is tracing: the executor
+    /// worker re-installs the context and records the queue wait from it.
+    pub(crate) trace: Option<(u64, u64)>,
 }
 
 struct Shared {
@@ -128,11 +132,25 @@ fn worker_loop(shared: &Shared) {
             }
         };
         metrics.active_jobs.fetch_add(1, Ordering::Relaxed);
-        let outcome = service.resolve_outcome(&job.request);
+        // Join the submitting connection's trace on the executor lane; the
+        // queue wait (stamped at submission on the connection thread) is
+        // recorded retroactively so the timeline has no admission gap.
+        let _trace_ctx = job.trace.map(|(trace_id, submitted_ns)| {
+            let guard = phase_trace::install(trace_id, phase_trace::Lane::Exec, 0);
+            phase_trace::span_closed("queue_wait", submitted_ns, phase_trace::wall_now_ns());
+            guard
+        });
+        let outcome = {
+            let _span = phase_trace::span("execute");
+            service.resolve_outcome(&job.request)
+        };
         if let Some(completion) = job.completion {
             completion.fulfill(outcome.clone());
         }
-        let response = service.response_from_outcome(&job.request, outcome);
+        let response = {
+            let _span = phase_trace::span("respond");
+            service.response_from_outcome(&job.request, outcome)
+        };
         service.finish_request(job.request.kind.name(), job.started, &response);
         // A dropped receiver just means the connection went away mid-study.
         let _ = job.reply.send(response);

@@ -129,6 +129,13 @@ pub enum RequestKind {
     /// The service's counters (requests, store hits/misses/evictions,
     /// resident bytes). Not content-addressed; never cached.
     Stats,
+    /// The recorded timeline of a completed request (looked up by that
+    /// request's id in the bounded recent-trace cache). Answered inline like
+    /// stats; only meaningful while tracing is enabled.
+    Trace {
+        /// The id of the completed request whose timeline is wanted.
+        target: String,
+    },
 }
 
 impl RequestKind {
@@ -139,6 +146,7 @@ impl RequestKind {
             RequestKind::Marks(_) => "marks",
             RequestKind::Comparison(_) => "comparison",
             RequestKind::Stats => "stats",
+            RequestKind::Trace { .. } => "trace",
         }
     }
 
@@ -148,7 +156,7 @@ impl RequestKind {
             RequestKind::Isolation(spec)
             | RequestKind::Marks(spec)
             | RequestKind::Comparison(spec) => Some(spec),
-            RequestKind::Stats => None,
+            RequestKind::Stats | RequestKind::Trace { .. } => None,
         }
     }
 }
@@ -209,6 +217,18 @@ pub enum TuningResponse {
         /// The counters.
         stats: ServiceStats,
     },
+    /// A recorded request timeline from the recent-trace cache. `found` is
+    /// false (with an empty timeline) when the target id is unknown — e.g.
+    /// tracing was off, or the trace was evicted from the bounded cache.
+    Trace {
+        /// Echo of the request id.
+        id: String,
+        /// The completed request id the timeline belongs to.
+        target: String,
+        /// The timeline records, in logical `(trace, lane, scope, seq)`
+        /// order; shared so a cached timeline is cloned per response cheaply.
+        events: Option<std::sync::Arc<Vec<phase_trace::TraceRecord>>>,
+    },
     /// A structured error.
     Error {
         /// Echo of the request id, when one was parsed.
@@ -222,6 +242,17 @@ impl TuningResponse {
     /// Whether this is an error response.
     pub fn is_error(&self) -> bool {
         matches!(self, TuningResponse::Error { .. })
+    }
+
+    /// The request id this response echoes, when one was parsed. The wire
+    /// loop keys the recent-trace cache by it.
+    pub fn response_id(&self) -> Option<&str> {
+        match self {
+            TuningResponse::Report { id, .. }
+            | TuningResponse::Stats { id, .. }
+            | TuningResponse::Trace { id, .. } => Some(id),
+            TuningResponse::Error { id, .. } => id.as_deref(),
+        }
     }
 
     /// The response as a JSON document (compact-rendered on the wire).
@@ -257,6 +288,22 @@ impl TuningResponse {
                 .field("status", "ok")
                 .field("kind", "stats")
                 .field("stats", stats.to_json()),
+            TuningResponse::Trace { id, target, events } => JsonValue::object()
+                .field("id", id.as_str())
+                .field("status", "ok")
+                .field("kind", "trace")
+                .field("target", target.as_str())
+                .field("found", events.is_some())
+                .field(
+                    "events",
+                    events
+                        .as_deref()
+                        .map(Vec::as_slice)
+                        .unwrap_or(&[])
+                        .iter()
+                        .map(phase_core::trace_export::record_to_json)
+                        .collect::<Vec<_>>(),
+                ),
             TuningResponse::Error { id, error } => JsonValue::object()
                 .field(
                     "id",
@@ -426,6 +473,7 @@ const REQUEST_FIELDS: &[&str] = &[
     "slots",
     "jobs_per_slot",
     "workload_seed",
+    "target",
 ];
 
 fn parse_spec(doc: &JsonValue) -> Result<TuneSpec, ServeError> {
@@ -516,6 +564,15 @@ pub fn parse_request(line: &str) -> Result<TuningRequest, Box<TuningResponse>> {
             check_fields(&doc, &["id", "kind", "expect_hash"], "a stats request").map_err(&fail)?;
             RequestKind::Stats
         }
+        Some("trace") => {
+            check_fields(&doc, &["id", "kind", "target"], "a trace request").map_err(&fail)?;
+            let target = match get_str(&doc, "target").map_err(&fail)? {
+                Some(target) if !target.is_empty() => target.to_string(),
+                Some(_) => return Err(fail(bad("field 'target' must be a non-empty string"))),
+                None => return Err(fail(bad("missing required field 'target'"))),
+            };
+            RequestKind::Trace { target }
+        }
         Some("isolation") => {
             check_fields(
                 &doc,
@@ -549,7 +606,7 @@ pub fn parse_request(line: &str) -> Result<TuningRequest, Box<TuningResponse>> {
                 "unknown-kind",
                 format!(
                     "unknown request kind '{other}' \
-                     (expected isolation, marks, comparison, or stats)"
+                     (expected isolation, marks, comparison, stats, or trace)"
                 ),
             )))
         }

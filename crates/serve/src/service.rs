@@ -3,6 +3,7 @@
 //! requests, per-kind latency accounting, plus the in-process channel front
 //! end.
 
+use std::collections::VecDeque;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -65,7 +66,11 @@ impl ServiceConfig {
 /// The request kinds tracked per-kind by the serving counters, in wire
 /// order; `kind_slot` maps a wire name onto an index into arrays of
 /// [`KIND_NAMES`]`.len()`.
-pub(crate) const KIND_NAMES: [&str; 4] = ["isolation", "marks", "comparison", "stats"];
+pub(crate) const KIND_NAMES: [&str; 5] = ["isolation", "marks", "comparison", "stats", "trace"];
+
+/// Completed-request timelines kept for the `trace` request kind, oldest
+/// evicted first.
+const RECENT_TRACES: usize = 64;
 
 pub(crate) fn kind_slot(name: &str) -> Option<usize> {
     KIND_NAMES.iter().position(|kind| *kind == name)
@@ -303,6 +308,9 @@ pub struct TuningService {
     counters: Mutex<Counters>,
     inflight: Arc<SingleFlight<FlightOutcome>>,
     metrics: ServeMetrics,
+    started: Instant,
+    metrics_seq: AtomicU64,
+    recent_traces: Mutex<VecDeque<(String, Arc<Vec<phase_trace::TraceRecord>>)>>,
 }
 
 impl TuningService {
@@ -327,6 +335,9 @@ impl TuningService {
             counters: Mutex::new(Counters::default()),
             inflight: Arc::new(SingleFlight::default()),
             metrics: ServeMetrics::default(),
+            started: Instant::now(),
+            metrics_seq: AtomicU64::new(0),
+            recent_traces: Mutex::new(VecDeque::new()),
         })
     }
 
@@ -340,7 +351,47 @@ impl TuningService {
             counters: Mutex::new(Counters::default()),
             inflight: Arc::new(SingleFlight::default()),
             metrics: ServeMetrics::default(),
+            started: Instant::now(),
+            metrics_seq: AtomicU64::new(0),
+            recent_traces: Mutex::new(VecDeque::new()),
         }
+    }
+
+    /// Nanoseconds since the service was built (`service-metrics` lines
+    /// carry this so scrapers can detect restarts).
+    pub fn uptime_ns(&self) -> u64 {
+        self.started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64
+    }
+
+    /// The next `service-metrics` sequence number (monotonic from 0, so
+    /// scrapers can detect dropped lines).
+    pub fn next_metrics_seq(&self) -> u64 {
+        self.metrics_seq.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Remembers a completed request's timeline for later `trace` requests;
+    /// the cache is bounded, oldest evicted first. Empty timelines are not
+    /// cached (tracing was off or the records were already overwritten).
+    pub fn cache_trace(&self, id: &str, records: Vec<phase_trace::TraceRecord>) {
+        if records.is_empty() {
+            return;
+        }
+        let mut traces = self.recent_traces.lock();
+        traces.retain(|(cached, _)| cached != id);
+        while traces.len() >= RECENT_TRACES {
+            traces.pop_front();
+        }
+        traces.push_back((id.to_string(), Arc::new(records)));
+    }
+
+    /// The cached timeline of a completed request, if still resident.
+    pub fn recent_trace(&self, id: &str) -> Option<Arc<Vec<phase_trace::TraceRecord>>> {
+        let traces = self.recent_traces.lock();
+        traces
+            .iter()
+            .rev()
+            .find(|(cached, _)| cached == id)
+            .map(|(_, records)| Arc::clone(records))
     }
 
     /// The shared store behind the service.
@@ -357,7 +408,8 @@ impl TuningService {
     /// Joins the single-flight table for a study request's spec hash, or
     /// `None` when coalescing is disabled.
     pub(crate) fn join_flight(&self, request: &TuningRequest) -> Option<Entry<FlightOutcome>> {
-        if !self.coalesce || matches!(request.kind, RequestKind::Stats) {
+        if !self.coalesce || matches!(request.kind, RequestKind::Stats | RequestKind::Trace { .. })
+        {
             return None;
         }
         Some(self.inflight.join(request.spec_hash()))
@@ -371,7 +423,13 @@ impl TuningService {
                 id: request.id.clone(),
                 stats: self.stats(),
             },
+            RequestKind::Trace { target } => TuningResponse::Trace {
+                id: request.id.clone(),
+                target: target.clone(),
+                events: self.recent_trace(target),
+            },
             _ => {
+                let _span = phase_trace::span("execute");
                 // Direct callers are their own execution threads: the leader
                 // computes inline, followers block on its flight.
                 let outcome = match self.join_flight(request) {
@@ -403,7 +461,7 @@ impl TuningService {
         match response {
             TuningResponse::Error { .. } => counters.errors += 1,
             TuningResponse::Report { .. } => counters.reports += 1,
-            TuningResponse::Stats { .. } => {}
+            TuningResponse::Stats { .. } | TuningResponse::Trace { .. } => {}
         }
         drop(counters);
         self.metrics.record_latency(
@@ -435,7 +493,11 @@ impl TuningService {
     /// Parses and handles one request line (what the NDJSON front end calls
     /// per line). Parse failures become structured error responses.
     pub fn respond(&self, line: &str) -> TuningResponse {
-        match crate::request::parse_request(line) {
+        let parsed = {
+            let _span = phase_trace::span("parse");
+            crate::request::parse_request(line)
+        };
+        match parsed {
             Ok(request) => self.handle(&request),
             Err(error_response) => {
                 self.note_parse_error();
@@ -572,7 +634,9 @@ impl TuningService {
                     },
                 })
             }
-            RequestKind::Stats => unreachable!("stats requests never reach study_for"),
+            RequestKind::Stats | RequestKind::Trace { .. } => {
+                unreachable!("stats and trace requests never reach study_for")
+            }
         }
     }
 

@@ -166,24 +166,85 @@ fn serve_connection<R: BufRead, W: Write>(
             write_response(writer, &response)?;
             return Ok(summary);
         }
-        let response = match std::str::from_utf8(&buffer) {
+        let (response, trace) = match std::str::from_utf8(&buffer) {
             Ok(text) => {
                 let line = text.trim_end_matches(['\n', '\r']);
                 if line.trim().is_empty() {
                     continue;
                 }
-                match executor {
+                let trace = RequestTrace::begin();
+                let response = match executor {
                     None => service.respond(line),
                     Some(executor) => respond_pooled(service, executor, line),
-                }
+                };
+                (response, trace)
             }
-            Err(_) => service.respond_malformed("request line is not valid UTF-8"),
+            Err(_) => (
+                service.respond_malformed("request line is not valid UTF-8"),
+                None,
+            ),
         };
+        // Serialization happens under the request's trace context (when one
+        // is active) so the root span covers it, then the finished timeline
+        // is collected and cached *before* the response reaches the client —
+        // a follow-up `trace` request can never race the cache.
+        let payload = {
+            let _span = phase_trace::span("serialize");
+            response.to_json().render_compact()
+        };
+        if let Some(trace) = trace {
+            trace.finish(service, &response);
+        }
         if response.is_error() {
             summary.errors += 1;
         }
         summary.responses += 1;
-        write_response(writer, &response)?;
+        writer.write_all(payload.as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+    }
+}
+
+/// The per-request tracing scaffold of the serving loop: a fresh trace id,
+/// the wire-lane context, and the root `request` span. `None` when tracing
+/// is disabled — the whole thing then costs one relaxed load per request.
+struct RequestTrace {
+    trace_id: u64,
+    // Dropped in declaration order: the root span's close must be emitted
+    // while the context below it is still installed.
+    root: phase_trace::Span,
+    ctx: phase_trace::CtxGuard,
+}
+
+impl RequestTrace {
+    fn begin() -> Option<Self> {
+        if !phase_trace::enabled() {
+            return None;
+        }
+        let trace_id = phase_trace::new_trace_id();
+        let ctx = phase_trace::install(trace_id, phase_trace::Lane::Wire, 0);
+        let root = phase_trace::span("request");
+        Some(Self {
+            trace_id,
+            root,
+            ctx,
+        })
+    }
+
+    /// Closes the root span, collects the request's records from every
+    /// thread's ring, and caches the timeline under the response's id.
+    fn finish(self, service: &TuningService, response: &TuningResponse) {
+        let Self {
+            trace_id,
+            root,
+            ctx,
+        } = self;
+        drop(root);
+        drop(ctx);
+        let records = phase_trace::take(trace_id);
+        if let Some(id) = response.response_id() {
+            service.cache_trace(id, records);
+        }
     }
 }
 
@@ -193,19 +254,28 @@ fn serve_connection<R: BufRead, W: Write>(
 /// bounded executor (and shed with `overloaded` when its queue is full).
 fn respond_pooled(service: &TuningService, executor: &Executor, line: &str) -> TuningResponse {
     let started = Instant::now();
-    let request = match parse_request(line) {
+    let parsed = {
+        let _span = phase_trace::span("parse");
+        parse_request(line)
+    };
+    let request = match parsed {
         Ok(request) => request,
         Err(error_response) => {
             service.note_parse_error();
             return *error_response;
         }
     };
-    if matches!(request.kind, RequestKind::Stats) {
+    if matches!(request.kind, RequestKind::Stats | RequestKind::Trace { .. }) {
         return service.handle(&request);
     }
+    let trace = || phase_trace::current_trace_id().map(|tid| (tid, phase_trace::wall_now_ns()));
     match service.join_flight(&request) {
         Some(Entry::Follower(waiter)) => {
-            if let Some(outcome) = waiter.wait() {
+            let outcome = {
+                let _span = phase_trace::span("coalesced_wait");
+                waiter.wait()
+            };
+            if let Some(outcome) = outcome {
                 let response = service.response_from_outcome(&request, outcome);
                 service.finish_request(request.kind.name(), started, &response);
                 return response;
@@ -219,6 +289,7 @@ fn respond_pooled(service: &TuningService, executor: &Executor, line: &str) -> T
                     completion: None,
                     reply: mpsc::channel().0,
                     started,
+                    trace: trace(),
                 },
             )
         }
@@ -230,6 +301,7 @@ fn respond_pooled(service: &TuningService, executor: &Executor, line: &str) -> T
                 completion: Some(completion),
                 reply: mpsc::channel().0,
                 started,
+                trace: trace(),
             },
         ),
         None => submit(
@@ -240,6 +312,7 @@ fn respond_pooled(service: &TuningService, executor: &Executor, line: &str) -> T
                 completion: None,
                 reply: mpsc::channel().0,
                 started,
+                trace: trace(),
             },
         ),
     }
@@ -304,6 +377,8 @@ fn connection_error_line(code: &'static str, message: &str) -> String {
 pub fn emit_metrics_line<W: Write>(service: &TuningService, writer: &mut W) -> io::Result<()> {
     let line = JsonValue::object()
         .field("event", "service-metrics")
+        .field("seq", service.next_metrics_seq())
+        .field("uptime_ns", service.uptime_ns())
         .field("stats", service.stats().to_json())
         .render_compact();
     writer.write_all(line.as_bytes())?;
@@ -553,6 +628,17 @@ mod tests {
             Some("service-metrics")
         );
         assert!(doc.get("stats").is_some(), "carries the full snapshot");
+        assert!(
+            doc.get("uptime_ns").and_then(|v| v.as_f64()).is_some(),
+            "carries service uptime"
+        );
+        let mut again = Vec::new();
+        emit_metrics_line(&service, &mut again).expect("in-memory write cannot fail");
+        let second = phase_core::json::parse(String::from_utf8(again).expect("UTF-8").trim_end())
+            .expect("the second line parses");
+        let first_seq = doc.get("seq").and_then(|v| v.as_f64()).expect("seq") as u64;
+        let second_seq = second.get("seq").and_then(|v| v.as_f64()).expect("seq") as u64;
+        assert_eq!(second_seq, first_seq + 1, "seq is monotonic per service");
     }
 
     #[test]

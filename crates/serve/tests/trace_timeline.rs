@@ -1,0 +1,155 @@
+//! End-to-end timeline capture over the TCP front end: with tracing on, a
+//! study request served through `serve_tcp` yields a `trace` timeline whose
+//! spans account for ≥95% of the request's measured wall latency — parse,
+//! queue wait, execution, and serialization are all visible, with no
+//! unexplained gap.
+//!
+//! One `#[test]` fn: the tracing switch and the rings are process-global, so
+//! the scenario runs as one sequential script instead of racing `#[test]`s.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+use phase_core::json::{parse, JsonValue};
+use phase_serve::{serve_tcp_with, ServiceConfig, TuningService, WireConfig};
+use phase_trace as trace;
+
+fn roundtrip(stream: &mut TcpStream, reader: &mut impl BufRead, line: &str) -> JsonValue {
+    stream
+        .write_all(format!("{line}\n").as_bytes())
+        .expect("send the request");
+    let mut response = String::new();
+    reader.read_line(&mut response).expect("read the response");
+    parse(response.trim_end()).expect("the response line parses")
+}
+
+fn span_close_ns(events: &[JsonValue], lane: &str, name: &str) -> Option<u64> {
+    events.iter().find_map(|event| {
+        let matches = event.get("kind").and_then(JsonValue::as_str) == Some("span_close")
+            && event.get("lane").and_then(JsonValue::as_str) == Some(lane)
+            && event.get("name").and_then(JsonValue::as_str) == Some(name);
+        if matches {
+            event
+                .get("value")
+                .and_then(JsonValue::as_f64)
+                .map(|v| v as u64)
+        } else {
+            None
+        }
+    })
+}
+
+#[test]
+fn traced_request_timeline_accounts_for_wall_latency() {
+    trace::set_enabled(true);
+    let service = Arc::new(
+        TuningService::new(ServiceConfig::with_threads(1)).expect("cold start cannot fail"),
+    );
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind an ephemeral port");
+    let addr = listener.local_addr().unwrap();
+    let server = {
+        let service = Arc::clone(&service);
+        std::thread::spawn(move || {
+            serve_tcp_with(&service, listener, Some(1), WireConfig::default())
+        })
+    };
+
+    let mut stream = TcpStream::connect(addr).expect("connect to the service");
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+
+    let study = roundtrip(
+        &mut stream,
+        &mut reader,
+        "{\"id\": \"t1\", \"kind\": \"comparison\", \"catalog\": {\"scale\": 0.04}, \
+         \"slots\": 4, \"jobs_per_slot\": 1, \"horizon_ns\": 2000000.0, \
+         \"workload_seed\": 11}",
+    );
+    assert_eq!(study.get("status").and_then(JsonValue::as_str), Some("ok"));
+
+    // The timeline for the finished request, fetched over the same wire.
+    let timeline = roundtrip(
+        &mut stream,
+        &mut reader,
+        "{\"id\": \"t2\", \"kind\": \"trace\", \"target\": \"t1\"}",
+    );
+    stream
+        .shutdown(std::net::Shutdown::Write)
+        .expect("shutdown");
+    server
+        .join()
+        .expect("server thread")
+        .expect("serving succeeded");
+    trace::set_enabled(false);
+
+    assert_eq!(
+        timeline.get("status").and_then(JsonValue::as_str),
+        Some("ok")
+    );
+    assert_eq!(
+        timeline.get("kind").and_then(JsonValue::as_str),
+        Some("trace")
+    );
+    assert_eq!(
+        timeline.get("found"),
+        Some(&JsonValue::Bool(true)),
+        "the t1 timeline is in the recent-trace cache"
+    );
+    let events = timeline
+        .get("events")
+        .and_then(JsonValue::as_array)
+        .expect("events array")
+        .to_vec();
+    assert!(!events.is_empty(), "the timeline carries records");
+
+    // Schema: every record has the full coordinate and payload.
+    for event in &events {
+        for field in [
+            "trace", "lane", "scope", "seq", "kind", "domain", "name", "t_ns", "value",
+        ] {
+            assert!(
+                event.get(field).is_some(),
+                "record missing '{field}': {}",
+                event.render_compact()
+            );
+        }
+    }
+
+    // Store stages were observed: hits or recomputes, with stage spans.
+    assert!(
+        events.iter().any(|event| {
+            let name = event.get("name").and_then(JsonValue::as_str).unwrap_or("");
+            name == "store-hit" || name == "store-miss"
+        }),
+        "store lookups appear in the timeline"
+    );
+
+    // Coverage: the accounted stages sum to ≥95% of the root request span.
+    let total = span_close_ns(&events, "wire", "request").expect("root request span closed");
+    let parse_ns = span_close_ns(&events, "wire", "parse").expect("parse span closed");
+    let serialize_ns = span_close_ns(&events, "wire", "serialize").expect("serialize span closed");
+    let queue_ns = span_close_ns(&events, "exec", "queue_wait").expect("queue_wait span closed");
+    let execute_ns = span_close_ns(&events, "exec", "execute").expect("execute span closed");
+    let respond_ns = span_close_ns(&events, "exec", "respond").unwrap_or(0);
+    let accounted = parse_ns + serialize_ns + queue_ns + execute_ns + respond_ns;
+    assert!(
+        accounted as f64 >= 0.95 * total as f64,
+        "timeline gap too large: accounted {accounted}ns of {total}ns \
+         (parse {parse_ns}, queue {queue_ns}, execute {execute_ns}, \
+         respond {respond_ns}, serialize {serialize_ns})"
+    );
+
+    // An unknown id answers found=false with an empty timeline, not an error.
+    let service = TuningService::new(ServiceConfig::with_threads(1)).expect("cold start");
+    let missing = service
+        .respond("{\"id\": \"t3\", \"kind\": \"trace\", \"target\": \"nope\"}")
+        .to_json();
+    assert_eq!(missing.get("found"), Some(&JsonValue::Bool(false)));
+    assert_eq!(
+        missing
+            .get("events")
+            .and_then(JsonValue::as_array)
+            .map(<[JsonValue]>::len),
+        Some(0)
+    );
+}

@@ -1,0 +1,127 @@
+//! Property test: however span opens, closes, and events interleave — across
+//! nesting depths and across threads — the exported trace is always
+//! well-parenthesized. Within every `(trace, lane, scope)` group, read in
+//! `seq` order, span depth never goes negative and ends at zero.
+
+use proptest::prelude::*;
+
+use phase_trace as trace;
+
+/// One generated probe action: open a span, close the innermost open span,
+/// or record a point event.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Open,
+    Close,
+    Event,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    (0u8..3).prop_map(|choice| match choice {
+        0 => Op::Open,
+        1 => Op::Close,
+        _ => Op::Event,
+    })
+}
+
+/// Replays one thread's op list under its own `(Bench, scope)` context. The
+/// RAII `Span` guards guarantee LIFO closing; the property under test is that
+/// the recording and export machinery preserves that shape.
+fn replay(ops: &[Op]) {
+    let mut open: Vec<trace::Span> = Vec::new();
+    for op in ops {
+        match op {
+            Op::Open => open.push(trace::span("node")),
+            Op::Close => {
+                let _ = open.pop();
+            }
+            Op::Event => trace::event("leaf", open.len() as u64),
+        }
+    }
+    // Remaining guards close in LIFO order as the vec drops back-to-front.
+    while let Some(span) = open.pop() {
+        drop(span);
+    }
+}
+
+/// Asserts the balanced-nesting invariant over an exported, sorted record
+/// list and returns the number of span edges checked.
+fn check_balanced(records: &[trace::TraceRecord]) -> Result<usize, String> {
+    let mut edges = 0usize;
+    let mut group: Option<(u8, u32)> = None;
+    let mut depth = 0i64;
+    let mut last_seq = None;
+    for record in records {
+        let key = (record.lane.rank(), record.scope);
+        if group != Some(key) {
+            if depth != 0 {
+                return Err(format!("group {group:?} ended at depth {depth}"));
+            }
+            group = Some(key);
+            depth = 0;
+            last_seq = None;
+        }
+        if let Some(previous) = last_seq {
+            if record.seq <= previous {
+                return Err(format!(
+                    "seq not strictly increasing within {key:?}: {previous} then {}",
+                    record.seq
+                ));
+            }
+        }
+        last_seq = Some(record.seq);
+        match record.kind {
+            trace::Kind::SpanOpen => {
+                depth += 1;
+                edges += 1;
+            }
+            trace::Kind::SpanClose => {
+                depth -= 1;
+                edges += 1;
+                if depth < 0 {
+                    return Err(format!("close without open in group {key:?}"));
+                }
+            }
+            trace::Kind::Event => {}
+        }
+    }
+    if depth != 0 {
+        return Err(format!("final group {group:?} ended at depth {depth}"));
+    }
+    Ok(edges)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn exported_traces_are_always_balanced(
+        per_thread in proptest::collection::vec(
+            proptest::collection::vec(op_strategy(), 0..120),
+            1..5,
+        ),
+    ) {
+        trace::set_enabled(true);
+        let trace_id = trace::new_trace_id();
+        std::thread::scope(|scope| {
+            for (index, ops) in per_thread.iter().enumerate() {
+                let worker = scope.spawn(move || {
+                    let _ctx = trace::install(trace_id, trace::Lane::Bench, index as u32);
+                    replay(ops);
+                });
+                drop(worker);
+            }
+        });
+        let records = trace::take(trace_id);
+        // Every op produced at least its open/close pair or its event.
+        let opens = per_thread
+            .iter()
+            .flatten()
+            .filter(|op| matches!(op, Op::Open))
+            .count();
+        match check_balanced(&records) {
+            Ok(edges) => prop_assert_eq!(edges, opens * 2, "every open has exactly one close"),
+            Err(violation) => prop_assert!(false, "{}", violation),
+        }
+    }
+}
