@@ -12,8 +12,14 @@
 //! end-to-end wall-clock, and the final store counters — the regression
 //! artifact CI tracks for the caching layer.
 //!
-//! Set `PHASE_BENCH_SPILL=DIR` to also spill the store's serializable stages
-//! (typings, IPC profiles, isolated runtimes) to `DIR` as JSON.
+//! Set `PHASE_BENCH_SPILL=DIR` to persist the store across runs: if `DIR`
+//! already holds a spill it is reloaded *before* the cold pass (so a cached
+//! CI run skips the recomputation entirely), and the store is spilled back
+//! to `DIR` (binary phase-pack format, every stage of the pipeline) after
+//! the studies finish. With `PHASE_BENCH_ASSERT_WARM=1` the run additionally
+//! asserts that the preloaded spill answered every typing lookup — zero
+//! misses — which is how CI proves its artifact cache actually warmed the
+//! run.
 
 use std::time::Instant;
 
@@ -29,6 +35,31 @@ fn main() {
     );
     let threads = settings.threads.max(1);
     let store = ArtifactStore::new();
+
+    // --- Optional warm start from a previous run's spill. ---
+    let spill_dir = std::env::var("PHASE_BENCH_SPILL")
+        .ok()
+        .map(std::path::PathBuf::from);
+    let mut preloaded = 0;
+    if let Some(dir) = &spill_dir {
+        if dir.exists() {
+            match store.load_spill_report(dir) {
+                Ok(report) => {
+                    preloaded = report.loaded;
+                    println!(
+                        "preloaded {} artifacts from {} ({} skipped)",
+                        report.loaded,
+                        dir.display(),
+                        report.skipped
+                    );
+                    for error in &report.errors {
+                        eprintln!("spill preload: {error}");
+                    }
+                }
+                Err(error) => eprintln!("failed to preload spill: {error}"),
+            }
+        }
+    }
     let total_start = Instant::now();
 
     // --- Cold pass: every study, one shared store. ---
@@ -88,10 +119,30 @@ fn main() {
         ));
     }
 
-    // --- Optional on-disk spill of the serializable stages. ---
-    if let Ok(dir) = std::env::var("PHASE_BENCH_SPILL") {
-        let dir = std::path::PathBuf::from(dir);
-        match store.spill_to_dir(&dir) {
+    // --- A cache-warmed run must actually run warm: with the assertion
+    // enabled (CI's cache-hit path), a preloaded store that still recomputed
+    // typings means the spill key or format regressed — fail loudly.
+    let assert_warm = std::env::var("PHASE_BENCH_ASSERT_WARM").is_ok_and(|v| v != "0");
+    if assert_warm {
+        let typings = store
+            .snapshot()
+            .stage("typings")
+            .expect("the store tracks a typings stage");
+        assert!(
+            preloaded > 0,
+            "PHASE_BENCH_ASSERT_WARM=1 but no spill was preloaded"
+        );
+        assert_eq!(
+            typings.misses, 0,
+            "PHASE_BENCH_ASSERT_WARM=1 but the run recomputed {} typings",
+            typings.misses
+        );
+        println!("warm assertion passed: {preloaded} artifacts preloaded, typings misses == 0");
+    }
+
+    // --- Spill the store back for the next run. ---
+    if let Some(dir) = &spill_dir {
+        match store.spill_to_dir(dir) {
             Ok(files) => println!(
                 "spilled {} artifact files to {}",
                 files.len(),

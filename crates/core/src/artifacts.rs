@@ -44,6 +44,7 @@ use phase_workload::{Catalog, CatalogSpec, WorkloadSpec};
 
 use crate::driver::Policy;
 use crate::json::{parse, JsonValue};
+use crate::pack;
 use crate::pipeline::{
     instrument_stage, min_typed_block_size, profile_stage, regions_stage, typing_stage,
     IpcProfileArtifact, PipelineConfig, TypingStrategy,
@@ -57,6 +58,44 @@ const SHARDS: usize = 16;
 /// deterministic) rather than allowed to grow with every catalogue a
 /// long-running service ever touches.
 const FP_MEMO_CAP: usize = 4096;
+
+/// The stages the store can persist to disk and serve over the network, in
+/// spill order. Catalogues and region maps are rebuilt from their compact
+/// inputs instead of being spilled (a catalogue re-derives from its spec in
+/// microseconds; regions from the typing).
+pub const SPILL_STAGES: [&str; 6] = [
+    "typings",
+    "ipc_profiles",
+    "isolated_runtimes",
+    "instrumented",
+    "baselines",
+    "cells",
+];
+
+/// The on-disk encoding of a spill directory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpillFormat {
+    /// phase-pack: compact varint-packed binary with per-record checksums —
+    /// the default, and the only format that persists instrumented programs
+    /// and simulation cells.
+    Binary,
+    /// The legacy human-readable JSON layout (typings, IPC profiles,
+    /// isolated runtimes only); kept as the benchmark baseline.
+    Json,
+}
+
+/// What a spill load did: artifacts offered to the store, records skipped
+/// for cause, and a human-readable line per failure.
+#[derive(Debug, Clone, Default)]
+pub struct SpillLoadReport {
+    /// Artifacts decoded and offered to the store (the budget may still
+    /// have declined some).
+    pub loaded: usize,
+    /// Records rejected by checksum, framing, or content validation.
+    pub skipped: usize,
+    /// One line per rejection (stage file, key when known, cause).
+    pub errors: Vec<String>,
+}
 
 /// A 128-bit content hash: the artifact key.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -692,6 +731,13 @@ impl<V> ShardedClockCache<V> {
         stats
     }
 
+    /// Whether `key` is resident, without touching the hit/miss counters or
+    /// the CLOCK reference bit (a pure peek, used to report admission
+    /// outcomes).
+    pub fn contains(&self, key: ContentHash) -> bool {
+        self.shard(key).lock().map.contains_key(&key)
+    }
+
     /// Every entry, sorted by key (deterministic; used by the spill).
     pub fn entries(&self) -> Vec<(ContentHash, Arc<V>)> {
         let mut all: Vec<(ContentHash, Arc<V>)> = self
@@ -1261,19 +1307,237 @@ impl ArtifactStore {
         self.snapshot()
     }
 
-    /// Spills the serializable stages to `dir` as deterministic JSON:
-    /// `index.json` (every stage's counters), `typings.json`,
-    /// `ipc_profiles.json`, and `isolated_runtimes.json`. Stages whose
-    /// artifacts hold full programs (catalogues, instrumented binaries,
-    /// simulation cells) appear in the index only; persisting those across
-    /// processes is a ROADMAP follow-on.
+    /// Spills the persistable stages to `dir` in the default format
+    /// ([`SpillFormat::Binary`] — phase-pack). See
+    /// [`ArtifactStore::spill_to_dir_with`].
     pub fn spill_to_dir(&self, dir: &Path) -> io::Result<Vec<PathBuf>> {
+        self.spill_to_dir_with(dir, SpillFormat::Binary)
+    }
+
+    /// Spills the persistable stages to `dir` in the chosen format.
+    ///
+    /// Both formats write `index.json` (every stage's counters) and
+    /// `manifest.json` (format name, pack version, producing toolchain, and
+    /// a content hash over every spilled key — the value CI cache keys hang
+    /// off). [`SpillFormat::Binary`] writes one phase-pack file per stage in
+    /// [`SPILL_STAGES`] — including instrumented programs, baseline twins,
+    /// and whole simulation cells, which the JSON spill never covered.
+    /// [`SpillFormat::Json`] writes the legacy three-file layout (typings,
+    /// IPC profiles, isolated runtimes) and survives as the
+    /// human-readable / benchmark-baseline format.
+    pub fn spill_to_dir_with(&self, dir: &Path, format: SpillFormat) -> io::Result<Vec<PathBuf>> {
+        let _span = phase_trace::span("store-spill");
         std::fs::create_dir_all(dir)?;
         let mut written = Vec::new();
         let index_path = dir.join("index.json");
         std::fs::write(&index_path, self.snapshot().to_json().render())?;
         written.push(index_path);
 
+        match format {
+            SpillFormat::Binary => {
+                let mut stage_docs = Vec::new();
+                let mut manifest_hasher = StableHasher::new();
+                manifest_hasher.write_str("spill-manifest");
+                manifest_hasher.write_str(pack::toolchain_tag());
+                for stage in SPILL_STAGES {
+                    let records = self.encode_stage(stage);
+                    manifest_hasher.write_str(stage);
+                    manifest_hasher.write_usize(records.len());
+                    for (key, _) in &records {
+                        key.fingerprint(&mut manifest_hasher);
+                    }
+                    let file = format!("{stage}.ppk");
+                    let path = dir.join(&file);
+                    std::fs::write(&path, pack::write_pack_file(stage, &records))?;
+                    stage_docs.push(
+                        JsonValue::object()
+                            .field("stage", stage)
+                            .field("file", file)
+                            .field("entries", records.len()),
+                    );
+                    written.push(path);
+                }
+                let manifest = JsonValue::object()
+                    .field("format", "phase-pack")
+                    .field("version", pack::PACK_VERSION)
+                    .field("toolchain", pack::toolchain_tag())
+                    .field("content_hash", manifest_hasher.finish().to_string())
+                    .field("stages", stage_docs);
+                let manifest_path = dir.join("manifest.json");
+                std::fs::write(&manifest_path, manifest.render())?;
+                written.push(manifest_path);
+            }
+            SpillFormat::Json => {
+                written.extend(self.spill_json_stages(dir)?);
+                let manifest = JsonValue::object()
+                    .field("format", "json")
+                    .field("toolchain", pack::toolchain_tag());
+                let manifest_path = dir.join("manifest.json");
+                std::fs::write(&manifest_path, manifest.render())?;
+                written.push(manifest_path);
+            }
+        }
+        Ok(written)
+    }
+
+    /// The phase-pack records of one spill stage, sorted by key.
+    fn encode_stage(&self, stage: &str) -> Vec<(ContentHash, Vec<u8>)> {
+        match stage {
+            "typings" => self
+                .typings
+                .entries()
+                .into_iter()
+                .map(|(k, v)| (k, pack::encode_typing(&v)))
+                .collect(),
+            "ipc_profiles" => self
+                .profiles
+                .entries()
+                .into_iter()
+                .map(|(k, v)| (k, pack::encode_profile(&v)))
+                .collect(),
+            "isolated_runtimes" => self
+                .isolated
+                .entries()
+                .into_iter()
+                .map(|(k, v)| (k, pack::encode_runtimes(&v)))
+                .collect(),
+            "instrumented" => self
+                .instrumented
+                .entries()
+                .into_iter()
+                .map(|(k, v)| (k, pack::encode_instrumented(&v)))
+                .collect(),
+            "baselines" => self
+                .baselines
+                .entries()
+                .into_iter()
+                .map(|(k, v)| (k, pack::encode_instrumented(&v)))
+                .collect(),
+            "cells" => self
+                .cells
+                .entries()
+                .into_iter()
+                .map(|(k, v)| (k, pack::encode_cell(&v)))
+                .collect(),
+            _ => Vec::new(),
+        }
+    }
+
+    /// Serializes one artifact for the network cache: `Some(phase-pack
+    /// payload)` when `(stage, key)` is resident, `None` on a miss or an
+    /// unknown stage. The lookup counts as a normal hit/miss on the stage.
+    pub fn export_artifact(&self, stage: &str, key: ContentHash) -> Option<Vec<u8>> {
+        match stage {
+            "typings" => self.typings.lookup(key).map(|v| pack::encode_typing(&v)),
+            "ipc_profiles" => self.profiles.lookup(key).map(|v| pack::encode_profile(&v)),
+            "isolated_runtimes" => self.isolated.lookup(key).map(|v| pack::encode_runtimes(&v)),
+            "instrumented" => self
+                .instrumented
+                .lookup(key)
+                .map(|v| pack::encode_instrumented(&v)),
+            "baselines" => self
+                .baselines
+                .lookup(key)
+                .map(|v| pack::encode_instrumented(&v)),
+            "cells" => self.cells.lookup(key).map(|v| pack::encode_cell(&v)),
+            _ => None,
+        }
+    }
+
+    /// Decodes and admits one artifact payload (the put side of the network
+    /// cache and the per-record body of the binary spill load). Decoding is
+    /// fully validated — corrupt payloads return a [`pack::PackError`],
+    /// never panic — and admission goes through the byte budget like any
+    /// computed artifact. Returns whether the artifact is resident
+    /// afterwards (`false` means the budget declined it).
+    pub fn import_artifact(
+        &self,
+        stage: &str,
+        key: ContentHash,
+        payload: &[u8],
+    ) -> Result<bool, pack::PackError> {
+        match stage {
+            "typings" => {
+                let v = pack::decode_typing(payload)?;
+                self.admit(&self.typings, key, Arc::new(v));
+                Ok(self.typings.contains(key))
+            }
+            "ipc_profiles" => {
+                let v = pack::decode_profile(payload)?;
+                self.admit(&self.profiles, key, Arc::new(v));
+                Ok(self.profiles.contains(key))
+            }
+            "isolated_runtimes" => {
+                let v = pack::decode_runtimes(payload)?;
+                self.admit(&self.isolated, key, Arc::new(v));
+                Ok(self.isolated.contains(key))
+            }
+            "instrumented" => {
+                let v = pack::decode_instrumented(payload)?;
+                self.admit(&self.instrumented, key, Arc::new(v));
+                Ok(self.instrumented.contains(key))
+            }
+            "baselines" => {
+                let v = pack::decode_instrumented(payload)?;
+                self.admit(&self.baselines, key, Arc::new(v));
+                Ok(self.baselines.contains(key))
+            }
+            "cells" => {
+                let v = pack::decode_cell(payload)?;
+                self.admit(&self.cells, key, Arc::new(v));
+                Ok(self.cells.contains(key))
+            }
+            _ => Err(pack::PackError::Malformed(format!(
+                "unknown stage '{stage}'"
+            ))),
+        }
+    }
+
+    /// Every resident key of every persistable stage, sorted within each
+    /// stage — the inventory a remote worker walks to warm itself from this
+    /// store.
+    pub fn artifact_keys(&self) -> Vec<(&'static str, Vec<ContentHash>)> {
+        SPILL_STAGES
+            .iter()
+            .map(|&stage| {
+                let keys = match stage {
+                    "typings" => self.typings.entries().into_iter().map(|(k, _)| k).collect(),
+                    "ipc_profiles" => self
+                        .profiles
+                        .entries()
+                        .into_iter()
+                        .map(|(k, _)| k)
+                        .collect(),
+                    "isolated_runtimes" => self
+                        .isolated
+                        .entries()
+                        .into_iter()
+                        .map(|(k, _)| k)
+                        .collect(),
+                    "instrumented" => self
+                        .instrumented
+                        .entries()
+                        .into_iter()
+                        .map(|(k, _)| k)
+                        .collect(),
+                    "baselines" => self
+                        .baselines
+                        .entries()
+                        .into_iter()
+                        .map(|(k, _)| k)
+                        .collect(),
+                    "cells" => self.cells.entries().into_iter().map(|(k, _)| k).collect(),
+                    _ => Vec::new(),
+                };
+                (stage, keys)
+            })
+            .collect()
+    }
+
+    /// The legacy JSON stage files (typings, IPC profiles, isolated
+    /// runtimes), byte-identical to the pre-binary spill.
+    fn spill_json_stages(&self, dir: &Path) -> io::Result<Vec<PathBuf>> {
+        let mut written = Vec::new();
         let typings = JsonValue::Array(
             self.typings
                 .entries()
@@ -1352,12 +1616,120 @@ impl ArtifactStore {
         Ok(written)
     }
 
-    /// Reloads a directory written by [`ArtifactStore::spill_to_dir`],
-    /// pre-warming the typing, IPC-profile, and isolated-runtime stages.
-    /// Returns the number of artifacts parsed and *offered* to the store —
-    /// a bounded store admits them through the usual budget gate and may
-    /// decline some, so the count is an upper bound on what was retained.
+    /// Reloads a directory written by [`ArtifactStore::spill_to_dir`] (any
+    /// format). Returns the number of artifacts *offered* to the store — a
+    /// bounded store admits them through the usual budget gate and may
+    /// decline some. The detailed variant is
+    /// [`ArtifactStore::load_spill_report`].
     pub fn load_spill_dir(&self, dir: &Path) -> io::Result<usize> {
+        Ok(self.load_spill_report(dir)?.loaded)
+    }
+
+    /// Reloads a spill directory, reporting what loaded, what was skipped,
+    /// and why.
+    ///
+    /// The manifest decides the path: `format: "phase-pack"` dispatches to
+    /// the binary loader, anything else (including no manifest at all — a
+    /// pre-manifest directory) to the legacy JSON loader. Binary loads are
+    /// *structurally* guarded: a version or toolchain mismatch in the
+    /// manifest rejects the whole directory as a recorded error with zero
+    /// loads (a stale cache is a cold start, not a crash), and a truncated
+    /// or bit-flipped record is skipped with a structured error while the
+    /// intact remainder still loads. `Err` is reserved for I/O failures and
+    /// malformed legacy JSON.
+    pub fn load_spill_report(&self, dir: &Path) -> io::Result<SpillLoadReport> {
+        let _span = phase_trace::span("store-load");
+        let mut report = SpillLoadReport::default();
+        let manifest_path = dir.join("manifest.json");
+        let manifest = if manifest_path.exists() {
+            match parse(&std::fs::read_to_string(&manifest_path)?) {
+                Ok(doc) => Some(doc),
+                Err(error) => {
+                    report.errors.push(format!("manifest.json: {error}"));
+                    None
+                }
+            }
+        } else {
+            None
+        };
+        let format = manifest
+            .as_ref()
+            .and_then(|m| m.get("format"))
+            .and_then(JsonValue::as_str)
+            .unwrap_or("json")
+            .to_string();
+        if format == "phase-pack" {
+            let manifest = manifest.expect("phase-pack format implies a parsed manifest");
+            let version = manifest
+                .get("version")
+                .and_then(JsonValue::as_f64)
+                .unwrap_or(0.0) as u64;
+            let toolchain = manifest
+                .get("toolchain")
+                .and_then(JsonValue::as_str)
+                .unwrap_or("");
+            if version != pack::PACK_VERSION {
+                report
+                    .errors
+                    .push(pack::PackError::BadVersion { found: version }.to_string());
+                return Ok(report);
+            }
+            if toolchain != pack::toolchain_tag() {
+                report.errors.push(
+                    pack::PackError::ToolchainMismatch {
+                        found: toolchain.to_string(),
+                    }
+                    .to_string(),
+                );
+                return Ok(report);
+            }
+            self.load_spill_binary(dir, &mut report);
+        } else {
+            report.loaded = self.load_spill_json(dir)?;
+        }
+        Ok(report)
+    }
+
+    /// The binary (phase-pack) load path: per-file header validation, then
+    /// per-record checksum + decode validation, all failure contained as
+    /// skipped entries.
+    fn load_spill_binary(&self, dir: &Path, report: &mut SpillLoadReport) {
+        for stage in SPILL_STAGES {
+            let path = dir.join(format!("{stage}.ppk"));
+            let bytes = match std::fs::read(&path) {
+                Ok(bytes) => bytes,
+                Err(error) if error.kind() == io::ErrorKind::NotFound => continue,
+                Err(error) => {
+                    report.errors.push(format!("{stage}.ppk: {error}"));
+                    continue;
+                }
+            };
+            let file = match pack::read_pack_file(&bytes, stage) {
+                Ok(file) => file,
+                Err(error) => {
+                    // Header mismatch: the whole file is foreign or stale.
+                    report.errors.push(format!("{stage}.ppk: {error}"));
+                    continue;
+                }
+            };
+            for error in &file.skipped {
+                report.skipped += 1;
+                report.errors.push(format!("{stage}.ppk: {error}"));
+            }
+            for (key, payload) in file.records {
+                match self.import_artifact(stage, key, &payload) {
+                    Ok(_) => report.loaded += 1,
+                    Err(error) => {
+                        report.skipped += 1;
+                        report.errors.push(format!("{stage}.ppk {key}: {error}"));
+                    }
+                }
+            }
+        }
+    }
+
+    /// The legacy JSON load path (also reached by pre-manifest directories).
+    fn load_spill_json(&self, dir: &Path) -> io::Result<usize> {
         let mut loaded = 0;
         let bad = |message: String| io::Error::new(io::ErrorKind::InvalidData, message);
         let read_doc = |path: PathBuf| -> io::Result<Option<JsonValue>> {

@@ -46,14 +46,16 @@ mod artifacts;
 mod driver;
 mod experiment;
 pub mod json;
+pub mod pack;
 mod pipeline;
 mod report;
 mod study;
 pub mod trace_export;
 
 pub use artifacts::{
-    ArtifactStore, CachedCell, ContentHash, Fingerprint, ShardedClockCache, StableHasher,
-    StageStats, StoreBudget, StoreFootprint, StoreStats,
+    ArtifactStore, CachedCell, ContentHash, Fingerprint, ShardedClockCache, SpillFormat,
+    SpillLoadReport, StableHasher, StageStats, StoreBudget, StoreFootprint, StoreStats,
+    SPILL_STAGES,
 };
 pub use driver::{
     cell_seed, CellResult, CellSpec, Driver, ExperimentPlan, PlanAggregate, PlanOutcome,

@@ -113,6 +113,44 @@ pub struct InstrumentedProgram {
 }
 
 impl InstrumentedProgram {
+    /// Reassembles an instrumented program from its serialized parts — the
+    /// decode path of an artifact spill. Mark ids are renumbered by position
+    /// and the edge index and space-overhead stats are rebuilt, so the result
+    /// is indistinguishable from one produced by [`instrument`] on the same
+    /// inputs.
+    pub fn from_parts(
+        program: Arc<Program>,
+        config: MarkingConfig,
+        mut marks: Vec<PhaseMark>,
+        entry_type: Option<PhaseType>,
+    ) -> Self {
+        let mut by_edge = HashMap::with_capacity(marks.len());
+        for (idx, mark) in marks.iter_mut().enumerate() {
+            mark.id = MarkId(idx as u32);
+            by_edge.insert((mark.from, mark.to), mark.id);
+        }
+        let original_bytes = program.stats().size_bytes;
+        let added_bytes: u64 = marks.iter().map(|m| u64::from(m.size_bytes)).sum();
+        let stats = MarkStats {
+            mark_count: marks.len(),
+            added_bytes,
+            original_bytes,
+            space_overhead: if original_bytes == 0 {
+                0.0
+            } else {
+                added_bytes as f64 / original_bytes as f64
+            },
+        };
+        Self {
+            program,
+            config,
+            marks,
+            by_edge,
+            entry_type,
+            stats,
+        }
+    }
+
     /// The underlying (un-rewritten) program.
     pub fn program(&self) -> &Arc<Program> {
         &self.program

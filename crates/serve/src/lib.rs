@@ -57,10 +57,12 @@ pub use phase_core::ArtifactStore;
 
 mod inflight;
 mod pool;
+mod remote;
 mod request;
 mod service;
 mod wire;
 
+pub use remote::{remote_inventory, remote_push, remote_warm_start, RemoteSyncStats};
 pub use request::{
     parse_request, RequestKind, ServeError, TuneSpec, TuningRequest, TuningResponse,
 };

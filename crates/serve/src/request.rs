@@ -12,7 +12,10 @@
 
 use phase_amp::MachineSpec;
 use phase_core::json::{parse, JsonValue};
-use phase_core::{ContentHash, Fingerprint, PipelineConfig, StableHasher, StudyReport};
+use phase_core::pack::{base64_decode, base64_encode, fnv64};
+use phase_core::{
+    ContentHash, Fingerprint, PipelineConfig, StableHasher, StudyReport, SPILL_STAGES,
+};
 use phase_marking::MarkingConfig;
 use phase_workload::{CatalogKind, CatalogSpec};
 
@@ -24,11 +27,13 @@ use crate::service::ServiceStats;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServeError {
     /// Machine-readable error code (`bad-json`, `bad-request`,
-    /// `unknown-field`, `unknown-kind`, `hash-mismatch`; from the TCP front
-    /// end also `overloaded` when the bounded queue sheds a request or
-    /// connection, `line-too-long` when a request line exceeds the cap,
-    /// `connection-failed` when a stream could not be split for reading,
-    /// and `internal` when an execution worker dies mid-request).
+    /// `unknown-field`, `unknown-kind`, `hash-mismatch`, `bad-payload` when
+    /// an artifact payload is not valid base64 or does not decode as an
+    /// artifact; from the TCP front end also `overloaded` when the bounded
+    /// queue sheds a request or connection, `line-too-long` when a request
+    /// line exceeds the cap, `connection-failed` when a stream could not be
+    /// split for reading, and `internal` when an execution worker dies
+    /// mid-request).
     pub code: &'static str,
     /// Human-readable description.
     pub message: String,
@@ -136,6 +141,31 @@ pub enum RequestKind {
         /// The id of the completed request whose timeline is wanted.
         target: String,
     },
+    /// Fetch one artifact from the service's store by content hash — the
+    /// read side of the network artifact cache. Answered inline (no study
+    /// resolution), with concurrent gets for the same `(stage, hash)`
+    /// deduplicated single-flight.
+    ArtifactGet {
+        /// The store stage (one of [`SPILL_STAGES`]).
+        stage: String,
+        /// The artifact's content hash.
+        hash: ContentHash,
+    },
+    /// Offer one artifact to the service's store — the write side of the
+    /// network cache. The payload is a base64 phase-pack record; admission
+    /// is charged against the service's byte budget like any computed
+    /// artifact.
+    ArtifactPut {
+        /// The store stage (one of [`SPILL_STAGES`]).
+        stage: String,
+        /// The artifact's content hash (the key it is admitted under).
+        hash: ContentHash,
+        /// The decoded phase-pack payload.
+        payload: Vec<u8>,
+    },
+    /// Inventory of every resident artifact key, per stage — what a worker
+    /// walks to warm itself from this service. Answered inline.
+    ArtifactList,
 }
 
 impl RequestKind {
@@ -147,6 +177,9 @@ impl RequestKind {
             RequestKind::Comparison(_) => "comparison",
             RequestKind::Stats => "stats",
             RequestKind::Trace { .. } => "trace",
+            RequestKind::ArtifactGet { .. } => "artifact-get",
+            RequestKind::ArtifactPut { .. } => "artifact-put",
+            RequestKind::ArtifactList => "artifact-list",
         }
     }
 
@@ -156,7 +189,11 @@ impl RequestKind {
             RequestKind::Isolation(spec)
             | RequestKind::Marks(spec)
             | RequestKind::Comparison(spec) => Some(spec),
-            RequestKind::Stats | RequestKind::Trace { .. } => None,
+            RequestKind::Stats
+            | RequestKind::Trace { .. }
+            | RequestKind::ArtifactGet { .. }
+            | RequestKind::ArtifactPut { .. }
+            | RequestKind::ArtifactList => None,
         }
     }
 }
@@ -188,6 +225,25 @@ impl TuningRequest {
         hasher.write_str(self.kind.name());
         if let Some(spec) = self.kind.spec() {
             spec.fingerprint(&mut hasher);
+        }
+        // Artifact requests have no TuneSpec; their identity is the target
+        // artifact (plus the payload's checksum for puts, so replacing an
+        // artifact's bytes is a distinct request).
+        match &self.kind {
+            RequestKind::ArtifactGet { stage, hash } => {
+                hasher.write_str(stage);
+                hash.fingerprint(&mut hasher);
+            }
+            RequestKind::ArtifactPut {
+                stage,
+                hash,
+                payload,
+            } => {
+                hasher.write_str(stage);
+                hash.fingerprint(&mut hasher);
+                hasher.write_u64(fnv64(payload));
+            }
+            _ => {}
         }
         hasher.finish()
     }
@@ -229,6 +285,37 @@ pub enum TuningResponse {
         /// order; shared so a cached timeline is cloned per response cheaply.
         events: Option<std::sync::Arc<Vec<phase_trace::TraceRecord>>>,
     },
+    /// One artifact fetched from the store (`payload: None` on a miss —
+    /// a miss is an answer, not an error).
+    ArtifactGet {
+        /// Echo of the request id.
+        id: String,
+        /// The stage that was queried.
+        stage: String,
+        /// The content hash that was queried.
+        hash: ContentHash,
+        /// The phase-pack payload on a hit; `None` on a miss.
+        payload: Option<std::sync::Arc<Vec<u8>>>,
+    },
+    /// The outcome of offering an artifact to the store.
+    ArtifactPut {
+        /// Echo of the request id.
+        id: String,
+        /// The stage that was written.
+        stage: String,
+        /// The content hash the artifact was admitted under.
+        hash: ContentHash,
+        /// Whether the artifact is resident after admission (`false` means
+        /// the byte budget declined it).
+        admitted: bool,
+    },
+    /// The store's per-stage key inventory.
+    ArtifactList {
+        /// Echo of the request id.
+        id: String,
+        /// `(stage, resident keys)` in spill order.
+        stages: Vec<(&'static str, Vec<ContentHash>)>,
+    },
     /// A structured error.
     Error {
         /// Echo of the request id, when one was parsed.
@@ -250,7 +337,10 @@ impl TuningResponse {
         match self {
             TuningResponse::Report { id, .. }
             | TuningResponse::Stats { id, .. }
-            | TuningResponse::Trace { id, .. } => Some(id),
+            | TuningResponse::Trace { id, .. }
+            | TuningResponse::ArtifactGet { id, .. }
+            | TuningResponse::ArtifactPut { id, .. }
+            | TuningResponse::ArtifactList { id, .. } => Some(id),
             TuningResponse::Error { id, .. } => id.as_deref(),
         }
     }
@@ -303,6 +393,54 @@ impl TuningResponse {
                         .iter()
                         .map(phase_core::trace_export::record_to_json)
                         .collect::<Vec<_>>(),
+                ),
+            TuningResponse::ArtifactGet {
+                id,
+                stage,
+                hash,
+                payload,
+            } => JsonValue::object()
+                .field("id", id.as_str())
+                .field("status", "ok")
+                .field("kind", "artifact-get")
+                .field("stage", stage.as_str())
+                .field("hash", hash.to_string())
+                .field("found", payload.is_some())
+                .field(
+                    "payload",
+                    payload
+                        .as_deref()
+                        .map(|bytes| JsonValue::from(base64_encode(bytes)))
+                        .unwrap_or(JsonValue::Null),
+                ),
+            TuningResponse::ArtifactPut {
+                id,
+                stage,
+                hash,
+                admitted,
+            } => JsonValue::object()
+                .field("id", id.as_str())
+                .field("status", "ok")
+                .field("kind", "artifact-put")
+                .field("stage", stage.as_str())
+                .field("hash", hash.to_string())
+                .field("admitted", *admitted),
+            TuningResponse::ArtifactList { id, stages } => JsonValue::object()
+                .field("id", id.as_str())
+                .field("status", "ok")
+                .field("kind", "artifact-list")
+                .field(
+                    "stages",
+                    stages
+                        .iter()
+                        .fold(JsonValue::object(), |doc, (stage, keys)| {
+                            doc.field(
+                                stage,
+                                keys.iter()
+                                    .map(|k| JsonValue::from(k.to_string()))
+                                    .collect::<Vec<_>>(),
+                            )
+                        }),
                 ),
             TuningResponse::Error { id, error } => JsonValue::object()
                 .field(
@@ -474,6 +612,9 @@ const REQUEST_FIELDS: &[&str] = &[
     "jobs_per_slot",
     "workload_seed",
     "target",
+    "stage",
+    "hash",
+    "payload",
 ];
 
 fn parse_spec(doc: &JsonValue) -> Result<TuneSpec, ServeError> {
@@ -525,6 +666,27 @@ fn parse_spec(doc: &JsonValue) -> Result<TuneSpec, ServeError> {
         spec.workload_seed = seed;
     }
     Ok(spec)
+}
+
+/// Parses the `stage` + `hash` pair every artifact request carries.
+fn parse_artifact_target(doc: &JsonValue) -> Result<(String, ContentHash), ServeError> {
+    let stage = match get_str(doc, "stage")? {
+        Some(stage) if SPILL_STAGES.contains(&stage) => stage.to_string(),
+        Some(other) => {
+            return Err(bad(format!(
+                "unknown stage '{other}' (expected one of: {})",
+                SPILL_STAGES.join(", ")
+            )))
+        }
+        None => return Err(bad("missing required field 'stage'")),
+    };
+    let hash = match get_str(doc, "hash")? {
+        Some(text) => {
+            ContentHash::from_hex(text).ok_or_else(|| bad("field 'hash' must be 32 hex digits"))?
+        }
+        None => return Err(bad("missing required field 'hash'")),
+    };
+    Ok((stage, hash))
 }
 
 /// Parses one request line. On failure the ready-to-send error response is
@@ -601,12 +763,55 @@ pub fn parse_request(line: &str) -> Result<TuningRequest, Box<TuningResponse>> {
             .map_err(&fail)?;
             RequestKind::Comparison(parse_spec(&doc).map_err(&fail)?)
         }
+        Some("artifact-get") => {
+            check_fields(
+                &doc,
+                &["id", "kind", "expect_hash", "stage", "hash"],
+                "an artifact-get request",
+            )
+            .map_err(&fail)?;
+            let (stage, hash) = parse_artifact_target(&doc).map_err(&fail)?;
+            RequestKind::ArtifactGet { stage, hash }
+        }
+        Some("artifact-put") => {
+            check_fields(
+                &doc,
+                &["id", "kind", "expect_hash", "stage", "hash", "payload"],
+                "an artifact-put request",
+            )
+            .map_err(&fail)?;
+            let (stage, hash) = parse_artifact_target(&doc).map_err(&fail)?;
+            let payload = match get_str(&doc, "payload").map_err(&fail)? {
+                Some(text) => base64_decode(text).map_err(|e| {
+                    fail(ServeError::new(
+                        "bad-payload",
+                        format!("field 'payload' is not valid base64: {e}"),
+                    ))
+                })?,
+                None => return Err(fail(bad("missing required field 'payload'"))),
+            };
+            RequestKind::ArtifactPut {
+                stage,
+                hash,
+                payload,
+            }
+        }
+        Some("artifact-list") => {
+            check_fields(
+                &doc,
+                &["id", "kind", "expect_hash"],
+                "an artifact-list request",
+            )
+            .map_err(&fail)?;
+            RequestKind::ArtifactList
+        }
         Some(other) => {
             return Err(fail(ServeError::new(
                 "unknown-kind",
                 format!(
                     "unknown request kind '{other}' \
-                     (expected isolation, marks, comparison, stats, or trace)"
+                     (expected isolation, marks, comparison, stats, trace, \
+                     artifact-get, artifact-put, or artifact-list)"
                 ),
             )))
         }

@@ -14,8 +14,8 @@ use std::time::Instant;
 use parking_lot::Mutex;
 use phase_core::json::JsonValue;
 use phase_core::{
-    run_study, ArtifactStore, ComparisonPoint, ExperimentConfig, StoreStats, StudyMode,
-    StudyReport, StudySpec,
+    run_study, ArtifactStore, ComparisonPoint, ContentHash, ExperimentConfig, StoreStats,
+    StudyMode, StudyReport, StudySpec,
 };
 use phase_metrics::LogHistogram;
 use phase_runtime::TunerConfig;
@@ -66,7 +66,16 @@ impl ServiceConfig {
 /// The request kinds tracked per-kind by the serving counters, in wire
 /// order; `kind_slot` maps a wire name onto an index into arrays of
 /// [`KIND_NAMES`]`.len()`.
-pub(crate) const KIND_NAMES: [&str; 5] = ["isolation", "marks", "comparison", "stats", "trace"];
+pub(crate) const KIND_NAMES: [&str; 8] = [
+    "isolation",
+    "marks",
+    "comparison",
+    "stats",
+    "trace",
+    "artifact-get",
+    "artifact-put",
+    "artifact-list",
+];
 
 /// Completed-request timelines kept for the `trace` request kind, oldest
 /// evicted first.
@@ -307,6 +316,10 @@ pub struct TuningService {
     coalesce: bool,
     counters: Mutex<Counters>,
     inflight: Arc<SingleFlight<FlightOutcome>>,
+    /// Single-flight table for `artifact-get`: concurrent gets for the same
+    /// `(stage, hash)` serialize one store export and share the payload
+    /// `Arc` — a thundering herd of cold workers costs one encode.
+    artifact_flights: Arc<SingleFlight<Option<Arc<Vec<u8>>>>>,
     metrics: ServeMetrics,
     started: Instant,
     metrics_seq: AtomicU64,
@@ -334,6 +347,7 @@ impl TuningService {
             coalesce: config.coalesce,
             counters: Mutex::new(Counters::default()),
             inflight: Arc::new(SingleFlight::default()),
+            artifact_flights: Arc::new(SingleFlight::default()),
             metrics: ServeMetrics::default(),
             started: Instant::now(),
             metrics_seq: AtomicU64::new(0),
@@ -350,6 +364,7 @@ impl TuningService {
             coalesce: true,
             counters: Mutex::new(Counters::default()),
             inflight: Arc::new(SingleFlight::default()),
+            artifact_flights: Arc::new(SingleFlight::default()),
             metrics: ServeMetrics::default(),
             started: Instant::now(),
             metrics_seq: AtomicU64::new(0),
@@ -408,7 +423,15 @@ impl TuningService {
     /// Joins the single-flight table for a study request's spec hash, or
     /// `None` when coalescing is disabled.
     pub(crate) fn join_flight(&self, request: &TuningRequest) -> Option<Entry<FlightOutcome>> {
-        if !self.coalesce || matches!(request.kind, RequestKind::Stats | RequestKind::Trace { .. })
+        if !self.coalesce
+            || matches!(
+                request.kind,
+                RequestKind::Stats
+                    | RequestKind::Trace { .. }
+                    | RequestKind::ArtifactGet { .. }
+                    | RequestKind::ArtifactPut { .. }
+                    | RequestKind::ArtifactList
+            )
         {
             return None;
         }
@@ -427,6 +450,40 @@ impl TuningService {
                 id: request.id.clone(),
                 target: target.clone(),
                 events: self.recent_trace(target),
+            },
+            RequestKind::ArtifactGet { stage, hash } => TuningResponse::ArtifactGet {
+                id: request.id.clone(),
+                stage: stage.clone(),
+                hash: *hash,
+                payload: self.artifact_get(request, stage, *hash),
+            },
+            RequestKind::ArtifactPut {
+                stage,
+                hash,
+                payload,
+            } => match self.store.import_artifact(stage, *hash, payload) {
+                Ok(admitted) => {
+                    phase_trace::event_detail("artifact-put", u64::from(admitted), || {
+                        format!("{stage}:{hash}")
+                    });
+                    TuningResponse::ArtifactPut {
+                        id: request.id.clone(),
+                        stage: stage.clone(),
+                        hash: *hash,
+                        admitted,
+                    }
+                }
+                Err(error) => TuningResponse::Error {
+                    id: Some(request.id.clone()),
+                    error: ServeError {
+                        code: "bad-payload",
+                        message: format!("artifact payload rejected: {error}"),
+                    },
+                },
+            },
+            RequestKind::ArtifactList => TuningResponse::ArtifactList {
+                id: request.id.clone(),
+                stages: self.store.artifact_keys(),
             },
             _ => {
                 let _span = phase_trace::span("execute");
@@ -453,6 +510,44 @@ impl TuningService {
         response
     }
 
+    /// Resolves one `artifact-get`: a store export behind the artifact
+    /// single-flight table, so concurrent gets for the same `(stage, hash)`
+    /// encode once and share the payload. Emits an
+    /// `artifact-get-hit`/`artifact-get-miss` trace event either way.
+    fn artifact_get(
+        &self,
+        request: &TuningRequest,
+        stage: &str,
+        hash: ContentHash,
+    ) -> Option<Arc<Vec<u8>>> {
+        if !self.coalesce {
+            return self.export_payload(stage, hash);
+        }
+        match self.artifact_flights.join(request.spec_hash()) {
+            Entry::Follower(waiter) => match waiter.wait() {
+                Some(payload) => payload,
+                // The leader abandoned; export for ourselves.
+                None => self.export_payload(stage, hash),
+            },
+            Entry::Leader(completion) => {
+                let payload = self.export_payload(stage, hash);
+                completion.fulfill(payload.clone());
+                payload
+            }
+        }
+    }
+
+    fn export_payload(&self, stage: &str, hash: ContentHash) -> Option<Arc<Vec<u8>>> {
+        let payload = self.store.export_artifact(stage, hash).map(Arc::new);
+        match &payload {
+            Some(_) => {
+                phase_trace::event_detail("artifact-get-hit", 0, || format!("{stage}:{hash}"))
+            }
+            None => phase_trace::event_detail("artifact-get-miss", 0, || format!("{stage}:{hash}")),
+        }
+        payload
+    }
+
     /// Counts a served response and records its latency; every front end
     /// calls this exactly once per request, whatever path executed it.
     pub(crate) fn finish_request(&self, kind: &str, started: Instant, response: &TuningResponse) {
@@ -461,7 +556,11 @@ impl TuningService {
         match response {
             TuningResponse::Error { .. } => counters.errors += 1,
             TuningResponse::Report { .. } => counters.reports += 1,
-            TuningResponse::Stats { .. } | TuningResponse::Trace { .. } => {}
+            TuningResponse::Stats { .. }
+            | TuningResponse::Trace { .. }
+            | TuningResponse::ArtifactGet { .. }
+            | TuningResponse::ArtifactPut { .. }
+            | TuningResponse::ArtifactList { .. } => {}
         }
         drop(counters);
         self.metrics.record_latency(
@@ -634,8 +733,12 @@ impl TuningService {
                     },
                 })
             }
-            RequestKind::Stats | RequestKind::Trace { .. } => {
-                unreachable!("stats and trace requests never reach study_for")
+            RequestKind::Stats
+            | RequestKind::Trace { .. }
+            | RequestKind::ArtifactGet { .. }
+            | RequestKind::ArtifactPut { .. }
+            | RequestKind::ArtifactList => {
+                unreachable!("inline-answered kinds never reach study_for")
             }
         }
     }

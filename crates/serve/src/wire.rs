@@ -265,7 +265,17 @@ fn respond_pooled(service: &TuningService, executor: &Executor, line: &str) -> T
             return *error_response;
         }
     };
-    if matches!(request.kind, RequestKind::Stats | RequestKind::Trace { .. }) {
+    if matches!(
+        request.kind,
+        RequestKind::Stats
+            | RequestKind::Trace { .. }
+            | RequestKind::ArtifactGet { .. }
+            | RequestKind::ArtifactPut { .. }
+            | RequestKind::ArtifactList
+    ) {
+        // Inline kinds never queue for the executor pool: stats/trace are
+        // metadata, and artifact requests are store I/O (the get side has
+        // its own single-flight inside handle()).
         return service.handle(&request);
     }
     let trace = || phase_trace::current_trace_id().map(|tid| (tid, phase_trace::wall_now_ns()));

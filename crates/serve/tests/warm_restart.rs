@@ -54,20 +54,21 @@ fn restarted_service_answers_warm_and_identical() {
         "a warm restart must not change any report"
     );
 
-    // Warm hit-rate: every typing lookup of the replay was answered from
-    // the reloaded artifacts, never recomputed — and because typing answers
-    // warm, the profiling stage upstream of it is never even consulted.
+    // Warm hit-rate: the binary spill persists the *whole* pipeline —
+    // typings, instrumented programs, even simulation cells — so the replay
+    // short-circuits at the deepest cached stage and recomputes nothing.
     let snapshot = restarted.store().snapshot();
-    let typings = snapshot.stage("typings").unwrap();
-    assert_eq!(
-        typings.misses, 0,
-        "typings recomputed after the warm restart: {typings:?}"
-    );
-    assert!(typings.hits > 0, "typings were never consulted");
-    let profiles = snapshot.stage("ipc_profiles").unwrap();
-    assert_eq!(
-        profiles.misses, 0,
-        "profiling ran despite warm typings: {profiles:?}"
+    for stage in ["typings", "ipc_profiles", "instrumented", "cells"] {
+        let stats = snapshot.stage(stage).unwrap();
+        assert_eq!(
+            stats.misses, 0,
+            "{stage} recomputed after the warm restart: {stats:?}"
+        );
+    }
+    let cells = snapshot.stage("cells").unwrap();
+    assert!(
+        cells.hits > 0,
+        "the isolation replay answered from warm cells"
     );
 
     std::fs::remove_dir_all(&dir).ok();

@@ -148,8 +148,14 @@ fn spill_round_trips_through_json() {
     prepare_workload_cached(&config, &store);
 
     let dir = std::env::temp_dir().join(format!("phase-artifacts-{}", std::process::id()));
-    let files = store.spill_to_dir(&dir).expect("spill succeeds");
-    assert_eq!(files.len(), 4, "index + three serializable stages");
+    let files = store
+        .spill_to_dir_with(&dir, phase_tuning::SpillFormat::Json)
+        .expect("spill succeeds");
+    assert_eq!(
+        files.len(),
+        5,
+        "index + manifest + three serializable stages"
+    );
     for file in &files {
         assert!(file.exists());
         let text = std::fs::read_to_string(file).unwrap();
