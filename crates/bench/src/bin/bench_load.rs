@@ -22,94 +22,7 @@ use std::time::{Duration, Instant};
 use phase_core::{JsonValue, MetricValue, StudyReport, StudyRow};
 use phase_metrics::LogHistogram;
 use phase_serve::{serve_tcp_with, ServiceConfig, TuningService, WireConfig};
-
-// --- Deterministic trace generation -------------------------------------
-
-/// splitmix64: tiny, seedable, and good enough for arrival jitter.
-struct SplitMix64(u64);
-
-impl SplitMix64 {
-    fn next_u64(&mut self) -> u64 {
-        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = self.0;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
-    }
-
-    /// Uniform in `[0, 1)`.
-    fn next_f64(&mut self) -> f64 {
-        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
-    }
-}
-
-#[derive(Clone, Copy, PartialEq, Eq)]
-enum Trace {
-    /// Memoryless arrivals at a constant rate.
-    Poisson,
-    /// On/off square wave: the whole load arrives in 25%-duty bursts at 4x
-    /// the mean rate (same offered load, much harsher queueing).
-    Bursty,
-    /// One slow sinusoidal swell across the run (a compressed day).
-    Diurnal,
-}
-
-impl Trace {
-    fn name(self) -> &'static str {
-        match self {
-            Trace::Poisson => "poisson",
-            Trace::Bursty => "bursty",
-            Trace::Diurnal => "diurnal",
-        }
-    }
-
-    /// Instantaneous arrival rate at `t`, shaped so every trace offers the
-    /// same mean `rate_hz` over `duration_s`.
-    fn intensity(self, t: f64, duration_s: f64, rate_hz: f64) -> f64 {
-        match self {
-            Trace::Poisson => rate_hz,
-            Trace::Bursty => {
-                const PERIOD_S: f64 = 0.2;
-                const DUTY: f64 = 0.25;
-                if (t / PERIOD_S).fract() < DUTY {
-                    rate_hz / DUTY
-                } else {
-                    0.0
-                }
-            }
-            Trace::Diurnal => {
-                let phase = std::f64::consts::TAU * t / duration_s;
-                rate_hz * (1.0 + 0.9 * phase.sin())
-            }
-        }
-    }
-
-    fn peak(self, rate_hz: f64) -> f64 {
-        match self {
-            Trace::Poisson => rate_hz,
-            Trace::Bursty => rate_hz / 0.25,
-            Trace::Diurnal => rate_hz * 1.9,
-        }
-    }
-}
-
-/// Arrival offsets (seconds from trace start) via Lewis–Shedler thinning of
-/// a homogeneous process at the trace's peak rate.
-fn arrivals(trace: Trace, rate_hz: f64, duration_s: f64, seed: u64) -> Vec<f64> {
-    let mut rng = SplitMix64(seed);
-    let peak = trace.peak(rate_hz);
-    let mut t = 0.0;
-    let mut out = Vec::new();
-    loop {
-        t += -(1.0 - rng.next_f64()).ln() / peak;
-        if t >= duration_s {
-            return out;
-        }
-        if rng.next_f64() * peak < trace.intensity(t, duration_s, rate_hz) {
-            out.push(t);
-        }
-    }
-}
+use phase_workload::TraceShape;
 
 // --- The request mix -----------------------------------------------------
 
@@ -239,7 +152,7 @@ struct MatrixParams {
 
 #[allow(clippy::too_many_arguments)]
 fn run_row(
-    trace: Trace,
+    trace: TraceShape,
     workers: usize,
     depth: usize,
     params: &MatrixParams,
@@ -258,7 +171,8 @@ fn run_row(
     }
     assert!(!service.respond(&hot_line(params.scale)).is_error());
 
-    let events: Vec<(f64, String)> = arrivals(trace, params.rate_hz, params.duration_s, seed)
+    let events: Vec<(f64, String)> = trace
+        .arrivals(params.rate_hz, params.duration_s, seed)
         .into_iter()
         .enumerate()
         .map(|(index, at)| (at, line_for(index, params.scale)))
@@ -532,7 +446,7 @@ fn main() {
     // --- The trace matrix. ---
     let mut rows = Vec::new();
     let mut store = None;
-    for trace in [Trace::Poisson, Trace::Bursty, Trace::Diurnal] {
+    for trace in TraceShape::all() {
         for &workers in &params.workers {
             for &depth in &params.depths {
                 let seed = 0xC60_2011 ^ (workers as u64) << 8 ^ depth as u64;

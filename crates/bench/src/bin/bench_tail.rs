@@ -1,0 +1,43 @@
+//! Datacenter tail-latency scenario family: open-loop service-pipeline
+//! requests (NIC-poll → network-stack → application phases) arriving on
+//! Poisson, bursty, and diurnal traces, each carrying a completion deadline,
+//! swept over machine asymmetries × scheduling policies.
+//!
+//! Policies are judged the way a serving system is: per-request completion
+//! latency charged from the *scheduled release* (the moment the open-loop
+//! client sent the request), read out as p50/p99/p999 and the fraction of
+//! requests that blew their SLO budget. The sweep pits an asymmetry-blind
+//! static core partition against the paper's marked phase-based tuner and
+//! the online interval-sampling tuner on identical request streams; the run
+//! fails unless at least one sweep cell shows a phase-aware policy beating
+//! the partition on p99. Thin spec over the shared study runner
+//! (`phase_bench::studies::tail`); writes `BENCH_tail.json`, bit-identical
+//! across `--threads` settings.
+
+use phase_bench::studies;
+use phase_core::{run_study, ArtifactStore, JsonValue};
+
+fn main() {
+    let settings = phase_bench::init(
+        "Datacenter tail latency (BENCH_tail.json)",
+        "Open-loop service pipelines (NIC poll -> network stack -> application) on Poisson,\n\
+         bursty, and diurnal arrival traces with per-request deadlines, swept over machine\n\
+         asymmetry x scheduling policy and judged on p50/p99/p999 completion latency and\n\
+         SLO-violation fraction. Latency is charged from each request's scheduled release.",
+    );
+    let spec = studies::tail(&settings);
+    let store = ArtifactStore::new();
+    let report = run_study(&spec, &store, settings.threads.max(1));
+    print!("{}", studies::render(&report));
+
+    let wins = studies::tail_phase_aware_wins(&report);
+    assert!(
+        wins > 0,
+        "no sweep cell had a phase-aware policy beat static partitioning on p99 — \
+         the study's headline regressed"
+    );
+
+    let extra = [("phase_aware_p99_wins", JsonValue::UInt(wins as u64))];
+    let written = phase_bench::write_study_report_with(&report, &settings, &extra);
+    phase_bench::announce_report(written, "BENCH_tail.json");
+}

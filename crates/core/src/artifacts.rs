@@ -341,6 +341,7 @@ impl Fingerprint for Policy {
                 h.write_str("online-policy");
                 config.fingerprint(h);
             }
+            Policy::Partition => h.write_str("partition"),
         }
     }
 }
@@ -389,6 +390,28 @@ impl Fingerprint for WorkloadSpec {
                 h.write_str("drifting");
                 h.write_usize(slots);
                 h.write_usize(jobs_per_slot);
+                h.write_u64(seed);
+            }
+            WorkloadSpec::OpenLoop {
+                slots,
+                trace,
+                rate_rps,
+                duration_s,
+                deadline_ns,
+                seed,
+            } => {
+                h.write_str("open-loop");
+                h.write_usize(slots);
+                h.write_str(trace.name());
+                h.write_f64(rate_rps);
+                h.write_f64(duration_s);
+                match deadline_ns {
+                    Some(ns) => {
+                        h.write_bool(true);
+                        h.write_f64(ns);
+                    }
+                    None => h.write_bool(false),
+                }
                 h.write_u64(seed);
             }
         }
@@ -1262,6 +1285,13 @@ impl ArtifactStore {
             for job in queue {
                 hasher.write_str(&job.name);
                 hasher.write_f64(job.release_ns);
+                match job.deadline_ns {
+                    Some(ns) => {
+                        hasher.write_bool(true);
+                        hasher.write_f64(ns);
+                    }
+                    None => hasher.write_bool(false),
+                }
                 self.instrumented_fingerprint(&job.instrumented)
                     .fingerprint(&mut hasher);
             }

@@ -42,6 +42,11 @@ pub enum Policy {
     /// detected from the periodic hardware-counter sample stream, so online
     /// cells run the *uninstrumented* binaries, exactly like `Stock`.
     Online(OnlineConfig),
+    /// Static partitioning: slot `i` is pinned to core `i % core_count` for
+    /// its whole lifetime ([`Simulation::partitioned`]), with uninstrumented
+    /// binaries and no hook. The classic asymmetry-oblivious datacenter
+    /// baseline the tail-latency sweep judges phase-aware policies against.
+    Partition,
 }
 
 impl Policy {
@@ -52,15 +57,17 @@ impl Policy {
             Policy::AllCores => "all-cores",
             Policy::Tuned(_) => "tuned",
             Policy::Online(_) => "online",
+            Policy::Partition => "partition",
         }
     }
 
     /// Whether cells under this policy run the phase-marked binaries.
-    /// `Stock` and `Online` run the uninstrumented twins: the former by
-    /// definition, the latter because online detection needs no marks.
+    /// `Stock`, `Online`, and `Partition` run the uninstrumented twins: the
+    /// first by definition, online detection needs no marks, and a static
+    /// partition ignores marks entirely.
     pub fn runs_instrumented(&self) -> bool {
         match self {
-            Policy::Stock | Policy::Online(_) => false,
+            Policy::Stock | Policy::Online(_) | Policy::Partition => false,
             Policy::AllCores | Policy::Tuned(_) => true,
         }
     }
@@ -495,6 +502,16 @@ fn compute_cell(spec: &CellSpec) -> CachedCell {
                 sim_config,
             );
             (sim.run(), None, Some(handle.stats()))
+        }
+        Policy::Partition => {
+            let sim = Simulation::partitioned(
+                spec.label.clone(),
+                spec.machine.clone(),
+                spec.slots.clone(),
+                NullHook,
+                spec.sim,
+            );
+            (sim.run(), None, None)
         }
     };
     CachedCell {

@@ -122,7 +122,10 @@ pub fn baseline_catalog(catalog: &Catalog) -> Vec<Arc<InstrumentedProgram>> {
 
 /// Expands a workload's job queues into scheduler slot queues, picking each
 /// benchmark's program from `programs` (index-aligned with the catalogue).
-/// A queue's release time (bursty workloads) is carried onto its first job.
+/// Every job carries its scheduled release (a queue's release time lands on
+/// its first job; open-loop queues release every position individually), and
+/// open-loop queues' relative deadlines become absolute deadlines measured
+/// from each job's release.
 pub fn build_slots(
     workload: &Workload,
     catalog: &Catalog,
@@ -138,11 +141,12 @@ pub fn build_slots(
                 .enumerate()
                 .map(|(position, &id)| {
                     let bench = catalog.get(id).expect("workload references the catalogue");
-                    let job = JobSpec::new(bench.name(), Arc::clone(&programs[id.0]));
-                    if position == 0 {
-                        job.released_at(queue.release_ns())
-                    } else {
-                        job
+                    let release_ns = queue.job_release_ns(position);
+                    let job = JobSpec::new(bench.name(), Arc::clone(&programs[id.0]))
+                        .released_at(release_ns);
+                    match queue.deadline_ns() {
+                        Some(deadline) => job.with_deadline(release_ns + deadline),
+                        None => job,
                     }
                 })
                 .collect()

@@ -1,0 +1,240 @@
+//! Per-request completion-latency accounting for the datacenter tail-latency
+//! study: arrival-to-exit latency charged from each job's *scheduled release*
+//! (the moment the open-loop client sent the request, not when a worker got
+//! around to starting it), folded into a [`LogHistogram`] for p50/p99/p999
+//! readout, plus deadline-miss and SLO-violation counters.
+//!
+//! Timestamp subtraction is a classic latency-accounting bug nest: a clock
+//! that wraps, a record whose release is (wrongly) after its completion, or a
+//! negative float cast all silently produce garbage under plain `-`. Here
+//! every subtraction goes through `checked_sub` and failures land in a
+//! structured [`underflows`](LatencyAccounting::underflows) counter instead
+//! of polluting the histogram — the sweep surfaces the bug, it never hides
+//! it.
+
+use phase_metrics::LogHistogram;
+use phase_sched::ProcessRecord;
+
+/// Aggregated completion-latency accounting over a set of process records.
+///
+/// Built from the per-process records of one simulation cell; mergeable so a
+/// study can fold cells together before reading quantiles.
+#[derive(Debug, Clone, Default)]
+pub struct LatencyAccounting {
+    histogram: LogHistogram,
+    requests: u64,
+    completed: u64,
+    deadline_misses: u64,
+    underflows: u64,
+}
+
+impl LatencyAccounting {
+    /// An empty accounting with no recorded requests.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds the per-process records of a finished simulation into the
+    /// accounting. Latency is `completion - release` per completed record;
+    /// records whose timestamps would underflow are counted, not recorded.
+    pub fn from_records(records: &[ProcessRecord]) -> Self {
+        let mut acc = Self::new();
+        for record in records {
+            acc.observe(record);
+        }
+        acc
+    }
+
+    /// Folds one record into the accounting.
+    pub fn observe(&mut self, record: &ProcessRecord) {
+        self.requests += 1;
+        if record.missed_deadline() {
+            self.deadline_misses += 1;
+        }
+        let Some(completion_ns) = record.completion_ns else {
+            return;
+        };
+        self.completed += 1;
+        // `as u64` saturates: negative floats clamp to 0, so a negative
+        // release charges from time zero rather than wrapping. The remaining
+        // failure mode — completion before release — is exactly what
+        // `checked_sub` catches.
+        let completion = completion_ns as u64;
+        let release = record.release_ns as u64;
+        match completion.checked_sub(release) {
+            Some(latency_ns) => self.histogram.record(latency_ns),
+            None => self.underflows += 1,
+        }
+    }
+
+    /// Merges another accounting into this one.
+    pub fn merge(&mut self, other: &LatencyAccounting) {
+        self.histogram.merge(&other.histogram);
+        self.requests += other.requests;
+        self.completed += other.completed;
+        self.deadline_misses += other.deadline_misses;
+        self.underflows += other.underflows;
+    }
+
+    /// Total records observed.
+    pub fn requests(&self) -> u64 {
+        self.requests
+    }
+
+    /// Records that completed (whether or not their latency was recordable).
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// Records that missed their deadline (completed late, or carried a
+    /// deadline and never completed).
+    pub fn deadline_misses(&self) -> u64 {
+        self.deadline_misses
+    }
+
+    /// Completed records whose `completion - release` would have underflowed;
+    /// these are excluded from the histogram.
+    pub fn underflows(&self) -> u64 {
+        self.underflows
+    }
+
+    /// The latency histogram over recordable completions.
+    pub fn histogram(&self) -> &LogHistogram {
+        &self.histogram
+    }
+
+    /// p50/p99/p999 completion latency in nanoseconds.
+    pub fn p50_p99_p999(&self) -> (u64, u64, u64) {
+        self.histogram.p50_p99_p999()
+    }
+
+    /// The latency CDF as `(upper_bound_ns, cumulative_fraction)` points.
+    pub fn cdf(&self) -> Vec<(u64, f64)> {
+        self.histogram.cdf()
+    }
+
+    /// Fraction of all requests that violated their SLO (missed a deadline),
+    /// `0.0` when no requests were observed.
+    pub fn slo_violation_fraction(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.deadline_misses as f64 / self.requests as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phase_sched::{Pid, ProcessStats};
+    use proptest::prelude::*;
+
+    fn record(
+        release_ns: f64,
+        completion_ns: Option<f64>,
+        deadline_ns: Option<f64>,
+    ) -> ProcessRecord {
+        ProcessRecord {
+            pid: Pid(0),
+            name: "svc.test".to_string(),
+            slot: 0,
+            arrival_ns: release_ns,
+            release_ns,
+            deadline_ns,
+            completion_ns,
+            stats: ProcessStats::default(),
+        }
+    }
+
+    #[test]
+    fn latency_is_charged_from_release() {
+        let acc = LatencyAccounting::from_records(&[
+            record(1_000.0, Some(5_000.0), None),
+            record(2_000.0, Some(2_500.0), None),
+        ]);
+        assert_eq!(acc.requests(), 2);
+        assert_eq!(acc.completed(), 2);
+        assert_eq!(acc.underflows(), 0);
+        assert_eq!(acc.histogram().count(), 2);
+        assert!(acc.histogram().min() <= 500 && acc.histogram().max() >= 500);
+    }
+
+    #[test]
+    fn deadline_misses_and_slo_fraction() {
+        let acc = LatencyAccounting::from_records(&[
+            record(0.0, Some(100.0), Some(50.0)),  // completed late: miss
+            record(0.0, Some(100.0), Some(200.0)), // on time
+            record(0.0, None, Some(50.0)),         // never completed: miss
+            record(0.0, None, None),               // no deadline: not a miss
+        ]);
+        assert_eq!(acc.requests(), 4);
+        assert_eq!(acc.completed(), 2);
+        assert_eq!(acc.deadline_misses(), 2);
+        assert!((acc.slo_violation_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn underflow_is_counted_not_recorded() {
+        // A record whose completion precedes its release would underflow a
+        // plain `u64` subtraction; the accounting routes it to the counter.
+        let acc = LatencyAccounting::from_records(&[record(10_000.0, Some(400.0), None)]);
+        assert_eq!(acc.completed(), 1);
+        assert_eq!(acc.underflows(), 1);
+        assert_eq!(acc.histogram().count(), 0);
+    }
+
+    #[test]
+    fn merge_sums_every_counter() {
+        let mut a = LatencyAccounting::from_records(&[record(0.0, Some(100.0), Some(50.0))]);
+        let b = LatencyAccounting::from_records(&[
+            record(500.0, Some(100.0), None),
+            record(0.0, None, Some(1.0)),
+        ]);
+        a.merge(&b);
+        assert_eq!(a.requests(), 3);
+        assert_eq!(a.completed(), 2);
+        assert_eq!(a.deadline_misses(), 2);
+        assert_eq!(a.underflows(), 1);
+        assert_eq!(a.histogram().count(), 1);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// For arbitrary (release, completion) pairs — including pairs where
+        /// completion precedes release — the accounting never loses a record:
+        /// every completed record lands in exactly one of {histogram,
+        /// underflow counter}, and the underflow counter matches a direct
+        /// count of inverted pairs.
+        #[test]
+        fn underflows_are_counted_exactly(
+            pairs in proptest::collection::vec(
+                (0u64..u64::MAX / 2, 0u64..u64::MAX / 2, any::<bool>()),
+                0..64,
+            ),
+        ) {
+            let records: Vec<ProcessRecord> = pairs
+                .iter()
+                .map(|&(release, completion, done)| {
+                    record(release as f64, done.then_some(completion as f64), None)
+                })
+                .collect();
+            let acc = LatencyAccounting::from_records(&records);
+
+            let completed = pairs.iter().filter(|&&(_, _, done)| done).count() as u64;
+            let expected_underflows = pairs
+                .iter()
+                .filter(|&&(release, completion, done)| {
+                    done && (completion as f64 as u64) < (release as f64 as u64)
+                })
+                .count() as u64;
+
+            prop_assert_eq!(acc.requests(), pairs.len() as u64);
+            prop_assert_eq!(acc.completed(), completed);
+            prop_assert_eq!(acc.underflows(), expected_underflows);
+            prop_assert_eq!(acc.histogram().count(), completed - expected_underflows);
+            prop_assert_eq!(acc.deadline_misses(), 0);
+        }
+    }
+}

@@ -46,6 +46,7 @@ mod artifacts;
 mod driver;
 mod experiment;
 pub mod json;
+mod latency;
 pub mod pack;
 mod pipeline;
 mod report;
@@ -68,6 +69,7 @@ pub use experiment::{
     run_with_hook, throughput_of, ComparisonResult, ExperimentConfig, PreparedWorkload,
 };
 pub use json::JsonValue;
+pub use latency::LatencyAccounting;
 pub use pipeline::{
     instrument_stage, min_typed_block_size, prepare_program, profile_stage, regions_stage,
     type_blocks, typing_stage, uninstrumented, IpcProfileArtifact, IpcProfileRow, PipelineConfig,

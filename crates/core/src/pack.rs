@@ -46,7 +46,7 @@ pub const PACK_MAGIC: [u8; 4] = *b"PPK1";
 
 /// The pack format version; bumped on any layout change so a stale spill is
 /// rejected structurally, never deserialized wrong.
-pub const PACK_VERSION: u64 = 1;
+pub const PACK_VERSION: u64 = 2;
 
 /// The toolchain tag stamped into every pack file: artifacts are only
 /// reusable across processes built from the same crate version, because the
@@ -839,6 +839,14 @@ pub fn encode_cell(cell: &CachedCell) -> Vec<u8> {
         w.str(&record.name);
         w.usize(record.slot);
         w.f64(record.arrival_ns);
+        w.f64(record.release_ns);
+        match record.deadline_ns {
+            Some(ns) => {
+                w.bool(true);
+                w.f64(ns);
+            }
+            None => w.bool(false),
+        }
         match record.completion_ns {
             Some(ns) => {
                 w.bool(true);
@@ -896,6 +904,8 @@ pub fn decode_cell(bytes: &[u8]) -> Result<CachedCell, PackError> {
             name: r.str()?,
             slot: r.usize()?,
             arrival_ns: r.f64()?,
+            release_ns: r.f64()?,
+            deadline_ns: if r.bool()? { Some(r.f64()?) } else { None },
             completion_ns: if r.bool()? { Some(r.f64()?) } else { None },
             stats: read_process_stats(&mut r)?,
         });

@@ -264,6 +264,31 @@ pub enum StudyMode {
         /// Base seed; family `i` uses `cell_seed(base_seed, i)`.
         base_seed: u64,
     },
+    /// Datacenter tail-latency study: open-loop service-pipeline families
+    /// (one per arrival-trace shape) × machine asymmetries × scheduling
+    /// policies, all on identical request queues, judged on per-request
+    /// completion latency charged from the scheduled release. One row per
+    /// (family, machine, policy) labeled `family/machine` with `policy`,
+    /// `policy_kind`, `requests`, `completed`, `p50_ns`, `p99_ns`, `p999_ns`,
+    /// `slo_violation`, `deadline_misses`, `underflows`, `switches`, and the
+    /// full latency `cdf`.
+    TailLatency {
+        /// The workload families (open-loop arrival traces over the service
+        /// catalog).
+        families: Vec<FamilySpec>,
+        /// The machine asymmetries to sweep.
+        machines: Vec<MachineSpec>,
+        /// The policies every (family, machine) cell runs under.
+        policies: Vec<Policy>,
+        /// The static pipeline behind instrumented policies.
+        pipeline: PipelineConfig,
+        /// Simulation parameters. Leave the horizon unset so every request
+        /// runs to completion — a deadline miss then means the request was
+        /// *late*, not that the simulation was truncated under it.
+        sim: SimConfig,
+        /// Base seed; (family, machine) group `i` uses `cell_seed(base_seed, i)`.
+        base_seed: u64,
+    },
     /// Wall-clock engine and driver throughput (the continuous perf gate).
     /// For every workload × engine pair: one row with `wall_s` (best of
     /// `samples`), `sims_per_sec` (full simulations per second, `1 / wall_s`),
@@ -413,6 +438,16 @@ pub fn run_study(spec: &StudySpec, store: &ArtifactStore, threads: usize) -> Stu
             base_seed,
         } => policy_matrix(
             store, threads, families, policies, machine, pipeline, sim, *base_seed,
+        ),
+        StudyMode::TailLatency {
+            families,
+            machines,
+            policies,
+            pipeline,
+            sim,
+            base_seed,
+        } => tail_latency(
+            store, threads, families, machines, policies, pipeline, sim, *base_seed,
         ),
         StudyMode::EnginePerf {
             catalog,
@@ -793,6 +828,113 @@ fn policy_matrix(
                     .metric("max_phases", MetricValue::UInt(config.max_phases as u64));
             }
             rows.push(row);
+        }
+    }
+    rows
+}
+
+/// The tail-latency sweep: every (family, machine) pair shares one seed and
+/// identical request queues across all policies (the paper's identical-queues
+/// rule, applied to open-loop serving), and every cell's per-request records
+/// fold into a [`LatencyAccounting`] for the quantile and SLO readout.
+#[allow(clippy::too_many_arguments)]
+fn tail_latency(
+    store: &ArtifactStore,
+    threads: usize,
+    families: &[FamilySpec],
+    machines: &[MachineSpec],
+    policies: &[Policy],
+    pipeline: &PipelineConfig,
+    sim: &SimConfig,
+    base_seed: u64,
+) -> Vec<StudyRow> {
+    struct PreparedGroup {
+        name: String,
+        baseline_slots: Vec<Vec<phase_sched::JobSpec>>,
+        tuned_slots: Vec<Vec<phase_sched::JobSpec>>,
+        machine: MachineSpec,
+    }
+    let mut prepared = Vec::new();
+    for family in families {
+        let catalog = store.catalog(&family.catalog);
+        let plain: Vec<Arc<InstrumentedProgram>> = catalog
+            .benchmarks()
+            .iter()
+            .map(|b| store.baseline(b.program()))
+            .collect();
+        // The workload (arrival trace, request mix, deadlines) depends only
+        // on the family spec: every machine replays the *same* request
+        // stream, so quantile differences are the machine's and policy's.
+        let workload = family.workload.build(&catalog);
+        let baseline_slots = build_slots(&workload, &catalog, &plain);
+        for machine in machines {
+            let instrumented: Vec<Arc<InstrumentedProgram>> = catalog
+                .benchmarks()
+                .iter()
+                .map(|b| store.instrumented(b.program(), machine, pipeline))
+                .collect();
+            prepared.push(PreparedGroup {
+                name: format!("{}/{}", family.name, machine.name),
+                baseline_slots: baseline_slots.clone(),
+                tuned_slots: build_slots(&workload, &catalog, &instrumented),
+                machine: machine.clone(),
+            });
+        }
+    }
+
+    let mut plan = ExperimentPlan::new();
+    for (index, group) in prepared.iter().enumerate() {
+        let seed = cell_seed(base_seed, index as u64);
+        for policy in policies {
+            let slots = if policy.runs_instrumented() {
+                group.tuned_slots.clone()
+            } else {
+                group.baseline_slots.clone()
+            };
+            plan.push(CellSpec {
+                group: group.name.clone(),
+                label: format!("{}/{}", group.name, policy_tag(policy)),
+                machine: group.machine.clone(),
+                slots,
+                policy: *policy,
+                sim: SimConfig { seed, ..*sim },
+            });
+        }
+    }
+    let outcome = Driver::new(threads).run_cached(plan, store);
+
+    let mut rows = Vec::new();
+    for group in &prepared {
+        for cell in &outcome.group(&group.name) {
+            let accounting = crate::latency::LatencyAccounting::from_records(&cell.result.records);
+            let (p50, p99, p999) = accounting.p50_p99_p999();
+            rows.push(
+                StudyRow::new(group.name.clone())
+                    .metric("policy", MetricValue::Text(policy_tag(&cell.policy)))
+                    .metric(
+                        "policy_kind",
+                        MetricValue::Text(cell.policy.name().to_string()),
+                    )
+                    .metric("requests", MetricValue::UInt(accounting.requests()))
+                    .metric("completed", MetricValue::UInt(accounting.completed()))
+                    .metric("p50_ns", MetricValue::UInt(p50))
+                    .metric("p99_ns", MetricValue::UInt(p99))
+                    .metric("p999_ns", MetricValue::UInt(p999))
+                    .metric(
+                        "slo_violation",
+                        MetricValue::Float(accounting.slo_violation_fraction()),
+                    )
+                    .metric(
+                        "deadline_misses",
+                        MetricValue::UInt(accounting.deadline_misses()),
+                    )
+                    .metric("underflows", MetricValue::UInt(accounting.underflows()))
+                    .metric(
+                        "switches",
+                        MetricValue::UInt(cell.result.total_core_switches),
+                    )
+                    .metric("cdf", MetricValue::Cdf(accounting.cdf())),
+            );
         }
     }
     rows

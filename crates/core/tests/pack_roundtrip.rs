@@ -92,7 +92,10 @@ fn runtimes_strategy() -> impl Strategy<Value = HashMap<String, f64>> {
 fn process_record_strategy() -> impl Strategy<Value = ProcessRecord> {
     (
         (0u32..512, any::<u64>(), 0usize..16),
-        (f64_bits_strategy(), any::<bool>(), f64_bits_strategy()),
+        (
+            (f64_bits_strategy(), any::<bool>(), f64_bits_strategy()),
+            (f64_bits_strategy(), any::<bool>(), f64_bits_strategy()),
+        ),
         (any::<u64>(), f64_bits_strategy(), f64_bits_strategy()),
         (any::<u64>(), any::<u64>(), any::<u64>()),
         proptest::collection::vec(f64_bits_strategy(), 4),
@@ -100,7 +103,7 @@ fn process_record_strategy() -> impl Strategy<Value = ProcessRecord> {
         .prop_map(
             |(
                 (pid, tag, slot),
-                (arrival, done, completion),
+                ((arrival, done, completion), (release, with_deadline, deadline)),
                 (instr, cycles, cpu),
                 (marks, switches, migrations),
                 kinds,
@@ -110,6 +113,8 @@ fn process_record_strategy() -> impl Strategy<Value = ProcessRecord> {
                     name: format!("proc-{tag:x}"),
                     slot,
                     arrival_ns: arrival,
+                    release_ns: release,
+                    deadline_ns: with_deadline.then_some(deadline),
                     completion_ns: done.then_some(completion),
                     stats: ProcessStats {
                         instructions: instr,

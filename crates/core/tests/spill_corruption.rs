@@ -186,9 +186,10 @@ fn stale_manifests_are_a_structural_cold_start() {
 
     // A future format version: same structural rejection.
     let future = copy_spill(&golden, "manifest-version");
+    let version_field = format!("\"version\": {}", phase_core::pack::PACK_VERSION);
     std::fs::write(
         future.join("manifest.json"),
-        manifest.replace("\"version\": 1", "\"version\": 999"),
+        manifest.replace(&version_field, "\"version\": 999"),
     )
     .expect("tamper version");
     let report = load_fresh(&future);

@@ -132,7 +132,9 @@ pub(crate) struct EngineCore<H: PhaseHook + IntervalHook> {
     pub(crate) cost: CostModel,
     pub(crate) config: SimConfig,
     pub(crate) hook: H,
-    default_affinity: AffinityMask,
+    /// Initial affinity of every job a slot spawns: all cores by default,
+    /// a single pinned core under static partitioning.
+    slot_affinities: Vec<AffinityMask>,
     pub(crate) procs: ProcessTable,
     pub(crate) cores: Vec<CoreState>,
     slots: Vec<SlotState>,
@@ -156,6 +158,11 @@ pub(crate) struct EngineCore<H: PhaseHook + IntervalHook> {
     unfinished: usize,
     /// Reusable per-round scratch for the L2 sharers histogram (event path).
     sharers_scratch: Vec<usize>,
+    /// Scheduled release per spawned process, indexed by pid (parallel to
+    /// the process table; filled in spawn order by `start_next_job`).
+    releases: Vec<f64>,
+    /// Absolute completion deadline per spawned process, indexed by pid.
+    deadlines: Vec<Option<f64>>,
     pub(crate) total_instructions: u64,
     pub(crate) throughput_windows: Vec<u64>,
 }
@@ -174,10 +181,30 @@ impl<H: PhaseHook + IntervalHook> EngineCore<H> {
         hook: H,
         config: SimConfig,
     ) -> Self {
+        let affinities = vec![AffinityMask::all_cores(&machine); slots.len()];
+        Self::with_slot_affinities(label, machine, slots, hook, config, affinities)
+    }
+
+    /// Like [`new`](Self::new), but every job of slot `i` spawns with
+    /// `slot_affinities[i]` instead of the all-cores mask (static
+    /// partitioning).
+    pub(crate) fn with_slot_affinities(
+        label: impl Into<String>,
+        machine: MachineSpec,
+        slots: Vec<Vec<JobSpec>>,
+        hook: H,
+        config: SimConfig,
+        slot_affinities: Vec<AffinityMask>,
+    ) -> Self {
         assert!(!slots.is_empty(), "a simulation needs at least one slot");
         assert!(
             slots.iter().all(|s| !s.is_empty()),
             "every slot needs at least one job"
+        );
+        assert_eq!(
+            slot_affinities.len(),
+            slots.len(),
+            "one initial affinity per slot"
         );
         if let Some(interval) = config.sample_interval_ns {
             // A zero/negative/NaN period would re-arm the event engine's
@@ -187,7 +214,6 @@ impl<H: PhaseHook + IntervalHook> EngineCore<H> {
                 "sample interval must be a positive time, got {interval}"
             );
         }
-        let default_affinity = AffinityMask::all_cores(&machine);
         let core_count = machine.core_count();
         let sampling = config.sample_interval_ns.is_some();
         let pending_jobs = slots.iter().map(|s| s.len()).sum();
@@ -196,7 +222,7 @@ impl<H: PhaseHook + IntervalHook> EngineCore<H> {
             cost: CostModel::new(machine),
             config,
             hook,
-            default_affinity,
+            slot_affinities,
             procs: ProcessTable::default(),
             cores: (0..core_count).map(|_| CoreState::default()).collect(),
             slots: slots
@@ -213,6 +239,8 @@ impl<H: PhaseHook + IntervalHook> EngineCore<H> {
             pending_jobs,
             unfinished: 0,
             sharers_scratch: Vec::new(),
+            releases: Vec::new(),
+            deadlines: Vec::new(),
             total_instructions: 0,
             throughput_windows: Vec::new(),
         };
@@ -789,11 +817,14 @@ impl<H: PhaseHook + IntervalHook> EngineCore<H> {
             job.name,
             slot,
             Arc::clone(&job.instrumented),
-            self.default_affinity,
+            self.slot_affinities[slot],
             arrival_ns,
             seed,
         );
         debug_assert_eq!(pid, next_pid);
+        self.releases.push(job.release_ns);
+        self.deadlines.push(job.deadline_ns);
+        debug_assert_eq!(self.releases.len(), self.procs.len());
         self.hook.on_process_start(pid, &job.instrumented);
         phase_trace::event_sim("process-start", arrival_ns as u64, u64::from(pid.0));
         self.enqueue_on_allowed_core(pid);
@@ -980,6 +1011,8 @@ impl<H: PhaseHook + IntervalHook> EngineCore<H> {
                 name: self.procs.name(i).to_string(),
                 slot: self.procs.slot(i),
                 arrival_ns: self.procs.arrival_ns(i),
+                release_ns: self.releases[i],
+                deadline_ns: self.deadlines[i],
                 completion_ns: self.procs.completion_ns(i),
                 stats: *self.procs.stats(i),
             })

@@ -45,7 +45,8 @@ pub use hooks::{
 pub use interp::{Interpreter, Step};
 pub use process::{IntervalCounters, Pid, ProcessState, ProcessStats};
 pub use sim::{
-    run_in_isolation, EngineKind, JobSpec, ProcessRecord, SimConfig, SimResult, Simulation,
+    run_in_isolation, windows_before, EngineKind, JobSpec, ProcessRecord, SimConfig, SimResult,
+    Simulation,
 };
 
 #[cfg(test)]

@@ -16,7 +16,7 @@
 
 use std::sync::Arc;
 
-use phase_amp::MachineSpec;
+use phase_amp::{AffinityMask, CoreId, MachineSpec};
 use phase_marking::InstrumentedProgram;
 use serde::{Deserialize, Serialize};
 
@@ -98,6 +98,11 @@ pub struct JobSpec {
     /// zero (the default) reproduces the paper's back-to-back queues, later
     /// values model bursty arrivals.
     pub release_ns: f64,
+    /// Absolute completion deadline in nanoseconds (`None` disables deadline
+    /// accounting). Deadlines are advisory: the scheduler does not act on
+    /// them, they only feed the deadline-miss accounting on the job's
+    /// [`ProcessRecord`].
+    pub deadline_ns: Option<f64>,
 }
 
 impl JobSpec {
@@ -107,12 +112,19 @@ impl JobSpec {
             name: name.into(),
             instrumented,
             release_ns: 0.0,
+            deadline_ns: None,
         }
     }
 
     /// Sets the job's release time (for bursty-arrival workloads).
     pub fn released_at(mut self, release_ns: f64) -> Self {
         self.release_ns = release_ns;
+        self
+    }
+
+    /// Sets the job's absolute completion deadline (for SLO accounting).
+    pub fn with_deadline(mut self, deadline_ns: f64) -> Self {
+        self.deadline_ns = Some(deadline_ns);
         self
     }
 }
@@ -128,6 +140,13 @@ pub struct ProcessRecord {
     pub slot: usize,
     /// Arrival time in nanoseconds.
     pub arrival_ns: f64,
+    /// Scheduled release time in nanoseconds (zero for back-to-back queues).
+    /// Request latency is charged from here — an open-loop client counts
+    /// queueing delay from the moment it *sent* the request, not from when a
+    /// worker got around to starting it.
+    pub release_ns: f64,
+    /// Absolute completion deadline in nanoseconds, if the job carried one.
+    pub deadline_ns: Option<f64>,
     /// Completion time in nanoseconds (`None` if still running at the end).
     pub completion_ns: Option<f64>,
     /// Accumulated execution statistics.
@@ -139,6 +158,17 @@ impl ProcessRecord {
     /// defined for completed processes.
     pub fn flow_ns(&self) -> Option<f64> {
         self.completion_ns.map(|c| c - self.arrival_ns)
+    }
+
+    /// Whether the process missed its deadline: it completed after
+    /// `deadline_ns`, or carried a deadline and never completed at all.
+    /// Always `false` for jobs without a deadline.
+    pub fn missed_deadline(&self) -> bool {
+        match (self.deadline_ns, self.completion_ns) {
+            (Some(deadline), Some(completion)) => completion > deadline,
+            (Some(_), None) => true,
+            (None, _) => false,
+        }
     }
 }
 
@@ -176,8 +206,26 @@ impl SimResult {
 
     /// Instructions committed up to the given time (sum of whole windows).
     pub fn instructions_before(&self, time_ns: f64, window_ns: f64) -> u64 {
-        let windows = (time_ns / window_ns).floor() as usize;
+        let windows = windows_before(time_ns, window_ns);
         self.throughput_windows.iter().take(windows).sum()
+    }
+}
+
+/// Number of whole throughput windows before `time_ns`.
+///
+/// `(time_ns / window_ns).floor()` is wrong once `time_ns` exceeds 2^53: the
+/// f64 quotient rounds to the nearest representable value, which near a
+/// window boundary can land on the *next* integer and misbin the sample
+/// (e.g. `3·2^53 + 4` over a 3 ns window rounds up to `2^53 + 2` windows
+/// where the true count is `2^53 + 1`). Timestamps and window widths are
+/// integral nanosecond counts in practice, so the division is done exactly
+/// over `u64`; fractional or out-of-range inputs keep the f64 fallback.
+pub fn windows_before(time_ns: f64, window_ns: f64) -> usize {
+    let integral = |v: f64| v.fract() == 0.0 && (0.0..=u64::MAX as f64).contains(&v);
+    if window_ns > 0.0 && integral(time_ns) && integral(window_ns) {
+        (time_ns as u64 / window_ns as u64) as usize
+    } else {
+        (time_ns / window_ns).floor() as usize
     }
 }
 
@@ -203,6 +251,33 @@ impl<H: PhaseHook + IntervalHook> Simulation<H> {
     ) -> Self {
         Self {
             core: EngineCore::new(label, machine, slots, hook, config),
+        }
+    }
+
+    /// Creates a statically partitioned simulation: slot `i` is pinned to
+    /// core `i % core_count` for its whole lifetime — every job of the slot
+    /// spawns with that single-core affinity, so neither the load balancer
+    /// nor idle stealing ever moves it. This is the asymmetry-oblivious
+    /// static-partitioning baseline the datacenter tail-latency sweep judges
+    /// phase-aware policies against. Hooks still run and may widen a
+    /// process's affinity if they choose to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots` is empty or any slot has no jobs.
+    pub fn partitioned(
+        label: impl Into<String>,
+        machine: MachineSpec,
+        slots: Vec<Vec<JobSpec>>,
+        hook: H,
+        config: SimConfig,
+    ) -> Self {
+        let core_count = machine.core_count();
+        let affinities = (0..slots.len())
+            .map(|slot| AffinityMask::single(CoreId((slot % core_count) as u32)))
+            .collect();
+        Self {
+            core: EngineCore::with_slot_affinities(label, machine, slots, hook, config, affinities),
         }
     }
 
@@ -675,6 +750,147 @@ mod tests {
                 ..SimConfig::default()
             },
         );
+    }
+
+    #[test]
+    fn window_binning_is_exact_past_2_pow_53() {
+        // 3·2^53 + 4 ns sits exactly representable in f64 (ulp = 4 there);
+        // its true quotient over a 3 ns window is 2^53 + 4/3, which the f64
+        // division rounds UP to 2^53 + 2 (ulp = 2 past 2^53) — the old
+        // `(t / w).floor()` path misbinned the timestamp into the next
+        // window.
+        let time_ns: f64 = 27_021_597_764_222_980.0; // 3 * 2^53 + 4
+        let window_ns: f64 = 3.0;
+        let broken = (time_ns / window_ns).floor() as usize;
+        assert_eq!(
+            broken, 9_007_199_254_740_994,
+            "f64 rounds across the boundary"
+        );
+        assert_eq!(windows_before(time_ns, window_ns), 9_007_199_254_740_993);
+        // Exactness holds on the boundary itself and just before it.
+        assert_eq!(
+            windows_before(27_021_597_764_222_976.0, 3.0),
+            9_007_199_254_740_992
+        );
+        // Ordinary small values and fractional windows keep their behaviour.
+        assert_eq!(windows_before(0.0, 1_000_000.0), 0);
+        assert_eq!(windows_before(999_999.0, 1_000_000.0), 0);
+        assert_eq!(windows_before(1_000_000.0, 1_000_000.0), 1);
+        assert_eq!(windows_before(2_500_000.0, 1_000_000.0), 2);
+        assert_eq!(windows_before(1_500.5, 1_000.0), 1);
+        assert_eq!(windows_before(750.0, 500.5), 1);
+    }
+
+    #[test]
+    fn instructions_before_uses_exact_binning() {
+        let result = SimResult {
+            label: "windows".into(),
+            records: Vec::new(),
+            total_instructions: 60,
+            final_time_ns: 3_000_000.0,
+            throughput_windows: vec![10, 20, 30],
+            core_busy_ns: Vec::new(),
+            total_marks_executed: 0,
+            total_core_switches: 0,
+        };
+        assert_eq!(result.instructions_before(1_000_000.0, 1_000_000.0), 10);
+        assert_eq!(result.instructions_before(2_999_999.0, 1_000_000.0), 30);
+        // A huge timestamp takes every window without overflowing the bin
+        // index.
+        assert_eq!(
+            result.instructions_before(27_021_597_764_222_980.0, 3.0),
+            60
+        );
+    }
+
+    #[test]
+    fn partitioned_simulation_pins_each_slot_to_one_core() {
+        let bench = small_benchmark(30);
+        let slots = vec![
+            vec![JobSpec::new("a", Arc::clone(&bench))],
+            vec![JobSpec::new("b", Arc::clone(&bench))],
+            vec![JobSpec::new("c", Arc::clone(&bench))],
+            vec![JobSpec::new("d", Arc::clone(&bench))],
+            vec![JobSpec::new("e", bench)],
+        ];
+        let sim = Simulation::partitioned(
+            "partition",
+            MachineSpec::core2_quad_amp(),
+            slots,
+            NullHook,
+            quick_config(),
+        );
+        let result = sim.run();
+        assert_eq!(result.completed_count(), 5);
+        // No migrations of any kind: every process lives and dies on its
+        // slot's core (slot 4 wraps back onto core 0).
+        assert_eq!(result.total_core_switches, 0);
+        for record in &result.records {
+            assert_eq!(record.stats.balancer_migrations, 0, "{}", record.name);
+            let kind = MachineSpec::core2_quad_amp()
+                .kind_of(phase_amp::CoreId((record.slot % 4) as u32))
+                .index();
+            assert!(
+                record.stats.time_on_kind_ns[kind] > 0.0,
+                "{} ran off its partition",
+                record.name
+            );
+            assert_eq!(
+                record.stats.time_on_kind_ns[1 - kind],
+                0.0,
+                "{} leaked onto the other kind",
+                record.name
+            );
+        }
+    }
+
+    #[test]
+    fn deadlines_flow_into_records_and_miss_accounting() {
+        let bench = small_benchmark(30);
+        let slots = vec![
+            // An impossible deadline (1 ns) and a generous one.
+            vec![JobSpec::new("tight", Arc::clone(&bench)).with_deadline(1.0)],
+            vec![JobSpec::new("slack", Arc::clone(&bench)).with_deadline(1e12)],
+            vec![JobSpec::new("none", bench)],
+        ];
+        let sim = Simulation::new(
+            "deadlines",
+            MachineSpec::core2_quad_amp(),
+            slots,
+            NullHook,
+            quick_config(),
+        );
+        let result = sim.run();
+        let by_name = |name: &str| result.records.iter().find(|r| r.name == name).unwrap();
+        assert_eq!(by_name("tight").deadline_ns, Some(1.0));
+        assert!(by_name("tight").missed_deadline());
+        assert!(!by_name("slack").missed_deadline());
+        assert_eq!(by_name("none").deadline_ns, None);
+        assert!(!by_name("none").missed_deadline());
+        assert!(result.records.iter().all(|r| r.release_ns == 0.0));
+    }
+
+    #[test]
+    fn release_times_are_recorded_for_latency_charging() {
+        let bench = small_benchmark(10);
+        let release = 2_000_000.0;
+        let slots = vec![vec![
+            JobSpec::new("first", Arc::clone(&bench)),
+            JobSpec::new("second", bench).released_at(release),
+        ]];
+        let result = Simulation::new(
+            "released",
+            MachineSpec::core2_quad_amp(),
+            slots,
+            NullHook,
+            quick_config(),
+        )
+        .run();
+        let second = result.records.iter().find(|r| r.name == "second").unwrap();
+        assert_eq!(second.release_ns, release);
+        // Queueing delay counts from the scheduled release even when the
+        // slot predecessor finished later than the release.
+        assert!(second.arrival_ns >= second.release_ns);
     }
 
     #[test]

@@ -21,6 +21,8 @@ use std::sync::{Arc, Condvar, Mutex};
 
 use phase_core::ContentHash;
 
+use crate::sync;
+
 #[derive(Debug)]
 enum FlightState<T> {
     Pending,
@@ -62,7 +64,7 @@ impl<T: Clone> Default for SingleFlight<T> {
 impl<T: Clone> SingleFlight<T> {
     /// Joins the flight for `key`, creating it if absent.
     pub(crate) fn join(self: &Arc<Self>, key: ContentHash) -> Entry<T> {
-        let mut flights = self.flights.lock().expect("flight table lock");
+        let mut flights = sync::lock(&self.flights);
         if let Some(flight) = flights.get(&key) {
             return Entry::Follower(Waiter {
                 flight: Arc::clone(flight),
@@ -84,7 +86,7 @@ impl<T: Clone> SingleFlight<T> {
 
     /// How many keys are in flight right now (the `inflight` stats gauge).
     pub(crate) fn len(&self) -> u64 {
-        self.flights.lock().expect("flight table lock").len() as u64
+        sync::lock(&self.flights).len() as u64
     }
 
     /// Followers served from a leader's result so far.
@@ -96,14 +98,14 @@ impl<T: Clone> SingleFlight<T> {
         // Remove from the table *before* publishing: a joiner arriving after
         // publication must start a fresh flight, not read a stale result
         // (the store cache, not the flight table, is the service's memory).
-        let mut flights = self.flights.lock().expect("flight table lock");
+        let mut flights = sync::lock(&self.flights);
         if let Some(current) = flights.get(key) {
             if Arc::ptr_eq(current, flight) {
                 flights.remove(key);
             }
         }
         drop(flights);
-        *flight.state.lock().expect("flight lock") = state;
+        *sync::lock(&flight.state) = state;
         flight.ready.notify_all();
     }
 }
@@ -149,11 +151,11 @@ impl<T: Clone> Waiter<T> {
     /// coalesced); `None` means the leader abandoned and the caller must
     /// compute for itself.
     pub(crate) fn wait(self) -> Option<T> {
-        let mut state = self.flight.state.lock().expect("flight lock");
+        let mut state = sync::lock(&self.flight.state);
         loop {
             match &*state {
                 FlightState::Pending => {
-                    state = self.flight.ready.wait(state).expect("flight wait");
+                    state = sync::wait(&self.flight.ready, state);
                 }
                 FlightState::Done(value) => {
                     self.table.coalesced.fetch_add(1, Ordering::Relaxed);

@@ -60,6 +60,7 @@ mod pool;
 mod remote;
 mod request;
 mod service;
+mod sync;
 mod wire;
 
 pub use remote::{remote_inventory, remote_push, remote_warm_start, RemoteSyncStats};

@@ -17,8 +17,9 @@ use std::thread::JoinHandle;
 use std::time::Instant;
 
 use crate::inflight::Completion;
-use crate::request::{TuningRequest, TuningResponse};
+use crate::request::{ServeError, TuningRequest, TuningResponse};
 use crate::service::{FlightOutcome, TuningService};
+use crate::sync;
 
 /// One queued study execution: the parsed request, the single-flight
 /// completion the executor must publish through (when coalescing is on), and
@@ -79,7 +80,7 @@ impl Executor {
     /// queue is full so the caller can shed it with a structured error.
     pub(crate) fn submit(&self, job: Job) -> Result<(), Box<Job>> {
         let metrics = self.shared.service.metrics();
-        let mut queue = self.shared.queue.lock().expect("executor queue lock");
+        let mut queue = sync::lock(&self.shared.queue);
         if queue.shutdown || queue.jobs.len() >= self.shared.depth {
             drop(queue);
             metrics.note_shed(job.request.kind.name());
@@ -96,7 +97,7 @@ impl Executor {
     }
 
     fn stop(&self) {
-        let mut queue = self.shared.queue.lock().expect("executor queue lock");
+        let mut queue = sync::lock(&self.shared.queue);
         queue.shutdown = true;
         drop(queue);
         self.shared.available.notify_all();
@@ -117,7 +118,7 @@ fn worker_loop(shared: &Shared) {
     let metrics = service.metrics();
     loop {
         let job = {
-            let mut queue = shared.queue.lock().expect("executor queue lock");
+            let mut queue = sync::lock(&shared.queue);
             loop {
                 if let Some(job) = queue.jobs.pop_front() {
                     metrics
@@ -128,7 +129,7 @@ fn worker_loop(shared: &Shared) {
                 if queue.shutdown {
                     return;
                 }
-                queue = shared.available.wait(queue).expect("executor queue wait");
+                queue = sync::wait(&shared.available, queue);
             }
         };
         metrics.active_jobs.fetch_add(1, Ordering::Relaxed);
@@ -140,9 +141,20 @@ fn worker_loop(shared: &Shared) {
             phase_trace::span_closed("queue_wait", submitted_ns, phase_trace::wall_now_ns());
             guard
         });
+        // A panicking study must cost the client *one* structured error, not
+        // the worker thread: an unwound worker would shrink the pool for the
+        // rest of the process and poison the queue lock behind it.
         let outcome = {
             let _span = phase_trace::span("execute");
-            service.resolve_outcome(&job.request)
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                service.resolve_outcome(&job.request)
+            }))
+            .unwrap_or_else(|panic| {
+                Err(ServeError::internal(format!(
+                    "request execution panicked: {}",
+                    panic_message(&panic)
+                )))
+            })
         };
         if let Some(completion) = job.completion {
             completion.fulfill(outcome.clone());
@@ -155,5 +167,87 @@ fn worker_loop(shared: &Shared) {
         // A dropped receiver just means the connection went away mid-study.
         let _ = job.reply.send(response);
         metrics.active_jobs.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// The panic payload's message, when it carries one (`panic!("...")` and
+/// `assert!` produce `&str` or `String` payloads; anything else is opaque).
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(message) = panic.downcast_ref::<&str>() {
+        message
+    } else if let Some(message) = panic.downcast_ref::<String>() {
+        message
+    } else {
+        "non-string panic payload"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::RequestKind;
+    use crate::service::ServiceConfig;
+
+    /// A job that panics inside `resolve_outcome`: a `stats` request is never
+    /// supposed to reach resolution, so the resolver's invariant check blows.
+    /// Before the catch_unwind guard this killed the worker thread — the
+    /// reply channel dropped, the pool shrank for the life of the process,
+    /// and the queue lock was left poisoned behind it.
+    fn panicking_job(reply: mpsc::Sender<TuningResponse>) -> Job {
+        Job {
+            request: TuningRequest::new("boom", RequestKind::Stats),
+            completion: None,
+            reply,
+            started: Instant::now(),
+            trace: None,
+        }
+    }
+
+    #[test]
+    fn a_panicking_request_becomes_a_structured_internal_error() {
+        let service = Arc::new(
+            TuningService::new(ServiceConfig::with_threads(1)).expect("cold start cannot fail"),
+        );
+        let executor = Executor::new(Arc::clone(&service), 1, 4);
+        let (reply, receive) = mpsc::channel();
+        executor
+            .submit(panicking_job(reply))
+            .ok()
+            .expect("the queue has room");
+        let response = receive
+            .recv()
+            .expect("the worker answered despite the panic");
+        match response {
+            TuningResponse::Error { error, .. } => {
+                assert_eq!(error.code, "internal");
+                assert!(
+                    error.message.contains("panicked"),
+                    "the error names the panic: {}",
+                    error.message
+                );
+            }
+            other => panic!("expected a structured error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn the_worker_pool_survives_panicking_requests() {
+        let service = Arc::new(
+            TuningService::new(ServiceConfig::with_threads(1)).expect("cold start cannot fail"),
+        );
+        // One worker: if the panic killed it, the second job would hang
+        // forever — answering both proves the same thread kept serving.
+        let executor = Executor::new(Arc::clone(&service), 1, 4);
+        for _ in 0..2 {
+            let (reply, receive) = mpsc::channel();
+            executor
+                .submit(panicking_job(reply))
+                .ok()
+                .expect("the queue has room");
+            let response = receive
+                .recv_timeout(std::time::Duration::from_secs(30))
+                .expect("the lone worker is still alive");
+            assert!(response.is_error());
+        }
     }
 }

@@ -46,6 +46,11 @@ impl ServeError {
             message: message.into(),
         }
     }
+
+    /// An `internal` error: an execution worker failed mid-request.
+    pub(crate) fn internal(message: impl Into<String>) -> Self {
+        Self::new("internal", message)
+    }
 }
 
 impl std::fmt::Display for ServeError {
@@ -547,9 +552,11 @@ fn parse_catalog(
         "mixed" => CatalogKind::Mixed,
         "drifting" => CatalogKind::Drifting,
         "extended" => CatalogKind::Extended,
+        "service" => CatalogKind::Service,
         other => {
             return Err(bad(format!(
-                "unknown catalog kind '{other}' (expected standard, mixed, drifting, or extended)"
+                "unknown catalog kind '{other}' (expected standard, mixed, drifting, \
+                 extended, or service)"
             )))
         }
     };
@@ -558,6 +565,7 @@ fn parse_catalog(
         CatalogKind::Mixed => CatalogSpec::mixed(scale, seed),
         CatalogKind::Drifting => CatalogSpec::drifting(scale, seed),
         CatalogKind::Extended => CatalogSpec::extended(scale, seed),
+        CatalogKind::Service => CatalogSpec::service(scale, seed),
     };
     Ok((spec, explicit_seed.is_some()))
 }

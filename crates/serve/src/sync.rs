@@ -1,0 +1,44 @@
+//! Poison-recovering wrappers over `std::sync` locking.
+//!
+//! A poisoned mutex means some thread panicked while holding the guard — in
+//! this crate that is always a *request-scoped* failure (a study blew an
+//! assertion mid-execution), never a broken invariant in the guarded data:
+//! every structure locked here (job queues, flight tables, stop flags,
+//! serving summaries) is updated atomically under the guard with plain
+//! stores and container ops that cannot be observed half-done. Propagating
+//! the poison would let one bad request take down every worker that touches
+//! the lock afterwards; recovering the guard keeps the service answering.
+
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+
+/// Locks `mutex`, recovering the guard if a previous holder panicked.
+pub(crate) fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Waits on `condvar`, recovering the guard if a holder panicked while this
+/// thread was parked.
+pub(crate) fn wait<'a, T>(condvar: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    condvar.wait(guard).unwrap_or_else(PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex};
+
+    #[test]
+    fn a_poisoned_lock_still_yields_its_guard() {
+        let mutex = Arc::new(Mutex::new(7u64));
+        let poisoner = Arc::clone(&mutex);
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.lock().expect("first lock");
+            panic!("poison the mutex");
+        })
+        .join();
+        assert!(mutex.is_poisoned(), "the panic poisoned the mutex");
+        assert_eq!(*lock(&mutex), 7, "the value is still readable");
+        *lock(&mutex) += 1;
+        assert_eq!(*lock(&mutex), 8, "and still writable");
+    }
+}

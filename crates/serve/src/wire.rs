@@ -25,6 +25,7 @@ use crate::inflight::Entry;
 use crate::pool::{Executor, Job};
 use crate::request::{parse_request, RequestKind, ServeError, TuningResponse};
 use crate::service::TuningService;
+use crate::sync;
 
 /// Default cap on one request line; a client streaming an endless line gets
 /// a structured error and a closed connection, never an OOM.
@@ -468,11 +469,11 @@ pub fn serve_tcp_with(
         let stop = Arc::clone(&emitter_stop);
         std::thread::spawn(move || {
             let (flag, wake) = &*stop;
-            let mut stopped = flag.lock().expect("emitter stop lock");
+            let mut stopped = sync::lock(flag);
             loop {
                 let (guard, timeout) = wake
                     .wait_timeout(stopped, every)
-                    .expect("emitter stop wait");
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
                 stopped = guard;
                 if *stopped {
                     return;
@@ -502,7 +503,7 @@ pub fn serve_tcp_with(
         // One-line request/response traffic: Nagle + delayed ACK would add
         // ~40ms to every exchange, swamping real service latency.
         let _ = stream.set_nodelay(true);
-        let mut state = connections.state.lock().expect("connection queue lock");
+        let mut state = sync::lock(&connections.state);
         if state.pending.len() >= config.pending_connections.max(1) {
             drop(state);
             // Shed at accept: the client learns immediately instead of
@@ -528,7 +529,7 @@ pub fn serve_tcp_with(
 
     // Drain: no more connections will arrive; workers exit once the pending
     // queue is empty, then the executor pool drains and joins on drop.
-    let mut state = connections.state.lock().expect("connection queue lock");
+    let mut state = sync::lock(&connections.state);
     state.done = true;
     drop(state);
     connections.available.notify_all();
@@ -537,11 +538,11 @@ pub fn serve_tcp_with(
     }
     if let Some(handle) = emitter {
         let (flag, wake) = &*emitter_stop;
-        *flag.lock().expect("emitter stop lock") = true;
+        *sync::lock(flag) = true;
         wake.notify_all();
         let _ = handle.join();
     }
-    let summary = *summary.lock().expect("summary lock");
+    let summary = *sync::lock(&summary);
     Ok(summary)
 }
 
@@ -555,7 +556,7 @@ fn connection_worker_loop(
     let metrics = service.metrics();
     loop {
         let stream = {
-            let mut state = connections.state.lock().expect("connection queue lock");
+            let mut state = sync::lock(&connections.state);
             loop {
                 if let Some(stream) = state.pending.pop_front() {
                     break stream;
@@ -563,18 +564,12 @@ fn connection_worker_loop(
                 if state.done {
                     return;
                 }
-                state = connections
-                    .available
-                    .wait(state)
-                    .expect("connection queue wait");
+                state = sync::wait(&connections.available, state);
             }
         };
         metrics.connections_active.fetch_add(1, Ordering::Relaxed);
         let connection_summary = serve_one_connection(service, executor, stream, max_line_bytes);
-        summary
-            .lock()
-            .expect("summary lock")
-            .absorb(connection_summary);
+        sync::lock(summary).absorb(connection_summary);
         metrics.connections_active.fetch_sub(1, Ordering::Relaxed);
     }
 }

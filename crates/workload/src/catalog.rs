@@ -102,6 +102,15 @@ impl Catalog {
         Self::from_profiles(drifting_profiles(), scale, seed)
     }
 
+    /// The request-serving scenario family ([`service_profiles`]) at the
+    /// given scale: short request programs that flow through the serving
+    /// pipeline's NIC-poll → network-stack → application phases, meant to be
+    /// replayed thousands at a time under an open-loop arrival trace
+    /// ([`crate::WorkloadSpec::OpenLoop`]) rather than queued back to back.
+    pub fn service(scale: f64, seed: u64) -> Self {
+        Self::from_profiles(service_profiles(), scale, seed)
+    }
+
     /// The standard Table 1 catalogue plus the mixed scenario family.
     pub fn extended(scale: f64, seed: u64) -> Self {
         let mut profiles = standard_profiles();
@@ -419,6 +428,60 @@ pub fn drifting_profiles() -> Vec<BenchmarkProfile> {
     ]
 }
 
+/// The request-serving scenario family: each profile is one *request type* of
+/// a datacenter service, not a long-running benchmark. Every request flows
+/// through the same three pipeline stages — a short integer NIC-poll phase, a
+/// cache-warm network-stack phase (header parsing, socket bookkeeping), and an
+/// application phase whose flavour is what distinguishes the request types
+/// (FP compute, pointer-chasing key-value lookup, streaming table scan, or a
+/// compute/write-back mix). The stage contrast is what gives phase-aware
+/// policies something to exploit: NIC/stack phases lose little on a slow
+/// core, while the application phase's speedup on a fast core decides the
+/// request's latency.
+pub fn service_profiles() -> Vec<BenchmarkProfile> {
+    let nic_poll = || PhaseSpec::cpu_integer(30, 15, 22);
+    let net_stack = || PhaseSpec::memory_streaming(40, 15, 24, 8 * 1024 * 1024);
+    vec![
+        // A compute-bound request: pricing/compression style FP kernel.
+        BenchmarkProfile::new(
+            "svc.compute",
+            vec![nic_poll(), net_stack(), PhaseSpec::cpu_float(140, 20, 28)],
+            2,
+        ),
+        // Key-value point lookup: the application phase chases an index.
+        BenchmarkProfile::new(
+            "svc.kvstore",
+            vec![
+                nic_poll(),
+                net_stack(),
+                PhaseSpec::pointer_chase(110, 20, 26, 64 * 1024 * 1024),
+            ],
+            2,
+        ),
+        // Analytics scan: the application phase streams a large table.
+        BenchmarkProfile::new(
+            "svc.scan",
+            vec![
+                nic_poll(),
+                PhaseSpec::balanced(30, 12, 20),
+                PhaseSpec::memory_streaming(120, 20, 28, 96 * 1024 * 1024),
+            ],
+            2,
+        ),
+        // Render/serialize request: FP work then a streaming write-back.
+        BenchmarkProfile::new(
+            "svc.render",
+            vec![
+                PhaseSpec::cpu_integer(24, 12, 20),
+                net_stack(),
+                PhaseSpec::cpu_float(90, 18, 26),
+                PhaseSpec::memory_streaming(50, 15, 26, 48 * 1024 * 1024),
+            ],
+            2,
+        ),
+    ]
+}
+
 /// Names of the benchmarks in [`standard_profiles`], in catalogue order.
 pub fn standard_benchmark_names() -> Vec<&'static str> {
     vec![
@@ -571,6 +634,43 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    #[test]
+    fn service_profiles_model_the_request_pipeline() {
+        let profiles = service_profiles();
+        assert!(profiles.len() >= 4);
+        let longest = profiles
+            .iter()
+            .map(BenchmarkProfile::approx_dynamic_instructions)
+            .max()
+            .unwrap();
+        let shortest_standard = standard_profiles()
+            .iter()
+            .map(BenchmarkProfile::approx_dynamic_instructions)
+            .min()
+            .unwrap();
+        for profile in &profiles {
+            assert!(profile.name.starts_with("svc."));
+            assert!(
+                profile.phases.len() >= 3,
+                "{} misses a pipeline stage",
+                profile.name
+            );
+            assert!(
+                profile.distinct_phase_kinds() >= 2,
+                "{} has nothing for the marker to contrast",
+                profile.name
+            );
+        }
+        // Requests stay short relative to the batch benchmarks, so open-loop
+        // runs can replay thousands of them.
+        assert!(longest < shortest_standard);
+        let catalog = Catalog::service(0.5, 11);
+        assert_eq!(catalog.len(), profiles.len());
+        for (_, bench) in catalog.iter() {
+            assert!(bench.program().stats().instructions > 0);
         }
     }
 

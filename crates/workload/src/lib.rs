@@ -30,15 +30,17 @@
 #![warn(rust_2018_idioms)]
 #![forbid(unsafe_code)]
 
+mod arrivals;
 mod catalog;
 mod generator;
 mod profile;
 mod spec;
 mod workload;
 
+pub use arrivals::{SplitMix64, TraceShape};
 pub use catalog::{
-    drifting_profiles, mixed_profiles, standard_benchmark_names, standard_profiles, Benchmark,
-    BenchmarkId, Catalog,
+    drifting_profiles, mixed_profiles, service_profiles, standard_benchmark_names,
+    standard_profiles, Benchmark, BenchmarkId, Catalog,
 };
 pub use generator::generate_program;
 pub use profile::{BenchmarkProfile, PhaseKind, PhaseSpec};

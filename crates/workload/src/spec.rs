@@ -10,6 +10,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::arrivals::TraceShape;
 use crate::catalog::Catalog;
 use crate::workload::Workload;
 
@@ -24,6 +25,9 @@ pub enum CatalogKind {
     Drifting,
     /// [`CatalogKind::Standard`] plus [`CatalogKind::Mixed`].
     Extended,
+    /// The request-serving pipeline family (NIC-poll → network-stack →
+    /// application request types).
+    Service,
 }
 
 impl CatalogKind {
@@ -34,6 +38,7 @@ impl CatalogKind {
             CatalogKind::Mixed => "mixed",
             CatalogKind::Drifting => "drifting",
             CatalogKind::Extended => "extended",
+            CatalogKind::Service => "service",
         }
     }
 }
@@ -96,6 +101,15 @@ impl CatalogSpec {
         }
     }
 
+    /// The request-serving pipeline family.
+    pub fn service(scale: f64, seed: u64) -> Self {
+        Self {
+            kind: CatalogKind::Service,
+            scale,
+            seed,
+        }
+    }
+
     /// Generates the catalogue. Deterministic: equal specs build bit-identical
     /// catalogues.
     pub fn build(&self) -> Catalog {
@@ -104,6 +118,7 @@ impl CatalogSpec {
             CatalogKind::Mixed => Catalog::mixed(self.scale, self.seed),
             CatalogKind::Drifting => Catalog::drifting(self.scale, self.seed),
             CatalogKind::Extended => Catalog::extended(self.scale, self.seed),
+            CatalogKind::Service => Catalog::service(self.scale, self.seed),
         }
     }
 }
@@ -142,6 +157,24 @@ pub enum WorkloadSpec {
         /// Selection seed.
         seed: u64,
     },
+    /// Open-loop request serving ([`Workload::open_loop`]): an arrival trace
+    /// dealt round-robin across server queues, with per-request releases and
+    /// an optional relative completion deadline.
+    OpenLoop {
+        /// Server queues (requests are dealt round-robin across them).
+        slots: usize,
+        /// The arrival trace's shape.
+        trace: TraceShape,
+        /// Mean offered load in requests per second.
+        rate_rps: f64,
+        /// Trace duration in seconds.
+        duration_s: f64,
+        /// Relative completion deadline in nanoseconds (`None` disables
+        /// deadline accounting).
+        deadline_ns: Option<f64>,
+        /// Trace and request-mix seed.
+        seed: u64,
+    },
 }
 
 impl WorkloadSpec {
@@ -165,15 +198,33 @@ impl WorkloadSpec {
                 jobs_per_slot,
                 seed,
             } => Workload::drifting(catalog, slots, jobs_per_slot, seed),
+            WorkloadSpec::OpenLoop {
+                slots,
+                trace,
+                rate_rps,
+                duration_s,
+                deadline_ns,
+                seed,
+            } => Workload::open_loop(
+                catalog,
+                slots,
+                trace,
+                rate_rps,
+                duration_s,
+                deadline_ns,
+                seed,
+            ),
         }
     }
 
-    /// The slot count the expanded workload will have.
+    /// The slot count the expanded workload will have (an upper bound for
+    /// [`WorkloadSpec::OpenLoop`], whose sparse traces may fill fewer).
     pub fn slots(&self) -> usize {
         match *self {
             WorkloadSpec::Random { slots, .. }
             | WorkloadSpec::Bursty { slots, .. }
-            | WorkloadSpec::Drifting { slots, .. } => slots,
+            | WorkloadSpec::Drifting { slots, .. }
+            | WorkloadSpec::OpenLoop { slots, .. } => slots,
         }
     }
 }
@@ -249,5 +300,25 @@ mod tests {
         }
         .build(&drifting_catalog);
         assert_eq!(drifting.size(), 3);
+    }
+
+    #[test]
+    fn open_loop_spec_builds_the_serving_family() {
+        let catalog = CatalogSpec::service(0.2, 7).build();
+        assert_eq!(catalog.len(), crate::catalog::service_profiles().len());
+        let spec = WorkloadSpec::OpenLoop {
+            slots: 4,
+            trace: TraceShape::Bursty,
+            rate_rps: 2_000.0,
+            duration_s: 0.05,
+            deadline_ns: Some(4_000_000.0),
+            seed: 13,
+        };
+        assert_eq!(spec.slots(), 4);
+        let a = spec.build(&catalog);
+        let b = spec.build(&catalog);
+        assert_eq!(a, b);
+        assert_eq!(a.size(), 4);
+        assert!(a.slots().iter().all(|q| q.deadline_ns().is_some()));
     }
 }

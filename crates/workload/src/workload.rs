@@ -13,14 +13,19 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
+use crate::arrivals::{SplitMix64, TraceShape};
 use crate::catalog::{BenchmarkId, Catalog};
 
 /// One workload slot: an ordered queue of benchmarks run back to back,
-/// optionally released (started) only after a given time.
+/// optionally released (started) only after a given time. Open-loop serving
+/// queues ([`JobQueue::open_loop`]) additionally carry one scheduled release
+/// per job and a relative completion deadline.
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct JobQueue {
     jobs: Vec<BenchmarkId>,
     release_ns: f64,
+    arrivals_ns: Vec<f64>,
+    deadline_ns: Option<f64>,
 }
 
 impl JobQueue {
@@ -29,6 +34,34 @@ impl JobQueue {
         Self {
             jobs,
             release_ns: 0.0,
+            arrivals_ns: Vec::new(),
+            deadline_ns: None,
+        }
+    }
+
+    /// Creates an open-loop queue: job `i` is released at `arrivals_ns[i]`
+    /// and, when `deadline_ns` is set, must complete within that many
+    /// nanoseconds of its release.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless there is exactly one arrival per job.
+    pub fn open_loop(
+        jobs: Vec<BenchmarkId>,
+        arrivals_ns: Vec<f64>,
+        deadline_ns: Option<f64>,
+    ) -> Self {
+        assert_eq!(
+            jobs.len(),
+            arrivals_ns.len(),
+            "an open-loop queue needs one arrival per job"
+        );
+        let release_ns = arrivals_ns.first().copied().unwrap_or(0.0);
+        Self {
+            jobs,
+            release_ns,
+            arrivals_ns,
+            deadline_ns,
         }
     }
 
@@ -41,6 +74,26 @@ impl JobQueue {
     /// The earliest time the queue's first job may start, in nanoseconds.
     pub fn release_ns(&self) -> f64 {
         self.release_ns
+    }
+
+    /// The scheduled release of the job at `position`, in nanoseconds: its
+    /// own arrival for open-loop queues, the queue release for the first job
+    /// of a classic queue, and zero (start as soon as the predecessor
+    /// finishes) otherwise.
+    pub fn job_release_ns(&self, position: usize) -> f64 {
+        self.arrivals_ns.get(position).copied().unwrap_or({
+            if position == 0 {
+                self.release_ns
+            } else {
+                0.0
+            }
+        })
+    }
+
+    /// The queue's relative completion deadline, measured from each job's
+    /// scheduled release, if any.
+    pub fn deadline_ns(&self) -> Option<f64> {
+        self.deadline_ns
     }
 
     /// The jobs in execution order.
@@ -164,6 +217,77 @@ impl Workload {
                         .collect(),
                 )
             })
+            .collect();
+        Self { slots }
+    }
+
+    /// Builds an open-loop request-serving workload: `trace` generates
+    /// arrival times at a mean of `rate_rps` requests per second over
+    /// `duration_s` seconds, each arrival becomes one request drawn uniformly
+    /// from the catalogue, and requests are dealt round-robin across up to
+    /// `slots` server queues (slot `i` serves requests `i`, `i + slots`, …,
+    /// each slot a FIFO worker). Unlike the batch workloads, job `k > 0` of a
+    /// queue carries its own release time, and every request inherits the
+    /// relative completion `deadline_ns` when one is given.
+    ///
+    /// Construction is deterministic for a `(catalog length, slots, trace,
+    /// rate, duration, deadline, seed)` tuple. If the trace produces fewer
+    /// requests than `slots`, only the populated slots are kept (the engine
+    /// rejects empty queues).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the catalogue is empty, `slots` is zero, the rate or
+    /// duration is non-positive, or the trace generates no requests at all.
+    #[allow(clippy::too_many_arguments)]
+    pub fn open_loop(
+        catalog: &Catalog,
+        slots: usize,
+        trace: TraceShape,
+        rate_rps: f64,
+        duration_s: f64,
+        deadline_ns: Option<f64>,
+        seed: u64,
+    ) -> Self {
+        assert!(
+            !catalog.is_empty(),
+            "cannot build a workload from an empty catalogue"
+        );
+        assert!(slots > 0, "a workload needs at least one slot");
+        assert!(
+            rate_rps.is_finite() && rate_rps > 0.0,
+            "arrival rate must be a positive frequency"
+        );
+        assert!(
+            duration_s.is_finite() && duration_s > 0.0,
+            "trace duration must be a positive time"
+        );
+        if let Some(deadline) = deadline_ns {
+            assert!(
+                deadline.is_finite() && deadline > 0.0,
+                "deadline must be a positive time"
+            );
+        }
+        let arrivals = trace.arrivals(rate_rps, duration_s, seed);
+        assert!(
+            !arrivals.is_empty(),
+            "the trace produced no requests; raise the rate or duration"
+        );
+        let slots = slots.min(arrivals.len());
+        // A second stream (offset so it never aliases the arrival stream)
+        // picks each request's type.
+        let mut mix = SplitMix64(seed ^ 0xA5A5_5A5A_F00D_CAFE);
+        let mut jobs: Vec<Vec<BenchmarkId>> = vec![Vec::new(); slots];
+        let mut releases: Vec<Vec<f64>> = vec![Vec::new(); slots];
+        for (index, &offset_s) in arrivals.iter().enumerate() {
+            let id = BenchmarkId((mix.next_u64() % catalog.len() as u64) as usize);
+            jobs[index % slots].push(id);
+            releases[index % slots].push(offset_s * 1e9);
+        }
+        let slots = jobs
+            .into_iter()
+            .zip(releases)
+            .map(|(jobs, arrivals_ns)| JobQueue::open_loop(jobs, arrivals_ns, deadline_ns))
             .collect();
         Self { slots }
     }
@@ -305,6 +429,66 @@ mod tests {
         // Deterministic per seed.
         assert_eq!(workload, Workload::drifting(&catalog, 10, 4, 3));
         assert_ne!(workload, Workload::drifting(&catalog, 10, 4, 4));
+    }
+
+    #[test]
+    fn open_loop_workload_deals_requests_round_robin() {
+        let catalog = Catalog::service(0.2, 5);
+        let workload =
+            Workload::open_loop(&catalog, 4, TraceShape::Poisson, 2_000.0, 0.05, None, 42);
+        assert_eq!(workload.size(), 4);
+        assert!(workload.total_jobs() > 20);
+        for queue in workload.slots() {
+            // Releases within a slot keep the trace's arrival order, and
+            // every position carries its own release.
+            let releases: Vec<f64> = (0..queue.len()).map(|p| queue.job_release_ns(p)).collect();
+            assert!(releases.windows(2).all(|w| w[0] <= w[1]));
+            assert!(releases.iter().skip(1).any(|&r| r > 0.0));
+            assert_eq!(queue.release_ns(), releases[0]);
+            assert_eq!(queue.deadline_ns(), None);
+            for &job in queue.jobs() {
+                assert!(catalog.get(job).is_some());
+            }
+        }
+        // Deterministic per seed.
+        let again = Workload::open_loop(&catalog, 4, TraceShape::Poisson, 2_000.0, 0.05, None, 42);
+        assert_eq!(workload, again);
+        let other = Workload::open_loop(&catalog, 4, TraceShape::Poisson, 2_000.0, 0.05, None, 43);
+        assert_ne!(workload, other);
+    }
+
+    #[test]
+    fn open_loop_deadline_is_carried_on_every_queue() {
+        let catalog = Catalog::service(0.2, 5);
+        let workload = Workload::open_loop(
+            &catalog,
+            3,
+            TraceShape::Bursty,
+            2_000.0,
+            0.05,
+            Some(5_000_000.0),
+            7,
+        );
+        for queue in workload.slots() {
+            assert_eq!(queue.deadline_ns(), Some(5_000_000.0));
+        }
+    }
+
+    #[test]
+    fn open_loop_drops_slots_the_trace_cannot_fill() {
+        let catalog = Catalog::service(0.2, 5);
+        // ~5 arrivals for 16 slots: only the populated slots survive.
+        let workload = Workload::open_loop(&catalog, 16, TraceShape::Poisson, 100.0, 0.05, None, 3);
+        assert!(workload.size() < 16);
+        assert!(workload.slots().iter().all(|q| !q.is_empty()));
+    }
+
+    #[test]
+    fn classic_queues_report_positional_releases() {
+        let queue = JobQueue::new(vec![BenchmarkId(0), BenchmarkId(1)]).released_at(500.0);
+        assert_eq!(queue.job_release_ns(0), 500.0);
+        assert_eq!(queue.job_release_ns(1), 0.0);
+        assert_eq!(queue.deadline_ns(), None);
     }
 
     #[test]
